@@ -1,0 +1,36 @@
+//! Ablation: export-inconsistency rule — the paper's max-over-readers
+//! (§5.2) vs the sum-over-readers rule of Wu et al. that the paper
+//! argues "may result in the overestimation of the accumulated errors".
+//!
+//! Under Sum, the same write charges a larger d, so update ETs exhaust
+//! their TEL sooner and abort more.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_core::bounds::EpsilonPreset;
+use esr_metrics::{FigureTable, Series};
+use esr_tso::ExportRule;
+
+fn main() {
+    let mut fig = FigureTable::new(
+        "Ablation: export rule (max vs sum over readers), medium-epsilon",
+        "MPL",
+        "aborts (window) / throughput (txn/s)",
+    );
+    for (rule, label) in [
+        (ExportRule::MaxOverReaders, "max rule"),
+        (ExportRule::SumOverReaders, "sum rule"),
+    ] {
+        let mut thr = Series::new(format!("{label}: throughput"));
+        let mut aborts = Series::new(format!("{label}: aborts"));
+        for mpl in scenarios::MPLS {
+            let mut cfg = scenarios::mpl_scenario(mpl, EpsilonPreset::Medium);
+            cfg.kernel.export_rule = rule;
+            let s = run_point(&cfg);
+            thr.push(mpl as f64, s.throughput.mean);
+            aborts.push(mpl as f64, s.aborts.mean);
+        }
+        fig.push_series(thr);
+        fig.push_series(aborts);
+    }
+    emit_figure(&fig, "ablation_export_rule");
+}

@@ -1,0 +1,37 @@
+//! Ablation: the §5.1 history-ring depth ("we store the values of the
+//! last 20 writes on each object ... 20 is an empirical figure derived
+//! by dividing the average duration of query ETs by that of update
+//! ETs").
+//!
+//! Shallower rings evict proper values that long/late queries still
+//! need; under the default Approximate policy the lookup falls back to
+//! the oldest retained write (counted as a history miss). This bench
+//! shows how misses vanish as the depth approaches the paper's 20.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    let depths = [1usize, 2, 3, 5, 10, 20, 40];
+    let mut fig = FigureTable::new(
+        "Ablation: history depth vs proper-value misses (MPL 6, high-epsilon)",
+        "history depth (writes retained)",
+        "count / txn-per-s",
+    );
+    let mut misses = Series::new("history misses (window)");
+    let mut thr = Series::new("throughput (txn/s)");
+    for depth in depths {
+        let s = run_point(&scenarios::history_depth_scenario(depth));
+        let miss_mean = esr_metrics::mean(
+            &s.runs
+                .iter()
+                .map(|r| r.stats.history_misses as f64)
+                .collect::<Vec<_>>(),
+        );
+        misses.push(depth as f64, miss_mean);
+        thr.push(depth as f64, s.throughput.mean);
+    }
+    fig.push_series(misses);
+    fig.push_series(thr);
+    emit_figure(&fig, "ablation_history_depth");
+}

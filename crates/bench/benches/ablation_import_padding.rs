@@ -1,0 +1,31 @@
+//! Ablation: padding imports of uncommitted reads (§5.1's mitigation
+//! for writers that later abort: "always add the maximum change by an
+//! update transaction"). The prototype sets this to zero because update
+//! aborts are rare; this bench quantifies what the guard costs.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_core::bounds::EpsilonPreset;
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    let mut fig = FigureTable::new(
+        "Ablation: import padding for dirty reads (MPL sweep, low-epsilon)",
+        "MPL",
+        "throughput (committed txn/s)",
+    );
+    for (pad, label) in [
+        (0u64, "no padding (paper)"),
+        (2_000, "pad w̄"),
+        (4_000, "pad 2w̄ (max change)"),
+    ] {
+        let mut thr = Series::new(label);
+        for mpl in scenarios::MPLS {
+            let mut cfg = scenarios::mpl_scenario(mpl, EpsilonPreset::Low);
+            cfg.kernel.import_padding = pad;
+            let s = run_point(&cfg);
+            thr.push(mpl as f64, s.throughput.mean);
+        }
+        fig.push_series(thr);
+    }
+    emit_figure(&fig, "ablation_import_padding");
+}

@@ -1,0 +1,41 @@
+//! Ablation: the Thomas write rule (skip writes late with respect to a
+//! committed write instead of aborting). The prototype aborts; TWR
+//! trades those aborts for silently dropped writes.
+//!
+//! Uses the paper's *arithmetic* update style, whose writes are blind
+//! (`Write 1078 , t2+3000` writes an object the transaction never
+//! read). With read-modify-write updates TWR never engages — the pair's
+//! read aborts first — so blind writes are where the rule matters.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_core::bounds::EpsilonPreset;
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    let mut fig = FigureTable::new(
+        "Ablation: Thomas write rule (zero-epsilon / SR)",
+        "MPL",
+        "throughput (txn/s) / aborts (window)",
+    );
+    for (twr, label) in [(false, "abort late writes (paper)"), (true, "Thomas write rule")] {
+        let mut thr = Series::new(format!("{label}: throughput"));
+        let mut aborts = Series::new(format!("{label}: aborts"));
+        for mpl in scenarios::MPLS {
+            let mut cfg = scenarios::mpl_scenario(mpl, EpsilonPreset::Zero);
+            cfg.workload.update_style =
+                esr_workload::UpdateStyle::PaperArithmetic;
+            // Mostly-blind updates: one read feeding three writes, so
+            // late writes reach the wts check instead of being eaten by
+            // earlier read conflicts.
+            cfg.workload.update_reads = 1;
+            cfg.workload.update_writes = 3;
+            cfg.kernel.thomas_write_rule = twr;
+            let s = run_point(&cfg);
+            thr.push(mpl as f64, s.throughput.mean);
+            aborts.push(mpl as f64, s.aborts.mean);
+        }
+        fig.push_series(thr);
+        fig.push_series(aborts);
+    }
+    emit_figure(&fig, "ablation_thomas_write_rule");
+}

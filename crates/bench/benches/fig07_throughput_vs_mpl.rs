@@ -1,0 +1,23 @@
+//! Figure 7: Throughput vs Multiprogramming Level.
+//!
+//! Paper shape: at higher bounds ESR throughput is much higher than SR;
+//! as bounds shrink ESR approaches SR; the thrashing point shifts from
+//! MPL ≈ 3 at low/zero bounds to MPL ≈ 5 at high bounds.
+
+use esr_bench::{emit_figure, sweep_mpl, thrashing_point};
+use esr_core::bounds::EpsilonPreset;
+
+fn main() {
+    let fig = sweep_mpl(
+        "Figure 7: Throughput vs Multiprogramming Level",
+        "throughput (committed txn/s)",
+        &EpsilonPreset::ALL,
+        |s| s.throughput.mean,
+    );
+    emit_figure(&fig, "fig07_throughput_vs_mpl");
+    for preset in EpsilonPreset::ALL {
+        if let Some(mpl) = thrashing_point(&fig, preset.label()) {
+            println!("thrashing point [{}]: MPL {}", preset.label(), mpl);
+        }
+    }
+}

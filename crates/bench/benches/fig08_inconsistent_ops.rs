@@ -1,0 +1,19 @@
+//! Figure 8: Successful Inconsistent Operations vs MPL.
+//!
+//! Paper shape: the number of operations that succeed *despite* viewing
+//! or exporting inconsistency rises steadily with both the bounds and
+//! the MPL. Zero-epsilon is omitted — SR admits no inconsistent
+//! operations.
+
+use esr_bench::{emit_figure, sweep_mpl};
+use esr_core::bounds::EpsilonPreset;
+
+fn main() {
+    let fig = sweep_mpl(
+        "Figure 8: Successful Inconsistent Operations vs MPL",
+        "inconsistent operations admitted (per measurement window)",
+        &EpsilonPreset::NON_ZERO,
+        |s| s.inconsistent_ops.mean,
+    );
+    emit_figure(&fig, "fig08_inconsistent_ops");
+}

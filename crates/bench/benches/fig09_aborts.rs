@@ -1,0 +1,17 @@
+//! Figure 9: Number of Aborts (retries) vs MPL.
+//!
+//! Paper shape: aborts at high bounds are almost zero; they shoot up as
+//! bounds shrink and are highest for zero-epsilon (SR).
+
+use esr_bench::{emit_figure, sweep_mpl};
+use esr_core::bounds::EpsilonPreset;
+
+fn main() {
+    let fig = sweep_mpl(
+        "Figure 9: Number of Aborts vs MPL",
+        "aborts / retries (per measurement window)",
+        &EpsilonPreset::ALL,
+        |s| s.aborts.mean,
+    );
+    emit_figure(&fig, "fig09_aborts");
+}

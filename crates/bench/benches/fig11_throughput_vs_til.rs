@@ -1,0 +1,27 @@
+//! Figure 11: Throughput vs Transaction Import Limit (TEL held at
+//! constant levels), MPL 4.
+//!
+//! Paper shape: throughput increases with TIL, with the steepest slope
+//! at small-to-medium values (most transactions' imports fall there);
+//! the tail keeps creeping up as the few high-inconsistency
+//! transactions get covered.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    let mut fig = FigureTable::new(
+        "Figure 11: Throughput vs Transaction Import Limit (MPL 4)",
+        "TIL",
+        "throughput (committed txn/s)",
+    );
+    for (tel, label) in scenarios::FIG11_TELS {
+        let mut series = Series::new(label);
+        for til in scenarios::FIG11_TILS {
+            let s = run_point(&scenarios::fig11_scenario(til, tel));
+            series.push(til as f64, s.throughput.mean);
+        }
+        fig.push_series(series);
+    }
+    emit_figure(&fig, "fig11_throughput_vs_til");
+}

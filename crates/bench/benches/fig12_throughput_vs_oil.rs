@@ -1,0 +1,33 @@
+//! Figure 12: Throughput vs Object Import Limit (TIL varies), with OIL
+//! expressed in units of the average write magnitude w̄.
+//!
+//! Paper shape: for low-to-medium TIL the throughput is low at both low
+//! and high OIL and peaks at an *intermediate* OIL — high OIL admits
+//! high-inconsistency reads that blow the transaction budget later,
+//! after more (wasted) operations. For high TIL the curve keeps
+//! saturating.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    let mut fig = FigureTable::new(
+        "Figure 12: Throughput vs Object Import Limit (MPL 5, OIL in units of w̄)",
+        "OIL / w̄",
+        "throughput (committed txn/s)",
+    );
+    for (til, label) in scenarios::FIG12_TILS {
+        let mut series = Series::new(label);
+        for w in scenarios::FIG12_OIL_W {
+            let s = run_point(&scenarios::fig12_scenario(til, w));
+            series.push(w, s.throughput.mean);
+        }
+        fig.push_series(series);
+    }
+    emit_figure(&fig, "fig12_throughput_vs_oil");
+    for s in &fig.series {
+        if let Some(peak) = s.argmax() {
+            println!("peak OIL [{}]: {} w̄", s.label, peak);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 13: Average number of operations per (committed) transaction
+//! vs OIL (TIL varies) — includes the operations executed by aborted
+//! attempts, i.e. the wasted work.
+//!
+//! Paper shape: for high TIL the count keeps decreasing as OIL rises
+//! (fewer object-level aborts); for low TIL it *increases* past a
+//! certain OIL — high-inconsistency operations are let through only for
+//! the transaction bound to kill the transaction later, after more
+//! operations have been executed.
+
+use esr_bench::{emit_figure, run_point, scenarios};
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    let mut fig = FigureTable::new(
+        "Figure 13: Average operations per transaction vs OIL (MPL 5, OIL in units of w̄)",
+        "OIL / w̄",
+        "operations per committed transaction (incl. wasted)",
+    );
+    for (til, label) in scenarios::FIG12_TILS {
+        let mut series = Series::new(label);
+        for w in scenarios::FIG12_OIL_W {
+            let s = run_point(&scenarios::fig12_scenario(til, w));
+            series.push(w, s.ops_per_commit.mean);
+        }
+        fig.push_series(series);
+    }
+    emit_figure(&fig, "fig13_ops_per_txn");
+}

@@ -1,0 +1,113 @@
+//! Criterion microbenches for the kernel's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, SiteId, TxnKind};
+use esr_core::ledger::Ledger;
+use esr_core::spec::TxnBounds;
+use esr_storage::catalog::CatalogConfig;
+use esr_storage::history::HistoryRing;
+use esr_tso::Kernel;
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::new(t, SiteId(0))
+}
+
+fn bench_kernel_ops(c: &mut Criterion) {
+    let table = CatalogConfig {
+        n_objects: 1_000,
+        ..CatalogConfig::default()
+    }
+    .build();
+    let kernel = Kernel::with_defaults(table);
+    let mut clock = 1u64;
+
+    c.bench_function("kernel/update_rmw_commit", |b| {
+        b.iter(|| {
+            clock += 1;
+            let u = kernel.begin(
+                TxnKind::Update,
+                TxnBounds::export(Limit::Unlimited),
+                ts(clock),
+            );
+            let obj = ObjectId((clock % 1000) as u32);
+            let v = match kernel.read(u, obj).unwrap().outcome {
+                esr_tso::OpOutcome::Value(v) => v,
+                other => panic!("{other:?}"),
+            };
+            let _ = kernel.write(u, obj, v + 1).unwrap();
+            kernel.commit(u).unwrap()
+        })
+    });
+
+    c.bench_function("kernel/query_20_reads_commit", |b| {
+        b.iter(|| {
+            clock += 1;
+            let q = kernel.begin(
+                TxnKind::Query,
+                TxnBounds::import(Limit::Unlimited),
+                ts(clock),
+            );
+            for i in 0..20u32 {
+                let _ = kernel.read(q, ObjectId(i)).unwrap();
+            }
+            kernel.commit(q).unwrap()
+        })
+    });
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    let two_level = HierarchySchema::two_level();
+    let mut b5 = HierarchySchema::builder();
+    let mut parent = esr_core::hierarchy::NodeId::ROOT;
+    for depth in 0..4 {
+        parent = b5.subgroup(parent, &format!("g{depth}"));
+    }
+    b5.attach(ObjectId(0), parent);
+    let five_level = b5.build();
+
+    c.bench_function("ledger/charge_two_level", |b| {
+        b.iter_batched(
+            || Ledger::new(&two_level, &TxnBounds::import(Limit::Unlimited)),
+            |mut l| {
+                for i in 0..20u32 {
+                    l.try_charge(ObjectId(i), 10, Limit::Unlimited).unwrap();
+                }
+                l
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("ledger/charge_five_level", |b| {
+        b.iter_batched(
+            || Ledger::new(&five_level, &TxnBounds::import(Limit::Unlimited)),
+            |mut l| {
+                for _ in 0..20 {
+                    l.try_charge(ObjectId(0), 10, Limit::Unlimited).unwrap();
+                }
+                l
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut ring = HistoryRing::new(20, 5_000);
+    for i in 1..=20u64 {
+        ring.push(ts(i * 10), 5_000 + i as i64);
+    }
+    c.bench_function("history/proper_value_lookup", |b| {
+        b.iter(|| ring.proper_value_at(ts(105)))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernel_ops, bench_ledger, bench_history
+);
+criterion_main!(micro);

@@ -1,0 +1,36 @@
+//! Criterion microbenches for the transaction-language front-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esr_txn::{parse_program, printer::program_to_string};
+
+const UPDATE_SRC: &str = "\
+BEGIN Update TEL = 10000
+t1 = Read 1923
+t2 = Read 1644
+Write 1078 , t2+3000
+t3 = Read 1066
+t4 = Read 1213
+Write 1727 , t3-t4+4230
+Write 1501 , t1+t4+7935
+COMMIT
+";
+
+fn bench_language(c: &mut Criterion) {
+    c.bench_function("language/parse_update", |b| {
+        b.iter(|| parse_program(UPDATE_SRC).unwrap())
+    });
+    let prog = parse_program(UPDATE_SRC).unwrap();
+    c.bench_function("language/print_update", |b| {
+        b.iter(|| program_to_string(&prog))
+    });
+    c.bench_function("language/round_trip", |b| {
+        b.iter(|| parse_program(&program_to_string(&prog)).unwrap())
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_language
+);
+criterion_main!(micro);

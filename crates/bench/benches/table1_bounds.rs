@@ -1,0 +1,21 @@
+//! Table 1 (§7): the TIL/TEL magnitudes of the four bound levels.
+
+use esr_core::bounds::EpsilonPreset;
+
+fn main() {
+    println!("Table 1 (§7): inconsistency bound levels\n");
+    println!("{:<20} {:>10} {:>10}", "Level", "TIL", "TEL");
+    println!("{}", "-".repeat(42));
+    for preset in EpsilonPreset::ALL.iter().rev() {
+        println!(
+            "{:<20} {:>10} {:>10}",
+            preset.label(),
+            preset.til().to_string(),
+            preset.tel().to_string()
+        );
+    }
+    println!(
+        "\nTEL values sit below TIL because query ETs have ~20 operations\n\
+         while update ETs have ~6 (§7)."
+    );
+}

@@ -1,0 +1,109 @@
+//! Regenerate every table and figure in one go:
+//! `cargo run -p esr-bench --release --bin figures`
+//!
+//! Identical to running each `cargo bench` target; artifacts land in
+//! `target/figures/`.
+
+use esr_bench::{emit_figure, run_point, scenarios, sweep_mpl, thrashing_point};
+use esr_core::bounds::EpsilonPreset;
+use esr_metrics::{FigureTable, Series};
+
+fn main() {
+    println!("== Table 1: bound levels ==\n");
+    println!("{:<20} {:>10} {:>10}", "Level", "TIL", "TEL");
+    for preset in EpsilonPreset::ALL.iter().rev() {
+        println!(
+            "{:<20} {:>10} {:>10}",
+            preset.label(),
+            preset.til().to_string(),
+            preset.tel().to_string()
+        );
+    }
+    println!();
+
+    let fig7 = sweep_mpl(
+        "Figure 7: Throughput vs Multiprogramming Level",
+        "throughput (committed txn/s)",
+        &EpsilonPreset::ALL,
+        |s| s.throughput.mean,
+    );
+    emit_figure(&fig7, "fig07_throughput_vs_mpl");
+    for preset in EpsilonPreset::ALL {
+        if let Some(mpl) = thrashing_point(&fig7, preset.label()) {
+            println!("thrashing point [{}]: MPL {}", preset.label(), mpl);
+        }
+    }
+    println!();
+
+    emit_figure(
+        &sweep_mpl(
+            "Figure 8: Successful Inconsistent Operations vs MPL",
+            "inconsistent operations admitted",
+            &EpsilonPreset::NON_ZERO,
+            |s| s.inconsistent_ops.mean,
+        ),
+        "fig08_inconsistent_ops",
+    );
+
+    emit_figure(
+        &sweep_mpl(
+            "Figure 9: Number of Aborts vs MPL",
+            "aborts / retries",
+            &EpsilonPreset::ALL,
+            |s| s.aborts.mean,
+        ),
+        "fig09_aborts",
+    );
+
+    // See the fig10 bench header: fixed-window measurement makes
+    // "operations per 100 committed transactions" the faithful analogue
+    // of the paper's fixed-batch operation counts.
+    emit_figure(
+        &sweep_mpl(
+            "Figure 10: Number of Operations (R+W) vs MPL",
+            "operations executed per 100 committed transactions",
+            &EpsilonPreset::ALL,
+            |s| s.ops_per_commit.mean * 100.0,
+        ),
+        "fig10_operations",
+    );
+
+    let mut fig11 = FigureTable::new(
+        "Figure 11: Throughput vs Transaction Import Limit (MPL 4)",
+        "TIL",
+        "throughput (committed txn/s)",
+    );
+    for (tel, label) in scenarios::FIG11_TELS {
+        let mut series = Series::new(label);
+        for til in scenarios::FIG11_TILS {
+            let s = run_point(&scenarios::fig11_scenario(til, tel));
+            series.push(til as f64, s.throughput.mean);
+        }
+        fig11.push_series(series);
+    }
+    emit_figure(&fig11, "fig11_throughput_vs_til");
+
+    let mut fig12 = FigureTable::new(
+        "Figure 12: Throughput vs Object Import Limit (MPL 5, OIL in units of w̄)",
+        "OIL / w̄",
+        "throughput (committed txn/s)",
+    );
+    let mut fig13 = FigureTable::new(
+        "Figure 13: Average operations per transaction vs OIL (MPL 5)",
+        "OIL / w̄",
+        "operations per committed transaction (incl. wasted)",
+    );
+    for (til, label) in scenarios::FIG12_TILS {
+        let mut thr = Series::new(label);
+        let mut opc = Series::new(label);
+        for w in scenarios::FIG12_OIL_W {
+            let s = run_point(&scenarios::fig12_scenario(til, w));
+            thr.push(w, s.throughput.mean);
+            opc.push(w, s.ops_per_commit.mean);
+        }
+        fig12.push_series(thr);
+        fig13.push_series(opc);
+    }
+    emit_figure(&fig12, "fig12_throughput_vs_oil");
+    emit_figure(&fig13, "fig13_ops_per_txn");
+}

@@ -1,0 +1,68 @@
+//! Experiment runners shared by the figure benches.
+
+use crate::scenarios::{self, REPS};
+use esr_core::bounds::EpsilonPreset;
+use esr_metrics::{FigureTable, Series};
+use esr_sim::{repeat, ExperimentSummary, SimConfig};
+
+/// Run one configuration with the standard repetition count.
+pub fn run_point(cfg: &SimConfig) -> ExperimentSummary {
+    repeat(cfg, REPS)
+}
+
+/// Sweep MPL 1..=10 for each preset and extract one metric per point —
+/// the common engine of Figures 7–10.
+pub fn sweep_mpl(
+    title: &str,
+    y_label: &str,
+    presets: &[EpsilonPreset],
+    extract: impl Fn(&ExperimentSummary) -> f64,
+) -> FigureTable {
+    let mut fig = FigureTable::new(title, "MPL", y_label);
+    for &preset in presets {
+        let mut series = Series::new(preset.label());
+        for mpl in scenarios::MPLS {
+            let summary = run_point(&scenarios::mpl_scenario(mpl, preset));
+            series.push(mpl as f64, extract(&summary));
+        }
+        fig.push_series(series);
+    }
+    fig
+}
+
+/// The MPL at which a series peaks — the thrashing point of §7 ("the
+/// MPL where the throughput begins to drop").
+pub fn thrashing_point(fig: &FigureTable, label: &str) -> Option<f64> {
+    fig.series
+        .iter()
+        .find(|s| s.label == label)
+        .and_then(Series::argmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::bounds::EpsilonPreset;
+
+    #[test]
+    fn run_point_repeats() {
+        let mut cfg = scenarios::mpl_scenario(2, EpsilonPreset::High);
+        cfg.measure_micros = 3_000_000;
+        cfg.warmup_micros = 200_000;
+        let s = run_point(&cfg);
+        assert_eq!(s.repetitions, REPS);
+        assert!(s.throughput.mean > 0.0);
+    }
+
+    #[test]
+    fn thrashing_point_finds_argmax() {
+        let mut fig = FigureTable::new("t", "x", "y");
+        let mut s = Series::new("a");
+        s.push(1.0, 5.0);
+        s.push(2.0, 9.0);
+        s.push(3.0, 4.0);
+        fig.push_series(s);
+        assert_eq!(thrashing_point(&fig, "a"), Some(2.0));
+        assert_eq!(thrashing_point(&fig, "missing"), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! The correction factor that achieves "virtual clock synchronization".
+//!
+//! The paper's client sites had clocks up to two minutes apart. To give
+//! every site's timestamps fair treatment, each site applies a correction
+//! factor to its local reading (§6). The factor is estimated the way a
+//! deployment would: the client exchanges a time reading with the
+//! reference (the server), halves the round trip to approximate the
+//! one-way delay, and records the difference.
+
+use crate::source::TimeSource;
+use serde::{Deserialize, Serialize};
+
+/// A signed correction, in microseconds, added to a site's raw clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrectionFactor {
+    /// Microseconds to add to the local reading (negative for fast
+    /// clocks).
+    pub offset_micros: i64,
+}
+
+impl CorrectionFactor {
+    /// No correction.
+    pub const IDENTITY: CorrectionFactor = CorrectionFactor { offset_micros: 0 };
+
+    /// Construct from a known offset.
+    pub fn from_offset(offset_micros: i64) -> Self {
+        CorrectionFactor { offset_micros }
+    }
+
+    /// Estimate the correction for `local` against `reference` with a
+    /// Cristian-style exchange.
+    ///
+    /// `round_trip_micros` is the measured request/response latency of
+    /// the exchange (on the *reference* clock); the reference reading is
+    /// assumed to have been taken mid-flight, so half the round trip is
+    /// added. With a zero round trip this degenerates to
+    /// `reference - local`.
+    pub fn estimate<L, R>(local: &L, reference: &R, round_trip_micros: u64) -> Self
+    where
+        L: TimeSource + ?Sized,
+        R: TimeSource + ?Sized,
+    {
+        let local_now = local.raw_micros() as i64;
+        let ref_now = reference.raw_micros() as i64 + (round_trip_micros / 2) as i64;
+        CorrectionFactor {
+            offset_micros: ref_now - local_now,
+        }
+    }
+
+    /// Apply the correction to a raw reading, saturating at zero.
+    #[inline]
+    pub fn apply(self, raw_micros: u64) -> u64 {
+        raw_micros.saturating_add_signed(self.offset_micros)
+    }
+
+    /// Estimate repeatedly and keep the sample taken over the shortest
+    /// observed exchange (classic Cristian refinement): preemption
+    /// between the two clock reads inflates a single sample's error
+    /// arbitrarily, but the minimum-span sample bounds it by the
+    /// shortest span seen.
+    pub fn estimate_best_of<L, R>(local: &L, reference: &R, samples: usize) -> Self
+    where
+        L: TimeSource + ?Sized,
+        R: TimeSource + ?Sized,
+    {
+        assert!(samples >= 1, "need at least one sample");
+        let mut best: Option<(u64, CorrectionFactor)> = None;
+        for _ in 0..samples {
+            let before = reference.raw_micros();
+            let cf = CorrectionFactor::estimate(local, reference, 0);
+            let span = reference.raw_micros().saturating_sub(before);
+            if best.is_none_or(|(s, _)| span < s) {
+                best = Some((span, cf));
+            }
+        }
+        best.expect("samples >= 1").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ManualTimeSource, SkewedSource};
+
+    #[test]
+    fn identity_changes_nothing() {
+        assert_eq!(CorrectionFactor::IDENTITY.apply(123), 123);
+    }
+
+    #[test]
+    fn estimate_recovers_skew_exactly_with_zero_rtt() {
+        let reference = ManualTimeSource::starting_at(1_000_000);
+        // Site clock is 120 s fast (the paper's two-minute extreme).
+        let site = SkewedSource::new(reference.clone(), 120_000_000);
+        let cf = CorrectionFactor::estimate(&site, &reference, 0);
+        assert_eq!(cf.offset_micros, -120_000_000);
+        // After correction the site reads reference time.
+        assert_eq!(cf.apply(site.raw_micros()), reference.raw_micros());
+    }
+
+    #[test]
+    fn estimate_compensates_slow_clocks() {
+        let reference = ManualTimeSource::starting_at(5_000_000);
+        let site = SkewedSource::new(reference.clone(), -3_000_000);
+        let cf = CorrectionFactor::estimate(&site, &reference, 0);
+        assert_eq!(cf.offset_micros, 3_000_000);
+        assert_eq!(cf.apply(site.raw_micros()), reference.raw_micros());
+    }
+
+    #[test]
+    fn round_trip_shifts_estimate_by_half() {
+        let reference = ManualTimeSource::starting_at(1_000);
+        let site = ManualTimeSource::starting_at(1_000);
+        let cf = CorrectionFactor::estimate(&site, &reference, 200);
+        assert_eq!(cf.offset_micros, 100);
+    }
+
+    #[test]
+    fn apply_saturates() {
+        let cf = CorrectionFactor::from_offset(-10_000);
+        assert_eq!(cf.apply(5), 0);
+        let cf = CorrectionFactor::from_offset(10);
+        assert_eq!(cf.apply(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn corrected_sites_agree_within_round_trip() {
+        // Several sites with random-ish skews all correct to within the
+        // exchange round trip of each other.
+        let reference = ManualTimeSource::starting_at(10_000_000);
+        let skews = [-120_000_000i64, -5_000, 0, 7_777, 90_000_000];
+        let rtt = 20_000; // 20 ms, the paper's RPC ballpark
+        let corrected: Vec<u64> = skews
+            .iter()
+            .map(|&sk| {
+                let site = SkewedSource::new(reference.clone(), sk);
+                let cf = CorrectionFactor::estimate(&site, &reference, rtt);
+                cf.apply(site.raw_micros())
+            })
+            .collect();
+        let min = *corrected.iter().min().unwrap();
+        let max = *corrected.iter().max().unwrap();
+        assert!(max - min <= rtt, "spread {} > rtt {rtt}", max - min);
+    }
+}

@@ -1,0 +1,35 @@
+//! # esr-clock — timestamps for timestamp-ordering ESR
+//!
+//! §6 of the paper: *"In implementing a time stamp ordered mechanism, one
+//! of the important functions is the generation of timestamps. As there
+//! was a two minute range of variation between the local system clocks of
+//! the different client sites, to ensure that the timestamps from all the
+//! sites are given a fair treatment, a correction factor was applied to
+//! the local time to achieve virtual clock synchronization. Also to
+//! ensure that the timestamps were unique, we used the standard technique
+//! of appending the site-id's to the timestamp."*
+//!
+//! This crate reproduces all three mechanisms:
+//!
+//! * [`Timestamp`] — a `(ticks, site)` pair ordered lexicographically, so
+//!   appending the site id breaks ties and makes timestamps globally
+//!   unique;
+//! * [`TimeSource`] — where raw ticks come from: the OS clock
+//!   ([`SystemTimeSource`]), a manually-driven clock for deterministic
+//!   simulation ([`ManualTimeSource`]), or a [`SkewedSource`] wrapper that
+//!   reproduces the paper's inter-site clock skew;
+//! * [`correction`] — the correction-factor estimation that brings a
+//!   skewed site clock into *virtual synchrony* with a reference;
+//! * [`TimestampGenerator`] — per-site generator that applies the
+//!   correction factor, enforces strict per-site monotonicity, and stamps
+//!   the site id.
+
+pub mod correction;
+pub mod generator;
+pub mod source;
+pub mod timestamp;
+
+pub use correction::CorrectionFactor;
+pub use generator::TimestampGenerator;
+pub use source::{ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource};
+pub use timestamp::Timestamp;

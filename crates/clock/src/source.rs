@@ -1,0 +1,179 @@
+//! Raw tick sources: where a site's local clock reading comes from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of raw (uncorrected) local clock ticks, in microseconds.
+///
+/// Implementations must be cheap and thread-safe; monotonicity is *not*
+/// required here (the generator enforces it), though the provided
+/// sources happen to be monotone.
+pub trait TimeSource: Send + Sync {
+    /// Current raw local time in microseconds.
+    fn raw_micros(&self) -> u64;
+}
+
+/// Wall-clock-backed source: microseconds since the source was created.
+///
+/// Uses [`Instant`] rather than `SystemTime` so the reading is monotone
+/// even across NTP adjustments of the host.
+#[derive(Debug)]
+pub struct SystemTimeSource {
+    origin: Instant,
+}
+
+impl SystemTimeSource {
+    /// A source whose epoch is "now".
+    pub fn new() -> Self {
+        SystemTimeSource {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemTimeSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for SystemTimeSource {
+    fn raw_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually-driven clock for deterministic simulation.
+///
+/// The discrete-event simulator advances this source as virtual time
+/// progresses; every clone observes the same instant.
+#[derive(Debug, Clone, Default)]
+pub struct ManualTimeSource {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualTimeSource {
+    /// A source starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A source starting at the given microsecond.
+    pub fn starting_at(micros: u64) -> Self {
+        let s = Self::new();
+        s.set(micros);
+        s
+    }
+
+    /// Set the current virtual time. Monotonicity is the caller's
+    /// responsibility (the simulator's event loop never goes backwards).
+    pub fn set(&self, micros: u64) {
+        self.now.store(micros, Ordering::Release);
+    }
+
+    /// Advance by a delta, returning the new time.
+    pub fn advance(&self, delta_micros: u64) -> u64 {
+        self.now.fetch_add(delta_micros, Ordering::AcqRel) + delta_micros
+    }
+}
+
+impl TimeSource for ManualTimeSource {
+    fn raw_micros(&self) -> u64 {
+        self.now.load(Ordering::Acquire)
+    }
+}
+
+/// A site clock that runs fast or slow relative to an underlying source.
+///
+/// Reproduces the paper's "two minute range of variation between the
+/// local system clocks of the different client sites": each client wraps
+/// the shared source in a `SkewedSource` with its own offset.
+#[derive(Debug, Clone)]
+pub struct SkewedSource<S> {
+    inner: S,
+    /// Signed offset in microseconds added to every reading.
+    offset: i64,
+}
+
+impl<S: TimeSource> SkewedSource<S> {
+    /// Wrap `inner`, adding `offset_micros` (may be negative) to every
+    /// reading. Readings saturate at zero rather than underflowing.
+    pub fn new(inner: S, offset_micros: i64) -> Self {
+        SkewedSource {
+            inner,
+            offset: offset_micros,
+        }
+    }
+
+    /// The configured skew.
+    pub fn offset_micros(&self) -> i64 {
+        self.offset
+    }
+}
+
+impl<S: TimeSource> TimeSource for SkewedSource<S> {
+    fn raw_micros(&self) -> u64 {
+        let raw = self.inner.raw_micros();
+        raw.saturating_add_signed(self.offset)
+    }
+}
+
+impl<T: TimeSource + ?Sized> TimeSource for Arc<T> {
+    fn raw_micros(&self) -> u64 {
+        (**self).raw_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_source_is_monotone_nondecreasing() {
+        let s = SystemTimeSource::new();
+        let a = s.raw_micros();
+        let b = s.raw_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_source_is_settable_and_shared() {
+        let s = ManualTimeSource::new();
+        let s2 = s.clone();
+        assert_eq!(s.raw_micros(), 0);
+        s.set(100);
+        assert_eq!(s2.raw_micros(), 100);
+        assert_eq!(s2.advance(50), 150);
+        assert_eq!(s.raw_micros(), 150);
+    }
+
+    #[test]
+    fn starting_at_initialises() {
+        let s = ManualTimeSource::starting_at(42);
+        assert_eq!(s.raw_micros(), 42);
+    }
+
+    #[test]
+    fn skewed_source_applies_offset() {
+        let base = ManualTimeSource::starting_at(1_000);
+        let fast = SkewedSource::new(base.clone(), 500);
+        let slow = SkewedSource::new(base.clone(), -300);
+        assert_eq!(fast.raw_micros(), 1_500);
+        assert_eq!(slow.raw_micros(), 700);
+        assert_eq!(fast.offset_micros(), 500);
+    }
+
+    #[test]
+    fn negative_skew_saturates_at_zero() {
+        let base = ManualTimeSource::starting_at(100);
+        let slow = SkewedSource::new(base, -1_000);
+        assert_eq!(slow.raw_micros(), 0);
+    }
+
+    #[test]
+    fn arc_sources_work() {
+        let s: Arc<dyn TimeSource> = Arc::new(ManualTimeSource::starting_at(7));
+        assert_eq!(s.raw_micros(), 7);
+    }
+}

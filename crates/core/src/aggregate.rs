@@ -1,0 +1,416 @@
+//! Inconsistency of aggregate query results beyond `sum` (§5.3.2).
+//!
+//! The dynamic per-read accounting of [`crate::ledger`] is exact for
+//! queries that *sum* the values they read: each read contributes its own
+//! `d` and the result's inconsistency is the accumulated total. For other
+//! aggregates — the paper works through `average` — the result's
+//! inconsistency depends on the *spread* of values viewed: the mechanism
+//! maintains, per object, the minimum and maximum values viewed by the
+//! transaction's reads, and when the aggregate is evaluated computes
+//! `min_result`/`max_result` from those ranges. The
+//! `result_inconsistency` is half the difference between them, and it is
+//! compared against the TIL *at aggregate-evaluation time* (rather than
+//! dynamically at each read).
+//!
+//! One refinement over the paper's sketch: [`AggregateTracker::record`]
+//! also folds each read's *proper* value into the range, so a single
+//! stale read still contributes its divergence. The paper tracks only
+//! viewed values because it assumes objects are read several times; with
+//! proper values included the mechanism subsumes the single-read case.
+
+use crate::bounds::Limit;
+use crate::error::{BoundViolation, ViolationLevel};
+use crate::ids::ObjectId;
+use crate::value::{Distance, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The aggregate a query computes over the values it reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Sum of all values (the paper's evaluation uses only this).
+    Sum,
+    /// Arithmetic mean (§5.3.2's worked example).
+    Average,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Number of objects read — exact regardless of inconsistency.
+    Count,
+}
+
+/// Per-object range of values observed by a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewRange {
+    /// Smallest value this transaction has associated with the object.
+    pub min: Value,
+    /// Largest value this transaction has associated with the object.
+    pub max: Value,
+}
+
+impl ViewRange {
+    fn point(v: Value) -> Self {
+        ViewRange { min: v, max: v }
+    }
+
+    fn widen(&mut self, v: Value) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Tracks min/max viewed values per object for one query transaction.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateTracker {
+    ranges: BTreeMap<ObjectId, ViewRange>,
+}
+
+/// The interval an aggregate result is guaranteed to lie in, plus its
+/// half-width inconsistency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResultBounds {
+    /// Smallest possible consistent-ish result.
+    pub min_result: f64,
+    /// Largest possible result.
+    pub max_result: f64,
+    /// Half the spread, rounded up to an integral distance — the
+    /// `result_inconsistency` of §5.3.2.
+    pub inconsistency: Distance,
+}
+
+impl AggregateTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one read of `obj` that viewed `value`.
+    pub fn record(&mut self, obj: ObjectId, value: Value) {
+        self.ranges
+            .entry(obj)
+            .and_modify(|r| r.widen(value))
+            .or_insert_with(|| ViewRange::point(value));
+    }
+
+    /// Record one read of `obj` that viewed `value` whose *proper* value
+    /// (the value a serial execution would have returned, §3.2.1) was
+    /// `proper`. Folding the proper value in makes single stale reads
+    /// contribute their divergence to the spread.
+    pub fn record_with_proper(&mut self, obj: ObjectId, value: Value, proper: Value) {
+        self.record(obj, value);
+        self.record(obj, proper);
+    }
+
+    /// Number of distinct objects observed.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Has anything been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The observed range for an object, if it was read.
+    pub fn range(&self, obj: ObjectId) -> Option<ViewRange> {
+        self.ranges.get(&obj).copied()
+    }
+
+    /// Compute the result interval for an aggregate over everything
+    /// recorded so far.
+    ///
+    /// Returns `None` for `Min`/`Max`/`Average` over an empty tracker
+    /// (the aggregates are undefined); `Sum` and `Count` of nothing are
+    /// well-defined zeroes.
+    pub fn result_bounds(&self, kind: AggregateKind) -> Option<ResultBounds> {
+        let n = self.ranges.len();
+        match kind {
+            AggregateKind::Count => Some(ResultBounds {
+                min_result: n as f64,
+                max_result: n as f64,
+                inconsistency: 0,
+            }),
+            AggregateKind::Sum => {
+                let (lo, hi) = self.ranges.values().fold(
+                    (0i128, 0i128),
+                    |(lo, hi), r| (lo + r.min as i128, hi + r.max as i128),
+                );
+                Some(Self::bounds_from(lo as f64, hi as f64, lo, hi))
+            }
+            AggregateKind::Average => {
+                if n == 0 {
+                    return None;
+                }
+                let (lo, hi) = self.ranges.values().fold(
+                    (0i128, 0i128),
+                    |(lo, hi), r| (lo + r.min as i128, hi + r.max as i128),
+                );
+                let min_r = lo as f64 / n as f64;
+                let max_r = hi as f64 / n as f64;
+                // Integral half-width: ceil((hi - lo) / (2n)).
+                let spread = (hi - lo) as u128;
+                let half = spread.div_ceil(2 * n as u128);
+                Some(ResultBounds {
+                    min_result: min_r,
+                    max_result: max_r,
+                    inconsistency: u128_to_distance(half),
+                })
+            }
+            AggregateKind::Min => {
+                let lo = self.ranges.values().map(|r| r.min).min()? as i128;
+                let hi = self.ranges.values().map(|r| r.max).min()? as i128;
+                Some(Self::bounds_from(lo as f64, hi as f64, lo, hi))
+            }
+            AggregateKind::Max => {
+                let lo = self.ranges.values().map(|r| r.min).max()? as i128;
+                let hi = self.ranges.values().map(|r| r.max).max()? as i128;
+                Some(Self::bounds_from(lo as f64, hi as f64, lo, hi))
+            }
+        }
+    }
+
+    fn bounds_from(min_f: f64, max_f: f64, lo: i128, hi: i128) -> ResultBounds {
+        let spread = (hi - lo).unsigned_abs();
+        ResultBounds {
+            min_result: min_f,
+            max_result: max_f,
+            inconsistency: u128_to_distance(spread.div_ceil(2)),
+        }
+    }
+
+    /// §5.3.2's admission decision: evaluate the aggregate's
+    /// `result_inconsistency` and compare it with the transaction import
+    /// limit. `Err` means the aggregate operation must be rejected and
+    /// the transaction aborted.
+    pub fn check_result(
+        &self,
+        kind: AggregateKind,
+        til: Limit,
+    ) -> Result<ResultBounds, BoundViolation> {
+        let bounds = self.result_bounds(kind).unwrap_or(ResultBounds {
+            min_result: 0.0,
+            max_result: 0.0,
+            inconsistency: 0,
+        });
+        if til.allows(bounds.inconsistency) {
+            Ok(bounds)
+        } else {
+            Err(BoundViolation {
+                level: ViolationLevel::Transaction,
+                limit: til,
+                attempted: bounds.inconsistency,
+            })
+        }
+    }
+}
+
+fn u128_to_distance(v: u128) -> Distance {
+    v.min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn consistent_views_have_zero_inconsistency() {
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 100);
+        t.record(ObjectId(1), 200);
+        for kind in [
+            AggregateKind::Sum,
+            AggregateKind::Average,
+            AggregateKind::Min,
+            AggregateKind::Max,
+            AggregateKind::Count,
+        ] {
+            let b = t.result_bounds(kind).unwrap();
+            assert_eq!(b.inconsistency, 0, "{kind:?}");
+            assert_eq!(b.min_result, b.max_result, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_reads_widen_ranges() {
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 100);
+        t.record(ObjectId(0), 140); // second read saw a newer value
+        assert_eq!(
+            t.range(ObjectId(0)),
+            Some(ViewRange { min: 100, max: 140 })
+        );
+        let sum = t.result_bounds(AggregateKind::Sum).unwrap();
+        assert_eq!(sum.min_result, 100.0);
+        assert_eq!(sum.max_result, 140.0);
+        assert_eq!(sum.inconsistency, 20);
+    }
+
+    #[test]
+    fn average_follows_paper_formula() {
+        // Two objects: o0 viewed in [100, 140], o1 viewed at exactly 60.
+        // min_result = (100 + 60)/2 = 80; max_result = (140 + 60)/2 = 100;
+        // result_inconsistency = (100 - 80)/2 = 10.
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 100);
+        t.record(ObjectId(0), 140);
+        t.record(ObjectId(1), 60);
+        let avg = t.result_bounds(AggregateKind::Average).unwrap();
+        assert_eq!(avg.min_result, 80.0);
+        assert_eq!(avg.max_result, 100.0);
+        assert_eq!(avg.inconsistency, 10);
+    }
+
+    #[test]
+    fn average_half_width_rounds_up() {
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 0);
+        t.record(ObjectId(0), 1);
+        t.record(ObjectId(1), 0);
+        t.record(ObjectId(2), 0);
+        // spread = 1 over n = 3 ⇒ half-width = ceil(1/6) = 1.
+        let avg = t.result_bounds(AggregateKind::Average).unwrap();
+        assert_eq!(avg.inconsistency, 1);
+    }
+
+    #[test]
+    fn min_max_aggregates() {
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 10);
+        t.record(ObjectId(0), 30);
+        t.record(ObjectId(1), 25);
+        let min = t.result_bounds(AggregateKind::Min).unwrap();
+        // true min is somewhere in [min(10,25), min(30,25)] = [10, 25]
+        assert_eq!(min.min_result, 10.0);
+        assert_eq!(min.max_result, 25.0);
+        assert_eq!(min.inconsistency, 8); // ceil(15/2)
+        let max = t.result_bounds(AggregateKind::Max).unwrap();
+        // true max in [max(10,25), max(30,25)] = [25, 30]
+        assert_eq!(max.min_result, 25.0);
+        assert_eq!(max.max_result, 30.0);
+        assert_eq!(max.inconsistency, 3); // ceil(5/2)
+    }
+
+    #[test]
+    fn count_is_exact() {
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 10);
+        t.record(ObjectId(0), 99999);
+        t.record(ObjectId(1), -5);
+        let c = t.result_bounds(AggregateKind::Count).unwrap();
+        assert_eq!(c.min_result, 2.0);
+        assert_eq!(c.inconsistency, 0);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = AggregateTracker::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.result_bounds(AggregateKind::Average).is_none());
+        assert!(t.result_bounds(AggregateKind::Min).is_none());
+        assert!(t.result_bounds(AggregateKind::Max).is_none());
+        let s = t.result_bounds(AggregateKind::Sum).unwrap();
+        assert_eq!(s.inconsistency, 0);
+        // check_result of an undefined aggregate treats it as exact.
+        assert!(t.check_result(AggregateKind::Average, Limit::ZERO).is_ok());
+    }
+
+    #[test]
+    fn record_with_proper_captures_staleness() {
+        let mut t = AggregateTracker::new();
+        // Single read viewed 150 but the proper value was 100.
+        t.record_with_proper(ObjectId(0), 150, 100);
+        let s = t.result_bounds(AggregateKind::Sum).unwrap();
+        assert_eq!(s.inconsistency, 25); // half of |150-100|
+    }
+
+    #[test]
+    fn check_result_enforces_til() {
+        let mut t = AggregateTracker::new();
+        t.record(ObjectId(0), 0);
+        t.record(ObjectId(0), 100);
+        // Sum inconsistency = 50.
+        assert!(t.check_result(AggregateKind::Sum, Limit::at_most(50)).is_ok());
+        let err = t
+            .check_result(AggregateKind::Sum, Limit::at_most(49))
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Transaction);
+        assert_eq!(err.attempted, 50);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut t = AggregateTracker::new();
+        for i in 0..4 {
+            t.record(ObjectId(i), i64::MIN);
+            t.record(ObjectId(i), i64::MAX);
+        }
+        let s = t.result_bounds(AggregateKind::Sum).unwrap();
+        assert_eq!(s.inconsistency, u64::MAX); // clamped
+    }
+
+    proptest! {
+        /// The true aggregate of any per-object selection of viewed
+        /// values lies within the reported interval.
+        #[test]
+        fn prop_interval_covers_selections(
+            views in proptest::collection::vec(
+                (0u32..6, -10_000i64..10_000),
+                1..40,
+            ),
+        ) {
+            let mut t = AggregateTracker::new();
+            for (obj, v) in &views {
+                t.record(ObjectId(*obj), *v);
+            }
+            // One arbitrary selection: the first view of each object.
+            use std::collections::BTreeMap;
+            let mut pick: BTreeMap<u32, i64> = BTreeMap::new();
+            for (obj, v) in &views {
+                pick.entry(*obj).or_insert(*v);
+            }
+            let vals: Vec<i64> = pick.values().copied().collect();
+            let sum: i64 = vals.iter().sum();
+            let b = t.result_bounds(AggregateKind::Sum).unwrap();
+            prop_assert!((sum as f64) >= b.min_result);
+            prop_assert!((sum as f64) <= b.max_result);
+
+            let avg = sum as f64 / vals.len() as f64;
+            let b = t.result_bounds(AggregateKind::Average).unwrap();
+            prop_assert!(avg >= b.min_result - 1e-9);
+            prop_assert!(avg <= b.max_result + 1e-9);
+
+            let mn = *vals.iter().min().unwrap() as f64;
+            let b = t.result_bounds(AggregateKind::Min).unwrap();
+            prop_assert!(mn >= b.min_result && mn <= b.max_result);
+
+            let mx = *vals.iter().max().unwrap() as f64;
+            let b = t.result_bounds(AggregateKind::Max).unwrap();
+            prop_assert!(mx >= b.min_result && mx <= b.max_result);
+        }
+
+        /// Half-width is never larger than the full spread and the
+        /// interval is well-ordered.
+        #[test]
+        fn prop_bounds_well_formed(
+            views in proptest::collection::vec(
+                (0u32..4, -1_000i64..1_000),
+                1..20,
+            ),
+        ) {
+            let mut t = AggregateTracker::new();
+            for (obj, v) in &views {
+                t.record(ObjectId(*obj), *v);
+            }
+            for kind in [AggregateKind::Sum, AggregateKind::Average,
+                         AggregateKind::Min, AggregateKind::Max] {
+                let b = t.result_bounds(kind).unwrap();
+                prop_assert!(b.min_result <= b.max_result);
+                let spread = b.max_result - b.min_result;
+                prop_assert!((b.inconsistency as f64) <= spread / 2.0 + 1.0);
+            }
+        }
+    }
+}

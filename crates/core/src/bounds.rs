@@ -1,0 +1,245 @@
+//! Inconsistency limits and the paper's TIL/TEL presets.
+//!
+//! A [`Limit`] is the maximum inconsistency (a metric-space distance, §2)
+//! tolerated at some node of the specification hierarchy: TIL/TEL at the
+//! transaction root, GIL/GEL at interior groups, OIL/OEL at objects.
+//! `Limit::ZERO` recovers classic serializability; `Limit::unlimited()`
+//! effectively disables a level (the paper holds OIL/OEL "at high values"
+//! for the MPL experiments so they do not affect the results, §7).
+
+use crate::value::Distance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inconsistency bound.
+///
+/// Internally `Finite(0)` is SR and `Unlimited` admits any inconsistency.
+/// `Limit` is ordered: `Finite(a) < Finite(b)` iff `a < b`, and
+/// `Unlimited` is greater than every finite limit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Limit {
+    /// At most this much inconsistency may accumulate.
+    Finite(Distance),
+    /// No bound (checks at this level always pass).
+    Unlimited,
+}
+
+impl Limit {
+    /// The SR limit: no inconsistency tolerated.
+    pub const ZERO: Limit = Limit::Finite(0);
+
+    /// A finite limit.
+    #[inline]
+    pub const fn at_most(d: Distance) -> Self {
+        Limit::Finite(d)
+    }
+
+    /// No limit.
+    #[inline]
+    pub const fn unlimited() -> Self {
+        Limit::Unlimited
+    }
+
+    /// Does a total accumulation of `total` satisfy this limit?
+    #[inline]
+    pub fn allows(self, total: Distance) -> bool {
+        match self {
+            Limit::Finite(max) => total <= max,
+            Limit::Unlimited => true,
+        }
+    }
+
+    /// Is this the SR (zero) limit?
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Limit::ZERO
+    }
+
+    /// The finite value, if any.
+    #[inline]
+    pub fn finite(self) -> Option<Distance> {
+        match self {
+            Limit::Finite(d) => Some(d),
+            Limit::Unlimited => None,
+        }
+    }
+
+    /// The tighter (smaller) of two limits.
+    ///
+    /// Used when a transaction's specification *overrides* a server-side
+    /// object limit (§3.2.2): the effective limit is the stricter one.
+    #[inline]
+    pub fn min(self, other: Limit) -> Limit {
+        std::cmp::min(self, other)
+    }
+}
+
+impl Default for Limit {
+    /// Defaults to `Unlimited`: an unspecified node does not constrain.
+    fn default() -> Self {
+        Limit::Unlimited
+    }
+}
+
+impl fmt::Display for Limit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Limit::Finite(d) => write!(f, "{d}"),
+            Limit::Unlimited => f.write_str("∞"),
+        }
+    }
+}
+
+impl From<Distance> for Limit {
+    fn from(d: Distance) -> Self {
+        Limit::Finite(d)
+    }
+}
+
+/// The four bound levels used in the paper's first set of tests (§7).
+///
+/// | Level            | TIL     | TEL    |
+/// |------------------|---------|--------|
+/// | high-epsilon     | 100,000 | 10,000 |
+/// | medium-epsilon   | 50,000  | 5,000  |
+/// | low-epsilon      | 10,000  | 1,000  |
+/// | zero-epsilon (SR)| 0       | 0      |
+///
+/// TEL values sit an order of magnitude below TIL because query ETs have
+/// ~20 operations while update ETs have ~6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EpsilonPreset {
+    /// TIL/TEL = 0: classic serializability.
+    Zero,
+    /// TIL = 10,000; TEL = 1,000.
+    Low,
+    /// TIL = 50,000; TEL = 5,000.
+    Medium,
+    /// TIL = 100,000; TEL = 10,000.
+    High,
+}
+
+impl EpsilonPreset {
+    /// All presets, smallest bound first (the order of the paper's table).
+    pub const ALL: [EpsilonPreset; 4] = [
+        EpsilonPreset::Zero,
+        EpsilonPreset::Low,
+        EpsilonPreset::Medium,
+        EpsilonPreset::High,
+    ];
+
+    /// The presets with non-zero bounds (Figure 8 omits zero-epsilon
+    /// because SR admits no inconsistent operations).
+    pub const NON_ZERO: [EpsilonPreset; 3] = [
+        EpsilonPreset::Low,
+        EpsilonPreset::Medium,
+        EpsilonPreset::High,
+    ];
+
+    /// The transaction import limit (for query ETs).
+    pub fn til(self) -> Limit {
+        match self {
+            EpsilonPreset::Zero => Limit::ZERO,
+            EpsilonPreset::Low => Limit::at_most(10_000),
+            EpsilonPreset::Medium => Limit::at_most(50_000),
+            EpsilonPreset::High => Limit::at_most(100_000),
+        }
+    }
+
+    /// The transaction export limit (for update ETs).
+    pub fn tel(self) -> Limit {
+        match self {
+            EpsilonPreset::Zero => Limit::ZERO,
+            EpsilonPreset::Low => Limit::at_most(1_000),
+            EpsilonPreset::Medium => Limit::at_most(5_000),
+            EpsilonPreset::High => Limit::at_most(10_000),
+        }
+    }
+
+    /// Human label as used in the figures ("zero epsilon", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            EpsilonPreset::Zero => "zero-epsilon (SR)",
+            EpsilonPreset::Low => "low-epsilon",
+            EpsilonPreset::Medium => "medium-epsilon",
+            EpsilonPreset::High => "high-epsilon",
+        }
+    }
+}
+
+impl fmt::Display for EpsilonPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_limit_is_sr() {
+        assert!(Limit::ZERO.is_zero());
+        assert!(Limit::ZERO.allows(0));
+        assert!(!Limit::ZERO.allows(1));
+    }
+
+    #[test]
+    fn finite_limits() {
+        let l = Limit::at_most(100);
+        assert!(l.allows(0));
+        assert!(l.allows(100));
+        assert!(!l.allows(101));
+        assert_eq!(l.finite(), Some(100));
+        assert!(!l.is_zero());
+    }
+
+    #[test]
+    fn unlimited_allows_everything() {
+        assert!(Limit::unlimited().allows(u64::MAX));
+        assert_eq!(Limit::unlimited().finite(), None);
+        assert_eq!(Limit::default(), Limit::Unlimited);
+    }
+
+    #[test]
+    fn ordering_and_min() {
+        assert!(Limit::at_most(1) < Limit::at_most(2));
+        assert!(Limit::at_most(u64::MAX) < Limit::Unlimited);
+        assert_eq!(
+            Limit::at_most(5).min(Limit::Unlimited),
+            Limit::at_most(5)
+        );
+        assert_eq!(Limit::at_most(5).min(Limit::at_most(3)), Limit::at_most(3));
+    }
+
+    #[test]
+    fn preset_table_matches_paper() {
+        use EpsilonPreset::*;
+        assert_eq!(High.til(), Limit::at_most(100_000));
+        assert_eq!(High.tel(), Limit::at_most(10_000));
+        assert_eq!(Medium.til(), Limit::at_most(50_000));
+        assert_eq!(Medium.tel(), Limit::at_most(5_000));
+        assert_eq!(Low.til(), Limit::at_most(10_000));
+        assert_eq!(Low.tel(), Limit::at_most(1_000));
+        assert_eq!(Zero.til(), Limit::ZERO);
+        assert_eq!(Zero.tel(), Limit::ZERO);
+    }
+
+    #[test]
+    fn preset_labels() {
+        assert_eq!(EpsilonPreset::Zero.to_string(), "zero-epsilon (SR)");
+        assert_eq!(EpsilonPreset::High.to_string(), "high-epsilon");
+        assert_eq!(EpsilonPreset::ALL.len(), 4);
+        assert_eq!(EpsilonPreset::NON_ZERO.len(), 3);
+        assert!(!EpsilonPreset::NON_ZERO.contains(&EpsilonPreset::Zero));
+    }
+
+    #[test]
+    fn limit_display() {
+        assert_eq!(Limit::at_most(42).to_string(), "42");
+        assert_eq!(Limit::Unlimited.to_string(), "∞");
+        assert_eq!(Limit::from(9u64), Limit::at_most(9));
+    }
+}

@@ -1,0 +1,108 @@
+//! Bound-violation diagnostics.
+
+use crate::bounds::Limit;
+use crate::ids::ObjectId;
+use crate::value::Distance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The level of the hierarchy at which an inconsistency check failed.
+///
+/// Control is bottom-up (§5.3.1): the object level is checked first, then
+/// each ancestor group, then the transaction root — so a violation
+/// reports the *lowest* level that rejected the charge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationLevel {
+    /// The per-object limit (OIL/OEL) rejected the operation's `d`.
+    Object(ObjectId),
+    /// A named group's limit (GIL/GEL) would be exceeded.
+    Group(String),
+    /// The transaction-level limit (TIL/TEL) would be exceeded.
+    Transaction,
+}
+
+impl fmt::Display for ViolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationLevel::Object(o) => write!(f, "object level ({o})"),
+            ViolationLevel::Group(g) => write!(f, "group level ({g:?})"),
+            ViolationLevel::Transaction => f.write_str("transaction level"),
+        }
+    }
+}
+
+/// An operation was denied because it would push accumulated
+/// inconsistency past a limit.
+///
+/// Under the paper's protocol this causes the transaction to abort (and
+/// the client to resubmit it with a fresh timestamp).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundViolation {
+    /// Where in the hierarchy the check failed.
+    pub level: ViolationLevel,
+    /// The limit at that node.
+    pub limit: Limit,
+    /// The total that the node would have reached had the charge gone
+    /// through (accumulated + `d`; at the object level just `d`).
+    pub attempted: Distance,
+}
+
+impl fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistency bound violated at {}: attempted {} > limit {}",
+            self.level, self.attempted, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BoundViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = BoundViolation {
+            level: ViolationLevel::Group("company".into()),
+            limit: Limit::at_most(4000),
+            attempted: 4500,
+        };
+        let s = v.to_string();
+        assert!(s.contains("company"), "{s}");
+        assert!(s.contains("4500"), "{s}");
+        assert!(s.contains("4000"), "{s}");
+    }
+
+    #[test]
+    fn object_level_display() {
+        let v = BoundViolation {
+            level: ViolationLevel::Object(ObjectId(3)),
+            limit: Limit::at_most(10),
+            attempted: 11,
+        };
+        assert!(v.to_string().contains("obj#3"));
+    }
+
+    #[test]
+    fn transaction_level_display() {
+        let v = BoundViolation {
+            level: ViolationLevel::Transaction,
+            limit: Limit::ZERO,
+            attempted: 1,
+        };
+        assert!(v.to_string().contains("transaction level"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(BoundViolation {
+            level: ViolationLevel::Transaction,
+            limit: Limit::ZERO,
+            attempted: 1,
+        });
+    }
+}

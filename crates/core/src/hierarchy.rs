@@ -1,0 +1,372 @@
+//! The hierarchical bound *schema*: a tree of named groups over the
+//! database.
+//!
+//! §3.1: data objects are grouped hierarchically based on common
+//! features (Figure 1 shows bank accounts under
+//! `overall → {company, preferred, personal} → {com1, com2, …} → divisions`).
+//! Bounds on transactions sit at the root, bounds on objects at the
+//! leaves, and bounds on groups in between. The *schema* (this module)
+//! describes the tree shape and which group each object belongs to; the
+//! per-transaction *limits* attached to nodes live in
+//! [`crate::spec::TxnBounds`], and the runtime accumulators in
+//! [`crate::ledger::Ledger`].
+//!
+//! Objects that are not attached to any group hang directly off the root
+//! (Figure 2 shows a transaction accessing "some independent objects and
+//! some that are part of a group").
+
+use crate::ids::ObjectId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of a node in the schema's arena. The root is always
+/// [`NodeId::ROOT`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root of every hierarchy (the transaction level).
+    pub const ROOT: NodeId = NodeId(0);
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// `None` only for the root.
+    name: Option<String>,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    depth: u32,
+}
+
+/// An immutable group hierarchy over the database.
+///
+/// Build one with [`HierarchySchema::builder`], or use
+/// [`HierarchySchema::two_level`] for the root-plus-objects layout used
+/// by the paper's prototype (§3.2).
+///
+/// The schema is internally reference-counted, so `Clone` is O(1) and a
+/// schema can be shared by every transaction in the system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchySchema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SchemaInner {
+    nodes: Vec<Node>,
+    by_name: HashMap<String, NodeId>,
+    object_node: HashMap<ObjectId, NodeId>,
+}
+
+impl HierarchySchema {
+    /// Start building a hierarchy.
+    pub fn builder() -> HierarchyBuilder {
+        HierarchyBuilder::new()
+    }
+
+    /// The two-level schema of the paper's prototype: every object hangs
+    /// directly off the root, so the only bound levels are the
+    /// transaction (TIL/TEL) and the object (OIL/OEL).
+    pub fn two_level() -> Self {
+        Self::builder().build()
+    }
+
+    /// Number of nodes, including the root.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Is this the trivial (root-only) schema?
+    #[inline]
+    pub fn is_two_level(&self) -> bool {
+        self.inner.nodes.len() == 1
+    }
+
+    /// Look up a group by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// The name of a node (`None` for the root).
+    pub fn name_of(&self, node: NodeId) -> Option<&str> {
+        self.inner.nodes[node.index()].name.as_deref()
+    }
+
+    /// The group an object is attached to (the root if unattached).
+    #[inline]
+    pub fn node_of(&self, obj: ObjectId) -> NodeId {
+        self.inner.object_node.get(&obj).copied().unwrap_or(NodeId::ROOT)
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        self.inner.nodes[node.index()].parent
+    }
+
+    /// Children of a node.
+    pub fn children_of(&self, node: NodeId) -> &[NodeId] {
+        &self.inner.nodes[node.index()].children
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth_of(&self, node: NodeId) -> u32 {
+        self.inner.nodes[node.index()].depth
+    }
+
+    /// Iterate from `node` up to and including the root.
+    ///
+    /// This is the bottom-up order in which inconsistency checks are
+    /// performed during the control stage (§5.3.1: "the information flow
+    /// is … bottom-up during the control stage").
+    pub fn ancestors_inclusive(&self, node: NodeId) -> AncestorIter<'_> {
+        AncestorIter {
+            schema: self,
+            next: Some(node),
+        }
+    }
+
+    /// The path from the object's group to the root, as the check order
+    /// for an operation on `obj`.
+    pub fn charge_path(&self, obj: ObjectId) -> AncestorIter<'_> {
+        self.ancestors_inclusive(self.node_of(obj))
+    }
+
+    /// All objects explicitly attached to groups.
+    pub fn attached_objects(&self) -> impl Iterator<Item = (ObjectId, NodeId)> + '_ {
+        self.inner.object_node.iter().map(|(o, n)| (*o, *n))
+    }
+
+    /// Iterate over all named groups.
+    pub fn groups(&self) -> impl Iterator<Item = (NodeId, &str)> + '_ {
+        self.inner.nodes.iter().enumerate().filter_map(|(i, n)| {
+            n.name.as_deref().map(|name| (NodeId(i as u32), name))
+        })
+    }
+}
+
+impl Default for HierarchySchema {
+    fn default() -> Self {
+        Self::two_level()
+    }
+}
+
+/// Iterator over a node and its ancestors, ending at the root.
+pub struct AncestorIter<'a> {
+    schema: &'a HierarchySchema,
+    next: Option<NodeId>,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.schema.parent_of(cur);
+        Some(cur)
+    }
+}
+
+/// Builder for [`HierarchySchema`].
+///
+/// ```
+/// use esr_core::hierarchy::HierarchySchema;
+/// use esr_core::ids::ObjectId;
+///
+/// let mut b = HierarchySchema::builder();
+/// let company = b.group("company");
+/// let com1 = b.subgroup(company, "com1");
+/// b.attach(ObjectId(17), com1);
+/// let schema = b.build();
+/// assert_eq!(schema.depth_of(com1), 2);
+/// assert_eq!(schema.node_of(ObjectId(17)), com1);
+/// ```
+#[derive(Debug)]
+pub struct HierarchyBuilder {
+    nodes: Vec<Node>,
+    by_name: HashMap<String, NodeId>,
+    object_node: HashMap<ObjectId, NodeId>,
+}
+
+impl HierarchyBuilder {
+    fn new() -> Self {
+        HierarchyBuilder {
+            nodes: vec![Node {
+                name: None,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+            by_name: HashMap::new(),
+            object_node: HashMap::new(),
+        }
+    }
+
+    /// Add a group directly under the root.
+    ///
+    /// # Panics
+    /// Panics if the name is already in use — group names are the handle
+    /// through which transactions attach limits, so they must be unique.
+    pub fn group(&mut self, name: &str) -> NodeId {
+        self.subgroup(NodeId::ROOT, name)
+    }
+
+    /// Add a subgroup under an existing node.
+    ///
+    /// # Panics
+    /// Panics if the name is already in use or `parent` is out of range.
+    pub fn subgroup(&mut self, parent: NodeId, name: &str) -> NodeId {
+        assert!(
+            parent.index() < self.nodes.len(),
+            "unknown parent node {parent:?}"
+        );
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate group name {name:?}"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(Node {
+            name: Some(name.to_owned()),
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Attach an object to a group. Re-attaching moves the object.
+    pub fn attach(&mut self, obj: ObjectId, node: NodeId) {
+        assert!(
+            node.index() < self.nodes.len(),
+            "unknown node {node:?}"
+        );
+        self.object_node.insert(obj, node);
+    }
+
+    /// Attach a contiguous range of objects to a group.
+    pub fn attach_range(&mut self, objs: std::ops::Range<u32>, node: NodeId) {
+        for o in objs {
+            self.attach(ObjectId(o), node);
+        }
+    }
+
+    /// Finish building.
+    pub fn build(self) -> HierarchySchema {
+        HierarchySchema {
+            inner: Arc::new(SchemaInner {
+                nodes: self.nodes,
+                by_name: self.by_name,
+                object_node: self.object_node,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banking() -> (HierarchySchema, NodeId, NodeId, NodeId) {
+        // Figure 1: overall -> {company, preferred, personal};
+        // company -> {com1}; com1 holds objects 0..10.
+        let mut b = HierarchySchema::builder();
+        let company = b.group("company");
+        let _preferred = b.group("preferred");
+        let personal = b.group("personal");
+        let com1 = b.subgroup(company, "com1");
+        b.attach_range(0..10, com1);
+        b.attach(ObjectId(100), personal);
+        (b.build(), company, com1, personal)
+    }
+
+    #[test]
+    fn two_level_is_root_only() {
+        let s = HierarchySchema::two_level();
+        assert!(s.is_two_level());
+        assert_eq!(s.node_count(), 1);
+        assert_eq!(s.node_of(ObjectId(5)), NodeId::ROOT);
+        assert_eq!(s.parent_of(NodeId::ROOT), None);
+        assert_eq!(s.depth_of(NodeId::ROOT), 0);
+        let path: Vec<_> = s.charge_path(ObjectId(5)).collect();
+        assert_eq!(path, vec![NodeId::ROOT]);
+    }
+
+    #[test]
+    fn builder_shapes_tree() {
+        let (s, company, com1, personal) = banking();
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.parent_of(com1), Some(company));
+        assert_eq!(s.parent_of(company), Some(NodeId::ROOT));
+        assert_eq!(s.depth_of(com1), 2);
+        assert_eq!(s.depth_of(personal), 1);
+        assert_eq!(s.children_of(company), &[com1]);
+        assert_eq!(s.node_by_name("com1"), Some(com1));
+        assert_eq!(s.node_by_name("missing"), None);
+        assert_eq!(s.name_of(com1), Some("com1"));
+        assert_eq!(s.name_of(NodeId::ROOT), None);
+    }
+
+    #[test]
+    fn charge_path_is_bottom_up() {
+        let (s, company, com1, _) = banking();
+        let path: Vec<_> = s.charge_path(ObjectId(3)).collect();
+        assert_eq!(path, vec![com1, company, NodeId::ROOT]);
+        // Unattached objects charge only the root.
+        let path: Vec<_> = s.charge_path(ObjectId(999)).collect();
+        assert_eq!(path, vec![NodeId::ROOT]);
+    }
+
+    #[test]
+    fn attach_moves_objects() {
+        let mut b = HierarchySchema::builder();
+        let g1 = b.group("g1");
+        let g2 = b.group("g2");
+        b.attach(ObjectId(1), g1);
+        b.attach(ObjectId(1), g2);
+        let s = b.build();
+        assert_eq!(s.node_of(ObjectId(1)), g2);
+        assert_eq!(s.attached_objects().count(), 1);
+    }
+
+    #[test]
+    fn groups_iterator_lists_named_nodes() {
+        let (s, ..) = banking();
+        let names: Vec<_> = s.groups().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.contains(&"company".to_owned()));
+        assert!(names.contains(&"com1".to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group name")]
+    fn duplicate_names_rejected() {
+        let mut b = HierarchySchema::builder();
+        b.group("x");
+        b.group("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_rejected() {
+        let mut b = HierarchySchema::builder();
+        b.subgroup(NodeId(99), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn attach_to_unknown_node_rejected() {
+        let mut b = HierarchySchema::builder();
+        b.attach(ObjectId(0), NodeId(42));
+    }
+}

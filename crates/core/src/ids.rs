@@ -1,0 +1,133 @@
+//! Strongly-typed identifiers used across the system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a database object.
+///
+/// Objects are dense (`0..n`), mirroring the paper's prototype where the
+/// server initialises a fixed population of objects from a start-up data
+/// file (§6).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The object's dense index, for direct table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// Identifier of a transaction instance.
+///
+/// A fresh `TxnId` is issued on every (re)start: when a client resubmits
+/// an aborted transaction with a new timestamp it also receives a new id,
+/// so per-instance bookkeeping (ledgers, read sets) never leaks across
+/// retries.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Identifier of a client site.
+///
+/// The paper appends the site id to each timestamp to guarantee
+/// uniqueness across clients whose clocks may tick identically (§6).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+)]
+pub struct SiteId(pub u16);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// The kind of an epsilon transaction.
+///
+/// The paper restricts attention to *query* ETs (read-only, may import
+/// inconsistency) running against *consistent update* ETs (read/write,
+/// may export inconsistency); see §1. The kind decides which ledger a
+/// transaction carries and which relaxation cases apply to its
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnKind {
+    /// Read-only ET with an import limit (TIL).
+    Query,
+    /// Read/write ET with an export limit (TEL); its reads are consistent.
+    Update,
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnKind::Query => f.write_str("Query"),
+            TxnKind::Update => f.write_str("Update"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjectId(7).to_string(), "obj#7");
+        assert_eq!(TxnId(42).to_string(), "txn#42");
+        assert_eq!(SiteId(3).to_string(), "site#3");
+        assert_eq!(TxnKind::Query.to_string(), "Query");
+        assert_eq!(TxnKind::Update.to_string(), "Update");
+    }
+
+    #[test]
+    fn object_id_index_roundtrip() {
+        assert_eq!(ObjectId(0).index(), 0);
+        assert_eq!(ObjectId(u32::MAX).index(), u32::MAX as usize);
+        assert_eq!(ObjectId::from(9u32), ObjectId(9));
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TxnId(1));
+        set.insert(TxnId(1));
+        set.insert(TxnId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ObjectId(3) < ObjectId(4));
+        assert!(TxnId(3) < TxnId(4));
+    }
+}

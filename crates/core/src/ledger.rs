@@ -1,0 +1,460 @@
+//! Runtime inconsistency accounting: the bottom-up control walk of §5.
+//!
+//! Every epsilon transaction carries one [`Ledger`]: an *import* ledger
+//! for query ETs, an *export* ledger for update ETs. When the scheduler
+//! is about to admit an operation that would view (or export)
+//! inconsistency `d`, it calls [`Ledger::try_charge`]:
+//!
+//! 1. **object level** — `d ≤ OIL_x` (resp. `OEL_x`), where the
+//!    effective object limit is the minimum of the server-side limit and
+//!    any per-transaction override;
+//! 2. **every group level, bottom-up** — for each node `g` on the path
+//!    from the object's group to the root,
+//!    `Inconsistency_g + d ≤ Limit_g`;
+//! 3. **transaction level** — `I + d ≤ TIL` (resp. `E + d ≤ TEL`).
+//!
+//! Only if every check passes are the accumulators on the path
+//! incremented (check-then-charge is atomic from the caller's point of
+//! view because the ledger is owned by a single transaction). On any
+//! violation the operation is unsuccessful and the transaction must be
+//! aborted (§5.3.1).
+
+use crate::bounds::Limit;
+use crate::error::{BoundViolation, ViolationLevel};
+use crate::hierarchy::{HierarchySchema, NodeId};
+use crate::ids::ObjectId;
+use crate::spec::{Direction, TxnBounds};
+use crate::value::Distance;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-transaction inconsistency accumulators over a hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ledger {
+    schema: HierarchySchema,
+    direction: Direction,
+    /// Accumulated inconsistency per schema node (same indexing as the
+    /// schema arena; `acc[0]` is the transaction total `I`/`E`).
+    acc: Vec<Distance>,
+    /// Resolved limit per schema node (root = TIL/TEL, groups = the
+    /// transaction's `LIMIT` lines, everything else unlimited).
+    limits: Vec<Limit>,
+    /// Per-object overrides from the transaction's specification.
+    object_overrides: HashMap<ObjectId, Limit>,
+    /// Count of successful non-zero charges (i.e. operations that went
+    /// through *despite* viewing/exporting inconsistency — the metric of
+    /// Figure 8).
+    inconsistent_charges: u64,
+}
+
+impl Ledger {
+    /// Build a ledger for one transaction from the database schema and
+    /// the transaction's bound specification.
+    pub fn new(schema: &HierarchySchema, bounds: &TxnBounds) -> Self {
+        let n = schema.node_count();
+        let mut limits = vec![Limit::Unlimited; n];
+        limits[NodeId::ROOT.0 as usize] = bounds.root;
+        for (name, limit) in &bounds.groups {
+            if let Some(node) = schema.node_by_name(name) {
+                limits[node.0 as usize] = *limit;
+            }
+            // Unknown group names are tolerated: the transaction simply
+            // constrains a group that this database does not define. The
+            // language front-end reports them; the ledger stays total.
+        }
+        Ledger {
+            schema: schema.clone(),
+            direction: bounds.direction,
+            acc: vec![0; n],
+            limits,
+            object_overrides: bounds.objects.clone(),
+            inconsistent_charges: 0,
+        }
+    }
+
+    /// Import or export?
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Total accumulated inconsistency at the transaction level
+    /// (`I` for queries, `E` for updates).
+    #[inline]
+    pub fn total(&self) -> Distance {
+        self.acc[NodeId::ROOT.0 as usize]
+    }
+
+    /// Accumulated inconsistency at a particular node.
+    pub fn accumulated(&self, node: NodeId) -> Distance {
+        self.acc[node.0 as usize]
+    }
+
+    /// The resolved limit at a particular node.
+    pub fn limit(&self, node: NodeId) -> Limit {
+        self.limits[node.0 as usize]
+    }
+
+    /// Number of successful charges with `d > 0` so far.
+    #[inline]
+    pub fn inconsistent_charges(&self) -> u64 {
+        self.inconsistent_charges
+    }
+
+    /// The effective object-level limit for `obj`: the minimum of the
+    /// store-side limit (OIL/OEL held by the object) and any override in
+    /// the transaction's specification.
+    pub fn effective_object_limit(&self, obj: ObjectId, store_limit: Limit) -> Limit {
+        match self.object_overrides.get(&obj) {
+            Some(o) => store_limit.min(*o),
+            None => store_limit,
+        }
+    }
+
+    /// Check whether a charge of `d` for an operation on `obj` would be
+    /// admissible, *without* recording it.
+    pub fn check(
+        &self,
+        obj: ObjectId,
+        d: Distance,
+        store_limit: Limit,
+    ) -> Result<(), BoundViolation> {
+        // Object level first (§5.1/§5.2: `d ≤ OIL_x`).
+        let obj_limit = self.effective_object_limit(obj, store_limit);
+        if !obj_limit.allows(d) {
+            return Err(BoundViolation {
+                level: ViolationLevel::Object(obj),
+                limit: obj_limit,
+                attempted: d,
+            });
+        }
+        // Then bottom-up through the groups to the root (§5.3.1).
+        for node in self.schema.charge_path(obj) {
+            let would_be = self.acc[node.0 as usize].saturating_add(d);
+            let limit = self.limits[node.0 as usize];
+            if !limit.allows(would_be) {
+                let level = match self.schema.name_of(node) {
+                    Some(name) => ViolationLevel::Group(name.to_owned()),
+                    None => ViolationLevel::Transaction,
+                };
+                return Err(BoundViolation {
+                    level,
+                    limit,
+                    attempted: would_be,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a charge that was previously validated with [`check`].
+    ///
+    /// [`check`]: Ledger::check
+    pub fn charge_unchecked(&mut self, obj: ObjectId, d: Distance) {
+        // Collect first: `charge_path` borrows the schema inside `self`.
+        let path: Vec<NodeId> = self.schema.charge_path(obj).collect();
+        for node in path {
+            let slot = &mut self.acc[node.0 as usize];
+            *slot = slot.saturating_add(d);
+        }
+        if d > 0 {
+            self.inconsistent_charges += 1;
+        }
+    }
+
+    /// Check and, if admissible, record a charge of `d` for an operation
+    /// on `obj`. This is the operation-admission entry point used by the
+    /// scheduler.
+    pub fn try_charge(
+        &mut self,
+        obj: ObjectId,
+        d: Distance,
+        store_limit: Limit,
+    ) -> Result<(), BoundViolation> {
+        self.check(obj, d, store_limit)?;
+        self.charge_unchecked(obj, d);
+        Ok(())
+    }
+
+    /// Invariant check: for every interior node, the accumulated
+    /// inconsistency of its children never exceeds its own (children sum
+    /// to the parent exactly, since every charge walks the full path).
+    ///
+    /// Exposed for tests and debug assertions.
+    pub fn hierarchy_consistent(&self) -> bool {
+        (0..self.acc.len()).all(|i| {
+            let node = NodeId(i as u32);
+            let child_sum: Distance = self
+                .schema
+                .children_of(node)
+                .iter()
+                .map(|c| self.acc[c.0 as usize])
+                .fold(0, Distance::saturating_add);
+            // Children account for charges on objects in subgroups; the
+            // node itself may also have direct (independent) objects, so
+            // child_sum ≤ acc[node].
+            child_sum <= self.acc[i]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Limit;
+    use crate::hierarchy::HierarchySchema;
+
+    fn banking_schema() -> HierarchySchema {
+        let mut b = HierarchySchema::builder();
+        let company = b.group("company");
+        let personal = b.group("personal");
+        let com1 = b.subgroup(company, "com1");
+        b.attach_range(0..10, com1);
+        b.attach_range(10..20, company);
+        b.attach_range(20..30, personal);
+        b.build()
+    }
+
+    fn bounded_query() -> TxnBounds {
+        TxnBounds::import(Limit::at_most(10_000))
+            .with_group("company", Limit::at_most(4_000))
+            .with_group("com1", Limit::at_most(200))
+    }
+
+    #[test]
+    fn zero_d_always_passes_even_under_sr() {
+        let schema = HierarchySchema::two_level();
+        let bounds = TxnBounds::import(Limit::ZERO);
+        let mut ledger = Ledger::new(&schema, &bounds);
+        assert!(ledger.try_charge(ObjectId(1), 0, Limit::ZERO).is_ok());
+        assert_eq!(ledger.total(), 0);
+        assert_eq!(ledger.inconsistent_charges(), 0);
+    }
+
+    #[test]
+    fn sr_rejects_any_inconsistency() {
+        let schema = HierarchySchema::two_level();
+        let bounds = TxnBounds::import(Limit::ZERO);
+        let mut ledger = Ledger::new(&schema, &bounds);
+        let err = ledger
+            .try_charge(ObjectId(1), 1, Limit::Unlimited)
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Transaction);
+    }
+
+    #[test]
+    fn object_level_checked_first() {
+        let schema = HierarchySchema::two_level();
+        let bounds = TxnBounds::import(Limit::ZERO);
+        let mut ledger = Ledger::new(&schema, &bounds);
+        // Both the object level (5 > 3) and the root (5 > 0) would fail;
+        // the object level must be reported (bottom-up order).
+        let err = ledger
+            .try_charge(ObjectId(4), 5, Limit::at_most(3))
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Object(ObjectId(4)));
+        assert_eq!(err.attempted, 5);
+        assert_eq!(err.limit, Limit::at_most(3));
+    }
+
+    #[test]
+    fn group_accumulation_and_violation() {
+        let schema = banking_schema();
+        let mut ledger = Ledger::new(&schema, &bounded_query());
+        // com1 limit is 200: two charges of 150 breach it on the second.
+        assert!(ledger.try_charge(ObjectId(0), 150, Limit::Unlimited).is_ok());
+        let err = ledger
+            .try_charge(ObjectId(1), 150, Limit::Unlimited)
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Group("com1".into()));
+        assert_eq!(err.attempted, 300);
+        // The failed charge must not have been recorded anywhere.
+        let com1 = schema.node_by_name("com1").unwrap();
+        let company = schema.node_by_name("company").unwrap();
+        assert_eq!(ledger.accumulated(com1), 150);
+        assert_eq!(ledger.accumulated(company), 150);
+        assert_eq!(ledger.total(), 150);
+    }
+
+    #[test]
+    fn parent_group_catches_what_children_allow() {
+        let schema = banking_schema();
+        let mut ledger = Ledger::new(&schema, &bounded_query());
+        // Objects 10..20 sit directly under "company" (limit 4000).
+        assert!(ledger
+            .try_charge(ObjectId(10), 3_000, Limit::Unlimited)
+            .is_ok());
+        let err = ledger
+            .try_charge(ObjectId(11), 1_500, Limit::Unlimited)
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Group("company".into()));
+        assert_eq!(err.attempted, 4_500);
+    }
+
+    #[test]
+    fn transaction_level_catches_cross_group_total() {
+        let schema = banking_schema();
+        let mut ledger = Ledger::new(&schema, &bounded_query());
+        // 3k from company + 8k from personal: each group is fine
+        // (personal is unlisted ⇒ unlimited) but the root TIL of 10k
+        // breaks.
+        assert!(ledger
+            .try_charge(ObjectId(10), 3_000, Limit::Unlimited)
+            .is_ok());
+        let err = ledger
+            .try_charge(ObjectId(20), 8_000, Limit::Unlimited)
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Transaction);
+        assert_eq!(err.attempted, 11_000);
+        assert!(ledger
+            .try_charge(ObjectId(20), 7_000, Limit::Unlimited)
+            .is_ok());
+        assert_eq!(ledger.total(), 10_000);
+    }
+
+    #[test]
+    fn object_override_tightens_store_limit() {
+        let schema = HierarchySchema::two_level();
+        let bounds = TxnBounds::import(Limit::at_most(1_000))
+            .with_object(ObjectId(9), Limit::at_most(10));
+        let mut ledger = Ledger::new(&schema, &bounds);
+        let err = ledger
+            .try_charge(ObjectId(9), 11, Limit::at_most(500))
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Object(ObjectId(9)));
+        assert_eq!(err.limit, Limit::at_most(10));
+        // The override never *loosens* the store limit.
+        let bounds = TxnBounds::import(Limit::at_most(1_000))
+            .with_object(ObjectId(9), Limit::at_most(900));
+        let mut ledger = Ledger::new(&schema, &bounds);
+        let err = ledger
+            .try_charge(ObjectId(9), 600, Limit::at_most(500))
+            .unwrap_err();
+        assert_eq!(err.limit, Limit::at_most(500));
+    }
+
+    #[test]
+    fn inconsistent_charge_counter() {
+        let schema = HierarchySchema::two_level();
+        let bounds = TxnBounds::import(Limit::at_most(100));
+        let mut ledger = Ledger::new(&schema, &bounds);
+        ledger.try_charge(ObjectId(0), 0, Limit::Unlimited).unwrap();
+        ledger.try_charge(ObjectId(1), 5, Limit::Unlimited).unwrap();
+        ledger.try_charge(ObjectId(2), 7, Limit::Unlimited).unwrap();
+        assert_eq!(ledger.inconsistent_charges(), 2);
+    }
+
+    #[test]
+    fn unknown_group_names_are_ignored() {
+        let schema = HierarchySchema::two_level();
+        let bounds = TxnBounds::import(Limit::at_most(100))
+            .with_group("no-such-group", Limit::ZERO);
+        let mut ledger = Ledger::new(&schema, &bounds);
+        assert!(ledger.try_charge(ObjectId(0), 50, Limit::Unlimited).is_ok());
+    }
+
+    #[test]
+    fn hierarchy_invariant_holds_through_charges() {
+        let schema = banking_schema();
+        let mut ledger = Ledger::new(
+            &schema,
+            &TxnBounds::import(Limit::Unlimited),
+        );
+        for (i, d) in [(0u32, 10u64), (5, 20), (10, 30), (20, 40), (25, 50)] {
+            ledger.try_charge(ObjectId(i), d, Limit::Unlimited).unwrap();
+            assert!(ledger.hierarchy_consistent());
+        }
+        let com1 = schema.node_by_name("com1").unwrap();
+        let company = schema.node_by_name("company").unwrap();
+        let personal = schema.node_by_name("personal").unwrap();
+        assert_eq!(ledger.accumulated(com1), 30);
+        assert_eq!(ledger.accumulated(company), 60);
+        assert_eq!(ledger.accumulated(personal), 90);
+        assert_eq!(ledger.total(), 150);
+    }
+
+    #[test]
+    fn saturating_accumulation_never_wraps() {
+        let schema = HierarchySchema::two_level();
+        let mut ledger =
+            Ledger::new(&schema, &TxnBounds::import(Limit::Unlimited));
+        ledger
+            .try_charge(ObjectId(0), u64::MAX - 1, Limit::Unlimited)
+            .unwrap();
+        ledger
+            .try_charge(ObjectId(0), u64::MAX, Limit::Unlimited)
+            .unwrap();
+        assert_eq!(ledger.total(), u64::MAX);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For random charge sequences under a random TIL, the ledger
+            /// total never exceeds the TIL and equals the sum of admitted
+            /// charges.
+            #[test]
+            fn prop_total_bounded_and_exact(
+                til in 0u64..100_000,
+                charges in proptest::collection::vec((0u32..50, 0u64..5_000), 0..64),
+            ) {
+                let schema = HierarchySchema::two_level();
+                let bounds = TxnBounds::import(Limit::at_most(til));
+                let mut ledger = Ledger::new(&schema, &bounds);
+                let mut admitted = 0u64;
+                for (obj, d) in charges {
+                    if ledger.try_charge(ObjectId(obj), d, Limit::Unlimited).is_ok() {
+                        admitted += d;
+                    }
+                }
+                prop_assert!(ledger.total() <= til);
+                prop_assert_eq!(ledger.total(), admitted);
+            }
+
+            /// A rejected charge leaves the ledger exactly unchanged.
+            #[test]
+            fn prop_rejection_is_side_effect_free(
+                til in 0u64..1_000,
+                d in 1u64..10_000,
+            ) {
+                let schema = HierarchySchema::two_level();
+                let bounds = TxnBounds::import(Limit::at_most(til));
+                let mut ledger = Ledger::new(&schema, &bounds);
+                // Fill up to the limit first.
+                ledger.try_charge(ObjectId(0), til, Limit::Unlimited).unwrap();
+                let before_total = ledger.total();
+                let before_count = ledger.inconsistent_charges();
+                let res = ledger.try_charge(ObjectId(1), d, Limit::Unlimited);
+                prop_assert!(res.is_err());
+                prop_assert_eq!(ledger.total(), before_total);
+                prop_assert_eq!(ledger.inconsistent_charges(), before_count);
+            }
+
+            /// In a multi-level hierarchy, the child-sum ≤ parent
+            /// invariant holds after any admissible charge sequence.
+            #[test]
+            fn prop_hierarchy_invariant(
+                charges in proptest::collection::vec((0u32..30, 0u64..500), 0..64),
+            ) {
+                let mut b = HierarchySchema::builder();
+                let g0 = b.group("g0");
+                let g1 = b.group("g1");
+                let g00 = b.subgroup(g0, "g00");
+                b.attach_range(0..10, g00);
+                b.attach_range(10..20, g1);
+                // 20..30 stay at the root.
+                let schema = b.build();
+                let mut ledger = Ledger::new(
+                    &schema,
+                    &TxnBounds::import(Limit::Unlimited),
+                );
+                for (obj, d) in charges {
+                    ledger.try_charge(ObjectId(obj), d, Limit::Unlimited).unwrap();
+                    prop_assert!(ledger.hierarchy_consistent());
+                }
+            }
+        }
+    }
+}

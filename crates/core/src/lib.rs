@@ -1,0 +1,88 @@
+//! # esr-core — Epsilon Serializability primitives
+//!
+//! This crate implements the *primary contribution* of
+//! Kamath & Ramamritham, *"Performance Characteristics of Epsilon
+//! Serializability with Hierarchical Inconsistency Bounds"* (ICDE 1993):
+//! the machinery for **specifying** and **controlling** bounded
+//! inconsistency in epsilon transactions (ETs).
+//!
+//! Epsilon serializability (ESR) is a weakening of classic
+//! serializability (SR) in which query transactions may *import* a bounded
+//! amount of inconsistency and update transactions may *export* a bounded
+//! amount. When every bound is zero, ESR degenerates to SR.
+//!
+//! The pieces provided here are deliberately independent of any particular
+//! concurrency-control protocol; the companion crate `esr-tso` plugs them
+//! into a timestamp-ordering scheduler exactly as the paper's prototype
+//! did.
+//!
+//! ## Modules
+//!
+//! * [`value`] — database values and the **metric space** over states
+//!   (distance function with symmetry and the triangle inequality, §2).
+//! * [`ids`] — strongly-typed identifiers for objects and transactions.
+//! * [`bounds`] — inconsistency limits ([`bounds::Limit`]) and the §7
+//!   TIL/TEL presets ([`bounds::EpsilonPreset`]).
+//! * [`hierarchy`] — the hierarchical bound *schema*: a tree of named
+//!   groups over the database, with objects attached at the leaves (§3.1).
+//! * [`spec`] — the per-transaction bound *specification*
+//!   ([`spec::TxnBounds`]): a root limit plus limits for any subset of
+//!   hierarchy nodes and per-object overrides (§3.2, Figure 2).
+//! * [`ledger`] — the runtime *control* side: [`ledger::Ledger`] performs
+//!   the bottom-up check-then-charge walk of §5.3.1 for every operation.
+//! * [`aggregate`] — inconsistency of non-`sum` aggregate results (§5.3.2),
+//!   tracking per-object min/max views.
+//! * [`error`] — bound-violation diagnostics identifying the level of the
+//!   hierarchy at which a check failed.
+//!
+//! ## Example
+//!
+//! ```
+//! use esr_core::prelude::*;
+//!
+//! // Schema: a two-group hierarchy over four objects (Figure 1 style).
+//! let mut schema = HierarchySchema::builder();
+//! let company = schema.group("company");
+//! let personal = schema.group("personal");
+//! schema.attach(ObjectId(0), company);
+//! schema.attach(ObjectId(1), company);
+//! schema.attach(ObjectId(2), personal);
+//! schema.attach(ObjectId(3), personal);
+//! let schema = schema.build();
+//!
+//! // A query that tolerates 10_000 overall but only 4_000 from "company".
+//! let bounds = TxnBounds::import(Limit::at_most(10_000))
+//!     .with_group("company", Limit::at_most(4_000));
+//!
+//! let mut ledger = Ledger::new(&schema, &bounds);
+//! // An operation on object 0 that would import 3_500 of inconsistency:
+//! assert!(ledger.try_charge(ObjectId(0), 3_500, Limit::unlimited()).is_ok());
+//! // A further 1_000 from object 1 would breach the "company" group limit.
+//! let err = ledger
+//!     .try_charge(ObjectId(1), 1_000, Limit::unlimited())
+//!     .unwrap_err();
+//! assert!(matches!(err.level, ViolationLevel::Group(_)));
+//! ```
+
+pub mod aggregate;
+pub mod bounds;
+pub mod error;
+pub mod hierarchy;
+pub mod ids;
+pub mod ledger;
+pub mod spec;
+pub mod value;
+
+/// Convenient glob import of the most commonly used types.
+pub mod prelude {
+    pub use crate::aggregate::{AggregateKind, AggregateTracker};
+    pub use crate::bounds::{EpsilonPreset, Limit};
+    pub use crate::error::{BoundViolation, ViolationLevel};
+    pub use crate::hierarchy::{HierarchySchema, NodeId};
+    pub use crate::ids::{ObjectId, SiteId, TxnId};
+    pub use crate::ledger::Ledger;
+    pub use crate::spec::TxnBounds;
+    pub use crate::value::{distance, Value};
+}
+
+pub use prelude::*;

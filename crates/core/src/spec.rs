@@ -1,0 +1,178 @@
+//! Per-transaction inconsistency *specification* (§3).
+//!
+//! A transaction begins with a specification part before its operations
+//! (the paper's example):
+//!
+//! ```text
+//! BEGIN Query
+//!   TIL 10000
+//!   LIMIT company   4000
+//!   LIMIT preferred 3000
+//!   LIMIT com1       200
+//!   ...
+//! ```
+//!
+//! [`TxnBounds`] captures exactly that: a direction (import for queries,
+//! export for updates), a root limit (TIL/TEL), limits for any subset of
+//! named hierarchy nodes, and optional per-object overrides (§3.2.2
+//! notes that object limits usually live at the server but "could be
+//! overridden by explicitly specifying the object limits in the
+//! specification stage").
+
+use crate::bounds::{EpsilonPreset, Limit};
+use crate::ids::{ObjectId, TxnKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whether a bound constrains imported or exported inconsistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Inconsistency viewed by a query ET's reads (TIL / GIL / OIL).
+    Import,
+    /// Inconsistency exported by an update ET's writes (TEL / GEL / OEL).
+    Export,
+}
+
+impl Direction {
+    /// The direction appropriate for a transaction kind.
+    pub fn for_kind(kind: TxnKind) -> Direction {
+        match kind {
+            TxnKind::Query => Direction::Import,
+            TxnKind::Update => Direction::Export,
+        }
+    }
+}
+
+/// A transaction's inconsistency bound specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnBounds {
+    /// Import (query) or export (update) bounds.
+    pub direction: Direction,
+    /// The transaction-level limit: TIL for imports, TEL for exports.
+    pub root: Limit,
+    /// Limits for named hierarchy groups (GIL/GEL). Unlisted groups are
+    /// unconstrained by the transaction.
+    pub groups: HashMap<String, Limit>,
+    /// Per-object overrides. The effective object limit is the *minimum*
+    /// of this and the server-side OIL/OEL.
+    pub objects: HashMap<ObjectId, Limit>,
+}
+
+impl TxnBounds {
+    /// An import specification (query ET) with the given TIL.
+    pub fn import(til: Limit) -> Self {
+        TxnBounds {
+            direction: Direction::Import,
+            root: til,
+            groups: HashMap::new(),
+            objects: HashMap::new(),
+        }
+    }
+
+    /// An export specification (update ET) with the given TEL.
+    pub fn export(tel: Limit) -> Self {
+        TxnBounds {
+            direction: Direction::Export,
+            root: tel,
+            groups: HashMap::new(),
+            objects: HashMap::new(),
+        }
+    }
+
+    /// The specification implied by a §7 preset for the given kind.
+    pub fn preset(preset: EpsilonPreset, kind: TxnKind) -> Self {
+        match kind {
+            TxnKind::Query => Self::import(preset.til()),
+            TxnKind::Update => Self::export(preset.tel()),
+        }
+    }
+
+    /// Fully serializable bounds (everything zero) for the given kind.
+    pub fn serializable(kind: TxnKind) -> Self {
+        Self::preset(EpsilonPreset::Zero, kind)
+    }
+
+    /// Attach a limit to a named group (the `LIMIT <group> <n>` line).
+    pub fn with_group(mut self, name: &str, limit: Limit) -> Self {
+        self.groups.insert(name.to_owned(), limit);
+        self
+    }
+
+    /// Attach a per-object override limit.
+    pub fn with_object(mut self, obj: ObjectId, limit: Limit) -> Self {
+        self.objects.insert(obj, limit);
+        self
+    }
+
+    /// The limit this spec places on a named group (`Unlimited` when the
+    /// transaction did not mention it).
+    pub fn group_limit(&self, name: &str) -> Limit {
+        self.groups.get(name).copied().unwrap_or(Limit::Unlimited)
+    }
+
+    /// The per-object override, if any.
+    pub fn object_override(&self, obj: ObjectId) -> Option<Limit> {
+        self.objects.get(&obj).copied()
+    }
+
+    /// Is this specification exactly SR (all mentioned limits zero and
+    /// the root zero)?
+    pub fn is_serializable(&self) -> bool {
+        self.root.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_export_constructors() {
+        let q = TxnBounds::import(Limit::at_most(100_000));
+        assert_eq!(q.direction, Direction::Import);
+        assert_eq!(q.root, Limit::at_most(100_000));
+        let u = TxnBounds::export(Limit::at_most(10_000));
+        assert_eq!(u.direction, Direction::Export);
+    }
+
+    #[test]
+    fn preset_picks_til_or_tel() {
+        let q = TxnBounds::preset(EpsilonPreset::High, TxnKind::Query);
+        assert_eq!(q.root, Limit::at_most(100_000));
+        assert_eq!(q.direction, Direction::Import);
+        let u = TxnBounds::preset(EpsilonPreset::High, TxnKind::Update);
+        assert_eq!(u.root, Limit::at_most(10_000));
+        assert_eq!(u.direction, Direction::Export);
+    }
+
+    #[test]
+    fn serializable_is_zero() {
+        let q = TxnBounds::serializable(TxnKind::Query);
+        assert!(q.is_serializable());
+        assert_eq!(q.root, Limit::ZERO);
+        let r = TxnBounds::import(Limit::at_most(1));
+        assert!(!r.is_serializable());
+    }
+
+    #[test]
+    fn group_limits_default_unlimited() {
+        let b = TxnBounds::import(Limit::at_most(10_000))
+            .with_group("company", Limit::at_most(4_000));
+        assert_eq!(b.group_limit("company"), Limit::at_most(4_000));
+        assert_eq!(b.group_limit("unmentioned"), Limit::Unlimited);
+    }
+
+    #[test]
+    fn object_overrides() {
+        let b = TxnBounds::import(Limit::at_most(10_000))
+            .with_object(ObjectId(7), Limit::at_most(50));
+        assert_eq!(b.object_override(ObjectId(7)), Some(Limit::at_most(50)));
+        assert_eq!(b.object_override(ObjectId(8)), None);
+    }
+
+    #[test]
+    fn direction_for_kind() {
+        assert_eq!(Direction::for_kind(TxnKind::Query), Direction::Import);
+        assert_eq!(Direction::for_kind(TxnKind::Update), Direction::Export);
+    }
+}

@@ -1,0 +1,170 @@
+//! Database values and the metric space over database states.
+//!
+//! §2 of the paper requires the database state space to be a *metric
+//! space*: a distance function is defined over every pair of states, it is
+//! symmetric, and it satisfies the triangle inequality. The triangle
+//! inequality is what lets the system accumulate inconsistency
+//! *incrementally* instead of recomputing a distance over the whole
+//! history after every change.
+//!
+//! The prototype (and therefore this reproduction) works with scalar
+//! numeric objects — dollar amounts, seat counts — so the canonical state
+//! space is the integers under absolute difference. The [`MetricSpace`]
+//! trait nevertheless keeps the abstraction explicit so callers can
+//! substitute richer state types.
+
+use serde::{Deserialize, Serialize};
+
+/// The value stored in a database object.
+///
+/// The paper's prototype stores integers (account balances in the
+/// 1000–9999 range); `i64` comfortably covers every workload in the
+/// evaluation while keeping distance arithmetic exact.
+pub type Value = i64;
+
+/// The magnitude of an inconsistency: a distance between two states.
+///
+/// Distances are non-negative by definition, so we use `u64` and saturate
+/// on accumulation — an accumulated inconsistency that overflows `u64`
+/// has certainly blown every realistic bound anyway.
+pub type Distance = u64;
+
+/// Absolute-difference distance between two scalar values.
+///
+/// This is the `distance(u, v)` of §2 for the integer state space. It is
+/// total (no overflow) for all `i64` pairs.
+///
+/// ```
+/// use esr_core::value::distance;
+/// assert_eq!(distance(10, 3), 7);
+/// assert_eq!(distance(3, 10), 7);
+/// assert_eq!(distance(i64::MIN, i64::MAX), u64::MAX);
+/// ```
+#[inline]
+pub fn distance(a: Value, b: Value) -> Distance {
+    // Compute |a - b| without overflowing i64: widen through i128.
+    let d = (a as i128) - (b as i128);
+    d.unsigned_abs() as u64
+}
+
+/// A metric space over database states of type `S`.
+///
+/// Implementations must satisfy, for all `u`, `v`, `w`:
+///
+/// * **identity**: `dist(u, u) == 0`;
+/// * **symmetry**: `dist(u, v) == dist(v, u)`;
+/// * **triangle inequality**: `dist(u, w) <= dist(u, v) + dist(v, w)`
+///   (with saturating addition on the right-hand side).
+///
+/// These laws are property-tested for the provided implementations.
+pub trait MetricSpace<S: ?Sized> {
+    /// Distance between two states.
+    fn dist(&self, a: &S, b: &S) -> Distance;
+}
+
+/// The canonical metric space of the paper: integers under `|a - b|`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbsoluteDifference;
+
+impl MetricSpace<Value> for AbsoluteDifference {
+    #[inline]
+    fn dist(&self, a: &Value, b: &Value) -> Distance {
+        distance(*a, *b)
+    }
+}
+
+/// Metric space over fixed-length numeric vectors using the L1 norm.
+///
+/// Useful when a logical "state" is a tuple of scalar objects (for
+/// example, one value per account category). The L1 norm is the natural
+/// lift of absolute difference and keeps the additivity property the
+/// hierarchical bounds rely on: the distance of a group state is the sum
+/// of per-member distances.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L1;
+
+impl MetricSpace<[Value]> for L1 {
+    fn dist(&self, a: &[Value], b: &[Value]) -> Distance {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "L1 distance requires equal-length states"
+        );
+        a.iter()
+            .zip(b)
+            .fold(0u64, |acc, (x, y)| acc.saturating_add(distance(*x, *y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(distance(0, 0), 0);
+        assert_eq!(distance(5, 5), 0);
+        assert_eq!(distance(-3, 4), 7);
+        assert_eq!(distance(4, -3), 7);
+    }
+
+    #[test]
+    fn distance_extremes_do_not_overflow() {
+        assert_eq!(distance(i64::MIN, i64::MAX), u64::MAX);
+        assert_eq!(distance(i64::MAX, i64::MIN), u64::MAX);
+        assert_eq!(distance(i64::MIN, 0), 1u64 << 63);
+    }
+
+    #[test]
+    fn l1_matches_scalar_on_singletons() {
+        let m = L1;
+        assert_eq!(m.dist(&[7][..], &[-2][..]), distance(7, -2));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn l1_rejects_mismatched_lengths() {
+        let m = L1;
+        let _ = m.dist(&[1, 2][..], &[1][..]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_identity(a in any::<i64>()) {
+            prop_assert_eq!(distance(a, a), 0);
+        }
+
+        #[test]
+        fn prop_symmetry(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(distance(a, b), distance(b, a));
+        }
+
+        #[test]
+        fn prop_triangle(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+            let lhs = distance(a, c);
+            let rhs = distance(a, b).saturating_add(distance(b, c));
+            prop_assert!(lhs <= rhs);
+        }
+
+        #[test]
+        fn prop_l1_triangle(
+            a in proptest::collection::vec(any::<i64>(), 0..8),
+            deltas in proptest::collection::vec(any::<i32>(), 0..8),
+        ) {
+            // Build b and c as perturbations of a so lengths match.
+            let n = a.len().min(deltas.len());
+            let a = &a[..n];
+            let b: Vec<i64> = a
+                .iter()
+                .zip(&deltas[..n])
+                .map(|(x, d)| x.wrapping_add(*d as i64))
+                .collect();
+            let c: Vec<i64> = b.iter().map(|x| x.wrapping_mul(-1)).collect();
+            let m = L1;
+            let lhs = m.dist(a, &c[..]);
+            let rhs = m.dist(a, &b[..]).saturating_add(m.dist(&b[..], &c[..]));
+            prop_assert!(lhs <= rhs);
+        }
+    }
+}

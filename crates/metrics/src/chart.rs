@@ -1,0 +1,142 @@
+//! Minimal ASCII line charts for terminal bench output.
+//!
+//! `cargo bench` regenerates the paper's figures as tables; the ASCII
+//! chart underneath makes the curve *shapes* — thrashing humps,
+//! crossovers, intermediate peaks — visible at a glance without leaving
+//! the terminal.
+
+use crate::series::Series;
+
+/// Render one or more series on a shared canvas.
+///
+/// Each series is drawn with its own glyph (`*`, `o`, `+`, `x`, …);
+/// overlapping points show the glyph of the later series. Axes are
+/// labelled with the data ranges.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.max(8);
+    let height = height.max(4);
+
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &points {
+        x_lo = x_lo.min(*x);
+        x_hi = x_hi.max(*x);
+        y_lo = y_lo.min(*y);
+        y_hi = y_hi.max(*y);
+    }
+    // Always include zero on the y axis so magnitudes read correctly.
+    y_lo = y_lo.min(0.0);
+    if (x_hi - x_lo).abs() < f64::EPSILON {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < f64::EPSILON {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round()
+                as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round()
+                as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>10.1} ┤"));
+    out.push_str(&canvas[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &canvas[1..height - 1] {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>10.1} ┤"));
+    out.push_str(&canvas[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("           └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "            {x_lo:<.1}{:>pad$.1}\n",
+        x_hi,
+        pad = width.saturating_sub(format!("{x_lo:<.1}").len())
+    ));
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "            {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new(label);
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_chart() {
+        assert_eq!(ascii_chart(&[], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn renders_points_and_legend() {
+        let a = series("alpha", &[(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+        let b = series("beta", &[(1.0, 9.0), (3.0, 1.0)]);
+        let chart = ascii_chart(&[a, b], 30, 10);
+        assert!(chart.contains('*'), "{chart}");
+        assert!(chart.contains('o'), "{chart}");
+        assert!(chart.contains("alpha"), "{chart}");
+        assert!(chart.contains("beta"), "{chart}");
+        assert!(chart.contains("9.0"), "{chart}");
+        assert!(chart.contains("0.0"), "{chart}"); // y axis includes zero
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let a = series("p", &[(5.0, 5.0)]);
+        let chart = ascii_chart(&[a], 20, 6);
+        assert!(chart.contains('*'), "{chart}");
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let a = series("p", &[(1.0, f64::NAN), (2.0, 3.0), (f64::INFINITY, 1.0)]);
+        let chart = ascii_chart(&[a], 20, 6);
+        assert!(chart.contains('*'), "{chart}");
+    }
+
+    #[test]
+    fn minimum_dimensions_enforced() {
+        let a = series("p", &[(0.0, 0.0), (1.0, 1.0)]);
+        let chart = ascii_chart(&[a], 0, 0);
+        assert!(chart.lines().count() >= 5, "{chart}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # esr-metrics — measurement utilities for the performance study
+//!
+//! §8 of the paper: *"The tests were repeated a few times to eliminate
+//! any disturbances … the 90 percent confidence intervals lie within
+//! ±3% percentage points of the mean value of the performance metrics
+//! shown in the various graphs."*
+//!
+//! This crate provides the plumbing every figure shares:
+//!
+//! * [`stats`] — sample summaries (mean, standard deviation) and
+//!   Student-t **90% confidence intervals** across repetitions;
+//! * [`series`] — labelled `(x, y)` series and [`series::FigureTable`],
+//!   which renders a figure's data as an aligned text table or CSV;
+//! * [`chart`] — a small ASCII line-chart renderer so `cargo bench`
+//!   output shows the curve shapes directly in the terminal.
+
+pub mod chart;
+pub mod series;
+pub mod stats;
+
+pub use chart::ascii_chart;
+pub use series::{FigureTable, Series};
+pub use stats::{mean, std_dev, Summary};

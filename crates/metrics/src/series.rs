@@ -1,0 +1,240 @@
+//! Labelled data series and figure tables.
+//!
+//! Every benchmark target regenerates one of the paper's figures as a
+//! [`FigureTable`]: an x column (MPL, TIL, OIL/w̄, …) and one y column
+//! per series (epsilon level, TEL level, …), rendered as an aligned
+//! text table and as CSV for downstream plotting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One labelled curve: `(x, y)` points in x order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label ("high-epsilon", "TEL = 5000", …).
+    pub label: String,
+    /// The curve's points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+
+    /// The x of the maximum y (the "thrashing point" finder for
+    /// throughput-vs-MPL curves). `None` for an empty series.
+    pub fn argmax(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .cloned()
+            .reduce(|best, p| if p.1 > best.1 { p } else { best })
+            .map(|(x, _)| x)
+    }
+}
+
+/// A complete figure: shared x values, one column per series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureTable {
+    /// Figure title (e.g. "Figure 7: Throughput vs Multiprogramming Level").
+    pub title: String,
+    /// Name of the x column.
+    pub x_label: String,
+    /// Name of the quantity on the y axis.
+    pub y_label: String,
+    /// The series (columns).
+    pub series: Vec<Series>,
+}
+
+impl FigureTable {
+    /// An empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// The sorted union of all x values across series.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render as an aligned text table (the bench targets print this).
+    pub fn to_text(&self) -> String {
+        let xs = self.xs();
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.label.clone()));
+
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(xs.len());
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                row.push(match s.y_at(x) {
+                    Some(y) => format_num(y),
+                    None => "-".to_owned(),
+                });
+            }
+            rows.push(row);
+        }
+
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "y = {}", self.y_label);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header row, then one row per x).
+    pub fn to_csv(&self) -> String {
+        let xs = self.xs();
+        let mut out = String::new();
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.label.clone()));
+        let _ = writeln!(out, "{}", headers.join(","));
+        for &x in &xs {
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                row.push(s.y_at(x).map(format_num).unwrap_or_default());
+            }
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting: integers without decimals, otherwise two
+/// decimal places.
+fn format_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureTable {
+        let mut f = FigureTable::new("Figure X", "MPL", "throughput (txn/s)");
+        let mut a = Series::new("high");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        a.push(3.0, 15.0);
+        let mut b = Series::new("zero");
+        b.push(1.0, 8.0);
+        b.push(3.0, 5.5);
+        f.push_series(a);
+        f.push_series(b);
+        f
+    }
+
+    #[test]
+    fn series_accessors() {
+        let s = &fig().series[0];
+        assert_eq!(s.y_at(2.0), Some(20.0));
+        assert_eq!(s.y_at(9.0), None);
+        assert_eq!(s.argmax(), Some(2.0));
+        assert_eq!(Series::new("empty").argmax(), None);
+    }
+
+    #[test]
+    fn xs_union_sorted_dedup() {
+        assert_eq!(fig().xs(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn text_table_renders_all_cells() {
+        let t = fig().to_text();
+        assert!(t.contains("Figure X"), "{t}");
+        assert!(t.contains("MPL"), "{t}");
+        assert!(t.contains("high"), "{t}");
+        assert!(t.contains("zero"), "{t}");
+        assert!(t.contains("20"), "{t}");
+        assert!(t.contains("5.50"), "{t}");
+        // Missing point rendered as '-'.
+        assert!(t.lines().any(|l| l.trim_start().starts_with('2') && l.contains('-')), "{t}");
+    }
+
+    #[test]
+    fn csv_renders() {
+        let c = fig().to_csv();
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "MPL,high,zero");
+        assert_eq!(lines.next().unwrap(), "1,10,8");
+        assert_eq!(lines.next().unwrap(), "2,20,");
+        assert_eq!(lines.next().unwrap(), "3,15,5.50");
+    }
+
+    #[test]
+    fn format_num_behaviour() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(3.456), "3.46");
+        assert_eq!(format_num(-2.0), "-2");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = fig();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FigureTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

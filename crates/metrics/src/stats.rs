@@ -1,0 +1,174 @@
+//! Summary statistics across experiment repetitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided Student-t critical values at 90% confidence (α = 0.10,
+/// 0.95 quantile), indexed by degrees of freedom 1..=30. Beyond 30 the
+/// normal approximation (1.645) is used. Values from standard tables.
+const T_90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+];
+
+/// Critical t value for `df` degrees of freedom at 90% confidence.
+fn t90(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        T_90[df - 1]
+    } else {
+        1.645
+    }
+}
+
+/// Arithmetic mean (0 for an empty sample).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+        / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A sample summary with a 90% confidence interval on the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of repetitions.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Half-width of the 90% CI on the mean (infinite for n < 2).
+    pub ci90_half_width: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        let m = mean(xs);
+        let sd = std_dev(xs);
+        let hw = if n < 2 {
+            f64::INFINITY
+        } else {
+            t90(n - 1) * sd / (n as f64).sqrt()
+        };
+        Summary {
+            n,
+            mean: m,
+            std_dev: sd,
+            ci90_half_width: hw,
+        }
+    }
+
+    /// The CI half-width as a percentage of the mean (the paper's
+    /// "±3 percentage points of the mean" criterion). `None` when the
+    /// mean is zero or the interval is infinite.
+    pub fn ci90_percent_of_mean(&self) -> Option<f64> {
+        if self.mean == 0.0 || !self.ci90_half_width.is_finite() {
+            None
+        } else {
+            Some(100.0 * self.ci90_half_width / self.mean.abs())
+        }
+    }
+
+    /// Lower CI bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci90_half_width
+    }
+
+    /// Upper CI bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci90_half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_dev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        // Classic sample: {2, 4, 4, 4, 5, 5, 7, 9} has sd ≈ 2.138 (n-1).
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.13809).abs() < 1e-4, "{sd}");
+    }
+
+    #[test]
+    fn summary_single_point_has_infinite_ci() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert!(s.ci90_half_width.is_infinite());
+        assert!(s.ci90_percent_of_mean().is_none());
+    }
+
+    #[test]
+    fn summary_known_case() {
+        // n = 5, mean 10, sd 1 ⇒ hw = t(4) * 1 / sqrt(5) = 2.132/2.236.
+        let xs = [9.0, 9.5, 10.0, 10.5, 11.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.mean, 10.0);
+        let expect = 2.132 * s.std_dev / 5.0f64.sqrt();
+        assert!((s.ci90_half_width - expect).abs() < 1e-12);
+        assert!((s.lo() - (10.0 - expect)).abs() < 1e-12);
+        assert!((s.hi() - (10.0 + expect)).abs() < 1e-12);
+        let pct = s.ci90_percent_of_mean().unwrap();
+        assert!((pct - 100.0 * expect / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width_ci() {
+        let s = Summary::of(&[7.0; 10]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci90_half_width, 0.0);
+    }
+
+    #[test]
+    fn t_table_monotone_decreasing() {
+        for df in 1..40 {
+            assert!(t90(df + 1) <= t90(df), "df={df}");
+        }
+        assert_eq!(t90(100), 1.645);
+        assert!(t90(0).is_infinite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let m = mean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        }
+
+        #[test]
+        fn prop_ci_contains_mean_and_is_symmetric(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..30),
+        ) {
+            let s = Summary::of(&xs);
+            prop_assert!(s.lo() <= s.mean && s.mean <= s.hi());
+            prop_assert!((s.mean - s.lo() - (s.hi() - s.mean)).abs() < 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # esr-replica — ESR over asynchronous replication
+//!
+//! The paper closes (§9) with: *"It will be worthwhile to evaluate ESR
+//! in the case of a distributed system with data replication"*, pointing
+//! at Pu & Leff's asynchronous replica-control work (refs. 16 and 17
+//! of the paper). This
+//! crate builds that extension on top of the same primitives:
+//!
+//! * a **primary** runs the full `esr-tso` kernel; update ETs commit
+//!   there exactly as before;
+//! * each **replica** holds a lazily-updated copy of the database, fed
+//!   by a per-replica log of committed writes ([`LogEntry`]). Data
+//!   propagation is *asynchronous* — entries apply whenever the replica
+//!   pumps its log — but the tiny control metadata (the primary's
+//!   latest committed value per object) propagates eagerly, which is
+//!   the standard divergence-control arrangement: bounds need fresh
+//!   control information, data can lag;
+//! * **replica queries** are purely local: no coordination with the
+//!   primary, no locks, no waiting. Each read imports the replica's
+//!   current *divergence* on that object —
+//!   `distance(primary_committed, replica_value)` — and the usual
+//!   hierarchical ledger enforces OIL → group limits → TIL bottom-up.
+//!   A replica query with all-zero bounds therefore succeeds only on a
+//!   fully caught-up replica, mirroring "ESR degenerates to SR".
+//!
+//! The result keeps the paper's headline guarantee in the replicated
+//! setting: a committed replica query's sum is within its TIL of the
+//! primary's committed sum at query time.
+
+pub mod replica;
+pub mod system;
+
+pub use replica::{LogEntry, Replica};
+pub use system::{ReplicaQueryOutcome, ReplicatedSystem};

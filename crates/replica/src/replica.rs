@@ -1,0 +1,268 @@
+//! A single asynchronous replica: lazily-applied write log plus eagerly
+//! maintained divergence metadata.
+
+use esr_clock::Timestamp;
+use esr_core::ids::ObjectId;
+use esr_core::value::{distance, Distance, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One committed write shipped from the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Object written.
+    pub obj: ObjectId,
+    /// The committing update's timestamp.
+    pub ts: Timestamp,
+    /// The committed value.
+    pub value: Value,
+}
+
+/// A replica's state: the (possibly stale) data copy, the unapplied
+/// log, and the eagerly-propagated primary shadow used for exact
+/// divergence accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Replica {
+    /// The replica's data copy, read by local queries.
+    values: Vec<Value>,
+    /// The primary's latest committed value per object (control
+    /// metadata, always current).
+    primary_shadow: Vec<Value>,
+    /// Committed writes not yet applied locally, in commit order.
+    log: VecDeque<LogEntry>,
+    /// Entries ever received.
+    received: u64,
+    /// Entries applied.
+    applied: u64,
+}
+
+impl Replica {
+    /// A replica initialised from the primary's initial values (both
+    /// copies identical, divergence zero).
+    pub fn new(initial: &[Value]) -> Self {
+        Replica {
+            values: initial.to_vec(),
+            primary_shadow: initial.to_vec(),
+            log: VecDeque::new(),
+            received: 0,
+            applied: 0,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The replica's current value for an object (what a local query
+    /// reads).
+    pub fn value(&self, obj: ObjectId) -> Value {
+        self.values[obj.index()]
+    }
+
+    /// The primary's committed value for an object, per the eagerly
+    /// shipped metadata.
+    pub fn primary_value(&self, obj: ObjectId) -> Value {
+        self.primary_shadow[obj.index()]
+    }
+
+    /// Exact divergence of one object: how far this replica's copy is
+    /// from the primary's committed value. This is the `d` a local read
+    /// of `obj` imports.
+    pub fn divergence(&self, obj: ObjectId) -> Distance {
+        distance(self.primary_value(obj), self.value(obj))
+    }
+
+    /// Sum of divergences across all objects (diagnostics).
+    pub fn total_divergence(&self) -> u128 {
+        (0..self.values.len() as u32)
+            .map(|i| self.divergence(ObjectId(i)) as u128)
+            .sum()
+    }
+
+    /// Unapplied log entries.
+    pub fn lag(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Is the replica fully caught up?
+    pub fn is_synced(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Entries received / applied so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.received, self.applied)
+    }
+
+    /// Receive a committed write from the primary. The control shadow
+    /// updates immediately; the data copy only changes on [`pump`].
+    ///
+    /// [`pump`]: Replica::pump
+    pub fn enqueue(&mut self, entry: LogEntry) {
+        assert!(
+            entry.obj.index() < self.values.len(),
+            "log entry for unknown object {}",
+            entry.obj
+        );
+        self.primary_shadow[entry.obj.index()] = entry.value;
+        self.log.push_back(entry);
+        self.received += 1;
+    }
+
+    /// Apply up to `n` pending log entries in commit order. Returns how
+    /// many were applied.
+    pub fn pump(&mut self, n: usize) -> usize {
+        let mut done = 0;
+        while done < n {
+            let Some(e) = self.log.pop_front() else { break };
+            self.values[e.obj.index()] = e.value;
+            self.applied += 1;
+            done += 1;
+        }
+        done
+    }
+
+    /// Apply everything pending.
+    pub fn pump_all(&mut self) -> usize {
+        let n = self.log.len();
+        self.pump(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::ids::SiteId;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::new(t, SiteId(0))
+    }
+
+    fn entry(obj: u32, t: u64, value: Value) -> LogEntry {
+        LogEntry {
+            obj: ObjectId(obj),
+            ts: ts(t),
+            value,
+        }
+    }
+
+    #[test]
+    fn fresh_replica_is_synced() {
+        let r = Replica::new(&[10, 20, 30]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(r.is_synced());
+        assert_eq!(r.lag(), 0);
+        assert_eq!(r.total_divergence(), 0);
+        assert_eq!(r.value(ObjectId(1)), 20);
+        assert_eq!(r.primary_value(ObjectId(1)), 20);
+    }
+
+    #[test]
+    fn enqueue_updates_shadow_not_data() {
+        let mut r = Replica::new(&[10]);
+        r.enqueue(entry(0, 5, 70));
+        assert_eq!(r.value(ObjectId(0)), 10); // data lags
+        assert_eq!(r.primary_value(ObjectId(0)), 70); // control eager
+        assert_eq!(r.divergence(ObjectId(0)), 60);
+        assert_eq!(r.lag(), 1);
+        assert!(!r.is_synced());
+        assert_eq!(r.counters(), (1, 0));
+    }
+
+    #[test]
+    fn pump_applies_in_commit_order() {
+        let mut r = Replica::new(&[0]);
+        r.enqueue(entry(0, 1, 100));
+        r.enqueue(entry(0, 2, 200));
+        r.enqueue(entry(0, 3, 300));
+        assert_eq!(r.pump(2), 2);
+        assert_eq!(r.value(ObjectId(0)), 200);
+        assert_eq!(r.divergence(ObjectId(0)), 100);
+        assert_eq!(r.pump_all(), 1);
+        assert_eq!(r.value(ObjectId(0)), 300);
+        assert_eq!(r.divergence(ObjectId(0)), 0);
+        assert!(r.is_synced());
+        assert_eq!(r.counters(), (3, 3));
+    }
+
+    #[test]
+    fn pump_beyond_log_is_safe() {
+        let mut r = Replica::new(&[0]);
+        assert_eq!(r.pump(10), 0);
+        r.enqueue(entry(0, 1, 5));
+        assert_eq!(r.pump(10), 1);
+    }
+
+    #[test]
+    fn divergence_is_exact_against_shadow() {
+        let mut r = Replica::new(&[1000, 2000]);
+        r.enqueue(entry(0, 1, 1500));
+        r.enqueue(entry(1, 2, 1200));
+        r.enqueue(entry(0, 3, 900));
+        assert_eq!(r.divergence(ObjectId(0)), 100); // |900 - 1000|
+        assert_eq!(r.divergence(ObjectId(1)), 800); // |1200 - 2000|
+        assert_eq!(r.total_divergence(), 900);
+        r.pump(1); // applies the 1500 write: replica even further from 900
+        assert_eq!(r.divergence(ObjectId(0)), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown object")]
+    fn unknown_object_rejected() {
+        let mut r = Replica::new(&[0]);
+        r.enqueue(entry(5, 1, 1));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// After any sequence of enqueues and pumps, the shadow
+            /// equals the last enqueued value per object, and pumping
+            /// everything drives divergence to zero.
+            #[test]
+            fn prop_shadow_and_convergence(
+                ops in proptest::collection::vec(
+                    (0u32..4, -1_000i64..1_000, proptest::bool::ANY),
+                    0..64,
+                ),
+            ) {
+                let mut r = Replica::new(&[0; 4]);
+                let mut last = [0i64; 4];
+                let mut t = 0u64;
+                for (obj, v, pump) in ops {
+                    t += 1;
+                    r.enqueue(entry(obj, t, v));
+                    last[obj as usize] = v;
+                    if pump {
+                        r.pump(1);
+                    }
+                    for i in 0..4u32 {
+                        prop_assert_eq!(
+                            r.primary_value(ObjectId(i)),
+                            last[i as usize]
+                        );
+                        prop_assert_eq!(
+                            r.divergence(ObjectId(i)),
+                            distance(last[i as usize], r.value(ObjectId(i)))
+                        );
+                    }
+                }
+                r.pump_all();
+                prop_assert!(r.is_synced());
+                prop_assert_eq!(r.total_divergence(), 0);
+                for i in 0..4u32 {
+                    prop_assert_eq!(r.value(ObjectId(i)), last[i as usize]);
+                }
+            }
+        }
+    }
+}

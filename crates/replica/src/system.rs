@@ -1,0 +1,339 @@
+//! The replicated system: one primary kernel, N asynchronous replicas,
+//! and bounded-divergence local queries.
+
+use crate::replica::{LogEntry, Replica};
+use esr_core::aggregate::AggregateTracker;
+use esr_core::error::BoundViolation;
+use esr_core::ids::{ObjectId, TxnId};
+use esr_core::ledger::Ledger;
+use esr_core::spec::{Direction, TxnBounds};
+use esr_core::value::Value;
+use esr_tso::{Kernel, KernelError, TxnEndResponse};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Result of a committed replica query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaQueryOutcome {
+    /// The values read, in request order.
+    pub values: Vec<Value>,
+    /// Total divergence imported (≤ the query's TIL).
+    pub imported: u64,
+    /// Reads that viewed non-zero divergence.
+    pub stale_reads: u64,
+    /// Min/max view tracker for §5.3.2-style aggregates over the
+    /// replica reads.
+    pub aggregates: AggregateTracker,
+}
+
+/// One primary plus N lazily-synchronised replicas.
+///
+/// Update ETs run on the primary through the ordinary kernel interface;
+/// committing them through [`ReplicatedSystem::commit_update`] fans the
+/// committed writes out to every replica's log. Queries may run either
+/// on the primary (full ESR machinery) or locally on a replica via
+/// [`ReplicatedSystem::replica_query`] with zero coordination.
+pub struct ReplicatedSystem {
+    primary: Arc<Kernel>,
+    replicas: Vec<Mutex<Replica>>,
+}
+
+impl ReplicatedSystem {
+    /// Wrap a primary kernel and spawn `n_replicas` replicas initialised
+    /// from the primary's current (quiescent) state.
+    pub fn new(primary: Arc<Kernel>, n_replicas: usize) -> Self {
+        assert!(
+            primary.table().is_quiescent(),
+            "replicas must be seeded from a quiescent primary"
+        );
+        let initial = primary.table().values();
+        let replicas = (0..n_replicas)
+            .map(|_| Mutex::new(Replica::new(&initial)))
+            .collect();
+        ReplicatedSystem { primary, replicas }
+    }
+
+    /// The primary kernel (begin/read/write update ETs directly on it).
+    pub fn primary(&self) -> &Arc<Kernel> {
+        &self.primary
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Run `f` on one replica (pumping, inspection).
+    pub fn with_replica<R>(&self, idx: usize, f: impl FnOnce(&mut Replica) -> R) -> R {
+        f(&mut self.replicas[idx].lock())
+    }
+
+    /// Commit an update ET on the primary and ship its writes to every
+    /// replica's log (metadata eagerly, data lazily).
+    pub fn commit_update(&self, txn: TxnId) -> Result<TxnEndResponse, KernelError> {
+        let end = self.primary.commit(txn)?;
+        if let Some(info) = &end.info {
+            if !info.written.is_empty() {
+                // The commit timestamp is not in CommitInfo; replicas
+                // order by arrival (commit order), which is exactly the
+                // primary's install order, so a per-system logical tick
+                // is sufficient for the log entries.
+                for r in &self.replicas {
+                    let mut r = r.lock();
+                    for &(obj, value) in &info.written {
+                        r.enqueue(LogEntry {
+                            obj,
+                            ts: esr_clock::Timestamp::ZERO,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(end)
+    }
+
+    /// A bounded-divergence query executed *locally* on a replica.
+    ///
+    /// Each read returns the replica's current value and imports the
+    /// object's exact divergence from the primary's committed state;
+    /// the hierarchical ledger (object → groups → TIL) gates every read
+    /// exactly as on the primary. On a violation the whole query is
+    /// rejected (nothing to roll back — replica reads take no locks and
+    /// register nowhere).
+    pub fn replica_query(
+        &self,
+        idx: usize,
+        bounds: &TxnBounds,
+        objects: &[ObjectId],
+    ) -> Result<ReplicaQueryOutcome, BoundViolation> {
+        assert_eq!(
+            bounds.direction,
+            Direction::Import,
+            "replica queries carry import bounds"
+        );
+        let schema = self.primary.schema().clone();
+        let mut ledger = Ledger::new(&schema, bounds);
+        let mut agg = AggregateTracker::new();
+        let replica = self.replicas[idx].lock();
+        let mut values = Vec::with_capacity(objects.len());
+        let mut stale_reads = 0;
+        for &obj in objects {
+            let d = replica.divergence(obj);
+            // Replica-local reads honour the same server-side OIL the
+            // primary holds for the object.
+            let oil = self.primary.table().lock(obj).oil;
+            ledger.try_charge(obj, d, oil)?;
+            let v = replica.value(obj);
+            agg.record_with_proper(obj, v, replica.primary_value(obj));
+            values.push(v);
+            if d > 0 {
+                stale_reads += 1;
+            }
+        }
+        Ok(ReplicaQueryOutcome {
+            values,
+            imported: ledger.total(),
+            stale_reads,
+            aggregates: agg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_clock::Timestamp;
+    use esr_core::bounds::Limit;
+    use esr_core::error::ViolationLevel;
+    use esr_core::hierarchy::HierarchySchema;
+    use esr_core::ids::{SiteId, TxnKind};
+    use esr_storage::catalog::CatalogConfig;
+    use esr_tso::KernelConfig;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::new(t, SiteId(0))
+    }
+
+    fn system(values: &[Value], replicas: usize) -> ReplicatedSystem {
+        let table = CatalogConfig::default().build_with_values(values);
+        ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), replicas)
+    }
+
+    /// Commit one primary update writing `value` to `obj` at time `t`.
+    fn update(sys: &ReplicatedSystem, t: u64, obj: u32, value: Value) {
+        let u = sys.primary().begin(
+            TxnKind::Update,
+            TxnBounds::export(Limit::Unlimited),
+            ts(t),
+        );
+        let resp = sys.primary().write(u, ObjectId(obj), value).unwrap();
+        assert!(resp.outcome.is_done());
+        let end = sys.commit_update(u).unwrap();
+        assert!(end.info.is_some());
+    }
+
+    #[test]
+    fn commits_fan_out_to_all_replicas() {
+        let sys = system(&[100, 200], 2);
+        update(&sys, 1, 0, 150);
+        for i in 0..2 {
+            sys.with_replica(i, |r| {
+                assert_eq!(r.lag(), 1);
+                assert_eq!(r.value(ObjectId(0)), 100);
+                assert_eq!(r.primary_value(ObjectId(0)), 150);
+            });
+        }
+        sys.with_replica(0, |r| {
+            r.pump_all();
+        });
+        sys.with_replica(0, |r| assert_eq!(r.value(ObjectId(0)), 150));
+        sys.with_replica(1, |r| assert_eq!(r.value(ObjectId(0)), 100));
+    }
+
+    #[test]
+    fn bounded_replica_query_within_til() {
+        let sys = system(&[1_000, 2_000], 1);
+        update(&sys, 1, 0, 1_300);
+        let out = sys
+            .replica_query(
+                0,
+                &TxnBounds::import(Limit::at_most(500)),
+                &[ObjectId(0), ObjectId(1)],
+            )
+            .expect("within budget");
+        assert_eq!(out.values, vec![1_000, 2_000]); // stale data
+        assert_eq!(out.imported, 300);
+        assert_eq!(out.stale_reads, 1);
+        // The reported sum is within TIL of the primary's committed sum.
+        let replica_sum: i64 = out.values.iter().sum();
+        let primary_sum = sys.primary().table().sum_values() as i64;
+        assert!((replica_sum - primary_sum).unsigned_abs() <= 500);
+    }
+
+    #[test]
+    fn tight_til_rejects_stale_replica() {
+        let sys = system(&[1_000], 1);
+        update(&sys, 1, 0, 1_300);
+        let err = sys
+            .replica_query(
+                0,
+                &TxnBounds::import(Limit::at_most(100)),
+                &[ObjectId(0)],
+            )
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Transaction);
+        assert_eq!(err.attempted, 300);
+        // After syncing, even SR-strength bounds succeed.
+        sys.with_replica(0, |r| {
+            r.pump_all();
+        });
+        let out = sys
+            .replica_query(0, &TxnBounds::import(Limit::ZERO), &[ObjectId(0)])
+            .expect("synced replica is exact");
+        assert_eq!(out.values, vec![1_300]);
+        assert_eq!(out.imported, 0);
+    }
+
+    #[test]
+    fn zero_bounds_on_stale_replica_reject() {
+        let sys = system(&[1_000], 1);
+        update(&sys, 1, 0, 1_001);
+        assert!(sys
+            .replica_query(0, &TxnBounds::import(Limit::ZERO), &[ObjectId(0)])
+            .is_err());
+    }
+
+    #[test]
+    fn per_object_oil_applies_to_replica_reads() {
+        let table = CatalogConfig::default().build_with_values(&[1_000]);
+        table.set_all_limits(Limit::at_most(50), Limit::Unlimited);
+        let sys =
+            ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 1);
+        update(&sys, 1, 0, 1_200);
+        let err = sys
+            .replica_query(
+                0,
+                &TxnBounds::import(Limit::at_most(10_000)),
+                &[ObjectId(0)],
+            )
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Object(ObjectId(0)));
+        assert_eq!(err.limit, Limit::at_most(50));
+    }
+
+    #[test]
+    fn group_limits_apply_to_replica_queries() {
+        let mut b = HierarchySchema::builder();
+        let g = b.group("hot");
+        b.attach_range(0..2, g);
+        let schema = b.build();
+        let table = CatalogConfig::default().build_with_values(&[0, 0, 0]);
+        let kernel = Kernel::new(table, schema, KernelConfig::default());
+        let sys = ReplicatedSystem::new(Arc::new(kernel), 1);
+        update(&sys, 1, 0, 60);
+        update(&sys, 2, 1, 60);
+        update(&sys, 3, 2, 60);
+        let bounds = TxnBounds::import(Limit::at_most(1_000))
+            .with_group("hot", Limit::at_most(100));
+        let err = sys
+            .replica_query(0, &bounds, &[ObjectId(0), ObjectId(1), ObjectId(2)])
+            .unwrap_err();
+        assert_eq!(err.level, ViolationLevel::Group("hot".into()));
+        assert_eq!(err.attempted, 120);
+        // Dropping one hot object fits the group budget.
+        let out = sys
+            .replica_query(0, &bounds, &[ObjectId(0), ObjectId(2)])
+            .unwrap();
+        assert_eq!(out.imported, 120); // 60 hot + 60 root-level
+    }
+
+    #[test]
+    fn replica_aggregates_cover_primary_values() {
+        use esr_core::aggregate::AggregateKind;
+        let sys = system(&[1_000, 3_000], 1);
+        update(&sys, 1, 0, 1_400);
+        let out = sys
+            .replica_query(
+                0,
+                &TxnBounds::import(Limit::at_most(1_000)),
+                &[ObjectId(0), ObjectId(1)],
+            )
+            .unwrap();
+        let b = out.aggregates.result_bounds(AggregateKind::Sum).unwrap();
+        let primary_sum = sys.primary().table().sum_values() as f64;
+        assert!(primary_sum >= b.min_result && primary_sum <= b.max_result);
+    }
+
+    #[test]
+    fn queries_on_different_replicas_see_different_staleness() {
+        let sys = system(&[0], 2);
+        update(&sys, 1, 0, 100);
+        sys.with_replica(0, |r| {
+            r.pump_all();
+        });
+        let fresh = sys
+            .replica_query(0, &TxnBounds::import(Limit::ZERO), &[ObjectId(0)])
+            .unwrap();
+        assert_eq!(fresh.values, vec![100]);
+        let stale = sys
+            .replica_query(1, &TxnBounds::import(Limit::at_most(100)), &[ObjectId(0)])
+            .unwrap();
+        assert_eq!(stale.values, vec![0]);
+        assert_eq!(stale.imported, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescent")]
+    fn seeding_from_active_primary_rejected() {
+        let table = CatalogConfig::default().build_with_values(&[1]);
+        let kernel = Arc::new(Kernel::with_defaults(table));
+        let u = kernel.begin(
+            TxnKind::Update,
+            TxnBounds::export(Limit::Unlimited),
+            ts(1),
+        );
+        let _ = kernel.write(u, ObjectId(0), 2).unwrap();
+        let _ = ReplicatedSystem::new(kernel, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! A client connection: one site, one synchronous request stream.
+
+use crate::proto::{EndReply, OpReply, Request};
+use crossbeam::channel::{bounded, Sender};
+use esr_clock::TimestampGenerator;
+use esr_core::ids::{ObjectId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_core::value::Value;
+use esr_tso::{CommitInfo, Operation};
+use esr_txn::{Session, SessionError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A client-side handle implementing [`Session`].
+///
+/// Requests are synchronous: each call sends one request and blocks on
+/// its reply — exactly the paper's synchronous RPC. An operation that
+/// the server parks (strict-ordering wait) simply blocks this thread
+/// until a commit or abort releases it. The optional `rpc_latency`
+/// reproduces the paper's 17–20 ms per-call cost.
+pub struct Connection {
+    req_tx: Sender<Request>,
+    clock: Arc<TimestampGenerator>,
+    rpc_latency: Option<Duration>,
+    current: Option<TxnId>,
+}
+
+impl Connection {
+    pub(crate) fn new(
+        req_tx: Sender<Request>,
+        clock: Arc<TimestampGenerator>,
+        rpc_latency: Option<Duration>,
+    ) -> Self {
+        Connection {
+            req_tx,
+            clock,
+            rpc_latency,
+            current: None,
+        }
+    }
+
+    /// The site this connection stamps timestamps with.
+    pub fn site(&self) -> esr_core::ids::SiteId {
+        self.clock.site()
+    }
+
+    /// The current transaction, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.current
+    }
+
+    fn simulate_rpc(&self) {
+        if let Some(lat) = self.rpc_latency {
+            std::thread::sleep(lat);
+        }
+    }
+
+    fn current(&self) -> Result<TxnId, SessionError> {
+        self.current.ok_or(SessionError::NoTransaction)
+    }
+
+    fn submit_op(&mut self, op: Operation) -> Result<OpReply, SessionError> {
+        let txn = self.current()?;
+        let (tx, rx) = bounded(1);
+        self.req_tx
+            .send(Request::Op {
+                txn,
+                op,
+                reply: tx,
+            })
+            .map_err(|_| SessionError::Backend("server is down".into()))?;
+        let reply = rx
+            .recv()
+            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
+        self.simulate_rpc();
+        Ok(reply)
+    }
+}
+
+impl Session for Connection {
+    fn begin(&mut self, kind: TxnKind, bounds: TxnBounds) -> Result<(), SessionError> {
+        if self.current.is_some() {
+            return Err(SessionError::Backend(
+                "begin while a transaction is in progress".into(),
+            ));
+        }
+        let ts = self.clock.next();
+        let (tx, rx) = bounded(1);
+        self.req_tx
+            .send(Request::Begin {
+                kind,
+                bounds,
+                ts,
+                reply: tx,
+            })
+            .map_err(|_| SessionError::Backend("server is down".into()))?;
+        let id = rx
+            .recv()
+            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
+        self.simulate_rpc();
+        self.current = Some(id);
+        Ok(())
+    }
+
+    fn read(&mut self, obj: ObjectId) -> Result<Value, SessionError> {
+        match self.submit_op(Operation::Read(obj))? {
+            OpReply::Value(v) => Ok(v),
+            OpReply::Aborted(r) => {
+                self.current = None;
+                Err(SessionError::Aborted(r))
+            }
+            OpReply::Written => Err(SessionError::Backend(
+                "read answered as write".into(),
+            )),
+            OpReply::Error(e) => Err(SessionError::Backend(e)),
+        }
+    }
+
+    fn write(&mut self, obj: ObjectId, value: Value) -> Result<(), SessionError> {
+        match self.submit_op(Operation::Write(obj, value))? {
+            OpReply::Written => Ok(()),
+            OpReply::Aborted(r) => {
+                self.current = None;
+                Err(SessionError::Aborted(r))
+            }
+            OpReply::Value(_) => Err(SessionError::Backend(
+                "write answered as read".into(),
+            )),
+            OpReply::Error(e) => Err(SessionError::Backend(e)),
+        }
+    }
+
+    fn commit(&mut self) -> Result<CommitInfo, SessionError> {
+        let txn = self.current()?;
+        let (tx, rx) = bounded(1);
+        self.req_tx
+            .send(Request::End {
+                txn,
+                commit: true,
+                reply: tx,
+            })
+            .map_err(|_| SessionError::Backend("server is down".into()))?;
+        let reply = rx
+            .recv()
+            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
+        self.simulate_rpc();
+        self.current = None;
+        match reply {
+            EndReply::Committed(info) => Ok(info),
+            EndReply::Aborted => Err(SessionError::Backend(
+                "commit answered as abort".into(),
+            )),
+            EndReply::Error(e) => Err(SessionError::Backend(e)),
+        }
+    }
+
+    fn abort(&mut self) -> Result<(), SessionError> {
+        let txn = self.current()?;
+        let (tx, rx) = bounded(1);
+        self.req_tx
+            .send(Request::End {
+                txn,
+                commit: false,
+                reply: tx,
+            })
+            .map_err(|_| SessionError::Backend("server is down".into()))?;
+        let reply = rx
+            .recv()
+            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
+        self.simulate_rpc();
+        self.current = None;
+        match reply {
+            EndReply::Aborted => Ok(()),
+            EndReply::Committed(_) => Err(SessionError::Backend(
+                "abort answered as commit".into(),
+            )),
+            EndReply::Error(e) => Err(SessionError::Backend(e)),
+        }
+    }
+
+    fn in_txn(&self) -> bool {
+        self.current.is_some()
+    }
+}

@@ -1,0 +1,70 @@
+//! Wire protocol between connections and the server.
+
+use crossbeam::channel::Sender;
+use esr_clock::Timestamp;
+use esr_core::ids::{TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_tso::{AbortReason, CommitInfo, Operation};
+
+/// Server reply to a read/write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpReply {
+    /// Read result.
+    Value(i64),
+    /// Write applied (or skipped under the Thomas rule).
+    Written,
+    /// The transaction was aborted by the system.
+    Aborted(AbortReason),
+    /// Driver-level error (unknown object, query write, …).
+    Error(String),
+}
+
+/// Server reply to a commit/abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndReply {
+    /// Committed with this summary.
+    Committed(CommitInfo),
+    /// Aborted (client-initiated) successfully.
+    Aborted,
+    /// Driver-level error.
+    Error(String),
+}
+
+/// A request from a connection.
+#[derive(Debug)]
+pub enum Request {
+    /// Begin a transaction; the client generated the timestamp (§6:
+    /// timestamps come from the client sites' corrected clocks).
+    Begin {
+        /// Query or update.
+        kind: TxnKind,
+        /// The transaction's bound specification.
+        bounds: TxnBounds,
+        /// Client-generated timestamp.
+        ts: Timestamp,
+        /// Reply channel.
+        reply: Sender<TxnId>,
+    },
+    /// A read or write. The reply is withheld while the operation waits
+    /// (strict ordering) and sent once it completes or aborts.
+    Op {
+        /// The transaction.
+        txn: TxnId,
+        /// The operation.
+        op: Operation,
+        /// Reply channel.
+        reply: Sender<OpReply>,
+    },
+    /// Commit or abort.
+    End {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` for commit.
+        commit: bool,
+        /// Reply channel.
+        reply: Sender<EndReply>,
+    },
+    /// Stop the receiving worker (one token is sent per worker at
+    /// shutdown).
+    Shutdown,
+}

@@ -1,0 +1,264 @@
+//! The central transaction server.
+
+use crate::connection::Connection;
+use crate::proto::{EndReply, OpReply, Request};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use esr_clock::{CorrectionFactor, ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource, TimestampGenerator};
+use esr_core::ids::{SiteId, TxnId};
+use esr_tso::{Kernel, OpOutcome, PendingOp};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads servicing requests (the paper's multithreaded
+    /// server).
+    pub workers: usize,
+    /// Synchronous per-operation latency injected at the client side of
+    /// the channel, modelling the paper's RPC (≈17–20 ms there). `None`
+    /// for full speed.
+    pub rpc_latency: Option<Duration>,
+    /// Use a virtual (manually driven) reference clock instead of the
+    /// wall clock. Tests use this for determinism.
+    pub virtual_time: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            rpc_latency: None,
+            virtual_time: false,
+        }
+    }
+}
+
+/// Reply channels of operations currently parked on kernel wait queues.
+type PendingReplies = Arc<Mutex<HashMap<TxnId, Sender<OpReply>>>>;
+
+/// The server: owns the kernel, dispatches requests to workers, and
+/// routes wakeups back to the blocked clients.
+pub struct Server {
+    kernel: Arc<Kernel>,
+    req_tx: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    reference: Arc<dyn TimeSource>,
+    manual: Option<ManualTimeSource>,
+    next_site: AtomicU16,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Start a server over `kernel`.
+    pub fn start(kernel: Kernel, config: ServerConfig) -> Self {
+        let kernel = Arc::new(kernel);
+        let (req_tx, req_rx) = unbounded::<Request>();
+        let pending: PendingReplies = Arc::new(Mutex::new(HashMap::new()));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = req_rx.clone();
+            let k = Arc::clone(&kernel);
+            let p = Arc::clone(&pending);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("esr-server-worker-{i}"))
+                    .spawn(move || worker_loop(rx, k, p))
+                    .expect("spawn server worker"),
+            );
+        }
+        let (reference, manual): (Arc<dyn TimeSource>, Option<ManualTimeSource>) =
+            if config.virtual_time {
+                let m = ManualTimeSource::starting_at(1);
+                (Arc::new(m.clone()), Some(m))
+            } else {
+                (Arc::new(SystemTimeSource::new()), None)
+            };
+        Server {
+            kernel,
+            req_tx: Some(req_tx),
+            workers,
+            reference,
+            manual,
+            next_site: AtomicU16::new(1),
+            config,
+        }
+    }
+
+    /// The kernel (stats, table inspection).
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The manually driven reference clock, when `virtual_time` is on.
+    pub fn manual_clock(&self) -> Option<&ManualTimeSource> {
+        self.manual.as_ref()
+    }
+
+    /// Open a connection whose site clock agrees with the server.
+    pub fn connect(&self) -> Connection {
+        self.connect_with_skew(0)
+    }
+
+    /// Open a connection whose site clock is skewed by `skew_micros`
+    /// (the paper saw up to two minutes) and then corrected into virtual
+    /// synchrony with the server via a correction factor (§6).
+    pub fn connect_with_skew(&self, skew_micros: i64) -> Connection {
+        let site = SiteId(self.next_site.fetch_add(1, Ordering::Relaxed));
+        let skewed: Arc<dyn TimeSource> =
+            Arc::new(SkewedSource::new(Arc::clone(&self.reference), skew_micros));
+        // The time exchange of the correction protocol: zero modelled
+        // round trip because the "network" is an in-process channel.
+        // Best-of-8 sampling bounds the error a preemption between the
+        // two clock reads could otherwise inject.
+        let cf = CorrectionFactor::estimate_best_of(&skewed, &self.reference, 8);
+        let generator =
+            TimestampGenerator::with_correction(site, skewed, cf);
+        Connection::new(
+            self.req_tx
+                .as_ref()
+                .expect("server not shut down")
+                .clone(),
+            Arc::new(generator),
+            self.config.rpc_latency,
+        )
+    }
+
+    /// Stop accepting requests and join the workers. Called by `Drop`;
+    /// explicit shutdown lets callers assert quiescence first.
+    ///
+    /// Live connections do not block shutdown: each worker is stopped by
+    /// a dedicated token (connections hold channel senders, so waiting
+    /// for channel disconnection would deadlock). Once the workers exit,
+    /// the channel's receivers are gone, later `send`s fail, and any
+    /// queued requests are dropped — their blocked clients observe a
+    /// closed reply channel.
+    pub fn shutdown(&mut self) {
+        if let Some(tx) = self.req_tx.take() {
+            for _ in 0..self.workers.len() {
+                let _ = tx.send(Request::Shutdown);
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingReplies) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Begin {
+                kind,
+                bounds,
+                ts,
+                reply,
+            } => {
+                let id = kernel.begin(kind, bounds, ts);
+                let _ = reply.send(id);
+            }
+            Request::Op { txn, op, reply } => {
+                dispatch_op(&kernel, &pending, PendingOp { txn, op }, reply);
+            }
+            Request::End { txn, commit, reply } => {
+                let result = if commit {
+                    kernel.commit(txn)
+                } else {
+                    kernel.abort(txn)
+                };
+                match result {
+                    Ok(end) => {
+                        let _ = reply.send(match end.info {
+                            Some(info) => EndReply::Committed(info),
+                            None => EndReply::Aborted,
+                        });
+                        drain_woken(&kernel, &pending, end.woken);
+                    }
+                    Err(e) => {
+                        let _ = reply.send(EndReply::Error(e.to_string()));
+                    }
+                }
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+fn send_outcome(reply: &Sender<OpReply>, outcome: OpOutcome) {
+    let _ = reply.send(match outcome {
+        OpOutcome::Value(v) => OpReply::Value(v),
+        OpOutcome::Written | OpOutcome::WriteSkipped => OpReply::Written,
+        OpOutcome::Aborted(r) => OpReply::Aborted(r),
+        OpOutcome::Wait => unreachable!("Wait outcomes never reach the client"),
+    });
+}
+
+/// Submit one operation; park its reply if the kernel makes it wait,
+/// and service any operations the submission itself woke.
+///
+/// The reply sender is registered in `pending` *before* the kernel call:
+/// if the kernel parks the operation, a commit on another worker may
+/// wake and complete it before this call even returns, and that wake
+/// path must find the sender. While an operation is parked its entry
+/// stays in the map; it is removed exactly once, by whichever path
+/// completes the operation.
+fn dispatch_op(
+    kernel: &Kernel,
+    pending: &PendingReplies,
+    op: PendingOp,
+    reply: Sender<OpReply>,
+) {
+    pending.lock().insert(op.txn, reply);
+    match kernel.resume(op) {
+        Ok(resp) => {
+            if resp.outcome != OpOutcome::Wait {
+                // Not parked, so no concurrent wake could have consumed
+                // the entry: it must still be present.
+                if let Some(reply) = pending.lock().remove(&op.txn) {
+                    send_outcome(&reply, resp.outcome);
+                }
+            }
+            drain_woken(kernel, pending, resp.woken);
+        }
+        Err(e) => {
+            if let Some(reply) = pending.lock().remove(&op.txn) {
+                let _ = reply.send(OpReply::Error(e.to_string()));
+            }
+        }
+    }
+}
+
+/// Resubmit woken operations, replying to their (blocked) clients as
+/// they complete. A resubmitted operation may wait again (its pending
+/// entry simply stays registered) or wake further operations; iterate
+/// until the queue is dry.
+fn drain_woken(kernel: &Kernel, pending: &PendingReplies, woken: Vec<PendingOp>) {
+    let mut queue: std::collections::VecDeque<PendingOp> = woken.into();
+    while let Some(p) = queue.pop_front() {
+        match kernel.resume(p) {
+            Ok(resp) => {
+                if resp.outcome != OpOutcome::Wait {
+                    if let Some(reply) = pending.lock().remove(&p.txn) {
+                        send_outcome(&reply, resp.outcome);
+                    }
+                }
+                queue.extend(resp.woken);
+            }
+            Err(e) => {
+                if let Some(reply) = pending.lock().remove(&p.txn) {
+                    let _ = reply.send(OpReply::Error(e.to_string()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Integration tests for the threaded client/server system.
+
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_server::{Server, ServerConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{AbortReason, Kernel};
+use esr_txn::{parse_program, run_with_retry, Session, SessionError};
+use std::time::Duration;
+
+fn server_with(values: &[i64], config: ServerConfig) -> Server {
+    let table = CatalogConfig::default().build_with_values(values);
+    Server::start(Kernel::with_defaults(table), config)
+}
+
+#[test]
+fn basic_update_through_connection() {
+    let server = server_with(&[100, 200], ServerConfig::default());
+    let mut c = server.connect();
+    c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    assert_eq!(c.read(ObjectId(0)).unwrap(), 100);
+    c.write(ObjectId(1), 250).unwrap();
+    let info = c.commit().unwrap();
+    assert_eq!(info.reads, 1);
+    assert_eq!(info.writes, 1);
+    assert_eq!(server.kernel().table().lock(ObjectId(1)).value, 250);
+}
+
+#[test]
+fn waiting_operation_blocks_until_commit() {
+    let server = server_with(&[100], ServerConfig::default());
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 175).unwrap();
+
+    // A second client's read must block until the writer commits.
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        let v = reader.read(ObjectId(0)).unwrap();
+        reader.commit().unwrap();
+        v
+    });
+    // Give the reader time to park.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!handle.is_finished(), "reader should be blocked");
+    writer.commit().unwrap();
+    assert_eq!(handle.join().unwrap(), 175);
+}
+
+#[test]
+fn waiting_operation_released_by_abort() {
+    let server = server_with(&[100], ServerConfig::default());
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 999).unwrap();
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        let v = reader.read(ObjectId(0)).unwrap();
+        reader.commit().unwrap();
+        v
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    writer.abort().unwrap();
+    assert_eq!(handle.join().unwrap(), 100); // shadow value restored
+}
+
+#[test]
+fn esr_query_reads_through_uncommitted_update_without_blocking() {
+    let server = server_with(&[100], ServerConfig::default());
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+        .unwrap();
+    writer.write(ObjectId(0), 175).unwrap();
+
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::at_most(100)))
+        .unwrap();
+    // No other thread will commit; if this read blocked the test would
+    // hang. ESR admits it immediately with d = 75.
+    assert_eq!(reader.read(ObjectId(0)).unwrap(), 175);
+    let info = reader.commit().unwrap();
+    assert_eq!(info.inconsistency, 75);
+    assert_eq!(info.inconsistent_ops, 1);
+    writer.commit().unwrap();
+}
+
+#[test]
+fn zero_bound_late_read_aborts_across_connections() {
+    let server = server_with(&[100], ServerConfig::default());
+    // A query that begins first (older timestamp)…
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    // …then an update begins, writes, and commits (newer timestamp).
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 140).unwrap();
+    writer.commit().unwrap();
+    // The query's read is now late with d = 40 > 0.
+    match reader.read(ObjectId(0)) {
+        Err(SessionError::Aborted(AbortReason::BoundViolation(_))) => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(!reader.in_txn());
+}
+
+#[test]
+fn transaction_programs_run_against_the_server() {
+    let server = server_with(&[100, 200, 0], ServerConfig::default());
+    let mut c = server.connect();
+    let p = parse_program(
+        "BEGIN Update TEL = 1000\nt1 = Read 0\nt2 = Read 1\nWrite 2 , t1+t2\nCOMMIT",
+    )
+    .unwrap();
+    let got = run_with_retry(&p, &mut c, 10).unwrap();
+    assert!(got.output.committed);
+    assert_eq!(server.kernel().table().lock(ObjectId(2)).value, 300);
+}
+
+#[test]
+fn skewed_clients_are_corrected_into_synchrony() {
+    // Virtual time makes the correction exchange exact and the test
+    // fully deterministic.
+    let server = server_with(
+        &[100],
+        ServerConfig {
+            virtual_time: true,
+            ..ServerConfig::default()
+        },
+    );
+    // Two minutes apart, the paper's extreme.
+    let mut fast = server.connect_with_skew(120_000_000);
+    let mut slow = server.connect_with_skew(-120_000_000);
+    // The correction factor must bring both into the same ballpark:
+    // run a serial pair of transactions — slow client's later txn must
+    // not be branded "late" by two minutes of skew.
+    fast.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    fast.write(ObjectId(0), 150).unwrap();
+    fast.commit().unwrap();
+    slow.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    // Without correction this read would be 2 minutes late and abort.
+    assert_eq!(slow.read(ObjectId(0)).unwrap(), 150);
+    slow.write(ObjectId(0), 160).unwrap();
+    slow.commit().unwrap();
+    assert_eq!(server.kernel().table().lock(ObjectId(0)).value, 160);
+}
+
+#[test]
+fn rpc_latency_is_applied() {
+    let server = server_with(
+        &[1],
+        ServerConfig {
+            rpc_latency: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = server.connect();
+    let t0 = std::time::Instant::now();
+    c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    let _ = c.read(ObjectId(0)).unwrap();
+    c.commit().unwrap();
+    // Begin + read + commit = 3 synchronous calls ≥ 30 ms.
+    assert!(t0.elapsed() >= Duration::from_millis(30));
+}
+
+#[test]
+fn concurrent_transfer_clients_preserve_the_invariant() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = 16u32;
+    let init = 5_000i64;
+    let server = server_with(&vec![init; n as usize], ServerConfig::default());
+    let expected: i128 = n as i128 * init as i128;
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let mut c = server.connect();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(t);
+            let mut committed = 0u32;
+            let mut attempts = 0u32;
+            while committed < 30 && attempts < 10_000 {
+                attempts += 1;
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                let amt = rng.gen_range(1..100i64);
+                if c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+                    .is_err()
+                {
+                    continue;
+                }
+                let step = (|| -> Result<(), SessionError> {
+                    let va = c.read(ObjectId(a))?;
+                    let vb = c.read(ObjectId(b))?;
+                    c.write(ObjectId(a), va - amt)?;
+                    c.write(ObjectId(b), vb + amt)?;
+                    c.commit()?;
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => committed += 1,
+                    Err(e) => {
+                        assert!(
+                            e.is_retryable(),
+                            "unexpected failure: {e}"
+                        );
+                        if c.in_txn() {
+                            let _ = c.abort();
+                        }
+                    }
+                }
+            }
+            assert_eq!(committed, 30, "starved after {attempts} attempts");
+        }));
+    }
+
+    // Meanwhile, audit queries with a finite TIL observe bounded error.
+    let mut auditor = server.connect();
+    let til = 5_000u64;
+    for _ in 0..20 {
+        if auditor
+            .begin(TxnKind::Query, TxnBounds::import(Limit::at_most(til)))
+            .is_err()
+        {
+            continue;
+        }
+        let mut sum: i128 = 0;
+        let mut ok = true;
+        for i in 0..n {
+            match auditor.read(ObjectId(i)) {
+                Ok(v) => sum += v as i128,
+                Err(e) => {
+                    assert!(e.is_retryable(), "{e}");
+                    ok = false;
+                    if auditor.in_txn() {
+                        let _ = auditor.abort();
+                    }
+                    break;
+                }
+            }
+        }
+        if ok && auditor.commit().is_ok() {
+            let dev = (sum - expected).unsigned_abs();
+            assert!(
+                dev <= til as u128,
+                "audit sum {sum} deviates {dev} > TIL {til}"
+            );
+        }
+    }
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(server.kernel().table().is_quiescent());
+    assert_eq!(server.kernel().table().sum_values(), expected);
+}
+
+#[test]
+fn server_shutdown_disconnects_clients() {
+    let mut server = server_with(&[1], ServerConfig::default());
+    let mut c = server.connect();
+    server.shutdown();
+    match c.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)) {
+        Err(SessionError::Backend(m)) => assert!(m.contains("down"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+}

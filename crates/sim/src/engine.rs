@@ -1,0 +1,155 @@
+//! The discrete-event core: a time-ordered event queue and virtual
+//! clock.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type Micros = u64;
+
+/// A scheduled event carrying a payload of type `E`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<E> {
+    time: Micros,
+    seq: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest time first; FIFO among equal times via seq.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue with a monotone virtual clock.
+#[derive(Debug)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: Micros,
+    seq: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time (the time of the last popped event).
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past
+    /// is clamped to "now" (events still pop in order).
+    pub fn schedule_at(&mut self, at: Micros, payload: E) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, payload }));
+    }
+
+    /// Schedule `payload` after a delay from now.
+    pub fn schedule_in(&mut self, delay: Micros, payload: E) {
+        self.schedule_at(self.now.saturating_add(delay), payload);
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Micros, E)> {
+        let Reverse(ev) = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "virtual time went backwards");
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Peek at the next event time.
+    pub fn next_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue exhausted?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "first");
+        q.schedule_at(5, "second");
+        q.schedule_at(5, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        let _ = q.pop();
+        q.schedule_in(50, "y");
+        assert_eq!(q.pop(), Some((150, "y")));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "x");
+        let _ = q.pop();
+        q.schedule_at(10, "late");
+        assert_eq!(q.pop(), Some((100, "late")));
+        assert_eq!(q.now(), 100);
+    }
+
+    #[test]
+    fn next_time_peeks_without_advancing() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule_at(42, "x");
+        assert_eq!(q.next_time(), Some(42));
+        assert_eq!(q.now(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Repetition and summarisation: §8 repeats each test "a few times" and
+//! reports means whose 90% confidence intervals fall within ±3%.
+
+use crate::config::SimConfig;
+use crate::run::{simulate, RunResult};
+use esr_metrics::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Mean/CI summaries across repetitions of one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSummary {
+    /// Repetitions run.
+    pub repetitions: usize,
+    /// Committed transactions per second.
+    pub throughput: Summary,
+    /// Aborts (retries) over the window.
+    pub aborts: Summary,
+    /// Successful inconsistent operations over the window.
+    pub inconsistent_ops: Summary,
+    /// Executed operations (reads + writes) over the window.
+    pub operations: Summary,
+    /// Operations executed per committed transaction.
+    pub ops_per_commit: Summary,
+    /// The individual runs.
+    pub runs: Vec<RunResult>,
+}
+
+/// Run `reps` repetitions of `cfg`, varying only the seed.
+pub fn repeat(cfg: &SimConfig, reps: usize) -> ExperimentSummary {
+    assert!(reps >= 1, "need at least one repetition");
+    let runs: Vec<RunResult> = (0..reps)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+            simulate(&c)
+        })
+        .collect();
+    let pick = |f: fn(&RunResult) -> f64| -> Summary {
+        let xs: Vec<f64> = runs.iter().map(f).collect();
+        Summary::of(&xs)
+    };
+    ExperimentSummary {
+        repetitions: reps,
+        throughput: pick(|r| r.throughput),
+        aborts: pick(|r| r.aborts as f64),
+        inconsistent_ops: pick(|r| r.inconsistent_ops as f64),
+        operations: pick(|r| r.operations as f64),
+        ops_per_commit: pick(|r| r.ops_per_commit),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BoundsConfig;
+    use esr_core::bounds::EpsilonPreset;
+
+    fn quick() -> SimConfig {
+        SimConfig {
+            mpl: 3,
+            bounds: BoundsConfig::preset(EpsilonPreset::Medium),
+            warmup_micros: 200_000,
+            measure_micros: 5_000_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn repeat_summarises_all_metrics() {
+        let s = repeat(&quick(), 3);
+        assert_eq!(s.repetitions, 3);
+        assert_eq!(s.runs.len(), 3);
+        assert_eq!(s.throughput.n, 3);
+        assert!(s.throughput.mean > 0.0);
+        assert!(s.operations.mean > 0.0);
+        // Distinct seeds were used: runs are not all identical.
+        assert!(
+            s.runs.windows(2).any(|w| w[0] != w[1]),
+            "repetitions should differ by seed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        let _ = repeat(&quick(), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! The simulation main loop.
+
+use crate::client::Client;
+use crate::config::SimConfig;
+use crate::engine::{EventQueue, Micros};
+use esr_clock::ManualTimeSource;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_tso::{Kernel, OpOutcome, PendingOp, StatsSnapshot};
+use esr_workload::PaperWorkload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Events of the system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// The client (re)starts its current transaction: BEGIN reaches the
+    /// server and the next operation is sent.
+    Begin { client: usize },
+    /// The client's current operation reaches the server and executes.
+    Exec { client: usize },
+    /// The client's COMMIT reaches the server.
+    Commit { client: usize },
+    /// A previously parked operation was released and re-executes.
+    Resume { pending: PendingOp },
+}
+
+/// Aggregated results of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Kernel counter deltas over the measurement window.
+    pub stats: StatsSnapshot,
+    /// Measurement window length in virtual seconds.
+    pub virtual_seconds: f64,
+    /// Committed transactions per virtual second.
+    pub throughput: f64,
+    /// Query commits per second.
+    pub query_throughput: f64,
+    /// Update commits per second.
+    pub update_throughput: f64,
+    /// Aborts (retries) over the window.
+    pub aborts: u64,
+    /// Successful inconsistent operations over the window (Figure 8).
+    pub inconsistent_ops: u64,
+    /// Total executed read+write operations over the window (Figure 10).
+    pub operations: u64,
+    /// Average operations executed per committed transaction, including
+    /// wasted work from aborted attempts (Figure 13).
+    pub ops_per_commit: f64,
+}
+
+/// The simulator state.
+struct Sim {
+    kernel: Kernel,
+    clock: Arc<ManualTimeSource>,
+    queue: EventQueue<Ev>,
+    clients: Vec<Client>,
+    /// Owner of each in-flight transaction, for routing wakeups.
+    owner: HashMap<TxnId, usize>,
+    /// When the server CPU becomes free: the prototype's server is one
+    /// machine, so operations queue FCFS for its processor. This shared
+    /// bottleneck is what turns wasted (aborted-and-retried) work into
+    /// lost throughput — the mechanism behind the thrashing knee of
+    /// Figure 7.
+    cpu_free_at: Micros,
+    cfg: SimConfig,
+}
+
+impl Sim {
+    fn new(cfg: SimConfig) -> Self {
+        cfg.validate();
+        let table = cfg.catalog.build();
+        let kernel = Kernel::new(table, HierarchySchema::two_level(), cfg.kernel);
+        let clock = Arc::new(ManualTimeSource::starting_at(1));
+        let mut clients = Vec::with_capacity(cfg.mpl);
+        for i in 0..cfg.mpl {
+            let wl = PaperWorkload::new(
+                cfg.workload.clone(),
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            );
+            clients.push(Client::new(
+                i,
+                Arc::clone(&clock),
+                wl,
+                cfg.seed.wrapping_add(i as u64),
+            ));
+        }
+        Sim {
+            kernel,
+            clock,
+            queue: EventQueue::new(),
+            clients,
+            owner: HashMap::new(),
+            cpu_free_at: 0,
+            cfg,
+        }
+    }
+
+    /// Network round trip for one synchronous call by client `c`.
+    fn net(&mut self, c: usize) -> Micros {
+        let (min, max) = (self.cfg.rpc_min_micros, self.cfg.rpc_max_micros);
+        self.clients[c].rpc_latency(min, max)
+    }
+
+    /// Admission through the single server CPU: if it is busy at `now`,
+    /// requeue `ev` for when it frees up and return `false`; otherwise
+    /// claim one service slot and return `true`.
+    fn claim_cpu(&mut self, ev: Ev) -> bool {
+        let now = self.queue.now();
+        if self.cpu_free_at > now {
+            self.queue.schedule_at(self.cpu_free_at, ev);
+            false
+        } else {
+            self.cpu_free_at = now + self.cfg.server_cpu_micros;
+            true
+        }
+    }
+
+    fn bounds_for(&self, kind: TxnKind) -> TxnBounds {
+        match kind {
+            TxnKind::Query => TxnBounds::import(self.cfg.bounds.til),
+            TxnKind::Update => TxnBounds::export(self.cfg.bounds.tel),
+        }
+    }
+
+    /// Process one event. Every event is the *arrival* of a request at
+    /// the server; it first queues FCFS for the server CPU.
+    fn handle(&mut self, ev: Ev) {
+        if !self.claim_cpu(ev) {
+            return; // requeued for when the CPU frees up
+        }
+        // Keep the shared clock at virtual "now" so timestamps issued by
+        // client generators match simulation time.
+        self.clock.set(self.queue.now());
+        let cpu = self.cfg.server_cpu_micros;
+        match ev {
+            Ev::Begin { client } => {
+                let kind = {
+                    let c = &mut self.clients[client];
+                    c.start_attempt().kind
+                };
+                let bounds = self.bounds_for(kind);
+                let ts = self.clients[client].clock.next();
+                let txn = self.kernel.begin(kind, bounds, ts);
+                self.clients[client].txn = Some(txn);
+                self.owner.insert(txn, client);
+                // Service completes, the reply travels back, and the
+                // first operation arrives one network round trip later.
+                let dt = cpu + self.net(client);
+                self.queue.schedule_in(dt, Ev::Exec { client });
+            }
+            Ev::Exec { client } => {
+                let txn = self.clients[client].txn.expect("exec without txn");
+                let op = self.clients[client]
+                    .current_op()
+                    .expect("exec past end of template");
+                self.submit(PendingOp { txn, op }, client);
+            }
+            Ev::Resume { pending } => {
+                let client = match self.owner.get(&pending.txn) {
+                    Some(c) => *c,
+                    // Owner already aborted/committed (stale wake);
+                    // nothing to do.
+                    None => return,
+                };
+                self.submit(pending, client);
+            }
+            Ev::Commit { client } => {
+                let txn = self.clients[client].txn.expect("commit without txn");
+                let end = self.kernel.commit(txn).expect("commit of active txn");
+                debug_assert!(end.info.is_some());
+                self.owner.remove(&txn);
+                self.clients[client].finish_committed();
+                self.wake(end.woken);
+                // Commit reply travels back, then the next transaction
+                // begins immediately (clients loop over their data
+                // files without think time, §6).
+                let dt = cpu + self.net(client);
+                self.queue.schedule_in(dt, Ev::Begin { client });
+            }
+        }
+    }
+
+    /// Submit (or resubmit) an operation to the kernel and advance the
+    /// owning client's state machine. Runs at the start of the op's CPU
+    /// service slot.
+    fn submit(&mut self, pending: PendingOp, client: usize) {
+        let cpu = self.cfg.server_cpu_micros;
+        let resp = self.kernel.resume(pending).expect("valid op");
+        match resp.outcome {
+            OpOutcome::Value(_) | OpOutcome::Written | OpOutcome::WriteSkipped => {
+                let value = match resp.outcome {
+                    OpOutcome::Value(v) => Some(v),
+                    _ => None,
+                };
+                let more = self.clients[client].complete_op(value);
+                let dt = cpu + self.net(client);
+                if more {
+                    self.queue.schedule_in(dt, Ev::Exec { client });
+                } else {
+                    self.queue.schedule_in(dt, Ev::Commit { client });
+                }
+            }
+            OpOutcome::Wait => {
+                // Parked: the client stays blocked until a commit/abort
+                // wakes the operation (Ev::Resume).
+            }
+            OpOutcome::Aborted(_) => {
+                self.owner.remove(&pending.txn);
+                self.clients[client].note_aborted();
+                // The abort notification travels back, the client waits
+                // the restart delay, and the resubmitted BEGIN arrives.
+                // The delay is jittered: identical deterministic
+                // restarts otherwise re-create the same interleaving
+                // forever (a livelock the paper's LAN noise broke up
+                // naturally).
+                let jitter = {
+                    let base = self.cfg.restart_delay_micros.max(1);
+                    use rand::Rng;
+                    self.clients[client].rng.gen_range(0..=2 * base)
+                };
+                let dt = cpu
+                    + self.net(client)
+                    + self.cfg.restart_delay_micros
+                    + jitter;
+                self.queue.schedule_in(dt, Ev::Begin { client });
+            }
+        }
+        self.wake(resp.woken);
+    }
+
+    /// Schedule released operations for re-execution; they re-enter the
+    /// CPU queue immediately.
+    fn wake(&mut self, woken: Vec<PendingOp>) {
+        for pending in woken {
+            self.queue.schedule_in(0, Ev::Resume { pending });
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        let warmup = self.cfg.warmup_micros;
+        let end = warmup + self.cfg.measure_micros;
+
+        // Stagger client arrivals over one RPC to avoid lockstep.
+        for c in 0..self.cfg.mpl {
+            self.queue
+                .schedule_at(1 + (c as u64 * 97) % 1_000, Ev::Begin { client: c });
+        }
+
+        let mut warmup_snap: Option<StatsSnapshot> = None;
+        while let Some(next) = self.queue.next_time() {
+            if next > end {
+                break;
+            }
+            if warmup_snap.is_none() && next >= warmup {
+                warmup_snap = Some(self.kernel.stats());
+            }
+            let (_, ev) = self.queue.pop().expect("peeked event");
+            self.handle(ev);
+        }
+        assert!(
+            !self.queue.is_empty() || self.cfg.mpl == 0,
+            "event queue drained before the measurement window ended: \
+             all clients are parked (scheduler deadlock?)"
+        );
+
+        let start = warmup_snap.unwrap_or_else(|| self.kernel.stats());
+        let window = self.kernel.stats().since(&start);
+        let secs = self.cfg.measure_micros as f64 / 1e6;
+        RunResult {
+            stats: window,
+            virtual_seconds: secs,
+            throughput: window.commits() as f64 / secs,
+            query_throughput: window.commits_query as f64 / secs,
+            update_throughput: window.commits_update as f64 / secs,
+            aborts: window.aborts(),
+            inconsistent_ops: window.inconsistent_ops(),
+            operations: window.operations(),
+            ops_per_commit: window.ops_per_commit(),
+        }
+    }
+}
+
+/// Run one configuration to completion and report the measurement
+/// window.
+pub fn simulate(cfg: &SimConfig) -> RunResult {
+    Sim::new(cfg.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BoundsConfig;
+    use esr_core::bounds::EpsilonPreset;
+
+    fn quick(mpl: usize, preset: EpsilonPreset, seed: u64) -> SimConfig {
+        SimConfig {
+            mpl,
+            bounds: BoundsConfig::preset(preset),
+            warmup_micros: 500_000,
+            measure_micros: 10_000_000,
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_client_commits_steadily() {
+        let r = simulate(&quick(1, EpsilonPreset::Zero, 1));
+        // One client, ~18 ms per RPC, mixed 20-read queries (22 RPCs)
+        // and 6-op updates (8 RPCs): expect a couple of txn/s with no
+        // contention and essentially no aborts.
+        assert!(r.throughput > 1.0, "throughput {}", r.throughput);
+        assert_eq!(r.aborts, 0, "no concurrency, no aborts");
+        assert_eq!(r.inconsistent_ops, 0);
+        assert!(r.stats.commits_query > 0 && r.stats.commits_update > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate(&quick(4, EpsilonPreset::Medium, 77));
+        let b = simulate(&quick(4, EpsilonPreset::Medium, 77));
+        assert_eq!(a, b);
+        let c = simulate(&quick(4, EpsilonPreset::Medium, 78));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn esr_outperforms_sr_under_contention() {
+        let sr = simulate(&quick(4, EpsilonPreset::Zero, 5));
+        let esr = simulate(&quick(4, EpsilonPreset::High, 5));
+        assert!(
+            esr.throughput > sr.throughput,
+            "esr {} ≤ sr {}",
+            esr.throughput,
+            sr.throughput
+        );
+        assert!(esr.aborts < sr.aborts, "esr {} ≥ sr {}", esr.aborts, sr.aborts);
+        assert!(esr.inconsistent_ops > 0);
+    }
+
+    #[test]
+    fn zero_epsilon_admits_no_inconsistent_ops() {
+        let r = simulate(&quick(6, EpsilonPreset::Zero, 9));
+        assert_eq!(r.inconsistent_ops, 0);
+    }
+
+    #[test]
+    fn higher_bounds_mean_fewer_aborts() {
+        let low = simulate(&quick(4, EpsilonPreset::Low, 11));
+        let high = simulate(&quick(4, EpsilonPreset::High, 11));
+        assert!(
+            high.aborts <= low.aborts,
+            "high {} > low {}",
+            high.aborts,
+            low.aborts
+        );
+    }
+
+    #[test]
+    fn ops_per_commit_at_least_transaction_length() {
+        let r = simulate(&quick(2, EpsilonPreset::High, 13));
+        // Mixed 20-read queries and 6-op updates with no retries give
+        // ≈ 13 ops per commit; wasted work can only push it up.
+        assert!(r.ops_per_commit > 10.0, "{}", r.ops_per_commit);
+    }
+}

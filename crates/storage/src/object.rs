@@ -1,0 +1,303 @@
+//! Per-object state and its transitions.
+
+use crate::history::{HistoryRing, ProperValue};
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnId};
+use esr_core::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The single uncommitted write an object may hold under strict
+/// ordering.
+///
+/// `shadow` is the committed value the object held before this
+/// transaction's first write — the shadow page of §6. An abort restores
+/// it; a commit publishes the current in-place value to the history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UncommittedWrite {
+    /// The writing transaction.
+    pub txn: TxnId,
+    /// Its timestamp.
+    pub ts: Timestamp,
+    /// Pre-image for abort restoration.
+    pub shadow: Value,
+}
+
+/// An uncommitted query transaction that has read this object.
+///
+/// §5.2: *"For each object x, we maintain a list of uncommitted query
+/// ETs which have read its value, along with the respective proper
+/// values."* A later write consults this list to compute the
+/// inconsistency it would export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryReader {
+    /// The reading query ET.
+    pub txn: TxnId,
+    /// Its timestamp.
+    pub ts: Timestamp,
+    /// The proper value of the object with respect to this reader.
+    pub proper: Value,
+}
+
+/// Full concurrency-control state of one object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectState {
+    /// The object's id.
+    pub id: ObjectId,
+    /// The *present* value — the current instance, possibly uncommitted.
+    pub value: Value,
+    /// Timestamp of the newest committed write ([`Timestamp::ZERO`] for
+    /// the initial value).
+    pub committed_wts: Timestamp,
+    /// Largest timestamp of any successful read by a *query* ET.
+    pub max_query_rts: Timestamp,
+    /// Largest timestamp of any successful read by an *update* ET.
+    pub max_update_rts: Timestamp,
+    /// Recent committed writes for proper-value lookup.
+    pub history: HistoryRing,
+    /// The at-most-one uncommitted write (strict ordering).
+    pub uncommitted: Option<UncommittedWrite>,
+    /// Uncommitted query ETs that have read this object.
+    pub readers: Vec<QueryReader>,
+    /// Object import limit (server-side OIL).
+    pub oil: Limit,
+    /// Object export limit (server-side OEL).
+    pub oel: Limit,
+}
+
+impl ObjectState {
+    /// A fresh object with the given initial value and limits.
+    pub fn new(
+        id: ObjectId,
+        initial_value: Value,
+        history_depth: usize,
+        oil: Limit,
+        oel: Limit,
+    ) -> Self {
+        ObjectState {
+            id,
+            value: initial_value,
+            committed_wts: Timestamp::ZERO,
+            max_query_rts: Timestamp::ZERO,
+            max_update_rts: Timestamp::ZERO,
+            history: HistoryRing::new(history_depth, initial_value),
+            uncommitted: None,
+            readers: Vec::new(),
+            oil,
+            oel,
+        }
+    }
+
+    /// The proper value for a reader with timestamp `ts` (§5.1).
+    pub fn proper_value_at(&self, ts: Timestamp) -> ProperValue {
+        self.history.proper_value_at(ts)
+    }
+
+    /// Does another transaction hold an uncommitted write?
+    pub fn uncommitted_by_other(&self, txn: TxnId) -> Option<&UncommittedWrite> {
+        self.uncommitted.as_ref().filter(|u| u.txn != txn)
+    }
+
+    /// Record a successful query read.
+    pub fn note_query_read(&mut self, txn: TxnId, ts: Timestamp, proper: Value) {
+        self.max_query_rts = self.max_query_rts.max(ts);
+        self.readers.push(QueryReader { txn, ts, proper });
+    }
+
+    /// Record a successful update read.
+    pub fn note_update_read(&mut self, ts: Timestamp) {
+        self.max_update_rts = self.max_update_rts.max(ts);
+    }
+
+    /// Apply a write in place (shadow-paging the first pre-image).
+    ///
+    /// # Panics
+    /// Panics if another transaction holds the uncommitted slot — the
+    /// scheduler must have made the writer wait instead.
+    pub fn apply_write(&mut self, txn: TxnId, ts: Timestamp, value: Value) {
+        match &mut self.uncommitted {
+            Some(u) => {
+                assert_eq!(
+                    u.txn, txn,
+                    "strict ordering violated: write over another txn's uncommitted data"
+                );
+                // Same transaction overwrites its own uncommitted value;
+                // the original shadow is kept.
+                u.ts = ts;
+            }
+            None => {
+                self.uncommitted = Some(UncommittedWrite {
+                    txn,
+                    ts,
+                    shadow: self.value,
+                });
+            }
+        }
+        self.value = value;
+    }
+
+    /// Commit `txn`'s uncommitted write, if it holds one: publish the
+    /// in-place value to the history and release the slot. Returns
+    /// `true` if a write was committed.
+    pub fn commit_write(&mut self, txn: TxnId) -> bool {
+        match self.uncommitted {
+            Some(u) if u.txn == txn => {
+                self.history.push(u.ts, self.value);
+                self.committed_wts = self.committed_wts.max(u.ts);
+                self.uncommitted = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Abort `txn`'s uncommitted write, if it holds one: restore the
+    /// shadow value. Returns `true` if a write was rolled back.
+    pub fn abort_write(&mut self, txn: TxnId) -> bool {
+        match self.uncommitted {
+            Some(u) if u.txn == txn => {
+                self.value = u.shadow;
+                self.uncommitted = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drop `txn` from the uncommitted-reader list (query commit or
+    /// abort).
+    pub fn remove_reader(&mut self, txn: TxnId) {
+        self.readers.retain(|r| r.txn != txn);
+    }
+
+    /// Largest read timestamp across both classes.
+    pub fn max_rts(&self) -> Timestamp {
+        self.max_query_rts.max(self.max_update_rts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::ids::SiteId;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::new(t, SiteId(0))
+    }
+
+    fn obj() -> ObjectState {
+        ObjectState::new(ObjectId(1), 5000, 20, Limit::Unlimited, Limit::Unlimited)
+    }
+
+    #[test]
+    fn fresh_object_state() {
+        let o = obj();
+        assert_eq!(o.value, 5000);
+        assert_eq!(o.committed_wts, Timestamp::ZERO);
+        assert!(o.uncommitted.is_none());
+        assert!(o.readers.is_empty());
+        assert_eq!(o.proper_value_at(ts(100)).value(), 5000);
+    }
+
+    #[test]
+    fn write_commit_cycle() {
+        let mut o = obj();
+        o.apply_write(TxnId(1), ts(10), 6000);
+        assert_eq!(o.value, 6000);
+        assert_eq!(
+            o.uncommitted,
+            Some(UncommittedWrite {
+                txn: TxnId(1),
+                ts: ts(10),
+                shadow: 5000
+            })
+        );
+        assert!(o.commit_write(TxnId(1)));
+        assert!(o.uncommitted.is_none());
+        assert_eq!(o.committed_wts, ts(10));
+        assert_eq!(o.proper_value_at(ts(5)).value(), 5000);
+        assert_eq!(o.proper_value_at(ts(10)).value(), 6000);
+    }
+
+    #[test]
+    fn write_abort_restores_shadow() {
+        let mut o = obj();
+        o.apply_write(TxnId(1), ts(10), 6000);
+        o.apply_write(TxnId(1), ts(10), 7000); // same txn overwrites
+        assert_eq!(o.value, 7000);
+        assert!(o.abort_write(TxnId(1)));
+        assert_eq!(o.value, 5000);
+        assert!(o.uncommitted.is_none());
+        // History untouched by the aborted write.
+        assert_eq!(o.history.len(), 1);
+        assert_eq!(o.proper_value_at(ts(99)).value(), 5000);
+    }
+
+    #[test]
+    fn same_txn_rewrites_keep_original_shadow() {
+        let mut o = obj();
+        o.apply_write(TxnId(1), ts(10), 6000);
+        o.apply_write(TxnId(1), ts(10), 6500);
+        assert_eq!(o.uncommitted.unwrap().shadow, 5000);
+        assert!(o.commit_write(TxnId(1)));
+        assert_eq!(o.value, 6500);
+        assert_eq!(o.proper_value_at(ts(10)).value(), 6500);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict ordering violated")]
+    fn cross_txn_overwrite_panics() {
+        let mut o = obj();
+        o.apply_write(TxnId(1), ts(10), 6000);
+        o.apply_write(TxnId(2), ts(11), 6100);
+    }
+
+    #[test]
+    fn commit_and_abort_of_non_writer_are_noops() {
+        let mut o = obj();
+        o.apply_write(TxnId(1), ts(10), 6000);
+        assert!(!o.commit_write(TxnId(2)));
+        assert!(!o.abort_write(TxnId(2)));
+        assert_eq!(o.value, 6000);
+        assert!(o.uncommitted.is_some());
+        // And on an object with no uncommitted write at all:
+        let mut o2 = obj();
+        assert!(!o2.commit_write(TxnId(1)));
+        assert!(!o2.abort_write(TxnId(1)));
+    }
+
+    #[test]
+    fn reader_tracking() {
+        let mut o = obj();
+        o.note_query_read(TxnId(7), ts(30), 5000);
+        o.note_query_read(TxnId(8), ts(20), 5000);
+        assert_eq!(o.max_query_rts, ts(30));
+        assert_eq!(o.readers.len(), 2);
+        o.remove_reader(TxnId(7));
+        assert_eq!(o.readers.len(), 1);
+        assert_eq!(o.readers[0].txn, TxnId(8));
+        // max_query_rts is sticky (timestamps of departed readers still
+        // constrain late writes in TO).
+        assert_eq!(o.max_query_rts, ts(30));
+    }
+
+    #[test]
+    fn read_timestamp_classes_are_separate() {
+        let mut o = obj();
+        o.note_query_read(TxnId(1), ts(50), 5000);
+        o.note_update_read(ts(40));
+        assert_eq!(o.max_query_rts, ts(50));
+        assert_eq!(o.max_update_rts, ts(40));
+        assert_eq!(o.max_rts(), ts(50));
+        o.note_update_read(ts(60));
+        assert_eq!(o.max_rts(), ts(60));
+    }
+
+    #[test]
+    fn uncommitted_by_other_filters_self() {
+        let mut o = obj();
+        o.apply_write(TxnId(1), ts(10), 6000);
+        assert!(o.uncommitted_by_other(TxnId(1)).is_none());
+        assert!(o.uncommitted_by_other(TxnId(2)).is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! The object table: one mutex per object.
+
+use crate::object::ObjectState;
+use esr_core::bounds::Limit;
+use esr_core::ids::ObjectId;
+use esr_core::value::Value;
+use parking_lot::{Mutex, MutexGuard};
+
+/// A dense, per-object-locked main-memory table.
+///
+/// The prototype's data manager (§6). Object ids index directly into the
+/// table; each object has its own [`Mutex`] so operations on distinct
+/// objects never contend. The kernel locks at most one object at a time,
+/// so lock ordering is trivially deadlock-free.
+pub struct ObjectTable {
+    objects: Vec<Mutex<ObjectState>>,
+}
+
+impl ObjectTable {
+    /// Build a table from pre-constructed object states.
+    ///
+    /// # Panics
+    /// Panics if object ids are not dense `0..n` in order — the catalog
+    /// constructs them that way and the table relies on it for direct
+    /// indexing.
+    pub fn new(states: Vec<ObjectState>) -> Self {
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(
+                s.id.index(),
+                i,
+                "object ids must be dense and in order"
+            );
+        }
+        ObjectTable {
+            objects: states.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Does the table contain this id?
+    pub fn contains(&self, id: ObjectId) -> bool {
+        id.index() < self.objects.len()
+    }
+
+    /// Lock one object for exclusive access.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids; the transaction layer validates ids
+    /// before they reach the table.
+    pub fn lock(&self, id: ObjectId) -> MutexGuard<'_, ObjectState> {
+        self.objects[id.index()].lock()
+    }
+
+    /// Run `f` on one locked object.
+    pub fn with<R>(&self, id: ObjectId, f: impl FnOnce(&mut ObjectState) -> R) -> R {
+        f(&mut self.lock(id))
+    }
+
+    /// Snapshot of all values. Locks objects one at a time, so callers
+    /// that need a *consistent* snapshot must quiesce writers first (the
+    /// tests and examples do).
+    pub fn values(&self) -> Vec<Value> {
+        self.objects.iter().map(|o| o.lock().value).collect()
+    }
+
+    /// Sum of all values (same quiescence caveat as [`values`]).
+    ///
+    /// [`values`]: ObjectTable::values
+    pub fn sum_values(&self) -> i128 {
+        self.objects.iter().map(|o| o.lock().value as i128).sum()
+    }
+
+    /// Overwrite every object's OIL/OEL. Used between experiment points
+    /// when sweeping the object limits (Figures 12–13).
+    pub fn set_all_limits(&self, oil: Limit, oel: Limit) {
+        for o in &self.objects {
+            let mut g = o.lock();
+            g.oil = oil;
+            g.oel = oel;
+        }
+    }
+
+    /// True if no object holds an uncommitted write or registered
+    /// reader — i.e. the system is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.objects.iter().all(|o| {
+            let g = o.lock();
+            g.uncommitted.is_none() && g.readers.is_empty()
+        })
+    }
+}
+
+impl std::fmt::Debug for ObjectTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectTable")
+            .field("len", &self.objects.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: u32) -> ObjectTable {
+        ObjectTable::new(
+            (0..n)
+                .map(|i| {
+                    ObjectState::new(
+                        ObjectId(i),
+                        1000 + i as i64,
+                        4,
+                        Limit::Unlimited,
+                        Limit::Unlimited,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = table(3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(t.contains(ObjectId(2)));
+        assert!(!t.contains(ObjectId(3)));
+        assert_eq!(t.lock(ObjectId(1)).value, 1001);
+        assert_eq!(t.values(), vec![1000, 1001, 1002]);
+        assert_eq!(t.sum_values(), 3003);
+    }
+
+    #[test]
+    fn with_mutates_under_lock() {
+        let t = table(2);
+        t.with(ObjectId(0), |o| o.value = 9999);
+        assert_eq!(t.lock(ObjectId(0)).value, 9999);
+    }
+
+    #[test]
+    fn set_all_limits() {
+        let t = table(3);
+        t.set_all_limits(Limit::at_most(5), Limit::at_most(7));
+        for i in 0..3 {
+            let g = t.lock(ObjectId(i));
+            assert_eq!(g.oil, Limit::at_most(5));
+            assert_eq!(g.oel, Limit::at_most(7));
+        }
+    }
+
+    #[test]
+    fn quiescence_detection() {
+        use esr_clock::Timestamp;
+        use esr_core::ids::{SiteId, TxnId};
+        let t = table(2);
+        assert!(t.is_quiescent());
+        t.with(ObjectId(0), |o| {
+            o.apply_write(TxnId(1), Timestamp::new(1, SiteId(0)), 42)
+        });
+        assert!(!t.is_quiescent());
+        t.with(ObjectId(0), |o| {
+            o.abort_write(TxnId(1));
+        });
+        assert!(t.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let _ = ObjectTable::new(vec![ObjectState::new(
+            ObjectId(5),
+            0,
+            4,
+            Limit::Unlimited,
+            Limit::Unlimited,
+        )]);
+    }
+
+    #[test]
+    fn concurrent_access_on_distinct_objects() {
+        use std::sync::Arc;
+        let t = Arc::new(table(8));
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    t.with(ObjectId(i), |o| o.value += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..8u32 {
+            assert_eq!(t.lock(ObjectId(i)).value, 1000 + i as i64 + 1000);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Kernel policy knobs.
+//!
+//! The defaults reproduce the paper's prototype exactly; the
+//! alternatives are the design choices the paper discusses and rejects
+//! (or defers), kept behind configuration for the ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+/// How a write's exported inconsistency `d` is computed from the
+/// object's uncommitted query readers (§5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExportRule {
+    /// `d = max_r |new − proper_r|` — the paper's choice, justified by
+    /// the at-most-one-read-per-object assumption.
+    #[default]
+    MaxOverReaders,
+    /// `d = Σ_r |new − proper_r|` — the Wu et al. divergence-control
+    /// rule the paper contrasts against; more conservative, may
+    /// overestimate accumulated error.
+    SumOverReaders,
+}
+
+/// What to do when a reader's proper value has been evicted from the
+/// object's bounded write history (§5.1's "last 20 writes" list).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistoryMissPolicy {
+    /// Use the oldest retained write as the proper value. This is what
+    /// the prototype does implicitly: 20 entries were sized so that
+    /// "indexing backwards … until an older timestamp is found" almost
+    /// always succeeds, and the residual error is ignored.
+    #[default]
+    Approximate,
+    /// Abort the transaction: conservative, never understates `d`.
+    Abort,
+}
+
+/// Kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Export-`d` computation rule.
+    pub export_rule: ExportRule,
+    /// Behaviour when the proper value has been evicted.
+    pub history_miss: HistoryMissPolicy,
+    /// Padding added to the import `d` of a read that views *uncommitted*
+    /// data, guarding against the writer later aborting (§5.1 describes
+    /// adding "the maximum change by an update transaction"; the
+    /// prototype sets this to zero because update aborts are rare).
+    pub import_padding: u64,
+    /// Apply the Thomas write rule to writes late with respect to
+    /// *committed writes* (skip instead of abort). The paper's prototype
+    /// does not; kept for ablation. Off by default.
+    pub thomas_write_rule: bool,
+}
+
+impl Default for KernelConfig {
+    /// The paper's prototype behaviour.
+    fn default() -> Self {
+        KernelConfig {
+            export_rule: ExportRule::MaxOverReaders,
+            history_miss: HistoryMissPolicy::Approximate,
+            import_padding: 0,
+            thomas_write_rule: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = KernelConfig::default();
+        assert_eq!(c.export_rule, ExportRule::MaxOverReaders);
+        assert_eq!(c.history_miss, HistoryMissPolicy::Approximate);
+        assert_eq!(c.import_padding, 0);
+        assert!(!c.thomas_write_rule);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = KernelConfig {
+            export_rule: ExportRule::SumOverReaders,
+            history_miss: HistoryMissPolicy::Abort,
+            import_padding: 500,
+            thomas_write_rule: true,
+        };
+        let s = serde_json::to_string(&c).unwrap();
+        let back: KernelConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

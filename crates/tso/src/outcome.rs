@@ -1,0 +1,194 @@
+//! Operation and transaction outcomes exchanged between the kernel and
+//! its drivers.
+
+use esr_core::error::BoundViolation;
+use esr_core::ids::{ObjectId, TxnId};
+use esr_core::value::{Distance, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operation as submitted to the kernel (also the unit parked on a
+/// wait queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Read an object's value.
+    Read(ObjectId),
+    /// Write a value to an object.
+    Write(ObjectId, Value),
+}
+
+impl Operation {
+    /// The object this operation touches.
+    pub fn object(&self) -> ObjectId {
+        match *self {
+            Operation::Read(o) | Operation::Write(o, _) => o,
+        }
+    }
+}
+
+/// A parked operation, handed back to the driver when a commit or abort
+/// unblocks it. The driver resubmits it via [`crate::kernel::Kernel::resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingOp {
+    /// The transaction the operation belongs to.
+    pub txn: TxnId,
+    /// The operation itself.
+    pub op: Operation,
+}
+
+/// Why the kernel aborted a transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// A read arrived with a timestamp older than data it must not see
+    /// (standard TO late-read rejection for update ETs, or a query read
+    /// that would stay late even after a pending writer resolves).
+    LateRead,
+    /// A write arrived with a timestamp older than a committed write
+    /// (and the Thomas write rule is off).
+    LateWriteVsCommittedWrite,
+    /// A write arrived with a timestamp older than a consistent
+    /// (update-ET) read — never relaxable, because update reads must be
+    /// consistent (§4 case 3 requires "the last read was from a query ET").
+    LateWriteVsUpdateRead,
+    /// An inconsistency bound rejected the operation's `d` (ESR's only
+    /// new abort source).
+    BoundViolation(BoundViolation),
+    /// The proper value was evicted from the bounded history and the
+    /// kernel is configured to abort rather than approximate.
+    HistoryMiss,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::LateRead => f.write_str("late read"),
+            AbortReason::LateWriteVsCommittedWrite => {
+                f.write_str("late write (vs committed write)")
+            }
+            AbortReason::LateWriteVsUpdateRead => {
+                f.write_str("late write (vs consistent read)")
+            }
+            AbortReason::BoundViolation(v) => write!(f, "{v}"),
+            AbortReason::HistoryMiss => {
+                f.write_str("proper value evicted from history")
+            }
+        }
+    }
+}
+
+/// Result of submitting one operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpOutcome {
+    /// A read completed with this value.
+    Value(Value),
+    /// A write was applied (uncommitted, in place, shadow-paged).
+    Written,
+    /// A write was skipped under the Thomas write rule (reported
+    /// distinctly so drivers can still count the operation as done).
+    WriteSkipped,
+    /// The operation is parked; it will reappear in some later
+    /// response's `woken` list. The submitting client must block.
+    Wait,
+    /// The kernel aborted the transaction (state already cleaned up).
+    /// The client should restart the transaction with a new timestamp.
+    Aborted(AbortReason),
+}
+
+impl OpOutcome {
+    /// Did the operation complete (value returned or write applied)?
+    pub fn is_done(&self) -> bool {
+        matches!(
+            self,
+            OpOutcome::Value(_) | OpOutcome::Written | OpOutcome::WriteSkipped
+        )
+    }
+}
+
+/// An operation response: the outcome plus any operations that this call
+/// unblocked (non-empty only for calls that commit or abort state).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use = "woken operations must be resumed or clients deadlock"]
+pub struct OpResponse {
+    /// Outcome for the submitted operation.
+    pub outcome: OpOutcome,
+    /// Parked operations released by this call, in wake order.
+    pub woken: Vec<PendingOp>,
+}
+
+impl OpResponse {
+    pub(crate) fn only(outcome: OpOutcome) -> Self {
+        OpResponse {
+            outcome,
+            woken: Vec::new(),
+        }
+    }
+}
+
+/// Summary of a committed transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitInfo {
+    /// Total inconsistency imported (queries) or exported (updates).
+    pub inconsistency: Distance,
+    /// Operations that succeeded *despite* viewing/exporting non-zero
+    /// inconsistency (the Figure 8 metric).
+    pub inconsistent_ops: u64,
+    /// Reads performed by this transaction.
+    pub reads: u64,
+    /// Writes performed by this transaction.
+    pub writes: u64,
+    /// The values this update installed, one entry per written object
+    /// (empty for queries). Feeds downstream consumers such as
+    /// asynchronous replication (`esr-replica`).
+    #[serde(default)]
+    pub written: Vec<(ObjectId, Value)>,
+}
+
+/// Response to a commit or abort: info plus woken operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use = "woken operations must be resumed or clients deadlock"]
+pub struct TxnEndResponse {
+    /// Commit summary (`None` for aborts).
+    pub info: Option<CommitInfo>,
+    /// Parked operations released by the end of this transaction.
+    pub woken: Vec<PendingOp>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::bounds::Limit;
+    use esr_core::error::ViolationLevel;
+
+    #[test]
+    fn operation_object() {
+        assert_eq!(Operation::Read(ObjectId(3)).object(), ObjectId(3));
+        assert_eq!(Operation::Write(ObjectId(4), 9).object(), ObjectId(4));
+    }
+
+    #[test]
+    fn outcome_is_done() {
+        assert!(OpOutcome::Value(1).is_done());
+        assert!(OpOutcome::Written.is_done());
+        assert!(OpOutcome::WriteSkipped.is_done());
+        assert!(!OpOutcome::Wait.is_done());
+        assert!(!OpOutcome::Aborted(AbortReason::LateRead).is_done());
+    }
+
+    #[test]
+    fn abort_reason_display() {
+        assert_eq!(AbortReason::LateRead.to_string(), "late read");
+        let v = AbortReason::BoundViolation(BoundViolation {
+            level: ViolationLevel::Transaction,
+            limit: Limit::ZERO,
+            attempted: 5,
+        });
+        assert!(v.to_string().contains("transaction level"));
+        assert!(AbortReason::HistoryMiss.to_string().contains("history"));
+        assert!(AbortReason::LateWriteVsUpdateRead
+            .to_string()
+            .contains("consistent read"));
+        assert!(AbortReason::LateWriteVsCommittedWrite
+            .to_string()
+            .contains("committed write"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Kernel counters — the raw material for every figure in §8.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! stats {
+    ($(#[$sdoc:meta])* pub struct $snap:ident / $live:ident {
+        $( $(#[$doc:meta])* pub $field:ident ),+ $(,)?
+    }) => {
+        $(#[$sdoc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct $snap {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        /// Live atomic counters updated by the kernel. Cheap relaxed
+        /// increments; read via [`Self::snapshot`].
+        #[derive(Debug, Default)]
+        pub struct $live {
+            $( $(#[$doc])* pub $field: AtomicU64, )+
+        }
+
+        impl $live {
+            /// A zeroed counter set.
+            pub fn new() -> Self { Self::default() }
+
+            /// Copy the current values.
+            pub fn snapshot(&self) -> $snap {
+                $snap {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+
+        impl $snap {
+            /// Counter-wise difference (`self - earlier`), saturating.
+            /// Used to isolate a measurement window from warmup.
+            pub fn since(&self, earlier: &$snap) -> $snap {
+                $snap {
+                    $( $field: self.$field.saturating_sub(earlier.$field), )+
+                }
+            }
+        }
+    };
+}
+
+stats! {
+    /// A point-in-time copy of the kernel counters.
+    pub struct StatsSnapshot / KernelStats {
+        /// Transactions begun.
+        pub begins,
+        /// Query ETs committed.
+        pub commits_query,
+        /// Update ETs committed.
+        pub commits_update,
+        /// Query ETs aborted (each abort is a retry from the client's
+        /// point of view — the Figure 9 metric counts these).
+        pub aborts_query,
+        /// Update ETs aborted.
+        pub aborts_update,
+        /// Read operations executed successfully (including reads of
+        /// transactions that later abort — Figure 10 counts wasted work).
+        pub reads,
+        /// Write operations executed successfully.
+        pub writes,
+        /// Reads admitted despite viewing non-zero inconsistency
+        /// (relaxation cases 1 and 2) — Figure 8.
+        pub inconsistent_reads,
+        /// Writes admitted despite exporting non-zero inconsistency
+        /// (relaxation case 3) — Figure 8.
+        pub inconsistent_writes,
+        /// Operations parked on a wait queue.
+        pub waits,
+        /// Parked operations released by commits/aborts.
+        pub wakes,
+        /// Aborts caused by an object-level bound (OIL/OEL).
+        pub violations_object,
+        /// Aborts caused by a group-level bound (GIL/GEL).
+        pub violations_group,
+        /// Aborts caused by the transaction-level bound (TIL/TEL).
+        pub violations_transaction,
+        /// Aborts from late reads.
+        pub late_read_aborts,
+        /// Aborts from late writes.
+        pub late_write_aborts,
+        /// Proper-value lookups that fell off the bounded history.
+        pub history_misses,
+        /// Writes skipped under the Thomas write rule (ablation only).
+        pub thomas_skips,
+    }
+}
+
+impl StatsSnapshot {
+    /// Total commits.
+    pub fn commits(&self) -> u64 {
+        self.commits_query + self.commits_update
+    }
+
+    /// Total aborts (= retries, since clients resubmit until commit).
+    pub fn aborts(&self) -> u64 {
+        self.aborts_query + self.aborts_update
+    }
+
+    /// Total executed operations, reads plus writes (Figure 10).
+    pub fn operations(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Successful inconsistent operations (Figure 8).
+    pub fn inconsistent_ops(&self) -> u64 {
+        self.inconsistent_reads + self.inconsistent_writes
+    }
+
+    /// Average operations executed per *committed* transaction,
+    /// including work wasted in aborted attempts (Figure 13).
+    pub fn ops_per_commit(&self) -> f64 {
+        if self.commits() == 0 {
+            0.0
+        } else {
+            self.operations() as f64 / self.commits() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let live = KernelStats::new();
+        live.reads.fetch_add(3, Ordering::Relaxed);
+        live.commits_query.fetch_add(2, Ordering::Relaxed);
+        live.commits_update.fetch_add(1, Ordering::Relaxed);
+        let s = live.snapshot();
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.commits(), 3);
+        assert_eq!(s.operations(), 3);
+    }
+
+    #[test]
+    fn since_isolates_window() {
+        let live = KernelStats::new();
+        live.reads.fetch_add(10, Ordering::Relaxed);
+        let warmup = live.snapshot();
+        live.reads.fetch_add(5, Ordering::Relaxed);
+        live.writes.fetch_add(2, Ordering::Relaxed);
+        let end = live.snapshot();
+        let window = end.since(&warmup);
+        assert_eq!(window.reads, 5);
+        assert_eq!(window.writes, 2);
+        assert_eq!(window.operations(), 7);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = StatsSnapshot {
+            commits_query: 4,
+            commits_update: 6,
+            aborts_query: 1,
+            aborts_update: 2,
+            reads: 80,
+            writes: 20,
+            inconsistent_reads: 7,
+            inconsistent_writes: 3,
+            ..StatsSnapshot::default()
+        };
+        assert_eq!(s.commits(), 10);
+        assert_eq!(s.aborts(), 3);
+        assert_eq!(s.inconsistent_ops(), 10);
+        assert!((s.ops_per_commit() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_per_commit_handles_zero() {
+        assert_eq!(StatsSnapshot::default().ops_per_commit(), 0.0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = StatsSnapshot {
+            reads: 1,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            reads: 5,
+            ..Default::default()
+        };
+        assert_eq!(a.since(&b).reads, 0);
+    }
+}

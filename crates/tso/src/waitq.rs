@@ -1,0 +1,130 @@
+//! Per-object wait queues for the strict-ordering "wait based protocol".
+//!
+//! §4: *"we enforce strict ordering by using a wait based protocol for
+//! concurrent operations that are not able to execute"*. An operation
+//! that finds another transaction's uncommitted write on its object (and
+//! is not itself late) parks here; when the writer commits or aborts,
+//! every parked operation for that object is handed back to the driver
+//! for resubmission, in FIFO order.
+//!
+//! Waits are deadlock-free by construction: an operation only ever waits
+//! for a transaction with a *smaller* timestamp (older); if the holder
+//! is younger the waiter is late and aborts instead. The wait-for
+//! relation therefore follows the timestamp order and cannot cycle —
+//! this is why the paper could choose TO "to avoid the problem of
+//! deadlock detection and recovery that is present in the case of 2PL".
+
+use crate::outcome::PendingOp;
+use esr_core::ids::{ObjectId, TxnId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// FIFO wait queues, one per object that currently has waiters.
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    queues: HashMap<ObjectId, VecDeque<PendingOp>>,
+}
+
+impl WaitQueue {
+    /// An empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park an operation on its object's queue.
+    pub fn park(&mut self, op: PendingOp) {
+        self.queues.entry(op.op.object()).or_default().push_back(op);
+    }
+
+    /// Release every operation parked on `obj`, in arrival order.
+    pub fn release(&mut self, obj: ObjectId) -> Vec<PendingOp> {
+        match self.queues.remove(&obj) {
+            Some(q) => q.into(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Remove any parked operations belonging to `txn` (defensive
+    /// cleanup for externally aborted transactions). Returns how many
+    /// were removed.
+    pub fn remove_txn(&mut self, txn: TxnId) -> usize {
+        let mut removed = 0;
+        self.queues.retain(|_, q| {
+            let before = q.len();
+            q.retain(|p| p.txn != txn);
+            removed += before - q.len();
+            !q.is_empty()
+        });
+        removed
+    }
+
+    /// Number of parked operations across all objects.
+    pub fn len(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Is nothing parked?
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Is anything parked on this object?
+    pub fn has_waiters(&self, obj: ObjectId) -> bool {
+        self.queues.contains_key(&obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Operation;
+
+    fn read(txn: u64, obj: u32) -> PendingOp {
+        PendingOp {
+            txn: TxnId(txn),
+            op: Operation::Read(ObjectId(obj)),
+        }
+    }
+
+    fn write(txn: u64, obj: u32, v: i64) -> PendingOp {
+        PendingOp {
+            txn: TxnId(txn),
+            op: Operation::Write(ObjectId(obj), v),
+        }
+    }
+
+    #[test]
+    fn fifo_release_per_object() {
+        let mut q = WaitQueue::new();
+        q.park(read(1, 10));
+        q.park(write(2, 10, 5));
+        q.park(read(3, 11));
+        assert_eq!(q.len(), 3);
+        assert!(q.has_waiters(ObjectId(10)));
+        let released = q.release(ObjectId(10));
+        assert_eq!(released, vec![read(1, 10), write(2, 10, 5)]);
+        assert_eq!(q.len(), 1);
+        assert!(!q.has_waiters(ObjectId(10)));
+        assert!(q.has_waiters(ObjectId(11)));
+    }
+
+    #[test]
+    fn release_of_empty_object_is_empty() {
+        let mut q = WaitQueue::new();
+        assert!(q.release(ObjectId(9)).is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_txn_scrubs_everywhere() {
+        let mut q = WaitQueue::new();
+        q.park(read(1, 10));
+        q.park(read(2, 10));
+        q.park(read(1, 11));
+        assert_eq!(q.remove_txn(TxnId(1)), 2);
+        assert_eq!(q.len(), 1);
+        assert!(q.has_waiters(ObjectId(10)));
+        assert!(!q.has_waiters(ObjectId(11))); // emptied queue dropped
+        assert_eq!(q.remove_txn(TxnId(99)), 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Abstract syntax of the transaction language.
+
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use serde::{Deserialize, Serialize};
+
+/// Binary integer operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+/// Integer expressions over read variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// A read variable (`t1`, `t2`, …).
+    Var(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal helper.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Variable helper.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// All variables referenced, in first-appearance order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Int(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            Expr::Neg(e) => e.collect_vars(out),
+            Expr::Bin(l, _, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Add, Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Sub, Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Mul, Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+/// One statement in a program body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `t1 = Read 1863`
+    Assign {
+        /// Variable receiving the read value.
+        var: String,
+        /// The object read.
+        obj: ObjectId,
+    },
+    /// `Write 1078 , t2+3000`
+    Write {
+        /// The object written.
+        obj: ObjectId,
+        /// The value expression.
+        expr: Expr,
+    },
+    /// `output("Sum is: ", t1+t2)`
+    Output {
+        /// Leading string literal.
+        text: String,
+        /// Expressions appended to the text.
+        args: Vec<Expr>,
+    },
+}
+
+/// How the program ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndKind {
+    /// `COMMIT`
+    Commit,
+    /// `ABORT` (a program may deliberately abort).
+    Abort,
+}
+
+/// A complete transaction program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Query or update ET.
+    pub kind: TxnKind,
+    /// TIL/TEL from the header (`None` = unlimited).
+    pub root_limit: Option<u64>,
+    /// `LIMIT <group> <n>` lines, in order.
+    pub limits: Vec<(String, u64)>,
+    /// Body statements.
+    pub stmts: Vec<Stmt>,
+    /// `COMMIT` or `ABORT`.
+    pub end: EndKind,
+}
+
+impl Program {
+    /// The transaction-bounds specification implied by the header
+    /// (§3.2: the specification part at the beginning of the
+    /// transaction).
+    pub fn bounds(&self) -> TxnBounds {
+        let root = match self.root_limit {
+            Some(v) => Limit::at_most(v),
+            None => Limit::Unlimited,
+        };
+        let mut b = match self.kind {
+            TxnKind::Query => TxnBounds::import(root),
+            TxnKind::Update => TxnBounds::export(root),
+        };
+        for (name, v) in &self.limits {
+            b = b.with_group(name, Limit::at_most(*v));
+        }
+        b
+    }
+
+    /// Static checks: writes only in updates, variables defined before
+    /// use, no variable assigned twice.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut defined: Vec<&str> = Vec::new();
+        for (i, stmt) in self.stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Assign { var, .. } => {
+                    if defined.contains(&var.as_str()) {
+                        return Err(format!("variable {var:?} assigned twice"));
+                    }
+                    defined.push(var);
+                }
+                Stmt::Write { expr, .. } => {
+                    if self.kind != TxnKind::Update {
+                        return Err(format!(
+                            "statement {i}: Write in a {} transaction",
+                            self.kind
+                        ));
+                    }
+                    for v in expr.vars() {
+                        if !defined.contains(&v) {
+                            return Err(format!("undefined variable {v:?}"));
+                        }
+                    }
+                }
+                Stmt::Output { args, .. } => {
+                    for e in args {
+                        for v in e.vars() {
+                            if !defined.contains(&v) {
+                                return Err(format!("undefined variable {v:?}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count of read operations.
+    pub fn reads(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assign { .. }))
+            .count()
+    }
+
+    /// Count of write operations.
+    pub fn writes(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Write { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::spec::Direction;
+
+    fn sample() -> Program {
+        Program {
+            kind: TxnKind::Update,
+            root_limit: Some(10_000),
+            limits: vec![("company".into(), 4_000)],
+            stmts: vec![
+                Stmt::Assign {
+                    var: "t1".into(),
+                    obj: ObjectId(1923),
+                },
+                Stmt::Write {
+                    obj: ObjectId(1078),
+                    expr: Expr::var("t1") + Expr::int(3000),
+                },
+            ],
+            end: EndKind::Commit,
+        }
+    }
+
+    #[test]
+    fn bounds_conversion() {
+        let p = sample();
+        let b = p.bounds();
+        assert_eq!(b.direction, Direction::Export);
+        assert_eq!(b.root, Limit::at_most(10_000));
+        assert_eq!(b.group_limit("company"), Limit::at_most(4_000));
+        let mut q = p.clone();
+        q.kind = TxnKind::Query;
+        q.root_limit = None;
+        q.stmts.truncate(1);
+        assert_eq!(q.bounds().root, Limit::Unlimited);
+        assert_eq!(q.bounds().direction, Direction::Import);
+    }
+
+    #[test]
+    fn expr_operators_build_trees() {
+        let e = Expr::var("a") + Expr::int(2) * Expr::var("b") - -Expr::int(1);
+        assert_eq!(e.vars(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn vars_dedup_in_order() {
+        let e = Expr::var("x") + Expr::var("y") + Expr::var("x");
+        assert_eq!(e.vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn validation_passes_well_formed() {
+        sample().validate().unwrap();
+        assert_eq!(sample().reads(), 1);
+        assert_eq!(sample().writes(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_write_in_query() {
+        let mut p = sample();
+        p.kind = TxnKind::Query;
+        assert!(p.validate().unwrap_err().contains("Write in a Query"));
+    }
+
+    #[test]
+    fn validation_rejects_undefined_and_redefined_vars() {
+        let mut p = sample();
+        p.stmts.push(Stmt::Write {
+            obj: ObjectId(1),
+            expr: Expr::var("zzz"),
+        });
+        assert!(p.validate().unwrap_err().contains("undefined"));
+        let mut p = sample();
+        p.stmts.push(Stmt::Assign {
+            var: "t1".into(),
+            obj: ObjectId(5),
+        });
+        assert!(p.validate().unwrap_err().contains("twice"));
+        let mut p = sample();
+        p.stmts.push(Stmt::Output {
+            text: "x".into(),
+            args: vec![Expr::var("nope")],
+        });
+        assert!(p.validate().unwrap_err().contains("undefined"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Typed construction of transaction programs without going through the
+//! textual language.
+//!
+//! ```
+//! use esr_txn::{ProgramBuilder, Expr};
+//!
+//! let audit = ProgramBuilder::query()
+//!     .til(10_000)
+//!     .limit("company", 4_000)
+//!     .read("t1", 10)
+//!     .read("t2", 11)
+//!     .output("Sum is: ", vec![Expr::var("t1") + Expr::var("t2")])
+//!     .commit();
+//! assert_eq!(audit.reads(), 2);
+//! audit.validate().unwrap();
+//! ```
+
+use crate::ast::{EndKind, Expr, Program, Stmt};
+use esr_core::ids::{ObjectId, TxnKind};
+
+/// Fluent builder for [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    kind: TxnKind,
+    root_limit: Option<u64>,
+    limits: Vec<(String, u64)>,
+    stmts: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Start a query ET.
+    pub fn query() -> Self {
+        ProgramBuilder {
+            kind: TxnKind::Query,
+            root_limit: None,
+            limits: Vec::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Start an update ET.
+    pub fn update() -> Self {
+        ProgramBuilder {
+            kind: TxnKind::Update,
+            root_limit: None,
+            limits: Vec::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Set the transaction import limit (queries).
+    ///
+    /// # Panics
+    /// Panics when called on an update builder.
+    pub fn til(mut self, v: u64) -> Self {
+        assert_eq!(self.kind, TxnKind::Query, "TIL applies to queries");
+        self.root_limit = Some(v);
+        self
+    }
+
+    /// Set the transaction export limit (updates).
+    ///
+    /// # Panics
+    /// Panics when called on a query builder.
+    pub fn tel(mut self, v: u64) -> Self {
+        assert_eq!(self.kind, TxnKind::Update, "TEL applies to updates");
+        self.root_limit = Some(v);
+        self
+    }
+
+    /// Add a `LIMIT <group> <n>` line.
+    pub fn limit(mut self, group: &str, v: u64) -> Self {
+        self.limits.push((group.to_owned(), v));
+        self
+    }
+
+    /// Add `var = Read obj`.
+    pub fn read(mut self, var: &str, obj: u32) -> Self {
+        self.stmts.push(Stmt::Assign {
+            var: var.to_owned(),
+            obj: ObjectId(obj),
+        });
+        self
+    }
+
+    /// Add `Write obj , expr`.
+    pub fn write(mut self, obj: u32, expr: Expr) -> Self {
+        self.stmts.push(Stmt::Write {
+            obj: ObjectId(obj),
+            expr,
+        });
+        self
+    }
+
+    /// Add `output("text", args...)`.
+    pub fn output(mut self, text: &str, args: Vec<Expr>) -> Self {
+        self.stmts.push(Stmt::Output {
+            text: text.to_owned(),
+            args,
+        });
+        self
+    }
+
+    /// Finish with `COMMIT`.
+    pub fn commit(self) -> Program {
+        self.finish(EndKind::Commit)
+    }
+
+    /// Finish with `ABORT`.
+    pub fn abort(self) -> Program {
+        self.finish(EndKind::Abort)
+    }
+
+    fn finish(self, end: EndKind) -> Program {
+        Program {
+            kind: self.kind,
+            root_limit: self.root_limit,
+            limits: self.limits,
+            stmts: self.stmts,
+            end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::printer::program_to_string;
+
+    #[test]
+    fn builds_query_matching_text_form() {
+        let p = ProgramBuilder::query()
+            .til(100_000)
+            .read("t1", 1863)
+            .read("t2", 1427)
+            .output("Sum is: ", vec![Expr::var("t1") + Expr::var("t2")])
+            .commit();
+        let text = program_to_string(&p);
+        assert_eq!(parse_program(&text).unwrap(), p);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn builds_update_with_groups() {
+        let p = ProgramBuilder::update()
+            .tel(10_000)
+            .limit("company", 4_000)
+            .read("t1", 5)
+            .write(6, Expr::var("t1") + Expr::int(30))
+            .commit();
+        assert_eq!(p.limits.len(), 1);
+        assert_eq!(p.writes(), 1);
+        p.validate().unwrap();
+        assert_eq!(p.bounds().group_limit("company"), esr_core::Limit::at_most(4_000));
+    }
+
+    #[test]
+    fn abort_end() {
+        let p = ProgramBuilder::update().read("t1", 0).abort();
+        assert_eq!(p.end, EndKind::Abort);
+    }
+
+    #[test]
+    #[should_panic(expected = "TIL applies to queries")]
+    fn til_on_update_panics() {
+        let _ = ProgramBuilder::update().til(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "TEL applies to updates")]
+    fn tel_on_query_panics() {
+        let _ = ProgramBuilder::query().tel(5);
+    }
+}

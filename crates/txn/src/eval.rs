@@ -1,0 +1,102 @@
+//! Expression evaluation over the transaction's read variables.
+
+use crate::ast::{BinOp, Expr};
+use esr_core::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Evaluation failure: an undefined variable (static validation catches
+/// these before execution, but the evaluator stays total).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndefinedVar(pub String);
+
+impl fmt::Display for UndefinedVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undefined variable {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UndefinedVar {}
+
+/// Evaluate an expression against an environment of read results.
+/// Arithmetic saturates rather than wrapping: transaction programs deal
+/// in bounded account values, and a saturated extreme will fail a bound
+/// check rather than silently alias a small number.
+pub fn eval(expr: &Expr, env: &HashMap<String, Value>) -> Result<Value, UndefinedVar> {
+    match expr {
+        Expr::Int(v) => Ok(*v),
+        Expr::Var(name) => env
+            .get(name)
+            .copied()
+            .ok_or_else(|| UndefinedVar(name.clone())),
+        Expr::Neg(inner) => Ok(eval(inner, env)?.saturating_neg()),
+        Expr::Bin(l, op, r) => {
+            let l = eval(l, env)?;
+            let r = eval(r, env)?;
+            Ok(match op {
+                BinOp::Add => l.saturating_add(r),
+                BinOp::Sub => l.saturating_sub(r),
+                BinOp::Mul => l.saturating_mul(r),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> HashMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        let e = env(&[("t1", 7)]);
+        assert_eq!(eval(&Expr::int(5), &e), Ok(5));
+        assert_eq!(eval(&Expr::var("t1"), &e), Ok(7));
+        assert_eq!(
+            eval(&Expr::var("zz"), &e),
+            Err(UndefinedVar("zz".into()))
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = env(&[("t1", 10), ("t2", 3)]);
+        assert_eq!(eval(&(Expr::var("t1") + Expr::var("t2")), &e), Ok(13));
+        assert_eq!(eval(&(Expr::var("t1") - Expr::var("t2")), &e), Ok(7));
+        assert_eq!(eval(&(Expr::var("t1") * Expr::var("t2")), &e), Ok(30));
+        assert_eq!(eval(&(-Expr::var("t1")), &e), Ok(-10));
+        // Precedence comes from the tree, not the evaluator:
+        let paper = Expr::var("t1") - Expr::var("t2") + Expr::int(4230);
+        assert_eq!(eval(&paper, &e), Ok(4237));
+    }
+
+    #[test]
+    fn saturation() {
+        let e = env(&[("big", i64::MAX)]);
+        assert_eq!(
+            eval(&(Expr::var("big") + Expr::int(1)), &e),
+            Ok(i64::MAX)
+        );
+        assert_eq!(
+            eval(&(Expr::var("big") * Expr::int(2)), &e),
+            Ok(i64::MAX)
+        );
+        let e = env(&[("small", i64::MIN)]);
+        assert_eq!(eval(&(-Expr::var("small")), &e), Ok(i64::MAX));
+        assert_eq!(
+            eval(&(Expr::var("small") - Expr::int(1)), &e),
+            Ok(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            UndefinedVar("t9".into()).to_string(),
+            "undefined variable \"t9\""
+        );
+    }
+}

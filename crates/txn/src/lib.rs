@@ -1,0 +1,44 @@
+//! # esr-txn — the transaction layer and its little language
+//!
+//! The paper's clients submit transactions written in a small textual
+//! language (§3.2.1 shows complete programs):
+//!
+//! ```text
+//! BEGIN Query TIL = 100000
+//! LIMIT company 4000
+//! t1 = Read 1863
+//! t2 = Read 1427
+//! output("Sum is: ", t1+t2)
+//! COMMIT
+//! ```
+//!
+//! This crate implements that language end to end — [`token`] (lexer),
+//! [`ast`], [`parser`], [`printer`] (pretty-printer; `parse ∘ print` is
+//! the identity, property-tested) and [`eval`] (integer expressions over
+//! the read variables) — plus the machinery to *run* programs:
+//!
+//! * [`session::Session`] — the five prototype operations (`Begin`,
+//!   `Read`, `Write`, `Commit`, `Abort`, §6) as a trait, so the same
+//!   program runs against an in-process kernel
+//!   ([`session::KernelSession`]) or the threaded client/server of
+//!   `esr-server`;
+//! * [`runner`] — program execution and the client retry loop: *"If a
+//!   transaction is aborted the client resubmits it with a new
+//!   timestamp, and does so, until it is successfully completed"* (§6);
+//! * [`builder`] — a typed builder for constructing programs in Rust
+//!   without going through text.
+
+pub mod ast;
+pub mod builder;
+pub mod eval;
+pub mod parser;
+pub mod printer;
+pub mod runner;
+pub mod session;
+pub mod token;
+
+pub use ast::{BinOp, EndKind, Expr, Program, Stmt};
+pub use builder::ProgramBuilder;
+pub use parser::{parse_program, ParseError};
+pub use runner::{run_program, run_with_retry, RetryOutcome, RunError, RunOutput};
+pub use session::{KernelSession, Session, SessionError};

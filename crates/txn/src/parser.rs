@@ -1,0 +1,512 @@
+//! Recursive-descent parser for the transaction language.
+//!
+//! Grammar (newline-separated statements, as in the paper's programs):
+//!
+//! ```text
+//! program := BEGIN kind limit? NL (limit-line NL)* (stmt NL)* end
+//! kind    := Query | Update
+//! limit   := (TIL | TEL) '='? INT
+//! limit-line := LIMIT IDENT INT
+//! stmt    := IDENT '=' Read INT
+//!          | Write INT ',' expr
+//!          | output '(' STRING (',' expr)* ')'
+//! end     := COMMIT | ABORT
+//! expr    := term (('+'|'-') term)*
+//! term    := factor ('*' factor)*
+//! factor  := INT | IDENT | '-' factor | '(' expr ')'
+//! ```
+
+use crate::ast::{BinOp, EndKind, Expr, Program, Stmt};
+use crate::token::{lex, LexError, Token};
+use esr_core::ids::{ObjectId, TxnKind};
+use std::fmt;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenisation failed.
+    Lex(LexError),
+    /// Structural error with a message and the offending token index.
+    Syntax {
+        /// Explanation.
+        message: String,
+        /// Index into the token stream (for diagnostics).
+        at: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax { message, at } => {
+                write!(f, "parse error at token {at}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::Syntax {
+            message: message.into(),
+            at: self.pos,
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => self.err(format!("expected {want}, found {t}")),
+            None => self.err(format!("expected {want}, found end of input")),
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&Token::Newline) {}
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            Some(t) => self.err(format!("expected integer, found {t}")),
+            None => self.err("expected integer, found end of input"),
+        }
+    }
+
+    fn object_id(&mut self) -> Result<ObjectId, ParseError> {
+        let v = self.int()?;
+        if v < 0 || v > u32::MAX as i64 {
+            return self.err(format!("object id {v} out of range"));
+        }
+        Ok(ObjectId(v as u32))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => self.err(format!("expected identifier, found {t}")),
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    // term := factor ('*' factor)*
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        while self.eat(&Token::Star) {
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(Box::new(lhs), BinOp::Mul, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Ident(s)) => Ok(Expr::Var(s)),
+            Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(t) => self.err(format!("expected expression, found {t}")),
+            None => self.err("expected expression, found end of input"),
+        }
+    }
+
+    fn header(&mut self) -> Result<(TxnKind, Option<u64>), ParseError> {
+        self.skip_newlines();
+        self.expect(&Token::Begin)?;
+        let kind = match self.next() {
+            Some(Token::Query) => TxnKind::Query,
+            Some(Token::Update) => TxnKind::Update,
+            Some(t) => return self.err(format!("expected Query or Update, found {t}")),
+            None => return self.err("expected Query or Update"),
+        };
+        let root = match (kind, self.peek()) {
+            (TxnKind::Query, Some(Token::Til)) | (TxnKind::Update, Some(Token::Tel)) => {
+                self.pos += 1;
+                let _ = self.eat(&Token::Equals); // '=' is optional
+                let v = self.int()?;
+                if v < 0 {
+                    return self.err("limit must be non-negative");
+                }
+                Some(v as u64)
+            }
+            (TxnKind::Query, Some(Token::Tel)) => {
+                return self.err("TEL on a Query transaction (use TIL)")
+            }
+            (TxnKind::Update, Some(Token::Til)) => {
+                return self.err("TIL on an Update transaction (use TEL)")
+            }
+            _ => None,
+        };
+        Ok((kind, root))
+    }
+
+    fn stmt(&mut self) -> Result<Option<Stmt>, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let var = self.ident()?;
+                self.expect(&Token::Equals)?;
+                self.expect(&Token::Read)?;
+                let obj = self.object_id()?;
+                Ok(Some(Stmt::Assign { var, obj }))
+            }
+            Some(Token::Write) => {
+                self.pos += 1;
+                let obj = self.object_id()?;
+                self.expect(&Token::Comma)?;
+                let expr = self.expr()?;
+                Ok(Some(Stmt::Write { obj, expr }))
+            }
+            Some(Token::Output) => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let text = match self.next() {
+                    Some(Token::Str(s)) => s,
+                    Some(t) => {
+                        return self.err(format!("expected string literal, found {t}"))
+                    }
+                    None => return self.err("expected string literal"),
+                };
+                let mut args = Vec::new();
+                while self.eat(&Token::Comma) {
+                    args.push(self.expr()?);
+                }
+                self.expect(&Token::RParen)?;
+                Ok(Some(Stmt::Output { text, args }))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let (kind, root_limit) = self.header()?;
+        let mut limits = Vec::new();
+        let mut stmts = Vec::new();
+        let end;
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                Some(Token::Limit) => {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    let _ = self.eat(&Token::Equals);
+                    let v = self.int()?;
+                    if v < 0 {
+                        return self.err("limit must be non-negative");
+                    }
+                    if !stmts.is_empty() {
+                        return self.err(
+                            "LIMIT lines must precede operations (the \
+                             specification part comes first)",
+                        );
+                    }
+                    limits.push((name, v as u64));
+                }
+                Some(Token::Commit) => {
+                    self.pos += 1;
+                    end = EndKind::Commit;
+                    break;
+                }
+                Some(Token::Abort) => {
+                    self.pos += 1;
+                    end = EndKind::Abort;
+                    break;
+                }
+                Some(_) => match self.stmt()? {
+                    Some(s) => stmts.push(s),
+                    None => {
+                        let t = self.peek().cloned();
+                        return self.err(format!(
+                            "expected statement, COMMIT or ABORT, found {}",
+                            t.map(|t| t.to_string())
+                                .unwrap_or_else(|| "end of input".into())
+                        ));
+                    }
+                },
+                None => return self.err("program must end with COMMIT or ABORT"),
+            }
+        }
+        Ok(Program {
+            kind,
+            root_limit,
+            limits,
+            stmts,
+            end,
+        })
+    }
+}
+
+/// Parse a single program from source text.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let prog = p.program()?;
+    p.skip_newlines();
+    if p.peek().is_some() {
+        return p.err("trailing input after program end");
+    }
+    Ok(prog)
+}
+
+/// Parse a client data file: several programs separated by blank lines
+/// (§6: clients read transactions from such files and submit them
+/// successively).
+pub fn parse_data_file(src: &str) -> Result<Vec<Program>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        p.skip_newlines();
+        if p.peek().is_none() {
+            break;
+        }
+        out.push(p.program()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_QUERY: &str = "\
+BEGIN Query TIL = 100000
+t1 = Read 1863
+t2 = Read 1427
+t3 = Read 1912
+output(\"Sum is: \", t1+t2+t3)
+COMMIT
+";
+
+    const PAPER_UPDATE: &str = "\
+BEGIN Update TEL = 10000
+t1 = Read 1923
+t2 = Read 1644
+Write 1078 , t2+3000
+t3 = Read 1066
+t4 = Read 1213
+Write 1727 , t3-t4+4230
+Write 1501 , t1+t4+7935
+COMMIT
+";
+
+    #[test]
+    fn parses_paper_query() {
+        let p = parse_program(PAPER_QUERY).unwrap();
+        assert_eq!(p.kind, TxnKind::Query);
+        assert_eq!(p.root_limit, Some(100_000));
+        assert_eq!(p.reads(), 3);
+        assert_eq!(p.writes(), 0);
+        assert_eq!(p.end, EndKind::Commit);
+        p.validate().unwrap();
+        match &p.stmts[3] {
+            Stmt::Output { text, args } => {
+                assert_eq!(text, "Sum is: ");
+                assert_eq!(args.len(), 1);
+                assert_eq!(args[0].vars(), vec!["t1", "t2", "t3"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_update() {
+        let p = parse_program(PAPER_UPDATE).unwrap();
+        assert_eq!(p.kind, TxnKind::Update);
+        assert_eq!(p.root_limit, Some(10_000));
+        assert_eq!(p.reads(), 4);
+        assert_eq!(p.writes(), 3);
+        p.validate().unwrap();
+        match &p.stmts[2] {
+            Stmt::Write { obj, expr } => {
+                assert_eq!(*obj, ObjectId(1078));
+                assert_eq!(*expr, Expr::var("t2") + Expr::int(3000));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hierarchical_limits_parse() {
+        let src = "\
+BEGIN Query TIL 10000
+LIMIT company 4000
+LIMIT preferred 3000
+LIMIT com1 200
+t1 = Read 2745
+COMMIT
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.root_limit, Some(10_000)); // '=' optional
+        assert_eq!(
+            p.limits,
+            vec![
+                ("company".into(), 4_000),
+                ("preferred".into(), 3_000),
+                ("com1".into(), 200)
+            ]
+        );
+    }
+
+    #[test]
+    fn til_is_optional() {
+        let p = parse_program("BEGIN Query\nt1 = Read 5\nCOMMIT").unwrap();
+        assert_eq!(p.root_limit, None);
+    }
+
+    #[test]
+    fn abort_end() {
+        let p = parse_program("BEGIN Update TEL 5\nABORT").unwrap();
+        assert_eq!(p.end, EndKind::Abort);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse_program("BEGIN Update\nt1 = Read 1\nWrite 2 , t1+2*3\nCOMMIT")
+            .unwrap();
+        match &p.stmts[1] {
+            Stmt::Write { expr, .. } => {
+                assert_eq!(
+                    *expr,
+                    Expr::var("t1") + Expr::int(2) * Expr::int(3)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_and_unary_minus() {
+        let p = parse_program(
+            "BEGIN Update\nt1 = Read 1\nWrite 2 , -(t1+1)*2\nCOMMIT",
+        )
+        .unwrap();
+        match &p.stmts[1] {
+            Stmt::Write { expr, .. } => {
+                assert_eq!(
+                    *expr,
+                    (-(Expr::var("t1") + Expr::int(1))) * Expr::int(2)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_limit_keyword_rejected() {
+        assert!(parse_program("BEGIN Query TEL 5\nCOMMIT")
+            .unwrap_err()
+            .to_string()
+            .contains("TEL on a Query"));
+        assert!(parse_program("BEGIN Update TIL 5\nCOMMIT")
+            .unwrap_err()
+            .to_string()
+            .contains("TIL on an Update"));
+    }
+
+    #[test]
+    fn limit_lines_must_precede_operations() {
+        let src = "BEGIN Query TIL 5\nt1 = Read 1\nLIMIT g 3\nCOMMIT";
+        assert!(parse_program(src)
+            .unwrap_err()
+            .to_string()
+            .contains("precede"));
+    }
+
+    #[test]
+    fn missing_commit_rejected() {
+        assert!(parse_program("BEGIN Query TIL 5\nt1 = Read 1\n")
+            .unwrap_err()
+            .to_string()
+            .contains("COMMIT or ABORT"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_program("BEGIN Query\nCOMMIT\nt1 = Read 1")
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn object_id_range_checked() {
+        assert!(parse_program("BEGIN Query\nt1 = Read 99999999999\nCOMMIT")
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn data_file_parses_multiple_programs() {
+        let src = format!("{PAPER_QUERY}\n\n{PAPER_UPDATE}\n");
+        let progs = parse_data_file(&src).unwrap();
+        assert_eq!(progs.len(), 2);
+        assert_eq!(progs[0].kind, TxnKind::Query);
+        assert_eq!(progs[1].kind, TxnKind::Update);
+        assert!(parse_data_file("").unwrap().is_empty());
+        assert!(parse_data_file("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn lex_errors_propagate() {
+        assert!(matches!(
+            parse_program("BEGIN Query $\nCOMMIT"),
+            Err(ParseError::Lex(_))
+        ));
+    }
+}

@@ -1,0 +1,247 @@
+//! Pretty-printer: `parse_program(print(p)) == p` for every valid
+//! program (property-tested).
+
+use crate::ast::{BinOp, EndKind, Expr, Program, Stmt};
+use esr_core::ids::TxnKind;
+use std::fmt::Write as _;
+
+/// Operator precedence for minimal parenthesisation.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add | BinOp::Sub => 1,
+        BinOp::Mul => 2,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+    }
+}
+
+/// Render an expression. `min_prec` is the binding strength of the
+/// context; sub-expressions weaker than it get parentheses. `rhs` marks
+/// the right operand of a non-commutative operator, which needs parens
+/// at equal precedence (`a-(b+c)` vs `a-b+c`).
+fn expr_to_string_prec(e: &Expr, min_prec: u8, rhs_of_same: bool) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                // Negative literals re-lex as '-' INT; print as a
+                // parenthesised negation for unambiguous round-trips.
+                format!("(-{})", v.unsigned_abs())
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Neg(inner) => format!("-{}", expr_to_string_prec(inner, 3, false)),
+        Expr::Bin(l, op, r) => {
+            let p = prec(*op);
+            let needs_parens = p < min_prec || (p == min_prec && rhs_of_same);
+            let l_s = expr_to_string_prec(l, p, false);
+            let r_s = expr_to_string_prec(r, p, true);
+            let body = format!("{l_s}{}{r_s}", op_str(*op));
+            if needs_parens {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+    }
+}
+
+/// Render an expression as language source.
+pub fn expr_to_string(e: &Expr) -> String {
+    expr_to_string_prec(e, 0, false)
+}
+
+/// Render a program as language source, in the paper's layout.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    match p.kind {
+        TxnKind::Query => {
+            let _ = write!(out, "BEGIN Query");
+            if let Some(til) = p.root_limit {
+                let _ = write!(out, " TIL = {til}");
+            }
+        }
+        TxnKind::Update => {
+            let _ = write!(out, "BEGIN Update");
+            if let Some(tel) = p.root_limit {
+                let _ = write!(out, " TEL = {tel}");
+            }
+        }
+    }
+    out.push('\n');
+    for (name, v) in &p.limits {
+        let _ = writeln!(out, "LIMIT {name} {v}");
+    }
+    for stmt in &p.stmts {
+        match stmt {
+            Stmt::Assign { var, obj } => {
+                let _ = writeln!(out, "{var} = Read {}", obj.0);
+            }
+            Stmt::Write { obj, expr } => {
+                let _ = writeln!(out, "Write {} , {}", obj.0, expr_to_string(expr));
+            }
+            Stmt::Output { text, args } => {
+                let _ = write!(out, "output({:?}", text);
+                for a in args {
+                    let _ = write!(out, ", {}", expr_to_string(a));
+                }
+                out.push_str(")\n");
+            }
+        }
+    }
+    match p.end {
+        EndKind::Commit => out.push_str("COMMIT\n"),
+        EndKind::Abort => out.push_str("ABORT\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use esr_core::ids::ObjectId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn expr_printing_minimal_parens() {
+        let e = Expr::var("t1") + Expr::int(2) * Expr::var("t2");
+        assert_eq!(expr_to_string(&e), "t1+2*t2");
+        let e = (Expr::var("t1") + Expr::int(2)) * Expr::var("t2");
+        assert_eq!(expr_to_string(&e), "(t1+2)*t2");
+        let e = Expr::var("a") - (Expr::var("b") + Expr::var("c"));
+        assert_eq!(expr_to_string(&e), "a-(b+c)");
+        let e = (Expr::var("a") - Expr::var("b")) + Expr::var("c");
+        assert_eq!(expr_to_string(&e), "a-b+c");
+        let e = -Expr::var("x");
+        assert_eq!(expr_to_string(&e), "-x");
+        assert_eq!(expr_to_string(&Expr::Int(-5)), "(-5)");
+    }
+
+    #[test]
+    fn round_trips_the_paper_programs() {
+        let srcs = [
+            "BEGIN Query TIL = 100000\nt1 = Read 1863\nt2 = Read 1427\n\
+             output(\"Sum is: \", t1+t2)\nCOMMIT\n",
+            "BEGIN Update TEL = 10000\nt1 = Read 1923\nt2 = Read 1644\n\
+             Write 1078 , t2+3000\nWrite 1727 , t1-t2+4230\nCOMMIT\n",
+            "BEGIN Query TIL = 10000\nLIMIT company 4000\nLIMIT com1 200\n\
+             t1 = Read 2745\nCOMMIT\n",
+        ];
+        for src in srcs {
+            let p = parse_program(src).unwrap();
+            assert_eq!(program_to_string(&p), src);
+            assert_eq!(parse_program(&program_to_string(&p)).unwrap(), p);
+        }
+    }
+
+    // Strategy for random well-formed programs.
+    fn arb_expr(vars: Vec<String>) -> impl Strategy<Value = Expr> {
+        let vars2 = vars.clone();
+        let leaf = prop_oneof![
+            (0i64..100_000).prop_map(Expr::Int),
+            proptest::sample::select(vars2).prop_map(Expr::Var),
+        ];
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                inner.prop_map(|a| -a),
+            ]
+        })
+    }
+
+    fn arb_program() -> impl Strategy<Value = Program> {
+        let n_reads = 1usize..6;
+        n_reads
+            .prop_flat_map(|n| {
+                let vars: Vec<String> =
+                    (1..=n).map(|i| format!("t{i}")).collect();
+                let reads: Vec<Stmt> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| Stmt::Assign {
+                        var: v.clone(),
+                        obj: ObjectId(i as u32),
+                    })
+                    .collect();
+                let writes = proptest::collection::vec(
+                    (100u32..200, arb_expr(vars.clone()))
+                        .prop_map(|(o, e)| Stmt::Write {
+                            obj: ObjectId(o),
+                            expr: e,
+                        }),
+                    0..4,
+                );
+                let limits = proptest::collection::vec(
+                    ("[a-z]{2,8}", 0u64..100_000),
+                    0..3,
+                );
+                (
+                    Just(reads),
+                    writes,
+                    limits,
+                    proptest::option::of(0u64..1_000_000),
+                    proptest::bool::ANY,
+                )
+            })
+            .prop_map(|(reads, writes, limits, root_limit, commit)| {
+                let has_writes = !writes.is_empty();
+                let mut stmts = reads;
+                stmts.extend(writes);
+                Program {
+                    kind: if has_writes {
+                        TxnKind::Update
+                    } else {
+                        TxnKind::Query
+                    },
+                    root_limit,
+                    limits: {
+                        // Dedup names; duplicate LIMIT lines are legal
+                        // but re-parse order-sensitively either way.
+                        let mut seen = std::collections::HashSet::new();
+                        limits
+                            .into_iter()
+                            .filter(|(n, _)| seen.insert(n.clone()))
+                            .collect()
+                    },
+                    stmts,
+                    end: if commit {
+                        EndKind::Commit
+                    } else {
+                        EndKind::Abort
+                    },
+                }
+            })
+    }
+
+    proptest! {
+        /// print ∘ parse is the identity on well-formed programs.
+        #[test]
+        fn prop_print_parse_round_trip(p in arb_program()) {
+            let src = program_to_string(&p);
+            let back = parse_program(&src)
+                .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{src}"));
+            prop_assert_eq!(back, p);
+        }
+
+        /// Printed expressions re-parse to the same tree.
+        #[test]
+        fn prop_expr_round_trip(e in arb_expr(vec!["t1".into(), "t2".into()])) {
+            let src = format!("BEGIN Update\nt1 = Read 1\nt2 = Read 2\nWrite 9 , {}\nCOMMIT", expr_to_string(&e));
+            let p = parse_program(&src).unwrap();
+            match &p.stmts[2] {
+                Stmt::Write { expr, .. } => prop_assert_eq!(expr, &e),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

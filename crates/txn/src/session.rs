@@ -1,0 +1,373 @@
+//! The five prototype operations as a trait, plus the in-process
+//! kernel-backed implementation.
+//!
+//! §6: *"The system supports the five basic operations Read, Write,
+//! Begin, Commit and Abort."* [`Session`] is exactly that surface; a
+//! program runner drives any `Session`, whether it talks to a kernel in
+//! the same process ([`KernelSession`]) or to the threaded server over
+//! channels (`esr-server`'s `Connection`).
+
+use esr_clock::TimestampGenerator;
+use esr_core::ids::{ObjectId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_core::value::Value;
+use esr_tso::{AbortReason, CommitInfo, Kernel, OpOutcome};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a session operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The transaction was aborted by the system (late operation or
+    /// bound violation). The client should retry with a new timestamp.
+    Aborted(AbortReason),
+    /// The operation needed to wait but this session cannot block (a
+    /// single-threaded [`KernelSession`] has nobody to wake it). The
+    /// transaction has been aborted; the client may retry.
+    WouldBlock,
+    /// An operation was submitted outside a transaction.
+    NoTransaction,
+    /// Backend/driver failure (unknown object, protocol breach, …).
+    Backend(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Aborted(r) => write!(f, "transaction aborted: {r}"),
+            SessionError::WouldBlock => {
+                f.write_str("operation would block (transaction aborted)")
+            }
+            SessionError::NoTransaction => {
+                f.write_str("no transaction in progress")
+            }
+            SessionError::Backend(m) => write!(f, "backend error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl SessionError {
+    /// Should the client retry the whole transaction?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SessionError::Aborted(_) | SessionError::WouldBlock)
+    }
+}
+
+/// A client's connection-level view of the transaction system.
+pub trait Session {
+    /// Begin a transaction (assigns the timestamp).
+    fn begin(&mut self, kind: TxnKind, bounds: TxnBounds) -> Result<(), SessionError>;
+
+    /// Read an object within the current transaction.
+    fn read(&mut self, obj: ObjectId) -> Result<Value, SessionError>;
+
+    /// Write an object within the current transaction.
+    fn write(&mut self, obj: ObjectId, value: Value) -> Result<(), SessionError>;
+
+    /// Commit the current transaction.
+    fn commit(&mut self) -> Result<CommitInfo, SessionError>;
+
+    /// Abort the current transaction (client-initiated).
+    fn abort(&mut self) -> Result<(), SessionError>;
+
+    /// Is a transaction in progress?
+    fn in_txn(&self) -> bool;
+}
+
+/// Direct, in-process session over a shared [`Kernel`].
+///
+/// Suitable for single-driver use (examples, tests, the simulator's
+/// verification paths). It cannot service *waits*: with no concurrent
+/// client to commit and wake it, a `Wait` outcome is converted into an
+/// abort and surfaced as [`SessionError::WouldBlock`]. Concurrent
+/// multi-client execution belongs to `esr-server`, whose connections
+/// block properly.
+pub struct KernelSession {
+    kernel: Arc<Kernel>,
+    clock: Arc<TimestampGenerator>,
+    current: Option<TxnId>,
+}
+
+impl KernelSession {
+    /// A session issuing timestamps from `clock` against `kernel`.
+    pub fn new(kernel: Arc<Kernel>, clock: Arc<TimestampGenerator>) -> Self {
+        KernelSession {
+            kernel,
+            clock,
+            current: None,
+        }
+    }
+
+    /// The underlying kernel (for inspection in tests/examples).
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The current transaction id, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.current
+    }
+
+    fn current(&self) -> Result<TxnId, SessionError> {
+        self.current.ok_or(SessionError::NoTransaction)
+    }
+
+    /// Evaluate an aggregate over the current query's reads, enforcing
+    /// the TIL at aggregate time (§5.3.2).
+    pub fn check_aggregate(
+        &mut self,
+        kind: esr_core::aggregate::AggregateKind,
+    ) -> Result<esr_core::aggregate::ResultBounds, SessionError> {
+        let txn = self.current()?;
+        match self.kernel.check_aggregate(txn, kind) {
+            Ok(Ok(bounds)) => Ok(bounds),
+            Ok(Err(resp)) => {
+                self.current = None;
+                debug_assert!(resp.woken.is_empty());
+                match resp.outcome {
+                    OpOutcome::Aborted(r) => Err(SessionError::Aborted(r)),
+                    other => Err(SessionError::Backend(format!(
+                        "unexpected aggregate outcome {other:?}"
+                    ))),
+                }
+            }
+            Err(e) => Err(SessionError::Backend(e.to_string())),
+        }
+    }
+}
+
+impl Session for KernelSession {
+    fn begin(&mut self, kind: TxnKind, bounds: TxnBounds) -> Result<(), SessionError> {
+        if self.current.is_some() {
+            return Err(SessionError::Backend(
+                "begin while a transaction is in progress".into(),
+            ));
+        }
+        let ts = self.clock.next();
+        self.current = Some(self.kernel.begin(kind, bounds, ts));
+        Ok(())
+    }
+
+    fn read(&mut self, obj: ObjectId) -> Result<Value, SessionError> {
+        let txn = self.current()?;
+        let resp = self
+            .kernel
+            .read(txn, obj)
+            .map_err(|e| SessionError::Backend(e.to_string()))?;
+        debug_assert!(
+            resp.woken.is_empty(),
+            "single-driver session cannot route wakeups"
+        );
+        match resp.outcome {
+            OpOutcome::Value(v) => Ok(v),
+            OpOutcome::Aborted(r) => {
+                self.current = None;
+                Err(SessionError::Aborted(r))
+            }
+            OpOutcome::Wait => {
+                // Nobody can wake us; give up on this attempt.
+                let end = self
+                    .kernel
+                    .abort(txn)
+                    .map_err(|e| SessionError::Backend(e.to_string()))?;
+                debug_assert!(end.woken.is_empty());
+                self.current = None;
+                Err(SessionError::WouldBlock)
+            }
+            other => Err(SessionError::Backend(format!(
+                "unexpected read outcome {other:?}"
+            ))),
+        }
+    }
+
+    fn write(&mut self, obj: ObjectId, value: Value) -> Result<(), SessionError> {
+        let txn = self.current()?;
+        let resp = self
+            .kernel
+            .write(txn, obj, value)
+            .map_err(|e| SessionError::Backend(e.to_string()))?;
+        debug_assert!(resp.woken.is_empty());
+        match resp.outcome {
+            OpOutcome::Written | OpOutcome::WriteSkipped => Ok(()),
+            OpOutcome::Aborted(r) => {
+                self.current = None;
+                Err(SessionError::Aborted(r))
+            }
+            OpOutcome::Wait => {
+                let end = self
+                    .kernel
+                    .abort(txn)
+                    .map_err(|e| SessionError::Backend(e.to_string()))?;
+                debug_assert!(end.woken.is_empty());
+                self.current = None;
+                Err(SessionError::WouldBlock)
+            }
+            other => Err(SessionError::Backend(format!(
+                "unexpected write outcome {other:?}"
+            ))),
+        }
+    }
+
+    fn commit(&mut self) -> Result<CommitInfo, SessionError> {
+        let txn = self.current()?;
+        let end = self
+            .kernel
+            .commit(txn)
+            .map_err(|e| SessionError::Backend(e.to_string()))?;
+        self.current = None;
+        // Commits can wake ops parked by *other* drivers; a single-
+        // driver session never has any.
+        debug_assert!(end.woken.is_empty());
+        end.info
+            .ok_or_else(|| SessionError::Backend("commit returned no info".into()))
+    }
+
+    fn abort(&mut self) -> Result<(), SessionError> {
+        let txn = self.current()?;
+        let end = self
+            .kernel
+            .abort(txn)
+            .map_err(|e| SessionError::Backend(e.to_string()))?;
+        debug_assert!(end.woken.is_empty());
+        self.current = None;
+        Ok(())
+    }
+
+    fn in_txn(&self) -> bool {
+        self.current.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_clock::{ManualTimeSource, TimestampGenerator};
+    use esr_core::bounds::Limit;
+    use esr_core::ids::SiteId;
+    use esr_storage::catalog::CatalogConfig;
+
+    fn session(values: &[Value]) -> KernelSession {
+        let table = CatalogConfig::default().build_with_values(values);
+        let kernel = Arc::new(Kernel::with_defaults(table));
+        let clock = Arc::new(TimestampGenerator::new(
+            SiteId(0),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        ));
+        KernelSession::new(kernel, clock)
+    }
+
+    #[test]
+    fn update_lifecycle() {
+        let mut s = session(&[100, 200]);
+        assert!(!s.in_txn());
+        s.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        assert!(s.in_txn());
+        assert_eq!(s.read(ObjectId(0)).unwrap(), 100);
+        s.write(ObjectId(1), 250).unwrap();
+        let info = s.commit().unwrap();
+        assert_eq!(info.reads, 1);
+        assert_eq!(info.writes, 1);
+        assert!(!s.in_txn());
+        assert_eq!(s.kernel().table().lock(ObjectId(1)).value, 250);
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let mut s = session(&[100]);
+        s.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s.write(ObjectId(0), 999).unwrap();
+        s.abort().unwrap();
+        assert!(!s.in_txn());
+        assert_eq!(s.kernel().table().lock(ObjectId(0)).value, 100);
+    }
+
+    #[test]
+    fn op_without_txn_is_error() {
+        let mut s = session(&[1]);
+        assert_eq!(s.read(ObjectId(0)), Err(SessionError::NoTransaction));
+        assert_eq!(s.write(ObjectId(0), 1), Err(SessionError::NoTransaction));
+        assert!(matches!(s.commit(), Err(SessionError::NoTransaction)));
+        assert!(matches!(s.abort(), Err(SessionError::NoTransaction)));
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let mut s = session(&[1]);
+        s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)).unwrap();
+        assert!(matches!(
+            s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)),
+            Err(SessionError::Backend(_))
+        ));
+    }
+
+    #[test]
+    fn kernel_abort_clears_session() {
+        // Zero-bound query reading data newer than itself: create the
+        // conflict by beginning the query FIRST (older ts), then letting
+        // an update commit, then reading.
+        let mut s = session(&[100]);
+        s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)).unwrap();
+        // Second session shares kernel & clock.
+        let mut s2 = KernelSession::new(
+            Arc::clone(s.kernel()),
+            Arc::new(TimestampGenerator::new(
+                SiteId(1),
+                Arc::new(ManualTimeSource::starting_at(100)),
+            )),
+        );
+        s2.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s2.write(ObjectId(0), 175).unwrap();
+        s2.commit().unwrap();
+        match s.read(ObjectId(0)) {
+            Err(SessionError::Aborted(AbortReason::BoundViolation(_))) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(!s.in_txn());
+    }
+
+    #[test]
+    fn would_block_on_uncommitted_conflict() {
+        let base = Arc::new(ManualTimeSource::starting_at(1));
+        let table = CatalogConfig::default().build_with_values(&[100]);
+        let kernel = Arc::new(Kernel::with_defaults(table));
+        let mut s1 = KernelSession::new(
+            Arc::clone(&kernel),
+            Arc::new(TimestampGenerator::new(SiteId(0), base.clone())),
+        );
+        let mut s2 = KernelSession::new(
+            kernel,
+            Arc::new(TimestampGenerator::new(SiteId(1), base)),
+        );
+        s1.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s1.write(ObjectId(0), 150).unwrap();
+        s2.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        assert_eq!(s2.read(ObjectId(0)), Err(SessionError::WouldBlock));
+        assert!(!s2.in_txn());
+        s1.commit().unwrap();
+    }
+
+    #[test]
+    fn aggregate_check_through_session() {
+        use esr_core::aggregate::AggregateKind;
+        let mut s = session(&[100, 200]);
+        s.begin(TxnKind::Query, TxnBounds::import(Limit::at_most(1000)))
+            .unwrap();
+        s.read(ObjectId(0)).unwrap();
+        s.read(ObjectId(1)).unwrap();
+        let b = s.check_aggregate(AggregateKind::Sum).unwrap();
+        assert_eq!(b.inconsistency, 0);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(SessionError::WouldBlock.to_string().contains("block"));
+        assert!(SessionError::NoTransaction.to_string().contains("no transaction"));
+        assert!(SessionError::Backend("x".into()).to_string().contains('x'));
+        assert!(SessionError::Aborted(AbortReason::LateRead).is_retryable());
+        assert!(SessionError::WouldBlock.is_retryable());
+        assert!(!SessionError::NoTransaction.is_retryable());
+    }
+}

@@ -1,0 +1,376 @@
+//! Lexer for the transaction language.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// Keywords are recognised case-insensitively.
+    Begin,
+    Commit,
+    Abort,
+    Limit,
+    Til,
+    Tel,
+    Query,
+    Update,
+    Read,
+    Write,
+    Output,
+    /// An identifier (read variable or group name).
+    Ident(String),
+    /// An integer literal (always non-negative; `-` is a token).
+    Int(i64),
+    /// A double-quoted string literal (no escapes needed by the paper's
+    /// programs; `\"` and `\\` are supported anyway).
+    Str(String),
+    Equals,
+    Comma,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Star,
+    /// Statement separator (one or more line breaks collapse to one).
+    Newline,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Begin => f.write_str("BEGIN"),
+            Token::Commit => f.write_str("COMMIT"),
+            Token::Abort => f.write_str("ABORT"),
+            Token::Limit => f.write_str("LIMIT"),
+            Token::Til => f.write_str("TIL"),
+            Token::Tel => f.write_str("TEL"),
+            Token::Query => f.write_str("Query"),
+            Token::Update => f.write_str("Update"),
+            Token::Read => f.write_str("Read"),
+            Token::Write => f.write_str("Write"),
+            Token::Output => f.write_str("output"),
+            Token::Ident(s) => f.write_str(s),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Equals => f.write_str("="),
+            Token::Comma => f.write_str(","),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Newline => f.write_str("<newline>"),
+        }
+    }
+}
+
+/// A lexing failure with line/column position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(word: &str) -> Option<Token> {
+    match word.to_ascii_lowercase().as_str() {
+        "begin" => Some(Token::Begin),
+        "commit" => Some(Token::Commit),
+        "abort" => Some(Token::Abort),
+        "limit" => Some(Token::Limit),
+        "til" => Some(Token::Til),
+        "tel" => Some(Token::Tel),
+        "query" => Some(Token::Query),
+        "update" => Some(Token::Update),
+        "read" => Some(Token::Read),
+        "write" => Some(Token::Write),
+        "output" => Some(Token::Output),
+        _ => None,
+    }
+}
+
+/// Tokenise a program. Comments run from `//` or `#` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+                if out.last() != Some(&Token::Newline) && !out.is_empty() {
+                    out.push(Token::Newline);
+                }
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    err!("unexpected '/' (comments are // or #)");
+                }
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                out.push(Token::Equals);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                out.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                out.push(Token::RParen);
+            }
+            '+' => {
+                chars.next();
+                col += 1;
+                out.push(Token::Plus);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                out.push(Token::Minus);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                out.push(Token::Star);
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            col += 1;
+                            match chars.next() {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some(c) => err!("unsupported escape '\\{c}'"),
+                                None => err!("unterminated string"),
+                            }
+                            col += 1;
+                        }
+                        Some('\n') | None => err!("unterminated string"),
+                        Some(c) => {
+                            col += 1;
+                            s.push(c);
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = match n.checked_mul(10).and_then(|n| n.checked_add(d as i64))
+                        {
+                            Some(n) => n,
+                            None => err!("integer literal overflows i64"),
+                        };
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(keyword(&word).unwrap_or(Token::Ident(word)));
+            }
+            c => err!("unexpected character {c:?}"),
+        }
+    }
+    // Drop a trailing newline for a cleaner token stream.
+    if out.last() == Some(&Token::Newline) {
+        out.pop();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_query_header() {
+        let toks = lex("BEGIN Query TIL = 100000").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Begin,
+                Token::Query,
+                Token::Til,
+                Token::Equals,
+                Token::Int(100_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("begin QUERY til Tel reAd WRITE output").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Begin,
+                Token::Query,
+                Token::Til,
+                Token::Tel,
+                Token::Read,
+                Token::Write,
+                Token::Output
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_collapse_and_trailing_dropped() {
+        let toks = lex("COMMIT\n\n\nABORT\n\n").unwrap();
+        assert_eq!(toks, vec![Token::Commit, Token::Newline, Token::Abort]);
+    }
+
+    #[test]
+    fn leading_blank_lines_ignored() {
+        let toks = lex("\n\nBEGIN").unwrap();
+        assert_eq!(toks, vec![Token::Begin]);
+    }
+
+    #[test]
+    fn full_statement_line() {
+        let toks = lex("t1 = Read 1863").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Equals,
+                Token::Read,
+                Token::Int(1863)
+            ]
+        );
+    }
+
+    #[test]
+    fn write_with_expression() {
+        let toks = lex("Write 1727 , t3-t4+4230").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Write,
+                Token::Int(1727),
+                Token::Comma,
+                Token::Ident("t3".into()),
+                Token::Minus,
+                Token::Ident("t4".into()),
+                Token::Plus,
+                Token::Int(4230)
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let toks = lex(r#"output("Sum is: ", t1)"#).unwrap();
+        assert_eq!(toks[0], Token::Output);
+        assert_eq!(toks[2], Token::Str("Sum is: ".into()));
+        let toks = lex(r#""a\"b\\c""#).unwrap();
+        assert_eq!(toks, vec![Token::Str(r#"a"b\c"#.into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("COMMIT // trailing\n# whole line\nABORT").unwrap();
+        assert_eq!(toks, vec![Token::Commit, Token::Newline, Token::Abort]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("ok\n  $").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+        assert!(lex(r#""a\x""#).is_err());
+    }
+
+    #[test]
+    fn int_overflow_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn lone_slash_rejected() {
+        assert!(lex("a / b").is_err());
+    }
+}

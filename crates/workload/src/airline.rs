@@ -1,0 +1,172 @@
+//! Airline-reservation workload — the paper's second motivating domain
+//! ("airplane seats in airline reservation systems", §2).
+//!
+//! Each flight is one object holding its seats-sold count. Reservation
+//! updates read-modify-write one flight; availability queries sum the
+//! seats sold across a route (a subset of flights). Seat counts make
+//! the metric-space semantics concrete: a TIL of 5 on an availability
+//! query means "the total may be off by at most five seats".
+
+use crate::template::{OpTemplate, TxnTemplate, WriteValue};
+use esr_core::ids::{ObjectId, TxnKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Airline shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AirlineConfig {
+    /// Number of flights (objects).
+    pub flights: u32,
+    /// Seats already sold on each flight at start.
+    pub initial_sold: i64,
+    /// Capacity per flight (reservations clamp here).
+    pub capacity: i64,
+    /// Largest party size per booking.
+    pub max_party: i64,
+    /// Flights per availability query.
+    pub route_len: usize,
+}
+
+impl Default for AirlineConfig {
+    fn default() -> Self {
+        AirlineConfig {
+            flights: 50,
+            initial_sold: 100,
+            capacity: 300,
+            max_party: 6,
+            route_len: 8,
+        }
+    }
+}
+
+impl AirlineConfig {
+    /// Initial object values.
+    pub fn initial_values(&self) -> Vec<i64> {
+        vec![self.initial_sold; self.flights as usize]
+    }
+}
+
+/// Seeded generator of bookings, cancellations, and availability
+/// queries.
+#[derive(Debug, Clone)]
+pub struct AirlineWorkload {
+    cfg: AirlineConfig,
+    rng: SmallRng,
+}
+
+impl AirlineWorkload {
+    /// A stream over `cfg` seeded with `seed`.
+    pub fn new(cfg: AirlineConfig, seed: u64) -> Self {
+        assert!(cfg.flights > 0, "need at least one flight");
+        assert!(cfg.route_len >= 1 && cfg.route_len <= cfg.flights as usize);
+        assert!(cfg.max_party >= 1);
+        AirlineWorkload {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AirlineConfig {
+        &self.cfg
+    }
+
+    /// A booking (positive party) or cancellation (negative), biased
+    /// 3:1 toward bookings.
+    pub fn next_booking(&mut self) -> TxnTemplate {
+        let flight = ObjectId(self.rng.gen_range(0..self.cfg.flights));
+        let party = self.rng.gen_range(1..=self.cfg.max_party);
+        let delta = if self.rng.gen_bool(0.75) { party } else { -party };
+        TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![
+                OpTemplate::Read(flight),
+                OpTemplate::Write(
+                    flight,
+                    WriteValue::ReadPlusDelta { slot: 0, delta },
+                ),
+            ],
+        }
+    }
+
+    /// An availability query over a random route of distinct flights.
+    pub fn next_route_query(&mut self) -> TxnTemplate {
+        let mut flights = std::collections::HashSet::new();
+        while flights.len() < self.cfg.route_len {
+            flights.insert(self.rng.gen_range(0..self.cfg.flights));
+        }
+        let mut ids: Vec<u32> = flights.into_iter().collect();
+        ids.sort_unstable();
+        TxnTemplate {
+            kind: TxnKind::Query,
+            ops: ids
+                .into_iter()
+                .map(|f| OpTemplate::Read(ObjectId(f)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bookings_touch_one_flight() {
+        let mut w = AirlineWorkload::new(AirlineConfig::default(), 1);
+        for _ in 0..50 {
+            let b = w.next_booking();
+            b.validate().unwrap();
+            assert_eq!(b.kind, TxnKind::Update);
+            assert_eq!(b.reads(), 1);
+            assert_eq!(b.writes(), 1);
+            let objs = b.objects();
+            assert_eq!(objs[0], objs[1]); // read-modify-write same flight
+        }
+    }
+
+    #[test]
+    fn route_queries_are_distinct_flights() {
+        let mut w = AirlineWorkload::new(AirlineConfig::default(), 2);
+        for _ in 0..20 {
+            let q = w.next_route_query();
+            q.validate().unwrap();
+            assert_eq!(q.reads(), 8);
+        }
+    }
+
+    #[test]
+    fn party_sizes_bounded() {
+        let mut w = AirlineWorkload::new(AirlineConfig::default(), 3);
+        for _ in 0..100 {
+            let b = w.next_booking();
+            if let OpTemplate::Write(_, WriteValue::ReadPlusDelta { delta, .. }) =
+                &b.ops[1]
+            {
+                assert!(delta.abs() >= 1 && delta.abs() <= 6);
+            } else {
+                panic!("unexpected write shape");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_values() {
+        let c = AirlineConfig::default();
+        let v = c.initial_values();
+        assert_eq!(v.len(), 50);
+        assert!(v.iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn route_longer_than_flights_rejected() {
+        let cfg = AirlineConfig {
+            flights: 3,
+            route_len: 5,
+            ..AirlineConfig::default()
+        };
+        let _ = AirlineWorkload::new(cfg, 0);
+    }
+}

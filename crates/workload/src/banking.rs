@@ -1,0 +1,240 @@
+//! The banking workload of Figure 1: hierarchically grouped accounts,
+//! sum-preserving transfers, and audit queries with group limits.
+//!
+//! Because every transfer conserves the bank's total, this workload is
+//! the natural vehicle for the headline ESR guarantee: *any committed
+//! audit query's total must lie within its TIL of the true total* — so
+//! correctness tests and the banking example both build on it.
+
+use crate::template::{OpTemplate, TxnTemplate, WriteValue};
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Bank shape: `categories × branches_per_category` accounts, grouped
+/// two levels deep (category → branch is flattened to category groups;
+/// accounts attach to their category).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Category names (Figure 1 uses company / preferred / personal).
+    pub categories: Vec<String>,
+    /// Accounts per category.
+    pub accounts_per_category: u32,
+    /// Initial balance per account.
+    pub initial_balance: Value,
+    /// Largest single transfer amount.
+    pub max_transfer: i64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            categories: vec![
+                "company".to_owned(),
+                "preferred".to_owned(),
+                "personal".to_owned(),
+            ],
+            accounts_per_category: 40,
+            initial_balance: 5_000,
+            max_transfer: 500,
+        }
+    }
+}
+
+impl BankConfig {
+    /// Total number of accounts.
+    pub fn n_accounts(&self) -> u32 {
+        self.categories.len() as u32 * self.accounts_per_category
+    }
+
+    /// The bank's invariant total.
+    pub fn total(&self) -> i128 {
+        self.n_accounts() as i128 * self.initial_balance as i128
+    }
+
+    /// The account ids belonging to a category index.
+    pub fn category_accounts(&self, cat: usize) -> std::ops::Range<u32> {
+        let per = self.accounts_per_category;
+        (cat as u32 * per)..((cat as u32 + 1) * per)
+    }
+
+    /// Build the Figure 1 hierarchy: one group per category, accounts
+    /// attached to their category's group.
+    pub fn schema(&self) -> HierarchySchema {
+        let mut b = HierarchySchema::builder();
+        for (i, name) in self.categories.iter().enumerate() {
+            let g = b.group(name);
+            b.attach_range(self.category_accounts(i), g);
+        }
+        b.build()
+    }
+
+    /// Initial values for the object table.
+    pub fn initial_values(&self) -> Vec<Value> {
+        vec![self.initial_balance; self.n_accounts() as usize]
+    }
+}
+
+/// Seeded generator of transfers and audit queries.
+#[derive(Debug, Clone)]
+pub struct BankingWorkload {
+    cfg: BankConfig,
+    rng: SmallRng,
+}
+
+impl BankingWorkload {
+    /// A stream over `cfg` seeded with `seed`.
+    pub fn new(cfg: BankConfig, seed: u64) -> Self {
+        assert!(cfg.n_accounts() >= 2, "need at least two accounts");
+        assert!(cfg.max_transfer >= 1, "transfers must move money");
+        BankingWorkload {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BankConfig {
+        &self.cfg
+    }
+
+    /// A transfer: read both accounts, debit one, credit the other.
+    /// The global sum is conserved by construction.
+    pub fn next_transfer(&mut self) -> TxnTemplate {
+        let n = self.cfg.n_accounts();
+        let a = self.rng.gen_range(0..n);
+        let mut b = self.rng.gen_range(0..n);
+        while b == a {
+            b = self.rng.gen_range(0..n);
+        }
+        let amount = self.rng.gen_range(1..=self.cfg.max_transfer);
+        TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![
+                OpTemplate::Read(ObjectId(a)),
+                OpTemplate::Read(ObjectId(b)),
+                OpTemplate::Write(
+                    ObjectId(a),
+                    WriteValue::ReadPlusDelta {
+                        slot: 0,
+                        delta: -amount,
+                    },
+                ),
+                OpTemplate::Write(
+                    ObjectId(b),
+                    WriteValue::ReadPlusDelta {
+                        slot: 1,
+                        delta: amount,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// A full audit: read every account (the "overall amount held by the
+    /// bank" query of §3.1).
+    pub fn full_audit(&self) -> TxnTemplate {
+        TxnTemplate {
+            kind: TxnKind::Query,
+            ops: (0..self.cfg.n_accounts())
+                .map(|i| OpTemplate::Read(ObjectId(i)))
+                .collect(),
+        }
+    }
+
+    /// An audit of a single category.
+    pub fn category_audit(&self, cat: usize) -> TxnTemplate {
+        TxnTemplate {
+            kind: TxnKind::Query,
+            ops: self
+                .cfg
+                .category_accounts(cat)
+                .map(|i| OpTemplate::Read(ObjectId(i)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shape() {
+        let c = BankConfig::default();
+        assert_eq!(c.n_accounts(), 120);
+        assert_eq!(c.total(), 600_000);
+        assert_eq!(c.category_accounts(1), 40..80);
+        assert_eq!(c.initial_values().len(), 120);
+    }
+
+    #[test]
+    fn schema_attaches_accounts_to_categories() {
+        let c = BankConfig::default();
+        let s = c.schema();
+        assert_eq!(s.node_count(), 4); // root + 3 categories
+        let company = s.node_by_name("company").unwrap();
+        let personal = s.node_by_name("personal").unwrap();
+        assert_eq!(s.node_of(ObjectId(0)), company);
+        assert_eq!(s.node_of(ObjectId(39)), company);
+        assert_eq!(s.node_of(ObjectId(80)), personal);
+    }
+
+    #[test]
+    fn transfers_conserve_sum_by_construction() {
+        let mut w = BankingWorkload::new(BankConfig::default(), 1);
+        for _ in 0..100 {
+            let t = w.next_transfer();
+            t.validate().unwrap();
+            assert_eq!(t.kind, TxnKind::Update);
+            // The two deltas must cancel.
+            let deltas: Vec<i64> = t
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    OpTemplate::Write(_, WriteValue::ReadPlusDelta { delta, .. }) => {
+                        Some(*delta)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(deltas.len(), 2);
+            assert_eq!(deltas[0] + deltas[1], 0);
+            assert!(deltas[1] >= 1);
+        }
+    }
+
+    #[test]
+    fn audits_cover_expected_accounts() {
+        let w = BankingWorkload::new(BankConfig::default(), 1);
+        let full = w.full_audit();
+        assert_eq!(full.reads(), 120);
+        full.validate().unwrap();
+        let cat = w.category_audit(2);
+        assert_eq!(cat.reads(), 40);
+        assert!(cat.objects().iter().all(|o| o.0 >= 80));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BankingWorkload::new(BankConfig::default(), 9);
+        let mut b = BankingWorkload::new(BankConfig::default(), 9);
+        for _ in 0..20 {
+            assert_eq!(a.next_transfer(), b.next_transfer());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two accounts")]
+    fn tiny_bank_rejected() {
+        let cfg = BankConfig {
+            categories: vec!["only".into()],
+            accounts_per_category: 1,
+            ..BankConfig::default()
+        };
+        let _ = BankingWorkload::new(cfg, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # esr-workload — transaction load generation
+//!
+//! §6: *"The clients are supplied with data files consisting of a number
+//! of transactions that are randomly generated, to serve as the load of
+//! transactions."* §7 gives the shape: ~1000 objects with values in
+//! 1000–9999, a hot set of about 20 objects to force a high conflict
+//! ratio, query ETs of about 20 read operations computing a *sum*, and
+//! update ETs of about 6 operations whose writes are arithmetic over the
+//! values read (§3.2.1's examples: `Write 1078, t2+3000`).
+//!
+//! Everything is seeded and deterministic: the same
+//! [`paper::PaperWorkload`] seed produces the same transaction stream,
+//! so experiments are exactly reproducible.
+//!
+//! * [`template`] — protocol-agnostic transaction templates: distinct
+//!   objects, reads into slots, writes as expressions over those slots;
+//! * [`paper`] — the paper's evaluation mix;
+//! * [`banking`] — sum-preserving transfers plus hierarchical audit
+//!   queries (Figure 1's bank); the workhorse for correctness tests,
+//!   because the global sum is invariant;
+//! * [`airline`] — seat reservations, the paper's other motivating
+//!   domain;
+//! * [`script`] — renders templates into the paper's textual transaction
+//!   language (parsed back by `esr-txn`).
+
+pub mod airline;
+pub mod banking;
+pub mod paper;
+pub mod script;
+pub mod template;
+
+pub use paper::{PaperWorkload, UpdateStyle, WorkloadConfig};
+pub use template::{OpTemplate, TxnTemplate, WriteValue};

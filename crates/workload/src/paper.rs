@@ -1,0 +1,426 @@
+//! The paper's evaluation workload (§7).
+//!
+//! Defaults: 1000-object database, a 20-object hot set that most
+//! accesses land in (the paper: "most of our transactions accessed only
+//! about 20 objects to create a high conflict ratio"), query ETs of 20
+//! reads computing a sum, update ETs of ~6 operations, object values in
+//! 1000–9999.
+//!
+//! Write values come in two styles:
+//!
+//! * [`UpdateStyle::BoundedDelta`] (default for experiments) — each
+//!   written object is first read and then perturbed by a uniform delta
+//!   in `[-max_delta, +max_delta]\{0}`, clamped to the value range. This
+//!   keeps the value distribution stationary and gives a *controlled*
+//!   average write magnitude w̄ = `max_delta/2` — the unit in which
+//!   Figures 12–13 express OIL.
+//! * [`UpdateStyle::PaperArithmetic`] — writes are `±t_i ±t_j + c` over
+//!   the transaction's reads, visually matching §3.2.1's example
+//!   programs (uncontrolled w̄; used by the script-emission examples).
+
+use crate::template::{OpTemplate, TxnTemplate, WriteValue};
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::value::Value;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How update-ET write values are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateStyle {
+    /// Read-then-perturb with `|delta| <= max_delta` (w̄ = max_delta/2).
+    BoundedDelta {
+        /// Largest absolute perturbation.
+        max_delta: i64,
+    },
+    /// `±t_i ±t_j + constant` arithmetic over the transaction's reads.
+    PaperArithmetic,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Database size (ids `0..db_size`).
+    pub db_size: u32,
+    /// Hot-set size (ids `0..hot_set`); §7 uses ~20.
+    pub hot_set: u32,
+    /// Probability that each object pick comes from the hot set.
+    pub hot_prob: f64,
+    /// Fraction of transactions that are query ETs.
+    pub query_fraction: f64,
+    /// Reads per query ET (§7: about 20).
+    pub query_reads: usize,
+    /// Reads per update ET.
+    pub update_reads: usize,
+    /// Writes per update ET (reads + writes ≈ 6 in §7).
+    pub update_writes: usize,
+    /// Update write style.
+    pub update_style: UpdateStyle,
+    /// Object value range (clamping bound for BoundedDelta writes).
+    pub value_lo: Value,
+    /// Upper end of the value range.
+    pub value_hi: Value,
+}
+
+impl Default for WorkloadConfig {
+    /// The §7 evaluation settings.
+    fn default() -> Self {
+        WorkloadConfig {
+            db_size: 1000,
+            hot_set: 20,
+            hot_prob: 0.9,
+            query_fraction: 0.5,
+            query_reads: 20,
+            update_reads: 4,
+            update_writes: 2,
+            update_style: UpdateStyle::BoundedDelta { max_delta: 2000 },
+            value_lo: 1000,
+            value_hi: 9999,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Average write magnitude w̄ implied by the update style: the mean
+    /// of `|delta|` for `BoundedDelta` (≈ `max_delta/2`), or a rough
+    /// half-range estimate for arithmetic writes.
+    pub fn mean_write_magnitude(&self) -> f64 {
+        match self.update_style {
+            UpdateStyle::BoundedDelta { max_delta } => max_delta as f64 / 2.0,
+            UpdateStyle::PaperArithmetic => {
+                (self.value_hi - self.value_lo) as f64 / 2.0
+            }
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.db_size > 0, "empty database");
+        assert!(self.hot_set <= self.db_size, "hot set exceeds database");
+        assert!(
+            (0.0..=1.0).contains(&self.hot_prob),
+            "hot_prob out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.query_fraction),
+            "query_fraction out of range"
+        );
+        assert!(self.query_reads >= 1, "queries need at least one read");
+        assert!(
+            self.update_reads >= self.update_writes.min(1),
+            "bounded-delta updates must read at least one object"
+        );
+        let distinct_needed =
+            self.query_reads.max(self.update_reads + self.update_writes);
+        assert!(
+            distinct_needed <= self.db_size as usize,
+            "transaction footprint exceeds database size"
+        );
+    }
+}
+
+/// Deterministic, seeded transaction stream.
+#[derive(Debug, Clone)]
+pub struct PaperWorkload {
+    cfg: WorkloadConfig,
+    rng: SmallRng,
+}
+
+impl PaperWorkload {
+    /// A stream over `cfg` seeded with `seed`.
+    pub fn new(cfg: WorkloadConfig, seed: u64) -> Self {
+        cfg.validate();
+        PaperWorkload {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Draw `n` distinct objects following the hot/cold mix.
+    fn pick_objects(&mut self, n: usize) -> Vec<ObjectId> {
+        let cfg = &self.cfg;
+        let mut picked = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::with_capacity(n * 2);
+        // Cap attempts to stay total even with tiny hot sets: when the
+        // hot set is exhausted, spill to the cold region.
+        let mut attempts = 0usize;
+        while picked.len() < n {
+            attempts += 1;
+            let from_hot = cfg.hot_set > 0
+                && (attempts <= n * 8)
+                && self.rng.gen_bool(cfg.hot_prob);
+            let id = if from_hot {
+                ObjectId(self.rng.gen_range(0..cfg.hot_set))
+            } else {
+                ObjectId(self.rng.gen_range(0..cfg.db_size))
+            };
+            if seen.insert(id) {
+                picked.push(id);
+            }
+        }
+        picked
+    }
+
+    /// Generate the next query ET template.
+    pub fn next_query(&mut self) -> TxnTemplate {
+        let objs = self.pick_objects(self.cfg.query_reads);
+        TxnTemplate {
+            kind: TxnKind::Query,
+            ops: objs.into_iter().map(OpTemplate::Read).collect(),
+        }
+    }
+
+    /// Generate the next update ET template.
+    pub fn next_update(&mut self) -> TxnTemplate {
+        let cfg = self.cfg.clone();
+        match cfg.update_style {
+            UpdateStyle::BoundedDelta { max_delta } => {
+                // Read-modify-write pairs first (each write immediately
+                // follows its read, as in a transfer or reservation),
+                // then the remaining pure reads. Interleaving keeps the
+                // window between an update's timestamp and its writes
+                // to one operation round trip — leaving it to the end
+                // would make update/update "late write" aborts dominate
+                // every experiment regardless of epsilon.
+                let n_reads = cfg.update_reads.max(cfg.update_writes).max(1);
+                let objs = self.pick_objects(n_reads);
+                let mut written: Vec<usize> = (0..n_reads).collect();
+                written.shuffle(&mut self.rng);
+                written.truncate(cfg.update_writes);
+                written.sort_unstable();
+                let mut ops: Vec<OpTemplate> =
+                    Vec::with_capacity(n_reads + cfg.update_writes);
+                // Read+write pairs; the pair's read occupies read slot
+                // `pair_idx` because pairs come before all pure reads.
+                for (pair_idx, &obj_idx) in written.iter().enumerate() {
+                    let mut delta = 0i64;
+                    while delta == 0 {
+                        delta = self.rng.gen_range(-max_delta..=max_delta);
+                    }
+                    ops.push(OpTemplate::Read(objs[obj_idx]));
+                    ops.push(OpTemplate::Write(
+                        objs[obj_idx],
+                        WriteValue::ReadPlusDelta {
+                            slot: pair_idx,
+                            delta,
+                        },
+                    ));
+                }
+                // …then the leftover pure reads.
+                for (obj_idx, obj) in objs.iter().enumerate() {
+                    if !written.contains(&obj_idx) {
+                        ops.push(OpTemplate::Read(*obj));
+                    }
+                }
+                TxnTemplate {
+                    kind: TxnKind::Update,
+                    ops,
+                }
+            }
+            UpdateStyle::PaperArithmetic => {
+                let n = cfg.update_reads + cfg.update_writes;
+                let objs = self.pick_objects(n);
+                let mut ops: Vec<OpTemplate> = objs[..cfg.update_reads]
+                    .iter()
+                    .copied()
+                    .map(OpTemplate::Read)
+                    .collect();
+                for w in 0..cfg.update_writes {
+                    let terms = if cfg.update_reads == 0 {
+                        Vec::new()
+                    } else if cfg.update_reads == 1 || self.rng.gen_bool(0.5) {
+                        vec![(self.rng.gen_range(0..cfg.update_reads), 1)]
+                    } else {
+                        let a = self.rng.gen_range(0..cfg.update_reads);
+                        let mut b = self.rng.gen_range(0..cfg.update_reads);
+                        while b == a {
+                            b = self.rng.gen_range(0..cfg.update_reads);
+                        }
+                        vec![(a, 1), (b, -1)]
+                    };
+                    let constant = self.rng.gen_range(0..=9000);
+                    ops.push(OpTemplate::Write(
+                        objs[cfg.update_reads + w],
+                        WriteValue::Arithmetic { terms, constant },
+                    ));
+                }
+                TxnTemplate {
+                    kind: TxnKind::Update,
+                    ops,
+                }
+            }
+        }
+    }
+
+    /// Generate the next transaction following the query/update mix.
+    pub fn next_txn(&mut self) -> TxnTemplate {
+        if self.rng.gen_bool(self.cfg.query_fraction) {
+            self.next_query()
+        } else {
+            self.next_update()
+        }
+    }
+
+    /// Generate a batch (a client's "data file" of transactions).
+    pub fn batch(&mut self, n: usize) -> Vec<TxnTemplate> {
+        (0..n).map(|_| self.next_txn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.db_size, 1000);
+        assert_eq!(c.hot_set, 20);
+        assert_eq!(c.query_reads, 20);
+        assert_eq!(c.update_reads + c.update_writes, 6);
+        assert_eq!(c.mean_write_magnitude(), 1000.0);
+    }
+
+    #[test]
+    fn templates_are_valid_and_deterministic() {
+        let mut w1 = PaperWorkload::new(WorkloadConfig::default(), 42);
+        let mut w2 = PaperWorkload::new(WorkloadConfig::default(), 42);
+        for _ in 0..200 {
+            let a = w1.next_txn();
+            let b = w2.next_txn();
+            assert_eq!(a, b);
+            a.validate().unwrap();
+        }
+        let mut w3 = PaperWorkload::new(WorkloadConfig::default(), 43);
+        let diff = (0..50).any(|_| w1.next_txn() != w3.next_txn());
+        assert!(diff, "different seeds should differ");
+    }
+
+    #[test]
+    fn query_shape() {
+        let mut w = PaperWorkload::new(WorkloadConfig::default(), 1);
+        let q = w.next_query();
+        assert_eq!(q.kind, TxnKind::Query);
+        assert_eq!(q.reads(), 20);
+        assert_eq!(q.writes(), 0);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn bounded_delta_update_shape() {
+        let mut w = PaperWorkload::new(WorkloadConfig::default(), 1);
+        let u = w.next_update();
+        assert_eq!(u.kind, TxnKind::Update);
+        assert_eq!(u.reads(), 4);
+        assert_eq!(u.writes(), 2);
+        u.validate().unwrap();
+        // Read order, for resolving write slots.
+        let reads: Vec<_> = u
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                OpTemplate::Read(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        // Writes are perturbations of the read of the *same* object,
+        // with non-zero bounded delta, and each write immediately
+        // follows its read (read-modify-write pairs come first).
+        for (i, op) in u.ops.iter().enumerate() {
+            if let OpTemplate::Write(obj, WriteValue::ReadPlusDelta { slot, delta }) = op
+            {
+                assert_ne!(*delta, 0);
+                assert!(delta.abs() <= 2000);
+                assert_eq!(reads[*slot], *obj);
+                assert_eq!(u.ops[i - 1], OpTemplate::Read(*obj));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_arithmetic_update_shape() {
+        let cfg = WorkloadConfig {
+            update_style: UpdateStyle::PaperArithmetic,
+            ..WorkloadConfig::default()
+        };
+        let mut w = PaperWorkload::new(cfg, 1);
+        for _ in 0..50 {
+            let u = w.next_update();
+            assert_eq!(u.reads(), 4);
+            assert_eq!(u.writes(), 2);
+            u.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn hot_set_dominates_accesses() {
+        let mut w = PaperWorkload::new(WorkloadConfig::default(), 7);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..100 {
+            for obj in w.next_txn().objects() {
+                total += 1;
+                if obj.0 < 20 {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.6, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn mix_follows_query_fraction() {
+        let cfg = WorkloadConfig {
+            query_fraction: 0.25,
+            ..WorkloadConfig::default()
+        };
+        let mut w = PaperWorkload::new(cfg, 3);
+        let batch = w.batch(2000);
+        let queries = batch.iter().filter(|t| t.kind == TxnKind::Query).count();
+        let frac = queries as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.05, "query fraction {frac}");
+    }
+
+    #[test]
+    fn hot_set_smaller_than_footprint_spills_to_cold() {
+        let cfg = WorkloadConfig {
+            hot_set: 4,
+            hot_prob: 1.0,
+            query_reads: 10,
+            ..WorkloadConfig::default()
+        };
+        let mut w = PaperWorkload::new(cfg, 5);
+        let q = w.next_query();
+        assert_eq!(q.reads(), 10);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "hot set exceeds database")]
+    fn invalid_config_rejected() {
+        let cfg = WorkloadConfig {
+            db_size: 10,
+            hot_set: 20,
+            ..WorkloadConfig::default()
+        };
+        let _ = PaperWorkload::new(cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint exceeds")]
+    fn footprint_larger_than_db_rejected() {
+        let cfg = WorkloadConfig {
+            db_size: 10,
+            hot_set: 5,
+            query_reads: 50,
+            ..WorkloadConfig::default()
+        };
+        let _ = PaperWorkload::new(cfg, 0);
+    }
+}

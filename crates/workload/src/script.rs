@@ -1,0 +1,264 @@
+//! Rendering templates into the paper's textual transaction language.
+//!
+//! The emitted scripts match the §3.2.1 examples:
+//!
+//! ```text
+//! BEGIN Query TIL = 100000
+//! LIMIT company 4000
+//! t1 = Read 1863
+//! t2 = Read 1427
+//! output("Sum is: ", t1+t2)
+//! COMMIT
+//! ```
+//!
+//! `esr-txn` parses these back; the round trip is covered by the
+//! integration tests at the workspace root.
+
+use crate::template::{OpTemplate, TxnTemplate, WriteValue};
+use esr_core::ids::TxnKind;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Bounds to stamp into a rendered script's specification part.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptBounds {
+    /// TIL (queries) or TEL (updates). `None` omits the limit — the
+    /// language treats a missing limit as unlimited.
+    pub root: Option<u64>,
+    /// `LIMIT <group> <n>` lines, in order.
+    pub groups: Vec<(String, u64)>,
+}
+
+impl ScriptBounds {
+    /// Just a root limit.
+    pub fn root(limit: u64) -> Self {
+        ScriptBounds {
+            root: Some(limit),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Add a group limit line.
+    pub fn with_group(mut self, name: &str, limit: u64) -> Self {
+        self.groups.push((name.to_owned(), limit));
+        self
+    }
+}
+
+/// Render a write value as a language expression over `t1..tn`.
+fn write_expr(v: &WriteValue) -> String {
+    match v {
+        WriteValue::ReadPlusDelta { slot, delta } => {
+            if *delta >= 0 {
+                format!("t{}+{}", slot + 1, delta)
+            } else {
+                format!("t{}-{}", slot + 1, -delta)
+            }
+        }
+        WriteValue::Arithmetic { terms, constant } => {
+            let mut s = String::new();
+            for (i, (slot, coeff)) in terms.iter().enumerate() {
+                match (*coeff, i) {
+                    (1, 0) => {
+                        let _ = write!(s, "t{}", slot + 1);
+                    }
+                    (1, _) => {
+                        let _ = write!(s, "+t{}", slot + 1);
+                    }
+                    (-1, _) => {
+                        let _ = write!(s, "-t{}", slot + 1);
+                    }
+                    (c, 0) => {
+                        let _ = write!(s, "{}*t{}", c, slot + 1);
+                    }
+                    (c, _) if c >= 0 => {
+                        let _ = write!(s, "+{}*t{}", c, slot + 1);
+                    }
+                    (c, _) => {
+                        let _ = write!(s, "-{}*t{}", -c, slot + 1);
+                    }
+                }
+            }
+            if terms.is_empty() {
+                let _ = write!(s, "{constant}");
+            } else if *constant > 0 {
+                let _ = write!(s, "+{constant}");
+            } else if *constant < 0 {
+                let _ = write!(s, "-{}", -constant);
+            }
+            s
+        }
+        WriteValue::Absolute(v) => format!("{v}"),
+    }
+}
+
+/// Render a template as a program in the transaction language.
+pub fn render(template: &TxnTemplate, bounds: &ScriptBounds) -> String {
+    let mut out = String::new();
+    match template.kind {
+        TxnKind::Query => {
+            let _ = write!(out, "BEGIN Query");
+            if let Some(til) = bounds.root {
+                let _ = write!(out, " TIL = {til}");
+            }
+        }
+        TxnKind::Update => {
+            let _ = write!(out, "BEGIN Update");
+            if let Some(tel) = bounds.root {
+                let _ = write!(out, " TEL = {tel}");
+            }
+        }
+    }
+    out.push('\n');
+    for (name, limit) in &bounds.groups {
+        let _ = writeln!(out, "LIMIT {name} {limit}");
+    }
+    let mut slot = 0usize;
+    let mut read_vars: Vec<String> = Vec::new();
+    for op in &template.ops {
+        match op {
+            OpTemplate::Read(obj) => {
+                slot += 1;
+                let var = format!("t{slot}");
+                let _ = writeln!(out, "{var} = Read {}", obj.0);
+                read_vars.push(var);
+            }
+            OpTemplate::Write(obj, v) => {
+                let _ = writeln!(out, "Write {} , {}", obj.0, write_expr(v));
+            }
+        }
+    }
+    if template.kind == TxnKind::Query && !read_vars.is_empty() {
+        let _ = writeln!(out, "output(\"Sum is: \", {})", read_vars.join("+"));
+    }
+    out.push_str("COMMIT\n");
+    out
+}
+
+/// Render a batch as a client "data file": programs separated by blank
+/// lines (the clients of §6 read transactions from such files).
+pub fn render_data_file(templates: &[TxnTemplate], bounds: &ScriptBounds) -> String {
+    templates
+        .iter()
+        .map(|t| render(t, bounds))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_core::ids::ObjectId;
+
+    fn query() -> TxnTemplate {
+        TxnTemplate {
+            kind: TxnKind::Query,
+            ops: vec![
+                OpTemplate::Read(ObjectId(1863)),
+                OpTemplate::Read(ObjectId(1427)),
+            ],
+        }
+    }
+
+    fn update() -> TxnTemplate {
+        TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![
+                OpTemplate::Read(ObjectId(1923)),
+                OpTemplate::Read(ObjectId(1644)),
+                OpTemplate::Write(
+                    ObjectId(1078),
+                    WriteValue::ReadPlusDelta { slot: 1, delta: 3000 },
+                ),
+                OpTemplate::Write(
+                    ObjectId(1727),
+                    WriteValue::Arithmetic {
+                        terms: vec![(0, 1), (1, -1)],
+                        constant: 4230,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn query_renders_like_the_paper() {
+        let s = render(&query(), &ScriptBounds::root(100_000));
+        let expect = "BEGIN Query TIL = 100000\n\
+                      t1 = Read 1863\n\
+                      t2 = Read 1427\n\
+                      output(\"Sum is: \", t1+t2)\n\
+                      COMMIT\n";
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn update_renders_like_the_paper() {
+        let s = render(&update(), &ScriptBounds::root(10_000));
+        let expect = "BEGIN Update TEL = 10000\n\
+                      t1 = Read 1923\n\
+                      t2 = Read 1644\n\
+                      Write 1078 , t2+3000\n\
+                      Write 1727 , t1-t2+4230\n\
+                      COMMIT\n";
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn group_limits_render() {
+        let b = ScriptBounds::root(10_000)
+            .with_group("company", 4000)
+            .with_group("com1", 200);
+        let s = render(&query(), &b);
+        assert!(s.contains("LIMIT company 4000\n"), "{s}");
+        assert!(s.contains("LIMIT com1 200\n"), "{s}");
+    }
+
+    #[test]
+    fn missing_root_limit_omitted() {
+        let s = render(&query(), &ScriptBounds::default());
+        assert!(s.starts_with("BEGIN Query\n"), "{s}");
+    }
+
+    #[test]
+    fn negative_delta_renders_as_subtraction() {
+        let t = TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![
+                OpTemplate::Read(ObjectId(5)),
+                OpTemplate::Write(
+                    ObjectId(6),
+                    WriteValue::ReadPlusDelta { slot: 0, delta: -42 },
+                ),
+            ],
+        };
+        let s = render(&t, &ScriptBounds::root(1));
+        assert!(s.contains("Write 6 , t1-42\n"), "{s}");
+    }
+
+    #[test]
+    fn absolute_and_constant_only_values() {
+        assert_eq!(write_expr(&WriteValue::Absolute(77)), "77");
+        assert_eq!(
+            write_expr(&WriteValue::Arithmetic {
+                terms: vec![],
+                constant: -5
+            }),
+            "-5"
+        );
+        assert_eq!(
+            write_expr(&WriteValue::Arithmetic {
+                terms: vec![(0, 2), (1, -3)],
+                constant: 0
+            }),
+            "2*t1-3*t2"
+        );
+    }
+
+    #[test]
+    fn data_file_joins_with_blank_lines() {
+        let f = render_data_file(&[query(), query()], &ScriptBounds::root(9));
+        assert_eq!(f.matches("BEGIN Query").count(), 2);
+        assert!(f.contains("COMMIT\n\nBEGIN"), "{f}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Protocol-agnostic transaction templates.
+//!
+//! A template fixes the object access pattern and the *shape* of write
+//! values before execution; actual write values may depend on the values
+//! read at run time (the paper's update ETs write arithmetic
+//! combinations of their reads). Consistent with the paper's single-use
+//! assumption ("an object is read or written once within a
+//! transaction"), generators produce distinct objects per transaction.
+
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// How a write's value is computed from the transaction's earlier reads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteValue {
+    /// `reads[slot] + delta` — a bounded perturbation of a value the
+    /// transaction itself read (controlled average write magnitude w̄).
+    ReadPlusDelta {
+        /// Index into the transaction's read results.
+        slot: usize,
+        /// Signed perturbation.
+        delta: i64,
+    },
+    /// `Σ sign·reads[slot] + constant` — the paper's arithmetic style
+    /// (`Write 1727, t3-t4+4230`).
+    Arithmetic {
+        /// `(slot, coefficient)` pairs; coefficients are ±1 in the
+        /// paper's examples but any small integer is allowed.
+        terms: Vec<(usize, i64)>,
+        /// Additive constant.
+        constant: i64,
+    },
+    /// A literal value.
+    Absolute(Value),
+}
+
+impl WriteValue {
+    /// Evaluate against the read results gathered so far.
+    ///
+    /// # Panics
+    /// Panics if a slot is out of range — templates are constructed so
+    /// writes only reference earlier reads.
+    pub fn eval(&self, reads: &[Value]) -> Value {
+        match self {
+            WriteValue::ReadPlusDelta { slot, delta } => {
+                reads[*slot].saturating_add(*delta)
+            }
+            WriteValue::Arithmetic { terms, constant } => {
+                let mut acc = *constant;
+                for (slot, coeff) in terms {
+                    acc = acc.saturating_add(reads[*slot].saturating_mul(*coeff));
+                }
+                acc
+            }
+            WriteValue::Absolute(v) => *v,
+        }
+    }
+
+    /// Evaluate and clamp into `[lo, hi]` (keeps the database's value
+    /// distribution stationary across long runs).
+    pub fn eval_clamped(&self, reads: &[Value], lo: Value, hi: Value) -> Value {
+        self.eval(reads).clamp(lo, hi)
+    }
+
+    /// The largest read slot referenced, if any.
+    pub fn max_slot(&self) -> Option<usize> {
+        match self {
+            WriteValue::ReadPlusDelta { slot, .. } => Some(*slot),
+            WriteValue::Arithmetic { terms, .. } => {
+                terms.iter().map(|(s, _)| *s).max()
+            }
+            WriteValue::Absolute(_) => None,
+        }
+    }
+}
+
+/// One operation in a template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpTemplate {
+    /// Read an object; the result lands in the next read slot.
+    Read(ObjectId),
+    /// Write an object with a computed value.
+    Write(ObjectId, WriteValue),
+}
+
+impl OpTemplate {
+    /// The object touched.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            OpTemplate::Read(o) | OpTemplate::Write(o, _) => *o,
+        }
+    }
+
+    /// Is this a read?
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpTemplate::Read(_))
+    }
+}
+
+/// A full transaction template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnTemplate {
+    /// Query or update ET.
+    pub kind: TxnKind,
+    /// Operations in submission order.
+    pub ops: Vec<OpTemplate>,
+}
+
+impl TxnTemplate {
+    /// Number of reads.
+    pub fn reads(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_read()).count()
+    }
+
+    /// Number of writes.
+    pub fn writes(&self) -> usize {
+        self.ops.len() - self.reads()
+    }
+
+    /// Validate structural invariants: queries are read-only, every
+    /// write slot references an earlier read, and no object is read
+    /// twice or written twice (the paper's single-use assumption —
+    /// "an object is read or written once within a transaction").
+    /// A read-modify-write of one object is one read plus one write and
+    /// is allowed.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kind == TxnKind::Query && self.writes() > 0 {
+            return Err("query template contains writes".into());
+        }
+        let mut read_seen = std::collections::HashSet::new();
+        let mut write_seen = std::collections::HashSet::new();
+        let mut reads_so_far = 0usize;
+        for op in &self.ops {
+            match op {
+                OpTemplate::Read(obj) => {
+                    if !read_seen.insert(*obj) {
+                        return Err(format!("object {obj} read twice"));
+                    }
+                    reads_so_far += 1;
+                }
+                OpTemplate::Write(obj, v) => {
+                    if !write_seen.insert(*obj) {
+                        return Err(format!("object {obj} written twice"));
+                    }
+                    if let Some(max) = v.max_slot() {
+                        if max >= reads_so_far {
+                            return Err(format!(
+                                "write references read slot {max} but only {reads_so_far} reads precede it"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All distinct objects accessed.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.ops.iter().map(OpTemplate::object).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_value_eval() {
+        let reads = [100, 200, 300];
+        assert_eq!(
+            WriteValue::ReadPlusDelta { slot: 1, delta: -50 }.eval(&reads),
+            150
+        );
+        assert_eq!(
+            WriteValue::Arithmetic {
+                terms: vec![(2, 1), (0, -1)],
+                constant: 4230
+            }
+            .eval(&reads),
+            300 - 100 + 4230
+        );
+        assert_eq!(WriteValue::Absolute(7).eval(&reads), 7);
+    }
+
+    #[test]
+    fn eval_clamped() {
+        let v = WriteValue::ReadPlusDelta { slot: 0, delta: 10_000 };
+        assert_eq!(v.eval_clamped(&[5000], 1000, 9999), 9999);
+        let v = WriteValue::ReadPlusDelta { slot: 0, delta: -10_000 };
+        assert_eq!(v.eval_clamped(&[5000], 1000, 9999), 1000);
+    }
+
+    #[test]
+    fn eval_saturates() {
+        let v = WriteValue::ReadPlusDelta { slot: 0, delta: i64::MAX };
+        assert_eq!(v.eval(&[i64::MAX]), i64::MAX);
+        let v = WriteValue::Arithmetic {
+            terms: vec![(0, i64::MAX)],
+            constant: 0,
+        };
+        assert_eq!(v.eval(&[i64::MAX]), i64::MAX);
+    }
+
+    #[test]
+    fn max_slot() {
+        assert_eq!(
+            WriteValue::ReadPlusDelta { slot: 3, delta: 0 }.max_slot(),
+            Some(3)
+        );
+        assert_eq!(
+            WriteValue::Arithmetic {
+                terms: vec![(1, 1), (4, -1)],
+                constant: 0
+            }
+            .max_slot(),
+            Some(4)
+        );
+        assert_eq!(WriteValue::Absolute(1).max_slot(), None);
+    }
+
+    fn valid_update() -> TxnTemplate {
+        TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![
+                OpTemplate::Read(ObjectId(1)),
+                OpTemplate::Read(ObjectId(2)),
+                OpTemplate::Write(
+                    ObjectId(3),
+                    WriteValue::ReadPlusDelta { slot: 1, delta: 5 },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn validation_accepts_well_formed() {
+        let t = valid_update();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+        assert_eq!(t.objects().len(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_query_with_writes() {
+        let mut t = valid_update();
+        t.kind = TxnKind::Query;
+        assert!(t.validate().unwrap_err().contains("read-only") || t.validate().unwrap_err().contains("writes"));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_reads_and_writes() {
+        let mut t = valid_update();
+        t.ops.push(OpTemplate::Read(ObjectId(1)));
+        assert!(t.validate().unwrap_err().contains("read twice"));
+        let mut t = valid_update();
+        t.ops
+            .push(OpTemplate::Write(ObjectId(3), WriteValue::Absolute(1)));
+        assert!(t.validate().unwrap_err().contains("written twice"));
+    }
+
+    #[test]
+    fn validation_allows_read_modify_write() {
+        let t = TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![
+                OpTemplate::Read(ObjectId(1)),
+                OpTemplate::Write(
+                    ObjectId(1),
+                    WriteValue::ReadPlusDelta { slot: 0, delta: 5 },
+                ),
+            ],
+        };
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_forward_slot_reference() {
+        let t = TxnTemplate {
+            kind: TxnKind::Update,
+            ops: vec![OpTemplate::Write(
+                ObjectId(1),
+                WriteValue::ReadPlusDelta { slot: 0, delta: 1 },
+            )],
+        };
+        assert!(t.validate().unwrap_err().contains("slot"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Airline reservations with bounded-staleness availability queries.
+//!
+//! Run with `cargo run --example airline`.
+//!
+//! §2's other canonical metric space: seats. Booking agents update
+//! seats-sold counters serializably; the route-availability dashboard
+//! only needs seat counts accurate to ±`TIL` seats, so it runs with an
+//! import limit instead of blocking the agents — exactly the "lengthy
+//! query ETs execute in spite of ongoing concurrent updates" scenario
+//! from §1.
+
+use esr::prelude::*;
+use esr::workload::airline::{AirlineConfig, AirlineWorkload};
+use esr::workload::OpTemplate;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = AirlineConfig::default(); // 50 flights, 100 seats sold each
+    let table = CatalogConfig::default().build_with_values(&cfg.initial_values());
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+
+    // Booking agents: each committed booking adjusts a net-seats tally
+    // so we can check the dashboard against ground truth afterwards.
+    let stop = Arc::new(AtomicBool::new(false));
+    let net_delta = Arc::new(AtomicI64::new(0));
+    let mut agents = Vec::new();
+    for seed in 0..3u64 {
+        let mut conn = server.connect();
+        let stop = Arc::clone(&stop);
+        let net = Arc::clone(&net_delta);
+        let mut wl = AirlineWorkload::new(cfg, seed);
+        agents.push(std::thread::spawn(move || {
+            let mut booked = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let t = wl.next_booking();
+                conn.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+                    .unwrap();
+                let mut reads = Vec::new();
+                let mut delta_applied = 0i64;
+                let mut ok = true;
+                for op in &t.ops {
+                    let r = match op {
+                        OpTemplate::Read(obj) => conn.read(*obj).map(|v| {
+                            reads.push(v);
+                        }),
+                        OpTemplate::Write(obj, val) => {
+                            let new = val.eval(&reads).clamp(0, wl.config().capacity);
+                            delta_applied = new - reads[0];
+                            conn.write(*obj, new)
+                        }
+                    };
+                    if let Err(e) = r {
+                        assert!(e.is_retryable(), "{e}");
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok && conn.commit().is_ok() {
+                    booked += delta_applied;
+                } else if conn.in_txn() {
+                    let _ = conn.abort();
+                }
+            }
+            net.fetch_add(booked, Ordering::Relaxed);
+        }));
+    }
+
+    // The dashboard: total seats sold across all flights, to ±5 seats.
+    let til = 5u64;
+    let mut dashboard = server.connect();
+    let mut refreshes = 0;
+    let mut last_total = 0i64;
+    while refreshes < 15 {
+        dashboard
+            .begin(TxnKind::Query, TxnBounds::import(Limit::at_most(til)))
+            .unwrap();
+        let mut total = 0i64;
+        let mut ok = true;
+        for f in 0..cfg.flights {
+            match dashboard.read(ObjectId(f)) {
+                Ok(v) => total += v,
+                Err(e) => {
+                    assert!(e.is_retryable(), "{e}");
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let info = dashboard.commit().unwrap();
+        refreshes += 1;
+        last_total = total;
+        println!(
+            "dashboard refresh #{refreshes:2}: {total} seats sold \
+             (±{til}, imported {})",
+            info.inconsistency
+        );
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for a in agents {
+        a.join().unwrap();
+    }
+    let true_total =
+        cfg.flights as i64 * cfg.initial_sold + net_delta.load(Ordering::Relaxed);
+    let table_total = server.kernel().table().sum_values() as i64;
+    println!(
+        "\nground truth after quiescence: {true_total} seats \
+         (table says {table_total}); last live dashboard read: {last_total}"
+    );
+    assert_eq!(true_total, table_total, "bookings must balance the table");
+}

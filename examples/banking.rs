@@ -1,0 +1,149 @@
+//! The banking system of Figure 1: hierarchical inconsistency bounds.
+//!
+//! Run with `cargo run --example banking`.
+//!
+//! The bank groups accounts into categories
+//! (`overall → {company, preferred, personal}`), and the overall-estimate
+//! query of §3.1 bounds not just its total error (TIL) but also how much
+//! of that error may come from each category:
+//!
+//! ```text
+//! BEGIN Query
+//!   TIL 10000
+//!   LIMIT company   4000
+//!   LIMIT preferred 3000
+//!   LIMIT personal  3000
+//! ```
+//!
+//! During the control stage the checks run bottom-up — object, group,
+//! transaction — and the first level whose budget would be exceeded
+//! aborts the query (§5.3.1).
+
+use esr::prelude::*;
+use esr::tso::AbortReason;
+use esr::workload::banking::{BankConfig, BankingWorkload};
+use esr_core::error::ViolationLevel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let bank = BankConfig::default(); // 3 categories × 40 accounts × 5000
+    let schema = bank.schema();
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let kernel = Kernel::new(table, schema, KernelConfig::default());
+    let server = Server::start(kernel, ServerConfig::default());
+    println!(
+        "bank: {} accounts in {} categories, true total {}",
+        bank.n_accounts(),
+        bank.categories.len(),
+        bank.total()
+    );
+
+    // Tellers run transfers concurrently.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut tellers = Vec::new();
+    for seed in 0..3u64 {
+        let mut conn = server.connect();
+        let stop = Arc::clone(&stop);
+        let mut wl = BankingWorkload::new(bank.clone(), seed);
+        tellers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let t = wl.next_transfer();
+                conn.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+                    .unwrap();
+                let mut reads = Vec::new();
+                let mut ok = true;
+                for op in &t.ops {
+                    use esr::workload::OpTemplate;
+                    let r = match op {
+                        OpTemplate::Read(obj) => conn.read(*obj).map(|v| {
+                            reads.push(v);
+                        }),
+                        OpTemplate::Write(obj, val) => {
+                            conn.write(*obj, val.eval(&reads))
+                        }
+                    };
+                    if let Err(e) = r {
+                        assert!(e.is_retryable(), "{e}");
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let _ = conn.commit();
+                } else if conn.in_txn() {
+                    let _ = conn.abort();
+                }
+                // Pace the tellers: unthrottled in-process transfers are
+                // orders of magnitude faster than any real teller and
+                // would livelock every bounded audit.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }));
+    }
+
+    // The overall-estimate query, with per-category error budgets.
+    let til = 6_000u64;
+    let (company_lim, preferred_lim, personal_lim) = (2_500u64, 2_000, 2_000);
+    let mut auditor = server.connect();
+    let mut done = 0;
+    let mut group_aborts = 0u32;
+    let mut attempts = 0u32;
+    while done < 10 {
+        attempts += 1;
+        assert!(attempts < 10_000, "audits starved");
+        let bounds = TxnBounds::import(Limit::at_most(til))
+            .with_group("company", Limit::at_most(company_lim))
+            .with_group("preferred", Limit::at_most(preferred_lim))
+            .with_group("personal", Limit::at_most(personal_lim));
+        auditor.begin(TxnKind::Query, bounds).unwrap();
+        let mut sum = 0i64;
+        let mut failed = false;
+        for i in 0..bank.n_accounts() {
+            match auditor.read(ObjectId(i)) {
+                Ok(v) => sum += v,
+                Err(SessionError::Aborted(AbortReason::BoundViolation(v))) => {
+                    if let ViolationLevel::Group(g) = &v.level {
+                        group_aborts += 1;
+                        if group_aborts <= 5 {
+                            println!(
+                                "  audit aborted: category {g:?} exceeded its budget \
+                                 (attempted {} > {})",
+                                v.attempted, v.limit
+                            );
+                        }
+                    }
+                    failed = true;
+                    break;
+                }
+                Err(e) => {
+                    assert!(e.is_retryable(), "{e}");
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            continue;
+        }
+        let info = auditor.commit().unwrap();
+        done += 1;
+        let deviation = (sum as i128 - bank.total()).unsigned_abs();
+        println!(
+            "overall estimate #{done:2}: {sum:7} (deviation {deviation:4}, imported {:4})",
+            info.inconsistency
+        );
+        assert!(deviation <= til as u128, "TIL guarantee violated");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for t in tellers {
+        t.join().unwrap();
+    }
+    println!(
+        "\n10 overall estimates within TIL = {til}; {group_aborts} aborts were \
+         triggered at the *category* level (hierarchical control in action)."
+    );
+    assert_eq!(server.kernel().table().sum_values(), bank.total());
+    println!("bank total intact: {}", bank.total());
+}

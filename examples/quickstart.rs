@@ -1,0 +1,103 @@
+//! Quickstart: one server, one updater, one bounded-staleness auditor.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Shows the central trade of epsilon serializability: the audit query
+//! declares a transaction import limit (TIL) and is then allowed to read
+//! *through* concurrent updates — without blocking and without aborting —
+//! while the system guarantees its total is within TIL of a value some
+//! serial execution would have produced.
+
+use esr::prelude::*;
+
+fn main() {
+    // A main-memory database of 16 accounts, 5000 each (§6's start-up
+    // data file).
+    let accounts = 16u32;
+    let initial = 5_000i64;
+    let table = CatalogConfig::default()
+        .build_with_values(&vec![initial; accounts as usize]);
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+    let true_total = accounts as i64 * initial;
+
+    // A teller moves money around, serializably (transfers preserve the
+    // bank's total by construction).
+    let mut teller = server.connect();
+    let teller_thread = std::thread::spawn(move || {
+        for round in 0..200 {
+            let from = ObjectId(round % accounts);
+            let to = ObjectId((round * 7 + 3) % accounts);
+            if from == to {
+                continue;
+            }
+            loop {
+                teller
+                    .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+                    .expect("begin transfer");
+                let step = (|| -> Result<(), SessionError> {
+                    let a = teller.read(from)?;
+                    let b = teller.read(to)?;
+                    teller.write(from, a - 25)?;
+                    teller.write(to, b + 25)?;
+                    teller.commit()?;
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => break,
+                    Err(e) if e.is_retryable() => continue, // §6: resubmit
+                    Err(e) => panic!("transfer failed: {e}"),
+                }
+            }
+        }
+    });
+
+    // Meanwhile the auditor sums every account with a staleness budget.
+    let til = 500u64;
+    let mut auditor = server.connect();
+    let mut audits = 0u32;
+    let mut retries = 0u32;
+    while audits < 20 {
+        auditor
+            .begin(TxnKind::Query, TxnBounds::import(Limit::at_most(til)))
+            .expect("begin audit");
+        let mut sum = 0i64;
+        let mut ok = true;
+        for i in 0..accounts {
+            match auditor.read(ObjectId(i)) {
+                Ok(v) => sum += v,
+                Err(e) if e.is_retryable() => {
+                    retries += 1;
+                    ok = false;
+                    break;
+                }
+                Err(e) => panic!("audit failed: {e}"),
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let info = auditor.commit().expect("commit audit");
+        audits += 1;
+        let deviation = (sum - true_total).unsigned_abs();
+        println!(
+            "audit #{audits:2}: total = {sum:7}  (true {true_total}, deviation {deviation:4}, \
+             imported {:4}, inconsistent reads {:2})",
+            info.inconsistency, info.inconsistent_ops
+        );
+        assert!(
+            deviation <= til,
+            "ESR guarantee violated: deviation {deviation} > TIL {til}"
+        );
+    }
+
+    teller_thread.join().unwrap();
+    println!(
+        "\nAll {audits} audits stayed within TIL = {til} of the true total \
+         ({retries} audit retries)."
+    );
+    println!(
+        "Final database total: {} (must equal {true_total}).",
+        server.kernel().table().sum_values()
+    );
+    assert_eq!(server.kernel().table().sum_values(), true_total as i128);
+}

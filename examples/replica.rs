@@ -1,0 +1,115 @@
+//! ESR over asynchronous replication — the paper's §9 future work.
+//!
+//! Run with `cargo run --example replica`.
+//!
+//! A primary takes serializable updates; two read-only replicas trail
+//! it with different synchronisation cadences. Dashboards run *locally*
+//! on the replicas with an import budget: the fast replica answers a
+//! tight bound, the slow replica can only answer looser ones — and when
+//! its divergence exceeds the budget, the query is rejected rather than
+//! silently wrong. Pumping the replication log restores even
+//! SR-strength (zero-bound) queries.
+
+use esr::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Primary: 20 accounts of 5000.
+    let n = 20u32;
+    let table = CatalogConfig::default().build_with_values(&vec![5_000; n as usize]);
+    let system = ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 2);
+    let clock = TimestampGenerator::new(
+        SiteId(0),
+        Arc::new(SystemTimeSource::new()),
+    );
+    let all: Vec<ObjectId> = (0..n).map(ObjectId).collect();
+
+    // A stream of primary transfers; replica 0 pumps aggressively,
+    // replica 1 lazily.
+    let mut moved = 0i64;
+    for round in 0..30u32 {
+        let from = ObjectId(round % n);
+        let to = ObjectId((round + 7) % n);
+        let amt = 40 + (round as i64 % 5) * 10;
+        let u = system.primary().begin(
+            TxnKind::Update,
+            TxnBounds::export(Limit::ZERO),
+            clock.next(),
+        );
+        let (a, b) = (
+            read(&system, u, from),
+            read(&system, u, to),
+        );
+        let _ = system.primary().write(u, from, a - amt).unwrap();
+        let _ = system.primary().write(u, to, b + amt).unwrap();
+        let _ = system.commit_update(u).unwrap();
+        moved += amt;
+
+        system.with_replica(0, |r| {
+            r.pump_all();
+        });
+        if round % 10 == 9 {
+            system.with_replica(1, |r| {
+                r.pump(4);
+            });
+        }
+    }
+    println!("primary committed 30 transfers (total moved: {moved})");
+    for i in 0..2 {
+        system.with_replica(i, |r| {
+            println!(
+                "replica {i}: lag {:3} entries, total divergence {}",
+                r.lag(),
+                r.total_divergence()
+            );
+        });
+    }
+
+    let primary_sum = system.primary().table().sum_values() as i64;
+    println!("\nprimary committed sum: {primary_sum}");
+
+    // Tight dashboard (±100) on each replica.
+    for i in 0..2 {
+        match system.replica_query(i, &TxnBounds::import(Limit::at_most(100)), &all) {
+            Ok(out) => {
+                let sum: i64 = out.values.iter().sum();
+                println!(
+                    "replica {i} dashboard (±100): sum {sum} (imported {}, {} stale reads)",
+                    out.imported, out.stale_reads
+                );
+                assert!((sum - primary_sum).unsigned_abs() <= 100);
+            }
+            Err(v) => println!("replica {i} dashboard (±100): REJECTED — {v}"),
+        }
+    }
+
+    // The lazy replica can still answer a loose bound.
+    let loose = 10_000u64;
+    let out = system
+        .replica_query(1, &TxnBounds::import(Limit::at_most(loose)), &all)
+        .expect("loose bound fits");
+    let sum: i64 = out.values.iter().sum();
+    println!(
+        "replica 1 dashboard (±{loose}): sum {sum} (imported {})",
+        out.imported
+    );
+    assert!((sum - primary_sum).unsigned_abs() <= loose);
+
+    // Catch the lazy replica up: zero-bound (SR) queries now succeed.
+    system.with_replica(1, |r| {
+        r.pump_all();
+    });
+    let exact = system
+        .replica_query(1, &TxnBounds::import(Limit::ZERO), &all)
+        .expect("synced replica is exact");
+    let sum: i64 = exact.values.iter().sum();
+    println!("replica 1 after pump_all (SR bound): sum {sum}");
+    assert_eq!(sum, primary_sum);
+}
+
+fn read(system: &ReplicatedSystem, txn: TxnId, obj: ObjectId) -> i64 {
+    match system.primary().read(txn, obj).unwrap().outcome {
+        esr::tso::OpOutcome::Value(v) => v,
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}

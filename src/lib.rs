@@ -1,0 +1,92 @@
+//! # esr — Epsilon Serializability with Hierarchical Inconsistency Bounds
+//!
+//! A complete implementation and performance study of
+//!
+//! > Mohan Kamath and Krithi Ramamritham, *"Performance Characteristics
+//! > of Epsilon Serializability with Hierarchical Inconsistency
+//! > Bounds"*, ICDE 1993.
+//!
+//! Epsilon serializability (ESR) weakens classic serializability (SR) in
+//! a *controlled* way: query transactions may **import** a bounded
+//! amount of inconsistency and update transactions may **export** a
+//! bounded amount, with the bounds specified hierarchically — per
+//! transaction (TIL/TEL), per named group of objects (GIL/GEL), and per
+//! object (OIL/OEL). Set every bound to zero and ESR degenerates to SR.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Crate | What it is |
+//! |---|---|
+//! | [`core`] (`esr-core`) | Metric-space distances, limits, the hierarchy schema, per-transaction bound specs, and the bottom-up check-then-charge ledgers — the paper's primary contribution. |
+//! | [`clock`] (`esr-clock`) | Site-stamped unique timestamps from skewed clocks with correction-factor synchronisation (§6). |
+//! | [`storage`] (`esr-storage`) | The main-memory data manager: write-history rings for proper values, shadow paging, reader tracking, per-object OIL/OEL. |
+//! | [`tso`] (`esr-tso`) | Timestamp-ordering concurrency control with the three ESR relaxation cases of §4, strict-ordering waits, and abort/restart. |
+//! | [`txn`] (`esr-txn`) | The textual transaction language (`BEGIN Query TIL = 100000 …`), sessions, and the retry-until-commit client driver. |
+//! | [`server`] (`esr-server`) | The multithreaded client/server prototype (§6) with blocking waits and injectable RPC latency. |
+//! | [`sim`] (`esr-sim`) | A deterministic discrete-event simulation of the prototype's system model — the engine behind every figure. |
+//! | [`workload`] (`esr-workload`) | The §7 evaluation workload plus banking/airline domain workloads and script emission. |
+//! | [`metrics`] (`esr-metrics`) | Summary statistics, 90% confidence intervals, and figure rendering. |
+//! | [`replica`] (`esr-replica`) | The §9 future-work extension: asynchronous replication with bounded-divergence replica queries. |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use esr::prelude::*;
+//!
+//! // An in-process server over a small bank.
+//! let table = CatalogConfig::default().build_with_values(&[5_000; 8]);
+//! let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+//!
+//! // An update ET transfers money (serializably: TEL = 0)…
+//! let mut teller = server.connect();
+//! teller.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+//! let a = teller.read(ObjectId(0)).unwrap();
+//! let b = teller.read(ObjectId(1)).unwrap();
+//! teller.write(ObjectId(0), a - 700).unwrap();
+//! teller.write(ObjectId(1), b + 700).unwrap();
+//! teller.commit().unwrap();
+//!
+//! // …while an audit query tolerates up to 1000 of inconsistency.
+//! let mut auditor = server.connect();
+//! auditor.begin(TxnKind::Query, TxnBounds::import(Limit::at_most(1_000))).unwrap();
+//! let mut sum = 0;
+//! for i in 0..8 {
+//!     sum += auditor.read(ObjectId(i)).unwrap();
+//! }
+//! let info = auditor.commit().unwrap();
+//! assert!((sum - 8 * 5_000).unsigned_abs() <= 1_000 + info.inconsistency);
+//! ```
+//!
+//! See `examples/` for the banking hierarchy of Figure 1, an airline
+//! scenario, the transaction language, and a miniature thrashing study;
+//! `cargo bench` regenerates every figure of the paper's evaluation.
+
+pub use esr_clock as clock;
+pub use esr_core as core;
+pub use esr_metrics as metrics;
+pub use esr_replica as replica;
+pub use esr_server as server;
+pub use esr_sim as sim;
+pub use esr_storage as storage;
+pub use esr_tso as tso;
+pub use esr_txn as txn;
+pub use esr_workload as workload;
+
+/// The most common imports for application code.
+pub mod prelude {
+    pub use esr_clock::{ManualTimeSource, SystemTimeSource, Timestamp, TimestampGenerator};
+    pub use esr_core::aggregate::{AggregateKind, AggregateTracker};
+    pub use esr_core::bounds::{EpsilonPreset, Limit};
+    pub use esr_core::hierarchy::HierarchySchema;
+    pub use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+    pub use esr_core::spec::TxnBounds;
+    pub use esr_replica::{Replica, ReplicatedSystem};
+    pub use esr_server::{Connection, Server, ServerConfig};
+    pub use esr_storage::{CatalogConfig, LimitAssignment, ObjectTable};
+    pub use esr_tso::{Kernel, KernelConfig};
+    pub use esr_txn::{
+        parse_program, run_program, run_with_retry, KernelSession, ProgramBuilder,
+        Session, SessionError,
+    };
+    pub use esr_workload::{PaperWorkload, TxnTemplate, WorkloadConfig};
+}

@@ -1,0 +1,97 @@
+//! §5.3.2 end-to-end: aggregate queries other than `sum`, with the
+//! result-inconsistency check performed at aggregate-evaluation time.
+
+use esr::prelude::*;
+use esr::txn::SessionError;
+use std::sync::Arc;
+
+fn session_pair(values: &[i64]) -> (KernelSession, KernelSession) {
+    let table = CatalogConfig::default().build_with_values(values);
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let src = Arc::new(ManualTimeSource::starting_at(1));
+    let a = KernelSession::new(
+        Arc::clone(&kernel),
+        Arc::new(TimestampGenerator::new(SiteId(0), src.clone())),
+    );
+    let b = KernelSession::new(
+        kernel,
+        Arc::new(TimestampGenerator::new(SiteId(1), src)),
+    );
+    (a, b)
+}
+
+#[test]
+fn average_query_result_interval_reflects_staleness() {
+    let (mut q, mut u) = session_pair(&[1_000, 2_000, 3_000]);
+    // The query reads object 0 cleanly…
+    q.begin(TxnKind::Query, TxnBounds::import(Limit::at_most(10_000)))
+        .unwrap();
+    assert_eq!(q.read(ObjectId(0)).unwrap(), 1_000);
+    // …then an update shifts objects 1 and 2.
+    u.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+        .unwrap();
+    u.write(ObjectId(1), 2_600).unwrap();
+    u.write(ObjectId(2), 3_600).unwrap();
+    u.commit().unwrap();
+    // The query's remaining reads are late (case 1) and import d = 600
+    // each; its AVERAGE carries the §5.3.2 result inconsistency.
+    assert_eq!(q.read(ObjectId(1)).unwrap(), 2_600);
+    assert_eq!(q.read(ObjectId(2)).unwrap(), 3_600);
+    let bounds = q.check_aggregate(AggregateKind::Average).unwrap();
+    // Views: o0 ∈ [1000,1000], o1 ∈ [2000,2600], o2 ∈ [3000,3600]
+    // (proper values fold in). avg ∈ [2000, 2400] ⇒ half-width 200.
+    assert_eq!(bounds.min_result, 2_000.0);
+    assert_eq!(bounds.max_result, 2_400.0);
+    assert_eq!(bounds.inconsistency, 200);
+    let info = q.commit().unwrap();
+    assert_eq!(info.inconsistency, 1_200); // dynamic sum-side accounting
+}
+
+#[test]
+fn aggregate_bound_aborts_at_evaluation_time() {
+    let (mut q, mut u) = session_pair(&[1_000]);
+    // TIL 2000 admits the raw read (d = 1500) dynamically…
+    q.begin(TxnKind::Query, TxnBounds::import(Limit::at_most(2_000)))
+        .unwrap();
+    u.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+        .unwrap();
+    u.write(ObjectId(0), 2_500).unwrap();
+    u.commit().unwrap();
+    assert_eq!(q.read(ObjectId(0)).unwrap(), 2_500);
+    // …and the SUM aggregate's half-width (750) also fits. MIN's
+    // interval is [1000, 2500] ⇒ 750 too. All pass:
+    assert!(q.check_aggregate(AggregateKind::Sum).is_ok());
+    assert!(q.check_aggregate(AggregateKind::Min).is_ok());
+    q.commit().unwrap();
+
+    // A second query under a *tight* TIL: the read itself is rejected
+    // dynamically, never reaching the aggregate.
+    let (mut q2, mut u2) = session_pair(&[1_000]);
+    q2.begin(TxnKind::Query, TxnBounds::import(Limit::at_most(100)))
+        .unwrap();
+    u2.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+        .unwrap();
+    u2.write(ObjectId(0), 1_500).unwrap();
+    u2.commit().unwrap();
+    match q2.read(ObjectId(0)) {
+        Err(SessionError::Aborted(_)) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn count_aggregate_is_always_exact() {
+    let (mut q, mut u) = session_pair(&[10, 20]);
+    q.begin(TxnKind::Query, TxnBounds::import(Limit::at_most(1_000)))
+        .unwrap();
+    u.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+        .unwrap();
+    u.write(ObjectId(0), 500).unwrap();
+    u.commit().unwrap();
+    q.read(ObjectId(0)).unwrap();
+    q.read(ObjectId(1)).unwrap();
+    let b = q.check_aggregate(AggregateKind::Count).unwrap();
+    assert_eq!(b.inconsistency, 0);
+    assert_eq!(b.min_result, 2.0);
+    q.commit().unwrap();
+}

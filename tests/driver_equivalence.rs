@@ -1,0 +1,174 @@
+//! Driver cross-validation: the same serial transaction stream must
+//! produce identical results whether it is driven through the direct
+//! in-process session, the threaded client/server, or raw kernel calls
+//! — the three drivers share one kernel implementation, and nothing in
+//! the transport layers may change transaction semantics.
+
+use esr::prelude::*;
+use esr::workload::banking::{BankConfig, BankingWorkload};
+use esr::workload::script::{render, ScriptBounds};
+use esr::workload::{OpTemplate, TxnTemplate};
+use std::sync::Arc;
+
+/// Execute templates serially through any Session, returning the final
+/// database image and per-transaction read vectors.
+fn drive(
+    session: &mut dyn Session,
+    templates: &[TxnTemplate],
+) -> Vec<Vec<i64>> {
+    let mut all_reads = Vec::new();
+    for t in templates {
+        session
+            .begin(t.kind, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        let mut reads = Vec::new();
+        for op in &t.ops {
+            match op {
+                OpTemplate::Read(obj) => reads.push(session.read(*obj).unwrap()),
+                OpTemplate::Write(obj, v) => {
+                    session.write(*obj, v.eval(&reads)).unwrap()
+                }
+            }
+        }
+        session.commit().unwrap();
+        all_reads.push(reads);
+    }
+    all_reads
+}
+
+fn transfer_batch(n: usize) -> (BankConfig, Vec<TxnTemplate>) {
+    let bank = BankConfig {
+        accounts_per_category: 6,
+        ..BankConfig::default()
+    };
+    let mut wl = BankingWorkload::new(bank.clone(), 42);
+    let batch = (0..n).map(|_| wl.next_transfer()).collect();
+    (bank, batch)
+}
+
+#[test]
+fn kernel_session_and_server_agree_serially() {
+    let (bank, batch) = transfer_batch(60);
+
+    // Driver A: direct kernel session.
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let clock = Arc::new(TimestampGenerator::new(
+        SiteId(0),
+        Arc::new(ManualTimeSource::starting_at(1)),
+    ));
+    let mut direct = KernelSession::new(Arc::clone(&kernel), clock);
+    let reads_a = drive(&mut direct, &batch);
+    let image_a = kernel.table().values();
+
+    // Driver B: the threaded server.
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+    let mut conn = server.connect();
+    let reads_b = drive(&mut conn, &batch);
+    let image_b = server.kernel().table().values();
+
+    assert_eq!(reads_a, reads_b, "read results diverged between drivers");
+    assert_eq!(image_a, image_b, "final database images diverged");
+    assert_eq!(
+        image_a.iter().map(|&v| v as i128).sum::<i128>(),
+        bank.total()
+    );
+}
+
+#[test]
+fn scripted_and_programmatic_execution_agree() {
+    let (bank, batch) = transfer_batch(40);
+
+    // Programmatic, via templates.
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let mut direct = KernelSession::new(
+        Arc::clone(&kernel),
+        Arc::new(TimestampGenerator::new(
+            SiteId(0),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        )),
+    );
+    let _ = drive(&mut direct, &batch);
+    let image_a = kernel.table().values();
+
+    // Through the textual language: render each template, parse it, run
+    // the program.
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let mut session = KernelSession::new(
+        Arc::clone(&kernel),
+        Arc::new(TimestampGenerator::new(
+            SiteId(1),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        )),
+    );
+    for t in &batch {
+        let src = render(t, &ScriptBounds::root(0));
+        let p = parse_program(&src).unwrap();
+        let out = run_with_retry(&p, &mut session, 5).unwrap();
+        assert!(out.output.committed);
+        assert_eq!(out.attempts, 1, "serial execution never retries");
+    }
+    assert_eq!(image_a, kernel.table().values());
+}
+
+#[test]
+fn replicated_primary_matches_standalone_kernel() {
+    let (bank, batch) = transfer_batch(40);
+
+    // Standalone kernel.
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let mut direct = KernelSession::new(
+        Arc::clone(&kernel),
+        Arc::new(TimestampGenerator::new(
+            SiteId(0),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        )),
+    );
+    let _ = drive(&mut direct, &batch);
+    let image_a = kernel.table().values();
+
+    // Same stream on a replicated system's primary (commits fanning out
+    // to a replica must not disturb primary semantics), then a fully
+    // pumped replica must equal the primary image.
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let system = ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 1);
+    let clock = TimestampGenerator::new(
+        SiteId(0),
+        Arc::new(ManualTimeSource::starting_at(1)),
+    );
+    for t in &batch {
+        let u = system.primary().begin(
+            t.kind,
+            TxnBounds::export(Limit::ZERO),
+            clock.next(),
+        );
+        let mut reads = Vec::new();
+        for op in &t.ops {
+            match op {
+                OpTemplate::Read(obj) => {
+                    match system.primary().read(u, *obj).unwrap().outcome {
+                        esr::tso::OpOutcome::Value(v) => reads.push(v),
+                        other => panic!("{other:?}"),
+                    }
+                }
+                OpTemplate::Write(obj, v) => {
+                    let resp =
+                        system.primary().write(u, *obj, v.eval(&reads)).unwrap();
+                    assert!(resp.outcome.is_done());
+                }
+            }
+        }
+        let _ = system.commit_update(u).unwrap();
+    }
+    assert_eq!(image_a, system.primary().table().values());
+    system.with_replica(0, |r| {
+        r.pump_all();
+        for (i, &expect) in image_a.iter().enumerate() {
+            assert_eq!(r.value(ObjectId(i as u32)), expect);
+        }
+    });
+}

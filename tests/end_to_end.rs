@@ -1,0 +1,140 @@
+//! End-to-end: generated transaction-language scripts executed by
+//! concurrent clients against the threaded server.
+
+use esr::prelude::*;
+use esr::txn::parser::parse_data_file;
+use esr::workload::banking::{BankConfig, BankingWorkload};
+use esr::workload::script::{render, render_data_file, ScriptBounds};
+use esr::workload::{OpTemplate, TxnTemplate, WriteValue};
+
+/// Render banking transfers to language text, parse them back, and run
+/// them from several client threads; the bank's total must be intact
+/// and every bounded audit within its TIL.
+#[test]
+fn scripted_transfers_conserve_the_bank() {
+    let bank = BankConfig {
+        accounts_per_category: 10, // 30 accounts
+        ..BankConfig::default()
+    };
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+
+    let mut handles = Vec::new();
+    for seed in 0..3u64 {
+        let mut wl = BankingWorkload::new(bank.clone(), seed);
+        // A "data file" of 25 transfer programs (§6's client input).
+        let templates: Vec<TxnTemplate> =
+            (0..25).map(|_| wl.next_transfer()).collect();
+        let text = render_data_file(&templates, &ScriptBounds::default());
+        let programs = parse_data_file(&text).expect("scripts parse");
+        assert_eq!(programs.len(), 25);
+        let mut conn = server.connect();
+        handles.push(std::thread::spawn(move || {
+            for p in &programs {
+                let got = run_with_retry(p, &mut conn, 10_000)
+                    .expect("transfer eventually commits");
+                assert!(got.output.committed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(server.kernel().table().is_quiescent());
+    assert_eq!(server.kernel().table().sum_values(), bank.total());
+}
+
+/// A scripted audit with a TIL, racing scripted transfers: the reported
+/// sum (computed *by the transaction program itself* via `output`) must
+/// stay within TIL of the bank's invariant total.
+#[test]
+fn scripted_audit_respects_til() {
+    let bank = BankConfig {
+        accounts_per_category: 8, // 24 accounts
+        max_transfer: 200,
+        ..BankConfig::default()
+    };
+    let table = CatalogConfig::default().build_with_values(&bank.initial_values());
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+    let til = 1_500u64;
+
+    // Build the audit program in the language, summing all accounts.
+    let wl = BankingWorkload::new(bank.clone(), 0);
+    let audit_text = render(&wl.full_audit(), &ScriptBounds::root(til));
+    let audit = parse_program(&audit_text).expect("audit parses");
+    assert!(audit_text.contains(&format!("TIL = {til}")));
+
+    // Transfer traffic in the background.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut tellers = Vec::new();
+    for seed in 10..12u64 {
+        let mut conn = server.connect();
+        let stop = std::sync::Arc::clone(&stop);
+        let mut wl = BankingWorkload::new(bank.clone(), seed);
+        tellers.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let t = wl.next_transfer();
+                let text = render(&t, &ScriptBounds::default());
+                let p = parse_program(&text).unwrap();
+                let _ = run_with_retry(&p, &mut conn, 1_000);
+            }
+        }));
+    }
+
+    let mut conn = server.connect();
+    for _ in 0..10 {
+        let got = run_with_retry(&audit, &mut conn, 10_000).expect("audit commits");
+        let line = &got.output.outputs[0];
+        let sum: i64 = line
+            .strip_prefix("Sum is: ")
+            .expect("output format")
+            .parse()
+            .expect("numeric output");
+        let deviation = (sum as i128 - bank.total()).unsigned_abs();
+        assert!(
+            deviation <= til as u128,
+            "audit output {sum} deviates {deviation} > TIL {til}"
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in tellers {
+        t.join().unwrap();
+    }
+}
+
+/// Update scripts whose write values are arithmetic over their reads
+/// (the §3.2.1 style) execute faithfully: the written value equals the
+/// evaluated expression.
+#[test]
+fn arithmetic_write_scripts_compute_correct_values() {
+    let table = CatalogConfig::default().build_with_values(&[100, 200, 0, 0]);
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+    let template = TxnTemplate {
+        kind: TxnKind::Update,
+        ops: vec![
+            OpTemplate::Read(ObjectId(0)),
+            OpTemplate::Read(ObjectId(1)),
+            OpTemplate::Write(
+                ObjectId(2),
+                WriteValue::Arithmetic {
+                    terms: vec![(0, 1), (1, -1)],
+                    constant: 4230,
+                },
+            ),
+            OpTemplate::Write(
+                ObjectId(3),
+                WriteValue::ReadPlusDelta { slot: 1, delta: 77 },
+            ),
+        ],
+    };
+    let text = render(&template, &ScriptBounds::root(10_000));
+    let p = parse_program(&text).unwrap();
+    let mut conn = server.connect();
+    let got = run_with_retry(&p, &mut conn, 10).unwrap();
+    assert!(got.output.committed);
+    assert_eq!(
+        server.kernel().table().lock(ObjectId(2)).value,
+        100 - 200 + 4230
+    );
+    assert_eq!(server.kernel().table().lock(ObjectId(3)).value, 277);
+}

@@ -1,0 +1,121 @@
+//! Behavioural cross-checks on the experiment engine: the qualitative
+//! claims of §8 must hold on small, fast configurations so regressions
+//! in the kernel or the system model are caught by `cargo test`.
+
+use esr::core::bounds::EpsilonPreset;
+use esr::sim::{repeat, simulate, BoundsConfig, SimConfig};
+use esr::workload::UpdateStyle;
+
+fn cfg(mpl: usize, preset: EpsilonPreset, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig {
+        mpl,
+        bounds: BoundsConfig::preset(preset),
+        warmup_micros: 500_000,
+        measure_micros: 8_000_000,
+        seed,
+        ..SimConfig::default()
+    };
+    cfg.workload.hot_prob = 0.95;
+    cfg.workload.update_style = UpdateStyle::BoundedDelta { max_delta: 4_000 };
+    cfg
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = simulate(&cfg(4, EpsilonPreset::Medium, 42));
+    let b = simulate(&cfg(4, EpsilonPreset::Medium, 42));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn esr_beats_sr_under_contention_for_all_seeds() {
+    for seed in [1u64, 2, 3] {
+        let sr = simulate(&cfg(6, EpsilonPreset::Zero, seed));
+        let esr = simulate(&cfg(6, EpsilonPreset::High, seed));
+        assert!(
+            esr.throughput > sr.throughput,
+            "seed {seed}: esr {} ≤ sr {}",
+            esr.throughput,
+            sr.throughput
+        );
+        assert!(
+            esr.aborts < sr.aborts,
+            "seed {seed}: esr aborts {} ≥ sr aborts {}",
+            esr.aborts,
+            sr.aborts
+        );
+    }
+}
+
+#[test]
+fn sr_admits_no_inconsistent_operations_ever() {
+    for mpl in [2usize, 6, 10] {
+        let r = simulate(&cfg(mpl, EpsilonPreset::Zero, 7));
+        assert_eq!(r.inconsistent_ops, 0, "MPL {mpl}");
+        assert_eq!(r.stats.inconsistent_reads, 0);
+        assert_eq!(r.stats.inconsistent_writes, 0);
+    }
+}
+
+#[test]
+fn inconsistent_ops_grow_with_bounds_and_mpl() {
+    // Figure 8's claim, in miniature.
+    let low_2 = simulate(&cfg(2, EpsilonPreset::Low, 3)).inconsistent_ops;
+    let low_8 = simulate(&cfg(8, EpsilonPreset::Low, 3)).inconsistent_ops;
+    assert!(low_8 > low_2, "MPL growth: {low_8} ≤ {low_2}");
+    let zero_8 = simulate(&cfg(8, EpsilonPreset::Zero, 3)).inconsistent_ops;
+    assert_eq!(zero_8, 0);
+}
+
+#[test]
+fn aborts_decrease_as_bounds_increase() {
+    // Figure 9's ordering at a contended MPL, averaged over seeds.
+    let mean_aborts = |preset| {
+        repeat(&cfg(8, preset, 11), 3).aborts.mean
+    };
+    let zero = mean_aborts(EpsilonPreset::Zero);
+    let low = mean_aborts(EpsilonPreset::Low);
+    let high = mean_aborts(EpsilonPreset::High);
+    assert!(zero > low, "zero {zero} ≤ low {low}");
+    assert!(low >= high, "low {low} < high {high}");
+}
+
+#[test]
+fn wasted_operations_track_aborts() {
+    // Figure 10: SR executes more operations per committed transaction
+    // than high-epsilon at the same MPL (wasted work).
+    let sr = simulate(&cfg(8, EpsilonPreset::Zero, 13));
+    let esr = simulate(&cfg(8, EpsilonPreset::High, 13));
+    assert!(
+        sr.ops_per_commit > esr.ops_per_commit,
+        "sr {} ≤ esr {}",
+        sr.ops_per_commit,
+        esr.ops_per_commit
+    );
+}
+
+#[test]
+fn repeat_varies_seeds_and_reports_cis() {
+    let s = repeat(&cfg(4, EpsilonPreset::Medium, 21), 4);
+    assert_eq!(s.repetitions, 4);
+    assert!(s.throughput.mean > 0.0);
+    assert!(s.throughput.ci90_half_width.is_finite());
+    // §8 reports 90% CIs within ±3%; on the deterministic simulator we
+    // allow a loose 25% sanity margin (short windows, high conflict).
+    if let Some(pct) = s.throughput.ci90_percent_of_mean() {
+        assert!(pct < 25.0, "CI half-width {pct}% of mean");
+    }
+}
+
+#[test]
+fn throughput_eventually_degrades_under_sr() {
+    // The thrashing phenomenon: under SR, some MPL beyond the knee has
+    // lower throughput than the knee itself.
+    let at = |mpl| repeat(&cfg(mpl, EpsilonPreset::Zero, 17), 3).throughput.mean;
+    let knee = at(4);
+    let beyond = at(10);
+    assert!(
+        beyond < knee,
+        "no thrashing: MPL 10 ({beyond}) ≥ MPL 4 ({knee})"
+    );
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI: everything must pass before a change lands.
+#
+#   ./ci.sh          # fmt + clippy + build + tests
+#   ./ci.sh quick    # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> cargo build --release --workspace"
+    cargo build --release --workspace
+fi
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test -p esr-tso -p esr-sim --features capture -q"
+cargo test -p esr-tso --features capture -q
+cargo test -p esr-sim --features capture -q
+
+echo "CI OK"

@@ -17,13 +17,15 @@ fn main() {
         "MPL",
         "throughput (txn/s) / aborts (window)",
     );
-    for (twr, label) in [(false, "abort late writes (paper)"), (true, "Thomas write rule")] {
+    for (twr, label) in [
+        (false, "abort late writes (paper)"),
+        (true, "Thomas write rule"),
+    ] {
         let mut thr = Series::new(format!("{label}: throughput"));
         let mut aborts = Series::new(format!("{label}: aborts"));
         for mpl in scenarios::MPLS {
             let mut cfg = scenarios::mpl_scenario(mpl, EpsilonPreset::Zero);
-            cfg.workload.update_style =
-                esr_workload::UpdateStyle::PaperArithmetic;
+            cfg.workload.update_style = esr_workload::UpdateStyle::PaperArithmetic;
             // Mostly-blind updates: one read feeding three writes, so
             // late writes reach the wts check instead of being eaten by
             // earlier read conflicts.

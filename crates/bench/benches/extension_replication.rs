@@ -9,10 +9,10 @@
 //! the refresh instants.
 
 use esr_bench::emit_figure;
+use esr_clock::Timestamp;
 use esr_core::bounds::Limit;
 use esr_core::ids::{ObjectId, SiteId, TxnKind};
 use esr_core::spec::TxnBounds;
-use esr_clock::Timestamp;
 use esr_metrics::{FigureTable, Series};
 use esr_replica::ReplicatedSystem;
 use esr_storage::CatalogConfig;

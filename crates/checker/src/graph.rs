@@ -1,0 +1,319 @@
+//! Pass 1: the serialization-graph test.
+//!
+//! ESR's correctness argument (§2) is asymmetric: update ETs execute
+//! serializably *among themselves*; only query ETs view relaxed state.
+//! So the committed update ETs of a valid history must form an acyclic
+//! conflict graph once the epsilon-relaxed query edges are excluded.
+//!
+//! The pass walks events in admission order and builds the classic
+//! reduced conflict graph per object — each write conflicts with the
+//! previous writer (WW) and with every consistent reader since that
+//! writer (RW); each consistent read conflicts with the previous writer
+//! (WR). `QueryRead` events contribute no edges (they are the relaxed
+//! reads ESR excludes), and Thomas-rule `WriteSkipped` events installed
+//! nothing, so they contribute none either. Dropping transitive edges
+//! does not change reachability, hence not acyclicity.
+
+use crate::report::Diagnostic;
+use esr_core::ids::{ObjectId, TxnId, TxnKind};
+use esr_tso::capture::{EventKind, History};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+#[derive(Default)]
+struct ObjectAccesses {
+    last_writer: Option<TxnId>,
+    readers_since: Vec<TxnId>,
+}
+
+/// Check that committed update ETs are conflict-serializable. Returns a
+/// [`Diagnostic::SerializationCycle`] when they are not.
+pub fn check_serialization(history: &History) -> Vec<Diagnostic> {
+    let mut kinds: HashMap<TxnId, TxnKind> = HashMap::new();
+    let mut committed: HashSet<TxnId> = HashSet::new();
+    for ev in &history.events {
+        match &ev.kind {
+            EventKind::Begin { txn, kind, .. } => {
+                kinds.insert(*txn, *kind);
+            }
+            EventKind::Commit { txn, .. } => {
+                committed.insert(*txn);
+            }
+            _ => {}
+        }
+    }
+    let committed_update =
+        |txn: TxnId| committed.contains(&txn) && kinds.get(&txn) == Some(&TxnKind::Update);
+
+    let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+    let mut nodes: HashSet<TxnId> = HashSet::new();
+    let mut per_obj: HashMap<ObjectId, ObjectAccesses> = HashMap::new();
+    let add_edge = |edges: &mut HashMap<TxnId, HashSet<TxnId>>, from: TxnId, to: TxnId| {
+        if from != to {
+            edges.entry(from).or_default().insert(to);
+        }
+    };
+
+    for ev in &history.events {
+        match &ev.kind {
+            EventKind::UpdateRead { txn, obj, .. } if committed_update(*txn) => {
+                nodes.insert(*txn);
+                let acc = per_obj.entry(*obj).or_default();
+                if let Some(w) = acc.last_writer {
+                    add_edge(&mut edges, w, *txn);
+                }
+                if !acc.readers_since.contains(txn) {
+                    acc.readers_since.push(*txn);
+                }
+            }
+            EventKind::Write { txn, obj, .. } if committed_update(*txn) => {
+                nodes.insert(*txn);
+                let acc = per_obj.entry(*obj).or_default();
+                if let Some(w) = acc.last_writer {
+                    add_edge(&mut edges, w, *txn);
+                }
+                for &r in &acc.readers_since {
+                    add_edge(&mut edges, r, *txn);
+                }
+                acc.readers_since.clear();
+                acc.last_writer = Some(*txn);
+            }
+            _ => {}
+        }
+    }
+
+    match cyclic_core(&nodes, &edges) {
+        core if core.is_empty() => Vec::new(),
+        core => vec![Diagnostic::SerializationCycle { txns: core }],
+    }
+}
+
+/// Nodes that survive topological peeling of both the graph and its
+/// reverse — exactly the transactions on conflict cycles (or on paths
+/// between cycles). Empty iff the graph is acyclic.
+fn cyclic_core(nodes: &HashSet<TxnId>, edges: &HashMap<TxnId, HashSet<TxnId>>) -> Vec<TxnId> {
+    let forward = peel(nodes, edges);
+    if forward.is_empty() {
+        return Vec::new();
+    }
+    let mut reversed: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+    for (from, tos) in edges {
+        for to in tos {
+            reversed.entry(*to).or_default().insert(*from);
+        }
+    }
+    let backward = peel(nodes, &reversed);
+    let mut core: Vec<TxnId> = forward.intersection(&backward).copied().collect();
+    core.sort_unstable();
+    core
+}
+
+/// Kahn's algorithm: repeatedly remove in-degree-zero nodes; return the
+/// set that never becomes removable.
+fn peel(nodes: &HashSet<TxnId>, edges: &HashMap<TxnId, HashSet<TxnId>>) -> HashSet<TxnId> {
+    let mut indegree: HashMap<TxnId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    for tos in edges.values() {
+        for to in tos {
+            if let Some(c) = indegree.get_mut(to) {
+                *c += 1;
+            }
+        }
+    }
+    let mut queue: VecDeque<TxnId> = indegree
+        .iter()
+        .filter(|&(_, &c)| c == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut remaining: HashSet<TxnId> = nodes.clone();
+    while let Some(n) = queue.pop_front() {
+        remaining.remove(&n);
+        if let Some(tos) = edges.get(&n) {
+            for to in tos {
+                if let Some(c) = indegree.get_mut(to) {
+                    *c -= 1;
+                    if *c == 0 && remaining.contains(to) {
+                        queue.push_back(*to);
+                    }
+                }
+            }
+        }
+    }
+    remaining
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_clock::Timestamp;
+    use esr_core::bounds::Limit;
+    use esr_core::hierarchy::HierarchySchema;
+    use esr_core::spec::TxnBounds;
+    use esr_tso::capture::Event;
+    use esr_tso::outcome::CommitInfo;
+    use esr_tso::KernelConfig;
+
+    fn begin(txn: u64, kind: TxnKind) -> EventKind {
+        let bounds = match kind {
+            TxnKind::Query => TxnBounds::import(Limit::Unlimited),
+            TxnKind::Update => TxnBounds::export(Limit::Unlimited),
+        };
+        EventKind::Begin {
+            txn: TxnId(txn),
+            kind,
+            ts: Timestamp::ZERO,
+            bounds,
+        }
+    }
+
+    fn write(txn: u64, obj: u32) -> EventKind {
+        EventKind::Write {
+            txn: TxnId(txn),
+            obj: ObjectId(obj),
+            value: 0,
+            d: 0,
+            case3: false,
+            readers: Vec::new(),
+            oel: Limit::Unlimited,
+        }
+    }
+
+    fn uread(txn: u64, obj: u32) -> EventKind {
+        EventKind::UpdateRead {
+            txn: TxnId(txn),
+            obj: ObjectId(obj),
+            value: 0,
+        }
+    }
+
+    fn qread(txn: u64, obj: u32) -> EventKind {
+        EventKind::QueryRead {
+            txn: TxnId(txn),
+            obj: ObjectId(obj),
+            present: 0,
+            proper: 0,
+            d: 0,
+            case1: false,
+            case2: false,
+            oil: Limit::Unlimited,
+        }
+    }
+
+    fn commit(txn: u64) -> EventKind {
+        EventKind::Commit {
+            txn: TxnId(txn),
+            info: CommitInfo {
+                inconsistency: 0,
+                inconsistent_ops: 0,
+                reads: 0,
+                writes: 0,
+                written: Vec::new(),
+            },
+        }
+    }
+
+    fn history(kinds: Vec<EventKind>) -> History {
+        History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, kind)| Event {
+                    seq: i as u64,
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn serial_updates_are_acyclic() {
+        let h = history(vec![
+            begin(1, TxnKind::Update),
+            write(1, 0),
+            write(1, 1),
+            commit(1),
+            begin(2, TxnKind::Update),
+            uread(2, 0),
+            write(2, 1),
+            commit(2),
+        ]);
+        assert!(check_serialization(&h).is_empty());
+    }
+
+    #[test]
+    fn ww_cycle_is_detected_and_named() {
+        // T1 and T2 write objects 0 and 1 in opposite orders.
+        let h = history(vec![
+            begin(1, TxnKind::Update),
+            begin(2, TxnKind::Update),
+            write(1, 0),
+            write(2, 1),
+            write(2, 0),
+            write(1, 1),
+            commit(1),
+            commit(2),
+        ]);
+        let diags = check_serialization(&h);
+        assert_eq!(diags.len(), 1);
+        match &diags[0] {
+            Diagnostic::SerializationCycle { txns } => {
+                assert_eq!(txns, &vec![TxnId(1), TxnId(2)]);
+            }
+            other => panic!("unexpected diagnostic {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rw_cycle_is_detected() {
+        // T1 reads 0 then writes 1; T2 reads 1 then writes 0.
+        let h = history(vec![
+            begin(1, TxnKind::Update),
+            begin(2, TxnKind::Update),
+            uread(1, 0),
+            uread(2, 1),
+            write(2, 0),
+            write(1, 1),
+            commit(1),
+            commit(2),
+        ]);
+        let diags = check_serialization(&h);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn query_reads_contribute_no_edges() {
+        // Same shape as the RW cycle, but the reads belong to query ETs:
+        // epsilon-relaxed edges are excluded, so no cycle remains.
+        let h = history(vec![
+            begin(1, TxnKind::Update),
+            begin(2, TxnKind::Update),
+            begin(3, TxnKind::Query),
+            begin(4, TxnKind::Query),
+            qread(3, 0),
+            qread(4, 1),
+            write(2, 0),
+            write(1, 1),
+            commit(1),
+            commit(2),
+            commit(3),
+            commit(4),
+        ]);
+        assert!(check_serialization(&h).is_empty());
+    }
+
+    #[test]
+    fn uncommitted_updates_are_excluded() {
+        // The same WW interleaving, but T2 never commits: the committed
+        // projection is trivially serial.
+        let h = history(vec![
+            begin(1, TxnKind::Update),
+            begin(2, TxnKind::Update),
+            write(1, 0),
+            write(2, 1),
+            write(2, 0),
+            write(1, 1),
+            commit(1),
+        ]);
+        assert!(check_serialization(&h).is_empty());
+    }
+}

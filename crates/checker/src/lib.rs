@@ -1,0 +1,198 @@
+//! # esr-checker — offline conformance checking of captured ESR histories
+//!
+//! The kernel in `esr-tso` *claims* that update ETs stay serializable
+//! among themselves and that every query ET's view stays within its
+//! declared hierarchical inconsistency bounds (§2–§5 of the paper). This
+//! crate validates those claims after the fact, from a captured
+//! [`History`] alone, with three independent passes:
+//!
+//! 1. **Serialization-graph test** ([`graph`]) — the committed update
+//!    ETs must form an acyclic conflict graph once the epsilon-relaxed
+//!    query edges are excluded.
+//! 2. **Epsilon replay** ([`replay`]) — recompute every operation's
+//!    inconsistency from the event's own data (present/proper values,
+//!    the §5.2 export rule over Case-3 reader snapshots), confirm the
+//!    kernel charged exactly that, and replay the charges bottom-up
+//!    through a fresh [`esr_core::ledger::Ledger`] to confirm no
+//!    committed transaction exceeded its declared [`TxnBounds`].
+//! 3. **Specification linting** ([`lint`]) — the bound specifications
+//!    themselves must make sense: known group names, directions matching
+//!    transaction kinds, no child limit looser than an ancestor's.
+//!
+//! [`check_history`] runs all three and merges the findings into one
+//! [`CheckReport`]; the `esr-check` binary applies it to history JSON
+//! files emitted by instrumented runs.
+//!
+//! [`TxnBounds`]: esr_core::spec::TxnBounds
+
+pub mod graph;
+pub mod lint;
+pub mod replay;
+pub mod report;
+
+pub use esr_tso::capture::{Event, EventKind, History, ReaderView};
+pub use lint::{lint_schema, lint_spec, LintFinding};
+pub use report::{CheckReport, Diagnostic};
+
+use esr_tso::capture::EventKind as Ek;
+
+/// Run every pass over one captured history.
+///
+/// Diagnostics come out grouped by pass: schema lint first (a broken
+/// hierarchy invalidates everything downstream), then per-transaction
+/// spec lint in begin order, then the serialization-graph test, then the
+/// replay findings in event order.
+pub fn check_history(history: &History) -> CheckReport {
+    let mut diagnostics = Vec::new();
+
+    // Structural schema problems apply to no particular transaction;
+    // attach them to the first Begin (or txn#0 for an empty history) so
+    // every diagnostic still names a transaction.
+    let first_txn = history
+        .events
+        .iter()
+        .find_map(|e| match &e.kind {
+            Ek::Begin { txn, .. } => Some(*txn),
+            _ => None,
+        })
+        .unwrap_or(esr_core::ids::TxnId(0));
+    for finding in lint::lint_schema(&history.schema) {
+        diagnostics.push(Diagnostic::SpecLint {
+            txn: first_txn,
+            finding,
+        });
+    }
+
+    for ev in &history.events {
+        if let Ek::Begin {
+            txn, kind, bounds, ..
+        } = &ev.kind
+        {
+            for finding in lint::lint_spec(&history.schema, *kind, bounds) {
+                diagnostics.push(Diagnostic::SpecLint { txn: *txn, finding });
+            }
+        }
+    }
+
+    diagnostics.extend(graph::check_serialization(history));
+    diagnostics.extend(replay::replay_bounds(history));
+
+    CheckReport { diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_clock::Timestamp;
+    use esr_core::bounds::Limit;
+    use esr_core::hierarchy::HierarchySchema;
+    use esr_core::ids::{ObjectId, TxnId, TxnKind};
+    use esr_core::spec::TxnBounds;
+    use esr_tso::outcome::CommitInfo;
+    use esr_tso::KernelConfig;
+
+    #[test]
+    fn empty_history_is_clean() {
+        let h = History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: Vec::new(),
+        };
+        let report = check_history(&h);
+        assert!(report.is_clean());
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn spec_lint_findings_are_attached_to_the_transaction() {
+        let mut b = HierarchySchema::builder();
+        b.group("company");
+        let schema = b.build();
+        let h = History {
+            schema,
+            config: KernelConfig::default(),
+            events: vec![
+                Event {
+                    seq: 0,
+                    kind: EventKind::Begin {
+                        txn: TxnId(5),
+                        kind: TxnKind::Query,
+                        ts: Timestamp::ZERO,
+                        bounds: TxnBounds::import(Limit::at_most(100))
+                            .with_group("no-such-group", Limit::at_most(10)),
+                    },
+                },
+                Event {
+                    seq: 1,
+                    kind: EventKind::Commit {
+                        txn: TxnId(5),
+                        info: CommitInfo {
+                            inconsistency: 0,
+                            inconsistent_ops: 0,
+                            reads: 0,
+                            writes: 0,
+                            written: Vec::new(),
+                        },
+                    },
+                },
+            ],
+        };
+        let report = check_history(&h);
+        assert!(!report.is_clean());
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::SpecLint {
+                txn: TxnId(5),
+                finding: LintFinding::UnknownGroup { .. },
+            }
+        )));
+        // And the rendered report names the transaction and the group.
+        let text = report.to_string();
+        assert!(text.contains("txn#5"), "{text}");
+        assert!(text.contains("no-such-group"), "{text}");
+    }
+
+    #[test]
+    fn report_merges_all_passes() {
+        // One history tripping replay (uncharged relaxation) and lint
+        // (unknown group) at once.
+        let h = History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: vec![
+                Event {
+                    seq: 0,
+                    kind: EventKind::Begin {
+                        txn: TxnId(1),
+                        kind: TxnKind::Query,
+                        ts: Timestamp::ZERO,
+                        bounds: TxnBounds::import(Limit::at_most(100))
+                            .with_group("ghost", Limit::at_most(1)),
+                    },
+                },
+                Event {
+                    seq: 1,
+                    kind: EventKind::QueryRead {
+                        txn: TxnId(1),
+                        obj: ObjectId(0),
+                        present: 1010,
+                        proper: 1000,
+                        d: 0,
+                        case1: true,
+                        case2: false,
+                        oil: Limit::Unlimited,
+                    },
+                },
+            ],
+        };
+        let report = check_history(&h);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::SpecLint { .. })));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnchargedRelaxation { .. })));
+    }
+}

@@ -1,0 +1,418 @@
+//! Pass 3: specification linting.
+//!
+//! A hierarchical bound specification (§3) can be well-formed JSON and
+//! still be wrong: a `LIMIT` on a group that does not exist, a child
+//! limit looser than an ancestor's (it can never bind — the ancestor
+//! check rejects first), an import spec on an update ET, or a
+//! nominally-SR transaction (root limit zero) that still lists relaxed
+//! group limits. The linter flags these *before* any history is
+//! replayed, because a broken spec makes replay results meaningless.
+
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::{HierarchySchema, NodeId};
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::{Direction, TxnBounds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One specification problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LintFinding {
+    /// The spec's direction does not match the transaction kind (an
+    /// import spec on an update ET, or vice versa).
+    DirectionMismatch { kind: TxnKind, direction: Direction },
+    /// A `LIMIT` line names a group the hierarchy does not define.
+    UnknownGroup { name: String },
+    /// A group limit looser than a limit on its ancestor path: the
+    /// bottom-up check at the ancestor rejects any charge the child
+    /// limit would have admitted, so the child limit never binds.
+    /// `ancestor` is `None` for the transaction root (TIL/TEL).
+    ChildLimitExceedsAncestor {
+        group: String,
+        limit: Limit,
+        ancestor: Option<String>,
+        ancestor_limit: Limit,
+    },
+    /// A per-object override looser than a limit on its charge path —
+    /// the override is dead for the same reason.
+    ObjectOverrideExceedsAncestor {
+        obj: ObjectId,
+        limit: Limit,
+        ancestor: Option<String>,
+        ancestor_limit: Limit,
+    },
+    /// The root limit is zero (the transaction runs strictly
+    /// serializably) yet nonzero group/object limits are listed; they
+    /// are all dead and the spec should say SR plainly.
+    DeadLimitsUnderZeroRoot { listed: usize },
+    /// A structural invariant of the hierarchy itself is broken.
+    MalformedSchema { detail: String },
+}
+
+impl LintFinding {
+    /// Dead-but-harmless limits are warnings; everything else is an
+    /// error.
+    pub fn is_error(&self) -> bool {
+        !matches!(
+            self,
+            LintFinding::ObjectOverrideExceedsAncestor { .. }
+                | LintFinding::DeadLimitsUnderZeroRoot { .. }
+        )
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let root_desc = "the transaction-level limit".to_owned();
+        match self {
+            LintFinding::DirectionMismatch { kind, direction } => {
+                let (have, want) = match direction {
+                    Direction::Import => ("an import (TIL)", "an export (TEL)"),
+                    Direction::Export => ("an export (TEL)", "an import (TIL)"),
+                };
+                write!(
+                    f,
+                    "{kind} ET carries {have} spec; a {kind} ET must declare {want} spec"
+                )
+            }
+            LintFinding::UnknownGroup { name } => write!(
+                f,
+                "LIMIT names group {name:?}, which the hierarchy does not define; \
+                 fix the name or add the group to the schema"
+            ),
+            LintFinding::ChildLimitExceedsAncestor {
+                group,
+                limit,
+                ancestor,
+                ancestor_limit,
+            } => {
+                let anc = ancestor
+                    .as_ref()
+                    .map(|a| format!("group {a:?}"))
+                    .unwrap_or(root_desc);
+                write!(
+                    f,
+                    "LIMIT {group} = {limit} can never bind: {anc} is capped at \
+                     {ancestor_limit}; lower the {group} limit to at most \
+                     {ancestor_limit} or raise the ancestor's"
+                )
+            }
+            LintFinding::ObjectOverrideExceedsAncestor {
+                obj,
+                limit,
+                ancestor,
+                ancestor_limit,
+            } => {
+                let anc = ancestor
+                    .as_ref()
+                    .map(|a| format!("group {a:?}"))
+                    .unwrap_or(root_desc);
+                write!(
+                    f,
+                    "object override {obj} = {limit} can never bind: {anc} is \
+                     capped at {ancestor_limit}"
+                )
+            }
+            LintFinding::DeadLimitsUnderZeroRoot { listed } => write!(
+                f,
+                "root limit is 0 (strictly serializable) but {listed} nonzero \
+                 group/object limit(s) are listed; drop them or raise the root limit"
+            ),
+            LintFinding::MalformedSchema { detail } => {
+                write!(f, "malformed hierarchy schema: {detail}")
+            }
+        }
+    }
+}
+
+/// Lint one transaction's bound specification against the hierarchy.
+pub fn lint_spec(schema: &HierarchySchema, kind: TxnKind, bounds: &TxnBounds) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+
+    if bounds.direction != Direction::for_kind(kind) {
+        out.push(LintFinding::DirectionMismatch {
+            kind,
+            direction: bounds.direction,
+        });
+    }
+
+    // The limit the spec places at a node, when it places one there at
+    // all. The root always carries the TIL/TEL.
+    let explicit_limit = |node: NodeId| -> Option<(Option<String>, Limit)> {
+        match schema.name_of(node) {
+            None => Some((None, bounds.root)),
+            Some(name) => bounds.groups.get(name).map(|&l| (Some(name.to_owned()), l)),
+        }
+    };
+
+    let mut group_names: Vec<&String> = bounds.groups.keys().collect();
+    group_names.sort_unstable();
+    for name in group_names {
+        let limit = bounds.groups[name];
+        let Some(node) = schema.node_by_name(name) else {
+            out.push(LintFinding::UnknownGroup { name: name.clone() });
+            continue;
+        };
+        let mut cur = schema.parent_of(node);
+        while let Some(n) = cur {
+            if let Some((ancestor, ancestor_limit)) = explicit_limit(n) {
+                if limit > ancestor_limit {
+                    out.push(LintFinding::ChildLimitExceedsAncestor {
+                        group: name.clone(),
+                        limit,
+                        ancestor,
+                        ancestor_limit,
+                    });
+                    break;
+                }
+            }
+            cur = schema.parent_of(n);
+        }
+    }
+
+    let mut objects: Vec<ObjectId> = bounds.objects.keys().copied().collect();
+    objects.sort_unstable();
+    for obj in objects {
+        let limit = bounds.objects[&obj];
+        for n in schema.charge_path(obj) {
+            if let Some((ancestor, ancestor_limit)) = explicit_limit(n) {
+                if limit > ancestor_limit {
+                    out.push(LintFinding::ObjectOverrideExceedsAncestor {
+                        obj,
+                        limit,
+                        ancestor,
+                        ancestor_limit,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    if bounds.root.is_zero() {
+        let listed = bounds.groups.values().filter(|l| !l.is_zero()).count()
+            + bounds.objects.values().filter(|l| !l.is_zero()).count();
+        if listed > 0 {
+            out.push(LintFinding::DeadLimitsUnderZeroRoot { listed });
+        }
+    }
+
+    out
+}
+
+/// Check the structural invariants of the hierarchy itself: parent/child
+/// links agree, depths are consistent, names resolve, and attached
+/// objects point at real nodes.
+pub fn lint_schema(schema: &HierarchySchema) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    let count = schema.node_count();
+    let malformed = |detail: String| LintFinding::MalformedSchema { detail };
+
+    for i in 0..count {
+        let node = NodeId(i as u32);
+        for &child in schema.children_of(node) {
+            if (child.0 as usize) >= count {
+                out.push(malformed(format!(
+                    "node {i} lists out-of-range child {child:?}"
+                )));
+                continue;
+            }
+            if schema.parent_of(child) != Some(node) {
+                out.push(malformed(format!(
+                    "child link {i} -> {child:?} is not mirrored by the parent link"
+                )));
+            }
+            if schema.depth_of(child) != schema.depth_of(node) + 1 {
+                out.push(malformed(format!(
+                    "depth of {child:?} is not one more than its parent's"
+                )));
+            }
+        }
+    }
+
+    for (node, name) in schema.groups() {
+        if schema.node_by_name(name) != Some(node) {
+            out.push(malformed(format!(
+                "group name {name:?} does not resolve back to {node:?}"
+            )));
+        }
+    }
+
+    for (obj, node) in schema.attached_objects() {
+        if (node.0 as usize) >= count {
+            out.push(malformed(format!(
+                "{obj} is attached to out-of-range node {node:?}"
+            )));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banking() -> HierarchySchema {
+        let mut b = HierarchySchema::builder();
+        let company = b.group("company");
+        b.group("preferred");
+        let com1 = b.subgroup(company, "com1");
+        b.attach_range(0..10, com1);
+        b.build()
+    }
+
+    #[test]
+    fn clean_spec_lints_clean() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(10_000))
+            .with_group("company", Limit::at_most(4_000))
+            .with_group("com1", Limit::at_most(200));
+        assert!(lint_spec(&s, TxnKind::Query, &b).is_empty());
+    }
+
+    #[test]
+    fn child_limit_exceeding_parent_is_rejected() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(10_000))
+            .with_group("company", Limit::at_most(200))
+            .with_group("com1", Limit::at_most(4_000));
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        assert_eq!(
+            findings,
+            vec![LintFinding::ChildLimitExceedsAncestor {
+                group: "com1".to_owned(),
+                limit: Limit::at_most(4_000),
+                ancestor: Some("company".to_owned()),
+                ancestor_limit: Limit::at_most(200),
+            }]
+        );
+        assert!(findings[0].is_error());
+        let msg = findings[0].to_string();
+        assert!(msg.contains("com1"), "message should name the group: {msg}");
+        assert!(
+            msg.contains("company"),
+            "message should name the ancestor: {msg}"
+        );
+        assert!(
+            msg.contains("can never bind"),
+            "message should explain: {msg}"
+        );
+    }
+
+    #[test]
+    fn group_limit_exceeding_root_is_rejected() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(100)).with_group("company", Limit::at_most(4_000));
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        assert_eq!(
+            findings,
+            vec![LintFinding::ChildLimitExceedsAncestor {
+                group: "company".to_owned(),
+                limit: Limit::at_most(4_000),
+                ancestor: None,
+                ancestor_limit: Limit::at_most(100),
+            }]
+        );
+    }
+
+    #[test]
+    fn skips_over_unlisted_intermediate_groups() {
+        // com1 listed, company not: the violation is detected against
+        // the root, the nearest *explicit* ancestor limit.
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(100)).with_group("com1", Limit::at_most(500));
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            &findings[0],
+            LintFinding::ChildLimitExceedsAncestor { ancestor: None, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_group_is_rejected() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(100)).with_group("personal", Limit::at_most(10));
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        assert_eq!(
+            findings,
+            vec![LintFinding::UnknownGroup {
+                name: "personal".to_owned()
+            }]
+        );
+        assert!(findings[0].is_error());
+    }
+
+    #[test]
+    fn direction_mismatch_is_rejected() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(100));
+        let findings = lint_spec(&s, TxnKind::Update, &b);
+        assert_eq!(
+            findings,
+            vec![LintFinding::DirectionMismatch {
+                kind: TxnKind::Update,
+                direction: Direction::Import,
+            }]
+        );
+    }
+
+    #[test]
+    fn dead_object_override_is_a_warning() {
+        let s = banking();
+        let b =
+            TxnBounds::import(Limit::at_most(100)).with_object(ObjectId(3), Limit::at_most(5_000));
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].is_error());
+        assert!(matches!(
+            &findings[0],
+            LintFinding::ObjectOverrideExceedsAncestor { ancestor: None, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_root_with_relaxed_limits_warns() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::ZERO).with_group("company", Limit::at_most(4_000));
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        // The dead-limit warning, plus the (erroneous) company > root=0.
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::DeadLimitsUnderZeroRoot { listed: 1 })));
+        let warn = findings
+            .iter()
+            .find(|f| matches!(f, LintFinding::DeadLimitsUnderZeroRoot { .. }))
+            .unwrap();
+        assert!(!warn.is_error());
+    }
+
+    #[test]
+    fn zero_root_all_zero_limits_is_plain_sr() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::ZERO).with_group("company", Limit::ZERO);
+        assert!(lint_spec(&s, TxnKind::Query, &b).is_empty());
+    }
+
+    #[test]
+    fn unlimited_child_under_finite_ancestor_is_flagged() {
+        let s = banking();
+        let b = TxnBounds::import(Limit::at_most(100)).with_group("company", Limit::Unlimited);
+        let findings = lint_spec(&s, TxnKind::Query, &b);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            &findings[0],
+            LintFinding::ChildLimitExceedsAncestor {
+                limit: Limit::Unlimited,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn well_formed_schemas_pass_structural_lint() {
+        assert!(lint_schema(&banking()).is_empty());
+        assert!(lint_schema(&HierarchySchema::two_level()).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! `esr-check` — validate captured ESR histories offline.
+//!
+//! ```text
+//! esr-check HISTORY.json [HISTORY.json ...]
+//! ```
+//!
+//! Each argument is a JSON [`History`] as produced by
+//! `Kernel::capture_history` (serialized with `serde_json`). Every
+//! history is run through all three checker passes; the full report is
+//! printed per file.
+//!
+//! Exit status: 0 when every history is clean (warnings allowed), 1 when
+//! any history has error-level findings, 2 on usage/IO/parse problems.
+
+use esr_checker::{check_history, History};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: esr-check HISTORY.json [HISTORY.json ...]");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let data = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("esr-check: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let history: History = match serde_json::from_str(&data) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("esr-check: {path}: invalid history JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = check_history(&history);
+        println!("{path}: {} event(s), {}", history.events.len(), report);
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,548 @@
+//! Pass 2: epsilon replay.
+//!
+//! The kernel charges inconsistency online, bottom-up through each
+//! transaction's [`Ledger`] (§5.3.1). This pass redoes that accounting
+//! from the captured events alone: for every read and write it
+//! *recomputes* the inconsistency the event's own data implies
+//! (distances between present and proper values, the §5.2 export rule
+//! over the Case-3 reader snapshot), cross-checks it against the charge
+//! the kernel recorded, and then replays the recorded charge through a
+//! fresh ledger built from the transaction's declared [`TxnBounds`]. A
+//! history passes only if every relaxation was charged for and every
+//! committed transaction stayed within its declared bounds.
+
+use crate::report::Diagnostic;
+use esr_core::ids::{TxnId, TxnKind};
+use esr_core::ledger::Ledger;
+use esr_core::spec::Direction;
+use esr_core::value::{distance, Distance};
+use esr_tso::capture::{EventKind, History, ReaderView};
+use esr_tso::{ExportRule, KernelConfig};
+use std::collections::HashMap;
+
+struct TxnState {
+    kind: TxnKind,
+    ledger: Ledger,
+    ended: bool,
+}
+
+/// Replay the inconsistency accounting of a captured history.
+pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut txns: HashMap<TxnId, TxnState> = HashMap::new();
+
+    for ev in &history.events {
+        let seq = ev.seq;
+        match &ev.kind {
+            EventKind::Begin {
+                txn, kind, bounds, ..
+            } => {
+                if txns.contains_key(txn) {
+                    out.push(Diagnostic::DuplicateBegin { txn: *txn, seq });
+                    continue;
+                }
+                txns.insert(
+                    *txn,
+                    TxnState {
+                        kind: *kind,
+                        ledger: Ledger::new(&history.schema, bounds),
+                        ended: false,
+                    },
+                );
+            }
+            EventKind::QueryRead {
+                txn,
+                obj,
+                present,
+                proper,
+                d,
+                case1,
+                case2,
+                oil,
+            } => {
+                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
+                    continue;
+                };
+                if state.kind != TxnKind::Query {
+                    out.push(Diagnostic::KindMismatch {
+                        txn: *txn,
+                        seq,
+                        kind: state.kind,
+                    });
+                    continue;
+                }
+                let mut recomputed = distance(*present, *proper);
+                if *case2 {
+                    recomputed = recomputed.saturating_add(history.config.import_padding);
+                }
+                let case = match (case1, case2) {
+                    (true, true) => "Case 1+2",
+                    (true, false) => "Case 1",
+                    (false, true) => "Case 2",
+                    (false, false) => "unflagged",
+                };
+                check_charge(&mut out, *txn, *obj, seq, case, *d, recomputed);
+                if let Err(violation) = state.ledger.try_charge(*obj, *d, *oil) {
+                    out.push(Diagnostic::BoundExceeded {
+                        txn: *txn,
+                        obj: *obj,
+                        seq,
+                        direction: Direction::Import,
+                        violation,
+                    });
+                }
+            }
+            EventKind::UpdateRead { txn, .. } => {
+                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
+                    continue;
+                };
+                // Update reads are strictly consistent: nothing to charge,
+                // only the transaction kind to verify.
+                if state.kind != TxnKind::Update {
+                    out.push(Diagnostic::KindMismatch {
+                        txn: *txn,
+                        seq,
+                        kind: state.kind,
+                    });
+                }
+            }
+            EventKind::Write {
+                txn,
+                obj,
+                value,
+                d,
+                readers,
+                oel,
+                ..
+            } => {
+                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
+                    continue;
+                };
+                if state.kind != TxnKind::Update {
+                    out.push(Diagnostic::KindMismatch {
+                        txn: *txn,
+                        seq,
+                        kind: state.kind,
+                    });
+                    continue;
+                }
+                let recomputed = export_d(history.config, *value, readers);
+                check_charge(&mut out, *txn, *obj, seq, "Case 3", *d, recomputed);
+                if let Err(violation) = state.ledger.try_charge(*obj, *d, *oel) {
+                    out.push(Diagnostic::BoundExceeded {
+                        txn: *txn,
+                        obj: *obj,
+                        seq,
+                        direction: Direction::Export,
+                        violation,
+                    });
+                }
+            }
+            EventKind::WriteSkipped { txn, .. } => {
+                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
+                    continue;
+                };
+                // A Thomas-rule skip installs nothing and charges nothing.
+                if state.kind != TxnKind::Update {
+                    out.push(Diagnostic::KindMismatch {
+                        txn: *txn,
+                        seq,
+                        kind: state.kind,
+                    });
+                }
+            }
+            EventKind::Wait { txn, .. } => {
+                // Parking charges nothing; only referential integrity is
+                // checked (a wait by an ended or unknown txn is bogus).
+                live(&mut txns, *txn, seq, &mut out);
+            }
+            EventKind::Commit { txn, info } => {
+                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
+                    continue;
+                };
+                state.ended = true;
+                let replayed_total = state.ledger.total();
+                let replayed_ops = state.ledger.inconsistent_charges();
+                if info.inconsistency != replayed_total || info.inconsistent_ops != replayed_ops {
+                    out.push(Diagnostic::CommitMismatch {
+                        txn: *txn,
+                        seq,
+                        recorded_total: info.inconsistency,
+                        replayed_total,
+                        recorded_ops: info.inconsistent_ops,
+                        replayed_ops,
+                    });
+                }
+            }
+            EventKind::Abort { txn, .. } => {
+                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
+                    continue;
+                };
+                state.ended = true;
+            }
+        }
+    }
+
+    out
+}
+
+/// Look up a transaction that must exist and still be live, reporting
+/// `MissingBegin` / `OpAfterEnd` otherwise.
+fn live<'a>(
+    txns: &'a mut HashMap<TxnId, TxnState>,
+    txn: TxnId,
+    seq: u64,
+    out: &mut Vec<Diagnostic>,
+) -> Option<&'a mut TxnState> {
+    match txns.get_mut(&txn) {
+        None => {
+            out.push(Diagnostic::MissingBegin { txn, seq });
+            None
+        }
+        Some(state) if state.ended => {
+            out.push(Diagnostic::OpAfterEnd { txn, seq });
+            None
+        }
+        Some(state) => Some(state),
+    }
+}
+
+/// The §5.2 export rule: inconsistency a write of `value` exports to the
+/// registered uncommitted query readers.
+fn export_d(config: KernelConfig, value: i64, readers: &[ReaderView]) -> Distance {
+    let per_reader = readers.iter().map(|r| distance(value, r.proper));
+    match config.export_rule {
+        ExportRule::MaxOverReaders => per_reader.max().unwrap_or(0),
+        ExportRule::SumOverReaders => per_reader.fold(0, Distance::saturating_add),
+    }
+}
+
+/// Compare the recorded charge against the recomputed inconsistency.
+fn check_charge(
+    out: &mut Vec<Diagnostic>,
+    txn: TxnId,
+    obj: esr_core::ids::ObjectId,
+    seq: u64,
+    case: &str,
+    recorded: Distance,
+    recomputed: Distance,
+) {
+    use std::cmp::Ordering;
+    match recorded.cmp(&recomputed) {
+        Ordering::Less => out.push(Diagnostic::UnchargedRelaxation {
+            txn,
+            obj,
+            seq,
+            case: case.to_owned(),
+            recorded,
+            recomputed,
+        }),
+        Ordering::Greater => out.push(Diagnostic::DistanceMismatch {
+            txn,
+            obj,
+            seq,
+            recorded,
+            recomputed,
+        }),
+        Ordering::Equal => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esr_clock::Timestamp;
+    use esr_core::bounds::Limit;
+    use esr_core::error::ViolationLevel;
+    use esr_core::hierarchy::HierarchySchema;
+    use esr_core::ids::ObjectId;
+    use esr_core::spec::TxnBounds;
+    use esr_tso::capture::Event;
+    use esr_tso::outcome::CommitInfo;
+
+    fn history(kinds: Vec<EventKind>) -> History {
+        History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, kind)| Event {
+                    seq: i as u64,
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    fn begin(txn: u64, kind: TxnKind, root: Limit) -> EventKind {
+        let bounds = match kind {
+            TxnKind::Query => TxnBounds::import(root),
+            TxnKind::Update => TxnBounds::export(root),
+        };
+        EventKind::Begin {
+            txn: TxnId(txn),
+            kind,
+            ts: Timestamp::ZERO,
+            bounds,
+        }
+    }
+
+    fn qread(txn: u64, obj: u32, present: i64, proper: i64, d: u64) -> EventKind {
+        EventKind::QueryRead {
+            txn: TxnId(txn),
+            obj: ObjectId(obj),
+            present,
+            proper,
+            d,
+            case1: present != proper,
+            case2: false,
+            oil: Limit::Unlimited,
+        }
+    }
+
+    fn commit(txn: u64, inconsistency: u64, inconsistent_ops: u64) -> EventKind {
+        EventKind::Commit {
+            txn: TxnId(txn),
+            info: CommitInfo {
+                inconsistency,
+                inconsistent_ops,
+                reads: 0,
+                writes: 0,
+                written: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn consistent_history_replays_clean() {
+        let h = history(vec![
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            qread(1, 0, 1010, 1000, 10),
+            qread(1, 1, 500, 500, 0),
+            commit(1, 10, 1),
+        ]);
+        assert!(replay_bounds(&h).is_empty());
+    }
+
+    #[test]
+    fn import_over_limit_is_a_bound_violation() {
+        let h = history(vec![
+            begin(1, TxnKind::Query, Limit::at_most(5)),
+            qread(1, 0, 1010, 1000, 10),
+            commit(1, 10, 1),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(
+            diags.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::BoundExceeded {
+                    txn: TxnId(1),
+                    obj: ObjectId(0),
+                    direction: Direction::Import,
+                    violation,
+                    ..
+                } if violation.level == ViolationLevel::Transaction
+                    && violation.attempted == 10
+            )),
+            "missing import BoundExceeded: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn export_over_limit_is_a_bound_violation() {
+        let h = history(vec![
+            begin(2, TxnKind::Update, Limit::at_most(5)),
+            EventKind::Write {
+                txn: TxnId(2),
+                obj: ObjectId(0),
+                value: 1020,
+                d: 20,
+                case3: true,
+                readers: vec![ReaderView {
+                    txn: TxnId(9),
+                    proper: 1000,
+                }],
+                oel: Limit::Unlimited,
+            },
+            commit(2, 20, 1),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(
+            diags.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::BoundExceeded {
+                    txn: TxnId(2),
+                    direction: Direction::Export,
+                    ..
+                }
+            )),
+            "missing export BoundExceeded: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn uncharged_case1_relaxation_is_flagged() {
+        // present != proper but the kernel recorded d = 0: inconsistency
+        // flowed uncharged.
+        let h = history(vec![
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            qread(1, 0, 1010, 1000, 0),
+            commit(1, 0, 0),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(
+            diags.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::UnchargedRelaxation {
+                    txn: TxnId(1),
+                    obj: ObjectId(0),
+                    recorded: 0,
+                    recomputed: 10,
+                    ..
+                }
+            )),
+            "missing UnchargedRelaxation: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn case2_padding_is_included_in_the_recomputation() {
+        let mut h = history(vec![
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            EventKind::QueryRead {
+                txn: TxnId(1),
+                obj: ObjectId(0),
+                present: 1000,
+                proper: 1000,
+                d: 7,
+                case1: false,
+                case2: true,
+                oil: Limit::Unlimited,
+            },
+            commit(1, 7, 1),
+        ]);
+        h.config.import_padding = 7;
+        assert!(replay_bounds(&h).is_empty());
+        // Without the padding, the recorded 7 overstates the distance.
+        h.config.import_padding = 0;
+        let diags = replay_bounds(&h);
+        assert!(diags
+            .iter()
+            .any(|dg| matches!(dg, Diagnostic::DistanceMismatch { .. })));
+    }
+
+    #[test]
+    fn export_rule_max_vs_sum() {
+        let write = EventKind::Write {
+            txn: TxnId(2),
+            obj: ObjectId(0),
+            value: 1030,
+            d: 50,
+            case3: true,
+            readers: vec![
+                ReaderView {
+                    txn: TxnId(8),
+                    proper: 1000,
+                },
+                ReaderView {
+                    txn: TxnId(9),
+                    proper: 1010,
+                },
+            ],
+            oel: Limit::Unlimited,
+        };
+        // max(30, 20) = 30 ⇒ recorded 50 overstates under the max rule …
+        let mut h = history(vec![
+            begin(2, TxnKind::Update, Limit::Unlimited),
+            write,
+            commit(2, 50, 1),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(diags
+            .iter()
+            .any(|dg| matches!(dg, Diagnostic::DistanceMismatch { .. })));
+        // … but 30 + 20 = 50 is exact under the sum rule.
+        h.config.export_rule = ExportRule::SumOverReaders;
+        assert!(replay_bounds(&h).is_empty());
+    }
+
+    #[test]
+    fn commit_summary_mismatch_is_flagged() {
+        let h = history(vec![
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            qread(1, 0, 1010, 1000, 10),
+            commit(1, 99, 1),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(
+            diags.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::CommitMismatch {
+                    txn: TxnId(1),
+                    recorded_total: 99,
+                    replayed_total: 10,
+                    ..
+                }
+            )),
+            "missing CommitMismatch: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn lifecycle_violations_are_flagged() {
+        let h = history(vec![
+            qread(7, 0, 0, 0, 0),
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            commit(1, 0, 0),
+            qread(1, 0, 0, 0, 0),
+            begin(2, TxnKind::Update, Limit::Unlimited),
+            qread(2, 0, 0, 0, 0),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(diags
+            .iter()
+            .any(|dg| matches!(dg, Diagnostic::MissingBegin { txn: TxnId(7), .. })));
+        assert!(diags
+            .iter()
+            .any(|dg| matches!(dg, Diagnostic::DuplicateBegin { txn: TxnId(1), .. })));
+        assert!(diags
+            .iter()
+            .any(|dg| matches!(dg, Diagnostic::OpAfterEnd { txn: TxnId(1), .. })));
+        assert!(diags.iter().any(|dg| matches!(
+            dg,
+            Diagnostic::KindMismatch {
+                txn: TxnId(2),
+                kind: TxnKind::Update,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn store_side_oil_is_enforced() {
+        // The root allows 100 but the store-side OIL carried on the event
+        // is 5: the object level must reject first.
+        let h = history(vec![
+            begin(1, TxnKind::Query, Limit::at_most(100)),
+            EventKind::QueryRead {
+                txn: TxnId(1),
+                obj: ObjectId(3),
+                present: 1010,
+                proper: 1000,
+                d: 10,
+                case1: true,
+                case2: false,
+                oil: Limit::at_most(5),
+            },
+            commit(1, 10, 1),
+        ]);
+        let diags = replay_bounds(&h);
+        assert!(diags.iter().any(|dg| matches!(
+            dg,
+            Diagnostic::BoundExceeded { violation, .. }
+                if violation.level == ViolationLevel::Object(ObjectId(3))
+        )));
+    }
+}

@@ -1,0 +1,211 @@
+//! Checker diagnostics and the combined report.
+
+use crate::lint::LintFinding;
+use esr_core::error::BoundViolation;
+use esr_core::ids::{ObjectId, TxnId, TxnKind};
+use esr_core::spec::Direction;
+use esr_core::value::Distance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One problem found in a captured history.
+///
+/// Every variant names the transaction it concerns and, where it makes
+/// sense, the object, the event (`seq`), and the bound involved — the
+/// point of the checker is diagnostics precise enough to act on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Diagnostic {
+    /// Committed update ETs form a cycle in the conflict graph: the
+    /// execution is not serializable even after excluding the
+    /// epsilon-relaxed query edges.
+    SerializationCycle {
+        /// Transactions on (or between) conflict cycles, sorted.
+        txns: Vec<TxnId>,
+    },
+    /// An operation references a transaction with no `Begin` event.
+    MissingBegin { txn: TxnId, seq: u64 },
+    /// Two `Begin` events share a transaction id.
+    DuplicateBegin { txn: TxnId, seq: u64 },
+    /// An operation of a kind the transaction cannot perform (e.g. a
+    /// write by a query ET).
+    KindMismatch { txn: TxnId, seq: u64, kind: TxnKind },
+    /// An operation recorded after the transaction committed or aborted.
+    OpAfterEnd { txn: TxnId, seq: u64 },
+    /// A relaxation fired (Case 1/2/3) but the recorded charge is
+    /// smaller than the inconsistency the event's own data implies —
+    /// inconsistency flowed that no accumulator was charged for.
+    UnchargedRelaxation {
+        txn: TxnId,
+        obj: ObjectId,
+        seq: u64,
+        /// Which relaxation fired ("Case 1", "Case 2", "Case 1+2", "Case 3").
+        case: String,
+        recorded: Distance,
+        recomputed: Distance,
+    },
+    /// The recorded charge exceeds the recomputed inconsistency (the
+    /// kernel claimed to charge more than the event's data supports).
+    DistanceMismatch {
+        txn: TxnId,
+        obj: ObjectId,
+        seq: u64,
+        recorded: Distance,
+        recomputed: Distance,
+    },
+    /// Replaying the bottom-up bound checks rejected a charge the kernel
+    /// admitted: the transaction exceeded a declared bound.
+    BoundExceeded {
+        txn: TxnId,
+        obj: ObjectId,
+        seq: u64,
+        direction: Direction,
+        violation: BoundViolation,
+    },
+    /// The commit summary disagrees with the replayed ledger.
+    CommitMismatch {
+        txn: TxnId,
+        seq: u64,
+        recorded_total: Distance,
+        replayed_total: Distance,
+        recorded_ops: u64,
+        replayed_ops: u64,
+    },
+    /// A specification problem found by the linter on a `Begin` event.
+    SpecLint { txn: TxnId, finding: LintFinding },
+}
+
+impl Diagnostic {
+    /// Warnings don't fail a check; everything else does.
+    pub fn is_error(&self) -> bool {
+        match self {
+            Diagnostic::SpecLint { finding, .. } => finding.is_error(),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::SerializationCycle { txns } => {
+                write!(
+                    f,
+                    "committed update ETs are not serializable: conflict cycle through"
+                )?;
+                for t in txns {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
+            Diagnostic::MissingBegin { txn, seq } => {
+                write!(f, "event #{seq}: operation by {txn} which never began")
+            }
+            Diagnostic::DuplicateBegin { txn, seq } => {
+                write!(f, "event #{seq}: duplicate Begin for {txn}")
+            }
+            Diagnostic::KindMismatch { txn, seq, kind } => {
+                write!(
+                    f,
+                    "event #{seq}: operation invalid for {txn} of kind {kind}"
+                )
+            }
+            Diagnostic::OpAfterEnd { txn, seq } => {
+                write!(f, "event #{seq}: operation by {txn} after it ended")
+            }
+            Diagnostic::UnchargedRelaxation {
+                txn,
+                obj,
+                seq,
+                case,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "event #{seq}: {case} relaxation on {obj} by {txn} charged {recorded} \
+                 but the event implies {recomputed} — inconsistency went uncharged"
+            ),
+            Diagnostic::DistanceMismatch {
+                txn,
+                obj,
+                seq,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "event #{seq}: charge on {obj} by {txn} recorded {recorded} \
+                 but recomputation gives {recomputed}"
+            ),
+            Diagnostic::BoundExceeded {
+                txn,
+                obj,
+                seq,
+                direction,
+                violation,
+            } => {
+                let dir = match direction {
+                    Direction::Import => "import",
+                    Direction::Export => "export",
+                };
+                write!(
+                    f,
+                    "event #{seq}: {txn} exceeded its {dir} bound on {obj}: {violation}"
+                )
+            }
+            Diagnostic::CommitMismatch {
+                txn,
+                seq,
+                recorded_total,
+                replayed_total,
+                recorded_ops,
+                replayed_ops,
+            } => write!(
+                f,
+                "event #{seq}: commit summary of {txn} disagrees with replay: \
+                 total {recorded_total} vs {replayed_total}, \
+                 inconsistent ops {recorded_ops} vs {replayed_ops}"
+            ),
+            Diagnostic::SpecLint { txn, finding } => {
+                write!(f, "specification of {txn}: {finding}")
+            }
+        }
+    }
+}
+
+/// The result of running every pass over one history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckReport {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// No error-level diagnostics (warnings may remain).
+    pub fn is_clean(&self) -> bool {
+        !self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Error-level diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_error())
+    }
+
+    /// Warning-level diagnostics only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.is_error())
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return f.write_str("clean: no findings");
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        writeln!(f, "{errors} error(s), {warnings} warning(s):")?;
+        for d in &self.diagnostics {
+            let tag = if d.is_error() { "error" } else { "warning" };
+            writeln!(f, "  [{tag}] {d}")?;
+        }
+        Ok(())
+    }
+}

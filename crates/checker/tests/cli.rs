@@ -1,0 +1,114 @@
+//! End-to-end tests of the `esr-check` binary: clean histories exit 0,
+//! corrupted histories exit 1 with diagnostics on stdout, and bad input
+//! exits 2.
+
+use esr_checker::{EventKind, History};
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, SiteId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_storage::CatalogConfig;
+use esr_tso::Kernel;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn esr_check() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_esr-check"))
+}
+
+/// A small real history: one committed update, one query that reads it
+/// late (Case 1, d = 100, within its TIL).
+fn capture_scenario() -> History {
+    let ts = |t: u64| Timestamp::new(t, SiteId(0));
+    let table = CatalogConfig::default().build_with_values(&[1_000]);
+    let kernel = Kernel::with_defaults(table);
+    kernel.enable_capture();
+    let u = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(10));
+    let _ = kernel.write(u, ObjectId(0), 1_100).unwrap();
+    let _ = kernel.commit(u).unwrap();
+    let q = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(5),
+    );
+    let _ = kernel.read(q, ObjectId(0)).unwrap();
+    let _ = kernel.commit(q).unwrap();
+    kernel.capture_history().expect("capture enabled")
+}
+
+fn write_history(name: &str, history: &History) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::write(&path, serde_json::to_string(history).unwrap()).unwrap();
+    path
+}
+
+#[test]
+fn clean_history_exits_zero() {
+    let path = write_history("clean.json", &capture_scenario());
+    let out = esr_check().arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("clean: no findings"), "{stdout}");
+}
+
+#[test]
+fn corrupted_history_exits_one_with_diagnostics() {
+    let mut history = capture_scenario();
+    for ev in &mut history.events {
+        if let EventKind::Begin { kind, bounds, .. } = &mut ev.kind {
+            if *kind == TxnKind::Query {
+                bounds.root = Limit::ZERO;
+            }
+        }
+    }
+    let path = write_history("over_limit.json", &history);
+    let out = esr_check().arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("exceeded its import bound"), "{stdout}");
+    assert!(stdout.contains("transaction level"), "{stdout}");
+}
+
+#[test]
+fn mixed_arguments_fail_if_any_history_fails() {
+    let clean = write_history("mixed_clean.json", &capture_scenario());
+    let mut history = capture_scenario();
+    if let EventKind::QueryRead { d, .. } = &mut history
+        .events
+        .iter_mut()
+        .find(|e| matches!(e.kind, EventKind::QueryRead { .. }))
+        .unwrap()
+        .kind
+    {
+        *d = 0;
+    }
+    let bad = write_history("mixed_bad.json", &history);
+    let out = esr_check().arg(&clean).arg(&bad).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("uncharged"), "{stdout}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = esr_check().arg("/no/such/history.json").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn invalid_json_exits_two() {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("garbage.json");
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = esr_check().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid history JSON"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_exits_two_with_usage() {
+    let out = esr_check().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

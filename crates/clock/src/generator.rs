@@ -151,11 +151,7 @@ mod tests {
         let base = ManualTimeSource::starting_at(1_000);
         let skewed = SkewedSource::new(base.clone(), 5_000);
         let cf = CorrectionFactor::estimate(&skewed, &base, 0);
-        let g = TimestampGenerator::with_correction(
-            SiteId(1),
-            Arc::new(skewed),
-            cf,
-        );
+        let g = TimestampGenerator::with_correction(SiteId(1), Arc::new(skewed), cf);
         assert_eq!(g.next().ticks, 1_000);
     }
 

@@ -14,18 +14,7 @@ use std::fmt;
 ///
 /// Ticks are in microseconds of virtual (corrected) time. `u64`
 /// microseconds cover ~584,000 years, ample for any run.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Serialize,
-    Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Timestamp {
     /// Corrected local time in microseconds.
     pub ticks: u64,

@@ -132,20 +132,18 @@ impl AggregateTracker {
                 inconsistency: 0,
             }),
             AggregateKind::Sum => {
-                let (lo, hi) = self.ranges.values().fold(
-                    (0i128, 0i128),
-                    |(lo, hi), r| (lo + r.min as i128, hi + r.max as i128),
-                );
+                let (lo, hi) = self.ranges.values().fold((0i128, 0i128), |(lo, hi), r| {
+                    (lo + r.min as i128, hi + r.max as i128)
+                });
                 Some(Self::bounds_from(lo as f64, hi as f64, lo, hi))
             }
             AggregateKind::Average => {
                 if n == 0 {
                     return None;
                 }
-                let (lo, hi) = self.ranges.values().fold(
-                    (0i128, 0i128),
-                    |(lo, hi), r| (lo + r.min as i128, hi + r.max as i128),
-                );
+                let (lo, hi) = self.ranges.values().fold((0i128, 0i128), |(lo, hi), r| {
+                    (lo + r.min as i128, hi + r.max as i128)
+                });
                 let min_r = lo as f64 / n as f64;
                 let max_r = hi as f64 / n as f64;
                 // Integral half-width: ceil((hi - lo) / (2n)).
@@ -237,10 +235,7 @@ mod tests {
         let mut t = AggregateTracker::new();
         t.record(ObjectId(0), 100);
         t.record(ObjectId(0), 140); // second read saw a newer value
-        assert_eq!(
-            t.range(ObjectId(0)),
-            Some(ViewRange { min: 100, max: 140 })
-        );
+        assert_eq!(t.range(ObjectId(0)), Some(ViewRange { min: 100, max: 140 }));
         let sum = t.result_bounds(AggregateKind::Sum).unwrap();
         assert_eq!(sum.min_result, 100.0);
         assert_eq!(sum.max_result, 140.0);
@@ -332,7 +327,9 @@ mod tests {
         t.record(ObjectId(0), 0);
         t.record(ObjectId(0), 100);
         // Sum inconsistency = 50.
-        assert!(t.check_result(AggregateKind::Sum, Limit::at_most(50)).is_ok());
+        assert!(t
+            .check_result(AggregateKind::Sum, Limit::at_most(50))
+            .is_ok());
         let err = t
             .check_result(AggregateKind::Sum, Limit::at_most(49))
             .unwrap_err();

@@ -16,9 +16,7 @@ use std::fmt;
 /// Internally `Finite(0)` is SR and `Unlimited` admits any inconsistency.
 /// `Limit` is ordered: `Finite(a) < Finite(b)` iff `a < b`, and
 /// `Unlimited` is greater than every finite limit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Limit {
     /// At most this much inconsistency may accumulate.
     Finite(Distance),
@@ -207,10 +205,7 @@ mod tests {
     fn ordering_and_min() {
         assert!(Limit::at_most(1) < Limit::at_most(2));
         assert!(Limit::at_most(u64::MAX) < Limit::Unlimited);
-        assert_eq!(
-            Limit::at_most(5).min(Limit::Unlimited),
-            Limit::at_most(5)
-        );
+        assert_eq!(Limit::at_most(5).min(Limit::Unlimited), Limit::at_most(5));
         assert_eq!(Limit::at_most(5).min(Limit::at_most(3)), Limit::at_most(3));
     }
 

@@ -22,9 +22,7 @@ use std::sync::Arc;
 
 /// Index of a node in the schema's arena. The root is always
 /// [`NodeId::ROOT`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -104,7 +102,11 @@ impl HierarchySchema {
     /// The group an object is attached to (the root if unattached).
     #[inline]
     pub fn node_of(&self, obj: ObjectId) -> NodeId {
-        self.inner.object_node.get(&obj).copied().unwrap_or(NodeId::ROOT)
+        self.inner
+            .object_node
+            .get(&obj)
+            .copied()
+            .unwrap_or(NodeId::ROOT)
     }
 
     /// Parent of a node (`None` for the root).
@@ -147,9 +149,11 @@ impl HierarchySchema {
 
     /// Iterate over all named groups.
     pub fn groups(&self) -> impl Iterator<Item = (NodeId, &str)> + '_ {
-        self.inner.nodes.iter().enumerate().filter_map(|(i, n)| {
-            n.name.as_deref().map(|name| (NodeId(i as u32), name))
-        })
+        self.inner
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.name.as_deref().map(|name| (NodeId(i as u32), name)))
     }
 }
 
@@ -247,10 +251,7 @@ impl HierarchyBuilder {
 
     /// Attach an object to a group. Re-attaching moves the object.
     pub fn attach(&mut self, obj: ObjectId, node: NodeId) {
-        assert!(
-            node.index() < self.nodes.len(),
-            "unknown node {node:?}"
-        );
+        assert!(node.index() < self.nodes.len(), "unknown node {node:?}");
         self.object_node.insert(obj, node);
     }
 

@@ -8,9 +8,7 @@ use std::fmt;
 /// Objects are dense (`0..n`), mirroring the paper's prototype where the
 /// server initialises a fixed population of objects from a start-up data
 /// file (§6).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectId(pub u32);
 
 impl ObjectId {
@@ -39,9 +37,7 @@ impl From<u32> for ObjectId {
 /// an aborted transaction with a new timestamp it also receives a new id,
 /// so per-instance bookkeeping (ledgers, read sets) never leaks across
 /// retries.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {
@@ -55,17 +51,7 @@ impl fmt::Display for TxnId {
 /// The paper appends the site id to each timestamp to guarantee
 /// uniqueness across clients whose clocks may tick identically (§6).
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    Default,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Serialize,
-    Deserialize,
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]
 pub struct SiteId(pub u16);
 

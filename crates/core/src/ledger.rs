@@ -155,7 +155,15 @@ impl Ledger {
         let path: Vec<NodeId> = self.schema.charge_path(obj).collect();
         for node in path {
             let slot = &mut self.acc[node.0 as usize];
+            let before = *slot;
             *slot = slot.saturating_add(d);
+            // Accumulators are monotone: outside of building a fresh
+            // ledger they only ever grow.
+            debug_assert!(
+                *slot >= before,
+                "accumulator at {node:?} decreased: {before} -> {}",
+                *slot
+            );
         }
         if d > 0 {
             self.inconsistent_charges += 1;
@@ -173,6 +181,14 @@ impl Ledger {
     ) -> Result<(), BoundViolation> {
         self.check(obj, d, store_limit)?;
         self.charge_unchecked(obj, d);
+        // A charge that passed `check` can never leave any node on the
+        // path above its limit.
+        debug_assert!(
+            self.schema
+                .charge_path(obj)
+                .all(|node| { self.limits[node.0 as usize].allows(self.acc[node.0 as usize]) }),
+            "admitted charge of {d} on {obj} exceeded a limit on its path"
+        );
         Ok(())
     }
 
@@ -262,7 +278,9 @@ mod tests {
         let schema = banking_schema();
         let mut ledger = Ledger::new(&schema, &bounded_query());
         // com1 limit is 200: two charges of 150 breach it on the second.
-        assert!(ledger.try_charge(ObjectId(0), 150, Limit::Unlimited).is_ok());
+        assert!(ledger
+            .try_charge(ObjectId(0), 150, Limit::Unlimited)
+            .is_ok());
         let err = ledger
             .try_charge(ObjectId(1), 150, Limit::Unlimited)
             .unwrap_err();
@@ -315,8 +333,8 @@ mod tests {
     #[test]
     fn object_override_tightens_store_limit() {
         let schema = HierarchySchema::two_level();
-        let bounds = TxnBounds::import(Limit::at_most(1_000))
-            .with_object(ObjectId(9), Limit::at_most(10));
+        let bounds =
+            TxnBounds::import(Limit::at_most(1_000)).with_object(ObjectId(9), Limit::at_most(10));
         let mut ledger = Ledger::new(&schema, &bounds);
         let err = ledger
             .try_charge(ObjectId(9), 11, Limit::at_most(500))
@@ -324,8 +342,8 @@ mod tests {
         assert_eq!(err.level, ViolationLevel::Object(ObjectId(9)));
         assert_eq!(err.limit, Limit::at_most(10));
         // The override never *loosens* the store limit.
-        let bounds = TxnBounds::import(Limit::at_most(1_000))
-            .with_object(ObjectId(9), Limit::at_most(900));
+        let bounds =
+            TxnBounds::import(Limit::at_most(1_000)).with_object(ObjectId(9), Limit::at_most(900));
         let mut ledger = Ledger::new(&schema, &bounds);
         let err = ledger
             .try_charge(ObjectId(9), 600, Limit::at_most(500))
@@ -347,8 +365,8 @@ mod tests {
     #[test]
     fn unknown_group_names_are_ignored() {
         let schema = HierarchySchema::two_level();
-        let bounds = TxnBounds::import(Limit::at_most(100))
-            .with_group("no-such-group", Limit::ZERO);
+        let bounds =
+            TxnBounds::import(Limit::at_most(100)).with_group("no-such-group", Limit::ZERO);
         let mut ledger = Ledger::new(&schema, &bounds);
         assert!(ledger.try_charge(ObjectId(0), 50, Limit::Unlimited).is_ok());
     }
@@ -356,10 +374,7 @@ mod tests {
     #[test]
     fn hierarchy_invariant_holds_through_charges() {
         let schema = banking_schema();
-        let mut ledger = Ledger::new(
-            &schema,
-            &TxnBounds::import(Limit::Unlimited),
-        );
+        let mut ledger = Ledger::new(&schema, &TxnBounds::import(Limit::Unlimited));
         for (i, d) in [(0u32, 10u64), (5, 20), (10, 30), (20, 40), (25, 50)] {
             ledger.try_charge(ObjectId(i), d, Limit::Unlimited).unwrap();
             assert!(ledger.hierarchy_consistent());
@@ -376,8 +391,7 @@ mod tests {
     #[test]
     fn saturating_accumulation_never_wraps() {
         let schema = HierarchySchema::two_level();
-        let mut ledger =
-            Ledger::new(&schema, &TxnBounds::import(Limit::Unlimited));
+        let mut ledger = Ledger::new(&schema, &TxnBounds::import(Limit::Unlimited));
         ledger
             .try_charge(ObjectId(0), u64::MAX - 1, Limit::Unlimited)
             .unwrap();

@@ -156,16 +156,16 @@ mod tests {
 
     #[test]
     fn group_limits_default_unlimited() {
-        let b = TxnBounds::import(Limit::at_most(10_000))
-            .with_group("company", Limit::at_most(4_000));
+        let b =
+            TxnBounds::import(Limit::at_most(10_000)).with_group("company", Limit::at_most(4_000));
         assert_eq!(b.group_limit("company"), Limit::at_most(4_000));
         assert_eq!(b.group_limit("unmentioned"), Limit::Unlimited);
     }
 
     #[test]
     fn object_overrides() {
-        let b = TxnBounds::import(Limit::at_most(10_000))
-            .with_object(ObjectId(7), Limit::at_most(50));
+        let b =
+            TxnBounds::import(Limit::at_most(10_000)).with_object(ObjectId(7), Limit::at_most(50));
         assert_eq!(b.object_override(ObjectId(7)), Some(Limit::at_most(50)));
         assert_eq!(b.object_override(ObjectId(8)), None);
     }

@@ -85,11 +85,7 @@ pub struct L1;
 
 impl MetricSpace<[Value]> for L1 {
     fn dist(&self, a: &[Value], b: &[Value]) -> Distance {
-        assert_eq!(
-            a.len(),
-            b.len(),
-            "L1 distance requires equal-length states"
-        );
+        assert_eq!(a.len(), b.len(), "L1 distance requires equal-length states");
         a.iter()
             .zip(b)
             .fold(0u64, |acc, (x, y)| acc.saturating_add(distance(*x, *y)))

@@ -49,10 +49,8 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
             if !x.is_finite() || !y.is_finite() {
                 continue;
             }
-            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round()
-                as usize;
-            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round()
-                as usize;
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
             let row = height - 1 - cy.min(height - 1);
             canvas[row][cx.min(width - 1)] = glyph;
         }

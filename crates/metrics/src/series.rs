@@ -210,7 +210,11 @@ mod tests {
         assert!(t.contains("20"), "{t}");
         assert!(t.contains("5.50"), "{t}");
         // Missing point rendered as '-'.
-        assert!(t.lines().any(|l| l.trim_start().starts_with('2') && l.contains('-')), "{t}");
+        assert!(
+            t.lines()
+                .any(|l| l.trim_start().starts_with('2') && l.contains('-')),
+            "{t}"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@ use serde::{Deserialize, Serialize};
 /// 0.95 quantile), indexed by degrees of freedom 1..=30. Beyond 30 the
 /// normal approximation (1.645) is used. Values from standard tables.
 const T_90: [f64; 30] = [
-    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
-    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
-    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
 ];
 
 /// Critical t value for `df` degrees of freedom at 90% confidence.
@@ -37,8 +37,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
-        / (xs.len() - 1) as f64;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
     var.sqrt()
 }
 

@@ -162,11 +162,9 @@ mod tests {
 
     /// Commit one primary update writing `value` to `obj` at time `t`.
     fn update(sys: &ReplicatedSystem, t: u64, obj: u32, value: Value) {
-        let u = sys.primary().begin(
-            TxnKind::Update,
-            TxnBounds::export(Limit::Unlimited),
-            ts(t),
-        );
+        let u = sys
+            .primary()
+            .begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(t));
         let resp = sys.primary().write(u, ObjectId(obj), value).unwrap();
         assert!(resp.outcome.is_done());
         let end = sys.commit_update(u).unwrap();
@@ -216,11 +214,7 @@ mod tests {
         let sys = system(&[1_000], 1);
         update(&sys, 1, 0, 1_300);
         let err = sys
-            .replica_query(
-                0,
-                &TxnBounds::import(Limit::at_most(100)),
-                &[ObjectId(0)],
-            )
+            .replica_query(0, &TxnBounds::import(Limit::at_most(100)), &[ObjectId(0)])
             .unwrap_err();
         assert_eq!(err.level, ViolationLevel::Transaction);
         assert_eq!(err.attempted, 300);
@@ -248,8 +242,7 @@ mod tests {
     fn per_object_oil_applies_to_replica_reads() {
         let table = CatalogConfig::default().build_with_values(&[1_000]);
         table.set_all_limits(Limit::at_most(50), Limit::Unlimited);
-        let sys =
-            ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 1);
+        let sys = ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 1);
         update(&sys, 1, 0, 1_200);
         let err = sys
             .replica_query(
@@ -274,8 +267,8 @@ mod tests {
         update(&sys, 1, 0, 60);
         update(&sys, 2, 1, 60);
         update(&sys, 3, 2, 60);
-        let bounds = TxnBounds::import(Limit::at_most(1_000))
-            .with_group("hot", Limit::at_most(100));
+        let bounds =
+            TxnBounds::import(Limit::at_most(1_000)).with_group("hot", Limit::at_most(100));
         let err = sys
             .replica_query(0, &bounds, &[ObjectId(0), ObjectId(1), ObjectId(2)])
             .unwrap_err();
@@ -328,11 +321,7 @@ mod tests {
     fn seeding_from_active_primary_rejected() {
         let table = CatalogConfig::default().build_with_values(&[1]);
         let kernel = Arc::new(Kernel::with_defaults(table));
-        let u = kernel.begin(
-            TxnKind::Update,
-            TxnBounds::export(Limit::Unlimited),
-            ts(1),
-        );
+        let u = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(1));
         let _ = kernel.write(u, ObjectId(0), 2).unwrap();
         let _ = ReplicatedSystem::new(kernel, 1);
     }

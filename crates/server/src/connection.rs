@@ -63,11 +63,7 @@ impl Connection {
         let txn = self.current()?;
         let (tx, rx) = bounded(1);
         self.req_tx
-            .send(Request::Op {
-                txn,
-                op,
-                reply: tx,
-            })
+            .send(Request::Op { txn, op, reply: tx })
             .map_err(|_| SessionError::Backend("server is down".into()))?;
         let reply = rx
             .recv()
@@ -109,9 +105,7 @@ impl Session for Connection {
                 self.current = None;
                 Err(SessionError::Aborted(r))
             }
-            OpReply::Written => Err(SessionError::Backend(
-                "read answered as write".into(),
-            )),
+            OpReply::Written => Err(SessionError::Backend("read answered as write".into())),
             OpReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }
@@ -123,9 +117,7 @@ impl Session for Connection {
                 self.current = None;
                 Err(SessionError::Aborted(r))
             }
-            OpReply::Value(_) => Err(SessionError::Backend(
-                "write answered as read".into(),
-            )),
+            OpReply::Value(_) => Err(SessionError::Backend("write answered as read".into())),
             OpReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }
@@ -147,9 +139,7 @@ impl Session for Connection {
         self.current = None;
         match reply {
             EndReply::Committed(info) => Ok(info),
-            EndReply::Aborted => Err(SessionError::Backend(
-                "commit answered as abort".into(),
-            )),
+            EndReply::Aborted => Err(SessionError::Backend("commit answered as abort".into())),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }
@@ -171,9 +161,7 @@ impl Session for Connection {
         self.current = None;
         match reply {
             EndReply::Aborted => Ok(()),
-            EndReply::Committed(_) => Err(SessionError::Backend(
-                "abort answered as commit".into(),
-            )),
+            EndReply::Committed(_) => Err(SessionError::Backend("abort answered as commit".into())),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }

@@ -3,7 +3,10 @@
 use crate::connection::Connection;
 use crate::proto::{EndReply, OpReply, Request};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use esr_clock::{CorrectionFactor, ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource, TimestampGenerator};
+use esr_clock::{
+    CorrectionFactor, ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource,
+    TimestampGenerator,
+};
 use esr_core::ids::{SiteId, TxnId};
 use esr_tso::{Kernel, OpOutcome, PendingOp};
 use parking_lot::Mutex;
@@ -116,13 +119,9 @@ impl Server {
         // Best-of-8 sampling bounds the error a preemption between the
         // two clock reads could otherwise inject.
         let cf = CorrectionFactor::estimate_best_of(&skewed, &self.reference, 8);
-        let generator =
-            TimestampGenerator::with_correction(site, skewed, cf);
+        let generator = TimestampGenerator::with_correction(site, skewed, cf);
         Connection::new(
-            self.req_tx
-                .as_ref()
-                .expect("server not shut down")
-                .clone(),
+            self.req_tx.as_ref().expect("server not shut down").clone(),
             Arc::new(generator),
             self.config.rpc_latency,
         )
@@ -212,12 +211,7 @@ fn send_outcome(reply: &Sender<OpReply>, outcome: OpOutcome) {
 /// path must find the sender. While an operation is parked its entry
 /// stays in the map; it is removed exactly once, by whichever path
 /// completes the operation.
-fn dispatch_op(
-    kernel: &Kernel,
-    pending: &PendingReplies,
-    op: PendingOp,
-    reply: Sender<OpReply>,
-) {
+fn dispatch_op(kernel: &Kernel, pending: &PendingReplies, op: PendingOp, reply: Sender<OpReply>) {
     pending.lock().insert(op.txn, reply);
     match kernel.resume(op) {
         Ok(resp) => {

@@ -125,10 +125,9 @@ fn zero_bound_late_read_aborts_across_connections() {
 fn transaction_programs_run_against_the_server() {
     let server = server_with(&[100, 200, 0], ServerConfig::default());
     let mut c = server.connect();
-    let p = parse_program(
-        "BEGIN Update TEL = 1000\nt1 = Read 0\nt2 = Read 1\nWrite 2 , t1+t2\nCOMMIT",
-    )
-    .unwrap();
+    let p =
+        parse_program("BEGIN Update TEL = 1000\nt1 = Read 0\nt2 = Read 1\nWrite 2 , t1+t2\nCOMMIT")
+            .unwrap();
     let got = run_with_retry(&p, &mut c, 10).unwrap();
     assert!(got.output.committed);
     assert_eq!(server.kernel().table().lock(ObjectId(2)).value, 300);
@@ -224,10 +223,7 @@ fn concurrent_transfer_clients_preserve_the_invariant() {
                 match step {
                     Ok(()) => committed += 1,
                     Err(e) => {
-                        assert!(
-                            e.is_retryable(),
-                            "unexpected failure: {e}"
-                        );
+                        assert!(e.is_retryable(), "unexpected failure: {e}");
                         if c.in_txn() {
                             let _ = c.abort();
                         }

@@ -1,0 +1,237 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! A real (if simple) measurement harness: each `bench_function` runs a
+//! short warm-up, then timed sample batches, and reports median / mean /
+//! spread per iteration. No HTML reports, no statistical regression
+//! analysis — just honest wall-clock numbers on stdout so `cargo bench`
+//! stays useful offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim sizes batches the same
+/// way for every variant; the distinction only matters for criterion's
+/// memory heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Benchmark driver: collects samples for each registered function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// criterion's finalizer; the shim has nothing to flush.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// (total elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / iters_done.max(1) as u128;
+        let budget_per_sample =
+            self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters_per_sample = (budget_per_sample / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters_per_sample));
+        }
+    }
+
+    /// Measure `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        let mut measured = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters_done += 1;
+        }
+        let per_iter = measured.as_nanos().max(1) / iters_done.max(1) as u128;
+        let budget_per_sample =
+            self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters_per_sample = (budget_per_sample / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                elapsed += t.elapsed();
+            }
+            self.samples.push((elapsed, iters_per_sample));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let lo = per_iter.first().copied().unwrap_or(0.0);
+        let hi = per_iter.last().copied().unwrap_or(0.0);
+        println!(
+            "{name:<40} median {} mean {} range [{} .. {}] ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            per_iter.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:7.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:7.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:7.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!`: both the plain and `config = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![3u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

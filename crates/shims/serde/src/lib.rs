@@ -1,0 +1,701 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor architecture, this shim routes everything
+//! through a self-describing [`Content`] tree: `Serialize` lowers a value to
+//! `Content`, `Deserialize` rebuilds a value from `&Content`. The companion
+//! `serde_json` shim prints/parses `Content` as JSON, and the `serde_derive`
+//! shim generates the two trait impls for structs and enums.
+//!
+//! Representation choices mirror serde_json's defaults (externally tagged
+//! enums, transparent newtype structs, `Option` as value-or-null, maps with
+//! stringified keys) so emitted artifacts look like what the real stack
+//! would produce.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form: the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order (preserves field order in output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "u64",
+            Content::I64(_) => "i64",
+            Content::F64(_) => "f64",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a field in a serialized struct map (helper for derived code).
+pub fn content_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` for `{ty}`"))
+    }
+
+    pub fn unexpected(expected: &str, got: &Content) -> Self {
+        Self::custom(format!("expected {expected}, got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                        v as u64
+                    }
+                    ref other => return Err(DeError::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                        v as i64
+                    }
+                    ref other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            Content::Null => Ok(f64::NAN), // serde_json prints non-finite as null
+            ref other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::unexpected("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::unexpected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / smart-pointer impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+// `Arc`/`Rc` impls correspond to serde's "rc" feature: shared state is
+// serialized by value (duplicated, not interned).
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Rc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| DeError::unexpected("sequence", content))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_content).collect();
+        parsed.map(|v| v.try_into().expect("length checked"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::unexpected("tuple sequence", content))?;
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                if items.len() != LEN {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {LEN}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Map keys must render as strings in the data model (JSON requirement).
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::custom(format!("invalid {} map key: {key:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Newtype wrappers over an integer (e.g. `ObjectId`) used as map keys:
+/// serialize through the data model and require a numeric/str scalar.
+/// Implemented via the blanket below for any `Serialize + Deserialize` type
+/// whose content form is a scalar.
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: SerializableKey,
+    V: Serialize,
+{
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: SerializableKey + Eq + Hash,
+    V: Deserialize,
+    S: Default + std::hash::BuildHasher,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::unexpected("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: SerializableKey,
+    V: Serialize,
+{
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: SerializableKey + Ord,
+    V: Deserialize,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::unexpected("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+/// Bridge between arbitrary `Serialize` types and string map keys: a key
+/// serializes via its content form, which must be a scalar (string or
+/// integer). Newtype ids like `ObjectId(u32)` work because the derive makes
+/// them transparent.
+pub trait SerializableKey: Sized {
+    fn serialize_key(&self) -> String;
+    fn deserialize_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + Deserialize> SerializableKey for T {
+    fn serialize_key(&self) -> String {
+        match self.to_content() {
+            Content::Str(s) => s,
+            Content::U64(v) => v.to_string(),
+            Content::I64(v) => v.to_string(),
+            Content::Bool(b) => b.to_string(),
+            other => panic!("map key must serialize to a scalar, got {}", other.type_name()),
+        }
+    }
+
+    fn deserialize_key(key: &str) -> Result<Self, DeError> {
+        // Try the string form first, then numeric re-interpretations, so both
+        // `String` keys that look numeric and integer newtype keys round-trip.
+        if let Ok(v) = T::from_content(&Content::Str(key.to_owned())) {
+            return Ok(v);
+        }
+        if let Ok(n) = key.parse::<u64>() {
+            if let Ok(v) = T::from_content(&Content::U64(n)) {
+                return Ok(v);
+            }
+        }
+        if let Ok(n) = key.parse::<i64>() {
+            if let Ok(v) = T::from_content(&Content::I64(n)) {
+                return Ok(v);
+            }
+        }
+        if key == "true" || key == "false" {
+            if let Ok(v) = T::from_content(&Content::Bool(key == "true")) {
+                return Ok(v);
+            }
+        }
+        Err(DeError::custom(format!("cannot parse map key {key:?}")))
+    }
+}
+
+impl<T> Serialize for std::collections::HashSet<T>
+where
+    T: Serialize,
+{
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T> Deserialize for std::collections::HashSet<T>
+where
+    T: Deserialize + Eq + Hash,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T> Serialize for std::collections::BTreeSet<T>
+where
+    T: Serialize,
+{
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T> Deserialize for std::collections::BTreeSet<T>
+where
+    T: Deserialize + Ord,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_owned(), Content::U64(self.as_secs())),
+            ("nanos".to_owned(), Content::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::unexpected("duration map", content))?;
+        let secs = content_get(entries, "secs")
+            .map(u64::from_content)
+            .transpose()?
+            .unwrap_or(0);
+        let nanos = content_get(entries, "nanos")
+            .map(u32::from_content)
+            .transpose()?
+            .unwrap_or(0);
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_content(&v.to_content()).unwrap(), v);
+        }
+        for v in [i64::MIN, -1, 0, i64::MAX] {
+            assert_eq!(i64::from_content(&v.to_content()).unwrap(), v);
+        }
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(
+            String::from_content(&"hi".to_content()).unwrap(),
+            "hi".to_owned()
+        );
+        assert!(u8::from_content(&Content::U64(256)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, -2i64), (3, 4)];
+        assert_eq!(Vec::<(u32, i64)>::from_content(&v.to_content()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, "seven".to_owned());
+        m.insert(8, "eight".to_owned());
+        assert_eq!(
+            HashMap::<u32, String>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+
+        let opt: Option<u64> = None;
+        assert_eq!(
+            Option::<u64>::from_content(&opt.to_content()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u64>::from_content(&Some(5u64).to_content()).unwrap(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn string_keys_that_look_numeric() {
+        let mut m = HashMap::new();
+        m.insert("123".to_owned(), 1u32);
+        m.insert("abc".to_owned(), 2);
+        assert_eq!(
+            HashMap::<String, u32>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn arc_round_trips_by_value() {
+        let v: Arc<Vec<u32>> = Arc::new(vec![1, 2, 3]);
+        let back = Arc::<Vec<u32>>::from_content(&v.to_content()).unwrap();
+        assert_eq!(*back, *v);
+    }
+}

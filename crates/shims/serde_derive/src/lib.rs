@@ -1,0 +1,466 @@
+//! Offline shim for `serde_derive`: generates `Serialize`/`Deserialize`
+//! impls targeting the serde shim's `Content` data model.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are
+//! unavailable offline): the item is parsed with a small hand-rolled token
+//! walker, and the impls are emitted as source strings re-parsed into a
+//! `TokenStream`.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! - structs: named fields, tuple/newtype, unit (no generics)
+//! - enums: unit, tuple, and struct variants (externally tagged)
+//! - `#[serde(default)]` on named fields; missing `Option` fields read as
+//!   `None`
+//!
+//! Anything outside that (generics, lifetimes, unrecognised `#[serde]`
+//! attributes) panics at expansion time with a clear message rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present, or the type is `Option<..>` (which serde
+    /// treats as defaultable-to-None).
+    defaultable: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, name: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == name)
+}
+
+/// Skip attributes at `*i`, returning whether a `#[serde(default)]` was seen.
+/// Unknown `#[serde(...)]` contents are rejected loudly.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i < toks.len() && is_punct(&toks[*i], '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &toks[*i] else {
+            panic!("serde shim derive: malformed attribute");
+        };
+        assert_eq!(g.delimiter(), Delimiter::Bracket);
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.first().map(|t| is_ident(t, "serde")).unwrap_or(false) {
+            let TokenTree::Group(args) = &inner[1] else {
+                panic!("serde shim derive: malformed #[serde] attribute");
+            };
+            for arg in args.stream() {
+                match &arg {
+                    TokenTree::Ident(id) if id.to_string() == "default" => has_default = true,
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "serde shim derive: unsupported #[serde({other})] attribute \
+                         (only `default` is implemented)"
+                    ),
+                }
+            }
+        }
+        *i += 1;
+    }
+    has_default
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "item name");
+    if toks.get(i).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        panic!("serde shim derive: generic type `{name}` not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => ItemKind::Struct(match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Fields::Unit,
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        }),
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let has_default = skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i, "field name");
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde shim derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let is_option = toks.get(i).map(|t| is_ident(t, "Option")).unwrap_or(false);
+        // Skip the type: angle-bracket depth tracking; commas inside
+        // parenthesised tuples are hidden inside `Group`s.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // consume `,`
+        }
+        fields.push(Field {
+            name,
+            defaultable: has_default || is_option,
+        });
+    }
+    fields
+}
+
+/// Count top-level fields of a tuple struct/variant.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut seen = false;
+    for tok in stream {
+        match &tok {
+            t if is_punct(t, '<') => {
+                depth += 1;
+                seen = true;
+            }
+            t if is_punct(t, '>') => {
+                depth -= 1;
+                seen = true;
+            }
+            t if is_punct(t, ',') && depth == 0 => {
+                if seen {
+                    arity += 1;
+                    seen = false;
+                }
+            }
+            _ => seen = true,
+        }
+    }
+    if seen {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // consume `,`
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize";
+const D: &str = "::serde::Deserialize";
+const C: &str = "::serde::Content";
+const E: &str = "::serde::DeError";
+const OK: &str = "::std::result::Result::Ok";
+const ERR: &str = "::std::result::Result::Err";
+
+fn impl_header(trait_path: &str, name: &str) -> String {
+    format!("#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\nimpl {trait_path} for {name} ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::Struct(Fields::Unit) => {
+            let _ = write!(body, "{C}::Null");
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            let _ = write!(body, "{S}::to_content(&self.0)");
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("{S}::to_content(&self.{k})"))
+                .collect();
+            let _ = write!(body, "{C}::Seq(::std::vec![{}])", items.join(", "));
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), {S}::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            let _ = write!(body, "{C}::Map(::std::vec![{}])", entries.join(", "));
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => {C}::Str(::std::string::String::from(\"{vname}\")),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            format!("{S}::to_content(__f0)")
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("{S}::to_content({b})"))
+                                .collect();
+                            format!("{C}::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => {C}::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binds.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), {S}::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => {C}::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {C}::Map(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            entries.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(body, "match self {{\n{arms}}}");
+        }
+    }
+    format!(
+        "{}{{\n    fn to_content(&self) -> {C} {{\n        {body}\n    }}\n}}\n",
+        impl_header(S, name)
+    )
+}
+
+fn gen_named_constructor(ty: &str, path: &str, fields: &[Field], source: &str) -> String {
+    // `source` is an expression of type &[(String, Content)].
+    let mut out = String::new();
+    let _ = write!(out, "{path} {{\n");
+    for f in fields {
+        let fname = &f.name;
+        let missing = if f.defaultable {
+            "::std::default::Default::default()".to_owned()
+        } else {
+            format!("return {ERR}({E}::missing_field(\"{ty}\", \"{fname}\"))")
+        };
+        let _ = write!(
+            out,
+            "    {fname}: match ::serde::content_get({source}, \"{fname}\") {{\n        ::std::option::Option::Some(__v) => {D}::from_content(__v)?,\n        ::std::option::Option::None => {missing},\n    }},\n"
+        );
+    }
+    out.push('}');
+    out
+}
+
+fn gen_tuple_constructor(ty: &str, path: &str, n: usize, source: &str) -> String {
+    // `source` is an expression of type &Content holding a Seq of length n.
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n    let __items = match {source} {{ {C}::Seq(__s) => __s, __other => return {ERR}({E}::unexpected(\"sequence for `{ty}`\", __other)) }};\n    if __items.len() != {n} {{ return {ERR}({E}::custom(::std::format!(\"expected {n} elements for `{ty}`, got {{}}\", __items.len()))); }}\n"
+    );
+    let args: Vec<String> = (0..n)
+        .map(|k| format!("{D}::from_content(&__items[{k}])?"))
+        .collect();
+    let _ = write!(out, "    {OK}({path}({}))\n}}", args.join(", "));
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("{OK}({name})"),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("{OK}({name}({D}::from_content(__content)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => gen_tuple_constructor(name, name, *n, "__content"),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            format!(
+                "{{\n    let __entries = match __content {{ {C}::Map(__m) => __m, __other => return {ERR}({E}::unexpected(\"map for `{name}`\", __other)) }};\n    {OK}({})\n}}",
+                gen_named_constructor(name, name, fields, "__entries")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(unit_arms, "\"{vname}\" => {OK}({name}::{vname}),\n");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {OK}({name}::{vname}({D}::from_content(__value)?)),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {},\n",
+                            gen_tuple_constructor(
+                                &format!("{name}::{vname}"),
+                                &format!("{name}::{vname}"),
+                                *n,
+                                "__value"
+                            )
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {{\n    let __entries = match __value {{ {C}::Map(__m) => __m, __other => return {ERR}({E}::unexpected(\"map for `{name}::{vname}`\", __other)) }};\n    {OK}({})\n}},\n",
+                            gen_named_constructor(
+                                &format!("{name}::{vname}"),
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__entries"
+                            )
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 {C}::Str(__s) => match __s.as_str() {{\n{unit_arms}__other => {ERR}({E}::custom(::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}},\n\
+                 {C}::Map(__entries) if __entries.len() == 1 => {{\n    let (__tag, __value) = &__entries[0];\n    match __tag.as_str() {{\n{data_arms}__other => {ERR}({E}::custom(::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}},\n\
+                 __other => {ERR}({E}::unexpected(\"variant of `{name}`\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "{}{{\n    fn from_content(__content: &{C}) -> ::std::result::Result<Self, {E}> {{\n        {body}\n    }}\n}}\n",
+        impl_header(D, name)
+    )
+}

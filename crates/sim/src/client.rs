@@ -89,10 +89,7 @@ impl Client {
         let op = template.ops.get(self.op_idx)?;
         Some(match op {
             OpTemplate::Read(obj) => Operation::Read(*obj),
-            OpTemplate::Write(obj, v) => Operation::Write(
-                *obj,
-                self.eval_write(v),
-            ),
+            OpTemplate::Write(obj, v) => Operation::Write(*obj, self.eval_write(v)),
         })
     }
 
@@ -108,12 +105,7 @@ impl Client {
             self.reads.push(v);
         }
         self.op_idx += 1;
-        self.op_idx
-            < self
-                .template
-                .as_ref()
-                .map(|t| t.ops.len())
-                .unwrap_or(0)
+        self.op_idx < self.template.as_ref().map(|t| t.ops.len()).unwrap_or(0)
     }
 
     /// The transaction committed: clear it so the next attempt pulls a

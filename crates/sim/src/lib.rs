@@ -40,4 +40,6 @@ pub mod run;
 
 pub use config::{BoundsConfig, SimConfig};
 pub use experiment::{repeat, ExperimentSummary};
+#[cfg(feature = "capture")]
+pub use run::simulate_captured;
 pub use run::{simulate, RunResult};

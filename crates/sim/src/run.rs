@@ -221,10 +221,7 @@ impl Sim {
                     use rand::Rng;
                     self.clients[client].rng.gen_range(0..=2 * base)
                 };
-                let dt = cpu
-                    + self.net(client)
-                    + self.cfg.restart_delay_micros
-                    + jitter;
+                let dt = cpu + self.net(client) + self.cfg.restart_delay_micros + jitter;
                 self.queue.schedule_in(dt, Ev::Begin { client });
             }
         }
@@ -239,7 +236,9 @@ impl Sim {
         }
     }
 
-    fn run(mut self) -> RunResult {
+    /// Run to completion; hands the kernel back alongside the results so
+    /// callers can drain post-run state (captured history, final stats).
+    fn run(mut self) -> (RunResult, Kernel) {
         let warmup = self.cfg.warmup_micros;
         let end = warmup + self.cfg.measure_micros;
 
@@ -269,7 +268,7 @@ impl Sim {
         let start = warmup_snap.unwrap_or_else(|| self.kernel.stats());
         let window = self.kernel.stats().since(&start);
         let secs = self.cfg.measure_micros as f64 / 1e6;
-        RunResult {
+        let result = RunResult {
             stats: window,
             virtual_seconds: secs,
             throughput: window.commits() as f64 / secs,
@@ -279,14 +278,30 @@ impl Sim {
             inconsistent_ops: window.inconsistent_ops(),
             operations: window.operations(),
             ops_per_commit: window.ops_per_commit(),
-        }
+        };
+        (result, self.kernel)
     }
 }
 
 /// Run one configuration to completion and report the measurement
 /// window.
 pub fn simulate(cfg: &SimConfig) -> RunResult {
-    Sim::new(cfg.clone()).run()
+    Sim::new(cfg.clone()).run().0
+}
+
+/// Like [`simulate`], but with kernel history capture enabled for the
+/// whole run (including warm-up, so every transaction's `Begin` is in
+/// the log). The returned [`History`] is self-contained and can be fed
+/// to `esr-checker` for offline conformance validation.
+///
+/// [`History`]: esr_tso::capture::History
+#[cfg(feature = "capture")]
+pub fn simulate_captured(cfg: &SimConfig) -> (RunResult, esr_tso::capture::History) {
+    let sim = Sim::new(cfg.clone());
+    sim.kernel.enable_capture();
+    let (result, kernel) = sim.run();
+    let history = kernel.capture_history().expect("capture was enabled");
+    (result, history)
 }
 
 #[cfg(test)]
@@ -337,7 +352,12 @@ mod tests {
             esr.throughput,
             sr.throughput
         );
-        assert!(esr.aborts < sr.aborts, "esr {} ≥ sr {}", esr.aborts, sr.aborts);
+        assert!(
+            esr.aborts < sr.aborts,
+            "esr {} ≥ sr {}",
+            esr.aborts,
+            sr.aborts
+        );
         assert!(esr.inconsistent_ops > 0);
     }
 

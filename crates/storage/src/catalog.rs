@@ -115,13 +115,7 @@ impl CatalogConfig {
             .map(|(i, &value)| {
                 let oil = self.oil.draw(&mut rng);
                 let oel = self.oel.draw(&mut rng);
-                ObjectState::new(
-                    ObjectId(i as u32),
-                    value,
-                    self.history_depth,
-                    oil,
-                    oel,
-                )
+                ObjectState::new(ObjectId(i as u32), value, self.history_depth, oil, oel)
             })
             .collect();
         ObjectTable::new(states)

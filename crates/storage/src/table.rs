@@ -11,9 +11,51 @@ use parking_lot::{Mutex, MutexGuard};
 /// The prototype's data manager (§6). Object ids index directly into the
 /// table; each object has its own [`Mutex`] so operations on distinct
 /// objects never contend. The kernel locks at most one object at a time,
-/// so lock ordering is trivially deadlock-free.
+/// so lock ordering is trivially deadlock-free — and debug builds
+/// *assert* it: [`ObjectTable::lock`] panics if the calling thread
+/// already holds an object lock.
 pub struct ObjectTable {
     objects: Vec<Mutex<ObjectState>>,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Object locks held by this thread via [`ObjectTable::lock`].
+    static OBJECT_LOCKS_HELD: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Exclusive guard over one object's state, returned by
+/// [`ObjectTable::lock`].
+///
+/// In debug builds the guard participates in a per-thread lock-depth
+/// check backing the kernel's claim that no code path ever holds two
+/// object locks at once; in release builds it is a zero-cost wrapper
+/// around the mutex guard.
+pub struct ObjectGuard<'a> {
+    inner: MutexGuard<'a, ObjectState>,
+}
+
+impl std::ops::Deref for ObjectGuard<'_> {
+    type Target = ObjectState;
+
+    #[inline]
+    fn deref(&self) -> &ObjectState {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for ObjectGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut ObjectState {
+        &mut self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for ObjectGuard<'_> {
+    fn drop(&mut self) {
+        OBJECT_LOCKS_HELD.with(|held| held.set(held.get() - 1));
+    }
 }
 
 impl ObjectTable {
@@ -25,11 +67,7 @@ impl ObjectTable {
     /// indexing.
     pub fn new(states: Vec<ObjectState>) -> Self {
         for (i, s) in states.iter().enumerate() {
-            assert_eq!(
-                s.id.index(),
-                i,
-                "object ids must be dense and in order"
-            );
+            assert_eq!(s.id.index(), i, "object ids must be dense and in order");
         }
         ObjectTable {
             objects: states.into_iter().map(Mutex::new).collect(),
@@ -55,9 +93,24 @@ impl ObjectTable {
     ///
     /// # Panics
     /// Panics on out-of-range ids; the transaction layer validates ids
-    /// before they reach the table.
-    pub fn lock(&self, id: ObjectId) -> MutexGuard<'_, ObjectState> {
-        self.objects[id.index()].lock()
+    /// before they reach the table. In debug builds, also panics if the
+    /// calling thread already holds another object lock: holding two at
+    /// once risks deadlock (there is no global object order) and
+    /// violates the kernel's documented locking discipline.
+    pub fn lock(&self, id: ObjectId) -> ObjectGuard<'_> {
+        #[cfg(debug_assertions)]
+        OBJECT_LOCKS_HELD.with(|held| {
+            assert_eq!(
+                held.get(),
+                0,
+                "object lock-order violation: thread already holds an \
+                 object lock while locking {id}"
+            );
+            held.set(held.get() + 1);
+        });
+        ObjectGuard {
+            inner: self.objects[id.index()].lock(),
+        }
     }
 
     /// Run `f` on one locked object.
@@ -171,6 +224,44 @@ mod tests {
             o.abort_write(TxnId(1));
         });
         assert!(t.is_quiescent());
+    }
+
+    #[test]
+    fn sequential_locks_do_not_trip_the_order_check() {
+        let t = table(2);
+        for _ in 0..3 {
+            assert_eq!(t.lock(ObjectId(0)).value, 1000);
+            assert_eq!(t.lock(ObjectId(1)).value, 1001);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "object lock-order violation")
+    )]
+    fn holding_two_object_locks_is_rejected_in_debug() {
+        let t = table(2);
+        let _a = t.lock(ObjectId(0));
+        let _b = t.lock(ObjectId(1));
+    }
+
+    #[test]
+    fn lock_depth_recovers_after_violation_panic() {
+        let t = std::sync::Arc::new(table(2));
+        // Trip the assertion on a scratch thread; the panic must unwind
+        // the outer guard so the *thread-local* depth returns to zero.
+        let t2 = std::sync::Arc::clone(&t);
+        let res = std::thread::spawn(move || {
+            let _a = t2.lock(ObjectId(0));
+            let _b = t2.lock(ObjectId(1));
+        })
+        .join();
+        if cfg!(debug_assertions) {
+            assert!(res.is_err());
+        }
+        // This thread's depth is untouched either way.
+        assert_eq!(t.lock(ObjectId(0)).value, 1000);
     }
 
     #[test]

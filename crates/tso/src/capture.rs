@@ -1,0 +1,264 @@
+//! History capture: a cheap, feature-gated event log of everything the
+//! kernel decides.
+//!
+//! When the `capture` feature is enabled and a log has been attached
+//! with [`crate::kernel::Kernel::enable_capture`], the kernel appends
+//! one [`Event`] per admission decision: transaction begins, reads and
+//! writes (with the inconsistency `d` they were charged and which of
+//! the §4 relaxation cases fired), waits, commits, and aborts. Each
+//! event carries enough context — present and proper values, store-side
+//! OIL/OEL at admission time, the Case-3 reader snapshot — for an
+//! *offline* checker (`esr-checker`) to independently recompute every
+//! distance and replay the bottom-up bound checks without access to the
+//! live kernel.
+//!
+//! Events are recorded while the relevant object lock is held, so per-
+//! object event order equals admission order; the log's internal mutex
+//! is a leaf in the kernel's lock order (nothing is locked under it).
+//! Without the feature, or with the feature on but no log attached, the
+//! cost is one relaxed atomic load per hook site.
+
+use crate::config::KernelConfig;
+use crate::outcome::{AbortReason, CommitInfo};
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_core::value::{Distance, Value};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A query reader registered on an object at the time a Case-3 write
+/// was admitted: the inconsistency exported to it is
+/// `distance(new_value, proper)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReaderView {
+    /// The reading query ET.
+    pub txn: TxnId,
+    /// The proper value that reader should have seen.
+    pub proper: Value,
+}
+
+/// One kernel decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A transaction began with the given specification.
+    Begin {
+        txn: TxnId,
+        kind: TxnKind,
+        ts: Timestamp,
+        bounds: TxnBounds,
+    },
+    /// A query ET read completed. `case1` marks a late read of committed
+    /// data (§4 case 1), `case2` a read of uncommitted data (§4 case 2);
+    /// both false is the standard-TO fast path with `d == 0`.
+    QueryRead {
+        txn: TxnId,
+        obj: ObjectId,
+        /// The value returned to the query.
+        present: Value,
+        /// The value a serial execution would have returned.
+        proper: Value,
+        /// The inconsistency charged (distance plus any import padding).
+        d: Distance,
+        case1: bool,
+        case2: bool,
+        /// The store-side object import limit at admission time.
+        oil: Limit,
+    },
+    /// An update ET read completed (always strictly consistent, `d == 0`).
+    UpdateRead {
+        txn: TxnId,
+        obj: ObjectId,
+        value: Value,
+    },
+    /// An update ET write was applied. `case3` marks a write late with
+    /// respect to query readers (§4 case 3); `readers` snapshots the
+    /// registered uncommitted query readers it exported inconsistency to.
+    Write {
+        txn: TxnId,
+        obj: ObjectId,
+        value: Value,
+        /// The inconsistency charged to the export ledger.
+        d: Distance,
+        case3: bool,
+        readers: Vec<ReaderView>,
+        /// The store-side object export limit at admission time.
+        oel: Limit,
+    },
+    /// A write was skipped under the Thomas write rule (no state change,
+    /// nothing charged).
+    WriteSkipped {
+        txn: TxnId,
+        obj: ObjectId,
+        value: Value,
+    },
+    /// An operation parked behind an older uncommitted writer.
+    Wait { txn: TxnId, obj: ObjectId },
+    /// The transaction committed with this summary.
+    Commit { txn: TxnId, info: CommitInfo },
+    /// The transaction aborted. `reason` is `None` for client-initiated
+    /// aborts, `Some` when the kernel rejected an operation.
+    Abort {
+        txn: TxnId,
+        reason: Option<AbortReason>,
+    },
+}
+
+impl EventKind {
+    /// The transaction the event belongs to.
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            EventKind::Begin { txn, .. }
+            | EventKind::QueryRead { txn, .. }
+            | EventKind::UpdateRead { txn, .. }
+            | EventKind::Write { txn, .. }
+            | EventKind::WriteSkipped { txn, .. }
+            | EventKind::Wait { txn, .. }
+            | EventKind::Commit { txn, .. }
+            | EventKind::Abort { txn, .. } => txn,
+        }
+    }
+}
+
+/// A sequenced event. `seq` is dense (`0..n`) in log order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+/// A self-contained capture of one kernel run: everything `esr-checker`
+/// needs to re-validate the execution offline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct History {
+    /// The group hierarchy the kernel enforced bounds over.
+    pub schema: HierarchySchema,
+    /// The kernel policy knobs (export rule, import padding, …) — the
+    /// replay must apply the same rules.
+    pub config: KernelConfig,
+    /// Events in admission order.
+    pub events: Vec<Event>,
+}
+
+/// An append-only event log shared between the kernel and its driver.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Append one event, assigning the next sequence number.
+    pub fn record(&self, kind: EventKind) {
+        let mut g = self.events.lock();
+        let seq = g.len() as u64;
+        g.push(Event { seq, kind });
+    }
+
+    /// Snapshot of all events recorded so far, in log order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded events (e.g. after a warm-up window).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_assigns_dense_sequence_numbers() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        for i in 0..5u64 {
+            log.record(EventKind::Wait {
+                txn: TxnId(i),
+                obj: ObjectId(0),
+            });
+        }
+        let evs = log.events();
+        assert_eq!(evs.len(), 5);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.kind.txn(), TxnId(i as u64));
+        }
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn history_round_trips_through_json() {
+        let h = History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: vec![
+                Event {
+                    seq: 0,
+                    kind: EventKind::Begin {
+                        txn: TxnId(1),
+                        kind: TxnKind::Query,
+                        ts: Timestamp::ZERO,
+                        bounds: TxnBounds::import(Limit::at_most(100)),
+                    },
+                },
+                Event {
+                    seq: 1,
+                    kind: EventKind::QueryRead {
+                        txn: TxnId(1),
+                        obj: ObjectId(3),
+                        present: 1010,
+                        proper: 1000,
+                        d: 10,
+                        case1: true,
+                        case2: false,
+                        oil: Limit::Unlimited,
+                    },
+                },
+                Event {
+                    seq: 2,
+                    kind: EventKind::Write {
+                        txn: TxnId(2),
+                        obj: ObjectId(3),
+                        value: 1020,
+                        d: 20,
+                        case3: true,
+                        readers: vec![ReaderView {
+                            txn: TxnId(1),
+                            proper: 1000,
+                        }],
+                        oel: Limit::at_most(50),
+                    },
+                },
+                Event {
+                    seq: 3,
+                    kind: EventKind::Abort {
+                        txn: TxnId(2),
+                        reason: Some(AbortReason::LateRead),
+                    },
+                },
+            ],
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        assert_eq!(h.events, back.events);
+        assert_eq!(h.config, back.config);
+    }
+}

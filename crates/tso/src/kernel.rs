@@ -100,6 +100,10 @@ pub struct Kernel {
     waitq: Mutex<WaitQueue>,
     next_txn: AtomicU64,
     stats: KernelStats,
+    /// Optional event log for offline conformance checking; a leaf in
+    /// the lock order (events are recorded with object locks held).
+    #[cfg(feature = "capture")]
+    capture: std::sync::OnceLock<Arc<crate::capture::EventLog>>,
 }
 
 impl fmt::Debug for Kernel {
@@ -122,6 +126,8 @@ impl Kernel {
             waitq: Mutex::new(WaitQueue::new()),
             next_txn: AtomicU64::new(1),
             stats: KernelStats::new(),
+            #[cfg(feature = "capture")]
+            capture: std::sync::OnceLock::new(),
         }
     }
 
@@ -151,6 +157,44 @@ impl Kernel {
         self.stats.snapshot()
     }
 
+    /// Attach (or retrieve) the event log. Idempotent: the first call
+    /// creates the log; later calls return the same one. Events are only
+    /// recorded after this has been called.
+    #[cfg(feature = "capture")]
+    pub fn enable_capture(&self) -> Arc<crate::capture::EventLog> {
+        Arc::clone(
+            self.capture
+                .get_or_init(|| Arc::new(crate::capture::EventLog::new())),
+        )
+    }
+
+    /// The attached event log, if capture has been enabled.
+    #[cfg(feature = "capture")]
+    pub fn capture_log(&self) -> Option<Arc<crate::capture::EventLog>> {
+        self.capture.get().cloned()
+    }
+
+    /// A self-contained history (schema + config + events) for the
+    /// offline checker, if capture has been enabled.
+    #[cfg(feature = "capture")]
+    pub fn capture_history(&self) -> Option<crate::capture::History> {
+        self.capture.get().map(|log| crate::capture::History {
+            schema: self.schema.clone(),
+            config: self.config,
+            events: log.events(),
+        })
+    }
+
+    /// Record one event if a log is attached. The closure only runs when
+    /// capture is live, so hot paths pay a single atomic load otherwise.
+    #[cfg(feature = "capture")]
+    #[inline]
+    fn record(&self, f: impl FnOnce() -> crate::capture::EventKind) {
+        if let Some(log) = self.capture.get() {
+            log.record(f());
+        }
+    }
+
     /// Number of currently active transactions.
     pub fn active_txns(&self) -> usize {
         self.txns.lock().len()
@@ -171,6 +215,13 @@ impl Kernel {
             bounds.direction
         );
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::Begin {
+            txn: id,
+            kind,
+            ts,
+            bounds: bounds.clone(),
+        });
         let state = TxnState {
             id,
             ts,
@@ -262,6 +313,11 @@ impl Kernel {
                 self.stats.commits_query.fetch_add(1, Ordering::Relaxed);
             }
         }
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::Commit {
+            txn: t.id,
+            info: info.clone(),
+        });
         Ok(TxnEndResponse {
             info: Some(info),
             woken,
@@ -272,6 +328,11 @@ impl Kernel {
     pub fn abort(&self, txn: TxnId) -> Result<TxnEndResponse, KernelError> {
         let handle = self.remove_txn(txn)?;
         let mut t = handle.lock();
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::Abort {
+            txn: t.id,
+            reason: None,
+        });
         let woken = self.abort_cleanup(&mut t);
         Ok(TxnEndResponse { info: None, woken })
     }
@@ -318,8 +379,7 @@ impl Kernel {
             AbortReason::LateRead => {
                 self.stats.late_read_aborts.fetch_add(1, Ordering::Relaxed);
             }
-            AbortReason::LateWriteVsCommittedWrite
-            | AbortReason::LateWriteVsUpdateRead => {
+            AbortReason::LateWriteVsCommittedWrite | AbortReason::LateWriteVsUpdateRead => {
                 self.stats.late_write_aborts.fetch_add(1, Ordering::Relaxed);
             }
             AbortReason::BoundViolation(v) => {
@@ -334,6 +394,11 @@ impl Kernel {
                 self.stats.history_misses.fetch_add(1, Ordering::Relaxed);
             }
         }
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::Abort {
+            txn: t.id,
+            reason: Some(reason.clone()),
+        });
         self.txns.lock().remove(&t.id);
         let woken = self.abort_cleanup(t);
         OpResponse {
@@ -357,6 +422,8 @@ impl Kernel {
     /// Park `op`; caller decided to wait while holding the object lock.
     fn park(&self, o: &ObjectState, txn: TxnId, op: Operation) -> OpResponse {
         debug_assert_eq!(op.object(), o.id);
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::Wait { txn, obj: o.id });
         self.stats.waits.fetch_add(1, Ordering::Relaxed);
         self.waitq.lock().park(PendingOp { txn, op });
         OpResponse::only(OpOutcome::Wait)
@@ -393,6 +460,17 @@ impl Kernel {
             // than the query, so present == proper and d == 0.
             let v = o.value;
             o.note_query_read(t.id, ts, v);
+            #[cfg(feature = "capture")]
+            self.record(|| crate::capture::EventKind::QueryRead {
+                txn: t.id,
+                obj,
+                present: v,
+                proper: v,
+                d: 0,
+                case1: false,
+                case2: false,
+                oil: o.oil,
+            });
             drop(o);
             t.read_objs.push(obj);
             t.reads += 1;
@@ -421,13 +499,26 @@ impl Kernel {
         match t.ledger.try_charge(obj, d, o.oil) {
             Ok(()) => {
                 o.note_query_read(t.id, ts, proper);
+                #[cfg(feature = "capture")]
+                self.record(|| crate::capture::EventKind::QueryRead {
+                    txn: t.id,
+                    obj,
+                    present,
+                    proper,
+                    d,
+                    case1: late,
+                    case2: uncommitted.is_some(),
+                    oil: o.oil,
+                });
                 drop(o);
                 t.read_objs.push(obj);
                 t.reads += 1;
                 t.agg.record_with_proper(obj, present, proper);
                 self.stats.reads.fetch_add(1, Ordering::Relaxed);
                 if d > 0 {
-                    self.stats.inconsistent_reads.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .inconsistent_reads
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 OpResponse::only(OpOutcome::Value(present))
             }
@@ -484,6 +575,12 @@ impl Kernel {
         let v = o.value;
         let mut o = o;
         o.note_update_read(ts);
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::UpdateRead {
+            txn: t.id,
+            obj,
+            value: v,
+        });
         drop(o);
         t.reads += 1;
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -517,6 +614,12 @@ impl Kernel {
         }
         if ts < o.committed_wts {
             if self.config.thomas_write_rule {
+                #[cfg(feature = "capture")]
+                self.record(|| crate::capture::EventKind::WriteSkipped {
+                    txn: t.id,
+                    obj,
+                    value,
+                });
                 drop(o);
                 t.writes += 1;
                 self.stats.thomas_skips.fetch_add(1, Ordering::Relaxed);
@@ -547,6 +650,23 @@ impl Kernel {
             match t.ledger.try_charge(obj, d, o.oel) {
                 Ok(()) => {
                     o.apply_write(t.id, ts, value);
+                    #[cfg(feature = "capture")]
+                    self.record(|| crate::capture::EventKind::Write {
+                        txn: t.id,
+                        obj,
+                        value,
+                        d,
+                        case3: true,
+                        readers: o
+                            .readers
+                            .iter()
+                            .map(|r| crate::capture::ReaderView {
+                                txn: r.txn,
+                                proper: r.proper,
+                            })
+                            .collect(),
+                        oel: o.oel,
+                    });
                     drop(o);
                     t.written_objs.push(obj);
                     t.writes += 1;
@@ -566,6 +686,16 @@ impl Kernel {
         } else {
             // Plain TO write.
             o.apply_write(t.id, ts, value);
+            #[cfg(feature = "capture")]
+            self.record(|| crate::capture::EventKind::Write {
+                txn: t.id,
+                obj,
+                value,
+                d: 0,
+                case3: false,
+                readers: Vec::new(),
+                oel: o.oel,
+            });
             drop(o);
             t.written_objs.push(obj);
             t.writes += 1;
@@ -1070,8 +1200,8 @@ mod tests {
         assert_eq!(must_value(k.read(q1, OBJ)), 5200); // proper 5000 (d=200)
         let q2 = begin_query(&k, Limit::Unlimited, 30);
         assert_eq!(must_value(k.read(q2, OBJ)), 5200); // proper 5200
-        // Late writer at ts 25: newer than the committed write (20) but
-        // older than q2's read (30) ⇒ case 3.
+                                                       // Late writer at ts 25: newer than the committed write (20) but
+                                                       // older than q2's read (30) ⇒ case 3.
         let u = begin_update(&k, Limit::at_most(10_000), 25);
         // d = max(|6000-5000|, |6000-5200|) = 1000 (not 1800 = sum).
         must_written(k.write(u, OBJ, 6000));
@@ -1182,8 +1312,8 @@ mod tests {
         }
         let _ = k.commit(u).unwrap();
         // Query with TIL 10_000 but group "hot" limited to 1_000.
-        let bounds = TxnBounds::import(Limit::at_most(10_000))
-            .with_group("hot", Limit::at_most(1_000));
+        let bounds =
+            TxnBounds::import(Limit::at_most(10_000)).with_group("hot", Limit::at_most(1_000));
         let q = k.begin(TxnKind::Query, bounds, ts(10));
         assert_eq!(must_value(k.read(q, ObjectId(0))), 5600); // hot: 600
         assert_eq!(must_value(k.read(q, ObjectId(2))), 5600); // root-only: 600
@@ -1203,8 +1333,8 @@ mod tests {
         let u = begin_update(&k, Limit::Unlimited, 20);
         must_written(k.write(u, OBJ, 5600));
         let _ = k.commit(u).unwrap();
-        let bounds = TxnBounds::import(Limit::at_most(10_000))
-            .with_object(OBJ, Limit::at_most(100));
+        let bounds =
+            TxnBounds::import(Limit::at_most(10_000)).with_object(OBJ, Limit::at_most(100));
         let q = k.begin(TxnKind::Query, bounds, ts(10));
         match must_abort(k.read(q, OBJ)) {
             AbortReason::BoundViolation(v) => {
@@ -1310,10 +1440,7 @@ mod tests {
         );
         // Double-commit: second is UnknownTxn.
         let _ = k.commit(q).unwrap();
-        assert!(matches!(
-            k.commit(q),
-            Err(KernelError::UnknownTxn(_))
-        ));
+        assert!(matches!(k.commit(q), Err(KernelError::UnknownTxn(_))));
     }
 
     #[test]
@@ -1325,7 +1452,9 @@ mod tests {
 
     #[test]
     fn kernel_error_display() {
-        assert!(KernelError::UnknownTxn(TxnId(1)).to_string().contains("txn#1"));
+        assert!(KernelError::UnknownTxn(TxnId(1))
+            .to_string()
+            .contains("txn#1"));
         assert!(KernelError::UnknownObject(ObjectId(2))
             .to_string()
             .contains("obj#2"));
@@ -1408,10 +1537,7 @@ mod tests {
                 if q_ok {
                     let _ = k.commit(q).unwrap();
                     let dev = (sum - consistent_sum).unsigned_abs();
-                    assert!(
-                        dev <= til,
-                        "query sum {sum} deviates {dev} > TIL {til}"
-                    );
+                    assert!(dev <= til, "query sum {sum} deviates {dev} > TIL {til}");
                 }
             } else {
                 let _ = k.abort(u).unwrap();
@@ -1459,10 +1585,7 @@ mod tests {
                     );
                     // Run to completion, resuming waits inline by
                     // polling (test-only: real drivers block).
-                    let script = [
-                        Operation::Read(a),
-                        Operation::Read(b),
-                    ];
+                    let script = [Operation::Read(a), Operation::Read(b)];
                     let mut vals = Vec::new();
                     let mut aborted = false;
                     for op in script {

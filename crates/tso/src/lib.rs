@@ -36,6 +36,8 @@
 //! `begin`/`read`/`write`/`commit`/`abort` and are handed back any
 //! operations that a commit or abort has woken.
 
+#[cfg(feature = "capture")]
+pub mod capture;
 pub mod config;
 pub mod kernel;
 pub mod outcome;
@@ -44,5 +46,7 @@ pub mod waitq;
 
 pub use config::{ExportRule, HistoryMissPolicy, KernelConfig};
 pub use kernel::{Kernel, KernelError};
-pub use outcome::{AbortReason, CommitInfo, OpOutcome, OpResponse, Operation, PendingOp, TxnEndResponse};
+pub use outcome::{
+    AbortReason, CommitInfo, OpOutcome, OpResponse, Operation, PendingOp, TxnEndResponse,
+};
 pub use stats::{KernelStats, StatsSnapshot};

@@ -65,13 +65,9 @@ impl fmt::Display for AbortReason {
             AbortReason::LateWriteVsCommittedWrite => {
                 f.write_str("late write (vs committed write)")
             }
-            AbortReason::LateWriteVsUpdateRead => {
-                f.write_str("late write (vs consistent read)")
-            }
+            AbortReason::LateWriteVsUpdateRead => f.write_str("late write (vs consistent read)"),
             AbortReason::BoundViolation(v) => write!(f, "{v}"),
-            AbortReason::HistoryMiss => {
-                f.write_str("proper value evicted from history")
-            }
+            AbortReason::HistoryMiss => f.write_str("proper value evicted from history"),
         }
     }
 }

@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(p.limits.len(), 1);
         assert_eq!(p.writes(), 1);
         p.validate().unwrap();
-        assert_eq!(p.bounds().group_limit("company"), esr_core::Limit::at_most(4_000));
+        assert_eq!(
+            p.bounds().group_limit("company"),
+            esr_core::Limit::at_most(4_000)
+        );
     }
 
     #[test]

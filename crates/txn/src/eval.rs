@@ -55,10 +55,7 @@ mod tests {
         let e = env(&[("t1", 7)]);
         assert_eq!(eval(&Expr::int(5), &e), Ok(5));
         assert_eq!(eval(&Expr::var("t1"), &e), Ok(7));
-        assert_eq!(
-            eval(&Expr::var("zz"), &e),
-            Err(UndefinedVar("zz".into()))
-        );
+        assert_eq!(eval(&Expr::var("zz"), &e), Err(UndefinedVar("zz".into())));
     }
 
     #[test]
@@ -76,20 +73,11 @@ mod tests {
     #[test]
     fn saturation() {
         let e = env(&[("big", i64::MAX)]);
-        assert_eq!(
-            eval(&(Expr::var("big") + Expr::int(1)), &e),
-            Ok(i64::MAX)
-        );
-        assert_eq!(
-            eval(&(Expr::var("big") * Expr::int(2)), &e),
-            Ok(i64::MAX)
-        );
+        assert_eq!(eval(&(Expr::var("big") + Expr::int(1)), &e), Ok(i64::MAX));
+        assert_eq!(eval(&(Expr::var("big") * Expr::int(2)), &e), Ok(i64::MAX));
         let e = env(&[("small", i64::MIN)]);
         assert_eq!(eval(&(-Expr::var("small")), &e), Ok(i64::MAX));
-        assert_eq!(
-            eval(&(Expr::var("small") - Expr::int(1)), &e),
-            Ok(i64::MIN)
-        );
+        assert_eq!(eval(&(Expr::var("small") - Expr::int(1)), &e), Ok(i64::MIN));
     }
 
     #[test]

@@ -216,9 +216,7 @@ impl Parser {
                 self.expect(&Token::LParen)?;
                 let text = match self.next() {
                     Some(Token::Str(s)) => s,
-                    Some(t) => {
-                        return self.err(format!("expected string literal, found {t}"))
-                    }
+                    Some(t) => return self.err(format!("expected string literal, found {t}")),
                     None => return self.err("expected string literal"),
                 };
                 let mut args = Vec::new();
@@ -416,14 +414,10 @@ COMMIT
 
     #[test]
     fn expression_precedence() {
-        let p = parse_program("BEGIN Update\nt1 = Read 1\nWrite 2 , t1+2*3\nCOMMIT")
-            .unwrap();
+        let p = parse_program("BEGIN Update\nt1 = Read 1\nWrite 2 , t1+2*3\nCOMMIT").unwrap();
         match &p.stmts[1] {
             Stmt::Write { expr, .. } => {
-                assert_eq!(
-                    *expr,
-                    Expr::var("t1") + Expr::int(2) * Expr::int(3)
-                );
+                assert_eq!(*expr, Expr::var("t1") + Expr::int(2) * Expr::int(3));
             }
             other => panic!("{other:?}"),
         }
@@ -431,16 +425,10 @@ COMMIT
 
     #[test]
     fn parens_and_unary_minus() {
-        let p = parse_program(
-            "BEGIN Update\nt1 = Read 1\nWrite 2 , -(t1+1)*2\nCOMMIT",
-        )
-        .unwrap();
+        let p = parse_program("BEGIN Update\nt1 = Read 1\nWrite 2 , -(t1+1)*2\nCOMMIT").unwrap();
         match &p.stmts[1] {
             Stmt::Write { expr, .. } => {
-                assert_eq!(
-                    *expr,
-                    (-(Expr::var("t1") + Expr::int(1))) * Expr::int(2)
-                );
+                assert_eq!(*expr, (-(Expr::var("t1") + Expr::int(1))) * Expr::int(2));
             }
             other => panic!("{other:?}"),
         }

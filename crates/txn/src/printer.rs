@@ -163,8 +163,7 @@ mod tests {
         let n_reads = 1usize..6;
         n_reads
             .prop_flat_map(|n| {
-                let vars: Vec<String> =
-                    (1..=n).map(|i| format!("t{i}")).collect();
+                let vars: Vec<String> = (1..=n).map(|i| format!("t{i}")).collect();
                 let reads: Vec<Stmt> = vars
                     .iter()
                     .enumerate()
@@ -174,17 +173,13 @@ mod tests {
                     })
                     .collect();
                 let writes = proptest::collection::vec(
-                    (100u32..200, arb_expr(vars.clone()))
-                        .prop_map(|(o, e)| Stmt::Write {
-                            obj: ObjectId(o),
-                            expr: e,
-                        }),
+                    (100u32..200, arb_expr(vars.clone())).prop_map(|(o, e)| Stmt::Write {
+                        obj: ObjectId(o),
+                        expr: e,
+                    }),
                     0..4,
                 );
-                let limits = proptest::collection::vec(
-                    ("[a-z]{2,8}", 0u64..100_000),
-                    0..3,
-                );
+                let limits = proptest::collection::vec(("[a-z]{2,8}", 0u64..100_000), 0..3);
                 (
                     Just(reads),
                     writes,

@@ -59,10 +59,7 @@ impl From<SessionError> for RunError {
 /// On a retryable failure the transaction is already rolled back (the
 /// kernel aborts before reporting); the caller decides whether to retry
 /// — usually via [`run_with_retry`].
-pub fn run_program(
-    program: &Program,
-    session: &mut dyn Session,
-) -> Result<RunOutput, RunError> {
+pub fn run_program(program: &Program, session: &mut dyn Session) -> Result<RunOutput, RunError> {
     program.validate().map_err(RunError::Invalid)?;
     session.begin(program.kind, program.bounds())?;
 
@@ -77,15 +74,13 @@ pub fn run_program(
                     env.insert(var.clone(), v);
                 }
                 Stmt::Write { obj, expr } => {
-                    let v = eval(expr, &env)
-                        .map_err(|e| RunError::Eval(e.to_string()))?;
+                    let v = eval(expr, &env).map_err(|e| RunError::Eval(e.to_string()))?;
                     session.write(*obj, v)?;
                 }
                 Stmt::Output { text, args } => {
                     let mut line = text.clone();
                     for a in args {
-                        let v = eval(a, &env)
-                            .map_err(|e| RunError::Eval(e.to_string()))?;
+                        let v = eval(a, &env).map_err(|e| RunError::Eval(e.to_string()))?;
                         line.push_str(&v.to_string());
                     }
                     outputs.push(line);
@@ -212,10 +207,7 @@ mod tests {
     #[test]
     fn abort_programs_roll_back() {
         let mut s = session(&[100]);
-        let p = parse_program(
-            "BEGIN Update\nt1 = Read 0\nWrite 0 , t1+50\nABORT",
-        )
-        .unwrap();
+        let p = parse_program("BEGIN Update\nt1 = Read 0\nWrite 0 , t1+50\nABORT").unwrap();
         let out = run_program(&p, &mut s).unwrap();
         assert!(!out.committed);
         assert!(out.info.is_none());
@@ -236,10 +228,8 @@ mod tests {
     #[test]
     fn output_renders_multiple_args() {
         let mut s = session(&[7]);
-        let p = parse_program(
-            "BEGIN Query\nt1 = Read 0\noutput(\"v=\", t1, t1*2)\nCOMMIT",
-        )
-        .unwrap();
+        let p =
+            parse_program("BEGIN Query\nt1 = Read 0\noutput(\"v=\", t1, t1*2)\nCOMMIT").unwrap();
         let out = run_program(&p, &mut s).unwrap();
         assert_eq!(out.outputs, vec!["v=714"]);
     }
@@ -265,8 +255,7 @@ mod tests {
         // update at a much later timestamp first, then run a query whose
         // first timestamp is older.
         src.set(1000);
-        let up = parse_program("BEGIN Update\nt1 = Read 0\nWrite 0 , t1+30\nCOMMIT")
-            .unwrap();
+        let up = parse_program("BEGIN Update\nt1 = Read 0\nWrite 0 , t1+30\nCOMMIT").unwrap();
         run_program(&up, &mut u_sess).unwrap();
         // Query generator still near 1 → first attempt is late and
         // aborts (TIL 0); retries bump the generator past 1000? No — the
@@ -278,8 +267,7 @@ mod tests {
             Arc::new(ManualTimeSource::starting_at(5)),
         ));
         let _late_sess = KernelSession::new(Arc::clone(&kernel), behind);
-        let qp =
-            parse_program("BEGIN Query TIL = 0\nt1 = Read 0\nCOMMIT").unwrap();
+        let qp = parse_program("BEGIN Query TIL = 0\nt1 = Read 0\nCOMMIT").unwrap();
         // First attempt: ts 5 < update's ts 1000 ⇒ late read with d=30 ⇒
         // abort. Retry: ts 6 — still late! The generator only advances
         // monotonically past its source; retries alone cannot jump the
@@ -302,11 +290,7 @@ mod tests {
             fn read(&mut self, o: esr_core::ObjectId) -> Result<i64, SessionError> {
                 self.inner.read(o)
             }
-            fn write(
-                &mut self,
-                o: esr_core::ObjectId,
-                v: i64,
-            ) -> Result<(), SessionError> {
+            fn write(&mut self, o: esr_core::ObjectId, v: i64) -> Result<(), SessionError> {
                 self.inner.write(o, v)
             }
             fn commit(&mut self) -> Result<CommitInfo, SessionError> {
@@ -371,8 +355,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(RunError::Invalid("x".into()).to_string().contains("invalid"));
-        assert!(RunError::Eval("y".into()).to_string().contains("evaluation"));
+        assert!(RunError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(RunError::Eval("y".into())
+            .to_string()
+            .contains("evaluation"));
         assert!(RunError::Session(SessionError::WouldBlock)
             .to_string()
             .contains("block"));

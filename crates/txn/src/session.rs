@@ -35,12 +35,8 @@ impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionError::Aborted(r) => write!(f, "transaction aborted: {r}"),
-            SessionError::WouldBlock => {
-                f.write_str("operation would block (transaction aborted)")
-            }
-            SessionError::NoTransaction => {
-                f.write_str("no transaction in progress")
-            }
+            SessionError::WouldBlock => f.write_str("operation would block (transaction aborted)"),
+            SessionError::NoTransaction => f.write_str("no transaction in progress"),
             SessionError::Backend(m) => write!(f, "backend error: {m}"),
         }
     }
@@ -262,7 +258,8 @@ mod tests {
     fn update_lifecycle() {
         let mut s = session(&[100, 200]);
         assert!(!s.in_txn());
-        s.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
         assert!(s.in_txn());
         assert_eq!(s.read(ObjectId(0)).unwrap(), 100);
         s.write(ObjectId(1), 250).unwrap();
@@ -276,7 +273,8 @@ mod tests {
     #[test]
     fn abort_rolls_back() {
         let mut s = session(&[100]);
-        s.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
         s.write(ObjectId(0), 999).unwrap();
         s.abort().unwrap();
         assert!(!s.in_txn());
@@ -295,7 +293,8 @@ mod tests {
     #[test]
     fn nested_begin_rejected() {
         let mut s = session(&[1]);
-        s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)).unwrap();
+        s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
         assert!(matches!(
             s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)),
             Err(SessionError::Backend(_))
@@ -308,7 +307,8 @@ mod tests {
         // conflict by beginning the query FIRST (older ts), then letting
         // an update commit, then reading.
         let mut s = session(&[100]);
-        s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)).unwrap();
+        s.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
         // Second session shares kernel & clock.
         let mut s2 = KernelSession::new(
             Arc::clone(s.kernel()),
@@ -317,7 +317,8 @@ mod tests {
                 Arc::new(ManualTimeSource::starting_at(100)),
             )),
         );
-        s2.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s2.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
         s2.write(ObjectId(0), 175).unwrap();
         s2.commit().unwrap();
         match s.read(ObjectId(0)) {
@@ -336,13 +337,12 @@ mod tests {
             Arc::clone(&kernel),
             Arc::new(TimestampGenerator::new(SiteId(0), base.clone())),
         );
-        let mut s2 = KernelSession::new(
-            kernel,
-            Arc::new(TimestampGenerator::new(SiteId(1), base)),
-        );
-        s1.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        let mut s2 = KernelSession::new(kernel, Arc::new(TimestampGenerator::new(SiteId(1), base)));
+        s1.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
         s1.write(ObjectId(0), 150).unwrap();
-        s2.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO)).unwrap();
+        s2.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
         assert_eq!(s2.read(ObjectId(0)), Err(SessionError::WouldBlock));
         assert!(!s2.in_txn());
         s1.commit().unwrap();
@@ -364,7 +364,9 @@ mod tests {
     #[test]
     fn error_messages() {
         assert!(SessionError::WouldBlock.to_string().contains("block"));
-        assert!(SessionError::NoTransaction.to_string().contains("no transaction"));
+        assert!(SessionError::NoTransaction
+            .to_string()
+            .contains("no transaction"));
         assert!(SessionError::Backend("x".into()).to_string().contains('x'));
         assert!(SessionError::Aborted(AbortReason::LateRead).is_retryable());
         assert!(SessionError::WouldBlock.is_retryable());

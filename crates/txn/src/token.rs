@@ -78,7 +78,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -218,8 +222,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 let mut n: i64 = 0;
                 while let Some(&c) = chars.peek() {
                     if let Some(d) = c.to_digit(10) {
-                        n = match n.checked_mul(10).and_then(|n| n.checked_add(d as i64))
-                        {
+                        n = match n.checked_mul(10).and_then(|n| n.checked_add(d as i64)) {
                             Some(n) => n,
                             None => err!("integer literal overflows i64"),
                         };

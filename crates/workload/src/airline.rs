@@ -77,15 +77,16 @@ impl AirlineWorkload {
     pub fn next_booking(&mut self) -> TxnTemplate {
         let flight = ObjectId(self.rng.gen_range(0..self.cfg.flights));
         let party = self.rng.gen_range(1..=self.cfg.max_party);
-        let delta = if self.rng.gen_bool(0.75) { party } else { -party };
+        let delta = if self.rng.gen_bool(0.75) {
+            party
+        } else {
+            -party
+        };
         TxnTemplate {
             kind: TxnKind::Update,
             ops: vec![
                 OpTemplate::Read(flight),
-                OpTemplate::Write(
-                    flight,
-                    WriteValue::ReadPlusDelta { slot: 0, delta },
-                ),
+                OpTemplate::Write(flight, WriteValue::ReadPlusDelta { slot: 0, delta }),
             ],
         }
     }
@@ -141,9 +142,7 @@ mod tests {
         let mut w = AirlineWorkload::new(AirlineConfig::default(), 3);
         for _ in 0..100 {
             let b = w.next_booking();
-            if let OpTemplate::Write(_, WriteValue::ReadPlusDelta { delta, .. }) =
-                &b.ops[1]
-            {
+            if let OpTemplate::Write(_, WriteValue::ReadPlusDelta { delta, .. }) = &b.ops[1] {
                 assert!(delta.abs() >= 1 && delta.abs() <= 6);
             } else {
                 panic!("unexpected write shape");

@@ -195,9 +195,7 @@ mod tests {
                 .ops
                 .iter()
                 .filter_map(|op| match op {
-                    OpTemplate::Write(_, WriteValue::ReadPlusDelta { delta, .. }) => {
-                        Some(*delta)
-                    }
+                    OpTemplate::Write(_, WriteValue::ReadPlusDelta { delta, .. }) => Some(*delta),
                     _ => None,
                 })
                 .collect();

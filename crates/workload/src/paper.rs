@@ -88,9 +88,7 @@ impl WorkloadConfig {
     pub fn mean_write_magnitude(&self) -> f64 {
         match self.update_style {
             UpdateStyle::BoundedDelta { max_delta } => max_delta as f64 / 2.0,
-            UpdateStyle::PaperArithmetic => {
-                (self.value_hi - self.value_lo) as f64 / 2.0
-            }
+            UpdateStyle::PaperArithmetic => (self.value_hi - self.value_lo) as f64 / 2.0,
         }
     }
 
@@ -110,8 +108,7 @@ impl WorkloadConfig {
             self.update_reads >= self.update_writes.min(1),
             "bounded-delta updates must read at least one object"
         );
-        let distinct_needed =
-            self.query_reads.max(self.update_reads + self.update_writes);
+        let distinct_needed = self.query_reads.max(self.update_reads + self.update_writes);
         assert!(
             distinct_needed <= self.db_size as usize,
             "transaction footprint exceeds database size"
@@ -151,9 +148,8 @@ impl PaperWorkload {
         let mut attempts = 0usize;
         while picked.len() < n {
             attempts += 1;
-            let from_hot = cfg.hot_set > 0
-                && (attempts <= n * 8)
-                && self.rng.gen_bool(cfg.hot_prob);
+            let from_hot =
+                cfg.hot_set > 0 && (attempts <= n * 8) && self.rng.gen_bool(cfg.hot_prob);
             let id = if from_hot {
                 ObjectId(self.rng.gen_range(0..cfg.hot_set))
             } else {
@@ -193,8 +189,7 @@ impl PaperWorkload {
                 written.shuffle(&mut self.rng);
                 written.truncate(cfg.update_writes);
                 written.sort_unstable();
-                let mut ops: Vec<OpTemplate> =
-                    Vec::with_capacity(n_reads + cfg.update_writes);
+                let mut ops: Vec<OpTemplate> = Vec::with_capacity(n_reads + cfg.update_writes);
                 // Read+write pairs; the pair's read occupies read slot
                 // `pair_idx` because pairs come before all pure reads.
                 for (pair_idx, &obj_idx) in written.iter().enumerate() {
@@ -332,8 +327,7 @@ mod tests {
         // with non-zero bounded delta, and each write immediately
         // follows its read (read-modify-write pairs come first).
         for (i, op) in u.ops.iter().enumerate() {
-            if let OpTemplate::Write(obj, WriteValue::ReadPlusDelta { slot, delta }) = op
-            {
+            if let OpTemplate::Write(obj, WriteValue::ReadPlusDelta { slot, delta }) = op {
                 assert_ne!(*delta, 0);
                 assert!(delta.abs() <= 2000);
                 assert_eq!(reads[*slot], *obj);

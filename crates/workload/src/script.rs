@@ -168,7 +168,10 @@ mod tests {
                 OpTemplate::Read(ObjectId(1644)),
                 OpTemplate::Write(
                     ObjectId(1078),
-                    WriteValue::ReadPlusDelta { slot: 1, delta: 3000 },
+                    WriteValue::ReadPlusDelta {
+                        slot: 1,
+                        delta: 3000,
+                    },
                 ),
                 OpTemplate::Write(
                     ObjectId(1727),
@@ -228,7 +231,10 @@ mod tests {
                 OpTemplate::Read(ObjectId(5)),
                 OpTemplate::Write(
                     ObjectId(6),
-                    WriteValue::ReadPlusDelta { slot: 0, delta: -42 },
+                    WriteValue::ReadPlusDelta {
+                        slot: 0,
+                        delta: -42,
+                    },
                 ),
             ],
         };

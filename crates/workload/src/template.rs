@@ -43,9 +43,7 @@ impl WriteValue {
     /// writes only reference earlier reads.
     pub fn eval(&self, reads: &[Value]) -> Value {
         match self {
-            WriteValue::ReadPlusDelta { slot, delta } => {
-                reads[*slot].saturating_add(*delta)
-            }
+            WriteValue::ReadPlusDelta { slot, delta } => reads[*slot].saturating_add(*delta),
             WriteValue::Arithmetic { terms, constant } => {
                 let mut acc = *constant;
                 for (slot, coeff) in terms {
@@ -67,9 +65,7 @@ impl WriteValue {
     pub fn max_slot(&self) -> Option<usize> {
         match self {
             WriteValue::ReadPlusDelta { slot, .. } => Some(*slot),
-            WriteValue::Arithmetic { terms, .. } => {
-                terms.iter().map(|(s, _)| *s).max()
-            }
+            WriteValue::Arithmetic { terms, .. } => terms.iter().map(|(s, _)| *s).max(),
             WriteValue::Absolute(_) => None,
         }
     }
@@ -170,7 +166,11 @@ mod tests {
     fn write_value_eval() {
         let reads = [100, 200, 300];
         assert_eq!(
-            WriteValue::ReadPlusDelta { slot: 1, delta: -50 }.eval(&reads),
+            WriteValue::ReadPlusDelta {
+                slot: 1,
+                delta: -50
+            }
+            .eval(&reads),
             150
         );
         assert_eq!(
@@ -186,15 +186,24 @@ mod tests {
 
     #[test]
     fn eval_clamped() {
-        let v = WriteValue::ReadPlusDelta { slot: 0, delta: 10_000 };
+        let v = WriteValue::ReadPlusDelta {
+            slot: 0,
+            delta: 10_000,
+        };
         assert_eq!(v.eval_clamped(&[5000], 1000, 9999), 9999);
-        let v = WriteValue::ReadPlusDelta { slot: 0, delta: -10_000 };
+        let v = WriteValue::ReadPlusDelta {
+            slot: 0,
+            delta: -10_000,
+        };
         assert_eq!(v.eval_clamped(&[5000], 1000, 9999), 1000);
     }
 
     #[test]
     fn eval_saturates() {
-        let v = WriteValue::ReadPlusDelta { slot: 0, delta: i64::MAX };
+        let v = WriteValue::ReadPlusDelta {
+            slot: 0,
+            delta: i64::MAX,
+        };
         assert_eq!(v.eval(&[i64::MAX]), i64::MAX);
         let v = WriteValue::Arithmetic {
             terms: vec![(0, i64::MAX)],
@@ -226,10 +235,7 @@ mod tests {
             ops: vec![
                 OpTemplate::Read(ObjectId(1)),
                 OpTemplate::Read(ObjectId(2)),
-                OpTemplate::Write(
-                    ObjectId(3),
-                    WriteValue::ReadPlusDelta { slot: 1, delta: 5 },
-                ),
+                OpTemplate::Write(ObjectId(3), WriteValue::ReadPlusDelta { slot: 1, delta: 5 }),
             ],
         }
     }
@@ -247,7 +253,10 @@ mod tests {
     fn validation_rejects_query_with_writes() {
         let mut t = valid_update();
         t.kind = TxnKind::Query;
-        assert!(t.validate().unwrap_err().contains("read-only") || t.validate().unwrap_err().contains("writes"));
+        assert!(
+            t.validate().unwrap_err().contains("read-only")
+                || t.validate().unwrap_err().contains("writes")
+        );
     }
 
     #[test]
@@ -267,10 +276,7 @@ mod tests {
             kind: TxnKind::Update,
             ops: vec![
                 OpTemplate::Read(ObjectId(1)),
-                OpTemplate::Write(
-                    ObjectId(1),
-                    WriteValue::ReadPlusDelta { slot: 0, delta: 5 },
-                ),
+                OpTemplate::Write(ObjectId(1), WriteValue::ReadPlusDelta { slot: 0, delta: 5 }),
             ],
         };
         assert!(t.validate().is_ok());

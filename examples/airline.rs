@@ -104,8 +104,7 @@ fn main() {
     for a in agents {
         a.join().unwrap();
     }
-    let true_total =
-        cfg.flights as i64 * cfg.initial_sold + net_delta.load(Ordering::Relaxed);
+    let true_total = cfg.flights as i64 * cfg.initial_sold + net_delta.load(Ordering::Relaxed);
     let table_total = server.kernel().table().sum_values() as i64;
     println!(
         "\nground truth after quiescence: {true_total} seats \

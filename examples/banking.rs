@@ -59,9 +59,7 @@ fn main() {
                         OpTemplate::Read(obj) => conn.read(*obj).map(|v| {
                             reads.push(v);
                         }),
-                        OpTemplate::Write(obj, val) => {
-                            conn.write(*obj, val.eval(&reads))
-                        }
+                        OpTemplate::Write(obj, val) => conn.write(*obj, val.eval(&reads)),
                     };
                     if let Err(e) = r {
                         assert!(e.is_retryable(), "{e}");

@@ -1,0 +1,80 @@
+//! Conformance checking: capture a kernel execution, dump it as JSON,
+//! and validate it offline.
+//!
+//! Run with `cargo run --example conformance [-- history.json]`.
+//!
+//! Drives the raw kernel through the three §4 relaxation cases with
+//! capture enabled, writes the history to the given path (default
+//! `target/conformance_history.json`), and runs the checker in-process.
+//! The emitted file is also what the standalone binary consumes:
+//!
+//! ```text
+//! cargo run --bin esr-check -- target/conformance_history.json
+//! ```
+
+use esr::checker::check_history;
+use esr::prelude::*;
+use esr_clock::Timestamp;
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::new(t, SiteId(0))
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/conformance_history.json".to_owned());
+
+    let table = CatalogConfig::default().build_with_values(&[1_000, 2_000, 3_000]);
+    let kernel = Kernel::with_defaults(table);
+    kernel.enable_capture();
+
+    // Case 1: a query reads, late, data committed by a newer update.
+    let u1 = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(10));
+    let _ = kernel.write(u1, ObjectId(0), 1_100).unwrap();
+    let _ = kernel.commit(u1).unwrap();
+    let q1 = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(5),
+    );
+    let _ = kernel.read(q1, ObjectId(0)).unwrap();
+    let _ = kernel.commit(q1).unwrap();
+
+    // Case 2: a query reads data an uncommitted update is holding.
+    let u2 = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(20));
+    let _ = kernel.write(u2, ObjectId(1), 2_500).unwrap();
+    let q2 = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(30),
+    );
+    let _ = kernel.read(q2, ObjectId(1)).unwrap();
+    let _ = kernel.commit(q2).unwrap();
+    let _ = kernel.commit(u2).unwrap();
+
+    // Case 3: an update writes, late, an object a newer query has read.
+    let q3 = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(40),
+    );
+    let _ = kernel.read(q3, ObjectId(2)).unwrap();
+    let u3 = kernel.begin(
+        TxnKind::Update,
+        TxnBounds::export(Limit::at_most(1_000)),
+        ts(35),
+    );
+    let _ = kernel.write(u3, ObjectId(2), 3_050).unwrap();
+    let _ = kernel.commit(u3).unwrap();
+    let _ = kernel.commit(q3).unwrap();
+
+    let history = kernel.capture_history().expect("capture enabled");
+    let json = serde_json::to_string_pretty(&history).expect("serialize history");
+    std::fs::write(&path, json).expect("write history file");
+    println!("wrote {} event(s) to {path}", history.events.len());
+
+    let report = check_history(&history);
+    println!("checker: {report}");
+    assert!(report.is_clean(), "a real kernel run must check out clean");
+}

@@ -15,8 +15,7 @@ fn main() {
     // data file).
     let accounts = 16u32;
     let initial = 5_000i64;
-    let table = CatalogConfig::default()
-        .build_with_values(&vec![initial; accounts as usize]);
+    let table = CatalogConfig::default().build_with_values(&vec![initial; accounts as usize]);
     let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
     let true_total = accounts as i64 * initial;
 

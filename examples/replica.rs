@@ -18,10 +18,7 @@ fn main() {
     let n = 20u32;
     let table = CatalogConfig::default().build_with_values(&vec![5_000; n as usize]);
     let system = ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 2);
-    let clock = TimestampGenerator::new(
-        SiteId(0),
-        Arc::new(SystemTimeSource::new()),
-    );
+    let clock = TimestampGenerator::new(SiteId(0), Arc::new(SystemTimeSource::new()));
     let all: Vec<ObjectId> = (0..n).map(ObjectId).collect();
 
     // A stream of primary transfers; replica 0 pumps aggressively,
@@ -36,10 +33,7 @@ fn main() {
             TxnBounds::export(Limit::ZERO),
             clock.next(),
         );
-        let (a, b) = (
-            read(&system, u, from),
-            read(&system, u, to),
-        );
+        let (a, b) = (read(&system, u, from), read(&system, u, to));
         let _ = system.primary().write(u, from, a - amt).unwrap();
         let _ = system.primary().write(u, to, b + amt).unwrap();
         let _ = system.commit_update(u).unwrap();

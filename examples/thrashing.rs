@@ -27,13 +27,20 @@ fn scenario(mpl: usize, preset: EpsilonPreset) -> SimConfig {
 }
 
 fn main() {
-    println!("{:>4}  {:>12}  {:>12}  {:>8}", "MPL", "SR txn/s", "ESR txn/s", "gain");
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>8}",
+        "MPL", "SR txn/s", "ESR txn/s", "gain"
+    );
     println!("{}", "-".repeat(44));
     let mut sr_peak = (0usize, 0.0f64);
     let mut esr_peak = (0usize, 0.0f64);
     for mpl in [1usize, 2, 3, 4, 5, 6, 8, 10] {
-        let sr = repeat(&scenario(mpl, EpsilonPreset::Zero), 3).throughput.mean;
-        let esr = repeat(&scenario(mpl, EpsilonPreset::High), 3).throughput.mean;
+        let sr = repeat(&scenario(mpl, EpsilonPreset::Zero), 3)
+            .throughput
+            .mean;
+        let esr = repeat(&scenario(mpl, EpsilonPreset::High), 3)
+            .throughput
+            .mean;
         if sr > sr_peak.1 {
             sr_peak = (mpl, sr);
         }

@@ -94,15 +94,15 @@ COMMIT
     let batch = wl.batch(3);
     let data_file = render_data_file(&batch, &ScriptBounds::root(50_000));
     println!("--- generated client data file (first program) ---");
-    println!(
-        "{}",
-        data_file.split("\n\n").next().unwrap_or(&data_file)
-    );
+    println!("{}", data_file.split("\n\n").next().unwrap_or(&data_file));
     let parsed = esr::txn::parser::parse_data_file(&data_file).expect("re-parse");
     assert_eq!(parsed.len(), 3);
     for p in &parsed {
         // print → parse is the identity on these programs.
         assert_eq!(parse_program(&program_to_string(p)).unwrap(), *p);
     }
-    println!("\ndata file with {} programs re-parsed losslessly ✓", parsed.len());
+    println!(
+        "\ndata file with {} programs re-parsed losslessly ✓",
+        parsed.len()
+    );
 }

@@ -27,6 +27,7 @@
 //! | [`workload`] (`esr-workload`) | The §7 evaluation workload plus banking/airline domain workloads and script emission. |
 //! | [`metrics`] (`esr-metrics`) | Summary statistics, 90% confidence intervals, and figure rendering. |
 //! | [`replica`] (`esr-replica`) | The §9 future-work extension: asynchronous replication with bounded-divergence replica queries. |
+//! | [`checker`] (`esr-checker`) | Offline conformance checking of captured histories: serialization-graph testing, epsilon replay, and spec linting (plus the `esr-check` binary). |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@
 //! scenario, the transaction language, and a miniature thrashing study;
 //! `cargo bench` regenerates every figure of the paper's evaluation.
 
+pub use esr_checker as checker;
 pub use esr_clock as clock;
 pub use esr_core as core;
 pub use esr_metrics as metrics;
@@ -85,8 +87,8 @@ pub mod prelude {
     pub use esr_storage::{CatalogConfig, LimitAssignment, ObjectTable};
     pub use esr_tso::{Kernel, KernelConfig};
     pub use esr_txn::{
-        parse_program, run_program, run_with_retry, KernelSession, ProgramBuilder,
-        Session, SessionError,
+        parse_program, run_program, run_with_retry, KernelSession, ProgramBuilder, Session,
+        SessionError,
     };
     pub use esr_workload::{PaperWorkload, TxnTemplate, WorkloadConfig};
 }

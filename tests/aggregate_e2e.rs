@@ -13,10 +13,7 @@ fn session_pair(values: &[i64]) -> (KernelSession, KernelSession) {
         Arc::clone(&kernel),
         Arc::new(TimestampGenerator::new(SiteId(0), src.clone())),
     );
-    let b = KernelSession::new(
-        kernel,
-        Arc::new(TimestampGenerator::new(SiteId(1), src)),
-    );
+    let b = KernelSession::new(kernel, Arc::new(TimestampGenerator::new(SiteId(1), src)));
     (a, b)
 }
 

@@ -1,0 +1,334 @@
+//! End-to-end conformance: capture real kernel/simulator executions,
+//! validate them with `esr-checker`, and confirm that targeted
+//! corruptions of the history are caught with precise diagnostics.
+
+use esr::checker::{check_history, CheckReport, Diagnostic, History};
+use esr::prelude::*;
+use esr::sim::{simulate_captured, BoundsConfig, SimConfig};
+use esr::tso::capture::EventKind;
+use esr::tso::CommitInfo;
+use esr_clock::Timestamp;
+use esr_core::bounds::EpsilonPreset;
+use esr_core::error::ViolationLevel;
+use esr_core::spec::Direction;
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::new(t, SiteId(0))
+}
+
+/// Drive the raw kernel through all three §4 relaxation cases and hand
+/// back the captured history plus the transactions that relaxed.
+///
+/// Returns `(history, case1_query, case3_update)`.
+fn relaxation_scenario() -> (History, TxnId, TxnId) {
+    let table = CatalogConfig::default().build_with_values(&[1_000, 2_000, 3_000]);
+    let kernel = Kernel::with_defaults(table);
+    kernel.enable_capture();
+
+    // Case 1: a query reads, late, data committed by a newer update.
+    let u1 = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(10));
+    let _ = kernel.write(u1, ObjectId(0), 1_100).unwrap();
+    let _ = kernel.commit(u1).unwrap();
+    let q1 = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(5),
+    );
+    let _ = kernel.read(q1, ObjectId(0)).unwrap();
+    let _ = kernel.commit(q1).unwrap();
+
+    // Case 2: a query reads data an uncommitted update is holding.
+    let u2 = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(20));
+    let _ = kernel.write(u2, ObjectId(1), 2_500).unwrap();
+    let q2 = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(30),
+    );
+    let _ = kernel.read(q2, ObjectId(1)).unwrap();
+    let _ = kernel.commit(q2).unwrap();
+    let _ = kernel.commit(u2).unwrap();
+
+    // Case 3: an update writes, late, an object a newer query has read.
+    let q3 = kernel.begin(
+        TxnKind::Query,
+        TxnBounds::import(Limit::at_most(1_000)),
+        ts(40),
+    );
+    let _ = kernel.read(q3, ObjectId(2)).unwrap();
+    let u3 = kernel.begin(
+        TxnKind::Update,
+        TxnBounds::export(Limit::at_most(1_000)),
+        ts(35),
+    );
+    let _ = kernel.write(u3, ObjectId(2), 3_050).unwrap();
+    let _ = kernel.commit(u3).unwrap();
+    let _ = kernel.commit(q3).unwrap();
+
+    let history = kernel.capture_history().expect("capture enabled");
+    (history, q1, u3)
+}
+
+/// Flags sanity: the scenario really exercised all three cases.
+fn case_flags(h: &History) -> (bool, bool, bool) {
+    let mut c = (false, false, false);
+    for ev in &h.events {
+        match &ev.kind {
+            EventKind::QueryRead { case1, case2, .. } => {
+                c.0 |= case1 & !case2;
+                c.1 |= *case2;
+            }
+            EventKind::Write { case3, .. } => c.2 |= *case3,
+            _ => {}
+        }
+    }
+    c
+}
+
+#[test]
+fn kernel_relaxation_scenario_passes_the_checker() {
+    let (history, _, _) = relaxation_scenario();
+    assert_eq!(case_flags(&history), (true, true, true), "scenario drift");
+    let report = check_history(&history);
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+    assert!(report.diagnostics.is_empty(), "{report}");
+}
+
+#[test]
+fn history_survives_json_round_trip() {
+    let (history, _, _) = relaxation_scenario();
+    let json = serde_json::to_string(&history).unwrap();
+    let back: History = serde_json::from_str(&json).unwrap();
+    assert_eq!(history.events, back.events);
+    assert!(check_history(&back).is_clean());
+}
+
+/// Rewrite the `Begin` of `txn` to carry the given root limit.
+fn shrink_root(history: &mut History, txn: TxnId, root: Limit) {
+    let mut hit = false;
+    for ev in &mut history.events {
+        if let EventKind::Begin { txn: t, bounds, .. } = &mut ev.kind {
+            if *t == txn {
+                bounds.root = root;
+                hit = true;
+            }
+        }
+    }
+    assert!(hit, "no Begin for {txn}");
+}
+
+#[test]
+fn mutation_over_limit_import_is_caught() {
+    let (mut history, q1, _) = relaxation_scenario();
+    // Claim the Case-1 query actually demanded strict serializability.
+    shrink_root(&mut history, q1, Limit::ZERO);
+    let report = check_history(&history);
+    assert!(!report.is_clean());
+    let diag = report
+        .errors()
+        .find_map(|d| match d {
+            Diagnostic::BoundExceeded {
+                txn,
+                obj,
+                direction: Direction::Import,
+                violation,
+                ..
+            } if *txn == q1 => Some((*obj, violation.clone())),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no import BoundExceeded for {q1}:\n{report}"));
+    let (obj, violation) = diag;
+    assert_eq!(obj, ObjectId(0));
+    assert_eq!(violation.level, ViolationLevel::Transaction);
+    assert_eq!(violation.attempted, 100);
+    assert_eq!(violation.limit, Limit::ZERO);
+    // The rendered diagnostic names the transaction, the bound level,
+    // and both sides of the comparison.
+    let text = report.to_string();
+    assert!(text.contains(&q1.to_string()), "{text}");
+    assert!(text.contains("import bound"), "{text}");
+    assert!(text.contains("transaction level"), "{text}");
+    assert!(text.contains("attempted 100"), "{text}");
+}
+
+#[test]
+fn mutation_over_limit_export_is_caught() {
+    let (mut history, _, u3) = relaxation_scenario();
+    shrink_root(&mut history, u3, Limit::ZERO);
+    let report = check_history(&history);
+    assert!(!report.is_clean());
+    assert!(
+        report.errors().any(|d| matches!(
+            d,
+            Diagnostic::BoundExceeded {
+                txn,
+                obj: ObjectId(2),
+                direction: Direction::Export,
+                violation,
+                ..
+            } if *txn == u3
+                && violation.level == ViolationLevel::Transaction
+                && violation.attempted == 50
+        )),
+        "no export BoundExceeded for {u3}:\n{report}"
+    );
+    let text = report.to_string();
+    assert!(text.contains("export bound"), "{text}");
+}
+
+#[test]
+fn mutation_uncharged_relaxation_is_caught() {
+    let (mut history, q1, _) = relaxation_scenario();
+    // Zero the charge of the Case-1 read while leaving its values: the
+    // kernel would then have let inconsistency through for free.
+    let mut zeroed = None;
+    for ev in &mut history.events {
+        if let EventKind::QueryRead {
+            txn, obj, d, case1, ..
+        } = &mut ev.kind
+        {
+            if *case1 && *d > 0 {
+                *d = 0;
+                zeroed = Some((*txn, *obj));
+                break;
+            }
+        }
+    }
+    let (txn, obj) = zeroed.expect("scenario has a charged Case-1 read");
+    assert_eq!(txn, q1);
+    let report = check_history(&history);
+    assert!(!report.is_clean());
+    assert!(
+        report.errors().any(|dg| matches!(
+            dg,
+            Diagnostic::UnchargedRelaxation {
+                txn: t,
+                obj: o,
+                recorded: 0,
+                recomputed: 100,
+                ..
+            } if *t == txn && *o == obj
+        )),
+        "no UnchargedRelaxation:\n{report}"
+    );
+    let text = report.to_string();
+    assert!(text.contains("Case 1"), "{text}");
+    assert!(text.contains("uncharged"), "{text}");
+}
+
+#[test]
+fn mutation_conflict_cycle_is_caught() {
+    // Two committed updates writing two objects in opposite orders can
+    // never come out of the real kernel (TO forbids it) — inject them,
+    // interleaved so the writes cross, into an otherwise-clean history.
+    let (mut history, _, _) = relaxation_scenario();
+    let (a, b) = (TxnId(900), TxnId(901));
+    let begin = |txn: TxnId| EventKind::Begin {
+        txn,
+        kind: TxnKind::Update,
+        ts: ts(100 + txn.0),
+        bounds: TxnBounds::export(Limit::Unlimited),
+    };
+    let write = |txn: TxnId, obj: u32| EventKind::Write {
+        txn,
+        obj: ObjectId(obj),
+        value: 1,
+        d: 0,
+        case3: false,
+        readers: Vec::new(),
+        oel: Limit::Unlimited,
+    };
+    let commit = |txn: TxnId| EventKind::Commit {
+        txn,
+        info: CommitInfo {
+            inconsistency: 0,
+            inconsistent_ops: 0,
+            reads: 0,
+            writes: 2,
+            written: vec![(ObjectId(0), 1), (ObjectId(1), 1)],
+        },
+    };
+    let next_seq = history.events.last().map_or(0, |e| e.seq + 1);
+    for (i, kind) in [
+        begin(a),
+        begin(b),
+        write(a, 0),
+        write(b, 1),
+        write(a, 1), // a follows b on obj 1 …
+        write(b, 0), // … and b follows a on obj 0: a ⇄ b.
+        commit(a),
+        commit(b),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        history.events.push(esr::checker::Event {
+            seq: next_seq + i as u64,
+            kind,
+        });
+    }
+    let report = check_history(&history);
+    assert!(
+        report.errors().any(|d| matches!(
+            d,
+            Diagnostic::SerializationCycle { txns } if txns.contains(&a) && txns.contains(&b)
+        )),
+        "no SerializationCycle naming both injected txns:\n{report}"
+    );
+    let text = report.to_string();
+    assert!(text.contains("not serializable"), "{text}");
+    assert!(
+        text.contains("txn#900") && text.contains("txn#901"),
+        "{text}"
+    );
+}
+
+fn check_sim(preset: EpsilonPreset, mpl: usize, seed: u64) -> CheckReport {
+    let cfg = SimConfig {
+        mpl,
+        bounds: BoundsConfig::preset(preset),
+        warmup_micros: 200_000,
+        measure_micros: 2_000_000,
+        seed,
+        ..SimConfig::default()
+    };
+    let (result, history) = simulate_captured(&cfg);
+    assert!(result.stats.commits() > 0, "sim committed nothing");
+    assert!(
+        history
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Commit { .. })),
+        "no commits captured"
+    );
+    check_history(&history)
+}
+
+#[test]
+fn simulated_workloads_pass_the_checker() {
+    for (preset, mpl, seed) in [
+        (EpsilonPreset::Zero, 1, 1u64),
+        (EpsilonPreset::Zero, 4, 2),
+        (EpsilonPreset::Low, 4, 3),
+        (EpsilonPreset::High, 4, 4),
+        (EpsilonPreset::High, 8, 5),
+    ] {
+        let report = check_sim(preset, mpl, seed);
+        assert!(
+            report.is_clean(),
+            "preset {preset:?} mpl {mpl} seed {seed} failed:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn capture_costs_nothing_when_not_enabled() {
+    // Same scenario without enable_capture: no history is produced.
+    let table = CatalogConfig::default().build_with_values(&[1_000]);
+    let kernel = Kernel::with_defaults(table);
+    let u = kernel.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited), ts(1));
+    let _ = kernel.write(u, ObjectId(0), 7).unwrap();
+    let _ = kernel.commit(u).unwrap();
+    assert!(kernel.capture_log().is_none());
+    assert!(kernel.capture_history().is_none());
+}

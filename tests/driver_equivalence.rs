@@ -12,10 +12,7 @@ use std::sync::Arc;
 
 /// Execute templates serially through any Session, returning the final
 /// database image and per-transaction read vectors.
-fn drive(
-    session: &mut dyn Session,
-    templates: &[TxnTemplate],
-) -> Vec<Vec<i64>> {
+fn drive(session: &mut dyn Session, templates: &[TxnTemplate]) -> Vec<Vec<i64>> {
     let mut all_reads = Vec::new();
     for t in templates {
         session
@@ -25,9 +22,7 @@ fn drive(
         for op in &t.ops {
             match op {
                 OpTemplate::Read(obj) => reads.push(session.read(*obj).unwrap()),
-                OpTemplate::Write(obj, v) => {
-                    session.write(*obj, v.eval(&reads)).unwrap()
-                }
+                OpTemplate::Write(obj, v) => session.write(*obj, v.eval(&reads)).unwrap(),
             }
         }
         session.commit().unwrap();
@@ -136,28 +131,20 @@ fn replicated_primary_matches_standalone_kernel() {
     // pumped replica must equal the primary image.
     let table = CatalogConfig::default().build_with_values(&bank.initial_values());
     let system = ReplicatedSystem::new(Arc::new(Kernel::with_defaults(table)), 1);
-    let clock = TimestampGenerator::new(
-        SiteId(0),
-        Arc::new(ManualTimeSource::starting_at(1)),
-    );
+    let clock = TimestampGenerator::new(SiteId(0), Arc::new(ManualTimeSource::starting_at(1)));
     for t in &batch {
-        let u = system.primary().begin(
-            t.kind,
-            TxnBounds::export(Limit::ZERO),
-            clock.next(),
-        );
+        let u = system
+            .primary()
+            .begin(t.kind, TxnBounds::export(Limit::ZERO), clock.next());
         let mut reads = Vec::new();
         for op in &t.ops {
             match op {
-                OpTemplate::Read(obj) => {
-                    match system.primary().read(u, *obj).unwrap().outcome {
-                        esr::tso::OpOutcome::Value(v) => reads.push(v),
-                        other => panic!("{other:?}"),
-                    }
-                }
+                OpTemplate::Read(obj) => match system.primary().read(u, *obj).unwrap().outcome {
+                    esr::tso::OpOutcome::Value(v) => reads.push(v),
+                    other => panic!("{other:?}"),
+                },
                 OpTemplate::Write(obj, v) => {
-                    let resp =
-                        system.primary().write(u, *obj, v.eval(&reads)).unwrap();
+                    let resp = system.primary().write(u, *obj, v.eval(&reads)).unwrap();
                     assert!(resp.outcome.is_done());
                 }
             }

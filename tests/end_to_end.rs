@@ -23,16 +23,15 @@ fn scripted_transfers_conserve_the_bank() {
     for seed in 0..3u64 {
         let mut wl = BankingWorkload::new(bank.clone(), seed);
         // A "data file" of 25 transfer programs (§6's client input).
-        let templates: Vec<TxnTemplate> =
-            (0..25).map(|_| wl.next_transfer()).collect();
+        let templates: Vec<TxnTemplate> = (0..25).map(|_| wl.next_transfer()).collect();
         let text = render_data_file(&templates, &ScriptBounds::default());
         let programs = parse_data_file(&text).expect("scripts parse");
         assert_eq!(programs.len(), 25);
         let mut conn = server.connect();
         handles.push(std::thread::spawn(move || {
             for p in &programs {
-                let got = run_with_retry(p, &mut conn, 10_000)
-                    .expect("transfer eventually commits");
+                let got =
+                    run_with_retry(p, &mut conn, 10_000).expect("transfer eventually commits");
                 assert!(got.output.committed);
             }
         }));

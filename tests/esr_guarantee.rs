@@ -26,8 +26,7 @@ use rand::{Rng, SeedableRng};
 /// the kernel. Returns committed query results with their TILs.
 fn run_interleaved(seed: u64, til: u64, tel: u64, n_objects: u32) -> Vec<(i64, u64)> {
     let init = 5_000i64;
-    let table = CatalogConfig::default()
-        .build_with_values(&vec![init; n_objects as usize]);
+    let table = CatalogConfig::default().build_with_values(&vec![init; n_objects as usize]);
     let kernel = Kernel::with_defaults(table);
     let consistent_sum = n_objects as i64 * init;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -163,9 +162,7 @@ fn run_interleaved(seed: u64, til: u64, tel: u64, n_objects: u32) -> Vec<(i64, u
                 }
                 let _ = resp.woken;
             }
-            let updates_done = updates
-                .iter()
-                .all(|u| u.done || u.next == usize::MAX);
+            let updates_done = updates.iter().all(|u| u.done || u.next == usize::MAX);
             let query_done = !q_alive || q_obj >= n_objects;
             if updates_done && query_done {
                 break;
@@ -175,9 +172,7 @@ fn run_interleaved(seed: u64, til: u64, tel: u64, n_objects: u32) -> Vec<(i64, u
                 // loop keeps advancing and committing, so a fully stuck
                 // state is impossible; a pass may still make no progress
                 // when the coin flips skip everyone.
-                let pending = updates
-                    .iter()
-                    .any(|u| !u.done && u.next != usize::MAX)
+                let pending = updates.iter().any(|u| !u.done && u.next != usize::MAX)
                     || (q_alive && q_obj < n_objects);
                 assert!(pending, "no progress but nobody pending");
             }

@@ -110,9 +110,7 @@ fn language_limit_lines_reach_the_kernel() {
     // Same spec twice: once permissive, once with a tight company limit.
     // Both arrive via the textual language; only the limits differ.
     let run = |limit_line: &str, server: &Server| -> Result<i64, SessionError> {
-        let src = format!(
-            "BEGIN Query TIL 10000\n{limit_line}\nt1 = Read 0\nCOMMIT\n"
-        );
+        let src = format!("BEGIN Query TIL 10000\n{limit_line}\nt1 = Read 0\nCOMMIT\n");
         let p = parse_program(&src).unwrap();
         let mut behind = server.connect();
         // Begin with a timestamp *older* than the divergence by reusing
@@ -158,8 +156,8 @@ fn deep_hierarchy_checks_every_level() {
     q.begin(TxnKind::Query, bounds).unwrap();
     diverge(&server, &[0, 1], 200);
     assert_eq!(q.read(ObjectId(0)).unwrap(), 1_200); // branch: 200
-    // Second read pushes branch to 400 > 300: the *branch* (leaf-most
-    // violated level) is reported, before region or the root.
+                                                     // Second read pushes branch to 400 > 300: the *branch* (leaf-most
+                                                     // violated level) is reported, before region or the root.
     match q.read(ObjectId(1)) {
         Err(SessionError::Aborted(AbortReason::BoundViolation(v))) => {
             assert_eq!(v.level, ViolationLevel::Group("branch".into()));

@@ -70,9 +70,7 @@ fn inconsistent_ops_grow_with_bounds_and_mpl() {
 #[test]
 fn aborts_decrease_as_bounds_increase() {
     // Figure 9's ordering at a contended MPL, averaged over seeds.
-    let mean_aborts = |preset| {
-        repeat(&cfg(8, preset, 11), 3).aborts.mean
-    };
+    let mean_aborts = |preset| repeat(&cfg(8, preset, 11), 3).aborts.mean;
     let zero = mean_aborts(EpsilonPreset::Zero);
     let low = mean_aborts(EpsilonPreset::Low);
     let high = mean_aborts(EpsilonPreset::High);
@@ -111,7 +109,11 @@ fn repeat_varies_seeds_and_reports_cis() {
 fn throughput_eventually_degrades_under_sr() {
     // The thrashing phenomenon: under SR, some MPL beyond the knee has
     // lower throughput than the knee itself.
-    let at = |mpl| repeat(&cfg(mpl, EpsilonPreset::Zero, 17), 3).throughput.mean;
+    let at = |mpl| {
+        repeat(&cfg(mpl, EpsilonPreset::Zero, 17), 3)
+            .throughput
+            .mean
+    };
     let knee = at(4);
     let beyond = at(10);
     assert!(

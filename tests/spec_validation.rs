@@ -1,0 +1,124 @@
+//! Specification-stage edge cases, from the transaction language down
+//! to the checker's lint pass: what the parser rejects outright, what it
+//! tolerates, and how tolerated-but-suspect specs surface as lint
+//! findings.
+
+use esr::checker::{lint_spec, LintFinding};
+use esr::prelude::*;
+use esr_core::spec::Direction;
+
+// ---- parser-level rejection ------------------------------------------------
+
+#[test]
+fn wrong_direction_keywords_are_parse_errors() {
+    let err = parse_program("BEGIN Query TEL 5\nt1 = Read 0\nCOMMIT").unwrap_err();
+    assert!(err.to_string().contains("TEL on a Query"), "{err}");
+    let err = parse_program("BEGIN Update TIL 5\nWrite 0, 1\nCOMMIT").unwrap_err();
+    assert!(err.to_string().contains("TIL on an Update"), "{err}");
+}
+
+#[test]
+fn negative_limits_are_parse_errors() {
+    // `-` is not even a token the limit grammar accepts, so a negative
+    // limit dies in the parser with an "expected integer" diagnostic.
+    let err = parse_program("BEGIN Query TIL -5\nt1 = Read 0\nCOMMIT").unwrap_err();
+    assert!(err.to_string().contains("expected integer"), "{err}");
+    let err = parse_program("BEGIN Query TIL 10\nLIMIT g -1\nt1 = Read 0\nCOMMIT").unwrap_err();
+    assert!(err.to_string().contains("expected integer"), "{err}");
+}
+
+#[test]
+fn limit_lines_after_operations_are_parse_errors() {
+    // §3.2: the specification part comes before the operations.
+    let err = parse_program("BEGIN Query TIL 10\nt1 = Read 0\nLIMIT g 3\nCOMMIT").unwrap_err();
+    assert!(err.to_string().contains("precede operations"), "{err}");
+}
+
+// ---- tolerated by the parser, surfaced downstream --------------------------
+
+#[test]
+fn duplicate_limit_lines_parse_and_the_last_one_wins() {
+    let p = parse_program(
+        "BEGIN Query TIL 10000\nLIMIT company 4000\nLIMIT company 200\n\
+         t1 = Read 0\nCOMMIT",
+    )
+    .unwrap();
+    assert_eq!(
+        p.limits,
+        vec![("company".to_owned(), 4_000), ("company".to_owned(), 200)]
+    );
+    // TxnBounds keeps one limit per group: the later line overrides.
+    assert_eq!(p.bounds().group_limit("company"), Limit::at_most(200));
+}
+
+#[test]
+fn parsed_bounds_direction_always_matches_the_kind() {
+    let q = parse_program("BEGIN Query TIL 10\nt1 = Read 0\nCOMMIT").unwrap();
+    assert_eq!(q.bounds().direction, Direction::Import);
+    let u = parse_program("BEGIN Update TEL 10\nWrite 0, 1\nCOMMIT").unwrap();
+    assert_eq!(u.bounds().direction, Direction::Export);
+    // And the checker's lint agrees on both.
+    let schema = HierarchySchema::two_level();
+    assert!(lint_spec(&schema, TxnKind::Query, &q.bounds()).is_empty());
+    assert!(lint_spec(&schema, TxnKind::Update, &u.bounds()).is_empty());
+}
+
+#[test]
+fn unknown_limit_names_parse_but_lint_as_errors() {
+    // The parser has no schema, so `LIMIT mispelt …` goes through; the
+    // ledger ignores it silently (stays total); the lint pass is where
+    // it must surface.
+    let p =
+        parse_program("BEGIN Query TIL 10000\nLIMIT mispelt 4000\nt1 = Read 0\nCOMMIT").unwrap();
+    let mut b = HierarchySchema::builder();
+    b.group("company");
+    let schema = b.build();
+    let findings = lint_spec(&schema, TxnKind::Query, &p.bounds());
+    assert_eq!(
+        findings,
+        vec![LintFinding::UnknownGroup {
+            name: "mispelt".to_owned()
+        }]
+    );
+    assert!(findings[0].is_error());
+}
+
+#[test]
+fn child_limit_exceeding_parent_lints_as_error() {
+    let p = parse_program(
+        "BEGIN Query TIL 10000\nLIMIT company 200\nLIMIT com1 4000\n\
+         t1 = Read 0\nCOMMIT",
+    )
+    .unwrap();
+    let mut b = HierarchySchema::builder();
+    let company = b.group("company");
+    b.subgroup(company, "com1");
+    let schema = b.build();
+    let findings = lint_spec(&schema, TxnKind::Query, &p.bounds());
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].is_error());
+    let msg = findings[0].to_string();
+    assert!(msg.contains("com1") && msg.contains("company"), "{msg}");
+}
+
+// ---- TxnBounds itself ------------------------------------------------------
+
+#[test]
+fn txn_bounds_serde_round_trip_preserves_everything() {
+    let b = TxnBounds::import(Limit::at_most(10_000))
+        .with_group("company", Limit::at_most(4_000))
+        .with_group("personal", Limit::Unlimited)
+        .with_object(ObjectId(7), Limit::ZERO);
+    let json = serde_json::to_string(&b).unwrap();
+    let back: TxnBounds = serde_json::from_str(&json).unwrap();
+    assert_eq!(b, back);
+}
+
+#[test]
+fn missing_root_limit_means_unlimited() {
+    let p = parse_program("BEGIN Query\nt1 = Read 0\nCOMMIT").unwrap();
+    assert_eq!(p.bounds().root, Limit::Unlimited);
+    assert!(!p.bounds().is_serializable());
+    let p = parse_program("BEGIN Query TIL 0\nt1 = Read 0\nCOMMIT").unwrap();
+    assert!(p.bounds().is_serializable());
+}

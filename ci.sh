@@ -24,4 +24,12 @@ echo "==> cargo test -p esr-tso -p esr-sim --features capture -q"
 cargo test -p esr-tso --features capture -q
 cargo test -p esr-sim --features capture -q
 
+# The TCP transport, explicitly: unit tests (framing codec, client
+# bounds) plus the loopback integration suite — 8 concurrent socket
+# clients, wait/wake across connections, graceful-shutdown error
+# delivery, and Connection/TcpConnection driver equivalence. Bounded
+# work throughout; no sleeps in the smoke test.
+echo "==> cargo test -p esr-net -q"
+cargo test -p esr-net -q
+
 echo "CI OK"

@@ -1,0 +1,83 @@
+//! Criterion microbenches for the session transports.
+//!
+//! The same strict single-object read-modify-write transaction runs
+//! through the three ways a client can reach the kernel: direct kernel
+//! calls (no transport), the in-process channel `Connection`, and the
+//! framed TCP `TcpConnection` over loopback. The spread between the
+//! rows is the cost of each transport layer, with no modelled (slept)
+//! latency anywhere.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esr_clock::{SystemTimeSource, TimestampGenerator};
+use esr_core::bounds::Limit;
+use esr_core::ids::SiteId;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_net::{TcpConnection, TcpServer};
+use esr_server::{Server, ServerConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::Kernel;
+use esr_txn::{KernelSession, Session};
+use std::sync::Arc;
+
+fn rmw_once(session: &mut dyn Session, obj: ObjectId) {
+    session
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    let v = session.read(obj).unwrap();
+    session.write(obj, v + 1).unwrap();
+    session.commit().unwrap();
+}
+
+fn fresh_server() -> Server {
+    let table = CatalogConfig {
+        n_objects: 64,
+        ..CatalogConfig::default()
+    }
+    .build();
+    Server::start(Kernel::with_defaults(table), ServerConfig::default())
+}
+
+fn bench_transports(c: &mut Criterion) {
+    c.bench_function("transport/direct_kernel", |b| {
+        let table = CatalogConfig {
+            n_objects: 64,
+            ..CatalogConfig::default()
+        }
+        .build();
+        let kernel = Arc::new(Kernel::with_defaults(table));
+        let clock = Arc::new(TimestampGenerator::new(
+            SiteId(1),
+            Arc::new(SystemTimeSource::new()),
+        ));
+        let mut session = KernelSession::new(kernel, clock);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            rmw_once(&mut session, ObjectId(i));
+        });
+    });
+
+    c.bench_function("transport/in_process_channel", |b| {
+        let server = fresh_server();
+        let mut conn = server.connect();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            rmw_once(&mut conn, ObjectId(i));
+        });
+    });
+
+    c.bench_function("transport/tcp_loopback", |b| {
+        let tcp = TcpServer::bind(fresh_server(), "127.0.0.1:0").expect("bind");
+        let mut conn = TcpConnection::connect(tcp.local_addr()).expect("connect");
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            rmw_once(&mut conn, ObjectId(i));
+        });
+    });
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

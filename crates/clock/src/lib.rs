@@ -31,5 +31,5 @@ pub mod timestamp;
 
 pub use correction::CorrectionFactor;
 pub use generator::TimestampGenerator;
-pub use source::{ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource};
+pub use source::{ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource, SITE_EPOCH_MICROS};
 pub use timestamp::Timestamp;

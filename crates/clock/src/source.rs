@@ -96,6 +96,10 @@ pub struct SkewedSource<S> {
     offset: i64,
 }
 
+/// Epoch base applied by [`SkewedSource::site_clock`], ~35 years in
+/// microseconds.
+pub const SITE_EPOCH_MICROS: i64 = 1 << 50;
+
 impl<S: TimeSource> SkewedSource<S> {
     /// Wrap `inner`, adding `offset_micros` (may be negative) to every
     /// reading. Readings saturate at zero rather than underflowing.
@@ -103,6 +107,23 @@ impl<S: TimeSource> SkewedSource<S> {
         SkewedSource {
             inner,
             offset: offset_micros,
+        }
+    }
+
+    /// Wrap `inner` as a *site clock*: skewed by `skew_micros` on top of
+    /// the [`SITE_EPOCH_MICROS`] epoch base.
+    ///
+    /// Sources such as [`SystemTimeSource`] read microseconds since
+    /// their own creation, so modelling a slow site with a bare negative
+    /// skew saturates the reading at zero — the clock freezes until the
+    /// process outlives the skew, and every timestamp the site issues
+    /// degenerates to the monotonicity bump. The large epoch base keeps
+    /// arbitrarily skewed readings strictly advancing; the correction
+    /// exchange absorbs the base like any other epoch difference.
+    pub fn site_clock(inner: S, skew_micros: i64) -> Self {
+        SkewedSource {
+            inner,
+            offset: SITE_EPOCH_MICROS.saturating_add(skew_micros),
         }
     }
 

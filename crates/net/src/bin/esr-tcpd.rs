@@ -1,0 +1,75 @@
+//! `esr-tcpd` — serve a fresh ESR database over TCP.
+//!
+//! ```text
+//! esr-tcpd [ADDR] [--objects N] [--value V] [--workers W]
+//! ```
+//!
+//! Defaults: `127.0.0.1:7878`, 64 objects initialised to 1000 (the
+//! paper's account-balance ballpark), 4 workers. The bound address is
+//! printed once the listener is up; connect with
+//! `esr_net::TcpConnection` (see the `tcp_loopback` example) or any
+//! client speaking the framed protocol.
+
+use esr_net::TcpServer;
+use esr_server::{Server, ServerConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::Kernel;
+
+fn usage() -> ! {
+    eprintln!("usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    match args.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut objects: usize = 64;
+    let mut value: i64 = 1000;
+    let mut workers: usize = 4;
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => objects = parse(&mut args, "--objects"),
+            "--value" => value = parse(&mut args, "--value"),
+            "--workers" => workers = parse(&mut args, "--workers"),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => addr = other.to_owned(),
+            _ => usage(),
+        }
+    }
+
+    let table = CatalogConfig::default().build_with_values(&vec![value; objects]);
+    let server = Server::start(
+        Kernel::with_defaults(table),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    );
+    let tcp = match TcpServer::bind(server, &addr) {
+        Ok(tcp) => tcp,
+        Err(e) => {
+            eprintln!("esr-tcpd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers)",
+        tcp.local_addr()
+    );
+    // Serve until killed; the TcpServer's Drop handles graceful
+    // shutdown when the process is terminated cleanly.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,482 @@
+//! Length-prefixed binary framing of serde values.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload: len bytes  |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The payload is a compact binary encoding of the serde data model
+//! (the shim's `Content` tree): a one-byte tag per node, LEB128 varints
+//! for integers (zigzag for signed), and length-prefixed UTF-8 for
+//! strings. This is the same self-describing postcard/bincode niche —
+//! no schema on the wire, the `Deserialize` impl re-shapes the tree —
+//! while staying independent of any external crate.
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected on both ends: a
+//! corrupt or malicious length prefix must not trigger an unbounded
+//! allocation.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload. Protocol messages are tiny
+/// (tens of bytes); a megabyte leaves room for pathological bound
+/// specifications without admitting unbounded allocations.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Node tags of the binary Content encoding.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_I64: u8 = 4;
+const TAG_F64: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+/// Why encoding, decoding, or frame I/O failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The socket read timed out *between* frames — no bytes of the
+    /// next frame were consumed, so the stream is still aligned and the
+    /// caller may safely retry.
+    Timeout,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// Transport failure (mid-frame timeout, reset, …). The stream can
+    /// no longer be trusted to be frame-aligned.
+    Io(io::Error),
+    /// The bytes were read but did not decode to the expected message.
+    Codec(String),
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversize(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Timeout => f.write_str("read timed out waiting for a frame"),
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Codec(m) => write!(f, "codec error: {m}"),
+            FrameError::Oversize(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, FrameError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| FrameError::Codec("truncated varint".into()))?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            // Reject non-canonical encodings that would overflow u64.
+            if shift == 63 && byte > 1 {
+                return Err(FrameError::Codec("varint overflows u64".into()));
+            }
+            return Ok(v);
+        }
+    }
+    Err(FrameError::Codec("varint longer than 10 bytes".into()))
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Content <-> bytes
+// ---------------------------------------------------------------------------
+
+fn encode_content(c: &Content, out: &mut Vec<u8>) {
+    match c {
+        Content::Null => out.push(TAG_NULL),
+        Content::Bool(false) => out.push(TAG_FALSE),
+        Content::Bool(true) => out.push(TAG_TRUE),
+        Content::U64(v) => {
+            out.push(TAG_U64);
+            put_varint(out, *v);
+        }
+        Content::I64(v) => {
+            out.push(TAG_I64);
+            put_varint(out, zigzag(*v));
+        }
+        Content::F64(v) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Content::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Content::Seq(items) => {
+            out.push(TAG_SEQ);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_content(item, out);
+            }
+        }
+        Content::Map(entries) => {
+            out.push(TAG_MAP);
+            put_varint(out, entries.len() as u64);
+            for (k, v) in entries {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                encode_content(v, out);
+            }
+        }
+    }
+}
+
+fn take_str(buf: &[u8], pos: &mut usize) -> Result<String, FrameError> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| FrameError::Codec("truncated string".into()))?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| FrameError::Codec("invalid UTF-8".into()))?
+        .to_owned();
+    *pos = end;
+    Ok(s)
+}
+
+fn decode_content(buf: &[u8], pos: &mut usize) -> Result<Content, FrameError> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| FrameError::Codec("truncated tag".into()))?;
+    *pos += 1;
+    Ok(match tag {
+        TAG_NULL => Content::Null,
+        TAG_FALSE => Content::Bool(false),
+        TAG_TRUE => Content::Bool(true),
+        TAG_U64 => Content::U64(get_varint(buf, pos)?),
+        TAG_I64 => Content::I64(unzigzag(get_varint(buf, pos)?)),
+        TAG_F64 => {
+            let end = *pos + 8;
+            let bytes: [u8; 8] = buf
+                .get(*pos..end)
+                .ok_or_else(|| FrameError::Codec("truncated f64".into()))?
+                .try_into()
+                .expect("slice length checked");
+            *pos = end;
+            Content::F64(f64::from_le_bytes(bytes))
+        }
+        TAG_STR => Content::Str(take_str(buf, pos)?),
+        TAG_SEQ => {
+            let n = get_varint(buf, pos)? as usize;
+            // Each element costs at least one byte; cap before reserving.
+            if n > buf.len() - *pos {
+                return Err(FrameError::Codec("sequence length exceeds frame".into()));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_content(buf, pos)?);
+            }
+            Content::Seq(items)
+        }
+        TAG_MAP => {
+            let n = get_varint(buf, pos)? as usize;
+            if n > buf.len() - *pos {
+                return Err(FrameError::Codec("map length exceeds frame".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = take_str(buf, pos)?;
+                let v = decode_content(buf, pos)?;
+                entries.push((k, v));
+            }
+            Content::Map(entries)
+        }
+        other => return Err(FrameError::Codec(format!("unknown content tag {other}"))),
+    })
+}
+
+/// Serialize a value to its frame payload (no length prefix).
+pub fn to_bytes<T: Serialize>(value: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    encode_content(&value.to_content(), &mut out);
+    out
+}
+
+/// Deserialize a frame payload produced by [`to_bytes`].
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, FrameError> {
+    let mut pos = 0;
+    let content = decode_content(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(FrameError::Codec(format!(
+            "{} trailing bytes after value",
+            bytes.len() - pos
+        )));
+    }
+    T::from_content(&content).map_err(|e| FrameError::Codec(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Write one value as a frame. The frame is assembled in memory and
+/// written with a single `write_all`, so a successful return means the
+/// peer will observe a complete frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), FrameError> {
+    let payload = to_bytes(value);
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversize(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame and decode it.
+///
+/// A timeout before the first byte of the length prefix returns
+/// [`FrameError::Timeout`]: the stream is still frame-aligned and the
+/// read may be retried. A timeout (or EOF) after any byte has been
+/// consumed is a hard [`FrameError::Io`]/[`FrameError::Closed`] — the
+/// stream cannot be resynchronised.
+pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    let mut header = [0u8; 4];
+    // First byte separately: distinguishes "no frame yet" (retryable)
+    // from "died mid-frame" (fatal).
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => return Err(FrameError::Timeout),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return Err(FrameError::Timeout),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    from_bytes(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
+    use esr_clock::Timestamp;
+    use esr_core::bounds::Limit;
+    use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+    use esr_core::spec::TxnBounds;
+    use esr_server::{BeginReply, EndReply, OpReply};
+    use esr_tso::{AbortReason, CommitInfo, Operation};
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for v in [i64::MIN, -300, -1, 0, 1, 300, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut bounds = TxnBounds::import(Limit::at_most(10_000));
+        bounds
+            .groups
+            .insert("company".into(), Limit::at_most(4_000));
+        bounds.objects.insert(ObjectId(3), Limit::ZERO);
+        round_trip(WireRequest {
+            id: 42,
+            body: RequestBody::Begin {
+                kind: TxnKind::Query,
+                bounds,
+                ts: Timestamp::new(123_456, SiteId(7)),
+            },
+        });
+        round_trip(WireRequest {
+            id: 43,
+            body: RequestBody::Op {
+                txn: TxnId(9),
+                op: Operation::Write(ObjectId(1), -77),
+            },
+        });
+        round_trip(WireRequest {
+            id: 44,
+            body: RequestBody::End {
+                txn: TxnId(9),
+                commit: true,
+            },
+        });
+        round_trip(WireRequest {
+            id: 0,
+            body: RequestBody::Hello,
+        });
+        round_trip(WireRequest {
+            id: 1,
+            body: RequestBody::TimeExchange,
+        });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip(WireReply {
+            id: 1,
+            body: ReplyBody::Welcome { site: 65_535 },
+        });
+        round_trip(WireReply {
+            id: 2,
+            body: ReplyBody::Time {
+                micros: u64::MAX / 2,
+            },
+        });
+        round_trip(WireReply {
+            id: 3,
+            body: ReplyBody::Begin(BeginReply::Started(TxnId(88))),
+        });
+        round_trip(WireReply {
+            id: 4,
+            body: ReplyBody::Op(OpReply::Value(-5)),
+        });
+        round_trip(WireReply {
+            id: 5,
+            body: ReplyBody::Op(OpReply::Aborted(AbortReason::LateRead)),
+        });
+        round_trip(WireReply {
+            id: 6,
+            body: ReplyBody::End(EndReply::Committed(CommitInfo {
+                inconsistency: 75,
+                inconsistent_ops: 1,
+                reads: 3,
+                writes: 2,
+                written: vec![(ObjectId(0), 10), (ObjectId(4), -2)],
+            })),
+        });
+        round_trip(WireReply {
+            id: 7,
+            body: ReplyBody::Error("server shut down".into()),
+        });
+    }
+
+    #[test]
+    fn frame_io_round_trips_over_a_buffer() {
+        let mut buf: Vec<u8> = Vec::new();
+        let msg = WireReply {
+            id: 9,
+            body: ReplyBody::Op(OpReply::Written),
+        };
+        write_frame(&mut buf, &msg).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back: WireReply = read_frame(&mut cursor).unwrap();
+        assert_eq!(back, msg);
+        // A second read hits clean EOF.
+        match read_frame::<WireReply>(&mut cursor) {
+            Err(FrameError::Closed) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        match read_frame::<WireReply>(&mut std::io::Cursor::new(buf)) {
+            Err(FrameError::Oversize(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_codec_errors() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(
+            &mut buf,
+            &WireReply {
+                id: 1,
+                body: ReplyBody::Error("x".into()),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 1);
+        match read_frame::<WireReply>(&mut std::io::Cursor::new(buf)) {
+            Err(FrameError::Io(_)) => {} // read_exact hits EOF mid-frame
+            other => panic!("{other:?}"),
+        }
+        // Corrupt tag inside an otherwise complete frame.
+        let bad = vec![99u8];
+        match from_bytes::<WireReply>(&bad) {
+            Err(FrameError::Codec(m)) => assert!(m.contains("tag")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_sequence_length_is_rejected() {
+        // TAG_SEQ claiming u64::MAX elements in a 3-byte frame must not
+        // try to reserve that much.
+        let mut payload = vec![TAG_SEQ];
+        put_varint(&mut payload, u64::MAX);
+        match from_bytes::<Vec<u64>>(&payload) {
+            Err(FrameError::Codec(m)) => assert!(m.contains("exceeds")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

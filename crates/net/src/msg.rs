@@ -1,0 +1,99 @@
+//! Wire messages: the serializable halves of the server protocol.
+//!
+//! `esr-server`'s `Request` carries an in-process reply sink and cannot
+//! cross a socket; [`RequestBody`] is the same protocol with the sink
+//! stripped and a *correlation id* added by the [`WireRequest`]
+//! envelope. The server echoes the id on the matching [`WireReply`], so
+//! one socket can carry overlapping exchanges: an operation can sit
+//! parked on a kernel wait queue while later requests (another
+//! transaction's `End`, a time exchange) flow on the same connection,
+//! and each reply still finds its caller.
+
+use esr_clock::Timestamp;
+use esr_core::ids::{TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_server::{BeginReply, EndReply, OpReply};
+use esr_tso::Operation;
+use serde::{Deserialize, Serialize};
+
+/// A framed request: correlation id plus protocol body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed on the reply. Ids are
+    /// strictly increasing per connection, which lets a client discard
+    /// stale replies to calls it has already given up on.
+    pub id: u64,
+    /// What is being asked.
+    pub body: RequestBody,
+}
+
+/// The serializable request protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Connection handshake: asks the server for a site id.
+    Hello,
+    /// Cristian-style clock exchange: the server answers with its
+    /// reference clock reading; the client halves its measured round
+    /// trip to estimate the offset (§6's correction factor).
+    TimeExchange,
+    /// Begin a transaction with a client-generated timestamp.
+    Begin {
+        /// Query or update.
+        kind: TxnKind,
+        /// The transaction's bound specification.
+        bounds: TxnBounds,
+        /// Client-generated timestamp.
+        ts: Timestamp,
+    },
+    /// A read or write within `txn`.
+    Op {
+        /// The transaction.
+        txn: TxnId,
+        /// The operation.
+        op: Operation,
+    },
+    /// Commit (`commit == true`) or abort `txn`.
+    End {
+        /// The transaction.
+        txn: TxnId,
+        /// `true` for commit.
+        commit: bool,
+    },
+}
+
+/// A framed reply: the correlation id of the request it answers plus
+/// the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireReply {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// The answer.
+    pub body: ReplyBody,
+}
+
+/// The serializable reply protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplyBody {
+    /// Handshake answer: the allocated site id.
+    Welcome {
+        /// The site this connection stamps timestamps with.
+        site: u16,
+    },
+    /// Clock-exchange answer: the server reference clock, in
+    /// microseconds.
+    Time {
+        /// Reference reading taken while the request was in flight.
+        micros: u64,
+    },
+    /// Answer to [`RequestBody::Begin`].
+    Begin(BeginReply),
+    /// Answer to [`RequestBody::Op`]. Arrives only after the operation
+    /// completes — a parked operation's reply is withheld until a
+    /// commit or abort releases it, exactly like the in-process path.
+    Op(OpReply),
+    /// Answer to [`RequestBody::End`].
+    End(EndReply),
+    /// Server-side failure to even dispatch the request (handshake
+    /// refused, server shutting down, malformed request).
+    Error(String),
+}

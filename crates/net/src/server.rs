@@ -1,0 +1,311 @@
+//! The socket-accepting server front end.
+//!
+//! A [`TcpServer`] wraps a running [`esr_server::Server`] and bridges
+//! framed socket requests into its worker/kernel dispatch. Each
+//! accepted connection gets two threads:
+//!
+//! - a **reader** that decodes [`WireRequest`] frames and submits them
+//!   through the server's [`RpcHandle`], attaching a hook
+//!   [`ReplySink`] that routes the eventual reply — *whenever* it
+//!   fires — back to this connection's writer with the request's
+//!   correlation id;
+//! - a **writer** that drains a queue of [`WireReply`]s onto the
+//!   socket.
+//!
+//! Workers therefore never block on a socket: completing an operation
+//! (including waking one parked on a kernel wait queue from a commit
+//! processed on *any* worker) is an in-memory channel send. The hook
+//! for a parked operation keeps the writer alive until it fires, so a
+//! wakeup arriving minutes later still reaches the right socket.
+//!
+//! Shutdown is graceful in the protocol sense: queued requests and
+//! parked operations are answered with an explicit shutdown error (by
+//! [`esr_server::Server::shutdown`]) and flushed to the sockets before
+//! the connections close — remote clients observe a reported failure,
+//! not a reset.
+
+use crate::frame::{read_frame, write_frame};
+use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use esr_server::{ReplySink, Request, RpcHandle, Server, SHUTDOWN_ERROR};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Transport-side server configuration.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Per-socket write timeout. A peer that stops reading must not
+    /// wedge a writer thread forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            write_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// A TCP front end over a running [`Server`].
+pub struct TcpServer {
+    inner: Server,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` and start accepting connections for `server`.
+    /// `addr` may carry port 0 to let the OS pick; see
+    /// [`TcpServer::local_addr`].
+    pub fn bind(server: Server, addr: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        TcpServer::bind_with(server, addr, NetServerConfig::default())
+    }
+
+    /// [`TcpServer::bind`] with explicit transport configuration.
+    pub fn bind_with(
+        server: Server,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let rpc = server.rpc_handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let threads = Arc::clone(&threads);
+            std::thread::Builder::new()
+                .name("esr-net-accept".into())
+                .spawn(move || accept_loop(listener, rpc, config, stop, conns, threads))
+                .expect("spawn accept thread")
+        };
+        Ok(TcpServer {
+            inner: server,
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+            threads,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped server (kernel stats, in-process connections).
+    pub fn server(&self) -> &Server {
+        &self.inner
+    }
+
+    /// Stop accepting, shut the inner server down (answering queued and
+    /// parked requests with an explicit error), flush those replies to
+    /// the sockets, and close every connection. Idempotent; also run by
+    /// `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop; it observes `stop` and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Answer everything in flight with SHUTDOWN_ERROR. The hook
+        // sinks enqueue onto the per-connection writers, which are
+        // still running and flush the errors out.
+        self.inner.shutdown();
+        // Readers see EOF (write halves stay open so writers can
+        // flush); each reader then drops its queue sender, and each
+        // writer exits once the queue drains.
+        for stream in self.conns.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    rpc: RpcHandle,
+    config: NetServerConfig,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a late straggler
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(config.write_timeout);
+        conns
+            .lock()
+            .push(stream.try_clone().expect("clone accepted socket"));
+        let writer_stream = stream.try_clone().expect("clone accepted socket");
+        let (reply_tx, reply_rx) = unbounded::<WireReply>();
+        let rpc = rpc.clone();
+        let conn_id = next_conn;
+        next_conn += 1;
+        let writer = std::thread::Builder::new()
+            .name(format!("esr-net-writer-{conn_id}"))
+            .spawn(move || writer_loop(writer_stream, reply_rx))
+            .expect("spawn connection writer");
+        let reader = std::thread::Builder::new()
+            .name(format!("esr-net-reader-{conn_id}"))
+            .spawn(move || reader_loop(stream, rpc, reply_tx))
+            .expect("spawn connection reader");
+        let mut reg = threads.lock();
+        reg.push(writer);
+        reg.push(reader);
+    }
+}
+
+/// Drain the connection's reply queue onto the socket. Exits when every
+/// queue sender (the reader plus any still-unfired reply hooks) is gone
+/// and the queue is empty, or on the first write failure.
+fn writer_loop(mut stream: TcpStream, replies: Receiver<WireReply>) {
+    while let Ok(reply) = replies.recv() {
+        if write_frame(&mut stream, &reply).is_err() {
+            return; // peer gone; remaining replies have nowhere to go
+        }
+    }
+}
+
+/// Decode requests and feed them to the worker pool, attaching reply
+/// hooks that carry the correlation id back to this connection's
+/// writer.
+fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>) {
+    loop {
+        let req: WireRequest = match read_frame(&mut stream) {
+            Ok(req) => req,
+            // Closed: orderly EOF. Io/Codec/Oversize: the stream can no
+            // longer be trusted to be frame-aligned, so drop it; the
+            // client's bounded retries surface the failure.
+            Err(_) => return,
+        };
+        let id = req.id;
+        let reply_to = |body: ReplyBody| {
+            let _ = replies.send(WireReply { id, body });
+        };
+        match req.body {
+            RequestBody::Hello => match rpc.alloc_site() {
+                Ok(site) => reply_to(ReplyBody::Welcome { site: site.0 }),
+                Err(e) => reply_to(ReplyBody::Error(e.to_string())),
+            },
+            RequestBody::TimeExchange => reply_to(ReplyBody::Time {
+                micros: rpc.reference_micros(),
+            }),
+            RequestBody::Begin { kind, bounds, ts } => {
+                let tx = replies.clone();
+                let sink = ReplySink::hook(move |r| {
+                    let _ = tx.send(WireReply {
+                        id,
+                        body: ReplyBody::Begin(r),
+                    });
+                });
+                submit(
+                    &rpc,
+                    Request::Begin {
+                        kind,
+                        bounds,
+                        ts,
+                        reply: sink,
+                    },
+                );
+            }
+            RequestBody::Op { txn, op } => {
+                let tx = replies.clone();
+                let sink = ReplySink::hook(move |r| {
+                    let _ = tx.send(WireReply {
+                        id,
+                        body: ReplyBody::Op(r),
+                    });
+                });
+                submit(
+                    &rpc,
+                    Request::Op {
+                        txn,
+                        op,
+                        reply: sink,
+                    },
+                );
+            }
+            RequestBody::End { txn, commit } => {
+                let tx = replies.clone();
+                let sink = ReplySink::hook(move |r| {
+                    let _ = tx.send(WireReply {
+                        id,
+                        body: ReplyBody::End(r),
+                    });
+                });
+                submit(
+                    &rpc,
+                    Request::End {
+                        txn,
+                        commit,
+                        reply: sink,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Queue a request; if the server is already gone, answer through the
+/// request's own sink so the remote client still gets an explicit
+/// error.
+fn submit(rpc: &RpcHandle, req: Request) {
+    if let Err(req) = rpc.submit(req) {
+        req.reject(SHUTDOWN_ERROR);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_server_config_defaults_bound_writes() {
+        let c = NetServerConfig::default();
+        assert!(c.write_timeout.is_some());
+    }
+
+    #[test]
+    fn frame_error_is_displayed() {
+        let e = crate::frame::FrameError::Oversize(123);
+        assert!(e.to_string().contains("123"));
+    }
+}

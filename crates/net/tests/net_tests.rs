@@ -1,0 +1,294 @@
+//! Integration tests for the TCP transport: loopback servers, real
+//! sockets, concurrent clients, graceful shutdown.
+
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_net::{NetClientConfig, TcpConnection, TcpServer};
+use esr_server::{Server, ServerConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::Kernel;
+use esr_txn::{parse_program, run_with_retry, Session, SessionError};
+use std::time::Duration;
+
+fn tcp_server_with(values: &[i64], workers: usize) -> TcpServer {
+    let table = CatalogConfig::default().build_with_values(values);
+    let server = Server::start(
+        Kernel::with_defaults(table),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    );
+    TcpServer::bind(server, "127.0.0.1:0").expect("bind loopback")
+}
+
+fn client(tcp: &TcpServer) -> TcpConnection {
+    TcpConnection::connect(tcp.local_addr()).expect("connect")
+}
+
+#[test]
+fn tcp_update_lifecycle_and_sites() {
+    let tcp = tcp_server_with(&[100, 200], 4);
+    let mut a = client(&tcp);
+    let mut b = client(&tcp);
+    assert_ne!(a.site(), b.site(), "each connection gets its own site");
+
+    a.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    assert!(a.in_txn());
+    assert_eq!(a.read(ObjectId(0)).unwrap(), 100);
+    a.write(ObjectId(1), 250).unwrap();
+    let info = a.commit().unwrap();
+    assert_eq!(info.reads, 1);
+    assert_eq!(info.writes, 1);
+    assert!(!a.in_txn());
+    assert_eq!(tcp.server().kernel().table().lock(ObjectId(1)).value, 250);
+
+    // The second client observes the committed state.
+    b.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    assert_eq!(b.read(ObjectId(1)).unwrap(), 250);
+    b.commit().unwrap();
+}
+
+#[test]
+fn tcp_parked_read_is_woken_by_commit_from_another_socket() {
+    let tcp = tcp_server_with(&[100], 4);
+    let mut writer = client(&tcp);
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 175).unwrap();
+
+    // A strict (zero-bound) reader on a different socket parks on the
+    // uncommitted write; the reply is withheld on the wire until the
+    // writer's End — arriving over yet another exchange — wakes it.
+    let mut reader = client(&tcp);
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        let v = reader.read(ObjectId(0)).unwrap();
+        reader.commit().unwrap();
+        v
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!handle.is_finished(), "reader should be parked server-side");
+    writer.commit().unwrap();
+    assert_eq!(handle.join().unwrap(), 175);
+}
+
+#[test]
+fn tcp_shutdown_answers_parked_operation_with_explicit_error() {
+    let mut tcp = tcp_server_with(&[100], 2);
+    let mut writer = client(&tcp);
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 999).unwrap();
+
+    let mut reader = client(&tcp);
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || reader.read(ObjectId(0)));
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!handle.is_finished(), "reader should be parked");
+
+    // Shutdown must *answer* the parked read with the shutdown error —
+    // flushed to the socket before the connection closes — instead of
+    // leaving the client to infer failure from a dropped connection.
+    tcp.shutdown();
+    match handle.join().unwrap() {
+        Err(SessionError::Backend(m)) => {
+            assert!(m.contains("shut down"), "expected explicit error, got: {m}")
+        }
+        other => panic!("parked read should fail with Backend: {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_and_in_process_drivers_agree_on_the_same_script() {
+    // The same esr-txn program runs over the in-process Connection and
+    // over TcpConnection against identically-initialised servers; both
+    // sessions must produce identical outcomes.
+    const SCRIPT: &str = "BEGIN Update TEL = 1000\n\
+                          t1 = Read 0\n\
+                          t2 = Read 1\n\
+                          Write 2 , t1 + t2\n\
+                          Write 0 , t1 - 7\n\
+                          output ( \"double\" , t1 * 2 )\n\
+                          COMMIT";
+    let program = parse_program(SCRIPT).unwrap();
+
+    let in_proc_server = {
+        let table = CatalogConfig::default().build_with_values(&[100, 200, 0]);
+        Server::start(Kernel::with_defaults(table), ServerConfig::default())
+    };
+    let mut in_proc = in_proc_server.connect();
+    let got_local = run_with_retry(&program, &mut in_proc, 10).unwrap();
+
+    let tcp = tcp_server_with(&[100, 200, 0], 4);
+    let mut remote = client(&tcp);
+    let got_tcp = run_with_retry(&program, &mut remote, 10).unwrap();
+
+    assert_eq!(got_local.output.committed, got_tcp.output.committed);
+    assert_eq!(got_local.output.outputs, got_tcp.output.outputs);
+    assert_eq!(got_local.output.env, got_tcp.output.env);
+    let (li, ti) = (
+        got_local.output.info.as_ref().unwrap(),
+        got_tcp.output.info.as_ref().unwrap(),
+    );
+    assert_eq!(li.reads, ti.reads);
+    assert_eq!(li.writes, ti.writes);
+    assert_eq!(li.inconsistency, ti.inconsistency);
+    assert_eq!(li.written, ti.written);
+
+    // And the resulting database states agree object by object. (One
+    // table lock at a time: the storage layer asserts lock ordering.)
+    for i in 0..3 {
+        let local = in_proc_server.kernel().table().lock(ObjectId(i)).value;
+        let remote = tcp.server().kernel().table().lock(ObjectId(i)).value;
+        assert_eq!(local, remote, "object {i} diverged between drivers");
+    }
+}
+
+/// The tier-1 loopback smoke test: 8 concurrent TCP clients hammer the
+/// kernel through real sockets with no injected sleeps, preserving the
+/// transfer invariant. Bounded work (fixed commit quota per client)
+/// keeps it fast and flake-free.
+#[test]
+fn loopback_smoke_eight_clients_preserve_invariant() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const CLIENTS: usize = 8;
+    const COMMITS_PER_CLIENT: u32 = 15;
+    let n = 16u32;
+    let init = 5_000i64;
+    let tcp = tcp_server_with(&vec![init; n as usize], 4);
+    let expected: i128 = n as i128 * init as i128;
+
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS as u64 {
+        let addr = tcp.local_addr();
+        handles.push(std::thread::spawn(move || {
+            let mut c = TcpConnection::connect(addr).expect("connect");
+            let mut rng = StdRng::seed_from_u64(t);
+            let mut committed = 0u32;
+            let mut attempts = 0u32;
+            while committed < COMMITS_PER_CLIENT && attempts < 10_000 {
+                attempts += 1;
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                let amt = rng.gen_range(1..100i64);
+                if c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+                    .is_err()
+                {
+                    continue;
+                }
+                let step = (|| -> Result<(), SessionError> {
+                    let va = c.read(ObjectId(a))?;
+                    let vb = c.read(ObjectId(b))?;
+                    c.write(ObjectId(a), va - amt)?;
+                    c.write(ObjectId(b), vb + amt)?;
+                    c.commit()?;
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => committed += 1,
+                    Err(e) => {
+                        assert!(e.is_retryable(), "unexpected failure: {e}");
+                        if c.in_txn() {
+                            let _ = c.abort();
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                committed, COMMITS_PER_CLIENT,
+                "starved after {attempts} attempts"
+            );
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(tcp.server().kernel().table().is_quiescent());
+    assert_eq!(tcp.server().kernel().table().sum_values(), expected);
+}
+
+#[test]
+fn skewed_tcp_client_is_corrected_by_the_handshake() {
+    let tcp = tcp_server_with(&[100], 4);
+    // Two minutes fast and two minutes slow, the paper's extreme.
+    let mut fast = TcpConnection::connect_with(
+        tcp.local_addr(),
+        NetClientConfig {
+            skew_micros: 120_000_000,
+            ..NetClientConfig::default()
+        },
+    )
+    .unwrap();
+    let mut slow = TcpConnection::connect_with(
+        tcp.local_addr(),
+        NetClientConfig {
+            skew_micros: -120_000_000,
+            ..NetClientConfig::default()
+        },
+    )
+    .unwrap();
+    fast.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    fast.write(ObjectId(0), 150).unwrap();
+    fast.commit().unwrap();
+    // Without correction the slow site's timestamps would be two
+    // minutes in the past and every strict read would abort as late,
+    // forever. Corrected, only the residual (~RTT/2) skew remains, so
+    // a handful of retries must suffice.
+    let mut done = false;
+    for _ in 0..50 {
+        slow.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        let step = (|| -> Result<(), SessionError> {
+            assert_eq!(slow.read(ObjectId(0))?, 150);
+            slow.write(ObjectId(0), 160)?;
+            slow.commit()?;
+            Ok(())
+        })();
+        match step {
+            Ok(()) => {
+                done = true;
+                break;
+            }
+            Err(e) => {
+                assert!(e.is_retryable(), "unexpected failure: {e}");
+                if slow.in_txn() {
+                    let _ = slow.abort();
+                }
+            }
+        }
+    }
+    assert!(done, "slow client never committed despite correction");
+    assert_eq!(tcp.server().kernel().table().lock(ObjectId(0)).value, 160);
+}
+
+#[test]
+fn tcp_client_errors_cleanly_after_server_shutdown() {
+    let mut tcp = tcp_server_with(&[1], 2);
+    let mut c = client(&tcp);
+    tcp.shutdown();
+    let cfgd = NetClientConfig::default();
+    // The socket is closed; the next call must fail with a clear error
+    // within the bounded retry budget, not hang.
+    let t0 = std::time::Instant::now();
+    match c.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)) {
+        Err(SessionError::Backend(_)) => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(t0.elapsed() < cfgd.read_timeout * cfgd.reply_attempts);
+}

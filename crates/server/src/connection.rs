@@ -1,6 +1,6 @@
 //! A client connection: one site, one synchronous request stream.
 
-use crate::proto::{EndReply, OpReply, Request};
+use crate::proto::{BeginReply, EndReply, OpReply, ReplySink, Request};
 use crossbeam::channel::{bounded, Sender};
 use esr_clock::TimestampGenerator;
 use esr_core::ids::{ObjectId, TxnId, TxnKind};
@@ -63,12 +63,41 @@ impl Connection {
         let txn = self.current()?;
         let (tx, rx) = bounded(1);
         self.req_tx
-            .send(Request::Op { txn, op, reply: tx })
+            .send(Request::Op {
+                txn,
+                op,
+                reply: ReplySink::channel(tx),
+            })
             .map_err(|_| SessionError::Backend("server is down".into()))?;
         let reply = rx
             .recv()
             .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
         self.simulate_rpc();
+        Ok(reply)
+    }
+
+    /// End the current transaction. `current` is cleared only when the
+    /// server actually ended it (`Committed`/`Aborted`): an
+    /// `EndReply::Error` leaves the transaction alive server-side, and
+    /// clearing the handle here would strand it with no way to retry
+    /// the commit or abort it.
+    fn submit_end(&mut self, commit: bool) -> Result<EndReply, SessionError> {
+        let txn = self.current()?;
+        let (tx, rx) = bounded(1);
+        self.req_tx
+            .send(Request::End {
+                txn,
+                commit,
+                reply: ReplySink::channel(tx),
+            })
+            .map_err(|_| SessionError::Backend("server is down".into()))?;
+        let reply = rx
+            .recv()
+            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
+        self.simulate_rpc();
+        if !matches!(reply, EndReply::Error(_)) {
+            self.current = None;
+        }
         Ok(reply)
     }
 }
@@ -87,15 +116,20 @@ impl Session for Connection {
                 kind,
                 bounds,
                 ts,
-                reply: tx,
+                reply: ReplySink::channel(tx),
             })
             .map_err(|_| SessionError::Backend("server is down".into()))?;
-        let id = rx
+        let reply = rx
             .recv()
             .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
         self.simulate_rpc();
-        self.current = Some(id);
-        Ok(())
+        match reply {
+            BeginReply::Started(id) => {
+                self.current = Some(id);
+                Ok(())
+            }
+            BeginReply::Error(e) => Err(SessionError::Backend(e)),
+        }
     }
 
     fn read(&mut self, obj: ObjectId) -> Result<Value, SessionError> {
@@ -123,21 +157,7 @@ impl Session for Connection {
     }
 
     fn commit(&mut self) -> Result<CommitInfo, SessionError> {
-        let txn = self.current()?;
-        let (tx, rx) = bounded(1);
-        self.req_tx
-            .send(Request::End {
-                txn,
-                commit: true,
-                reply: tx,
-            })
-            .map_err(|_| SessionError::Backend("server is down".into()))?;
-        let reply = rx
-            .recv()
-            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
-        self.simulate_rpc();
-        self.current = None;
-        match reply {
+        match self.submit_end(true)? {
             EndReply::Committed(info) => Ok(info),
             EndReply::Aborted => Err(SessionError::Backend("commit answered as abort".into())),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
@@ -145,21 +165,7 @@ impl Session for Connection {
     }
 
     fn abort(&mut self) -> Result<(), SessionError> {
-        let txn = self.current()?;
-        let (tx, rx) = bounded(1);
-        self.req_tx
-            .send(Request::End {
-                txn,
-                commit: false,
-                reply: tx,
-            })
-            .map_err(|_| SessionError::Backend("server is down".into()))?;
-        let reply = rx
-            .recv()
-            .map_err(|_| SessionError::Backend("server dropped the reply".into()))?;
-        self.simulate_rpc();
-        self.current = None;
-        match reply {
+        match self.submit_end(false)? {
             EndReply::Aborted => Ok(()),
             EndReply::Committed(_) => Err(SessionError::Backend("abort answered as commit".into())),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
@@ -168,5 +174,119 @@ impl Session for Connection {
 
     fn in_txn(&self) -> bool {
         self.current.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use esr_clock::ManualTimeSource;
+    use esr_core::bounds::Limit;
+    use esr_core::ids::SiteId;
+
+    /// A scripted fake server: answers each request with the next reply
+    /// from the script, so error paths the real kernel makes hard to
+    /// reach (an `EndReply::Error`) are exercised deterministically.
+    fn scripted_connection(script: Vec<ScriptReply>) -> Connection {
+        let (tx, rx) = unbounded::<Request>();
+        std::thread::spawn(move || {
+            let mut script = script.into_iter();
+            while let Ok(req) = rx.recv() {
+                match (req, script.next()) {
+                    (Request::Begin { reply, .. }, Some(ScriptReply::Begin(r))) => {
+                        reply.send(r);
+                    }
+                    (Request::End { reply, .. }, Some(ScriptReply::End(r))) => {
+                        reply.send(r);
+                    }
+                    (Request::Op { reply, .. }, Some(ScriptReply::Op(r))) => {
+                        reply.send(r);
+                    }
+                    (_, None) => break,
+                    (req, Some(r)) => panic!("script mismatch: {req:?} vs {r:?}"),
+                }
+            }
+        });
+        let clock = Arc::new(TimestampGenerator::new(
+            SiteId(1),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        ));
+        Connection::new(tx, clock, None)
+    }
+
+    #[derive(Debug)]
+    enum ScriptReply {
+        Begin(BeginReply),
+        Op(OpReply),
+        End(EndReply),
+    }
+
+    #[test]
+    fn end_error_keeps_transaction_handle() {
+        let mut c = scripted_connection(vec![
+            ScriptReply::Begin(BeginReply::Started(TxnId(9))),
+            ScriptReply::End(EndReply::Error("transient".into())),
+            ScriptReply::End(EndReply::Error("still transient".into())),
+            ScriptReply::End(EndReply::Committed(CommitInfo {
+                inconsistency: 0,
+                inconsistent_ops: 0,
+                reads: 0,
+                writes: 0,
+                written: Vec::new(),
+            })),
+        ]);
+        c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        // A failed commit must NOT strand the transaction: the handle
+        // stays so the client can retry the commit or abort.
+        assert!(matches!(c.commit(), Err(SessionError::Backend(_))));
+        assert!(c.in_txn(), "EndReply::Error must keep `current`");
+        assert_eq!(c.current_txn(), Some(TxnId(9)));
+        // An abort that errors also keeps the handle…
+        assert!(matches!(c.abort(), Err(SessionError::Backend(_))));
+        assert!(c.in_txn());
+        // …and a successful retry finally clears it.
+        assert!(c.commit().is_ok());
+        assert!(!c.in_txn());
+    }
+
+    #[test]
+    fn successful_end_clears_handle() {
+        let mut c = scripted_connection(vec![
+            ScriptReply::Begin(BeginReply::Started(TxnId(1))),
+            ScriptReply::End(EndReply::Aborted),
+        ]);
+        c.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
+        c.abort().unwrap();
+        assert!(!c.in_txn());
+    }
+
+    #[test]
+    fn begin_error_reported_without_entering_txn() {
+        let mut c = scripted_connection(vec![ScriptReply::Begin(BeginReply::Error(
+            "server shut down".into(),
+        ))]);
+        match c.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO)) {
+            Err(SessionError::Backend(m)) => assert!(m.contains("shut down")),
+            other => panic!("{other:?}"),
+        }
+        assert!(!c.in_txn());
+    }
+
+    #[test]
+    fn op_error_keeps_transaction_active() {
+        let mut c = scripted_connection(vec![
+            ScriptReply::Begin(BeginReply::Started(TxnId(2))),
+            ScriptReply::Op(OpReply::Error("unknown object".into())),
+        ]);
+        c.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
+        assert!(matches!(
+            c.read(ObjectId(99)),
+            Err(SessionError::Backend(_))
+        ));
+        assert!(c.in_txn(), "driver-level op error is not a txn end");
     }
 }

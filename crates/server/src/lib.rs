@@ -28,4 +28,5 @@ pub mod proto;
 pub mod server;
 
 pub use connection::Connection;
-pub use server::{Server, ServerConfig};
+pub use proto::{BeginReply, EndReply, OpReply, ReplySink, Request};
+pub use server::{ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator, SHUTDOWN_ERROR};

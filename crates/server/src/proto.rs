@@ -1,13 +1,31 @@
 //! Wire protocol between connections and the server.
+//!
+//! The reply types ([`BeginReply`], [`OpReply`], [`EndReply`]) derive
+//! serde so a network transport (`esr-net`) can frame them onto a
+//! socket unchanged; [`Request`] itself is *not* serializable because it
+//! carries the reply routing ([`ReplySink`]) — a transport sends a
+//! serializable request body and attaches its own sink on the server
+//! side.
 
 use crossbeam::channel::Sender;
 use esr_clock::Timestamp;
 use esr_core::ids::{TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
 use esr_tso::{AbortReason, CommitInfo, Operation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Server reply to a begin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BeginReply {
+    /// The transaction was admitted under this id.
+    Started(TxnId),
+    /// The server could not start a transaction (shutting down, …).
+    Error(String),
+}
 
 /// Server reply to a read/write.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OpReply {
     /// Read result.
     Value(i64),
@@ -20,7 +38,7 @@ pub enum OpReply {
 }
 
 /// Server reply to a commit/abort.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EndReply {
     /// Committed with this summary.
     Committed(CommitInfo),
@@ -28,6 +46,53 @@ pub enum EndReply {
     Aborted,
     /// Driver-level error.
     Error(String),
+}
+
+/// A one-shot reply destination.
+///
+/// The in-process [`crate::Connection`] blocks on a bounded channel; a
+/// network transport instead registers a *hook* that frames the reply
+/// onto the right socket with its correlation id. Workers and the
+/// parked-operation table route replies through this type without
+/// knowing which kind of client is on the other end.
+pub enum ReplySink<T> {
+    /// Reply over an in-process channel (the receiver blocks on it).
+    Channel(Sender<T>),
+    /// Reply through an arbitrary one-shot hook (network transports).
+    Hook(Box<dyn FnOnce(T) + Send>),
+}
+
+impl<T> ReplySink<T> {
+    /// A sink that sends into an in-process channel.
+    pub fn channel(tx: Sender<T>) -> Self {
+        ReplySink::Channel(tx)
+    }
+
+    /// A sink that invokes `f` with the reply exactly once.
+    pub fn hook(f: impl FnOnce(T) + Send + 'static) -> Self {
+        ReplySink::Hook(Box::new(f))
+    }
+
+    /// Deliver the reply, consuming the sink. Returns `false` if an
+    /// in-process receiver has gone away (hooks always report `true`).
+    pub fn send(self, value: T) -> bool {
+        match self {
+            ReplySink::Channel(tx) => tx.send(value).is_ok(),
+            ReplySink::Hook(f) => {
+                f(value);
+                true
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for ReplySink<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplySink::Channel(_) => f.write_str("ReplySink::Channel"),
+            ReplySink::Hook(_) => f.write_str("ReplySink::Hook"),
+        }
+    }
 }
 
 /// A request from a connection.
@@ -42,8 +107,8 @@ pub enum Request {
         bounds: TxnBounds,
         /// Client-generated timestamp.
         ts: Timestamp,
-        /// Reply channel.
-        reply: Sender<TxnId>,
+        /// Reply sink.
+        reply: ReplySink<BeginReply>,
     },
     /// A read or write. The reply is withheld while the operation waits
     /// (strict ordering) and sent once it completes or aborts.
@@ -52,8 +117,8 @@ pub enum Request {
         txn: TxnId,
         /// The operation.
         op: Operation,
-        /// Reply channel.
-        reply: Sender<OpReply>,
+        /// Reply sink.
+        reply: ReplySink<OpReply>,
     },
     /// Commit or abort.
     End {
@@ -61,10 +126,97 @@ pub enum Request {
         txn: TxnId,
         /// `true` for commit.
         commit: bool,
-        /// Reply channel.
-        reply: Sender<EndReply>,
+        /// Reply sink.
+        reply: ReplySink<EndReply>,
     },
     /// Stop the receiving worker (one token is sent per worker at
     /// shutdown).
     Shutdown,
+}
+
+impl Request {
+    /// Answer a request that will never reach a worker (shutdown drain,
+    /// transport submitting after shutdown) with an explicit error
+    /// instead of a dropped channel.
+    pub fn reject(self, reason: &str) {
+        match self {
+            Request::Begin { reply, .. } => {
+                reply.send(BeginReply::Error(reason.to_owned()));
+            }
+            Request::Op { reply, .. } => {
+                reply.send(OpReply::Error(reason.to_owned()));
+            }
+            Request::End { reply, .. } => {
+                reply.send(EndReply::Error(reason.to_owned()));
+            }
+            Request::Shutdown => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn channel_sink_delivers() {
+        let (tx, rx) = bounded(1);
+        assert!(ReplySink::channel(tx).send(OpReply::Written));
+        assert_eq!(rx.recv().unwrap(), OpReply::Written);
+    }
+
+    #[test]
+    fn channel_sink_reports_dropped_receiver() {
+        let (tx, rx) = bounded::<OpReply>(1);
+        drop(rx);
+        assert!(!ReplySink::channel(tx).send(OpReply::Written));
+    }
+
+    #[test]
+    fn hook_sink_runs_once() {
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&hit);
+        let sink = ReplySink::hook(move |v: OpReply| {
+            assert_eq!(v, OpReply::Written);
+            h.store(true, Ordering::SeqCst);
+        });
+        assert!(sink.send(OpReply::Written));
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn reject_answers_every_request_kind() {
+        let (btx, brx) = bounded(1);
+        Request::Begin {
+            kind: TxnKind::Query,
+            bounds: TxnBounds::import(esr_core::bounds::Limit::ZERO),
+            ts: Timestamp::ZERO,
+            reply: ReplySink::channel(btx),
+        }
+        .reject("closing");
+        assert_eq!(brx.recv().unwrap(), BeginReply::Error("closing".into()));
+
+        let (otx, orx) = bounded(1);
+        Request::Op {
+            txn: TxnId(1),
+            op: Operation::Read(esr_core::ids::ObjectId(0)),
+            reply: ReplySink::channel(otx),
+        }
+        .reject("closing");
+        assert_eq!(orx.recv().unwrap(), OpReply::Error("closing".into()));
+
+        let (etx, erx) = bounded(1);
+        Request::End {
+            txn: TxnId(1),
+            commit: true,
+            reply: ReplySink::channel(etx),
+        }
+        .reject("closing");
+        assert_eq!(erx.recv().unwrap(), EndReply::Error("closing".into()));
+
+        Request::Shutdown.reject("closing"); // no sink; must not panic
+    }
 }

@@ -1,7 +1,7 @@
 //! The central transaction server.
 
 use crate::connection::Connection;
-use crate::proto::{EndReply, OpReply, Request};
+use crate::proto::{BeginReply, EndReply, OpReply, ReplySink, Request};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use esr_clock::{
     CorrectionFactor, ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource,
@@ -11,7 +11,8 @@ use esr_core::ids::{SiteId, TxnId};
 use esr_tso::{Kernel, OpOutcome, PendingOp};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -24,7 +25,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Synchronous per-operation latency injected at the client side of
     /// the channel, modelling the paper's RPC (≈17–20 ms there). `None`
-    /// for full speed.
+    /// for full speed. The TCP transport (`esr-net`) ignores this — its
+    /// RPC cost is real.
     pub rpc_latency: Option<Duration>,
     /// Use a virtual (manually driven) reference clock instead of the
     /// wall clock. Tests use this for determinism.
@@ -41,18 +43,87 @@ impl Default for ServerConfig {
     }
 }
 
-/// Reply channels of operations currently parked on kernel wait queues.
-type PendingReplies = Arc<Mutex<HashMap<TxnId, Sender<OpReply>>>>;
+/// The error text used when shutdown answers requests it cannot serve.
+pub const SHUTDOWN_ERROR: &str = "server shut down";
+
+/// Hands out site ids, erroring (instead of silently wrapping) when the
+/// 16-bit site space is exhausted.
+///
+/// `SiteId` is a `u16` on the wire; the previous `AtomicU16::fetch_add`
+/// wrapped after 65,535 connections, at which point two live connections
+/// shared a site and timestamp uniqueness — the bedrock of timestamp
+/// ordering — silently broke. The counter is now wider than the id
+/// space, so exhaustion is observable and refused.
+#[derive(Debug)]
+pub struct SiteAllocator {
+    next: AtomicU32,
+}
+
+impl SiteAllocator {
+    /// Site 0 is reserved for the server/initial values; clients start
+    /// at 1.
+    pub fn new() -> Self {
+        SiteAllocator {
+            next: AtomicU32::new(1),
+        }
+    }
+
+    /// Allocate the next site id, or `None` once all 65,535 client ids
+    /// have been handed out.
+    pub fn alloc(&self) -> Option<SiteId> {
+        // fetch_add on the wider counter cannot wrap in any realistic
+        // run (it would take 2^32 allocations); ids past u16::MAX are
+        // refused rather than reused.
+        let raw = self.next.fetch_add(1, Ordering::Relaxed);
+        u16::try_from(raw).ok().map(SiteId)
+    }
+
+    /// How many ids have been handed out so far.
+    pub fn allocated(&self) -> u32 {
+        self.next.load(Ordering::Relaxed).saturating_sub(1)
+    }
+}
+
+impl Default for SiteAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Connecting failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectError {
+    /// All 65,535 site ids are in use.
+    SitesExhausted,
+    /// The server has been shut down.
+    ServerDown,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::SitesExhausted => f.write_str("site id space exhausted (65535 in use)"),
+            ConnectError::ServerDown => f.write_str("server is down"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// Reply sinks of operations currently parked on kernel wait queues.
+type PendingReplies = Arc<Mutex<HashMap<TxnId, ReplySink<OpReply>>>>;
 
 /// The server: owns the kernel, dispatches requests to workers, and
 /// routes wakeups back to the blocked clients.
 pub struct Server {
     kernel: Arc<Kernel>,
     req_tx: Option<Sender<Request>>,
+    req_rx: Option<Receiver<Request>>,
+    pending: PendingReplies,
     workers: Vec<JoinHandle<()>>,
     reference: Arc<dyn TimeSource>,
     manual: Option<ManualTimeSource>,
-    next_site: AtomicU16,
+    sites: Arc<SiteAllocator>,
     config: ServerConfig,
 }
 
@@ -84,10 +155,12 @@ impl Server {
         Server {
             kernel,
             req_tx: Some(req_tx),
+            req_rx: Some(req_rx),
+            pending,
             workers,
             reference,
             manual,
-            next_site: AtomicU16::new(1),
+            sites: Arc::new(SiteAllocator::new()),
             config,
         }
     }
@@ -103,6 +176,9 @@ impl Server {
     }
 
     /// Open a connection whose site clock agrees with the server.
+    ///
+    /// Panics if the site id space is exhausted or the server was shut
+    /// down; use [`Server::try_connect_with_skew`] to handle those.
     pub fn connect(&self) -> Connection {
         self.connect_with_skew(0)
     }
@@ -110,21 +186,51 @@ impl Server {
     /// Open a connection whose site clock is skewed by `skew_micros`
     /// (the paper saw up to two minutes) and then corrected into virtual
     /// synchrony with the server via a correction factor (§6).
+    ///
+    /// Panics if the site id space is exhausted or the server was shut
+    /// down; use [`Server::try_connect_with_skew`] to handle those.
     pub fn connect_with_skew(&self, skew_micros: i64) -> Connection {
-        let site = SiteId(self.next_site.fetch_add(1, Ordering::Relaxed));
-        let skewed: Arc<dyn TimeSource> =
-            Arc::new(SkewedSource::new(Arc::clone(&self.reference), skew_micros));
+        self.try_connect_with_skew(skew_micros)
+            .expect("connect failed")
+    }
+
+    /// Fallible variant of [`Server::connect_with_skew`].
+    pub fn try_connect_with_skew(&self, skew_micros: i64) -> Result<Connection, ConnectError> {
+        let req_tx = self
+            .req_tx
+            .as_ref()
+            .ok_or(ConnectError::ServerDown)?
+            .clone();
+        let site = self.sites.alloc().ok_or(ConnectError::SitesExhausted)?;
+        // A site clock (epoch base + skew) rather than a bare skew: a
+        // negatively skewed reading of the young reference would
+        // saturate at zero and freeze the site's clock entirely.
+        let skewed: Arc<dyn TimeSource> = Arc::new(SkewedSource::site_clock(
+            Arc::clone(&self.reference),
+            skew_micros,
+        ));
         // The time exchange of the correction protocol: zero modelled
         // round trip because the "network" is an in-process channel.
         // Best-of-8 sampling bounds the error a preemption between the
         // two clock reads could otherwise inject.
         let cf = CorrectionFactor::estimate_best_of(&skewed, &self.reference, 8);
         let generator = TimestampGenerator::with_correction(site, skewed, cf);
-        Connection::new(
-            self.req_tx.as_ref().expect("server not shut down").clone(),
+        Ok(Connection::new(
+            req_tx,
             Arc::new(generator),
             self.config.rpc_latency,
-        )
+        ))
+    }
+
+    /// A handle a network transport uses to feed requests into the
+    /// worker pool and serve the connection handshake (site allocation,
+    /// reference-clock reads for correction-factor exchanges).
+    pub fn rpc_handle(&self) -> RpcHandle {
+        RpcHandle {
+            req_tx: self.req_tx.as_ref().expect("server not shut down").clone(),
+            sites: Arc::clone(&self.sites),
+            reference: Arc::clone(&self.reference),
+        }
     }
 
     /// Stop accepting requests and join the workers. Called by `Drop`;
@@ -132,10 +238,12 @@ impl Server {
     ///
     /// Live connections do not block shutdown: each worker is stopped by
     /// a dedicated token (connections hold channel senders, so waiting
-    /// for channel disconnection would deadlock). Once the workers exit,
-    /// the channel's receivers are gone, later `send`s fail, and any
-    /// queued requests are dropped — their blocked clients observe a
-    /// closed reply channel.
+    /// for channel disconnection would deadlock). Once the workers have
+    /// exited, every request still queued behind the tokens is answered
+    /// with an explicit [`SHUTDOWN_ERROR`], and every operation parked
+    /// on a kernel wait queue receives the same error through its
+    /// registered reply sink — clients see a reported failure, not a
+    /// silently dropped channel.
     pub fn shutdown(&mut self) {
         if let Some(tx) = self.req_tx.take() {
             for _ in 0..self.workers.len() {
@@ -145,12 +253,60 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(rx) = self.req_rx.take() {
+            drain_requests(&rx);
+        }
+        for (_, sink) in self.pending.lock().drain() {
+            sink.send(OpReply::Error(SHUTDOWN_ERROR.to_owned()));
+        }
+    }
+}
+
+/// Answer every request still sitting in the queue with an explicit
+/// shutdown error. Runs after the workers have exited, so nothing races
+/// the drain; requests arriving *after* the drain observe a dropped
+/// channel exactly as before.
+fn drain_requests(rx: &Receiver<Request>) {
+    while let Ok(req) = rx.try_recv() {
+        req.reject(SHUTDOWN_ERROR);
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A transport's doorway into a running server: submits requests and
+/// answers the connection handshake. Cloneable; each network listener
+/// holds one.
+#[derive(Clone)]
+pub struct RpcHandle {
+    req_tx: Sender<Request>,
+    sites: Arc<SiteAllocator>,
+    reference: Arc<dyn TimeSource>,
+}
+
+impl RpcHandle {
+    /// Queue a request for the worker pool. Returns the request back if
+    /// the server has shut down, so the caller can answer it explicitly.
+    // The Err payload is deliberately the whole request — the caller
+    // needs it back to reject it through its own reply sink.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, req: Request) -> Result<(), Request> {
+        self.req_tx.send(req).map_err(|e| e.0)
+    }
+
+    /// Allocate a site id for a new remote connection.
+    pub fn alloc_site(&self) -> Result<SiteId, ConnectError> {
+        self.sites.alloc().ok_or(ConnectError::SitesExhausted)
+    }
+
+    /// The server reference clock, read for a Cristian-style time
+    /// exchange (the client halves its measured round trip).
+    pub fn reference_micros(&self) -> u64 {
+        self.reference.raw_micros()
     }
 }
 
@@ -164,7 +320,7 @@ fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingRepli
                 reply,
             } => {
                 let id = kernel.begin(kind, bounds, ts);
-                let _ = reply.send(id);
+                reply.send(BeginReply::Started(id));
             }
             Request::Op { txn, op, reply } => {
                 dispatch_op(&kernel, &pending, PendingOp { txn, op }, reply);
@@ -177,14 +333,14 @@ fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingRepli
                 };
                 match result {
                     Ok(end) => {
-                        let _ = reply.send(match end.info {
+                        reply.send(match end.info {
                             Some(info) => EndReply::Committed(info),
                             None => EndReply::Aborted,
                         });
                         drain_woken(&kernel, &pending, end.woken);
                     }
                     Err(e) => {
-                        let _ = reply.send(EndReply::Error(e.to_string()));
+                        reply.send(EndReply::Error(e.to_string()));
                     }
                 }
             }
@@ -193,8 +349,8 @@ fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingRepli
     }
 }
 
-fn send_outcome(reply: &Sender<OpReply>, outcome: OpOutcome) {
-    let _ = reply.send(match outcome {
+fn send_outcome(reply: ReplySink<OpReply>, outcome: OpOutcome) {
+    reply.send(match outcome {
         OpOutcome::Value(v) => OpReply::Value(v),
         OpOutcome::Written | OpOutcome::WriteSkipped => OpReply::Written,
         OpOutcome::Aborted(r) => OpReply::Aborted(r),
@@ -205,13 +361,18 @@ fn send_outcome(reply: &Sender<OpReply>, outcome: OpOutcome) {
 /// Submit one operation; park its reply if the kernel makes it wait,
 /// and service any operations the submission itself woke.
 ///
-/// The reply sender is registered in `pending` *before* the kernel call:
+/// The reply sink is registered in `pending` *before* the kernel call:
 /// if the kernel parks the operation, a commit on another worker may
 /// wake and complete it before this call even returns, and that wake
-/// path must find the sender. While an operation is parked its entry
+/// path must find the sink. While an operation is parked its entry
 /// stays in the map; it is removed exactly once, by whichever path
 /// completes the operation.
-fn dispatch_op(kernel: &Kernel, pending: &PendingReplies, op: PendingOp, reply: Sender<OpReply>) {
+fn dispatch_op(
+    kernel: &Kernel,
+    pending: &PendingReplies,
+    op: PendingOp,
+    reply: ReplySink<OpReply>,
+) {
     pending.lock().insert(op.txn, reply);
     match kernel.resume(op) {
         Ok(resp) => {
@@ -219,14 +380,14 @@ fn dispatch_op(kernel: &Kernel, pending: &PendingReplies, op: PendingOp, reply: 
                 // Not parked, so no concurrent wake could have consumed
                 // the entry: it must still be present.
                 if let Some(reply) = pending.lock().remove(&op.txn) {
-                    send_outcome(&reply, resp.outcome);
+                    send_outcome(reply, resp.outcome);
                 }
             }
             drain_woken(kernel, pending, resp.woken);
         }
         Err(e) => {
             if let Some(reply) = pending.lock().remove(&op.txn) {
-                let _ = reply.send(OpReply::Error(e.to_string()));
+                reply.send(OpReply::Error(e.to_string()));
             }
         }
     }
@@ -243,16 +404,69 @@ fn drain_woken(kernel: &Kernel, pending: &PendingReplies, woken: Vec<PendingOp>)
             Ok(resp) => {
                 if resp.outcome != OpOutcome::Wait {
                     if let Some(reply) = pending.lock().remove(&p.txn) {
-                        send_outcome(&reply, resp.outcome);
+                        send_outcome(reply, resp.outcome);
                     }
                 }
                 queue.extend(resp.woken);
             }
             Err(e) => {
                 if let Some(reply) = pending.lock().remove(&p.txn) {
-                    let _ = reply.send(OpReply::Error(e.to_string()));
+                    reply.send(OpReply::Error(e.to_string()));
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use esr_core::ids::ObjectId;
+    use esr_tso::Operation;
+
+    #[test]
+    fn site_allocator_is_dense_from_one() {
+        let a = SiteAllocator::new();
+        assert_eq!(a.alloc(), Some(SiteId(1)));
+        assert_eq!(a.alloc(), Some(SiteId(2)));
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    fn site_allocator_refuses_exhaustion_instead_of_wrapping() {
+        let a = SiteAllocator::new();
+        for expect in 1..=u16::MAX {
+            assert_eq!(a.alloc(), Some(SiteId(expect)));
+        }
+        // The 65,536th client must be refused, not handed site 0 or a
+        // duplicate of a live site.
+        assert_eq!(a.alloc(), None);
+        assert_eq!(a.alloc(), None, "exhaustion is sticky");
+    }
+
+    #[test]
+    fn queued_requests_are_rejected_explicitly_on_drain() {
+        let (tx, rx) = unbounded::<Request>();
+        let (op_tx, op_rx) = bounded(1);
+        let (end_tx, end_rx) = bounded(1);
+        tx.send(Request::Op {
+            txn: TxnId(7),
+            op: Operation::Read(ObjectId(0)),
+            reply: ReplySink::channel(op_tx),
+        })
+        .unwrap();
+        tx.send(Request::End {
+            txn: TxnId(7),
+            commit: true,
+            reply: ReplySink::channel(end_tx),
+        })
+        .unwrap();
+        drain_requests(&rx);
+        assert_eq!(op_rx.recv().unwrap(), OpReply::Error(SHUTDOWN_ERROR.into()));
+        assert_eq!(
+            end_rx.recv().unwrap(),
+            EndReply::Error(SHUTDOWN_ERROR.into())
+        );
     }
 }

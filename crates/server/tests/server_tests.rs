@@ -3,7 +3,7 @@
 use esr_core::bounds::Limit;
 use esr_core::ids::{ObjectId, TxnKind};
 use esr_core::spec::TxnBounds;
-use esr_server::{Server, ServerConfig};
+use esr_server::{ConnectError, Server, ServerConfig, SHUTDOWN_ERROR};
 use esr_storage::catalog::CatalogConfig;
 use esr_tso::{AbortReason, Kernel};
 use esr_txn::{parse_program, run_with_retry, Session, SessionError};
@@ -284,4 +284,104 @@ fn server_shutdown_disconnects_clients() {
         Err(SessionError::Backend(m)) => assert!(m.contains("down"), "{m}"),
         other => panic!("{other:?}"),
     }
+}
+
+#[test]
+fn parked_reads_are_woken_by_a_commit_processed_on_another_worker() {
+    // One parked reader per object; the single End request that frees
+    // them all is processed by exactly one of the four workers, so most
+    // wakeups must cross workers: the committing worker drains the wait
+    // queues and replies on channels belonging to operations other
+    // workers parked.
+    const OBJS: u32 = 6;
+    let server = server_with(
+        &[100; OBJS as usize],
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    for i in 0..OBJS {
+        writer.write(ObjectId(i), 500 + i as i64).unwrap();
+    }
+    let mut handles = Vec::new();
+    for i in 0..OBJS {
+        let mut reader = server.connect();
+        reader
+            .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
+        handles.push(std::thread::spawn(move || {
+            let v = reader.read(ObjectId(i)).unwrap();
+            reader.commit().unwrap();
+            v
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    for h in &handles {
+        assert!(!h.is_finished(), "all readers should be parked");
+    }
+    writer.commit().unwrap();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), 500 + i as i64);
+    }
+}
+
+#[test]
+fn shutdown_answers_parked_operations_with_explicit_error() {
+    let mut server = server_with(&[100], ServerConfig::default());
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 999).unwrap();
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || reader.read(ObjectId(0)));
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!handle.is_finished(), "reader should be parked");
+    // Shutting down with an operation still parked must *answer* it
+    // with the shutdown error, not drop its reply channel.
+    server.shutdown();
+    match handle.join().unwrap() {
+        Err(SessionError::Backend(m)) => assert_eq!(m, SHUTDOWN_ERROR),
+        other => panic!("parked read should see the shutdown error: {other:?}"),
+    }
+}
+
+#[test]
+fn site_ids_are_refused_not_recycled_when_exhausted() {
+    // Virtual time keeps the 65k correction handshakes cheap and
+    // deterministic.
+    let server = server_with(
+        &[1],
+        ServerConfig {
+            virtual_time: true,
+            ..ServerConfig::default()
+        },
+    );
+    let mut last = None;
+    for _ in 0..u16::MAX {
+        match server.try_connect_with_skew(0) {
+            Ok(c) => last = Some(c),
+            Err(e) => panic!("allocation failed early: {e}"),
+        }
+    }
+    // The id space (1..=65535; 0 is the server) is now exhausted: the
+    // counter must refuse, not wrap around onto live sites.
+    assert!(matches!(
+        server.try_connect_with_skew(0),
+        Err(ConnectError::SitesExhausted)
+    ));
+    // The last successfully connected client still works.
+    let mut c = last.unwrap();
+    c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    assert_eq!(c.read(ObjectId(0)).unwrap(), 1);
+    c.commit().unwrap();
 }

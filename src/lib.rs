@@ -23,6 +23,7 @@
 //! | [`tso`] (`esr-tso`) | Timestamp-ordering concurrency control with the three ESR relaxation cases of §4, strict-ordering waits, and abort/restart. |
 //! | [`txn`] (`esr-txn`) | The textual transaction language (`BEGIN Query TIL = 100000 …`), sessions, and the retry-until-commit client driver. |
 //! | [`server`] (`esr-server`) | The multithreaded client/server prototype (§6) with blocking waits and injectable RPC latency. |
+//! | [`net`] (`esr-net`) | The TCP transport: framed wire protocol, the `esr-tcpd` server binary, and a remote `Session` implementation with real RPC latency. |
 //! | [`sim`] (`esr-sim`) | A deterministic discrete-event simulation of the prototype's system model — the engine behind every figure. |
 //! | [`workload`] (`esr-workload`) | The §7 evaluation workload plus banking/airline domain workloads and script emission. |
 //! | [`metrics`] (`esr-metrics`) | Summary statistics, 90% confidence intervals, and figure rendering. |
@@ -66,6 +67,7 @@ pub use esr_checker as checker;
 pub use esr_clock as clock;
 pub use esr_core as core;
 pub use esr_metrics as metrics;
+pub use esr_net as net;
 pub use esr_replica as replica;
 pub use esr_server as server;
 pub use esr_sim as sim;
@@ -82,6 +84,7 @@ pub mod prelude {
     pub use esr_core::hierarchy::HierarchySchema;
     pub use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
     pub use esr_core::spec::TxnBounds;
+    pub use esr_net::{NetClientConfig, TcpConnection, TcpServer};
     pub use esr_replica::{Replica, ReplicatedSystem};
     pub use esr_server::{Connection, Server, ServerConfig};
     pub use esr_storage::{CatalogConfig, LimitAssignment, ObjectTable};

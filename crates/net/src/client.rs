@@ -242,9 +242,14 @@ impl TcpConnection {
         }
     }
 
-    /// Mirrors the in-process connection: `current` is cleared only
-    /// when the server actually ended the transaction — an
-    /// `EndReply::Error` leaves the handle alive for a retry or abort.
+    /// Mirrors the in-process connection: `current` is cleared unless
+    /// the reply is an `EndReply::Error` (the only case in which the
+    /// transaction may still be alive server-side, leaving the handle
+    /// for a retry or abort). `Unknown` in particular *must* clear it:
+    /// when a commit's reply is lost to a timeout after the server
+    /// ended the transaction, the retried `End` answers `Unknown`, and
+    /// keeping the handle would wedge this connection permanently —
+    /// every later `begin` refused, with no way out.
     fn submit_end(&mut self, commit: bool) -> Result<EndReply, SessionError> {
         let txn = self.current.ok_or(SessionError::NoTransaction)?;
         let reply = match self.call(RequestBody::End { txn, commit })? {
@@ -313,6 +318,10 @@ impl Session for TcpConnection {
         match self.submit_end(true)? {
             EndReply::Committed(info) => Ok(info),
             EndReply::Aborted => Err(SessionError::Backend("commit answered as abort".into())),
+            EndReply::Unknown(t) => Err(SessionError::Backend(format!(
+                "transaction {t} unknown to the server (already ended, or an earlier \
+                 commit reply was lost)"
+            ))),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }
@@ -321,6 +330,10 @@ impl Session for TcpConnection {
         match self.submit_end(false)? {
             EndReply::Aborted => Ok(()),
             EndReply::Committed(_) => Err(SessionError::Backend("abort answered as commit".into())),
+            EndReply::Unknown(t) => Err(SessionError::Backend(format!(
+                "transaction {t} unknown to the server (already ended, or an earlier \
+                 commit reply was lost)"
+            ))),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }

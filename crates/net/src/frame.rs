@@ -28,6 +28,23 @@ use std::io::{self, Read, Write};
 /// specifications without admitting unbounded allocations.
 pub const MAX_FRAME: u32 = 1 << 20;
 
+/// Upper bound on the nesting depth of a decoded value. The protocol's
+/// messages nest a handful of levels (envelope → enum → struct → seq of
+/// tuples); 64 leaves an order-of-magnitude margin. Without this cap a
+/// small hostile frame of nested one-element sequences (two bytes per
+/// level, so ~500k levels fit under [`MAX_FRAME`]) would drive the
+/// recursive decoder through the reader thread's stack and abort the
+/// whole process.
+pub const MAX_DEPTH: usize = 64;
+
+/// Largest element count a sequence/map claim may pre-reserve. Claims
+/// are validated against the remaining bytes, but one byte of payload
+/// can claim one *element* (tens of bytes of `Content`), so reserving
+/// the full claim would let a 1 MiB frame pin far more memory than the
+/// frame cap suggests — per nesting level. Honest oversized collections
+/// still decode; the vector just grows past this on push.
+const MAX_PREALLOC: usize = 4096;
+
 /// Node tags of the binary Content encoding.
 const TAG_NULL: u8 = 0;
 const TAG_FALSE: u8 = 1;
@@ -185,7 +202,12 @@ fn take_str(buf: &[u8], pos: &mut usize) -> Result<String, FrameError> {
     Ok(s)
 }
 
-fn decode_content(buf: &[u8], pos: &mut usize) -> Result<Content, FrameError> {
+fn decode_content(buf: &[u8], pos: &mut usize, depth: usize) -> Result<Content, FrameError> {
+    if depth >= MAX_DEPTH {
+        return Err(FrameError::Codec(format!(
+            "value nests deeper than {MAX_DEPTH} levels"
+        )));
+    }
     let tag = *buf
         .get(*pos)
         .ok_or_else(|| FrameError::Codec("truncated tag".into()))?;
@@ -213,21 +235,25 @@ fn decode_content(buf: &[u8], pos: &mut usize) -> Result<Content, FrameError> {
             if n > buf.len() - *pos {
                 return Err(FrameError::Codec("sequence length exceeds frame".into()));
             }
-            let mut items = Vec::with_capacity(n);
+            // The claim bounds elements, not bytes: reserve only up to
+            // MAX_PREALLOC and let push() grow honest large sequences.
+            let mut items = Vec::with_capacity(n.min(MAX_PREALLOC));
             for _ in 0..n {
-                items.push(decode_content(buf, pos)?);
+                items.push(decode_content(buf, pos, depth + 1)?);
             }
             Content::Seq(items)
         }
         TAG_MAP => {
             let n = get_varint(buf, pos)? as usize;
-            if n > buf.len() - *pos {
+            // Each entry costs at least two bytes (empty-key varint plus
+            // the value's tag).
+            if n > (buf.len() - *pos) / 2 {
                 return Err(FrameError::Codec("map length exceeds frame".into()));
             }
-            let mut entries = Vec::with_capacity(n);
+            let mut entries = Vec::with_capacity(n.min(MAX_PREALLOC));
             for _ in 0..n {
                 let k = take_str(buf, pos)?;
-                let v = decode_content(buf, pos)?;
+                let v = decode_content(buf, pos, depth + 1)?;
                 entries.push((k, v));
             }
             Content::Map(entries)
@@ -246,7 +272,7 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Vec<u8> {
 /// Deserialize a frame payload produced by [`to_bytes`].
 pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, FrameError> {
     let mut pos = 0;
-    let content = decode_content(bytes, &mut pos)?;
+    let content = decode_content(bytes, &mut pos, 0)?;
     if pos != bytes.len() {
         return Err(FrameError::Codec(format!(
             "{} trailing bytes after value",
@@ -411,6 +437,10 @@ mod tests {
         });
         round_trip(WireReply {
             id: 7,
+            body: ReplyBody::End(EndReply::Unknown(TxnId(12))),
+        });
+        round_trip(WireReply {
+            id: 8,
             body: ReplyBody::Error("server shut down".into()),
         });
     }
@@ -466,6 +496,34 @@ mod tests {
             Err(FrameError::Codec(m)) => assert!(m.contains("tag")),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn hostile_deep_nesting_is_rejected_not_a_stack_overflow() {
+        // A frame of nested one-element sequences, two bytes per level:
+        // tiny on the wire, but an uncapped recursive decoder would
+        // recurse once per level and blow the reader thread's stack.
+        let levels = 100_000;
+        let mut payload = Vec::with_capacity(2 * levels + 1);
+        for _ in 0..levels {
+            payload.push(TAG_SEQ);
+            payload.push(1); // varint count = 1
+        }
+        payload.push(TAG_NULL);
+        match from_bytes::<Vec<u64>>(&payload) {
+            Err(FrameError::Codec(m)) => assert!(m.contains("nests deeper"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // Nesting within the cap still decodes.
+        round_trip(vec![vec![vec![1u64, 2], vec![3]], vec![]]);
+    }
+
+    #[test]
+    fn honest_sequences_longer_than_the_prealloc_cap_decode() {
+        // The reservation cap must not reject or truncate genuinely
+        // large (but in-budget) collections.
+        let big: Vec<u64> = (0..(MAX_PREALLOC as u64 * 4)).collect();
+        round_trip(big);
     }
 
     #[test]

@@ -27,10 +27,13 @@
 use crate::frame::{read_frame, write_frame};
 use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use esr_core::ids::SiteId;
 use esr_server::{ReplySink, Request, RpcHandle, Server, SHUTDOWN_ERROR};
 use parking_lot::Mutex;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,8 +122,23 @@ impl TcpServer {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop; it observes `stop` and exits.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept loop; it observes `stop` and exits. A
+        // wildcard bind address (0.0.0.0/::) is not connectable on
+        // every platform, so the wake-up targets the loopback of the
+        // same family with the bound port; bounded by a timeout so a
+        // failed wake-up cannot hang shutdown indefinitely (the accept
+        // loop also polls `stop` after every accept error).
+        let wake = if self.addr.ip().is_unspecified() {
+            let ip: IpAddr = if self.addr.is_ipv4() {
+                Ipv4Addr::LOCALHOST.into()
+            } else {
+                Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(ip, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(2));
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -163,6 +181,10 @@ fn accept_loop(
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                // A persistent accept failure (EMFILE when the fd table
+                // is full, say) would otherwise busy-spin this thread at
+                // 100% CPU; back off briefly before retrying.
+                std::thread::sleep(Duration::from_millis(50));
                 continue;
             }
         };
@@ -206,23 +228,26 @@ fn writer_loop(mut stream: TcpStream, replies: Receiver<WireReply>) {
 
 /// Decode requests and feed them to the worker pool, attaching reply
 /// hooks that carry the correlation id back to this connection's
-/// writer.
+/// writer. When the loop exits — EOF, codec failure, shutdown — every
+/// site id this connection obtained via `Hello` is returned to the
+/// allocator, so connection churn cannot exhaust the 16-bit id space.
 fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>) {
-    loop {
-        let req: WireRequest = match read_frame(&mut stream) {
-            Ok(req) => req,
-            // Closed: orderly EOF. Io/Codec/Oversize: the stream can no
-            // longer be trusted to be frame-aligned, so drop it; the
-            // client's bounded retries surface the failure.
-            Err(_) => return,
-        };
+    let mut hello_sites: Vec<SiteId> = Vec::new();
+    // Loop until the first read failure. Closed: orderly EOF.
+    // Io/Codec/Oversize: the stream can no longer be trusted to be
+    // frame-aligned, so drop it; the client's bounded retries surface
+    // the failure.
+    while let Ok(req) = read_frame::<WireRequest>(&mut stream) {
         let id = req.id;
         let reply_to = |body: ReplyBody| {
             let _ = replies.send(WireReply { id, body });
         };
         match req.body {
             RequestBody::Hello => match rpc.alloc_site() {
-                Ok(site) => reply_to(ReplyBody::Welcome { site: site.0 }),
+                Ok(site) => {
+                    hello_sites.push(site);
+                    reply_to(ReplyBody::Welcome { site: site.0 });
+                }
                 Err(e) => reply_to(ReplyBody::Error(e.to_string())),
             },
             RequestBody::TimeExchange => reply_to(ReplyBody::Time {
@@ -281,6 +306,9 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                 );
             }
         }
+    }
+    for site in hello_sites {
+        rpc.release_site(site);
     }
 }
 

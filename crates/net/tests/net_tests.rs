@@ -223,6 +223,40 @@ fn loopback_smoke_eight_clients_preserve_invariant() {
 }
 
 #[test]
+fn unknown_txn_end_does_not_wedge_the_connection() {
+    // Two clients race an End for the same transaction id — the moral
+    // equivalent of a commit whose reply was lost and retried after the
+    // server already ended the transaction. The loser gets a permanent
+    // "unknown transaction" answer and MUST drop its local handle:
+    // before the typed EndReply::Unknown variant the handle survived
+    // every End error, so this connection would refuse all later
+    // begins, forever.
+    let tcp = tcp_server_with(&[100], 2);
+    let mut a = client(&tcp);
+    a.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    a.commit().unwrap();
+    // Re-enter a transaction, then end it out-of-band via a second
+    // in-process connection issuing the raw End for the same txn.
+    a.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    let txn = a.current_txn().unwrap();
+    let end = tcp.server().kernel().abort(txn).expect("out-of-band abort");
+    assert!(end.woken.is_empty(), "nothing was parked on this txn");
+    // `a`'s own commit now finds the transaction gone…
+    match a.commit() {
+        Err(SessionError::Backend(m)) => assert!(m.contains("unknown"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+    // …and the connection recovers instead of being bricked.
+    assert!(!a.in_txn(), "Unknown end reply must clear the handle");
+    a.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    assert_eq!(a.read(ObjectId(0)).unwrap(), 100);
+    a.commit().unwrap();
+}
+
+#[test]
 fn skewed_tcp_client_is_corrected_by_the_handshake() {
     let tcp = tcp_server_with(&[100], 4);
     // Two minutes fast and two minutes slow, the paper's extreme.
@@ -275,6 +309,52 @@ fn skewed_tcp_client_is_corrected_by_the_handshake() {
     }
     assert!(done, "slow client never committed despite correction");
     assert_eq!(tcp.server().kernel().table().lock(ObjectId(0)).value, 160);
+}
+
+#[test]
+fn shutdown_of_a_wildcard_bound_server_returns_promptly() {
+    // Binding 0.0.0.0 means local_addr() is not directly connectable on
+    // every platform; shutdown's accept-loop wake-up must target the
+    // loopback with the bound port instead of hanging the join.
+    let table = CatalogConfig::default().build_with_values(&[1]);
+    let server = Server::start(Kernel::with_defaults(table), ServerConfig::default());
+    let mut tcp = TcpServer::bind(server, "0.0.0.0:0").expect("bind wildcard");
+    assert!(tcp.local_addr().ip().is_unspecified());
+    let mut c =
+        TcpConnection::connect(("127.0.0.1", tcp.local_addr().port())).expect("connect loopback");
+    c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    c.commit().unwrap();
+    let t0 = std::time::Instant::now();
+    tcp.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown hung on the accept join"
+    );
+}
+
+#[test]
+fn disconnecting_returns_the_site_id_for_reuse() {
+    // Connection churn must not consume the 16-bit site space: when a
+    // connection goes away its reader releases the Hello-allocated id,
+    // and a later connection receives it again.
+    let tcp = tcp_server_with(&[1], 2);
+    let first_site = client(&tcp).site(); // connect, read id, drop
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        // The release happens when the server-side reader observes the
+        // EOF of the dropped connection, so poll briefly. Connections
+        // that drew a fresh id are themselves dropped and recycled.
+        let c = client(&tcp);
+        if c.site() == first_site {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "site id {first_site:?} was never recycled"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 #[test]

@@ -76,10 +76,12 @@ impl Connection {
         Ok(reply)
     }
 
-    /// End the current transaction. `current` is cleared only when the
-    /// server actually ended it (`Committed`/`Aborted`): an
-    /// `EndReply::Error` leaves the transaction alive server-side, and
-    /// clearing the handle here would strand it with no way to retry
+    /// End the current transaction. `current` is cleared unless the
+    /// reply is an `EndReply::Error`: a `Committed`/`Aborted` ended the
+    /// transaction, and an `Unknown` means the server has no such
+    /// transaction at all (it already ended — keeping the handle would
+    /// make every later `begin` fail forever). Only `Error` leaves the
+    /// transaction alive server-side with the handle intact to retry
     /// the commit or abort it.
     fn submit_end(&mut self, commit: bool) -> Result<EndReply, SessionError> {
         let txn = self.current()?;
@@ -160,6 +162,9 @@ impl Session for Connection {
         match self.submit_end(true)? {
             EndReply::Committed(info) => Ok(info),
             EndReply::Aborted => Err(SessionError::Backend("commit answered as abort".into())),
+            EndReply::Unknown(t) => Err(SessionError::Backend(format!(
+                "transaction {t} unknown to the server (already ended?)"
+            ))),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }
@@ -168,6 +173,9 @@ impl Session for Connection {
         match self.submit_end(false)? {
             EndReply::Aborted => Ok(()),
             EndReply::Committed(_) => Err(SessionError::Backend("abort answered as commit".into())),
+            EndReply::Unknown(t) => Err(SessionError::Backend(format!(
+                "transaction {t} unknown to the server (already ended?)"
+            ))),
             EndReply::Error(e) => Err(SessionError::Backend(e)),
         }
     }
@@ -249,6 +257,30 @@ mod tests {
         // …and a successful retry finally clears it.
         assert!(c.commit().is_ok());
         assert!(!c.in_txn());
+    }
+
+    #[test]
+    fn unknown_txn_reply_releases_the_handle() {
+        // The lost-commit-reply scenario: the server ended the txn but
+        // the client never saw it, so the retried End answers Unknown.
+        // The handle must be dropped — keeping it would make this
+        // connection refuse every future `begin`, forever.
+        let mut c = scripted_connection(vec![
+            ScriptReply::Begin(BeginReply::Started(TxnId(4))),
+            ScriptReply::End(EndReply::Unknown(TxnId(4))),
+            ScriptReply::Begin(BeginReply::Started(TxnId(5))),
+        ]);
+        c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        match c.commit() {
+            Err(SessionError::Backend(m)) => assert!(m.contains("unknown"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(!c.in_txn(), "EndReply::Unknown must clear `current`");
+        // …and the connection is still usable.
+        c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        assert_eq!(c.current_txn(), Some(TxnId(5)));
     }
 
     #[test]

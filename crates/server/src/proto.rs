@@ -44,7 +44,13 @@ pub enum EndReply {
     Committed(CommitInfo),
     /// Aborted (client-initiated) successfully.
     Aborted,
-    /// Driver-level error.
+    /// The server has no such transaction: it never began, or it
+    /// already ended (e.g. the reply to an earlier `End` was lost in
+    /// transit and this is the retry). Permanent — the client must drop
+    /// its local handle; retrying can never succeed.
+    Unknown(TxnId),
+    /// Any other driver-level error. The transaction may still be live
+    /// server-side, so the client keeps its handle to retry or abort.
     Error(String),
 }
 

@@ -8,7 +8,7 @@ use esr_clock::{
     TimestampGenerator,
 };
 use esr_core::ids::{SiteId, TxnId};
-use esr_tso::{Kernel, OpOutcome, PendingOp};
+use esr_tso::{Kernel, KernelError, OpOutcome, PendingOp};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -47,16 +47,31 @@ impl Default for ServerConfig {
 pub const SHUTDOWN_ERROR: &str = "server shut down";
 
 /// Hands out site ids, erroring (instead of silently wrapping) when the
-/// 16-bit site space is exhausted.
+/// 16-bit site space is exhausted, and recycling ids released by
+/// disconnected clients.
 ///
 /// `SiteId` is a `u16` on the wire; the previous `AtomicU16::fetch_add`
 /// wrapped after 65,535 connections, at which point two live connections
 /// shared a site and timestamp uniqueness — the bedrock of timestamp
 /// ordering — silently broke. The counter is now wider than the id
-/// space, so exhaustion is observable and refused.
+/// space, so exhaustion is observable and refused; and because a
+/// long-running server with connection churn would otherwise burn
+/// through the space (every TCP `Hello` consumes an id), transports
+/// [`SiteAllocator::release`] ids when a connection goes away, and
+/// those are reused before fresh ones are minted.
+///
+/// Reuse preserves timestamp uniqueness for *live* sites: two
+/// simultaneously connected clients never share an id. A recycled id
+/// can in principle collide with a timestamp the previous holder
+/// issued, but only if the new holder's corrected clock reads an
+/// earlier instant than the old holder ever stamped — bounded by the
+/// residual correction error (~RTT/2), not by the configured skew.
 #[derive(Debug)]
 pub struct SiteAllocator {
     next: AtomicU32,
+    /// Released ids awaiting reuse, smallest first. A set (not a list)
+    /// so a double release cannot hand one id to two connections.
+    free: Mutex<std::collections::BTreeSet<SiteId>>,
 }
 
 impl SiteAllocator {
@@ -65,12 +80,17 @@ impl SiteAllocator {
     pub fn new() -> Self {
         SiteAllocator {
             next: AtomicU32::new(1),
+            free: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
-    /// Allocate the next site id, or `None` once all 65,535 client ids
-    /// have been handed out.
+    /// Allocate a site id — a recycled one if any has been released,
+    /// else the next fresh id — or `None` once all 65,535 client ids
+    /// are simultaneously in use.
     pub fn alloc(&self) -> Option<SiteId> {
+        if let Some(site) = self.free.lock().pop_first() {
+            return Some(site);
+        }
         // fetch_add on the wider counter cannot wrap in any realistic
         // run (it would take 2^32 allocations); ids past u16::MAX are
         // refused rather than reused.
@@ -78,9 +98,19 @@ impl SiteAllocator {
         u16::try_from(raw).ok().map(SiteId)
     }
 
-    /// How many ids have been handed out so far.
+    /// Return a no-longer-used site id to the pool. Ignores site 0
+    /// (reserved) and ids that were never handed out.
+    pub fn release(&self, site: SiteId) {
+        if site.0 == 0 || u32::from(site.0) >= self.next.load(Ordering::Relaxed) {
+            return;
+        }
+        self.free.lock().insert(site);
+    }
+
+    /// How many ids are currently allocated (handed out, not released).
     pub fn allocated(&self) -> u32 {
-        self.next.load(Ordering::Relaxed).saturating_sub(1)
+        let minted = self.next.load(Ordering::Relaxed).saturating_sub(1);
+        minted.saturating_sub(self.free.lock().len() as u32)
     }
 }
 
@@ -303,6 +333,13 @@ impl RpcHandle {
         self.sites.alloc().ok_or(ConnectError::SitesExhausted)
     }
 
+    /// Return a remote connection's site id for reuse once the
+    /// connection is gone. Transports call this when a connection's
+    /// reader exits so churn does not exhaust the 16-bit id space.
+    pub fn release_site(&self, site: SiteId) {
+        self.sites.release(site);
+    }
+
     /// The server reference clock, read for a Cristian-style time
     /// exchange (the client halves its measured round trip).
     pub fn reference_micros(&self) -> u64 {
@@ -338,6 +375,13 @@ fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingRepli
                             None => EndReply::Aborted,
                         });
                         drain_woken(&kernel, &pending, end.woken);
+                    }
+                    // Unknown is typed, not stringly: the client must
+                    // learn the transaction is permanently gone (a lost
+                    // commit reply followed by a retry lands here) so it
+                    // can drop its handle instead of retrying forever.
+                    Err(KernelError::UnknownTxn(t)) => {
+                        reply.send(EndReply::Unknown(t));
                     }
                     Err(e) => {
                         reply.send(EndReply::Error(e.to_string()));
@@ -442,7 +486,46 @@ mod tests {
         // The 65,536th client must be refused, not handed site 0 or a
         // duplicate of a live site.
         assert_eq!(a.alloc(), None);
-        assert_eq!(a.alloc(), None, "exhaustion is sticky");
+        assert_eq!(
+            a.alloc(),
+            None,
+            "exhaustion persists while all ids are live"
+        );
+        // …but releasing a live id makes room again: churn must not
+        // permanently brick a long-running server.
+        a.release(SiteId(7));
+        assert_eq!(a.alloc(), Some(SiteId(7)));
+        assert_eq!(a.alloc(), None);
+    }
+
+    #[test]
+    fn site_allocator_recycles_released_ids() {
+        let a = SiteAllocator::new();
+        assert_eq!(a.alloc(), Some(SiteId(1)));
+        assert_eq!(a.alloc(), Some(SiteId(2)));
+        assert_eq!(a.alloc(), Some(SiteId(3)));
+        a.release(SiteId(2));
+        a.release(SiteId(1));
+        assert_eq!(a.allocated(), 1);
+        // Smallest released id first, then fresh ids once the pool is
+        // dry.
+        assert_eq!(a.alloc(), Some(SiteId(1)));
+        assert_eq!(a.alloc(), Some(SiteId(2)));
+        assert_eq!(a.alloc(), Some(SiteId(4)));
+    }
+
+    #[test]
+    fn site_allocator_ignores_bogus_releases() {
+        let a = SiteAllocator::new();
+        assert_eq!(a.alloc(), Some(SiteId(1)));
+        a.release(SiteId(0)); // reserved
+        a.release(SiteId(9)); // never handed out
+        assert_eq!(a.alloc(), Some(SiteId(2)));
+        // Double release must not hand the same id out twice.
+        a.release(SiteId(1));
+        a.release(SiteId(1));
+        assert_eq!(a.alloc(), Some(SiteId(1)));
+        assert_eq!(a.alloc(), Some(SiteId(3)));
     }
 
     #[test]

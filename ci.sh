@@ -24,6 +24,15 @@ echo "==> cargo test -p esr-tso -p esr-sim --features capture -q"
 cargo test -p esr-tso --features capture -q
 cargo test -p esr-sim --features capture -q
 
+# The observability layer: histogram/gauge/ring/exposition unit and
+# property tests, then the kernel hooks with the per-transaction event
+# ring compiled in (feature-gated off by default) — including the
+# driver-equivalence test proving obs never changes outcomes.
+echo "==> cargo test -p esr-obs -q"
+cargo test -p esr-obs -q
+echo "==> cargo test -p esr-tso --features obs-events -q"
+cargo test -p esr-tso --features obs-events -q
+
 # The TCP transport, explicitly: unit tests (framing codec, client
 # bounds) plus the loopback integration suite — 8 concurrent socket
 # clients, wait/wake across connections, graceful-shutdown error
@@ -31,5 +40,12 @@ cargo test -p esr-sim --features capture -q
 # work throughout; no sleeps in the smoke test.
 echo "==> cargo test -p esr-net -q"
 cargo test -p esr-net -q
+
+# Benchmark-trajectory smoke: two scenarios on a short virtual window,
+# writing BENCH_PR3.json at the workspace root.
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> bench-pr3 --smoke"
+    cargo run --release -q -p esr-bench --bin bench-pr3 -- --smoke
+fi
 
 echo "CI OK"

@@ -1,0 +1,66 @@
+//! `bench-pr3` — emit the PR 3 benchmark-trajectory artifact.
+//!
+//! Runs the canonical MPL-4 operating point under two epsilon presets
+//! (strict SR and the high-epsilon preset) on the deterministic
+//! simulator and writes `BENCH_PR3.json` at the workspace root:
+//! `scenario → {throughput, p50/p95/p99 latency µs, aborts,
+//! inconsistent_ops}`. Pass `--smoke` for a short window (CI).
+
+use esr_bench::emit::{emit_bench_json, BenchRow};
+use esr_bench::scenarios::mpl_scenario;
+use esr_core::bounds::EpsilonPreset;
+use esr_sim::{simulate, SimConfig};
+use std::collections::BTreeMap;
+
+/// The scenarios recorded in the artifact: name → simulator config.
+fn scenarios(smoke: bool) -> Vec<(&'static str, SimConfig)> {
+    let shrink = |mut cfg: SimConfig| {
+        if smoke {
+            cfg.warmup_micros = 500_000;
+            cfg.measure_micros = 5_000_000;
+        }
+        cfg
+    };
+    vec![
+        (
+            "sr_strict_mpl4",
+            shrink(mpl_scenario(4, EpsilonPreset::Zero)),
+        ),
+        (
+            "esr_high_mpl4",
+            shrink(mpl_scenario(4, EpsilonPreset::High)),
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let mut rows = BTreeMap::new();
+    println!(
+        "{:>16}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>12}",
+        "scenario", "txn/s", "p50 µs", "p95 µs", "p99 µs", "aborts", "inconsistent"
+    );
+    for (name, cfg) in scenarios(smoke) {
+        let result = simulate(&cfg);
+        let row = BenchRow::from(&result);
+        println!(
+            "{name:>16}  {:>10.1}  {:>9}  {:>9}  {:>9}  {:>7}  {:>12}",
+            row.throughput,
+            row.latency_p50_micros,
+            row.latency_p95_micros,
+            row.latency_p99_micros,
+            row.aborts,
+            row.inconsistent_ops,
+        );
+        rows.insert(name.to_string(), row);
+    }
+
+    match emit_bench_json("BENCH_PR3.json", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_PR3.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -18,6 +18,6 @@ pub mod emit;
 pub mod runners;
 pub mod scenarios;
 
-pub use emit::emit_figure;
+pub use emit::{emit_bench_json, emit_figure, BenchRow};
 pub use runners::{run_point, sweep_mpl, thrashing_point};
 pub use scenarios::*;

@@ -192,6 +192,43 @@ impl Ledger {
         Ok(())
     }
 
+    /// The hierarchy level that *binds* an admissible charge of `d` on
+    /// `obj`: the level with the least remaining headroom once the
+    /// charge lands (ties resolved bottom-up — object before group
+    /// before transaction). This is diagnostic only — observability
+    /// uses it to report which bound a relaxation was admitted under —
+    /// and must be called with the same arguments as the admitting
+    /// [`try_charge`], *before* the charge is recorded.
+    ///
+    /// When every level on the path is unlimited the transaction level
+    /// is reported (nothing binds, so the root is the nominal answer).
+    ///
+    /// [`try_charge`]: Ledger::try_charge
+    pub fn binding_level(&self, obj: ObjectId, d: Distance, store_limit: Limit) -> ViolationLevel {
+        let mut best: Option<(Distance, ViolationLevel)> = None;
+        let mut consider = |headroom: Distance, level: ViolationLevel| {
+            // Strict `<` keeps the first (lowest) level on ties.
+            if best.as_ref().is_none_or(|(h, _)| headroom < *h) {
+                best = Some((headroom, level));
+            }
+        };
+        if let Limit::Finite(max) = self.effective_object_limit(obj, store_limit) {
+            consider(max.saturating_sub(d), ViolationLevel::Object(obj));
+        }
+        for node in self.schema.charge_path(obj) {
+            if let Limit::Finite(max) = self.limits[node.0 as usize] {
+                let after = self.acc[node.0 as usize].saturating_add(d);
+                let level = match self.schema.name_of(node) {
+                    Some(name) => ViolationLevel::Group(name.to_owned()),
+                    None => ViolationLevel::Transaction,
+                };
+                consider(max.saturating_sub(after), level);
+            }
+        }
+        best.map(|(_, level)| level)
+            .unwrap_or(ViolationLevel::Transaction)
+    }
+
     /// Invariant check: for every interior node, the accumulated
     /// inconsistency of its children never exceeds its own (children sum
     /// to the parent exactly, since every charge walks the full path).
@@ -386,6 +423,52 @@ mod tests {
         assert_eq!(ledger.accumulated(company), 60);
         assert_eq!(ledger.accumulated(personal), 90);
         assert_eq!(ledger.total(), 150);
+    }
+
+    #[test]
+    fn binding_level_picks_tightest_bound() {
+        let schema = banking_schema();
+        let mut ledger = Ledger::new(&schema, &bounded_query());
+        // Fresh ledger, object under com1 (limit 200, company 4000,
+        // root 10k). With an unlimited store OIL, com1 binds.
+        assert_eq!(
+            ledger.binding_level(ObjectId(0), 50, Limit::Unlimited),
+            ViolationLevel::Group("com1".into())
+        );
+        // A tight store OIL binds below the groups.
+        assert_eq!(
+            ledger.binding_level(ObjectId(0), 50, Limit::at_most(60)),
+            ViolationLevel::Object(ObjectId(0))
+        );
+        // After consuming most of the root budget through "personal"
+        // (whose group has no limit), the transaction level binds even
+        // for a com1 object: 9 900 used, so the root has 50 of headroom
+        // left while com1 still has 150.
+        ledger
+            .try_charge(ObjectId(20), 9_900, Limit::Unlimited)
+            .unwrap();
+        assert_eq!(
+            ledger.binding_level(ObjectId(0), 50, Limit::Unlimited),
+            ViolationLevel::Transaction
+        );
+        // Unconstrained everywhere: nominal answer is the transaction.
+        let free = Ledger::new(&schema, &TxnBounds::import(Limit::Unlimited));
+        assert_eq!(
+            free.binding_level(ObjectId(0), 1, Limit::Unlimited),
+            ViolationLevel::Transaction
+        );
+    }
+
+    #[test]
+    fn binding_level_ties_resolve_bottom_up() {
+        // Object limit equal to the group/root headroom: the object
+        // (lowest level) must win the tie.
+        let schema = HierarchySchema::two_level();
+        let ledger = Ledger::new(&schema, &TxnBounds::import(Limit::at_most(100)));
+        assert_eq!(
+            ledger.binding_level(ObjectId(0), 30, Limit::at_most(100)),
+            ViolationLevel::Object(ObjectId(0))
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `esr-tcpd` — serve a fresh ESR database over TCP.
 //!
 //! ```text
-//! esr-tcpd [ADDR] [--objects N] [--value V] [--workers W]
+//! esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7878`, 64 objects initialised to 1000 (the
@@ -9,14 +9,23 @@
 //! printed once the listener is up; connect with
 //! `esr_net::TcpConnection` (see the `tcp_loopback` example) or any
 //! client speaking the framed protocol.
+//!
+//! With `--metrics-addr` a second listener serves the live observability
+//! layer over plain HTTP: `curl http://ADDR/metrics` returns kernel
+//! counters, gauges (wait-queue depth, active transactions, in-flight
+//! requests), and latency-histogram summaries in Prometheus text
+//! format.
 
-use esr_net::TcpServer;
-use esr_server::{Server, ServerConfig};
+use esr_net::{MetricsServer, StatsSource, TcpServer};
+use esr_server::{build_server_stats, Server, ServerConfig};
 use esr_storage::catalog::CatalogConfig;
 use esr_tso::Kernel;
+use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W]");
+    eprintln!(
+        "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR]"
+    );
     std::process::exit(2);
 }
 
@@ -35,6 +44,7 @@ fn main() {
     let mut objects: usize = 64;
     let mut value: i64 = 1000;
     let mut workers: usize = 4;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -42,6 +52,7 @@ fn main() {
             "--objects" => objects = parse(&mut args, "--objects"),
             "--value" => value = parse(&mut args, "--value"),
             "--workers" => workers = parse(&mut args, "--workers"),
+            "--metrics-addr" => metrics_addr = Some(parse(&mut args, "--metrics-addr")),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
             _ => usage(),
@@ -67,6 +78,22 @@ fn main() {
         "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers)",
         tcp.local_addr()
     );
+    // Keep the metrics listener alive for the lifetime of the process.
+    let _metrics = metrics_addr.map(|maddr| {
+        let kernel = Arc::clone(tcp.server().kernel());
+        let obs = Arc::clone(tcp.server().obs());
+        let source: StatsSource = Arc::new(move || build_server_stats(&kernel, &obs));
+        match MetricsServer::bind(&maddr, source) {
+            Ok(m) => {
+                println!("esr-tcpd metrics on http://{}/metrics", m.local_addr());
+                m
+            }
+            Err(e) => {
+                eprintln!("esr-tcpd: cannot bind metrics address {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     // Serve until killed; the TcpServer's Drop handles graceful
     // shutdown when the process is terminated cleanly.
     loop {

@@ -27,7 +27,8 @@ use esr_clock::{CorrectionFactor, SkewedSource, SystemTimeSource, TimeSource, Ti
 use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
 use esr_core::value::Value;
-use esr_server::{BeginReply, EndReply, OpReply};
+use esr_obs::{HistogramSnapshot, LatencyHistogram};
+use esr_server::{BeginReply, EndReply, OpReply, ServerStats, StatsReply};
 use esr_tso::{CommitInfo, Operation};
 use esr_txn::{Session, SessionError};
 use std::io;
@@ -83,6 +84,9 @@ pub struct TcpConnection {
     clock: Arc<TimestampGenerator>,
     next_id: u64,
     current: Option<TxnId>,
+    /// Measured round trip of every RPC this connection issued,
+    /// including time an operation spent parked server-side.
+    rpc_latency: LatencyHistogram,
 }
 
 impl TcpConnection {
@@ -133,6 +137,7 @@ impl TcpConnection {
             )),
             next_id: 1,
             current: None,
+            rpc_latency: LatencyHistogram::new(),
         };
         conn.handshake().map_err(io::Error::other)?;
         Ok(conn)
@@ -190,6 +195,27 @@ impl TcpConnection {
         self.current
     }
 
+    /// Snapshot of this connection's measured RPC round trips
+    /// (microseconds), one sample per call — the real-network analogue
+    /// of the paper's 17–20 ms synchronous RPC cost.
+    pub fn rpc_latency(&self) -> HistogramSnapshot {
+        self.rpc_latency.snapshot()
+    }
+
+    /// Fetch the server's live stats (kernel counters, gauges, latency
+    /// histograms) over the wire.
+    pub fn server_stats(&mut self) -> Result<ServerStats, SessionError> {
+        match self.call(RequestBody::Stats)? {
+            ReplyBody::Stats(StatsReply::Stats(stats)) => Ok(*stats),
+            ReplyBody::Stats(StatsReply::Error(e)) | ReplyBody::Error(e) => {
+                Err(SessionError::Backend(e))
+            }
+            other => Err(SessionError::Backend(format!(
+                "stats answered with {other:?}"
+            ))),
+        }
+    }
+
     /// One synchronous RPC: send the request, then receive until the
     /// reply with this call's correlation id arrives. Replies with a
     /// *smaller* id belong to calls already abandoned by a timeout and
@@ -197,6 +223,7 @@ impl TcpConnection {
     fn call(&mut self, body: RequestBody) -> Result<ReplyBody, SessionError> {
         let id = self.next_id;
         self.next_id += 1;
+        let t0 = Instant::now();
         write_frame(&mut self.stream, &WireRequest { id, body }).map_err(|e| {
             SessionError::Backend(match e {
                 FrameError::Timeout => "request write timed out".into(),
@@ -206,7 +233,10 @@ impl TcpConnection {
         let mut attempts = 0u32;
         loop {
             match read_frame::<crate::msg::WireReply>(&mut self.stream) {
-                Ok(reply) if reply.id == id => return Ok(reply.body),
+                Ok(reply) if reply.id == id => {
+                    self.rpc_latency.record_duration(t0.elapsed());
+                    return Ok(reply.body);
+                }
                 Ok(reply) if reply.id < id => continue, // stale; discard
                 Ok(reply) => {
                     return Err(SessionError::Backend(format!(

@@ -34,10 +34,12 @@
 
 pub mod client;
 pub mod frame;
+pub mod metrics;
 pub mod msg;
 pub mod server;
 
 pub use client::{NetClientConfig, TcpConnection};
 pub use frame::{FrameError, MAX_FRAME};
+pub use metrics::{render_metrics, MetricsServer, StatsSource};
 pub use msg::{ReplyBody, RequestBody, WireReply, WireRequest};
 pub use server::{NetServerConfig, TcpServer};

@@ -12,7 +12,7 @@
 use esr_clock::Timestamp;
 use esr_core::ids::{TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
-use esr_server::{BeginReply, EndReply, OpReply};
+use esr_server::{BeginReply, EndReply, OpReply, StatsReply};
 use esr_tso::Operation;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +59,9 @@ pub enum RequestBody {
         /// `true` for commit.
         commit: bool,
     },
+    /// Ask the server for its live stats: kernel counters, gauges, and
+    /// latency histogram snapshots.
+    Stats,
 }
 
 /// A framed reply: the correlation id of the request it answers plus
@@ -93,6 +96,8 @@ pub enum ReplyBody {
     Op(OpReply),
     /// Answer to [`RequestBody::End`].
     End(EndReply),
+    /// Answer to [`RequestBody::Stats`].
+    Stats(StatsReply),
     /// Server-side failure to even dispatch the request (handshake
     /// refused, server shutting down, malformed request).
     Error(String),

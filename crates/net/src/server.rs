@@ -305,6 +305,16 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                     },
                 );
             }
+            RequestBody::Stats => {
+                let tx = replies.clone();
+                let sink = ReplySink::hook(move |r| {
+                    let _ = tx.send(WireReply {
+                        id,
+                        body: ReplyBody::Stats(r),
+                    });
+                });
+                submit(&rpc, Request::Stats { reply: sink });
+            }
         }
     }
     for site in hello_sites {

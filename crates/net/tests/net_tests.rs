@@ -358,6 +358,97 @@ fn disconnecting_returns_the_site_id_for_reuse() {
 }
 
 #[test]
+fn stats_travel_the_wire_and_match_the_kernel() {
+    let tcp = tcp_server_with(&[100, 200], 4);
+    let mut c = client(&tcp);
+    c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    assert_eq!(c.read(ObjectId(0)).unwrap(), 100);
+    c.write(ObjectId(1), 300).unwrap();
+    c.commit().unwrap();
+
+    let stats = c.server_stats().expect("stats over the wire");
+    assert_eq!(stats.kernel.commits_update, 1);
+    assert_eq!(stats.kernel.reads, 1);
+    assert_eq!(stats.kernel.writes, 1);
+    assert_eq!(stats.active_txns, 0);
+    assert_eq!(stats.waitq_depth, 0);
+    // One txn-latency sample per commit, shipped as a histogram
+    // snapshot and still summarizable client-side.
+    let txn_latency = stats
+        .histogram("kernel_txn_latency_micros")
+        .expect("kernel histogram crossed the wire");
+    assert_eq!(txn_latency.count, 1);
+    assert!(txn_latency.p99() >= txn_latency.p50());
+    // Worker instrumentation crossed too. A worker records its sample
+    // just *after* sending the reply, so a fast client can snapshot
+    // before the last record lands — poll until the two ops appear.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let ops = c
+            .server_stats()
+            .unwrap()
+            .histogram("server_op_service_micros")
+            .expect("server histogram crossed the wire")
+            .count;
+        assert!(ops <= 2, "phantom op samples: {ops}");
+        if ops == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "op samples never recorded"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // And the remote snapshot agrees with the server's own view.
+    assert_eq!(tcp.server().stats().kernel, stats.kernel);
+
+    // The client measured every RPC it made (handshake + clock
+    // exchanges + 5 protocol calls + stats).
+    let rpc = c.rpc_latency();
+    assert!(rpc.count >= 7, "rpc histogram undercounted: {}", rpc.count);
+    assert!(rpc.max >= rpc.p50());
+}
+
+#[test]
+fn metrics_endpoint_serves_a_live_server() {
+    use esr_net::{MetricsServer, StatsSource};
+    use esr_server::build_server_stats;
+    use std::io::{Read as _, Write as _};
+    use std::sync::Arc;
+
+    let tcp = tcp_server_with(&[50, 60], 2);
+    let kernel = Arc::clone(tcp.server().kernel());
+    let obs = Arc::clone(tcp.server().obs());
+    let source: StatsSource = Arc::new(move || build_server_stats(&kernel, &obs));
+    let mut metrics = MetricsServer::bind("127.0.0.1:0", source).unwrap();
+
+    let mut c = client(&tcp);
+    c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    c.write(ObjectId(0), 55).unwrap();
+    c.commit().unwrap();
+
+    let mut conn = std::net::TcpStream::connect(metrics.local_addr()).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(
+        response.contains("esr_kernel_commits_update_total 1"),
+        "{response}"
+    );
+    assert!(response.contains("esr_waitq_depth 0"), "{response}");
+    assert!(
+        response.contains("esr_kernel_txn_latency_micros{quantile=\"0.99\"}"),
+        "{response}"
+    );
+    metrics.shutdown();
+}
+
+#[test]
 fn tcp_client_errors_cleanly_after_server_shutdown() {
     let mut tcp = tcp_server_with(&[1], 2);
     let mut c = client(&tcp);

@@ -1,0 +1,109 @@
+//! Prometheus-style text exposition.
+//!
+//! [`TextExposition`] renders counters, gauges, and histogram
+//! snapshots into the plain-text format scraped by Prometheus and read
+//! comfortably by humans (`# HELP` / `# TYPE` headers, summaries with
+//! `quantile` labels plus `_sum`/`_count` series).
+
+use crate::hist::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Incremental builder for a text-exposition payload.
+#[derive(Debug, Default)]
+pub struct TextExposition {
+    out: String,
+}
+
+impl TextExposition {
+    /// An empty payload.
+    pub fn new() -> Self {
+        TextExposition { out: String::new() }
+    }
+
+    /// A monotonically increasing counter. The conventional `_total`
+    /// suffix is appended to `name`.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name}_total {help}");
+        let _ = writeln!(self.out, "# TYPE {name}_total counter");
+        let _ = writeln!(self.out, "{name}_total {value}");
+        self
+    }
+
+    /// A current-value gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: i64) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+        self
+    }
+
+    /// A latency summary from a histogram snapshot: quantile series
+    /// (0.5 / 0.9 / 0.95 / 0.99), `_max`, `_sum`, and `_count`.
+    pub fn summary(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} summary");
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.95", 0.95), ("0.99", 0.99)] {
+            let _ = writeln!(
+                self.out,
+                "{name}{{quantile=\"{label}\"}} {}",
+                snap.quantile(q)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_max {}", snap.max);
+        let _ = writeln!(self.out, "{name}_sum {}", snap.sum);
+        let _ = writeln!(self.out, "{name}_count {}", snap.count);
+        self
+    }
+
+    /// The accumulated payload.
+    pub fn render(&self) -> &str {
+        &self.out
+    }
+
+    /// Consume the builder, returning the payload.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let mut e = TextExposition::new();
+        e.counter("esr_commits", "Committed transactions", 42)
+            .gauge("esr_active_txns", "Live transactions", 3);
+        let s = e.render();
+        assert!(s.contains("# TYPE esr_commits_total counter"));
+        assert!(s.contains("esr_commits_total 42"));
+        assert!(s.contains("# TYPE esr_active_txns gauge"));
+        assert!(s.contains("esr_active_txns 3"));
+    }
+
+    #[test]
+    fn summary_has_quantiles_sum_count() {
+        let h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let mut e = TextExposition::new();
+        e.summary("esr_rpc_micros", "RPC round-trip", &h.snapshot());
+        let s = e.render();
+        assert!(s.contains("# TYPE esr_rpc_micros summary"));
+        assert!(s.contains("esr_rpc_micros{quantile=\"0.5\"}"));
+        assert!(s.contains("esr_rpc_micros{quantile=\"0.99\"}"));
+        assert!(s.contains("esr_rpc_micros_sum 100"));
+        assert!(s.contains("esr_rpc_micros_count 4"));
+        assert!(s.contains("esr_rpc_micros_max 40"));
+    }
+
+    #[test]
+    fn empty_summary_renders_zeroes() {
+        let mut e = TextExposition::new();
+        e.summary("x", "empty", &HistogramSnapshot::new());
+        assert!(e.render().contains("x_count 0"));
+    }
+}

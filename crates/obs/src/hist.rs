@@ -1,0 +1,381 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The layout is the classic HDR log-linear scheme: values `0..64`
+//! get unit-width buckets, and every power-of-two range `[2^k, 2^(k+1))`
+//! above that is split into 32 linear sub-buckets, so the relative
+//! quantisation error is bounded by `2^-5` (≈ 3.2%) at every magnitude
+//! while the whole table stays fixed at [`BUCKET_COUNT`] counters
+//! (no allocation on the record path, ever).
+//!
+//! [`LatencyHistogram::record`] is a single relaxed `fetch_add` on the
+//! bucket counter plus relaxed updates of the running sum/max — safe to
+//! call from any number of threads on a hot path. Reads go through
+//! [`LatencyHistogram::snapshot`], which produces a compact, serializable
+//! [`HistogramSnapshot`] that can be merged with others (e.g. one per
+//! worker thread, or one per measurement window) and queried for
+//! quantiles.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the unit-bucket range: values below `2^SUB_BITS` are counted
+/// exactly.
+const SUB_BITS: u32 = 6;
+/// Number of unit-width buckets (values `0..SUB`).
+const SUB: u64 = 1 << SUB_BITS;
+/// Linear sub-buckets per power-of-two range above the unit range.
+const SUBS_PER_GROUP: u64 = SUB / 2;
+/// Power-of-two groups covering `[2^SUB_BITS, 2^64)`.
+const GROUPS: u64 = 64 - SUB_BITS as u64;
+
+/// Total bucket count; every `u64` value maps into exactly one bucket.
+pub const BUCKET_COUNT: usize = (SUB + GROUPS * SUBS_PER_GROUP) as usize;
+
+/// Bucket index for a recorded value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let group = (msb - SUB_BITS + 1) as u64; // 1-based group above the unit range
+    let sub = (v - (1u64 << msb)) >> group; // sub-bucket width is 2^group
+    (SUB + (group - 1) * SUBS_PER_GROUP + sub) as usize
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `i`.
+///
+/// # Panics
+/// Panics if `i >= BUCKET_COUNT`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKET_COUNT, "bucket index {i} out of range");
+    let i = i as u64;
+    if i < SUB {
+        return (i, i);
+    }
+    let group = (i - SUB) / SUBS_PER_GROUP + 1;
+    let sub = (i - SUB) % SUBS_PER_GROUP;
+    let msb = group + SUB_BITS as u64 - 1;
+    let width = 1u64 << group;
+    let lo = (1u64 << msb) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// A fixed-memory, thread-safe latency histogram. Values are intended
+/// to be microseconds, but any `u64` measure works.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64; BUCKET_COUNT]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~15 KiB of counters, allocated once).
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the boxed array through a Vec.
+        let counts: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; BUCKET_COUNT]> = counts
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec was built with BUCKET_COUNT elements"));
+        LatencyHistogram {
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Relaxed atomics only; never allocates.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] as whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state. Concurrent recording keeps running; the
+    /// snapshot is internally consistent up to in-flight increments.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]: sparse non-empty
+/// buckets plus count/sum/max. Serializable, mergeable, and queryable
+/// for quantiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wraps only after ~580k years of µs).
+    pub sum: u64,
+    /// Largest recorded value, exact.
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the *inclusive upper bound*
+    /// of the bucket in which the quantile falls — never underestimates,
+    /// and overestimates by at most one bucket width (≈ 3.2% relative).
+    /// Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile value, 1-based; ceil without float drift.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_bounds(i as usize).1;
+            }
+        }
+        // Unreachable when counts are consistent; fall back to max.
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: Vec<(u32, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line human summary: `n=…, mean=…µs p50=… p95=… p99=… max=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.0}µs p50={}µs p90={}µs p95={}µs p99={}µs max={}µs",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p95(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Bucket bounds are contiguous: each bucket starts where the
+        // previous one ended.
+        let mut expect_lo = 0u64;
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} not contiguous");
+            assert!(hi >= lo);
+            expect_lo = hi.wrapping_add(1);
+        }
+        // The final bucket's inclusive upper bound is u64::MAX.
+        assert_eq!(bucket_bounds(BUCKET_COUNT - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for i in SUB as usize..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo + 1;
+            assert!(
+                (width as f64) / (lo as f64) <= 1.0 / SUBS_PER_GROUP as f64 + 1e-12,
+                "bucket {i}: width {width} too wide for lo {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        // Quantiles overestimate by at most one bucket (~3.2%).
+        let p50 = s.p50();
+        assert!((500..=517).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(10);
+        a.record(100);
+        b.record(100);
+        b.record(100_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.max, 100_000);
+        let idx100 = bucket_index(100) as u32;
+        assert!(m.buckets.contains(&(idx100, 2)));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn summary_mentions_quantiles() {
+        let h = LatencyHistogram::new();
+        h.record(42);
+        let s = h.snapshot().summary();
+        assert!(s.contains("n=1") && s.contains("p99="), "{s}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Bounded event rings: fixed-capacity recent-history buffers.
+//!
+//! An [`EventRing`] keeps the most recent `capacity` events, dropping
+//! the oldest when full, and counts how many were dropped so a reader
+//! can tell a quiet system from an overflowing one. Unlike the
+//! histograms this is mutex-based — event tracing is feature-gated and
+//! diagnostic, not a hot-path instrument.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A bounded drop-oldest ring of events.
+#[derive(Debug)]
+pub struct EventRing<T> {
+    inner: Mutex<RingState<T>>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct RingState<T> {
+    events: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T> EventRing<T> {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            inner: Mutex::new(RingState {
+                events: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&self, event: T) {
+        let mut s = self.inner.lock();
+        if s.events.len() == self.capacity {
+            s.events.pop_front();
+            s.dropped += 1;
+        }
+        s.events.push_back(event);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Remove and return all retained events, oldest first. The dropped
+    /// counter is preserved across drains.
+    pub fn drain(&self) -> Vec<T> {
+        self.inner.lock().events.drain(..).collect()
+    }
+}
+
+impl<T: Clone> EventRing<T> {
+    /// Copy out the retained events, oldest first, without consuming.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let r = EventRing::new(2);
+        r.push("a");
+        r.push("b");
+        r.push("c");
+        assert_eq!(r.drain(), vec!["b", "c"]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let r = EventRing::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.to_vec(), vec![2]);
+    }
+}

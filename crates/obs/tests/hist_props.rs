@@ -1,0 +1,116 @@
+//! Property tests for the log-bucketed histogram.
+//!
+//! Three invariants from the issue spec:
+//! 1. every recorded value falls in a bucket whose bounds bracket it;
+//! 2. `merge(a, b)` quantiles are bounded by the input quantiles;
+//! 3. merging preserves counts (and sums, and max).
+//!
+//! The merge-quantile bound is exact, not approximate: `quantile(q)`
+//! reports the inclusive upper bound of the quantile *bucket*, and the
+//! merged quantile's bucket index always lies between the two input
+//! bucket indexes (the merged cumulative distribution is a weighted
+//! interpolation of the inputs), so the reported values are ordered the
+//! same way.
+
+use esr_obs::{bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKET_COUNT};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Invariant 1: the bucket chosen for a value brackets it.
+    #[test]
+    fn prop_bucket_brackets_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "value {} outside bucket {} = [{}, {}]", v, i, lo, hi);
+    }
+
+    /// Invariant 1 (recording path): a histogram with a single value
+    /// reports quantiles within that value's bucket error.
+    #[test]
+    fn prop_single_value_quantile_in_bucket(v in 0u64..10_000_000_000) {
+        let s = snapshot_of(&[v]);
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = s.quantile(q);
+            prop_assert!(lo <= got && got <= hi, "quantile({q}) = {got} outside [{lo}, {hi}] for value {v}");
+        }
+        prop_assert_eq!(s.max, v);
+    }
+
+    /// Invariant 2: merged quantiles are bounded by the input quantiles.
+    #[test]
+    fn prop_merge_quantile_bounded(
+        a in proptest::collection::vec(0u64..100_000_000, 1..64),
+        b in proptest::collection::vec(0u64..100_000_000, 1..64),
+        q in 0.0f64..=1.0,
+    ) {
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let mut m = sa.clone();
+        m.merge(&sb);
+        let (qa, qb, qm) = (sa.quantile(q), sb.quantile(q), m.quantile(q));
+        prop_assert!(
+            qa.min(qb) <= qm && qm <= qa.max(qb),
+            "quantile({q}): merged {qm} outside [{}, {}]", qa.min(qb), qa.max(qb)
+        );
+    }
+
+    /// Invariant 3: merging preserves count, sum, and max exactly.
+    #[test]
+    fn prop_merge_preserves_totals(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let mut m = sa.clone();
+        m.merge(&sb);
+        prop_assert_eq!(m.count, sa.count + sb.count);
+        prop_assert_eq!(m.sum, sa.sum + sb.sum);
+        prop_assert_eq!(m.max, sa.max.max(sb.max));
+        // And the merged snapshot equals recording both inputs into one
+        // histogram directly.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(m, snapshot_of(&all));
+    }
+
+    /// Quantiles never exceed the largest bucket containing data and
+    /// are monotone in q.
+    #[test]
+    fn prop_quantiles_monotone(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..128),
+    ) {
+        let s = snapshot_of(&values);
+        let mut prev = 0u64;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = s.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prev = v;
+        }
+        // The top quantile is the upper bound of the max's bucket.
+        let max_hi = bucket_bounds(bucket_index(s.max)).1;
+        prop_assert_eq!(s.quantile(1.0), max_hi);
+    }
+
+    /// Snapshots round-trip through serde.
+    #[test]
+    fn prop_snapshot_serde_roundtrip(
+        values in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let s = snapshot_of(&values);
+        let json = serde_json::to_string(&s).expect("serialize snapshot");
+        let back: HistogramSnapshot = serde_json::from_str(&json).expect("deserialize snapshot");
+        prop_assert_eq!(s, back);
+    }
+}

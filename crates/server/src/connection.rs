@@ -1,6 +1,6 @@
 //! A client connection: one site, one synchronous request stream.
 
-use crate::proto::{BeginReply, EndReply, OpReply, ReplySink, Request};
+use crate::proto::{BeginReply, EndReply, OpReply, QueuedRequest, ReplySink, Request};
 use crossbeam::channel::{bounded, Sender};
 use esr_clock::TimestampGenerator;
 use esr_core::ids::{ObjectId, TxnId, TxnKind};
@@ -19,7 +19,7 @@ use std::time::Duration;
 /// until a commit or abort releases it. The optional `rpc_latency`
 /// reproduces the paper's 17–20 ms per-call cost.
 pub struct Connection {
-    req_tx: Sender<Request>,
+    req_tx: Sender<QueuedRequest>,
     clock: Arc<TimestampGenerator>,
     rpc_latency: Option<Duration>,
     current: Option<TxnId>,
@@ -27,7 +27,7 @@ pub struct Connection {
 
 impl Connection {
     pub(crate) fn new(
-        req_tx: Sender<Request>,
+        req_tx: Sender<QueuedRequest>,
         clock: Arc<TimestampGenerator>,
         rpc_latency: Option<Duration>,
     ) -> Self {
@@ -63,11 +63,14 @@ impl Connection {
         let txn = self.current()?;
         let (tx, rx) = bounded(1);
         self.req_tx
-            .send(Request::Op {
-                txn,
-                op,
-                reply: ReplySink::channel(tx),
-            })
+            .send(
+                Request::Op {
+                    txn,
+                    op,
+                    reply: ReplySink::channel(tx),
+                }
+                .into(),
+            )
             .map_err(|_| SessionError::Backend("server is down".into()))?;
         let reply = rx
             .recv()
@@ -87,11 +90,14 @@ impl Connection {
         let txn = self.current()?;
         let (tx, rx) = bounded(1);
         self.req_tx
-            .send(Request::End {
-                txn,
-                commit,
-                reply: ReplySink::channel(tx),
-            })
+            .send(
+                Request::End {
+                    txn,
+                    commit,
+                    reply: ReplySink::channel(tx),
+                }
+                .into(),
+            )
             .map_err(|_| SessionError::Backend("server is down".into()))?;
         let reply = rx
             .recv()
@@ -114,12 +120,15 @@ impl Session for Connection {
         let ts = self.clock.next();
         let (tx, rx) = bounded(1);
         self.req_tx
-            .send(Request::Begin {
-                kind,
-                bounds,
-                ts,
-                reply: ReplySink::channel(tx),
-            })
+            .send(
+                Request::Begin {
+                    kind,
+                    bounds,
+                    ts,
+                    reply: ReplySink::channel(tx),
+                }
+                .into(),
+            )
             .map_err(|_| SessionError::Backend("server is down".into()))?;
         let reply = rx
             .recv()
@@ -197,11 +206,11 @@ mod tests {
     /// from the script, so error paths the real kernel makes hard to
     /// reach (an `EndReply::Error`) are exercised deterministically.
     fn scripted_connection(script: Vec<ScriptReply>) -> Connection {
-        let (tx, rx) = unbounded::<Request>();
+        let (tx, rx) = unbounded::<QueuedRequest>();
         std::thread::spawn(move || {
             let mut script = script.into_iter();
-            while let Ok(req) = rx.recv() {
-                match (req, script.next()) {
+            while let Ok(q) = rx.recv() {
+                match (q.req, script.next()) {
                     (Request::Begin { reply, .. }, Some(ScriptReply::Begin(r))) => {
                         reply.send(r);
                     }

@@ -24,9 +24,17 @@
 //! on its reply channel, mirroring a blocked synchronous RPC.
 
 pub mod connection;
+pub mod obs;
 pub mod proto;
 pub mod server;
 
 pub use connection::Connection;
-pub use proto::{BeginReply, EndReply, OpReply, ReplySink, Request};
-pub use server::{ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator, SHUTDOWN_ERROR};
+pub use obs::{RequestKind, ServerObs};
+pub use proto::{
+    BeginReply, EndReply, NamedHistogram, OpReply, QueuedRequest, ReplySink, Request, ServerStats,
+    StatsReply,
+};
+pub use server::{
+    build_server_stats, ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator,
+    SHUTDOWN_ERROR,
+};

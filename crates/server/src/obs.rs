@@ -1,0 +1,127 @@
+//! Worker-pool observability: queue-wait vs. service time per request
+//! kind, and an in-flight gauge.
+//!
+//! Every request is stamped when it enters the worker channel
+//! ([`crate::proto::QueuedRequest`]); the worker that dequeues it
+//! records how long it sat (queue wait) and how long the worker spent
+//! on it (service time), bucketed by request kind. Together with the
+//! kernel's own histograms this separates the three places a
+//! transaction spends time: in the queue, in the kernel, and parked on
+//! a wait queue.
+
+use esr_obs::{Gauge, HistogramSnapshot, LatencyHistogram};
+use std::time::Duration;
+
+/// Which histogram pair a request lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `Request::Begin`
+    Begin,
+    /// `Request::Op`
+    Op,
+    /// `Request::End`
+    End,
+}
+
+/// Always-on server instrumentation, shared by all workers.
+#[derive(Debug, Default)]
+pub struct ServerObs {
+    begin_queue_wait: LatencyHistogram,
+    begin_service: LatencyHistogram,
+    op_queue_wait: LatencyHistogram,
+    op_service: LatencyHistogram,
+    end_queue_wait: LatencyHistogram,
+    end_service: LatencyHistogram,
+    /// Requests currently being serviced by a worker.
+    in_flight: Gauge,
+}
+
+impl ServerObs {
+    /// Fresh, empty instrumentation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one serviced request.
+    pub fn record(&self, kind: RequestKind, queue_wait: Duration, service: Duration) {
+        let (qw, sv) = match kind {
+            RequestKind::Begin => (&self.begin_queue_wait, &self.begin_service),
+            RequestKind::Op => (&self.op_queue_wait, &self.op_service),
+            RequestKind::End => (&self.end_queue_wait, &self.end_service),
+        };
+        qw.record_duration(queue_wait);
+        sv.record_duration(service);
+    }
+
+    /// The in-flight gauge (incremented while a worker services a
+    /// request).
+    pub fn in_flight(&self) -> &Gauge {
+        &self.in_flight
+    }
+
+    /// Snapshot all histograms as `(name, snapshot)` pairs.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        vec![
+            (
+                "server_begin_queue_wait_micros".into(),
+                self.begin_queue_wait.snapshot(),
+            ),
+            (
+                "server_begin_service_micros".into(),
+                self.begin_service.snapshot(),
+            ),
+            (
+                "server_op_queue_wait_micros".into(),
+                self.op_queue_wait.snapshot(),
+            ),
+            (
+                "server_op_service_micros".into(),
+                self.op_service.snapshot(),
+            ),
+            (
+                "server_end_queue_wait_micros".into(),
+                self.end_queue_wait.snapshot(),
+            ),
+            (
+                "server_end_service_micros".into(),
+                self.end_service.snapshot(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_by_kind() {
+        let obs = ServerObs::new();
+        obs.record(
+            RequestKind::Op,
+            Duration::from_micros(5),
+            Duration::from_micros(50),
+        );
+        let hists = obs.histograms();
+        let count_of = |name: &str| {
+            hists
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.count)
+                .unwrap()
+        };
+        assert_eq!(count_of("server_op_queue_wait_micros"), 1);
+        assert_eq!(count_of("server_op_service_micros"), 1);
+        assert_eq!(count_of("server_begin_service_micros"), 0);
+        assert_eq!(count_of("server_end_service_micros"), 0);
+    }
+
+    #[test]
+    fn in_flight_gauge_round_trips() {
+        let obs = ServerObs::new();
+        obs.in_flight().inc();
+        assert_eq!(obs.in_flight().get(), 1);
+        obs.in_flight().dec();
+        assert_eq!(obs.in_flight().get(), 0);
+    }
+}

@@ -11,7 +11,8 @@ use crossbeam::channel::Sender;
 use esr_clock::Timestamp;
 use esr_core::ids::{TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
-use esr_tso::{AbortReason, CommitInfo, Operation};
+use esr_obs::HistogramSnapshot;
+use esr_tso::{AbortReason, CommitInfo, Operation, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -51,6 +52,54 @@ pub enum EndReply {
     Unknown(TxnId),
     /// Any other driver-level error. The transaction may still be live
     /// server-side, so the client keeps its handle to retry or abort.
+    Error(String),
+}
+
+/// A latency histogram snapshot under its metric name (e.g.
+/// `kernel_txn_latency_micros`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Metric name, snake_case with a unit suffix.
+    pub name: String,
+    /// The snapshot.
+    pub hist: HistogramSnapshot,
+}
+
+/// Everything a live server reports about itself: kernel counters,
+/// gauges, and latency histograms. Serializable, so the TCP transport
+/// ships it to remote clients unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// The kernel's monotonic counters.
+    pub kernel: StatsSnapshot,
+    /// Currently active transactions (gauge).
+    pub active_txns: u64,
+    /// Operations parked on kernel wait queues right now (gauge).
+    pub waitq_depth: u64,
+    /// Requests currently inside the worker pool (gauge).
+    pub in_flight: i64,
+    /// All latency histograms: per-request-kind queue wait and service
+    /// time from the workers, plus the kernel's op-service, park-wait,
+    /// and txn-latency distributions.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl ServerStats {
+    /// Look up a histogram by metric name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.hist)
+    }
+}
+
+/// Server reply to a stats request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatsReply {
+    /// The snapshot.
+    Stats(Box<ServerStats>),
+    /// The server could not answer (shutting down, …).
     Error(String),
 }
 
@@ -135,9 +184,41 @@ pub enum Request {
         /// Reply sink.
         reply: ReplySink<EndReply>,
     },
+    /// Report kernel counters, gauges, and latency histograms.
+    Stats {
+        /// Reply sink.
+        reply: ReplySink<StatsReply>,
+    },
     /// Stop the receiving worker (one token is sent per worker at
     /// shutdown).
     Shutdown,
+}
+
+/// A request stamped with its enqueue instant, so workers can report
+/// queue wait separately from service time. This is what actually
+/// travels on the server's request channel.
+#[derive(Debug)]
+pub struct QueuedRequest {
+    /// The request.
+    pub req: Request,
+    /// When it entered the queue.
+    pub queued_at: std::time::Instant,
+}
+
+impl QueuedRequest {
+    /// Stamp `req` as enqueued now.
+    pub fn now(req: Request) -> Self {
+        QueuedRequest {
+            req,
+            queued_at: std::time::Instant::now(),
+        }
+    }
+}
+
+impl From<Request> for QueuedRequest {
+    fn from(req: Request) -> Self {
+        QueuedRequest::now(req)
+    }
 }
 
 impl Request {
@@ -154,6 +235,9 @@ impl Request {
             }
             Request::End { reply, .. } => {
                 reply.send(EndReply::Error(reason.to_owned()));
+            }
+            Request::Stats { reply } => {
+                reply.send(StatsReply::Error(reason.to_owned()));
             }
             Request::Shutdown => {}
         }

@@ -1,7 +1,11 @@
 //! The central transaction server.
 
 use crate::connection::Connection;
-use crate::proto::{BeginReply, EndReply, OpReply, ReplySink, Request};
+use crate::obs::{RequestKind, ServerObs};
+use crate::proto::{
+    BeginReply, EndReply, NamedHistogram, OpReply, QueuedRequest, ReplySink, Request, ServerStats,
+    StatsReply,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use esr_clock::{
     CorrectionFactor, ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource,
@@ -15,7 +19,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -147,31 +151,38 @@ type PendingReplies = Arc<Mutex<HashMap<TxnId, ReplySink<OpReply>>>>;
 /// routes wakeups back to the blocked clients.
 pub struct Server {
     kernel: Arc<Kernel>,
-    req_tx: Option<Sender<Request>>,
-    req_rx: Option<Receiver<Request>>,
+    req_tx: Option<Sender<QueuedRequest>>,
+    req_rx: Option<Receiver<QueuedRequest>>,
     pending: PendingReplies,
     workers: Vec<JoinHandle<()>>,
     reference: Arc<dyn TimeSource>,
     manual: Option<ManualTimeSource>,
     sites: Arc<SiteAllocator>,
     config: ServerConfig,
+    obs: Arc<ServerObs>,
 }
 
 impl Server {
     /// Start a server over `kernel`.
     pub fn start(kernel: Kernel, config: ServerConfig) -> Self {
         let kernel = Arc::new(kernel);
-        let (req_tx, req_rx) = unbounded::<Request>();
+        // The live observability layer is on by default: the kernel
+        // histograms are relaxed atomics and proven outcome-neutral, so
+        // a production server is always measurable.
+        kernel.enable_obs();
+        let obs = Arc::new(ServerObs::new());
+        let (req_tx, req_rx) = unbounded::<QueuedRequest>();
         let pending: PendingReplies = Arc::new(Mutex::new(HashMap::new()));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let rx = req_rx.clone();
             let k = Arc::clone(&kernel);
             let p = Arc::clone(&pending);
+            let o = Arc::clone(&obs);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("esr-server-worker-{i}"))
-                    .spawn(move || worker_loop(rx, k, p))
+                    .spawn(move || worker_loop(rx, k, p, o))
                     .expect("spawn server worker"),
             );
         }
@@ -192,12 +203,26 @@ impl Server {
             manual,
             sites: Arc::new(SiteAllocator::new()),
             config,
+            obs,
         }
     }
 
     /// The kernel (stats, table inspection).
     pub fn kernel(&self) -> &Arc<Kernel> {
         &self.kernel
+    }
+
+    /// The worker-pool instrumentation (queue wait, service time,
+    /// in-flight gauge).
+    pub fn obs(&self) -> &Arc<ServerObs> {
+        &self.obs
+    }
+
+    /// The full live snapshot: kernel counters, gauges, and every
+    /// latency histogram. The same data a remote client obtains through
+    /// a `Stats` request, built directly (no worker round-trip).
+    pub fn stats(&self) -> ServerStats {
+        build_server_stats(&self.kernel, &self.obs)
     }
 
     /// The manually driven reference clock, when `virtual_time` is on.
@@ -277,7 +302,7 @@ impl Server {
     pub fn shutdown(&mut self) {
         if let Some(tx) = self.req_tx.take() {
             for _ in 0..self.workers.len() {
-                let _ = tx.send(Request::Shutdown);
+                let _ = tx.send(QueuedRequest::now(Request::Shutdown));
             }
         }
         for w in self.workers.drain(..) {
@@ -296,9 +321,9 @@ impl Server {
 /// shutdown error. Runs after the workers have exited, so nothing races
 /// the drain; requests arriving *after* the drain observe a dropped
 /// channel exactly as before.
-fn drain_requests(rx: &Receiver<Request>) {
-    while let Ok(req) = rx.try_recv() {
-        req.reject(SHUTDOWN_ERROR);
+fn drain_requests(rx: &Receiver<QueuedRequest>) {
+    while let Ok(q) = rx.try_recv() {
+        q.req.reject(SHUTDOWN_ERROR);
     }
 }
 
@@ -313,7 +338,7 @@ impl Drop for Server {
 /// holds one.
 #[derive(Clone)]
 pub struct RpcHandle {
-    req_tx: Sender<Request>,
+    req_tx: Sender<QueuedRequest>,
     sites: Arc<SiteAllocator>,
     reference: Arc<dyn TimeSource>,
 }
@@ -325,7 +350,9 @@ impl RpcHandle {
     // needs it back to reject it through its own reply sink.
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, req: Request) -> Result<(), Request> {
-        self.req_tx.send(req).map_err(|e| e.0)
+        self.req_tx
+            .send(QueuedRequest::now(req))
+            .map_err(|e| e.0.req)
     }
 
     /// Allocate a site id for a new remote connection.
@@ -347,9 +374,50 @@ impl RpcHandle {
     }
 }
 
-fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingReplies) {
-    while let Ok(req) = rx.recv() {
-        match req {
+/// Assemble the live snapshot from the kernel and worker
+/// instrumentation. Public so transports (the metrics endpoint) can
+/// build the same snapshot from the cloneable `Arc`s without a worker
+/// round-trip.
+pub fn build_server_stats(kernel: &Kernel, obs: &ServerObs) -> ServerStats {
+    let mut histograms: Vec<NamedHistogram> = obs
+        .histograms()
+        .into_iter()
+        .map(|(name, hist)| NamedHistogram { name, hist })
+        .collect();
+    if let Some(kobs) = kernel.obs() {
+        histograms.extend(
+            kobs.histograms()
+                .into_iter()
+                .map(|(name, hist)| NamedHistogram { name, hist }),
+        );
+    }
+    ServerStats {
+        kernel: kernel.stats(),
+        active_txns: kernel.active_txns() as u64,
+        waitq_depth: kernel.waitq_depth() as u64,
+        in_flight: obs.in_flight().get(),
+        histograms,
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<QueuedRequest>,
+    kernel: Arc<Kernel>,
+    pending: PendingReplies,
+    obs: Arc<ServerObs>,
+) {
+    while let Ok(q) = rx.recv() {
+        let queue_wait = q.queued_at.elapsed();
+        let kind = match &q.req {
+            Request::Begin { .. } => Some(RequestKind::Begin),
+            Request::Op { .. } => Some(RequestKind::Op),
+            Request::End { .. } => Some(RequestKind::End),
+            Request::Stats { .. } | Request::Shutdown => None,
+        };
+        obs.in_flight().inc();
+        let service_start = Instant::now();
+        let stop = matches!(q.req, Request::Shutdown);
+        match q.req {
             Request::Begin {
                 kind,
                 bounds,
@@ -388,7 +456,19 @@ fn worker_loop(rx: Receiver<Request>, kernel: Arc<Kernel>, pending: PendingRepli
                     }
                 }
             }
-            Request::Shutdown => break,
+            Request::Stats { reply } => {
+                reply.send(StatsReply::Stats(Box::new(build_server_stats(
+                    &kernel, &obs,
+                ))));
+            }
+            Request::Shutdown => {}
+        }
+        if let Some(kind) = kind {
+            obs.record(kind, queue_wait, service_start.elapsed());
+        }
+        obs.in_flight().dec();
+        if stop {
+            break;
         }
     }
 }
@@ -530,20 +610,26 @@ mod tests {
 
     #[test]
     fn queued_requests_are_rejected_explicitly_on_drain() {
-        let (tx, rx) = unbounded::<Request>();
+        let (tx, rx) = unbounded::<QueuedRequest>();
         let (op_tx, op_rx) = bounded(1);
         let (end_tx, end_rx) = bounded(1);
-        tx.send(Request::Op {
-            txn: TxnId(7),
-            op: Operation::Read(ObjectId(0)),
-            reply: ReplySink::channel(op_tx),
-        })
+        tx.send(
+            Request::Op {
+                txn: TxnId(7),
+                op: Operation::Read(ObjectId(0)),
+                reply: ReplySink::channel(op_tx),
+            }
+            .into(),
+        )
         .unwrap();
-        tx.send(Request::End {
-            txn: TxnId(7),
-            commit: true,
-            reply: ReplySink::channel(end_tx),
-        })
+        tx.send(
+            Request::End {
+                txn: TxnId(7),
+                commit: true,
+                reply: ReplySink::channel(end_tx),
+            }
+            .into(),
+        )
         .unwrap();
         drain_requests(&rx);
         assert_eq!(op_rx.recv().unwrap(), OpReply::Error(SHUTDOWN_ERROR.into()));

@@ -7,6 +7,7 @@ use esr_clock::ManualTimeSource;
 use esr_core::hierarchy::HierarchySchema;
 use esr_core::ids::{TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
+use esr_obs::{HistogramSnapshot, LatencyHistogram};
 use esr_tso::{Kernel, OpOutcome, PendingOp, StatsSnapshot};
 use esr_workload::PaperWorkload;
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,13 @@ pub struct RunResult {
     /// Average operations executed per committed transaction, including
     /// wasted work from aborted attempts (Figure 13).
     pub ops_per_commit: f64,
+    /// Virtual-time latency of committed attempts (BEGIN of the
+    /// successful attempt → COMMIT, microseconds), restricted to the
+    /// measurement window. Deterministic per seed like everything else.
+    /// `serde(default)` keeps artifacts written before this field
+    /// deserializable.
+    #[serde(default)]
+    pub txn_latency: HistogramSnapshot,
 }
 
 /// The simulator state.
@@ -59,6 +67,10 @@ struct Sim {
     clients: Vec<Client>,
     /// Owner of each in-flight transaction, for routing wakeups.
     owner: HashMap<TxnId, usize>,
+    /// Virtual BEGIN time of each in-flight attempt, for latency.
+    started: HashMap<TxnId, Micros>,
+    /// Commit latency of attempts that committed inside the window.
+    txn_latency: LatencyHistogram,
     /// When the server CPU becomes free: the prototype's server is one
     /// machine, so operations queue FCFS for its processor. This shared
     /// bottleneck is what turns wasted (aborted-and-retried) work into
@@ -93,6 +105,8 @@ impl Sim {
             queue: EventQueue::new(),
             clients,
             owner: HashMap::new(),
+            started: HashMap::new(),
+            txn_latency: LatencyHistogram::new(),
             cpu_free_at: 0,
             cfg,
         }
@@ -146,6 +160,7 @@ impl Sim {
                 let txn = self.kernel.begin(kind, bounds, ts);
                 self.clients[client].txn = Some(txn);
                 self.owner.insert(txn, client);
+                self.started.insert(txn, self.queue.now());
                 // Service completes, the reply travels back, and the
                 // first operation arrives one network round trip later.
                 let dt = cpu + self.net(client);
@@ -172,6 +187,12 @@ impl Sim {
                 let end = self.kernel.commit(txn).expect("commit of active txn");
                 debug_assert!(end.info.is_some());
                 self.owner.remove(&txn);
+                if let Some(begun) = self.started.remove(&txn) {
+                    let now = self.queue.now();
+                    if now >= self.cfg.warmup_micros {
+                        self.txn_latency.record(now.saturating_sub(begun));
+                    }
+                }
                 self.clients[client].finish_committed();
                 self.wake(end.woken);
                 // Commit reply travels back, then the next transaction
@@ -209,6 +230,7 @@ impl Sim {
             }
             OpOutcome::Aborted(_) => {
                 self.owner.remove(&pending.txn);
+                self.started.remove(&pending.txn);
                 self.clients[client].note_aborted();
                 // The abort notification travels back, the client waits
                 // the restart delay, and the resubmitted BEGIN arrives.
@@ -278,6 +300,7 @@ impl Sim {
             inconsistent_ops: window.inconsistent_ops(),
             operations: window.operations(),
             ops_per_commit: window.ops_per_commit(),
+            txn_latency: self.txn_latency.snapshot(),
         };
         (result, self.kernel)
     }
@@ -331,6 +354,25 @@ mod tests {
         assert_eq!(r.aborts, 0, "no concurrency, no aborts");
         assert_eq!(r.inconsistent_ops, 0);
         assert!(r.stats.commits_query > 0 && r.stats.commits_update > 0);
+    }
+
+    #[test]
+    fn txn_latency_tracks_window_commits() {
+        let r = simulate(&quick(2, EpsilonPreset::High, 21));
+        // One latency sample per commit inside the measurement window.
+        assert_eq!(r.txn_latency.count, r.stats.commits());
+        // Every committed attempt costs at least one RPC round trip
+        // per operation plus begin/commit: the floor is well above the
+        // minimum single RPC latency.
+        let cfg = quick(2, EpsilonPreset::High, 21);
+        assert!(
+            r.txn_latency.p50() > cfg.rpc_min_micros,
+            "p50 {} ≤ one RPC {}",
+            r.txn_latency.p50(),
+            cfg.rpc_min_micros
+        );
+        assert!(r.txn_latency.p99() >= r.txn_latency.p50());
+        assert!(r.txn_latency.max >= r.txn_latency.p99() / 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! wait-for relation follows timestamp order and cannot deadlock.
 
 use crate::config::{ExportRule, HistoryMissPolicy, KernelConfig};
+use crate::obs::KernelObs;
 use crate::outcome::{
     AbortReason, CommitInfo, OpOutcome, OpResponse, Operation, PendingOp, TxnEndResponse,
 };
@@ -104,6 +105,10 @@ pub struct Kernel {
     /// the lock order (events are recorded with object locks held).
     #[cfg(feature = "capture")]
     capture: std::sync::OnceLock<Arc<crate::capture::EventLog>>,
+    /// Optional live observability surface (latency histograms, event
+    /// ring). Also a leaf in the lock order; until enabled, every hook
+    /// costs one atomic load.
+    obs: std::sync::OnceLock<Arc<KernelObs>>,
 }
 
 impl fmt::Debug for Kernel {
@@ -128,6 +133,7 @@ impl Kernel {
             stats: KernelStats::new(),
             #[cfg(feature = "capture")]
             capture: std::sync::OnceLock::new(),
+            obs: std::sync::OnceLock::new(),
         }
     }
 
@@ -195,6 +201,26 @@ impl Kernel {
         }
     }
 
+    /// Attach (or retrieve) the live observability surface. Idempotent:
+    /// the first call creates it; later calls return the same one.
+    /// Latencies and events are only recorded after this has been
+    /// called, and observing never changes a kernel decision (see the
+    /// driver-equivalence test).
+    pub fn enable_obs(&self) -> Arc<KernelObs> {
+        Arc::clone(self.obs.get_or_init(|| Arc::new(KernelObs::new())))
+    }
+
+    /// The attached observability surface, if enabled.
+    pub fn obs(&self) -> Option<Arc<KernelObs>> {
+        self.obs.get().cloned()
+    }
+
+    /// Current wait-queue depth (total parked operations). O(1); safe
+    /// to poll from a metrics endpoint.
+    pub fn waitq_depth(&self) -> usize {
+        self.waitq.lock().len()
+    }
+
     /// Number of currently active transactions.
     pub fn active_txns(&self) -> usize {
         self.txns.lock().len()
@@ -235,6 +261,9 @@ impl Kernel {
         };
         self.txns.lock().insert(id, Arc::new(Mutex::new(state)));
         self.stats.begins.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.note_begin(id, kind);
+        }
         id
     }
 
@@ -256,6 +285,15 @@ impl Kernel {
 
     /// Submit a read.
     pub fn read(&self, txn: TxnId, obj: ObjectId) -> Result<OpResponse, KernelError> {
+        let t0 = self.obs.get().map(|_| std::time::Instant::now());
+        let res = self.read_inner(txn, obj);
+        if let (Some(t0), Some(obs)) = (t0, self.obs.get()) {
+            obs.op_service.record_duration(t0.elapsed());
+        }
+        res
+    }
+
+    fn read_inner(&self, txn: TxnId, obj: ObjectId) -> Result<OpResponse, KernelError> {
         self.check_object(obj)?;
         let handle = self.txn_handle(txn)?;
         let mut t = handle.lock();
@@ -267,6 +305,20 @@ impl Kernel {
 
     /// Submit a write (update ETs only).
     pub fn write(
+        &self,
+        txn: TxnId,
+        obj: ObjectId,
+        value: Value,
+    ) -> Result<OpResponse, KernelError> {
+        let t0 = self.obs.get().map(|_| std::time::Instant::now());
+        let res = self.write_inner(txn, obj, value);
+        if let (Some(t0), Some(obs)) = (t0, self.obs.get()) {
+            obs.op_service.record_duration(t0.elapsed());
+        }
+        res
+    }
+
+    fn write_inner(
         &self,
         txn: TxnId,
         obj: ObjectId,
@@ -318,6 +370,9 @@ impl Kernel {
             txn: t.id,
             info: info.clone(),
         });
+        if let Some(obs) = self.obs.get() {
+            obs.note_commit(t.id, info.inconsistency);
+        }
         Ok(TxnEndResponse {
             info: Some(info),
             woken,
@@ -333,6 +388,9 @@ impl Kernel {
             txn: t.id,
             reason: None,
         });
+        if let Some(obs) = self.obs.get() {
+            obs.note_abort(t.id, "client".into());
+        }
         let woken = self.abort_cleanup(&mut t);
         Ok(TxnEndResponse { info: None, woken })
     }
@@ -399,6 +457,9 @@ impl Kernel {
             txn: t.id,
             reason: Some(reason.clone()),
         });
+        if let Some(obs) = self.obs.get() {
+            obs.note_abort(t.id, reason.to_string());
+        }
         self.txns.lock().remove(&t.id);
         let woken = self.abort_cleanup(t);
         OpResponse {
@@ -415,6 +476,11 @@ impl Kernel {
             self.stats
                 .wakes
                 .fetch_add(released.len() as u64, Ordering::Relaxed);
+            if let Some(obs) = self.obs.get() {
+                for p in &released {
+                    obs.note_wake(p.txn, o.id);
+                }
+            }
             woken.extend(released);
         }
     }
@@ -424,6 +490,9 @@ impl Kernel {
         debug_assert_eq!(op.object(), o.id);
         #[cfg(feature = "capture")]
         self.record(|| crate::capture::EventKind::Wait { txn, obj: o.id });
+        if let Some(obs) = self.obs.get() {
+            obs.note_park(txn, o.id);
+        }
         self.stats.waits.fetch_add(1, Ordering::Relaxed);
         self.waitq.lock().park(PendingOp { txn, op });
         OpResponse::only(OpOutcome::Wait)
@@ -496,8 +565,26 @@ impl Kernel {
             d = d.saturating_add(self.config.import_padding);
         }
 
+        // The admitting level must be read *before* the charge lands
+        // (the walk compares headroom against current accumulators).
+        #[cfg(feature = "obs-events")]
+        let admit_level = self
+            .obs
+            .get()
+            .map(|_| t.ledger.binding_level(obj, d, o.oil));
         match t.ledger.try_charge(obj, d, o.oil) {
             Ok(()) => {
+                #[cfg(feature = "obs-events")]
+                if let (Some(obs), Some(level)) = (self.obs.get(), admit_level) {
+                    obs.push_event(
+                        t.id,
+                        crate::obs::TxnEventKind::Relax {
+                            case: if uncommitted.is_some() { 2 } else { 1 },
+                            d,
+                            level,
+                        },
+                    );
+                }
                 o.note_query_read(t.id, ts, proper);
                 #[cfg(feature = "capture")]
                 self.record(|| crate::capture::EventKind::QueryRead {
@@ -647,8 +734,17 @@ impl Kernel {
                     .map(|r| distance(value, r.proper))
                     .fold(0u64, u64::saturating_add),
             };
+            #[cfg(feature = "obs-events")]
+            let admit_level = self
+                .obs
+                .get()
+                .map(|_| t.ledger.binding_level(obj, d, o.oel));
             match t.ledger.try_charge(obj, d, o.oel) {
                 Ok(()) => {
+                    #[cfg(feature = "obs-events")]
+                    if let (Some(obs), Some(level)) = (self.obs.get(), admit_level) {
+                        obs.push_event(t.id, crate::obs::TxnEventKind::Relax { case: 3, d, level });
+                    }
                     o.apply_write(t.id, ts, value);
                     #[cfg(feature = "capture")]
                     self.record(|| crate::capture::EventKind::Write {

@@ -40,12 +40,14 @@
 pub mod capture;
 pub mod config;
 pub mod kernel;
+pub mod obs;
 pub mod outcome;
 pub mod stats;
 pub mod waitq;
 
 pub use config::{ExportRule, HistoryMissPolicy, KernelConfig};
 pub use kernel::{Kernel, KernelError};
+pub use obs::{KernelObs, TxnEvent, TxnEventKind};
 pub use outcome::{
     AbortReason, CommitInfo, OpOutcome, OpResponse, Operation, PendingOp, TxnEndResponse,
 };

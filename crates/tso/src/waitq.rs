@@ -13,6 +13,15 @@
 //! relation therefore follows the timestamp order and cannot cycle —
 //! this is why the paper could choose TO "to avoid the problem of
 //! deadlock detection and recovery that is present in the case of 2PL".
+//!
+//! Two auxiliary structures keep the bookkeeping cheap under the
+//! kernel's waitq mutex:
+//!
+//! - a running `count` makes [`WaitQueue::len`] O(1), so it can serve
+//!   as a live depth gauge polled by the metrics endpoint;
+//! - a `TxnId → ObjectId` reverse index lets [`WaitQueue::remove_txn`]
+//!   touch only the queues the transaction is actually parked on,
+//!   instead of scanning every queue on every external abort.
 
 use crate::outcome::PendingOp;
 use esr_core::ids::{ObjectId, TxnId};
@@ -23,6 +32,12 @@ use std::collections::VecDeque;
 #[derive(Debug, Default)]
 pub struct WaitQueue {
     queues: HashMap<ObjectId, VecDeque<PendingOp>>,
+    /// Total parked operations, maintained by park/release/remove_txn.
+    count: usize,
+    /// Objects each transaction is parked on. A transaction parks on an
+    /// object at most once (it is suspended while parked), so a small
+    /// Vec with dedup-on-insert suffices.
+    by_txn: HashMap<TxnId, Vec<ObjectId>>,
 }
 
 impl WaitQueue {
@@ -33,39 +48,70 @@ impl WaitQueue {
 
     /// Park an operation on its object's queue.
     pub fn park(&mut self, op: PendingOp) {
-        self.queues.entry(op.op.object()).or_default().push_back(op);
+        let obj = op.op.object();
+        let txn = op.txn;
+        self.queues.entry(obj).or_default().push_back(op);
+        self.count += 1;
+        let objs = self.by_txn.entry(txn).or_default();
+        if !objs.contains(&obj) {
+            objs.push(obj);
+        }
     }
 
     /// Release every operation parked on `obj`, in arrival order.
     pub fn release(&mut self, obj: ObjectId) -> Vec<PendingOp> {
-        match self.queues.remove(&obj) {
+        let released: Vec<PendingOp> = match self.queues.remove(&obj) {
             Some(q) => q.into(),
-            None => Vec::new(),
+            None => return Vec::new(),
+        };
+        self.count -= released.len();
+        for p in &released {
+            if let Some(objs) = self.by_txn.get_mut(&p.txn) {
+                objs.retain(|&o| o != obj);
+                if objs.is_empty() {
+                    self.by_txn.remove(&p.txn);
+                }
+            }
         }
+        released
     }
 
     /// Remove any parked operations belonging to `txn` (defensive
     /// cleanup for externally aborted transactions). Returns how many
-    /// were removed.
+    /// were removed. Touches only the queues the reverse index says the
+    /// transaction is parked on.
     pub fn remove_txn(&mut self, txn: TxnId) -> usize {
+        let Some(objs) = self.by_txn.remove(&txn) else {
+            return 0;
+        };
         let mut removed = 0;
-        self.queues.retain(|_, q| {
-            let before = q.len();
-            q.retain(|p| p.txn != txn);
-            removed += before - q.len();
-            !q.is_empty()
-        });
+        for obj in objs {
+            if let Some(q) = self.queues.get_mut(&obj) {
+                let before = q.len();
+                q.retain(|p| p.txn != txn);
+                removed += before - q.len();
+                if q.is_empty() {
+                    self.queues.remove(&obj);
+                }
+            }
+        }
+        self.count -= removed;
         removed
     }
 
-    /// Number of parked operations across all objects.
+    /// Number of parked operations across all objects. O(1).
     pub fn len(&self) -> usize {
-        self.queues.values().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.count,
+            self.queues.values().map(VecDeque::len).sum::<usize>(),
+            "wait-queue running count diverged from per-object queues"
+        );
+        self.count
     }
 
     /// Is nothing parked?
     pub fn is_empty(&self) -> bool {
-        self.queues.is_empty()
+        self.count == 0
     }
 
     /// Is anything parked on this object?
@@ -93,6 +139,11 @@ mod tests {
         }
     }
 
+    /// The O(1) count must always agree with the summed queue lengths.
+    fn assert_count_consistent(q: &WaitQueue) {
+        assert_eq!(q.len(), q.queues.values().map(VecDeque::len).sum::<usize>());
+    }
+
     #[test]
     fn fifo_release_per_object() {
         let mut q = WaitQueue::new();
@@ -106,6 +157,7 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(!q.has_waiters(ObjectId(10)));
         assert!(q.has_waiters(ObjectId(11)));
+        assert_count_consistent(&q);
     }
 
     #[test]
@@ -113,6 +165,7 @@ mod tests {
         let mut q = WaitQueue::new();
         assert!(q.release(ObjectId(9)).is_empty());
         assert!(q.is_empty());
+        assert_count_consistent(&q);
     }
 
     #[test]
@@ -126,5 +179,48 @@ mod tests {
         assert!(q.has_waiters(ObjectId(10)));
         assert!(!q.has_waiters(ObjectId(11))); // emptied queue dropped
         assert_eq!(q.remove_txn(TxnId(99)), 0);
+        assert_count_consistent(&q);
+    }
+
+    #[test]
+    fn reverse_index_survives_release() {
+        let mut q = WaitQueue::new();
+        q.park(read(1, 10));
+        q.park(read(1, 11));
+        q.park(read(2, 11));
+        // Releasing object 11 must clear txn 1's and txn 2's entries for
+        // it — but keep txn 1's entry for object 10.
+        let released = q.release(ObjectId(11));
+        assert_eq!(released.len(), 2);
+        assert_eq!(q.len(), 1);
+        // A remove_txn after the release must only find what is left.
+        assert_eq!(q.remove_txn(TxnId(2)), 0);
+        assert_eq!(q.remove_txn(TxnId(1)), 1);
+        assert!(q.is_empty());
+        assert!(q.by_txn.is_empty(), "reverse index leaked: {:?}", q.by_txn);
+        assert_count_consistent(&q);
+    }
+
+    #[test]
+    fn count_tracks_interleaved_churn() {
+        let mut q = WaitQueue::new();
+        for round in 0..10u64 {
+            for obj in 0..5u32 {
+                q.park(read(round * 10 + obj as u64, obj));
+                q.park(write(round * 10 + obj as u64 + 5, obj, 1));
+            }
+            assert_count_consistent(&q);
+            q.release(ObjectId((round % 5) as u32));
+            assert_count_consistent(&q);
+            q.remove_txn(TxnId(round * 10 + 1));
+            assert_count_consistent(&q);
+        }
+        // Drain the rest; count must reach exactly zero.
+        for obj in 0..5u32 {
+            q.release(ObjectId(obj));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.by_txn.is_empty());
     }
 }

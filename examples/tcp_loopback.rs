@@ -15,6 +15,7 @@ use esr::core::bounds::Limit;
 use esr::core::ids::{ObjectId, TxnKind};
 use esr::core::spec::TxnBounds;
 use esr::net::{TcpConnection, TcpServer};
+use esr::obs::HistogramSnapshot;
 use esr::server::{Server, ServerConfig};
 use esr::storage::CatalogConfig;
 use esr::tso::Kernel;
@@ -53,8 +54,8 @@ fn transfer_once(c: &mut TcpConnection, a: u32, b: u32, amt: i64) -> Result<(), 
 }
 
 /// Run `clients` concurrent connections for the measurement window;
-/// returns (committed, attempted).
-fn run_level(addr: SocketAddr, clients: usize) -> (u64, u64) {
+/// returns (committed, attempted, merged per-call RPC latency).
+fn run_level(addr: SocketAddr, clients: usize) -> (u64, u64, HistogramSnapshot) {
     let deadline = Instant::now() + MEASURE;
     let handles: Vec<_> = (0..clients)
         .map(|t| {
@@ -79,14 +80,17 @@ fn run_level(addr: SocketAddr, clients: usize) -> (u64, u64) {
                         }
                     }
                 }
-                (committed, attempted)
+                (committed, attempted, c.rpc_latency())
             })
         })
         .collect();
-    handles.into_iter().fold((0, 0), |(c0, a0), h| {
-        let (c1, a1) = h.join().unwrap();
-        (c0 + c1, a0 + a1)
-    })
+    handles
+        .into_iter()
+        .fold((0, 0, HistogramSnapshot::new()), |(c0, a0, mut rpc0), h| {
+            let (c1, a1, rpc1) = h.join().unwrap();
+            rpc0.merge(&rpc1);
+            (c0 + c1, a0 + a1, rpc0)
+        })
 }
 
 fn main() {
@@ -100,15 +104,21 @@ fn main() {
 
     let rtt = measured_rtt(addr);
     println!("server on {addr}; measured RPC round trip ≈ {rtt:?}\n");
-    println!("{:>8}  {:>12}  {:>10}", "clients", "txn/s", "commit %");
-    println!("{}", "-".repeat(34));
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "clients", "txn/s", "commit %", "rpc p50", "rpc p95", "rpc p99"
+    );
+    println!("{}", "-".repeat(68));
 
     for clients in [1usize, 2, 4, 8, 12, 16] {
-        let (committed, attempted) = run_level(addr, clients);
+        let (committed, attempted, rpc) = run_level(addr, clients);
         println!(
-            "{clients:>8}  {:>12.1}  {:>9.1}%",
+            "{clients:>8}  {:>12.1}  {:>9.1}%  {:>7}µs  {:>7}µs  {:>7}µs",
             committed as f64 / MEASURE.as_secs_f64(),
             100.0 * committed as f64 / attempted.max(1) as f64,
+            rpc.p50(),
+            rpc.p95(),
+            rpc.p99(),
         );
     }
 

@@ -23,7 +23,8 @@
 //! | [`tso`] (`esr-tso`) | Timestamp-ordering concurrency control with the three ESR relaxation cases of §4, strict-ordering waits, and abort/restart. |
 //! | [`txn`] (`esr-txn`) | The textual transaction language (`BEGIN Query TIL = 100000 …`), sessions, and the retry-until-commit client driver. |
 //! | [`server`] (`esr-server`) | The multithreaded client/server prototype (§6) with blocking waits and injectable RPC latency. |
-//! | [`net`] (`esr-net`) | The TCP transport: framed wire protocol, the `esr-tcpd` server binary, and a remote `Session` implementation with real RPC latency. |
+//! | [`net`] (`esr-net`) | The TCP transport: framed wire protocol, the `esr-tcpd` server binary (with a plain-HTTP `/metrics` endpoint), and a remote `Session` implementation with real RPC latency. |
+//! | [`obs`] (`esr-obs`) | The live observability layer: lock-free log-bucketed latency histograms, O(1) gauges, bounded event rings, and Prometheus-style text exposition. |
 //! | [`sim`] (`esr-sim`) | A deterministic discrete-event simulation of the prototype's system model — the engine behind every figure. |
 //! | [`workload`] (`esr-workload`) | The §7 evaluation workload plus banking/airline domain workloads and script emission. |
 //! | [`metrics`] (`esr-metrics`) | Summary statistics, 90% confidence intervals, and figure rendering. |
@@ -68,6 +69,7 @@ pub use esr_clock as clock;
 pub use esr_core as core;
 pub use esr_metrics as metrics;
 pub use esr_net as net;
+pub use esr_obs as obs;
 pub use esr_replica as replica;
 pub use esr_server as server;
 pub use esr_sim as sim;

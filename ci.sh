@@ -48,4 +48,16 @@ if [[ "${1:-}" != "quick" ]]; then
     cargo run --release -q -p esr-bench --bin bench-pr3 -- --smoke
 fi
 
+# Hot-path scalability: the sharded-kernel multi-threaded stress test
+# under the release profile (racy schedules need optimised timing), and
+# the PR 4 perf artifact smoke — sharded-vs-global-lock on the
+# virtual-time simulator plus batched-vs-unbatched TCP loopback, with
+# its acceptance floors enforced by the binary itself.
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> cargo test -p esr-server --release --test shard_stress -q"
+    cargo test -p esr-server --release --test shard_stress -q
+    echo "==> bench-pr4 --smoke"
+    cargo run --release -q -p esr-bench --bin bench-pr4 -- --smoke
+fi
+
 echo "CI OK"

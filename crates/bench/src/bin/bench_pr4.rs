@@ -1,0 +1,228 @@
+//! `bench-pr4` — emit the PR 4 hot-path scalability artifact.
+//!
+//! Two comparisons, written to `BENCH_PR4.json` at the workspace root:
+//!
+//! 1. **Sharded scheduler vs global lock** on the deterministic
+//!    virtual-time simulator: MPL 8, zero RPC delay (the server CPU is
+//!    the only bottleneck), 8 workers — once behind a single scheduler
+//!    shard (the global-lock baseline, equivalent to `KernelConfig
+//!    { shards: 1 }`), once over 16 shards (the sharded kernel). The
+//!    container this runs in has a single CPU, so wall-clock cannot
+//!    witness lock-sharding speedups; the simulator's virtual time is
+//!    the honest, reproducible measure (same convention as
+//!    `BENCH_PR3.json`).
+//! 2. **Batched vs one-op-per-frame TCP** on a real loopback socket,
+//!    measured in wall-clock time: the same update transactions shipped
+//!    as N individual `write` frames vs one `batch` frame of N ops.
+//!    This one is wall-clock-honest on any core count — batching
+//!    removes N−1 network round trips per transaction.
+//!
+//! Pass `--smoke` for short windows / few iterations (CI).
+
+use esr_bench::emit::emit_bench_json;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_net::{TcpConnection, TcpServer};
+use esr_obs::LatencyHistogram;
+use esr_server::{OpReply, Server, ServerConfig};
+use esr_sim::{simulate, ServerModel, SimConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, KernelConfig, Operation};
+use esr_txn::Session;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One scenario row. `vs_baseline` is the speedup over the row's
+/// baseline (`1.0` on the baselines themselves): committed-transaction
+/// throughput for the simulator pair, per-operation wall time for the
+/// TCP pair.
+#[derive(Debug, Serialize)]
+struct Pr4Row {
+    /// What was measured: `virtual_time_sim` or `wall_clock_tcp`.
+    mode: &'static str,
+    /// Committed transactions per second (virtual for sim rows, wall
+    /// for TCP rows).
+    throughput: f64,
+    /// Mean time per executed operation, microseconds (virtual for sim
+    /// rows; wall-clock over the op phase for TCP rows).
+    per_op_micros: f64,
+    /// Latency percentiles, microseconds: committed-attempt latency for
+    /// sim rows, per-wire-frame round trip for TCP rows.
+    latency_p50_micros: u64,
+    latency_p95_micros: u64,
+    latency_p99_micros: u64,
+    /// Aborts over the window (always 0 for the contention-free TCP
+    /// loopback rows).
+    aborts: u64,
+    /// Speedup vs the paired baseline row.
+    vs_baseline: f64,
+}
+
+/// The zero-RPC high-MPL operating point: 8 clients, no network delay,
+/// hot-set contention, high-epsilon bounds. Only the server model (and
+/// the matching kernel shard count) differs between the two rows.
+fn sim_scenario(smoke: bool, sched_shards: usize) -> SimConfig {
+    let mut cfg = SimConfig {
+        mpl: 8,
+        rpc_min_micros: 0,
+        rpc_max_micros: 0,
+        warmup_micros: if smoke { 500_000 } else { 2_000_000 },
+        measure_micros: if smoke { 5_000_000 } else { 30_000_000 },
+        server: ServerModel {
+            workers: 8,
+            sched_shards,
+        },
+        kernel: KernelConfig {
+            shards: sched_shards,
+            ..KernelConfig::default()
+        },
+        seed: 5,
+        ..SimConfig::default()
+    };
+    cfg.workload.hot_prob = 0.95;
+    cfg
+}
+
+fn sim_row(cfg: &SimConfig) -> Pr4Row {
+    let r = simulate(cfg);
+    let ops = r.operations.max(1);
+    Pr4Row {
+        mode: "virtual_time_sim",
+        throughput: r.throughput,
+        per_op_micros: cfg.measure_micros as f64 / ops as f64,
+        latency_p50_micros: r.txn_latency.p50(),
+        latency_p95_micros: r.txn_latency.p95(),
+        latency_p99_micros: r.txn_latency.p99(),
+        aborts: r.aborts,
+        vs_baseline: 1.0,
+    }
+}
+
+/// Objects per transaction in the TCP comparison — every write hits a
+/// distinct object, so nothing parks and the measure is pure transport.
+const TCP_OPS_PER_TXN: usize = 16;
+
+fn tcp_server() -> TcpServer {
+    let values: Vec<i64> = (0..TCP_OPS_PER_TXN as i64).map(|i| 100 * (i + 1)).collect();
+    let table = CatalogConfig::default().build_with_values(&values);
+    let server = Server::start(
+        Kernel::with_defaults(table),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    TcpServer::bind(server, "127.0.0.1:0").expect("bind loopback")
+}
+
+/// Run `txns` update transactions over one connection, shipping the op
+/// phase either as individual frames or as one batch frame. Returns the
+/// row; throughput and per-op time cover the op phase only (begin and
+/// commit frames are identical in both shapes).
+fn tcp_row(txns: usize, batched: bool) -> Pr4Row {
+    let tcp = tcp_server();
+    let mut conn = TcpConnection::connect(tcp.local_addr()).expect("connect");
+    let frames = LatencyHistogram::new();
+    let mut op_phase_micros = 0u128;
+    for t in 0..txns {
+        conn.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+            .expect("begin");
+        let start = Instant::now();
+        if batched {
+            let ops: Vec<Operation> = (0..TCP_OPS_PER_TXN)
+                .map(|i| Operation::Write(ObjectId(i as u32), (t * 31 + i) as i64))
+                .collect();
+            let replies = conn.batch(ops).expect("batch frame");
+            assert!(
+                replies.iter().all(|r| *r == OpReply::Written),
+                "batched writes must all land: {replies:?}"
+            );
+            frames.record_duration(start.elapsed());
+        } else {
+            for i in 0..TCP_OPS_PER_TXN {
+                let f = Instant::now();
+                conn.write(ObjectId(i as u32), (t * 31 + i) as i64)
+                    .expect("write frame");
+                frames.record_duration(f.elapsed());
+            }
+        }
+        op_phase_micros += start.elapsed().as_micros();
+        conn.commit().expect("commit");
+    }
+    let ops = (txns * TCP_OPS_PER_TXN) as f64;
+    let secs = op_phase_micros as f64 / 1e6;
+    let snap = frames.snapshot();
+    Pr4Row {
+        mode: "wall_clock_tcp",
+        throughput: txns as f64 / secs.max(f64::EPSILON),
+        per_op_micros: op_phase_micros as f64 / ops,
+        latency_p50_micros: snap.p50(),
+        latency_p95_micros: snap.p95(),
+        latency_p99_micros: snap.p99(),
+        aborts: 0,
+        vs_baseline: 1.0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let global = sim_row(&sim_scenario(smoke, 1));
+    let mut sharded = sim_row(&sim_scenario(smoke, 16));
+    sharded.vs_baseline = sharded.throughput / global.throughput;
+
+    let txns = if smoke { 30 } else { 300 };
+    let unbatched = tcp_row(txns, false);
+    let mut batched = tcp_row(txns, true);
+    batched.vs_baseline = unbatched.per_op_micros / batched.per_op_micros;
+
+    let mut rows = BTreeMap::new();
+    rows.insert("kernel_global_mpl8".to_string(), global);
+    rows.insert("kernel_sharded_mpl8".to_string(), sharded);
+    rows.insert("tcp_unbatched".to_string(), unbatched);
+    rows.insert("tcp_batched".to_string(), batched);
+
+    println!(
+        "{:>20}  {:>17}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6}",
+        "scenario", "mode", "txn/s", "µs/op", "p50 µs", "p95 µs", "p99 µs", "aborts", "×base"
+    );
+    for (name, row) in &rows {
+        println!(
+            "{name:>20}  {:>17}  {:>10.1}  {:>10.1}  {:>9}  {:>9}  {:>9}  {:>7}  {:>6.2}",
+            row.mode,
+            row.throughput,
+            row.per_op_micros,
+            row.latency_p50_micros,
+            row.latency_p95_micros,
+            row.latency_p99_micros,
+            row.aborts,
+            row.vs_baseline,
+        );
+    }
+
+    let sharded_speedup = rows["kernel_sharded_mpl8"].vs_baseline;
+    let batch_speedup = rows["tcp_batched"].vs_baseline;
+    println!(
+        "\nsharded vs global-lock throughput: {sharded_speedup:.2}×  \
+         (acceptance floor 1.5×)"
+    );
+    println!("batched vs per-frame op time:      {batch_speedup:.2}×");
+    if sharded_speedup < 1.5 {
+        eprintln!("error: sharded speedup below the 1.5× acceptance floor");
+        std::process::exit(1);
+    }
+    if batch_speedup <= 1.0 {
+        eprintln!("error: batching did not reduce per-op wall time");
+        std::process::exit(1);
+    }
+
+    match emit_bench_json("BENCH_PR4.json", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_PR4.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

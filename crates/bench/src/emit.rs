@@ -81,11 +81,13 @@ impl From<&RunResult> for BenchRow {
 }
 
 /// Write `filename` (e.g. `BENCH_PR3.json`) at the workspace root:
-/// a `scenario name → BenchRow` object, keys sorted for stable diffs.
-/// Returns the path written.
-pub fn emit_bench_json(
+/// a `scenario name → row` object, keys sorted for stable diffs. Rows
+/// are any serialisable shape ([`BenchRow`] for the figure-style
+/// artifacts; perf PRs may carry extra comparison fields). Returns the
+/// path written.
+pub fn emit_bench_json<R: Serialize>(
     filename: &str,
-    rows: &BTreeMap<String, BenchRow>,
+    rows: &BTreeMap<String, R>,
 ) -> std::io::Result<PathBuf> {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("..")

@@ -52,6 +52,16 @@ pub enum RequestBody {
         /// The operation.
         op: Operation,
     },
+    /// A pipelined batch of operations within `txn`, executed in order
+    /// and answered with one [`ReplyBody::Batch`] carrying a correlated
+    /// reply per op. Amortizes the per-op frame round trip — the source
+    /// paper's dominant cost. At most `esr_server::MAX_BATCH` ops.
+    Batch {
+        /// The transaction.
+        txn: TxnId,
+        /// The operations, in execution order.
+        ops: Vec<Operation>,
+    },
     /// Commit (`commit == true`) or abort `txn`.
     End {
         /// The transaction.
@@ -94,6 +104,10 @@ pub enum ReplyBody {
     /// completes — a parked operation's reply is withheld until a
     /// commit or abort releases it, exactly like the in-process path.
     Op(OpReply),
+    /// Answer to [`RequestBody::Batch`]: exactly one reply per
+    /// submitted op, in submission order. Like a single parked op's
+    /// reply, it is withheld until every op in the batch completes.
+    Batch(Vec<OpReply>),
     /// Answer to [`RequestBody::End`].
     End(EndReply),
     /// Answer to [`RequestBody::Stats`].

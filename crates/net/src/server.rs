@@ -28,7 +28,9 @@ use crate::frame::{read_frame, write_frame};
 use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use esr_core::ids::SiteId;
-use esr_server::{ReplySink, Request, RpcHandle, Server, SHUTDOWN_ERROR};
+use esr_server::{
+    ReplySink, Request, RpcHandle, Server, SubmitError, BUSY_ERROR, MAX_BATCH, SHUTDOWN_ERROR,
+};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{
@@ -288,6 +290,33 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                     },
                 );
             }
+            RequestBody::Batch { txn, ops } => {
+                // Reject oversize batches at the transport edge: the
+                // frame decoder already bounds the frame, but a frame
+                // full of tiny ops could still exceed the op cap.
+                if ops.len() > MAX_BATCH {
+                    reply_to(ReplyBody::Error(format!(
+                        "batch of {} ops exceeds the {MAX_BATCH}-op limit",
+                        ops.len()
+                    )));
+                    continue;
+                }
+                let tx = replies.clone();
+                let sink = ReplySink::hook(move |r| {
+                    let _ = tx.send(WireReply {
+                        id,
+                        body: ReplyBody::Batch(r),
+                    });
+                });
+                submit(
+                    &rpc,
+                    Request::Batch {
+                        txn,
+                        ops,
+                        reply: sink,
+                    },
+                );
+            }
             RequestBody::End { txn, commit } => {
                 let tx = replies.clone();
                 let sink = ReplySink::hook(move |r| {
@@ -322,12 +351,14 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
     }
 }
 
-/// Queue a request; if the server is already gone, answer through the
-/// request's own sink so the remote client still gets an explicit
-/// error.
+/// Queue a request; if the queue is full or the server is gone, answer
+/// through the request's own sink so the remote client gets an explicit
+/// busy/shutdown error instead of a silently dropped frame.
 fn submit(rpc: &RpcHandle, req: Request) {
-    if let Err(req) = rpc.submit(req) {
-        req.reject(SHUTDOWN_ERROR);
+    match rpc.submit(req) {
+        Ok(()) => {}
+        Err(SubmitError::Busy(req)) => req.reject(BUSY_ERROR),
+        Err(SubmitError::Down(req)) => req.reject(SHUTDOWN_ERROR),
     }
 }
 

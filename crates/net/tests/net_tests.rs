@@ -5,9 +5,10 @@ use esr_core::bounds::Limit;
 use esr_core::ids::{ObjectId, TxnKind};
 use esr_core::spec::TxnBounds;
 use esr_net::{NetClientConfig, TcpConnection, TcpServer};
+use esr_server::OpReply;
 use esr_server::{Server, ServerConfig};
 use esr_storage::catalog::CatalogConfig;
-use esr_tso::Kernel;
+use esr_tso::{Kernel, Operation};
 use esr_txn::{parse_program, run_with_retry, Session, SessionError};
 use std::time::Duration;
 
@@ -462,4 +463,108 @@ fn tcp_client_errors_cleanly_after_server_shutdown() {
         other => panic!("{other:?}"),
     }
     assert!(t0.elapsed() < cfgd.read_timeout * cfgd.reply_attempts);
+}
+
+#[test]
+fn tcp_batch_pipelines_ops_in_one_frame() {
+    let tcp = tcp_server_with(&[100, 200, 300], 4);
+    let mut c = client(&tcp);
+    c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    let replies = c
+        .batch(vec![
+            Operation::Read(ObjectId(0)),
+            Operation::Write(ObjectId(1), 555),
+            Operation::Read(ObjectId(1)),
+        ])
+        .unwrap();
+    assert_eq!(
+        replies,
+        vec![OpReply::Value(100), OpReply::Written, OpReply::Value(555)]
+    );
+    c.commit().unwrap();
+    assert_eq!(tcp.server().kernel().table().lock(ObjectId(1)).value, 555);
+}
+
+#[test]
+fn tcp_batch_with_parked_op_completes_after_wake() {
+    let tcp = tcp_server_with(&[100, 200], 4);
+    let mut writer = client(&tcp);
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 175).unwrap();
+
+    // The strict reader's second op parks on the uncommitted write;
+    // the whole batch reply frame is withheld until the commit —
+    // arriving on a different socket — wakes it.
+    let mut reader = client(&tcp);
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        reader
+            .batch(vec![
+                Operation::Read(ObjectId(1)),
+                Operation::Read(ObjectId(0)),
+            ])
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!handle.is_finished(), "batch should be parked server-side");
+    writer.commit().unwrap();
+    assert_eq!(
+        handle.join().unwrap(),
+        vec![OpReply::Value(200), OpReply::Value(175)]
+    );
+}
+
+#[test]
+fn tcp_batch_aborted_txn_clears_the_client_handle() {
+    let tcp = tcp_server_with(&[100], 4);
+    // An older writer's uncommitted value makes a younger strict
+    // reader park; aborting the writer wakes the reader, whose zero
+    // import bound then cannot absorb … actually simpler: force a
+    // late-read abort by reading behind a committed younger write.
+    let mut young = client(&tcp);
+    young
+        .begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+        .unwrap();
+    young.write(ObjectId(0), 500).unwrap();
+    young.commit().unwrap();
+
+    // A strict query stamped *before* that commit is late. Its batch
+    // must report the abort and fail the remaining op, and the client
+    // must drop its transaction handle.
+    let mut old = client(&tcp);
+    old.begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    // Manufacture lateness: impossible to control timestamps over TCP
+    // directly, so instead observe whichever outcome the race allows —
+    // the invariant under test is reply correlation plus handle
+    // hygiene, valid in both cases.
+    let replies = old
+        .batch(vec![
+            Operation::Read(ObjectId(0)),
+            Operation::Read(ObjectId(0)),
+        ])
+        .unwrap();
+    assert_eq!(replies.len(), 2, "every op answered");
+    match &replies[0] {
+        OpReply::Aborted(_) => {
+            assert!(
+                matches!(&replies[1], OpReply::Error(e) if e.contains("batch")),
+                "remaining op fails after abort: {:?}",
+                replies[1]
+            );
+            assert!(!old.in_txn(), "abort must clear the client handle");
+        }
+        OpReply::Value(v) => {
+            assert_eq!(*v, 500);
+            assert_eq!(replies[1], OpReply::Value(500));
+            assert!(old.in_txn());
+            old.commit().unwrap();
+        }
+        other => panic!("unexpected first reply: {other:?}"),
+    }
 }

@@ -32,9 +32,9 @@ pub use connection::Connection;
 pub use obs::{RequestKind, ServerObs};
 pub use proto::{
     BeginReply, EndReply, NamedHistogram, OpReply, QueuedRequest, ReplySink, Request, ServerStats,
-    StatsReply,
+    StatsReply, MAX_BATCH,
 };
 pub use server::{
-    build_server_stats, ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator,
-    SHUTDOWN_ERROR,
+    build_server_stats, ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator, SubmitError,
+    BATCH_FAILED, BATCH_TOO_LARGE, BUSY_ERROR, SHUTDOWN_ERROR,
 };

@@ -19,6 +19,8 @@ pub enum RequestKind {
     Begin,
     /// `Request::Op`
     Op,
+    /// `Request::Batch`
+    Batch,
     /// `Request::End`
     End,
 }
@@ -30,6 +32,8 @@ pub struct ServerObs {
     begin_service: LatencyHistogram,
     op_queue_wait: LatencyHistogram,
     op_service: LatencyHistogram,
+    batch_queue_wait: LatencyHistogram,
+    batch_service: LatencyHistogram,
     end_queue_wait: LatencyHistogram,
     end_service: LatencyHistogram,
     /// Requests currently being serviced by a worker.
@@ -47,6 +51,7 @@ impl ServerObs {
         let (qw, sv) = match kind {
             RequestKind::Begin => (&self.begin_queue_wait, &self.begin_service),
             RequestKind::Op => (&self.op_queue_wait, &self.op_service),
+            RequestKind::Batch => (&self.batch_queue_wait, &self.batch_service),
             RequestKind::End => (&self.end_queue_wait, &self.end_service),
         };
         qw.record_duration(queue_wait);
@@ -77,6 +82,14 @@ impl ServerObs {
             (
                 "server_op_service_micros".into(),
                 self.op_service.snapshot(),
+            ),
+            (
+                "server_batch_queue_wait_micros".into(),
+                self.batch_queue_wait.snapshot(),
+            ),
+            (
+                "server_batch_service_micros".into(),
+                self.batch_service.snapshot(),
             ),
             (
                 "server_end_queue_wait_micros".into(),

@@ -175,6 +175,21 @@ pub enum Request {
         /// Reply sink.
         reply: ReplySink<OpReply>,
     },
+    /// A pipelined batch of operations from one transaction, submitted
+    /// in a single request and answered with one correlated reply per
+    /// operation, in submission order. Ops are driven sequentially
+    /// (they belong to one transaction, so they cannot run
+    /// concurrently); an op that parks suspends the batch until its
+    /// wakeup, and an abort fails the remaining ops without touching
+    /// the kernel. At most [`MAX_BATCH`] ops per batch.
+    Batch {
+        /// The transaction.
+        txn: TxnId,
+        /// The operations, in execution order.
+        ops: Vec<Operation>,
+        /// Reply sink; receives exactly `ops.len()` replies.
+        reply: ReplySink<Vec<OpReply>>,
+    },
     /// Commit or abort.
     End {
         /// The transaction.
@@ -193,6 +208,11 @@ pub enum Request {
     /// shutdown).
     Shutdown,
 }
+
+/// Upper bound on operations per [`Request::Batch`]. Keeps a single
+/// frame's work (and its reply vector) bounded; transports reject
+/// larger batches before they reach the queue.
+pub const MAX_BATCH: usize = 1024;
 
 /// A request stamped with its enqueue instant, so workers can report
 /// queue wait separately from service time. This is what actually
@@ -232,6 +252,9 @@ impl Request {
             }
             Request::Op { reply, .. } => {
                 reply.send(OpReply::Error(reason.to_owned()));
+            }
+            Request::Batch { ops, reply, .. } => {
+                reply.send(vec![OpReply::Error(reason.to_owned()); ops.len()]);
             }
             Request::End { reply, .. } => {
                 reply.send(EndReply::Error(reason.to_owned()));
@@ -297,6 +320,25 @@ mod tests {
         }
         .reject("closing");
         assert_eq!(orx.recv().unwrap(), OpReply::Error("closing".into()));
+
+        let (batx, barx) = bounded(1);
+        Request::Batch {
+            txn: TxnId(1),
+            ops: vec![
+                Operation::Read(esr_core::ids::ObjectId(0)),
+                Operation::Write(esr_core::ids::ObjectId(1), 7),
+            ],
+            reply: ReplySink::channel(batx),
+        }
+        .reject("closing");
+        assert_eq!(
+            barx.recv().unwrap(),
+            vec![
+                OpReply::Error("closing".into()),
+                OpReply::Error("closing".into())
+            ],
+            "a rejected batch answers every op"
+        );
 
         let (etx, erx) = bounded(1);
         Request::End {

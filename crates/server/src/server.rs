@@ -2,11 +2,12 @@
 
 use crate::connection::Connection;
 use crate::obs::{RequestKind, ServerObs};
+use crate::proto::MAX_BATCH;
 use crate::proto::{
     BeginReply, EndReply, NamedHistogram, OpReply, QueuedRequest, ReplySink, Request, ServerStats,
     StatsReply,
 };
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use esr_clock::{
     CorrectionFactor, ManualTimeSource, SkewedSource, SystemTimeSource, TimeSource,
     TimestampGenerator,
@@ -35,6 +36,12 @@ pub struct ServerConfig {
     /// Use a virtual (manually driven) reference clock instead of the
     /// wall clock. Tests use this for determinism.
     pub virtual_time: bool,
+    /// Capacity of the request queue feeding the worker pool. When the
+    /// queue is full, in-process connections block (natural
+    /// backpressure) and transports get an explicit busy reject via
+    /// [`RpcHandle::submit`] instead of growing an unbounded queue
+    /// until memory runs out. Values below 1 are treated as 1.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -43,12 +50,17 @@ impl Default for ServerConfig {
             workers: 4,
             rpc_latency: None,
             virtual_time: false,
+            queue_capacity: 1024,
         }
     }
 }
 
 /// The error text used when shutdown answers requests it cannot serve.
 pub const SHUTDOWN_ERROR: &str = "server shut down";
+
+/// The error text used when the bounded request queue is full and a
+/// transport-submitted request is rejected instead of queued.
+pub const BUSY_ERROR: &str = "server busy (request queue full)";
 
 /// Hands out site ids, erroring (instead of silently wrapping) when the
 /// 16-bit site space is exhausted, and recycling ids released by
@@ -144,8 +156,59 @@ impl fmt::Display for ConnectError {
 
 impl std::error::Error for ConnectError {}
 
-/// Reply sinks of operations currently parked on kernel wait queues.
-type PendingReplies = Arc<Mutex<HashMap<TxnId, ReplySink<OpReply>>>>;
+/// Fibonacci multiplier for shard selection (same constant the kernel
+/// uses): multiply-shift spreads consecutive ids across shards.
+const SHARD_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Shards in the parked-reply map. Fixed: the map is touched once per
+/// park/wake, so 16 shards is already far beyond the worker count.
+const PENDING_SHARDS: usize = 16;
+
+/// Reply sinks of operations currently parked on kernel wait queues,
+/// sharded by `TxnId` hash so a wake serviced on one worker does not
+/// contend with parks and completions on the others. Each entry lives
+/// in exactly one shard (its transaction's); no path ever holds two
+/// shard locks at once.
+pub(crate) struct PendingShards {
+    shards: Box<[Mutex<PendingShard>]>,
+}
+
+/// One shard of the parked-reply map.
+type PendingShard = HashMap<TxnId, ReplySink<OpReply>>;
+
+impl PendingShards {
+    fn new() -> Self {
+        PendingShards {
+            shards: (0..PENDING_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, txn: TxnId) -> &Mutex<PendingShard> {
+        let h = txn.0.wrapping_mul(SHARD_HASH) >> 32;
+        &self.shards[(h as usize) & (PENDING_SHARDS - 1)]
+    }
+
+    fn insert(&self, txn: TxnId, sink: ReplySink<OpReply>) {
+        self.shard(txn).lock().insert(txn, sink);
+    }
+
+    fn remove(&self, txn: TxnId) -> Option<ReplySink<OpReply>> {
+        self.shard(txn).lock().remove(&txn)
+    }
+
+    /// Drain every parked sink (shutdown): one shard at a time.
+    fn drain(&self) -> Vec<(TxnId, ReplySink<OpReply>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().drain().collect::<Vec<_>>())
+            .collect()
+    }
+}
+
+type PendingReplies = Arc<PendingShards>;
 
 /// The server: owns the kernel, dispatches requests to workers, and
 /// routes wakeups back to the blocked clients.
@@ -171,8 +234,8 @@ impl Server {
         // a production server is always measurable.
         kernel.enable_obs();
         let obs = Arc::new(ServerObs::new());
-        let (req_tx, req_rx) = unbounded::<QueuedRequest>();
-        let pending: PendingReplies = Arc::new(Mutex::new(HashMap::new()));
+        let (req_tx, req_rx) = bounded::<QueuedRequest>(config.queue_capacity.max(1));
+        let pending: PendingReplies = Arc::new(PendingShards::new());
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let rx = req_rx.clone();
@@ -311,7 +374,7 @@ impl Server {
         if let Some(rx) = self.req_rx.take() {
             drain_requests(&rx);
         }
-        for (_, sink) in self.pending.lock().drain() {
+        for (_, sink) in self.pending.drain() {
             sink.send(OpReply::Error(SHUTDOWN_ERROR.to_owned()));
         }
     }
@@ -343,16 +406,33 @@ pub struct RpcHandle {
     reference: Arc<dyn TimeSource>,
 }
 
+/// Why [`RpcHandle::submit`] could not queue a request. The request is
+/// handed back in either case so the caller can answer it through its
+/// own reply sink.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded request queue is at capacity — the server is
+    /// overloaded. Transient: the client may retry after backoff.
+    Busy(Request),
+    /// The server has shut down. Permanent.
+    Down(Request),
+}
+
 impl RpcHandle {
-    /// Queue a request for the worker pool. Returns the request back if
-    /// the server has shut down, so the caller can answer it explicitly.
+    /// Queue a request for the worker pool without blocking. A full
+    /// queue yields [`SubmitError::Busy`] (overload degrades into
+    /// explicit rejects, not unbounded memory growth) and a shut-down
+    /// server yields [`SubmitError::Down`].
     // The Err payload is deliberately the whole request — the caller
     // needs it back to reject it through its own reply sink.
     #[allow(clippy::result_large_err)]
-    pub fn submit(&self, req: Request) -> Result<(), Request> {
+    pub fn submit(&self, req: Request) -> Result<(), SubmitError> {
         self.req_tx
-            .send(QueuedRequest::now(req))
-            .map_err(|e| e.0.req)
+            .try_send(QueuedRequest::now(req))
+            .map_err(|e| match e {
+                TrySendError::Full(q) => SubmitError::Busy(q.req),
+                TrySendError::Disconnected(q) => SubmitError::Down(q.req),
+            })
     }
 
     /// Allocate a site id for a new remote connection.
@@ -411,6 +491,7 @@ fn worker_loop(
         let kind = match &q.req {
             Request::Begin { .. } => Some(RequestKind::Begin),
             Request::Op { .. } => Some(RequestKind::Op),
+            Request::Batch { .. } => Some(RequestKind::Batch),
             Request::End { .. } => Some(RequestKind::End),
             Request::Stats { .. } | Request::Shutdown => None,
         };
@@ -429,6 +510,9 @@ fn worker_loop(
             }
             Request::Op { txn, op, reply } => {
                 dispatch_op(&kernel, &pending, PendingOp { txn, op }, reply);
+            }
+            Request::Batch { txn, ops, reply } => {
+                drive_batch(&kernel, &pending, txn, ops, reply);
             }
             Request::End { txn, commit, reply } => {
                 let result = if commit {
@@ -497,20 +581,20 @@ fn dispatch_op(
     op: PendingOp,
     reply: ReplySink<OpReply>,
 ) {
-    pending.lock().insert(op.txn, reply);
+    pending.insert(op.txn, reply);
     match kernel.resume(op) {
         Ok(resp) => {
             if resp.outcome != OpOutcome::Wait {
                 // Not parked, so no concurrent wake could have consumed
                 // the entry: it must still be present.
-                if let Some(reply) = pending.lock().remove(&op.txn) {
+                if let Some(reply) = pending.remove(op.txn) {
                     send_outcome(reply, resp.outcome);
                 }
             }
             drain_woken(kernel, pending, resp.woken);
         }
         Err(e) => {
-            if let Some(reply) = pending.lock().remove(&op.txn) {
+            if let Some(reply) = pending.remove(op.txn) {
                 reply.send(OpReply::Error(e.to_string()));
             }
         }
@@ -527,14 +611,14 @@ fn drain_woken(kernel: &Kernel, pending: &PendingReplies, woken: Vec<PendingOp>)
         match kernel.resume(p) {
             Ok(resp) => {
                 if resp.outcome != OpOutcome::Wait {
-                    if let Some(reply) = pending.lock().remove(&p.txn) {
+                    if let Some(reply) = pending.remove(p.txn) {
                         send_outcome(reply, resp.outcome);
                     }
                 }
                 queue.extend(resp.woken);
             }
             Err(e) => {
-                if let Some(reply) = pending.lock().remove(&p.txn) {
+                if let Some(reply) = pending.remove(p.txn) {
                     reply.send(OpReply::Error(e.to_string()));
                 }
             }
@@ -542,10 +626,139 @@ fn drain_woken(kernel: &Kernel, pending: &PendingReplies, woken: Vec<PendingOp>)
     }
 }
 
+/// The error text filling the remaining slots of a batch whose earlier
+/// operation aborted the transaction or failed.
+pub const BATCH_FAILED: &str = "earlier operation in batch failed";
+
+/// The error text answering a batch larger than [`MAX_BATCH`].
+pub const BATCH_TOO_LARGE: &str = "batch exceeds MAX_BATCH operations";
+
+/// In-flight state of one pipelined batch, shared between the worker
+/// that drives it and the wake hooks of any operation that parks.
+struct BatchState {
+    txn: TxnId,
+    /// Operations not yet submitted, in order.
+    remaining: std::collections::VecDeque<esr_tso::Operation>,
+    /// One reply per completed operation, in submission order.
+    replies: Vec<OpReply>,
+    /// The client's sink; taken exactly once, when the batch completes.
+    reply: Option<ReplySink<Vec<OpReply>>>,
+    /// True while some thread is inside [`run_batch`] for this state.
+    /// A wake hook that fires while the driver is still running just
+    /// records its reply; one that fires after the driver parked the
+    /// batch (`driving == false`) takes over driving itself. Exactly
+    /// one thread drives at any moment.
+    driving: bool,
+    /// Set once an operation aborts the transaction or errors; the
+    /// remaining operations are answered with [`BATCH_FAILED`] without
+    /// touching the kernel (the transaction is gone, or its pipeline
+    /// state is unknown).
+    failed: bool,
+}
+
+/// Service a `Request::Batch`: drive the operations sequentially —
+/// they belong to one transaction, so they cannot run concurrently —
+/// and answer with one correlated reply per operation.
+///
+/// An operation that parks suspends the batch; its wake (serviced by
+/// whichever worker commits the blocking writer) resumes driving via
+/// the hook registered in `pending`, so a suspended batch never holds
+/// a worker thread. An abort or error fails the remaining operations
+/// without submitting them.
+fn drive_batch(
+    kernel: &Arc<Kernel>,
+    pending: &PendingReplies,
+    txn: TxnId,
+    ops: Vec<esr_tso::Operation>,
+    reply: ReplySink<Vec<OpReply>>,
+) {
+    if ops.len() > MAX_BATCH {
+        reply.send(vec![OpReply::Error(BATCH_TOO_LARGE.to_owned()); ops.len()]);
+        return;
+    }
+    let state = Arc::new(Mutex::new(BatchState {
+        txn,
+        remaining: ops.into(),
+        replies: Vec::new(),
+        reply: Some(reply),
+        driving: true,
+        failed: false,
+    }));
+    run_batch(kernel, pending, &state);
+}
+
+/// Drive `state` until its batch completes or parks. Called by the
+/// worker that dequeued the batch and, after a park, by the wake hook
+/// of the parked operation; the `driving` flag guarantees the two
+/// never run concurrently.
+fn run_batch(kernel: &Arc<Kernel>, pending: &PendingReplies, state: &Arc<Mutex<BatchState>>) {
+    loop {
+        // Take the next op — or finish the batch — under the lock.
+        let (txn, op, completed_before) = {
+            let mut s = state.lock();
+            if s.failed {
+                let n = s.remaining.len();
+                s.remaining.clear();
+                s.replies.extend(
+                    std::iter::repeat_with(|| OpReply::Error(BATCH_FAILED.to_owned())).take(n),
+                );
+            }
+            match s.remaining.pop_front() {
+                Some(op) => (s.txn, op, s.replies.len()),
+                None => {
+                    s.driving = false;
+                    let sink = s.reply.take();
+                    let replies = std::mem::take(&mut s.replies);
+                    drop(s);
+                    if let Some(sink) = sink {
+                        sink.send(replies);
+                    }
+                    return;
+                }
+            }
+        };
+        let st = Arc::clone(state);
+        let k = Arc::clone(kernel);
+        let p = Arc::clone(pending);
+        let sink = ReplySink::hook(move |r: OpReply| {
+            let take_over = {
+                let mut s = st.lock();
+                if !matches!(r, OpReply::Value(_) | OpReply::Written) {
+                    s.failed = true;
+                }
+                s.replies.push(r);
+                // If the driver already parked the batch, this hook is
+                // the wake path and must continue driving; if the
+                // driver is still running (synchronous completion, or a
+                // wake racing the driver's park check), it will see the
+                // new reply and keep going itself.
+                if s.driving {
+                    false
+                } else {
+                    s.driving = true;
+                    true
+                }
+            };
+            if take_over {
+                run_batch(&k, &p, &st);
+            }
+        });
+        dispatch_op(kernel, pending, PendingOp { txn, op }, sink);
+        // Did the operation complete (its hook fired), or did it park?
+        let mut s = state.lock();
+        if s.replies.len() == completed_before {
+            // Parked: hand driving over to the wake hook and release
+            // this worker for other requests.
+            s.driving = false;
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::bounded;
+    use crossbeam::channel::{bounded, unbounded};
     use esr_core::ids::ObjectId;
     use esr_tso::Operation;
 

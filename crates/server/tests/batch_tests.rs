@@ -1,0 +1,257 @@
+//! Integration tests for the pipelined `Request::Batch` path and the
+//! bounded request queue's explicit busy rejection.
+
+use crossbeam::channel::bounded;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_server::{
+    OpReply, ReplySink, Request, Server, ServerConfig, SubmitError, BATCH_FAILED, BATCH_TOO_LARGE,
+    BUSY_ERROR, MAX_BATCH,
+};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, Operation};
+use esr_txn::Session;
+use std::time::Duration;
+
+fn server_with(values: &[i64], config: ServerConfig) -> Server {
+    let table = CatalogConfig::default().build_with_values(values);
+    Server::start(Kernel::with_defaults(table), config)
+}
+
+/// Submit a batch through the transport handle and wait for its reply.
+fn run_batch(server: &Server, txn: TxnId, ops: Vec<Operation>) -> Vec<OpReply> {
+    let (tx, rx) = bounded(1);
+    server
+        .rpc_handle()
+        .submit(Request::Batch {
+            txn,
+            ops,
+            reply: ReplySink::channel(tx),
+        })
+        .expect("submit batch");
+    rx.recv().expect("batch reply")
+}
+
+#[test]
+fn batch_answers_each_op_in_order() {
+    let server = server_with(&[100, 200, 300], ServerConfig::default());
+    let mut c = server.connect();
+    c.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    let txn = c.current_txn().unwrap();
+    let replies = run_batch(
+        &server,
+        txn,
+        vec![
+            Operation::Read(ObjectId(0)),
+            Operation::Write(ObjectId(1), 777),
+            Operation::Read(ObjectId(1)),
+            Operation::Read(ObjectId(2)),
+        ],
+    );
+    assert_eq!(
+        replies,
+        vec![
+            OpReply::Value(100),
+            OpReply::Written,
+            OpReply::Value(777),
+            OpReply::Value(300),
+        ]
+    );
+    c.commit().unwrap();
+    assert_eq!(server.kernel().table().lock(ObjectId(1)).value, 777);
+}
+
+#[test]
+fn empty_batch_answers_immediately() {
+    let server = server_with(&[100], ServerConfig::default());
+    let mut c = server.connect();
+    c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    let txn = c.current_txn().unwrap();
+    assert_eq!(run_batch(&server, txn, Vec::new()), Vec::new());
+    c.commit().unwrap();
+}
+
+#[test]
+fn oversize_batch_is_rejected_without_touching_the_kernel() {
+    let server = server_with(&[100], ServerConfig::default());
+    let mut c = server.connect();
+    c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    let txn = c.current_txn().unwrap();
+    let n = MAX_BATCH + 1;
+    let replies = run_batch(&server, txn, vec![Operation::Read(ObjectId(0)); n]);
+    assert_eq!(replies.len(), n, "one reply per submitted op");
+    assert!(replies
+        .iter()
+        .all(|r| *r == OpReply::Error(BATCH_TOO_LARGE.to_owned())));
+    // The kernel never saw the batch: no reads were recorded.
+    c.commit().unwrap();
+    assert_eq!(server.kernel().stats().reads, 0);
+}
+
+#[test]
+fn batch_error_fails_remaining_ops_without_submitting_them() {
+    let server = server_with(&[100, 200], ServerConfig::default());
+    let mut c = server.connect();
+    // A query writing is a driver-level error; the transaction itself
+    // survives, but the batch pipeline stops there.
+    c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    let txn = c.current_txn().unwrap();
+    let replies = run_batch(
+        &server,
+        txn,
+        vec![
+            Operation::Read(ObjectId(0)),
+            Operation::Write(ObjectId(1), 5),
+            Operation::Read(ObjectId(1)),
+        ],
+    );
+    assert_eq!(replies[0], OpReply::Value(100));
+    assert!(
+        matches!(&replies[1], OpReply::Error(e) if !e.is_empty()),
+        "query write must error: {:?}",
+        replies[1]
+    );
+    assert_eq!(replies[2], OpReply::Error(BATCH_FAILED.to_owned()));
+    // Only the first op reached the kernel.
+    assert_eq!(server.kernel().stats().reads, 1);
+    c.commit().unwrap();
+}
+
+#[test]
+fn batch_with_parked_op_resumes_on_wake_without_holding_a_worker() {
+    // A single worker: if a parked batch held its worker thread, the
+    // commit that must wake it could never be serviced and this test
+    // would deadlock.
+    let server = server_with(
+        &[100, 200],
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut writer = server.connect();
+    writer
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    writer.write(ObjectId(0), 175).unwrap();
+
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let txn = reader.current_txn().unwrap();
+    // Op 1 completes; op 2 parks on the uncommitted write; op 3 runs
+    // only after the wake.
+    let (tx, rx) = bounded(1);
+    server
+        .rpc_handle()
+        .submit(Request::Batch {
+            txn,
+            ops: vec![
+                Operation::Read(ObjectId(1)),
+                Operation::Read(ObjectId(0)),
+                Operation::Read(ObjectId(1)),
+            ],
+            reply: ReplySink::channel(tx),
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        rx.try_recv().is_err(),
+        "batch reply must be withheld while an op is parked"
+    );
+    writer.commit().unwrap();
+    let replies = rx
+        .recv_timeout_like(Duration::from_secs(10))
+        .expect("batch completes after the wake");
+    assert_eq!(
+        replies,
+        vec![
+            OpReply::Value(200),
+            OpReply::Value(175),
+            OpReply::Value(200),
+        ]
+    );
+    reader.commit().unwrap();
+}
+
+/// `recv` with a coarse timeout so a regression deadlocks the test
+/// visibly instead of hanging CI forever.
+trait RecvTimeoutLike<T> {
+    fn recv_timeout_like(&self, timeout: Duration) -> Result<T, ()>;
+}
+
+impl<T: Send + 'static> RecvTimeoutLike<T> for crossbeam::channel::Receiver<T> {
+    fn recv_timeout_like(&self, timeout: Duration) -> Result<T, ()> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Ok(v),
+                Err(_) if std::time::Instant::now() >= deadline => return Err(()),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+}
+
+#[test]
+fn full_request_queue_rejects_with_busy() {
+    // One worker, a one-slot queue. Wedge the worker by giving its
+    // request a pre-filled bounded(1) reply channel: the reply send
+    // blocks until this test drains it.
+    let server = server_with(
+        &[100],
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let rpc = server.rpc_handle();
+    let (wedge_tx, wedge_rx) = bounded::<OpReply>(1);
+    wedge_tx.send(OpReply::Written).unwrap(); // fill the reply slot
+    rpc.submit(Request::Op {
+        txn: TxnId(999_999), // unknown: answered with an error reply
+        op: Operation::Read(ObjectId(0)),
+        reply: ReplySink::channel(wedge_tx),
+    })
+    .expect("first submit fits the queue");
+    // Wait for the worker to dequeue it and block on the reply send.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Fill the (now empty) queue slot …
+    let (fill_tx, fill_rx) = bounded::<OpReply>(4);
+    rpc.submit(Request::Op {
+        txn: TxnId(999_998),
+        op: Operation::Read(ObjectId(0)),
+        reply: ReplySink::channel(fill_tx),
+    })
+    .expect("second submit fits the queue");
+
+    // … and the next submission must be rejected as busy, handing the
+    // request back so the transport can answer it explicitly.
+    let (busy_tx, busy_rx) = bounded::<OpReply>(1);
+    match rpc.submit(Request::Op {
+        txn: TxnId(999_997),
+        op: Operation::Read(ObjectId(0)),
+        reply: ReplySink::channel(busy_tx),
+    }) {
+        Err(SubmitError::Busy(req)) => req.reject(BUSY_ERROR),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(
+        busy_rx.recv().unwrap(),
+        OpReply::Error(BUSY_ERROR.to_owned())
+    );
+
+    // Unwedge the worker so shutdown can drain cleanly.
+    assert_eq!(wedge_rx.recv().unwrap(), OpReply::Written);
+    assert!(matches!(wedge_rx.recv().unwrap(), OpReply::Error(_)));
+    assert!(matches!(fill_rx.recv().unwrap(), OpReply::Error(_)));
+    drop(server);
+}

@@ -79,6 +79,47 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`]; the unsent message is
+    /// handed back in either case.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// The sending half of a channel. Cloneable (multi-producer).
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -114,6 +155,24 @@ pub mod channel {
                         inner = self.shared.not_full.wait(inner).unwrap();
                     }
                     _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send without blocking: fails with [`TrySendError::Full`] when
+        /// a bounded channel is at capacity instead of waiting for space.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = inner.capacity {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             inner.queue.push_back(msg);
@@ -291,6 +350,23 @@ mod tests {
         drop(tx);
         let total: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        match tx.try_send(2) {
+            Err(channel::TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        match tx.try_send(4) {
+            Err(channel::TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 
     #[test]

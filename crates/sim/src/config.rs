@@ -30,6 +30,37 @@ impl BoundsConfig {
     }
 }
 
+/// Server concurrency model: how much of the server's op processing
+/// can overlap.
+///
+/// The paper's prototype serializes every operation on shared scheduler
+/// state — the default (`workers: 1, sched_shards: 1`) reproduces that
+/// single FCFS CPU exactly. Raising `workers` models a worker pool;
+/// raising `sched_shards` models the sharded kernel of `esr-tso`, where
+/// an operation only serializes against operations hashed to the same
+/// shard. An operation needs *both* a free worker and its shard free,
+/// so `{workers: 8, sched_shards: 1}` still serializes everything (the
+/// global-lock baseline at 8 workers) while `{workers: 8, sched_shards:
+/// 16}` lets independent operations proceed in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerModel {
+    /// Concurrent service slots (worker threads).
+    pub workers: usize,
+    /// Scheduler-state shards; an operation occupies its object's (or
+    /// transaction's) shard for its whole service time.
+    pub sched_shards: usize,
+}
+
+impl Default for ServerModel {
+    /// The paper's single-CPU, globally locked server.
+    fn default() -> Self {
+        ServerModel {
+            workers: 1,
+            sched_shards: 1,
+        }
+    }
+}
+
 /// Full configuration of one simulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -64,6 +95,11 @@ pub struct SimConfig {
     pub bounds: BoundsConfig,
     /// Kernel policy knobs.
     pub kernel: KernelConfig,
+    /// Server concurrency model (workers × scheduler shards). Defaults
+    /// to the paper's fully serial server; `serde(default)` keeps
+    /// configs written before this knob deserializable.
+    #[serde(default)]
+    pub server: ServerModel,
     /// Largest absolute clock skew assigned to a client site, in
     /// microseconds (the paper saw a two-minute range; skews are evenly
     /// spread in `[-max, +max]` and then corrected, §6).
@@ -89,6 +125,7 @@ impl Default for SimConfig {
             workload: WorkloadConfig::default(),
             bounds: BoundsConfig::preset(EpsilonPreset::High),
             kernel: KernelConfig::default(),
+            server: ServerModel::default(),
             max_clock_skew_micros: 120_000_000,
             seed: 0xE5,
         }
@@ -104,6 +141,11 @@ impl SimConfig {
             "invalid RPC latency range"
         );
         assert!(self.measure_micros > 0, "empty measurement window");
+        assert!(self.server.workers >= 1, "need at least one worker");
+        assert!(
+            self.server.sched_shards >= 1,
+            "need at least one scheduler shard"
+        );
         assert!(
             self.workload.db_size <= self.catalog.n_objects,
             "workload addresses objects beyond the catalog"
@@ -133,6 +175,53 @@ mod tests {
         let b = BoundsConfig::custom(Limit::at_most(7), Limit::Unlimited);
         assert_eq!(b.til, Limit::at_most(7));
         assert_eq!(b.tel, Limit::Unlimited);
+    }
+
+    #[test]
+    fn server_model_defaults_to_the_papers_serial_server() {
+        let m = ServerModel::default();
+        assert_eq!(m.workers, 1);
+        assert_eq!(m.sched_shards, 1);
+    }
+
+    /// Configs serialized before the `server` knob existed carry no
+    /// such field; they must still deserialize (to the serial model).
+    #[test]
+    fn pre_server_model_config_still_deserializes() {
+        let s = serde_json::to_string(&SimConfig::default()).unwrap();
+        let server_field = serde_json::to_string(&ServerModel::default())
+            .map(|m| format!("\"server\":{m},"))
+            .unwrap();
+        assert!(s.contains(&server_field), "unexpected serialization: {s}");
+        let old = s.replace(&server_field, "");
+        let back: SimConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(back.server, ServerModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        let c = SimConfig {
+            server: ServerModel {
+                workers: 0,
+                sched_shards: 1,
+            },
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shard")]
+    fn zero_shards_rejected() {
+        let c = SimConfig {
+            server: ServerModel {
+                workers: 1,
+                sched_shards: 0,
+            },
+            ..SimConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub struct KernelConfig {
     /// *committed writes* (skip instead of abort). The paper's prototype
     /// does not; kept for ablation. Off by default.
     pub thomas_write_rule: bool,
+    /// Shards for the transaction registry and the wait queues. `0`
+    /// selects the default ([`KernelConfig::DEFAULT_SHARDS`], also what
+    /// histories captured before this knob existed deserialize to);
+    /// other values are rounded up to the next power of two. `1`
+    /// reproduces the original single-global-lock layout. Purely a
+    /// concurrency knob — shard count never changes scheduling outcomes
+    /// (see the shard-equivalence test).
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl Default for KernelConfig {
@@ -60,6 +69,21 @@ impl Default for KernelConfig {
             history_miss: HistoryMissPolicy::Approximate,
             import_padding: 0,
             thomas_write_rule: false,
+            shards: 0,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Shard count used when [`KernelConfig::shards`] is `0`.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// The effective (normalised) shard count: a power of two, at
+    /// least 1.
+    pub fn shard_count(&self) -> usize {
+        match self.shards {
+            0 => Self::DEFAULT_SHARDS,
+            n => n.next_power_of_two(),
         }
     }
 }
@@ -75,6 +99,8 @@ mod tests {
         assert_eq!(c.history_miss, HistoryMissPolicy::Approximate);
         assert_eq!(c.import_padding, 0);
         assert!(!c.thomas_write_rule);
+        assert_eq!(c.shards, 0, "auto shard selection by default");
+        assert_eq!(c.shard_count(), KernelConfig::DEFAULT_SHARDS);
     }
 
     #[test]
@@ -84,9 +110,33 @@ mod tests {
             history_miss: HistoryMissPolicy::Abort,
             import_padding: 500,
             thomas_write_rule: true,
+            shards: 4,
         };
         let s = serde_json::to_string(&c).unwrap();
         let back: KernelConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn shard_count_normalises() {
+        let mut c = KernelConfig::default();
+        assert_eq!(c.shard_count(), 16);
+        c.shards = 1;
+        assert_eq!(c.shard_count(), 1);
+        c.shards = 3;
+        assert_eq!(c.shard_count(), 4, "rounds up to a power of two");
+        c.shards = 64;
+        assert_eq!(c.shard_count(), 64);
+    }
+
+    /// Histories captured before the `shards` knob existed carry no
+    /// such field; they must still deserialize (to the auto default).
+    #[test]
+    fn pre_shard_config_still_deserializes() {
+        let old = r#"{"export_rule":"MaxOverReaders","history_miss":"Approximate",
+                      "import_padding":0,"thomas_write_rule":false}"#;
+        let c: KernelConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(c.shards, 0);
+        assert_eq!(c.shard_count(), KernelConfig::DEFAULT_SHARDS);
     }
 }

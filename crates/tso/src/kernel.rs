@@ -7,12 +7,20 @@
 //!
 //! # Concurrency
 //!
-//! The kernel is fully thread-safe. Lock order is
-//! `txn registry (brief) → transaction state → one object → wait queue`,
-//! and **no code path ever holds two object locks at once**: abort/commit
+//! The kernel is fully thread-safe. The transaction registry and the
+//! wait queues are both **sharded** (fixed power-of-two shard arrays;
+//! registry shards keyed by `TxnId` hash, wait-queue shards keyed by
+//! `ObjectId` hash — see [`KernelConfig::shards`]), so concurrent
+//! transactions on different shards never contend on kernel-global
+//! state. Lock order is unchanged from the single-lock layout:
+//! `txn-registry shard (brief) → transaction state → one object →
+//! wait-queue shard`, and **no code path ever holds two object locks —
+//! or two locks of the same shard array — at once**: abort/commit
 //! cleanup walks objects one at a time after releasing the operation's
-//! object. Waits park only under younger-waits-for-older, so the
-//! wait-for relation follows timestamp order and cannot deadlock.
+//! object, and the cross-shard wait-queue scrub in `abort_cleanup`
+//! locks wait-queue shards strictly one at a time. Waits park only
+//! under younger-waits-for-older, so the wait-for relation follows
+//! timestamp order and cannot deadlock.
 
 use crate::config::{ExportRule, HistoryMissPolicy, KernelConfig};
 use crate::obs::KernelObs;
@@ -92,13 +100,31 @@ impl TxnState {
     }
 }
 
+/// One transaction-registry shard.
+type TxnShard = Mutex<HashMap<TxnId, Arc<Mutex<TxnState>>>>;
+
+/// Multiplier of the Fibonacci (multiply-shift) shard hash: ids are
+/// assigned sequentially, so the raw low bits would put bursts of
+/// concurrent transactions on neighbouring shards; the golden-ratio
+/// multiply decorrelates them.
+const SHARD_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// The timestamp-ordering ESR kernel.
 pub struct Kernel {
     table: ObjectTable,
     schema: HierarchySchema,
     config: KernelConfig,
-    txns: Mutex<HashMap<TxnId, Arc<Mutex<TxnState>>>>,
-    waitq: Mutex<WaitQueue>,
+    /// Transaction registry, sharded by `TxnId` hash. Each entry is an
+    /// `Arc` so the brief shard lock is released before the per-txn
+    /// state lock is taken.
+    txn_shards: Box<[TxnShard]>,
+    /// Wait queues, sharded by `ObjectId` hash. Each shard owns the
+    /// queues of its objects *and* the `TxnId → ObjectId` reverse index
+    /// entries for those queues; a transaction parked on objects in
+    /// several shards has an index entry in each.
+    wait_shards: Box<[Mutex<WaitQueue>]>,
+    /// `shard count − 1`; the count is a power of two.
+    shard_mask: u64,
     next_txn: AtomicU64,
     stats: KernelStats,
     /// Optional event log for offline conformance checking; a leaf in
@@ -123,12 +149,15 @@ impl fmt::Debug for Kernel {
 impl Kernel {
     /// A kernel over `table` with the given hierarchy and configuration.
     pub fn new(table: ObjectTable, schema: HierarchySchema, config: KernelConfig) -> Self {
+        let shards = config.shard_count();
+        debug_assert!(shards.is_power_of_two());
         Kernel {
             table,
             schema,
             config,
-            txns: Mutex::new(HashMap::new()),
-            waitq: Mutex::new(WaitQueue::new()),
+            txn_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            wait_shards: (0..shards).map(|_| Mutex::new(WaitQueue::new())).collect(),
+            shard_mask: shards as u64 - 1,
             next_txn: AtomicU64::new(1),
             stats: KernelStats::new(),
             #[cfg(feature = "capture")]
@@ -215,15 +244,37 @@ impl Kernel {
         self.obs.get().cloned()
     }
 
-    /// Current wait-queue depth (total parked operations). O(1); safe
-    /// to poll from a metrics endpoint.
-    pub fn waitq_depth(&self) -> usize {
-        self.waitq.lock().len()
+    /// The registry shard owning `txn`.
+    #[inline]
+    fn txn_shard(&self, txn: TxnId) -> &TxnShard {
+        let h = txn.0.wrapping_mul(SHARD_HASH) >> 32;
+        &self.txn_shards[(h & self.shard_mask) as usize]
     }
 
-    /// Number of currently active transactions.
+    /// The wait-queue shard owning `obj`.
+    #[inline]
+    fn wait_shard(&self, obj: ObjectId) -> &Mutex<WaitQueue> {
+        let h = u64::from(obj.0).wrapping_mul(SHARD_HASH) >> 32;
+        &self.wait_shards[(h & self.shard_mask) as usize]
+    }
+
+    /// The effective shard count of both shard arrays.
+    pub fn shards(&self) -> usize {
+        self.txn_shards.len()
+    }
+
+    /// Current wait-queue depth (total parked operations). O(shards)
+    /// with an O(1) read per shard; safe to poll from a metrics
+    /// endpoint. Concurrent parks/releases make this a point-in-time
+    /// approximation, exactly as the single-lock gauge was.
+    pub fn waitq_depth(&self) -> usize {
+        self.wait_shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Number of currently active transactions (summed across registry
+    /// shards).
     pub fn active_txns(&self) -> usize {
-        self.txns.lock().len()
+        self.txn_shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Begin a transaction with an externally generated timestamp
@@ -259,7 +310,9 @@ impl Kernel {
             reads: 0,
             writes: 0,
         };
-        self.txns.lock().insert(id, Arc::new(Mutex::new(state)));
+        self.txn_shard(id)
+            .lock()
+            .insert(id, Arc::new(Mutex::new(state)));
         self.stats.begins.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = self.obs.get() {
             obs.note_begin(id, kind);
@@ -268,7 +321,7 @@ impl Kernel {
     }
 
     fn txn_handle(&self, txn: TxnId) -> Result<Arc<Mutex<TxnState>>, KernelError> {
-        self.txns
+        self.txn_shard(txn)
             .lock()
             .get(&txn)
             .cloned()
@@ -396,7 +449,7 @@ impl Kernel {
     }
 
     fn remove_txn(&self, txn: TxnId) -> Result<Arc<Mutex<TxnState>>, KernelError> {
-        self.txns
+        self.txn_shard(txn)
             .lock()
             .remove(&txn)
             .ok_or(KernelError::UnknownTxn(txn))
@@ -425,8 +478,13 @@ impl Kernel {
         }
         // Defensive: a transaction the kernel aborts cannot have parked
         // operations (its client is blocked on the aborting call), but
-        // an externally-driven abort might race a wake.
-        self.waitq.lock().remove_txn(t.id);
+        // an externally-driven abort might race a wake. The transaction
+        // may have parked on objects owned by any wait-queue shard, so
+        // scrub them all — one shard at a time, never two at once, so
+        // the lock order stays a single wait-queue lock at the tail.
+        for shard in self.wait_shards.iter() {
+            shard.lock().remove_txn(t.id);
+        }
         woken
     }
 
@@ -460,7 +518,7 @@ impl Kernel {
         if let Some(obs) = self.obs.get() {
             obs.note_abort(t.id, reason.to_string());
         }
-        self.txns.lock().remove(&t.id);
+        self.txn_shard(t.id).lock().remove(&t.id);
         let woken = self.abort_cleanup(t);
         OpResponse {
             outcome: OpOutcome::Aborted(reason),
@@ -471,7 +529,7 @@ impl Kernel {
     /// Hand every waiter parked on `o` back to the driver. Called with
     /// the object lock held so no wakeup can be lost.
     fn wake_waiters(&self, o: &mut ObjectState, woken: &mut Vec<PendingOp>) {
-        let released = self.waitq.lock().release(o.id);
+        let released = self.wait_shard(o.id).lock().release(o.id);
         if !released.is_empty() {
             self.stats
                 .wakes
@@ -494,7 +552,7 @@ impl Kernel {
             obs.note_park(txn, o.id);
         }
         self.stats.waits.fetch_add(1, Ordering::Relaxed);
-        self.waitq.lock().park(PendingOp { txn, op });
+        self.wait_shard(o.id).lock().park(PendingOp { txn, op });
         OpResponse::only(OpOutcome::Wait)
     }
 

@@ -34,9 +34,13 @@ pub struct WaitQueue {
     queues: HashMap<ObjectId, VecDeque<PendingOp>>,
     /// Total parked operations, maintained by park/release/remove_txn.
     count: usize,
-    /// Objects each transaction is parked on. A transaction parks on an
-    /// object at most once (it is suspended while parked), so a small
-    /// Vec with dedup-on-insert suffices.
+    /// Objects each transaction is parked on, kept **sorted** so both
+    /// the dedup-on-insert in [`WaitQueue::park`] and the removal in
+    /// [`WaitQueue::release`] are binary searches rather than linear
+    /// scans. A transaction parks on an object at most once (it is
+    /// suspended while parked), so the Vec stays small — but external
+    /// aborts racing wakes can grow it, and the scan was on the
+    /// park/release hot path.
     by_txn: HashMap<TxnId, Vec<ObjectId>>,
 }
 
@@ -53,8 +57,8 @@ impl WaitQueue {
         self.queues.entry(obj).or_default().push_back(op);
         self.count += 1;
         let objs = self.by_txn.entry(txn).or_default();
-        if !objs.contains(&obj) {
-            objs.push(obj);
+        if let Err(pos) = objs.binary_search(&obj) {
+            objs.insert(pos, obj);
         }
     }
 
@@ -67,7 +71,9 @@ impl WaitQueue {
         self.count -= released.len();
         for p in &released {
             if let Some(objs) = self.by_txn.get_mut(&p.txn) {
-                objs.retain(|&o| o != obj);
+                if let Ok(pos) = objs.binary_search(&obj) {
+                    objs.remove(pos);
+                }
                 if objs.is_empty() {
                     self.by_txn.remove(&p.txn);
                 }
@@ -199,6 +205,23 @@ mod tests {
         assert!(q.is_empty());
         assert!(q.by_txn.is_empty(), "reverse index leaked: {:?}", q.by_txn);
         assert_count_consistent(&q);
+    }
+
+    /// The reverse index must stay sorted whatever the park order — the
+    /// binary searches in park/release silently corrupt it otherwise.
+    #[test]
+    fn reverse_index_stays_sorted() {
+        let mut q = WaitQueue::new();
+        for obj in [7u32, 2, 9, 2, 0, 5, 7] {
+            q.park(read(1, obj));
+        }
+        let objs = &q.by_txn[&TxnId(1)];
+        assert!(objs.windows(2).all(|w| w[0] < w[1]), "unsorted: {objs:?}");
+        assert_eq!(objs.len(), 5, "duplicates deduped");
+        q.release(ObjectId(5));
+        let objs = &q.by_txn[&TxnId(1)];
+        assert!(objs.windows(2).all(|w| w[0] < w[1]));
+        assert!(!objs.contains(&ObjectId(5)));
     }
 
     #[test]

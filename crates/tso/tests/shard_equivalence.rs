@@ -1,0 +1,297 @@
+//! Driver equivalence: the shard count is a concurrency knob, not a
+//! scheduling policy — it must not change a single kernel decision.
+//!
+//! The same seeded, single-threaded workload is driven against kernels
+//! configured with 1 shard (the original single-global-lock layout),
+//! the default 16, and an in-between power of two; every operation
+//! response (values read, writes admitted, waits, wakes, abort
+//! reasons, commit summaries) plus the final counter snapshot must be
+//! bit-identical across all of them. Single-threaded, the only thing
+//! sharding changes is *which mutex* guards a given entry — never what
+//! the entry says.
+
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, KernelConfig, OpOutcome, PendingOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+const OBJECTS: u32 = 12;
+const STEPS: usize = 2_000;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Read(ObjectId),
+    Write(ObjectId, i64),
+    Commit,
+    Abort,
+}
+
+/// Scripted transaction: a timestamp, bounds, and a fixed op sequence.
+#[derive(Debug, Clone)]
+struct Script {
+    kind: TxnKind,
+    bounds: TxnBounds,
+    ts: Timestamp,
+    actions: Vec<Action>,
+}
+
+/// Generate a deterministic workload up front so every run submits the
+/// exact same operations in the exact same order.
+fn make_scripts(seed: u64) -> Vec<Script> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scripts = Vec::new();
+    let mut next_ts = 1u64;
+    for _ in 0..STEPS / 8 {
+        let is_query = rng.gen_range(0..100) < 60;
+        // Interleave timestamps non-monotonically (skew of up to 5) so
+        // late operations and all three relaxation cases actually occur.
+        let skew = rng.gen_range(0u64..10);
+        let ts = Timestamp::new(next_ts.saturating_sub(skew), SiteId(0));
+        next_ts += rng.gen_range(1u64..4);
+        let n_ops = rng.gen_range(1..6);
+        let mut actions = Vec::new();
+        for _ in 0..n_ops {
+            let obj = ObjectId(rng.gen_range(0..OBJECTS));
+            if is_query || rng.gen_range(0..2) == 0 {
+                actions.push(Action::Read(obj));
+            } else {
+                actions.push(Action::Write(obj, rng.gen_range(0..10_000)));
+            }
+        }
+        actions.push(if rng.gen_range(0..100) < 90 {
+            Action::Commit
+        } else {
+            Action::Abort
+        });
+        let (kind, bounds) = if is_query {
+            let til = match rng.gen_range(0..3) {
+                0 => Limit::ZERO,
+                1 => Limit::at_most(rng.gen_range(0..5_000)),
+                _ => Limit::Unlimited,
+            };
+            (TxnKind::Query, TxnBounds::import(til))
+        } else {
+            let tel = match rng.gen_range(0..2) {
+                0 => Limit::at_most(rng.gen_range(0..5_000)),
+                _ => Limit::Unlimited,
+            };
+            (TxnKind::Update, TxnBounds::export(tel))
+        };
+        scripts.push(Script {
+            kind,
+            bounds,
+            ts,
+            actions,
+        });
+    }
+    scripts
+}
+
+/// Drive the scripts against `kernel`, interleaving round-robin so
+/// transactions overlap. Returns the full response trace.
+fn drive(kernel: &Kernel, scripts: &[Script]) -> Vec<String> {
+    let mut trace = Vec::new();
+    let mut txn_of: Vec<Option<TxnId>> = vec![None; scripts.len()];
+    let mut cursor: Vec<usize> = vec![0; scripts.len()];
+    let mut done: Vec<bool> = vec![false; scripts.len()];
+    let mut suspended: HashSet<TxnId> = HashSet::new();
+    let mut script_of_txn: HashMap<TxnId, usize> = HashMap::new();
+    let mut woken: VecDeque<PendingOp> = VecDeque::new();
+
+    // Overlap window: keep up to 6 scripts in flight at a time.
+    let mut admitted = 0usize;
+    loop {
+        // Drain pending wakes first, in kernel-release order.
+        while let Some(p) = woken.pop_front() {
+            let txn = p.txn;
+            let resp = kernel.resume(p).expect("resume of parked op");
+            trace.push(format!("resume {txn:?} -> {resp:?}"));
+            for w in resp.woken {
+                woken.push_back(w);
+            }
+            match resp.outcome {
+                OpOutcome::Wait => {}
+                OpOutcome::Aborted(_) => {
+                    suspended.remove(&txn);
+                    if let Some(&s) = script_of_txn.get(&txn) {
+                        done[s] = true;
+                    }
+                }
+                _ => {
+                    suspended.remove(&txn);
+                    if let Some(&s) = script_of_txn.get(&txn) {
+                        cursor[s] += 1;
+                    }
+                }
+            }
+        }
+        // Admit new scripts into the window.
+        while admitted < scripts.len() && (0..admitted).filter(|&s| !done[s]).count() < 6 {
+            let s = admitted;
+            admitted += 1;
+            let sc = &scripts[s];
+            let id = kernel.begin(sc.kind, sc.bounds.clone(), sc.ts);
+            trace.push(format!("begin #{s} -> {id:?}"));
+            txn_of[s] = Some(id);
+            script_of_txn.insert(id, s);
+        }
+        // Advance every in-flight, non-suspended script by one action.
+        let mut progressed = false;
+        for s in 0..admitted {
+            if done[s] {
+                continue;
+            }
+            let Some(txn) = txn_of[s] else { continue };
+            if suspended.contains(&txn) {
+                continue;
+            }
+            progressed = true;
+            let action = scripts[s].actions[cursor[s]].clone();
+            match action {
+                Action::Read(obj) => {
+                    let resp = kernel.read(txn, obj).expect("read");
+                    trace.push(format!("read #{s} {obj:?} -> {resp:?}"));
+                    for w in resp.woken {
+                        woken.push_back(w);
+                    }
+                    match resp.outcome {
+                        OpOutcome::Wait => {
+                            suspended.insert(txn);
+                        }
+                        OpOutcome::Aborted(_) => done[s] = true,
+                        _ => cursor[s] += 1,
+                    }
+                }
+                Action::Write(obj, v) => {
+                    let resp = kernel.write(txn, obj, v).expect("write");
+                    trace.push(format!("write #{s} {obj:?} -> {resp:?}"));
+                    for w in resp.woken {
+                        woken.push_back(w);
+                    }
+                    match resp.outcome {
+                        OpOutcome::Wait => {
+                            suspended.insert(txn);
+                        }
+                        OpOutcome::Aborted(_) => done[s] = true,
+                        _ => cursor[s] += 1,
+                    }
+                }
+                Action::Commit => {
+                    let resp = kernel.commit(txn).expect("commit");
+                    trace.push(format!("commit #{s} -> {resp:?}"));
+                    for w in resp.woken {
+                        woken.push_back(w);
+                    }
+                    done[s] = true;
+                }
+                Action::Abort => {
+                    let resp = kernel.abort(txn).expect("abort");
+                    trace.push(format!("abort #{s} -> {resp:?}"));
+                    for w in resp.woken {
+                        woken.push_back(w);
+                    }
+                    done[s] = true;
+                }
+            }
+        }
+        if !progressed && woken.is_empty() {
+            if done.iter().take(admitted).all(|&d| d) && admitted == scripts.len() {
+                break;
+            }
+            // Every in-flight script is suspended and nothing is queued
+            // to wake them: resolve by aborting the oldest suspended
+            // transaction (deterministic choice), releasing its waiters.
+            let stuck = (0..admitted)
+                .find(|&s| !done[s] && txn_of[s].is_some_and(|t| suspended.contains(&t)));
+            match stuck {
+                Some(s) => {
+                    let txn = txn_of[s].unwrap();
+                    let resp = kernel.abort(txn).expect("deadlock-break abort");
+                    trace.push(format!("break #{s} -> {resp:?}"));
+                    for w in resp.woken {
+                        woken.push_back(w);
+                    }
+                    suspended.remove(&txn);
+                    done[s] = true;
+                }
+                None => break,
+            }
+        }
+    }
+    trace
+}
+
+fn kernel_with_shards(shards: usize) -> Kernel {
+    let values: Vec<i64> = (0..OBJECTS as i64).map(|i| 1_000 + i * 37).collect();
+    let table = CatalogConfig::default().build_with_values(&values);
+    let config = KernelConfig {
+        shards,
+        ..KernelConfig::default()
+    };
+    Kernel::new(table, HierarchySchema::two_level(), config)
+}
+
+#[test]
+fn shard_count_is_outcome_neutral() {
+    let scripts = make_scripts(0x54A8D);
+
+    let single = kernel_with_shards(1);
+    let trace_single = drive(&single, &scripts);
+
+    let sharded = kernel_with_shards(16);
+    let trace_sharded = drive(&sharded, &scripts);
+
+    // Every response — values, waits, wakes, abort reasons, commit
+    // infos — must be identical.
+    assert_eq!(trace_single.len(), trace_sharded.len());
+    for (a, b) in trace_single.iter().zip(trace_sharded.iter()) {
+        assert_eq!(a, b);
+    }
+    // And the monotonic counters must agree exactly.
+    assert_eq!(single.stats(), sharded.stats());
+
+    // Both layouts must end fully drained.
+    assert_eq!(single.waitq_depth(), 0);
+    assert_eq!(sharded.waitq_depth(), 0);
+    assert_eq!(single.active_txns(), 0);
+    assert_eq!(sharded.active_txns(), 0);
+
+    // Sanity: the workload actually exercised the contended paths the
+    // sharding touched — parks, wakes, and cross-shard abort scrubs.
+    let s = single.stats();
+    assert!(s.commits_query + s.commits_update > 0, "nothing committed");
+    assert!(s.waits > 0, "no operation ever waited: {s:?}");
+    assert!(s.wakes > 0, "no parked operation was woken: {s:?}");
+    assert!(
+        s.aborts_query + s.aborts_update > 0,
+        "no abort path exercised: {s:?}"
+    );
+}
+
+#[test]
+fn shard_equivalence_across_seeds_and_counts() {
+    for seed in [1u64, 42, 9_999] {
+        let scripts = make_scripts(seed);
+        let baseline = kernel_with_shards(1);
+        let expected = drive(&baseline, &scripts);
+        for shards in [4usize, 16, 64] {
+            let k = kernel_with_shards(shards);
+            let got = drive(&k, &scripts);
+            assert_eq!(
+                expected, got,
+                "trace diverged for seed {seed} at {shards} shards"
+            );
+            assert_eq!(
+                baseline.stats(),
+                k.stats(),
+                "stats diverged for seed {seed} at {shards} shards"
+            );
+        }
+    }
+}

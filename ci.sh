@@ -41,6 +41,19 @@ cargo test -p esr-tso --features obs-events -q
 echo "==> cargo test -p esr-net -q"
 cargo test -p esr-net -q
 
+# Failure path: the fault-injection chaos suite (real client/server
+# pairs behind the seeded fault proxy; every test carries its own
+# wall-clock watchdog), the kernel lease/reap property tests, and the
+# checker replay of fault-injected simulator histories. All seeds are
+# fixed in the tests; the outer timeouts are belt-and-braces hang
+# guards so a regression fails CI instead of wedging it.
+echo "==> chaos: esr-faults proxy suite"
+timeout 600 cargo test -p esr-faults -q
+echo "==> chaos: kernel lease/reap property tests"
+timeout 300 cargo test -p esr-tso --test lease_props -q
+echo "==> chaos: fault-injected histories replay clean"
+timeout 300 cargo test --test chaos_replay -q
+
 # Benchmark-trajectory smoke: two scenarios on a short virtual window,
 # writing BENCH_PR3.json at the workspace root.
 if [[ "${1:-}" != "quick" ]]; then

@@ -1,0 +1,583 @@
+//! # esr-faults — deterministic network fault injection
+//!
+//! The TCP transport (`esr-net`) claims to survive a lossy, flaky
+//! network: transaction leases and the reaper clean up server-side
+//! state behind a silent client, orphan reaping cleans up behind a dead
+//! connection, and the client's idempotent retry policy reconnects and
+//! resends through transport failures. This crate supplies the lossy,
+//! flaky network to test those claims against.
+//!
+//! [`FaultProxy`] is an in-process TCP relay that sits between a
+//! [`TcpConnection`](esr_net::TcpConnection) and a
+//! [`TcpServer`](esr_net::TcpServer). It understands the transport's
+//! length-prefixed framing just enough to act at *frame* boundaries, so
+//! every injected fault is one a real network could produce:
+//!
+//! - **drop** — a request frame silently never arrives;
+//! - **delay** — a request frame is held before delivery;
+//! - **duplicate** — a request frame is delivered twice (the classic
+//!   at-least-once delivery hazard idempotent protocols must absorb);
+//! - **truncate** — half a frame is delivered and the connection dies
+//!   mid-frame (the decoder-desynchronisation case);
+//! - **kill** — the connection is cut after a configured frame count,
+//!   exercising reconnect-and-resend and orphan reaping.
+//!
+//! Which fate befalls which frame is drawn from a [`FaultPlan`] seeded
+//! per connection, so a chaos test replays the *same* per-connection
+//! fault schedule on every run. Faults apply only to the client→server
+//! direction (requests); replies relay verbatim — losing a reply is
+//! indistinguishable from losing the request that provoked it, as far
+//! as the client can observe.
+//!
+//! The proxy also offers runtime controls for targeted scenarios:
+//! [`FaultProxy::kill_all`] severs every live connection at once, and
+//! [`FaultProxy::stall`] freezes request delivery until
+//! [`FaultProxy::unstall`] — a network partition of adjustable length.
+
+use esr_net::MAX_FRAME;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The seeded fault plan one proxy applies to its connections.
+///
+/// Rates are in parts per million of (post-grace) request frames; the
+/// categories are drawn from one roll per frame, so their rates add up
+/// (and must sum to ≤ 1 000 000). All-zero defaults make the proxy a
+/// transparent relay.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Master seed. Each accepted connection derives its own RNG from
+    /// this and its accept index, so per-connection fault schedules are
+    /// reproducible run to run.
+    pub seed: u64,
+    /// Leading frames of every connection delivered faithfully, so the
+    /// site/clock handshake can complete and faults land on transaction
+    /// traffic. Kills ([`FaultPlan::kill_after_frames`]) ignore the
+    /// grace — reconnect handshakes are exactly what they exercise.
+    pub grace_frames: u64,
+    /// Rate of request frames silently discarded.
+    pub drop_ppm: u32,
+    /// Rate of request frames delivered twice back to back.
+    pub dup_ppm: u32,
+    /// Rate of request frames held for [`FaultPlan::delay`] first.
+    pub delay_ppm: u32,
+    /// Hold time for delayed frames.
+    pub delay: Duration,
+    /// Rate of frames cut in half, killing the connection mid-frame.
+    pub truncate_ppm: u32,
+    /// Cut every connection after this many request frames (handshake
+    /// included), forcing the client through reconnect-and-resend.
+    pub kill_after_frames: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA_0175,
+            grace_frames: 0,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay: Duration::from_millis(20),
+            truncate_ppm: 0,
+            kill_after_frames: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    fn validate(&self) {
+        let total = self.drop_ppm as u64
+            + self.dup_ppm as u64
+            + self.delay_ppm as u64
+            + self.truncate_ppm as u64;
+        assert!(total <= 1_000_000, "fault rates sum above 100%: {total}");
+    }
+}
+
+/// What the plan decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Forward,
+    Drop,
+    Duplicate,
+    Delay,
+    Truncate,
+}
+
+/// One roll against the plan's rates. The categories partition a single
+/// uniform draw, so raising one rate never perturbs which frames
+/// another hits at a given seed position.
+fn decide(plan: &FaultPlan, rng: &mut SmallRng) -> Fate {
+    let r: u32 = rng.gen_range(0..1_000_000);
+    let mut edge = plan.drop_ppm;
+    if r < edge {
+        return Fate::Drop;
+    }
+    edge += plan.dup_ppm;
+    if r < edge {
+        return Fate::Duplicate;
+    }
+    edge += plan.delay_ppm;
+    if r < edge {
+        return Fate::Delay;
+    }
+    edge += plan.truncate_ppm;
+    if r < edge {
+        return Fate::Truncate;
+    }
+    Fate::Forward
+}
+
+/// Counters of what the proxy actually did, for asserting that a chaos
+/// run injected what it claims to have injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Request frames delivered (including the duplicated ones once).
+    pub forwarded: u64,
+    /// Request frames discarded.
+    pub dropped: u64,
+    /// Request frames delivered twice.
+    pub duplicated: u64,
+    /// Request frames held before delivery.
+    pub delayed: u64,
+    /// Frames cut mid-frame (each also kills its connection).
+    pub truncated: u64,
+    /// Connections cut by `kill_after_frames` or [`FaultProxy::kill_all`].
+    pub killed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    truncated: AtomicU64,
+    killed: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            killed: self.killed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fault-injecting TCP relay in front of one upstream server.
+///
+/// Bind it at an ephemeral port, point clients at
+/// [`FaultProxy::local_addr`], and every connection is relayed to the
+/// upstream address through the plan's fault schedule. Dropping the
+/// proxy severs all connections and stops accepting.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stalled: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<(TcpStream, TcpStream)>>>,
+    counters: Arc<Counters>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Start a proxy on an ephemeral loopback port relaying to
+    /// `upstream` under `plan`.
+    pub fn bind(upstream: SocketAddr, plan: FaultPlan) -> io::Result<FaultProxy> {
+        plan.validate();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stalled = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<(TcpStream, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(Counters::default());
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stalled = Arc::clone(&stalled);
+            let conns = Arc::clone(&conns);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("esr-faults-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, upstream, plan, stop, stalled, conns, counters)
+                })
+                .expect("spawn proxy accept thread")
+        };
+        Ok(FaultProxy {
+            addr,
+            stop,
+            stalled,
+            conns,
+            counters,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What the proxy has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.counters.snapshot()
+    }
+
+    /// Sever every live connection at once — both sides observe a
+    /// close, the server orphan-reaps, the clients reconnect (through
+    /// this proxy, which keeps accepting).
+    pub fn kill_all(&self) {
+        let mut conns = self.conns.lock().expect("proxy registry");
+        for (a, b) in conns.drain(..) {
+            let _ = a.shutdown(Shutdown::Both);
+            let _ = b.shutdown(Shutdown::Both);
+            self.counters.killed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Freeze request delivery (frames queue inside the proxy); replies
+    /// still flow. A stall long enough trips client reply timeouts, one
+    /// shorter than the timeout budget is absorbed as latency.
+    pub fn stall(&self) {
+        self.stalled.store(true, Ordering::SeqCst);
+    }
+
+    /// Resume request delivery.
+    pub fn unstall(&self) {
+        self.stalled.store(false, Ordering::SeqCst);
+    }
+
+    /// Stop accepting and sever everything. Idempotent; also run by
+    /// `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.unstall();
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(2));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let mut conns = self.conns.lock().expect("proxy registry");
+        for (a, b) in conns.drain(..) {
+            let _ = a.shutdown(Shutdown::Both);
+            let _ = b.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    stop: Arc<AtomicBool>,
+    stalled: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<(TcpStream, TcpStream)>>>,
+    counters: Arc<Counters>,
+) {
+    let mut index = 0u64;
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let server = match TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) {
+            Ok(s) => s,
+            Err(_) => continue, // upstream refused; drop the client
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
+            conns.lock().expect("proxy registry").push((c, s));
+        }
+        // Derive the connection's fault schedule from the master seed
+        // and its accept index (Fibonacci spreader, as elsewhere in the
+        // workspace), so run N's connection k always sees the same
+        // schedule.
+        let rng =
+            SmallRng::seed_from_u64(plan.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1));
+        index += 1;
+        {
+            let (c2s_from, c2s_to) = match (client.try_clone(), server.try_clone()) {
+                (Ok(f), Ok(t)) => (f, t),
+                _ => continue,
+            };
+            let plan = plan.clone();
+            let counters = Arc::clone(&counters);
+            let stalled = Arc::clone(&stalled);
+            let _ = std::thread::Builder::new()
+                .name("esr-faults-c2s".into())
+                .spawn(move || relay_requests(c2s_from, c2s_to, plan, rng, counters, stalled));
+        }
+        let _ = std::thread::Builder::new()
+            .name("esr-faults-s2c".into())
+            .spawn(move || relay_replies(server, client));
+    }
+}
+
+/// Read one length-prefixed frame (prefix included) from `from`.
+/// `Ok(None)` on clean close; errors and oversized/garbled prefixes
+/// also end the relay.
+fn read_raw_frame(from: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match from.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > MAX_FRAME as usize {
+        return Err(io::Error::other("frame prefix out of range"));
+    }
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&prefix);
+    from.read_exact(&mut frame[4..])?;
+    Ok(Some(frame))
+}
+
+/// The client→server relay: frame-aware, fault-injecting.
+fn relay_requests(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: FaultPlan,
+    mut rng: SmallRng,
+    counters: Arc<Counters>,
+    stalled: Arc<AtomicBool>,
+) {
+    let mut frames = 0u64;
+    while let Ok(Some(frame)) = read_raw_frame(&mut from) {
+        while stalled.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        frames += 1;
+        if let Some(n) = plan.kill_after_frames {
+            if frames > n {
+                counters.killed.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        let fate = if frames <= plan.grace_frames {
+            Fate::Forward
+        } else {
+            decide(&plan, &mut rng)
+        };
+        match fate {
+            Fate::Forward => {
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+                counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+            Fate::Drop => {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Fate::Duplicate => {
+                if to.write_all(&frame).is_err() || to.write_all(&frame).is_err() {
+                    break;
+                }
+                counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            Fate::Delay => {
+                std::thread::sleep(plan.delay);
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+                counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                counters.delayed.fetch_add(1, Ordering::Relaxed);
+            }
+            Fate::Truncate => {
+                // Half a frame, then die mid-frame: the server's
+                // decoder sees a hard EOF inside a frame and must treat
+                // the connection as lost, not mis-frame what follows.
+                let half = 4 + (frame.len() - 4) / 2;
+                let _ = to.write_all(&frame[..half]);
+                counters.truncated.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// The server→client relay: a verbatim byte pump.
+fn relay_replies(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_partitions_one_draw() {
+        let plan = FaultPlan {
+            drop_ppm: 250_000,
+            dup_ppm: 250_000,
+            delay_ppm: 250_000,
+            truncate_ppm: 250_000,
+            ..FaultPlan::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [0u32; 5];
+        for _ in 0..4_000 {
+            seen[match decide(&plan, &mut rng) {
+                Fate::Forward => 0,
+                Fate::Drop => 1,
+                Fate::Duplicate => 2,
+                Fate::Delay => 3,
+                Fate::Truncate => 4,
+            }] += 1;
+        }
+        assert_eq!(seen[0], 0, "rates sum to 100%: nothing forwards");
+        for (i, &n) in seen.iter().enumerate().skip(1) {
+            assert!(n > 700, "category {i} starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn decide_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            drop_ppm: 100_000,
+            dup_ppm: 100_000,
+            ..FaultPlan::default()
+        };
+        let roll = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..256)
+                .map(|_| decide(&plan, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(roll(42), roll(42));
+        assert_ne!(roll(42), roll(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum above 100%")]
+    fn oversubscribed_rates_rejected() {
+        FaultPlan {
+            drop_ppm: 600_000,
+            dup_ppm: 600_000,
+            ..FaultPlan::default()
+        }
+        .validate();
+    }
+
+    /// The proxy relays raw frames faithfully when the plan is empty,
+    /// against a hand-rolled frame echo upstream.
+    #[test]
+    fn transparent_relay_round_trips_frames() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut t = s.try_clone().unwrap();
+            // Echo two frames back.
+            for _ in 0..2 {
+                let f = read_raw_frame(&mut s).unwrap().unwrap();
+                t.write_all(&f).unwrap();
+            }
+        });
+        let mut proxy = FaultProxy::bind(up_addr, FaultPlan::default()).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        for payload in [&b"hello"[..], &b"again!"[..]] {
+            let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(payload);
+            conn.write_all(&frame).unwrap();
+            let back = read_raw_frame(&mut conn).unwrap().unwrap();
+            assert_eq!(back, frame);
+        }
+        echo.join().unwrap();
+        // The relay bumps `forwarded` after the write it counts, so the
+        // echoed reply can reach us before the counter does: wait.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while proxy.stats().forwarded < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(proxy.stats().forwarded, 2);
+        assert_eq!(proxy.stats().dropped, 0);
+        proxy.shutdown();
+        proxy.shutdown(); // idempotent
+    }
+
+    /// `kill_after_frames` cuts the pipe at an exact frame count.
+    #[test]
+    fn kill_after_frames_severs_the_connection() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let (mut s, _) = upstream.accept().unwrap();
+            let mut n = 0;
+            while let Ok(Some(_)) = read_raw_frame(&mut s) {
+                n += 1;
+            }
+            n
+        });
+        let plan = FaultPlan {
+            kill_after_frames: Some(3),
+            ..FaultPlan::default()
+        };
+        let proxy = FaultProxy::bind(up_addr, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        let frame = {
+            let mut f = 4u32.to_le_bytes().to_vec();
+            f.extend_from_slice(b"ping");
+            f
+        };
+        // The 4th frame trips the kill; subsequent writes fail once the
+        // close is observed.
+        let mut wrote = 0;
+        for _ in 0..50 {
+            if conn.write_all(&frame).is_err() {
+                break;
+            }
+            wrote += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(wrote >= 4, "kill fired before its threshold: {wrote}");
+        assert_eq!(sink.join().unwrap(), 3, "exactly 3 frames delivered");
+        assert_eq!(proxy.stats().forwarded, 3);
+        assert_eq!(proxy.stats().killed, 1);
+    }
+}

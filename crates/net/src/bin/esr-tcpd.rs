@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR]
+//!          [--lease-micros L]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7878`, 64 objects initialised to 1000 (the
-//! paper's account-balance ballpark), 4 workers. The bound address is
+//! paper's account-balance ballpark), 4 workers. `--lease-micros`
+//! enables transaction leases: a transaction whose client goes silent
+//! for `L` microseconds is reaped (aborted and rolled back), so stalled
+//! or crashed clients cannot wedge the server; `0` (the default)
+//! disables leases. Orphaned transactions of *disconnected* clients are
+//! always reaped, leases or not. The daemon logs a rate-limited warning
+//! whenever the request queue overflows and clients are pushed into
+//! retry backoff. The bound address is
 //! printed once the listener is up; connect with
 //! `esr_net::TcpConnection` (see the `tcp_loopback` example) or any
 //! client speaking the framed protocol.
@@ -16,15 +24,17 @@
 //! requests), and latency-histogram summaries in Prometheus text
 //! format.
 
-use esr_net::{MetricsServer, StatsSource, TcpServer};
+use esr_net::{MetricsServer, NetServerConfig, StatsSource, TcpServer};
 use esr_server::{build_server_stats, Server, ServerConfig};
 use esr_storage::catalog::CatalogConfig;
-use esr_tso::Kernel;
+use esr_tso::{Kernel, KernelConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR]"
+        "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR] \
+         [--lease-micros L]"
     );
     std::process::exit(2);
 }
@@ -45,6 +55,7 @@ fn main() {
     let mut value: i64 = 1000;
     let mut workers: usize = 4;
     let mut metrics_addr: Option<String> = None;
+    let mut lease_micros: u64 = 0;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -53,6 +64,7 @@ fn main() {
             "--value" => value = parse(&mut args, "--value"),
             "--workers" => workers = parse(&mut args, "--workers"),
             "--metrics-addr" => metrics_addr = Some(parse(&mut args, "--metrics-addr")),
+            "--lease-micros" => lease_micros = parse(&mut args, "--lease-micros"),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
             _ => usage(),
@@ -60,22 +72,41 @@ fn main() {
     }
 
     let table = CatalogConfig::default().build_with_values(&vec![value; objects]);
+    let kernel = Kernel::new(
+        table,
+        esr_core::hierarchy::HierarchySchema::two_level(),
+        KernelConfig {
+            lease_micros,
+            ..KernelConfig::default()
+        },
+    );
     let server = Server::start(
-        Kernel::with_defaults(table),
+        kernel,
         ServerConfig {
             workers,
             ..ServerConfig::default()
         },
     );
-    let tcp = match TcpServer::bind(server, &addr) {
+    let net_config = NetServerConfig {
+        // Overload is an operator concern: surface it, but at most one
+        // line every few seconds no matter how hard clients hammer.
+        warn_on_overload: Some(Duration::from_secs(5)),
+        ..NetServerConfig::default()
+    };
+    let tcp = match TcpServer::bind_with(server, &addr, net_config) {
         Ok(tcp) => tcp,
         Err(e) => {
             eprintln!("esr-tcpd: cannot bind {addr}: {e}");
             std::process::exit(1);
         }
     };
+    let lease = if lease_micros > 0 {
+        format!(", {lease_micros}\u{b5}s leases")
+    } else {
+        String::new()
+    };
     println!(
-        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers)",
+        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease})",
         tcp.local_addr()
     );
     // Keep the metrics listener alive for the lifetime of the process.

@@ -15,14 +15,33 @@
 //! Failure policy: connecting retries with exponential backoff;
 //! request writes are bounded by a socket write timeout; reply reads
 //! are bounded by a per-attempt read timeout times a configured number
-//! of attempts (parked operations legitimately wait long — each retry
-//! just re-arms the wait, it never resends). Requests are *never*
-//! resent: Begin/Op/End are not idempotent, and the correlation id
-//! discipline means a stale reply to an abandoned call is recognised
-//! and discarded instead of being mistaken for the current one.
+//! of attempts (parked operations legitimately wait long — each read
+//! retry just re-arms the wait, it never resends).
+//!
+//! Requests *are* resent — but only when it is safe:
+//!
+//! - **Transport failure** (write failed, peer closed, codec
+//!   desynchronisation): the client backs off with jitter, reconnects
+//!   (re-dial + fresh handshake), and resends the request with the
+//!   wire `retry` flag set. This is idempotent by protocol, not by
+//!   deduplication: the dead connection's transactions are
+//!   orphan-reaped server-side, so a resent `Begin` starts fresh, a
+//!   resent `Op`/`End` for a reaped transaction resolves to a typed
+//!   unknown-transaction answer, and a resent `End` whose original
+//!   reply was lost resolves via `EndReply::Unknown` — the server never
+//!   commits twice.
+//! - **Busy reject**: the server answered "queue full" with a
+//!   load-adaptive retry-after hint; the client sleeps that long (plus
+//!   jitter) and resends on the same connection.
+//! - **Reply timeout** is *not* retried: the request may be parked on a
+//!   kernel wait queue, and resending it would duplicate the
+//!   operation. The correlation id discipline means a stale reply to
+//!   an abandoned call is recognised and discarded instead of being
+//!   mistaken for the current one.
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::msg::{ReplyBody, RequestBody, WireRequest};
+use crate::server::{busy_retry_after_micros, is_busy_error, BUSY_RETRY_BASE_MICROS};
 use esr_clock::{CorrectionFactor, SkewedSource, SystemTimeSource, TimeSource, TimestampGenerator};
 use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
@@ -31,8 +50,10 @@ use esr_obs::{HistogramSnapshot, LatencyHistogram};
 use esr_server::{BeginReply, EndReply, OpReply, ServerStats, StatsReply};
 use esr_tso::{CommitInfo, Operation};
 use esr_txn::{Session, SessionError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +80,20 @@ pub struct NetClientConfig {
     /// reproduces the paper's up-to-two-minutes-apart site clocks in
     /// demos and tests.
     pub skew_micros: i64,
+    /// Total send attempts per call: the first try plus up to
+    /// `call_attempts − 1` resends after a transport failure (with
+    /// reconnect) or a busy reject (with backoff). `1` disables
+    /// resending entirely. Reply timeouts are never resent — the
+    /// request may be parked on a wait queue, alive and well.
+    pub call_attempts: u32,
+    /// Initial pause before a transport-failure resend; doubles per
+    /// consecutive resend of the same call, plus up to 50 % seeded
+    /// jitter so a herd of clients does not reconnect in lockstep. Busy
+    /// resends use the server's retry-after hint instead.
+    pub retry_backoff: Duration,
+    /// Seed for the retry jitter. Fixed default keeps tests
+    /// deterministic; vary it per client in load experiments.
+    pub retry_seed: u64,
 }
 
 impl Default for NetClientConfig {
@@ -71,6 +106,9 @@ impl Default for NetClientConfig {
             reply_attempts: 240, // × 500 ms = 2 min worst-case wait
             clock_samples: 8,
             skew_micros: 0,
+            call_attempts: 3,
+            retry_backoff: Duration::from_millis(10),
+            retry_seed: 0x00dd_ba11,
         }
     }
 }
@@ -80,13 +118,84 @@ impl Default for NetClientConfig {
 /// corrected local clock that stamps its transactions.
 pub struct TcpConnection {
     stream: TcpStream,
+    /// Resolved server addresses, kept for reconnects.
+    addrs: Vec<SocketAddr>,
     config: NetClientConfig,
     clock: Arc<TimestampGenerator>,
     next_id: u64,
     current: Option<TxnId>,
+    /// Jitter source for retry backoff.
+    rng: SmallRng,
+    /// Requests resent by the retry policy (transport failures and busy
+    /// rejects), mirrored server-side by the `retries` stats gauge.
+    retries: u64,
     /// Measured round trip of every RPC this connection issued,
     /// including time an operation spent parked server-side.
     rpc_latency: LatencyHistogram,
+}
+
+/// How one send/receive cycle failed.
+enum CallError {
+    /// The stream can no longer be trusted (write failed, peer closed,
+    /// codec desynchronisation). A reconnect plus resend may succeed.
+    Transport(String),
+    /// The call failed but the connection is intact (reply timeout,
+    /// protocol violation). Never resent.
+    Terminal(String),
+}
+
+impl CallError {
+    fn into_message(self) -> String {
+        match self {
+            CallError::Transport(e) | CallError::Terminal(e) => e,
+        }
+    }
+}
+
+/// Dial with bounded exponential-backoff retries and arm the socket
+/// timeouts. Shared by the initial connect and every reconnect.
+fn dial(addrs: &[SocketAddr], config: &NetClientConfig) -> io::Result<TcpStream> {
+    let mut delay = config.backoff;
+    let mut last_err = None;
+    for attempt in 0..config.connect_attempts {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        match TcpStream::connect(addrs) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(config.read_timeout))?;
+                stream.set_write_timeout(Some(config.write_timeout))?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+/// If `reply` is a busy reject, the backoff to honour before resending
+/// (the server's hint, or the base when an old server sent no hint).
+fn busy_hint_micros(reply: &ReplyBody) -> Option<u64> {
+    let msg = match reply {
+        ReplyBody::Begin(BeginReply::Error(e)) => e,
+        ReplyBody::Op(OpReply::Error(e)) => e,
+        ReplyBody::End(EndReply::Error(e)) => e,
+        ReplyBody::Stats(StatsReply::Error(e)) => e,
+        ReplyBody::Error(e) => e,
+        // A rejected batch answers every op with the same error.
+        ReplyBody::Batch(replies) => match replies.first() {
+            Some(OpReply::Error(e)) => e,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if is_busy_error(msg) {
+        Some(busy_retry_after_micros(msg).unwrap_or(BUSY_RETRY_BASE_MICROS))
+    } else {
+        None
+    }
 }
 
 impl TcpConnection {
@@ -98,37 +207,21 @@ impl TcpConnection {
 
     /// [`TcpConnection::connect`] with explicit configuration.
     pub fn connect_with(
-        addr: impl ToSocketAddrs + Clone,
+        addr: impl ToSocketAddrs,
         config: NetClientConfig,
     ) -> io::Result<TcpConnection> {
         assert!(config.connect_attempts >= 1, "need at least one attempt");
         assert!(config.reply_attempts >= 1, "need at least one attempt");
-        let mut delay = config.backoff;
-        let mut last_err = None;
-        let mut stream = None;
-        for attempt in 0..config.connect_attempts {
-            if attempt > 0 {
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2);
-            }
-            match TcpStream::connect(addr.clone()) {
-                Ok(s) => {
-                    stream = Some(s);
-                    break;
-                }
-                Err(e) => last_err = Some(e),
-            }
+        assert!(config.call_attempts >= 1, "need at least one attempt");
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::other("address resolved to nothing"));
         }
-        let stream = match stream {
-            Some(s) => s,
-            None => return Err(last_err.expect("at least one attempt ran")),
-        };
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(config.read_timeout))?;
-        stream.set_write_timeout(Some(config.write_timeout))?;
-
+        let stream = dial(&addrs, &config)?;
+        let rng = SmallRng::seed_from_u64(config.retry_seed);
         let mut conn = TcpConnection {
             stream,
+            addrs,
             config,
             // Placeholder until the handshake delivers the real site id.
             clock: Arc::new(TimestampGenerator::new(
@@ -137,15 +230,22 @@ impl TcpConnection {
             )),
             next_id: 1,
             current: None,
+            rng,
+            retries: 0,
             rpc_latency: LatencyHistogram::new(),
         };
         conn.handshake().map_err(io::Error::other)?;
         Ok(conn)
     }
 
-    /// Obtain the site id and estimate the correction factor.
+    /// Obtain the site id and estimate the correction factor. Uses the
+    /// non-retrying call primitive: `reconnect` runs the handshake, so
+    /// a retrying handshake would recurse.
     fn handshake(&mut self) -> Result<(), String> {
-        let site = match self.call(RequestBody::Hello).map_err(|e| e.to_string())? {
+        let site = match self
+            .call_once(&RequestBody::Hello, false)
+            .map_err(CallError::into_message)?
+        {
             ReplyBody::Welcome { site } => SiteId(site),
             ReplyBody::Error(e) => return Err(format!("handshake refused: {e}")),
             other => return Err(format!("handshake answered with {other:?}")),
@@ -163,8 +263,8 @@ impl TcpConnection {
         for _ in 0..self.config.clock_samples.max(1) {
             let t0 = Instant::now();
             let server_micros = match self
-                .call(RequestBody::TimeExchange)
-                .map_err(|e| e.to_string())?
+                .call_once(&RequestBody::TimeExchange, false)
+                .map_err(CallError::into_message)?
             {
                 ReplyBody::Time { micros } => micros,
                 other => return Err(format!("time exchange answered with {other:?}")),
@@ -216,20 +316,86 @@ impl TcpConnection {
         }
     }
 
-    /// One synchronous RPC: send the request, then receive until the
-    /// reply with this call's correlation id arrives. Replies with a
-    /// *smaller* id belong to calls already abandoned by a timeout and
-    /// are discarded; the number of receive attempts is bounded.
+    /// Total requests this connection resent under the retry policy.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// One synchronous RPC under the retry policy: transport failures
+    /// reconnect and resend, busy rejects back off and resend, anything
+    /// else surfaces after the first attempt. Resends carry the wire
+    /// `retry` flag so the server can count them.
     fn call(&mut self, body: RequestBody) -> Result<ReplyBody, SessionError> {
+        let mut resends = 0u32;
+        let mut backoff = self.config.retry_backoff;
+        loop {
+            let out_of_attempts = resends + 1 >= self.config.call_attempts;
+            match self.call_once(&body, resends > 0) {
+                Ok(reply) => {
+                    let Some(hint) = busy_hint_micros(&reply) else {
+                        return Ok(reply);
+                    };
+                    if out_of_attempts {
+                        // Bounded: surface the busy error through the
+                        // normal reply mapping.
+                        return Ok(reply);
+                    }
+                    // Busy reject: the connection is fine, the queue is
+                    // full. Honour the server's load-adaptive hint.
+                    std::thread::sleep(self.jittered(Duration::from_micros(hint)));
+                }
+                Err(CallError::Terminal(e)) => return Err(SessionError::Backend(e)),
+                Err(CallError::Transport(e)) => {
+                    if out_of_attempts {
+                        return Err(SessionError::Backend(e));
+                    }
+                    std::thread::sleep(self.jittered(backoff));
+                    backoff = backoff.saturating_mul(2);
+                    if let Err(re) = self.reconnect() {
+                        return Err(SessionError::Backend(format!(
+                            "{e}; reconnect failed: {re}"
+                        )));
+                    }
+                }
+            }
+            resends += 1;
+            self.retries += 1;
+        }
+    }
+
+    /// `base` plus up to 50 % seeded jitter.
+    fn jittered(&mut self, base: Duration) -> Duration {
+        let micros = (base.as_micros() as u64).max(1);
+        base + Duration::from_micros(self.rng.gen_range(0..micros / 2 + 1))
+    }
+
+    /// Re-dial the stored server address and redo the handshake. The
+    /// server orphan-reaps whatever the broken connection left behind;
+    /// this side keeps `current` so the in-flight call can resend and
+    /// collect its typed answer (aborted / unknown transaction).
+    fn reconnect(&mut self) -> Result<(), String> {
+        self.stream = dial(&self.addrs, &self.config).map_err(|e| e.to_string())?;
+        self.handshake()
+    }
+
+    /// One send/receive cycle, no resends: send the request, then
+    /// receive until the reply with this call's correlation id arrives.
+    /// Replies with a *smaller* id belong to calls already abandoned by
+    /// a timeout and are discarded; the number of receive attempts is
+    /// bounded.
+    fn call_once(&mut self, body: &RequestBody, retry: bool) -> Result<ReplyBody, CallError> {
         let id = self.next_id;
         self.next_id += 1;
         let t0 = Instant::now();
-        write_frame(&mut self.stream, &WireRequest { id, body }).map_err(|e| {
-            SessionError::Backend(match e {
-                FrameError::Timeout => "request write timed out".into(),
-                other => format!("request write failed: {other}"),
-            })
-        })?;
+        let frame = WireRequest {
+            id,
+            retry,
+            body: body.clone(),
+        };
+        // Any write failure leaves the stream possibly mid-frame, so
+        // even a timeout is a transport error here.
+        write_frame(&mut self.stream, &frame)
+            .map_err(|e| CallError::Transport(format!("request write failed: {e}")))?;
         let mut attempts = 0u32;
         loop {
             match read_frame::<crate::msg::WireReply>(&mut self.stream) {
@@ -239,7 +405,7 @@ impl TcpConnection {
                 }
                 Ok(reply) if reply.id < id => continue, // stale; discard
                 Ok(reply) => {
-                    return Err(SessionError::Backend(format!(
+                    return Err(CallError::Terminal(format!(
                         "protocol error: reply id {} from the future (at {id})",
                         reply.id
                     )));
@@ -247,17 +413,17 @@ impl TcpConnection {
                 Err(FrameError::Timeout) => {
                     attempts += 1;
                     if attempts >= self.config.reply_attempts {
-                        return Err(SessionError::Backend(format!(
+                        return Err(CallError::Terminal(format!(
                             "RPC timed out after {attempts} × {:?}",
                             self.config.read_timeout
                         )));
                     }
                 }
                 Err(FrameError::Closed) => {
-                    return Err(SessionError::Backend("server closed the connection".into()));
+                    return Err(CallError::Transport("server closed the connection".into()));
                 }
                 Err(e) => {
-                    return Err(SessionError::Backend(format!("reply read failed: {e}")));
+                    return Err(CallError::Transport(format!("reply read failed: {e}")));
                 }
             }
         }

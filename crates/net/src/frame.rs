@@ -371,6 +371,7 @@ mod tests {
         bounds.objects.insert(ObjectId(3), Limit::ZERO);
         round_trip(WireRequest {
             id: 42,
+            retry: false,
             body: RequestBody::Begin {
                 kind: TxnKind::Query,
                 bounds,
@@ -379,6 +380,7 @@ mod tests {
         });
         round_trip(WireRequest {
             id: 43,
+            retry: true,
             body: RequestBody::Op {
                 txn: TxnId(9),
                 op: Operation::Write(ObjectId(1), -77),
@@ -386,6 +388,7 @@ mod tests {
         });
         round_trip(WireRequest {
             id: 44,
+            retry: true,
             body: RequestBody::End {
                 txn: TxnId(9),
                 commit: true,
@@ -393,12 +396,33 @@ mod tests {
         });
         round_trip(WireRequest {
             id: 0,
+            retry: false,
             body: RequestBody::Hello,
         });
         round_trip(WireRequest {
             id: 1,
+            retry: false,
             body: RequestBody::TimeExchange,
         });
+    }
+
+    #[test]
+    fn pre_retry_request_frames_still_decode() {
+        // A frame from a client built before the retry flag existed has
+        // no `retry` key; it must decode with `retry == false`.
+        #[derive(Serialize)]
+        struct OldWireRequest {
+            id: u64,
+            body: RequestBody,
+        }
+        let bytes = to_bytes(&OldWireRequest {
+            id: 7,
+            body: RequestBody::Hello,
+        });
+        let req: WireRequest = from_bytes(&bytes).unwrap();
+        assert_eq!(req.id, 7);
+        assert!(!req.retry);
+        assert_eq!(req.body, RequestBody::Hello);
     }
 
     #[test]

@@ -42,4 +42,7 @@ pub use client::{NetClientConfig, TcpConnection};
 pub use frame::{FrameError, MAX_FRAME};
 pub use metrics::{render_metrics, MetricsServer, StatsSource};
 pub use msg::{ReplyBody, RequestBody, WireReply, WireRequest};
-pub use server::{NetServerConfig, TcpServer};
+pub use server::{
+    busy_retry_after_micros, is_busy_error, NetServerConfig, TcpServer, BUSY_RETRY_BASE_MICROS,
+    BUSY_RETRY_MAX_MICROS,
+};

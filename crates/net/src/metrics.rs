@@ -228,6 +228,16 @@ pub fn render_metrics(stats: &ServerStats) -> String {
             "Aborts from late writes",
             k.late_write_aborts,
         )
+        .counter(
+            "esr_kernel_reaped_txns",
+            "Transactions aborted by the reaper (lease expiry or connection orphaning)",
+            k.reaped_txns,
+        )
+        .counter(
+            "esr_retries",
+            "Client-marked request resends observed by the transport",
+            stats.retries,
+        )
         .gauge(
             "esr_active_txns",
             "Currently active transactions",
@@ -275,6 +285,7 @@ mod tests {
             active_txns: 3,
             waitq_depth: 2,
             in_flight: 1,
+            retries: 6,
             histograms: vec![NamedHistogram {
                 name: "kernel_txn_latency_micros".into(),
                 hist: h.snapshot(),
@@ -289,6 +300,8 @@ mod tests {
         assert!(text.contains("esr_kernel_commits_query_total 4"));
         assert!(text.contains("esr_waitq_depth 2"));
         assert!(text.contains("esr_in_flight 1"));
+        assert!(text.contains("esr_kernel_reaped_txns_total 0"));
+        assert!(text.contains("esr_retries_total 6"));
         assert!(text.contains("esr_kernel_txn_latency_micros{quantile=\"0.5\"}"));
         assert!(text.contains("esr_kernel_txn_latency_micros_count 2"));
     }

@@ -23,6 +23,15 @@ pub struct WireRequest {
     /// strictly increasing per connection, which lets a client discard
     /// stale replies to calls it has already given up on.
     pub id: u64,
+    /// `true` when this frame is a client resend: a retry after a lost
+    /// reply or reconnect, or a busy-reject backoff. The server counts
+    /// these (the `retries` gauge in its stats) but otherwise handles
+    /// the request normally — idempotency comes from the protocol
+    /// (retried `End` resolves via `EndReply::Unknown`; a reconnect
+    /// orphan-reaps the old connection's transactions), not from
+    /// deduplication. Absent (false) in frames from pre-retry clients.
+    #[serde(default)]
+    pub retry: bool,
     /// What is being asked.
     pub body: RequestBody,
 }

@@ -27,9 +27,10 @@
 use crate::frame::{read_frame, write_frame};
 use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use esr_core::ids::SiteId;
+use esr_core::ids::{SiteId, TxnId};
 use esr_server::{
-    ReplySink, Request, RpcHandle, Server, SubmitError, BUSY_ERROR, MAX_BATCH, SHUTDOWN_ERROR,
+    BeginReply, EndReply, OpReply, ReplySink, Request, RpcHandle, Server, SubmitError, BUSY_ERROR,
+    MAX_BATCH, SHUTDOWN_ERROR,
 };
 use parking_lot::Mutex;
 use std::io;
@@ -47,12 +48,140 @@ pub struct NetServerConfig {
     /// Per-socket write timeout. A peer that stops reading must not
     /// wedge a writer thread forever.
     pub write_timeout: Option<Duration>,
+    /// When set, log (stderr) a rate-limited warning — at most one per
+    /// this interval — each time the request queue rejects work as
+    /// busy. `None` (the default) keeps the transport silent; the
+    /// `esr-tcpd` daemon turns it on.
+    pub warn_on_overload: Option<Duration>,
 }
 
 impl Default for NetServerConfig {
     fn default() -> Self {
         NetServerConfig {
             write_timeout: Some(Duration::from_secs(5)),
+            warn_on_overload: None,
+        }
+    }
+}
+
+/// First retry-after hint handed to a client when the request queue
+/// rejects as busy; doubles per *consecutive* busy reject (a shared
+/// signal of sustained overload) up to [`BUSY_RETRY_MAX_MICROS`].
+pub const BUSY_RETRY_BASE_MICROS: u64 = 1_000;
+
+/// Cap on the busy retry-after hint (one second).
+pub const BUSY_RETRY_MAX_MICROS: u64 = 1_000_000;
+
+/// Shared-across-connections overload signal. Consecutive busy rejects
+/// grow the retry-after hint (load-adaptive backoff: the deeper the
+/// overload, the further clients are pushed away); any successfully
+/// queued request resets it.
+struct OverloadState {
+    consecutive: std::sync::atomic::AtomicU32,
+    last_warn: Mutex<Option<std::time::Instant>>,
+}
+
+impl OverloadState {
+    fn new() -> Self {
+        OverloadState {
+            consecutive: std::sync::atomic::AtomicU32::new(0),
+            last_warn: Mutex::new(None),
+        }
+    }
+
+    /// Record one busy reject and return the hint to send.
+    fn busy_hint_micros(&self) -> u64 {
+        let n = self.consecutive.fetch_add(1, Ordering::Relaxed);
+        (BUSY_RETRY_BASE_MICROS << n.min(32)).min(BUSY_RETRY_MAX_MICROS)
+    }
+
+    /// A request made it into the queue; the burst is over.
+    fn calm(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+    }
+
+    /// Rate-limited warning gate: true at most once per `every`.
+    fn should_warn(&self, every: Duration) -> bool {
+        let mut last = self.last_warn.lock();
+        let now = std::time::Instant::now();
+        match *last {
+            Some(prev) if now.duration_since(prev) < every => false,
+            _ => {
+                *last = Some(now);
+                true
+            }
+        }
+    }
+}
+
+/// Format the busy reject sent to clients: the stable [`BUSY_ERROR`]
+/// prefix plus a machine-readable retry-after hint.
+fn busy_reject(hint_micros: u64) -> String {
+    format!("{BUSY_ERROR}; retry-after-micros={hint_micros}")
+}
+
+/// Parse the retry-after hint out of a busy reject produced by
+/// [`busy_reject`]. `None` for non-busy errors or pre-hint servers
+/// (whose rejects are the bare [`BUSY_ERROR`]).
+pub fn busy_retry_after_micros(message: &str) -> Option<u64> {
+    let rest = message.strip_prefix(BUSY_ERROR)?;
+    let hint = rest.strip_prefix("; retry-after-micros=")?;
+    hint.parse().ok()
+}
+
+/// Returns true for any busy reject, with or without a retry-after
+/// hint. The check is a prefix match so the hint suffix (and future
+/// suffixes) never break older clients.
+pub fn is_busy_error(message: &str) -> bool {
+    message.starts_with(BUSY_ERROR)
+}
+
+/// The transactions a connection has begun and not yet ended — the set
+/// to orphan-reap when the connection dies. Maintained *advisorily* by
+/// the reply hooks (a commit that raced the disconnect just makes the
+/// reap a no-op), with a `dead` flag closing the race where a `Begin`
+/// reply fires after the reader already drained the set.
+struct ConnTxns {
+    live: Mutex<std::collections::HashSet<TxnId>>,
+    dead: AtomicBool,
+}
+
+impl ConnTxns {
+    fn new() -> Self {
+        ConnTxns {
+            live: Mutex::new(std::collections::HashSet::new()),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// A `Begin` on this connection was admitted as `txn`.
+    fn note_begun(&self, txn: TxnId, rpc: &RpcHandle) {
+        self.live.lock().insert(txn);
+        if self.dead.load(Ordering::SeqCst) {
+            // The reader exited between the submit and this reply; it
+            // will never see the id, so reap here instead of leaking.
+            self.reap_all(rpc);
+        }
+    }
+
+    /// `txn` ended (commit, abort, kernel abort, or Unknown).
+    fn note_ended(&self, txn: TxnId) {
+        self.live.lock().remove(&txn);
+    }
+
+    /// The connection is gone: abort everything it left behind.
+    fn mark_dead(&self, rpc: &RpcHandle) {
+        self.dead.store(true, Ordering::SeqCst);
+        self.reap_all(rpc);
+    }
+
+    fn reap_all(&self, rpc: &RpcHandle) {
+        let orphans: Vec<TxnId> = {
+            let mut live = self.live.lock();
+            live.drain().collect()
+        };
+        if !orphans.is_empty() {
+            rpc.reap_orphans(&orphans);
         }
     }
 }
@@ -175,6 +304,7 @@ fn accept_loop(
     conns: Arc<Mutex<Vec<TcpStream>>>,
     threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    let overload = Arc::new(OverloadState::new());
     let mut next_conn = 0u64;
     loop {
         let stream = match listener.accept() {
@@ -201,6 +331,8 @@ fn accept_loop(
         let writer_stream = stream.try_clone().expect("clone accepted socket");
         let (reply_tx, reply_rx) = unbounded::<WireReply>();
         let rpc = rpc.clone();
+        let overload = Arc::clone(&overload);
+        let warn_every = config.warn_on_overload;
         let conn_id = next_conn;
         next_conn += 1;
         let writer = std::thread::Builder::new()
@@ -209,7 +341,7 @@ fn accept_loop(
             .expect("spawn connection writer");
         let reader = std::thread::Builder::new()
             .name(format!("esr-net-reader-{conn_id}"))
-            .spawn(move || reader_loop(stream, rpc, reply_tx))
+            .spawn(move || reader_loop(stream, rpc, reply_tx, overload, warn_every))
             .expect("spawn connection reader");
         let mut reg = threads.lock();
         reg.push(writer);
@@ -232,15 +364,29 @@ fn writer_loop(mut stream: TcpStream, replies: Receiver<WireReply>) {
 /// hooks that carry the correlation id back to this connection's
 /// writer. When the loop exits — EOF, codec failure, shutdown — every
 /// site id this connection obtained via `Hello` is returned to the
-/// allocator, so connection churn cannot exhaust the 16-bit id space.
-fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>) {
+/// allocator (so connection churn cannot exhaust the 16-bit id space),
+/// and every transaction the connection begun but never ended is
+/// orphan-reaped: its kernel effects are rolled back and any other
+/// client parked behind its uncommitted writes is woken, so a crashed
+/// client cannot wedge survivors.
+fn reader_loop(
+    mut stream: TcpStream,
+    rpc: RpcHandle,
+    replies: Sender<WireReply>,
+    overload: Arc<OverloadState>,
+    warn_every: Option<Duration>,
+) {
     let mut hello_sites: Vec<SiteId> = Vec::new();
+    let txns = Arc::new(ConnTxns::new());
     // Loop until the first read failure. Closed: orderly EOF.
     // Io/Codec/Oversize: the stream can no longer be trusted to be
     // frame-aligned, so drop it; the client's bounded retries surface
     // the failure.
     while let Ok(req) = read_frame::<WireRequest>(&mut stream) {
         let id = req.id;
+        if req.retry {
+            rpc.note_retry();
+        }
         let reply_to = |body: ReplyBody| {
             let _ = replies.send(WireReply { id, body });
         };
@@ -257,7 +403,12 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
             }),
             RequestBody::Begin { kind, bounds, ts } => {
                 let tx = replies.clone();
+                let txns = Arc::clone(&txns);
+                let hook_rpc = rpc.clone();
                 let sink = ReplySink::hook(move |r| {
+                    if let BeginReply::Started(txn) = &r {
+                        txns.note_begun(*txn, &hook_rpc);
+                    }
                     let _ = tx.send(WireReply {
                         id,
                         body: ReplyBody::Begin(r),
@@ -271,11 +422,17 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                         ts,
                         reply: sink,
                     },
+                    &overload,
+                    warn_every,
                 );
             }
             RequestBody::Op { txn, op } => {
                 let tx = replies.clone();
+                let txns = Arc::clone(&txns);
                 let sink = ReplySink::hook(move |r| {
+                    if matches!(r, OpReply::Aborted(_)) {
+                        txns.note_ended(txn);
+                    }
                     let _ = tx.send(WireReply {
                         id,
                         body: ReplyBody::Op(r),
@@ -288,6 +445,8 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                         op,
                         reply: sink,
                     },
+                    &overload,
+                    warn_every,
                 );
             }
             RequestBody::Batch { txn, ops } => {
@@ -302,7 +461,11 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                     continue;
                 }
                 let tx = replies.clone();
-                let sink = ReplySink::hook(move |r| {
+                let txns = Arc::clone(&txns);
+                let sink = ReplySink::hook(move |r: Vec<OpReply>| {
+                    if r.iter().any(|op| matches!(op, OpReply::Aborted(_))) {
+                        txns.note_ended(txn);
+                    }
                     let _ = tx.send(WireReply {
                         id,
                         body: ReplyBody::Batch(r),
@@ -315,11 +478,19 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                         ops,
                         reply: sink,
                     },
+                    &overload,
+                    warn_every,
                 );
             }
             RequestBody::End { txn, commit } => {
                 let tx = replies.clone();
-                let sink = ReplySink::hook(move |r| {
+                let txns = Arc::clone(&txns);
+                let sink = ReplySink::hook(move |r: EndReply| {
+                    // Error is the one reply after which the transaction
+                    // may still be live server-side.
+                    if !matches!(r, EndReply::Error(_)) {
+                        txns.note_ended(txn);
+                    }
                     let _ = tx.send(WireReply {
                         id,
                         body: ReplyBody::End(r),
@@ -332,6 +503,8 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                         commit,
                         reply: sink,
                     },
+                    &overload,
+                    warn_every,
                 );
             }
             RequestBody::Stats => {
@@ -342,10 +515,11 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
                         body: ReplyBody::Stats(r),
                     });
                 });
-                submit(&rpc, Request::Stats { reply: sink });
+                submit(&rpc, Request::Stats { reply: sink }, &overload, warn_every);
             }
         }
     }
+    txns.mark_dead(&rpc);
     for site in hello_sites {
         rpc.release_site(site);
     }
@@ -353,11 +527,23 @@ fn reader_loop(mut stream: TcpStream, rpc: RpcHandle, replies: Sender<WireReply>
 
 /// Queue a request; if the queue is full or the server is gone, answer
 /// through the request's own sink so the remote client gets an explicit
-/// busy/shutdown error instead of a silently dropped frame.
-fn submit(rpc: &RpcHandle, req: Request) {
+/// busy/shutdown error instead of a silently dropped frame. Busy
+/// rejects carry a load-adaptive retry-after hint and optionally log a
+/// rate-limited overload warning.
+fn submit(rpc: &RpcHandle, req: Request, overload: &OverloadState, warn_every: Option<Duration>) {
     match rpc.submit(req) {
-        Ok(()) => {}
-        Err(SubmitError::Busy(req)) => req.reject(BUSY_ERROR),
+        Ok(()) => overload.calm(),
+        Err(SubmitError::Busy(req)) => {
+            let hint = overload.busy_hint_micros();
+            if let Some(every) = warn_every {
+                if overload.should_warn(every) {
+                    eprintln!(
+                        "esr-net: request queue full; rejecting with retry-after {hint}\u{b5}s"
+                    );
+                }
+            }
+            req.reject(&busy_reject(hint));
+        }
         Err(SubmitError::Down(req)) => req.reject(SHUTDOWN_ERROR),
     }
 }
@@ -376,5 +562,54 @@ mod tests {
     fn frame_error_is_displayed() {
         let e = crate::frame::FrameError::Oversize(123);
         assert!(e.to_string().contains("123"));
+    }
+
+    #[test]
+    fn busy_rejects_round_trip_their_hint() {
+        let msg = busy_reject(4_000);
+        assert!(is_busy_error(&msg));
+        assert_eq!(busy_retry_after_micros(&msg), Some(4_000));
+        // Pre-hint servers send the bare prefix: busy, but no hint.
+        assert!(is_busy_error(BUSY_ERROR));
+        assert_eq!(busy_retry_after_micros(BUSY_ERROR), None);
+        assert!(!is_busy_error("some other failure"));
+        assert_eq!(busy_retry_after_micros("some other failure"), None);
+    }
+
+    #[test]
+    fn busy_hint_doubles_until_calm_then_resets() {
+        let o = OverloadState::new();
+        assert_eq!(o.busy_hint_micros(), BUSY_RETRY_BASE_MICROS);
+        assert_eq!(o.busy_hint_micros(), BUSY_RETRY_BASE_MICROS * 2);
+        assert_eq!(o.busy_hint_micros(), BUSY_RETRY_BASE_MICROS * 4);
+        o.calm();
+        assert_eq!(o.busy_hint_micros(), BUSY_RETRY_BASE_MICROS);
+        // A sustained burst saturates at the cap instead of shifting
+        // past 64 bits.
+        for _ in 0..80 {
+            assert!(o.busy_hint_micros() <= BUSY_RETRY_MAX_MICROS);
+        }
+        assert_eq!(o.busy_hint_micros(), BUSY_RETRY_MAX_MICROS);
+    }
+
+    #[test]
+    fn overload_warning_is_rate_limited() {
+        let o = OverloadState::new();
+        let every = Duration::from_secs(3600);
+        assert!(o.should_warn(every));
+        assert!(!o.should_warn(every), "second warning inside the window");
+        assert!(o.should_warn(Duration::ZERO), "window elapsed");
+    }
+
+    #[test]
+    fn conn_txns_track_begun_and_ended() {
+        // Pure set mechanics (the reap path needs a server and is
+        // covered by the integration tests): ended txns are forgotten.
+        let t = ConnTxns::new();
+        t.live.lock().insert(TxnId(1));
+        t.live.lock().insert(TxnId(2));
+        t.note_ended(TxnId(1));
+        assert_eq!(t.live.lock().len(), 1);
+        assert!(t.live.lock().contains(&TxnId(2)));
     }
 }

@@ -10,6 +10,7 @@
 //! a wait queue.
 
 use esr_obs::{Gauge, HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Which histogram pair a request lands in.
@@ -38,6 +39,10 @@ pub struct ServerObs {
     end_service: LatencyHistogram,
     /// Requests currently being serviced by a worker.
     in_flight: Gauge,
+    /// Requests a client marked as resends (idempotent retries after a
+    /// lost reply, a reconnect, or a busy-reject backoff). Counted by
+    /// the transport when the retry flag arrives on the wire.
+    retries: AtomicU64,
 }
 
 impl ServerObs {
@@ -62,6 +67,16 @@ impl ServerObs {
     /// request).
     pub fn in_flight(&self) -> &Gauge {
         &self.in_flight
+    }
+
+    /// Count one client-marked retry.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total client-marked retries observed.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Snapshot all histograms as `(name, snapshot)` pairs.
@@ -136,5 +151,14 @@ mod tests {
         assert_eq!(obs.in_flight().get(), 1);
         obs.in_flight().dec();
         assert_eq!(obs.in_flight().get(), 0);
+    }
+
+    #[test]
+    fn retries_accumulate() {
+        let obs = ServerObs::new();
+        assert_eq!(obs.retries(), 0);
+        obs.note_retry();
+        obs.note_retry();
+        assert_eq!(obs.retries(), 2);
     }
 }

@@ -78,6 +78,11 @@ pub struct ServerStats {
     pub waitq_depth: u64,
     /// Requests currently inside the worker pool (gauge).
     pub in_flight: i64,
+    /// Client-marked request resends observed by the transport
+    /// (idempotent retries after lost replies, reconnects, or busy
+    /// rejects). Absent in snapshots from pre-retry servers.
+    #[serde(default)]
+    pub retries: u64,
     /// All latency histograms: per-request-kind queue wait and service
     /// time from the workers, plus the kernel's op-service, park-wait,
     /// and txn-latency distributions.

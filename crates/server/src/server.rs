@@ -13,7 +13,7 @@ use esr_clock::{
     TimestampGenerator,
 };
 use esr_core::ids::{SiteId, TxnId};
-use esr_tso::{Kernel, KernelError, OpOutcome, PendingOp};
+use esr_tso::{AbortReason, Kernel, KernelError, OpOutcome, PendingOp};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -42,6 +42,11 @@ pub struct ServerConfig {
     /// [`RpcHandle::submit`] instead of growing an unbounded queue
     /// until memory runs out. Values below 1 are treated as 1.
     pub queue_capacity: usize,
+    /// How often the reaper thread advances the kernel lease clock and
+    /// aborts expired transactions. Only relevant when the kernel was
+    /// built with `lease_micros > 0` (no reaper thread is spawned
+    /// otherwise). The effective lease is `lease_micros` ± one tick.
+    pub reap_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +56,7 @@ impl Default for ServerConfig {
             rpc_latency: None,
             virtual_time: false,
             queue_capacity: 1024,
+            reap_interval: Duration::from_millis(50),
         }
     }
 }
@@ -218,6 +224,10 @@ pub struct Server {
     req_rx: Option<Receiver<QueuedRequest>>,
     pending: PendingReplies,
     workers: Vec<JoinHandle<()>>,
+    /// The lease reaper thread, present only when the kernel has leases
+    /// enabled. Stopped via `reaper_stop` + unpark on shutdown.
+    reaper: Option<JoinHandle<()>>,
+    reaper_stop: Arc<std::sync::atomic::AtomicBool>,
     reference: Arc<dyn TimeSource>,
     manual: Option<ManualTimeSource>,
     sites: Arc<SiteAllocator>,
@@ -256,12 +266,34 @@ impl Server {
             } else {
                 (Arc::new(SystemTimeSource::new()), None)
             };
+        let reaper_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reaper = if kernel.config().lease_micros > 0 {
+            // Seed the lease clock before any transaction can begin, so
+            // the first leases are measured from a real instant rather
+            // than from zero.
+            kernel.set_now(reference.raw_micros());
+            let k = Arc::clone(&kernel);
+            let p = Arc::clone(&pending);
+            let r = Arc::clone(&reference);
+            let stop = Arc::clone(&reaper_stop);
+            let interval = config.reap_interval.max(Duration::from_millis(1));
+            Some(
+                std::thread::Builder::new()
+                    .name("esr-server-reaper".into())
+                    .spawn(move || reaper_loop(k, p, r, stop, interval))
+                    .expect("spawn server reaper"),
+            )
+        } else {
+            None
+        };
         Server {
             kernel,
             req_tx: Some(req_tx),
             req_rx: Some(req_rx),
             pending,
             workers,
+            reaper,
+            reaper_stop,
             reference,
             manual,
             sites: Arc::new(SiteAllocator::new()),
@@ -348,6 +380,9 @@ impl Server {
             req_tx: self.req_tx.as_ref().expect("server not shut down").clone(),
             sites: Arc::clone(&self.sites),
             reference: Arc::clone(&self.reference),
+            kernel: Arc::clone(&self.kernel),
+            pending: Arc::clone(&self.pending),
+            obs: Arc::clone(&self.obs),
         }
     }
 
@@ -363,6 +398,12 @@ impl Server {
     /// registered reply sink — clients see a reported failure, not a
     /// silently dropped channel.
     pub fn shutdown(&mut self) {
+        self.reaper_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(reaper) = self.reaper.take() {
+            reaper.thread().unpark();
+            let _ = reaper.join();
+        }
         if let Some(tx) = self.req_tx.take() {
             for _ in 0..self.workers.len() {
                 let _ = tx.send(QueuedRequest::now(Request::Shutdown));
@@ -404,6 +445,9 @@ pub struct RpcHandle {
     req_tx: Sender<QueuedRequest>,
     sites: Arc<SiteAllocator>,
     reference: Arc<dyn TimeSource>,
+    kernel: Arc<Kernel>,
+    pending: PendingReplies,
+    obs: Arc<ServerObs>,
 }
 
 /// Why [`RpcHandle::submit`] could not queue a request. The request is
@@ -452,6 +496,73 @@ impl RpcHandle {
     pub fn reference_micros(&self) -> u64 {
         self.reference.raw_micros()
     }
+
+    /// Count one client-marked request resend (wire-level retry flag).
+    pub fn note_retry(&self) {
+        self.obs.note_retry();
+    }
+
+    /// Abort transactions orphaned by a disconnected client, through
+    /// the normal kernel abort path: uncommitted writes are rolled
+    /// back, waiters parked *behind* an orphan are woken and serviced,
+    /// and any reply still parked *for* an orphan is answered with a
+    /// typed [`AbortReason::Reaped`] (the send goes to the dead
+    /// connection and is dropped there, but the pending map must drain).
+    /// Transactions that already ended are skipped. Returns how many
+    /// were actually reaped.
+    ///
+    /// Works independently of lease configuration: connection loss is
+    /// definite evidence the client is gone, so no expiry wait applies.
+    pub fn reap_orphans(&self, txns: &[TxnId]) -> usize {
+        let mut reaped = 0;
+        for &txn in txns {
+            if let Ok(end) = self.kernel.reap(txn) {
+                reaped += 1;
+                answer_reaped(&self.pending, txn);
+                drain_woken(&self.kernel, &self.pending, end.woken);
+            }
+        }
+        reaped
+    }
+}
+
+/// The reaper thread: periodically advance the kernel lease clock from
+/// the server reference clock and abort expired transactions. Runs
+/// outside the worker pool so reaping keeps working when the request
+/// queue is saturated — exactly the overload situation in which stalled
+/// clients must not pin kernel state.
+fn reaper_loop(
+    kernel: Arc<Kernel>,
+    pending: PendingReplies,
+    reference: Arc<dyn TimeSource>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    interval: Duration,
+) {
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        kernel.set_now(reference.raw_micros());
+        reap_expired_txns(&kernel, &pending);
+        std::thread::park_timeout(interval);
+    }
+}
+
+/// Run one reap pass: abort every lease-expired transaction, answer
+/// clients parked on a reaped transaction with a typed error, and
+/// service the waiters each reap released. Returns the number reaped.
+pub(crate) fn reap_expired_txns(kernel: &Kernel, pending: &PendingReplies) -> usize {
+    let reaped = kernel.reap_expired();
+    let n = reaped.len();
+    for (txn, end) in reaped {
+        answer_reaped(pending, txn);
+        drain_woken(kernel, pending, end.woken);
+    }
+    n
+}
+
+/// Answer a reply sink still parked for a reaped transaction.
+fn answer_reaped(pending: &PendingReplies, txn: TxnId) {
+    if let Some(sink) = pending.remove(txn) {
+        sink.send(OpReply::Aborted(AbortReason::Reaped));
+    }
 }
 
 /// Assemble the live snapshot from the kernel and worker
@@ -476,6 +587,7 @@ pub fn build_server_stats(kernel: &Kernel, obs: &ServerObs) -> ServerStats {
         active_txns: kernel.active_txns() as u64,
         waitq_depth: kernel.waitq_depth() as u64,
         in_flight: obs.in_flight().get(),
+        retries: obs.retries(),
         histograms,
     }
 }

@@ -385,3 +385,107 @@ fn site_ids_are_refused_not_recycled_when_exhausted() {
     assert_eq!(c.read(ObjectId(0)).unwrap(), 1);
     c.commit().unwrap();
 }
+
+#[test]
+fn reaper_aborts_stalled_txn_and_unwedges_waiter() {
+    // A client that begins an update, writes, and then stalls forever
+    // would — without leases — wedge every waiter parked behind its
+    // uncommitted write. The reaper must abort it (virtual-time lease)
+    // and let the waiter complete against the restored value.
+    let table = CatalogConfig::default().build_with_values(&[100]);
+    let kernel = Kernel::new(
+        table,
+        esr_core::hierarchy::HierarchySchema::two_level(),
+        esr_tso::KernelConfig {
+            lease_micros: 10_000, // 10 virtual milliseconds
+            ..esr_tso::KernelConfig::default()
+        },
+    );
+    let server = Server::start(
+        kernel,
+        ServerConfig {
+            virtual_time: true,
+            reap_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut stalled = server.connect();
+    stalled
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    stalled.write(ObjectId(0), 999).unwrap();
+    // …and the client never speaks again.
+
+    // A second client parks behind the stalled writer.
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        let v = reader.read(ObjectId(0)).unwrap();
+        reader.commit().unwrap();
+        v
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!handle.is_finished(), "reader should be parked");
+
+    // Advance virtual time past the lease; the (wall-clock-ticking)
+    // reaper picks it up within a few intervals.
+    server.manual_clock().unwrap().advance(20_000);
+    assert_eq!(
+        handle.join().unwrap(),
+        100,
+        "waiter must see the rolled-back value after the reap"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.kernel().active_txns() != 0 {
+        assert!(std::time::Instant::now() < deadline, "reap did not drain");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server.kernel().stats();
+    assert_eq!(stats.reaped_txns, 1);
+    assert_eq!(server.kernel().waitq_depth(), 0);
+    assert!(server.kernel().table().is_quiescent());
+
+    // The stalled client's eventual commit resolves as Unknown — a
+    // typed "the transaction is permanently gone", not a hang.
+    match stalled.commit() {
+        Err(SessionError::Backend(m)) => assert!(m.contains("unknown"), "{m}"),
+        other => panic!("expected unknown-txn error, got {other:?}"),
+    }
+}
+
+#[test]
+fn orphan_reap_releases_transactions_and_wakes_waiters() {
+    // Leases OFF: orphan reaping via the RPC handle must still work —
+    // connection loss is definite evidence, no expiry wait applies.
+    let server = server_with(&[100], ServerConfig::default());
+    let mut orphaned = server.connect();
+    orphaned
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .unwrap();
+    orphaned.write(ObjectId(0), 999).unwrap();
+    let txn = esr_core::ids::TxnId(1);
+
+    let mut reader = server.connect();
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        let v = reader.read(ObjectId(0)).unwrap();
+        reader.commit().unwrap();
+        v
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(!handle.is_finished(), "reader should be parked");
+
+    // The transport notices the connection died and reaps its txns.
+    let rpc = server.rpc_handle();
+    assert_eq!(rpc.reap_orphans(&[txn]), 1);
+    assert_eq!(handle.join().unwrap(), 100);
+    assert_eq!(rpc.reap_orphans(&[txn]), 0, "double reap is a no-op");
+    assert_eq!(server.kernel().stats().reaped_txns, 1);
+    assert_eq!(server.kernel().active_txns(), 0);
+    assert!(server.kernel().table().is_quiescent());
+}

@@ -61,6 +61,27 @@ impl Default for ServerModel {
     }
 }
 
+/// Fault-injection knobs for a simulated run.
+///
+/// The simulator models the §6 LAN as lossless by default; these knobs
+/// reintroduce failure so the recovery machinery (transaction leases and
+/// the reaper) has something to recover from. Losses are drawn from the
+/// owning client's RNG stream, so a faulty run is exactly as
+/// deterministic per seed as a clean one — and a zero rate draws
+/// nothing, leaving clean-run schedules bit-identical to configs that
+/// predate this knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimFaults {
+    /// Probability, in parts per million, that a client→server request
+    /// (an operation or COMMIT) is lost in transit. The client blocks on
+    /// the reply forever; only the lease reaper can free its transaction
+    /// and restart it, so a non-zero rate requires
+    /// `kernel.lease_micros > 0` (enforced by
+    /// [`SimConfig::validate`]). BEGIN requests are never dropped: no
+    /// transaction exists yet, so nothing could reap the stalled client.
+    pub request_loss_ppm: u32,
+}
+
 /// Full configuration of one simulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -100,6 +121,16 @@ pub struct SimConfig {
     /// configs written before this knob deserializable.
     #[serde(default)]
     pub server: ServerModel,
+    /// Fault injection (request loss). Defaults to a lossless network;
+    /// `serde(default)` keeps earlier configs deserializable.
+    #[serde(default)]
+    pub faults: SimFaults,
+    /// Virtual-time interval between reaper passes, in microseconds.
+    /// `0` (the default) means half the kernel's `lease_micros` — the
+    /// same rule `esr-server` applies to its wall-clock reaper thread.
+    /// Ignored when leases are disabled.
+    #[serde(default)]
+    pub reap_interval_micros: u64,
     /// Largest absolute clock skew assigned to a client site, in
     /// microseconds (the paper saw a two-minute range; skews are evenly
     /// spread in `[-max, +max]` and then corrected, §6).
@@ -126,6 +157,8 @@ impl Default for SimConfig {
             bounds: BoundsConfig::preset(EpsilonPreset::High),
             kernel: KernelConfig::default(),
             server: ServerModel::default(),
+            faults: SimFaults::default(),
+            reap_interval_micros: 0,
             max_clock_skew_micros: 120_000_000,
             seed: 0xE5,
         }
@@ -150,6 +183,22 @@ impl SimConfig {
             self.workload.db_size <= self.catalog.n_objects,
             "workload addresses objects beyond the catalog"
         );
+        assert!(
+            self.faults.request_loss_ppm == 0 || self.kernel.lease_micros > 0,
+            "request loss without leases: a stalled client could never recover"
+        );
+        assert!(
+            self.faults.request_loss_ppm <= 1_000_000,
+            "request loss rate above 100%"
+        );
+        if self.kernel.lease_micros > 0 {
+            // A lease shorter than one operation round trip would reap
+            // healthy clients between their own requests.
+            assert!(
+                self.kernel.lease_micros > self.rpc_max_micros + self.server_cpu_micros,
+                "lease shorter than one RPC round trip reaps healthy clients"
+            );
+        }
     }
 }
 
@@ -196,6 +245,44 @@ mod tests {
         let old = s.replace(&server_field, "");
         let back: SimConfig = serde_json::from_str(&old).unwrap();
         assert_eq!(back.server, ServerModel::default());
+    }
+
+    /// Configs serialized before the fault/reaper knobs existed must
+    /// still deserialize (to a lossless network and the derived reap
+    /// interval).
+    #[test]
+    fn pre_faults_config_still_deserializes() {
+        let s = serde_json::to_string(&SimConfig::default()).unwrap();
+        let faults_field = serde_json::to_string(&SimFaults::default())
+            .map(|f| format!("\"faults\":{f},"))
+            .unwrap();
+        assert!(s.contains(&faults_field), "unexpected serialization: {s}");
+        let old = s
+            .replace(&faults_field, "")
+            .replace("\"reap_interval_micros\":0,", "");
+        let back: SimConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(back.faults, SimFaults::default());
+        assert_eq!(back.reap_interval_micros, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "request loss without leases")]
+    fn loss_without_leases_rejected() {
+        let c = SimConfig {
+            faults: SimFaults {
+                request_loss_ppm: 1_000,
+            },
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reaps healthy clients")]
+    fn sub_round_trip_lease_rejected() {
+        let mut c = SimConfig::default();
+        c.kernel.lease_micros = 1_000; // far below the ~17 ms round trip
+        c.validate();
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod engine;
 pub mod experiment;
 pub mod run;
 
-pub use config::{BoundsConfig, ServerModel, SimConfig};
+pub use config::{BoundsConfig, ServerModel, SimConfig, SimFaults};
 pub use experiment::{repeat, ExperimentSummary};
 #[cfg(feature = "capture")]
 pub use run::simulate_captured;

@@ -21,11 +21,17 @@ enum Ev {
     /// server and the next operation is sent.
     Begin { client: usize },
     /// The client's current operation reaches the server and executes.
-    Exec { client: usize },
+    /// Carries the attempt's transaction so an arrival that outlives a
+    /// reaped transaction is recognized as stale and dropped.
+    Exec { client: usize, txn: TxnId },
     /// The client's COMMIT reaches the server.
-    Commit { client: usize },
+    Commit { client: usize, txn: TxnId },
     /// A previously parked operation was released and re-executes.
     Resume { pending: PendingOp },
+    /// A reaper pass: abort every lease-expired transaction. Scheduled
+    /// self-perpetuatingly when leases are on; consumes no server CPU
+    /// (the real reaper is a dedicated thread off the worker pool).
+    Reap,
 }
 
 /// Aggregated results of one simulated run.
@@ -136,12 +142,13 @@ impl Sim {
     fn shard_of(&self, ev: &Ev) -> usize {
         let key = match *ev {
             Ev::Begin { client } => client as u64,
-            Ev::Commit { client } => self.clients[client].txn.map(|t| t.0).unwrap_or(0),
-            Ev::Exec { client } => self.clients[client]
+            Ev::Commit { txn, .. } => txn.0,
+            Ev::Exec { client, .. } => self.clients[client]
                 .current_op()
                 .map(|op| u64::from(op.object().0))
                 .unwrap_or(0),
             Ev::Resume { pending } => u64::from(pending.op.object().0),
+            Ev::Reap => unreachable!("reap passes bypass the server CPU"),
         };
         let h = key.wrapping_mul(SHARD_HASH) >> 32;
         (h % self.cfg.server.sched_shards as u64) as usize
@@ -184,12 +191,19 @@ impl Sim {
     /// Process one event. Every event is the *arrival* of a request at
     /// the server; it first queues FCFS for the server CPU.
     fn handle(&mut self, ev: Ev) {
+        if matches!(ev, Ev::Reap) {
+            self.reap_tick();
+            return;
+        }
         if !self.claim_cpu(ev) {
             return; // requeued for when the CPU frees up
         }
         // Keep the shared clock at virtual "now" so timestamps issued by
-        // client generators match simulation time.
+        // client generators match simulation time, and the kernel's
+        // lease clock alongside it so operation submissions renew
+        // against virtual time (a no-op store when leases are off).
         self.clock.set(self.queue.now());
+        self.kernel.set_now(self.queue.now());
         let cpu = self.cfg.server_cpu_micros;
         match ev {
             Ev::Begin { client } => {
@@ -206,10 +220,12 @@ impl Sim {
                 // Service completes, the reply travels back, and the
                 // first operation arrives one network round trip later.
                 let dt = cpu + self.net(client);
-                self.queue.schedule_in(dt, Ev::Exec { client });
+                self.send_request(dt, Ev::Exec { client, txn }, client);
             }
-            Ev::Exec { client } => {
-                let txn = self.clients[client].txn.expect("exec without txn");
+            Ev::Exec { client, txn } => {
+                if self.clients[client].txn != Some(txn) {
+                    return; // stale arrival: the transaction was reaped
+                }
                 let op = self.clients[client]
                     .current_op()
                     .expect("exec past end of template");
@@ -224,8 +240,10 @@ impl Sim {
                 };
                 self.submit(pending, client);
             }
-            Ev::Commit { client } => {
-                let txn = self.clients[client].txn.expect("commit without txn");
+            Ev::Commit { client, txn } => {
+                if self.clients[client].txn != Some(txn) {
+                    return; // stale arrival: the transaction was reaped
+                }
                 let end = self.kernel.commit(txn).expect("commit of active txn");
                 debug_assert!(end.info.is_some());
                 self.owner.remove(&txn);
@@ -243,6 +261,61 @@ impl Sim {
                 let dt = cpu + self.net(client);
                 self.queue.schedule_in(dt, Ev::Begin { client });
             }
+            Ev::Reap => unreachable!("handled before CPU admission"),
+        }
+    }
+
+    /// Schedule a client→server request arrival, subject to fault
+    /// injection: a lost request never arrives, the client blocks on a
+    /// reply that never comes, and only the lease reaper can free its
+    /// transaction. The loss draw comes from the owning client's RNG
+    /// stream (and a zero rate draws nothing), so faulty runs stay
+    /// deterministic and clean runs stay bit-identical.
+    fn send_request(&mut self, dt: Micros, ev: Ev, client: usize) {
+        let ppm = self.cfg.faults.request_loss_ppm;
+        if ppm > 0 {
+            use rand::Rng;
+            if self.clients[client].rng.gen_range(0..1_000_000u32) < ppm {
+                return; // dropped on the wire
+            }
+        }
+        self.queue.schedule_in(dt, ev);
+    }
+
+    /// One reaper pass over virtual time: abort every lease-expired
+    /// transaction through the normal kernel path, restart its owner
+    /// (the client's blocked call fails and it resubmits after the
+    /// jittered restart delay, exactly like an abort reply), and service
+    /// any waiters the reap released. Reschedules itself.
+    fn reap_tick(&mut self) {
+        self.kernel.set_now(self.queue.now());
+        for (txn, end) in self.kernel.reap_expired() {
+            if let Some(client) = self.owner.remove(&txn) {
+                self.started.remove(&txn);
+                self.clients[client].note_aborted();
+                let jitter = {
+                    let base = self.cfg.restart_delay_micros.max(1);
+                    use rand::Rng;
+                    self.clients[client].rng.gen_range(0..=2 * base)
+                };
+                let dt = self.cfg.server_cpu_micros
+                    + self.net(client)
+                    + self.cfg.restart_delay_micros
+                    + jitter;
+                self.queue.schedule_in(dt, Ev::Begin { client });
+            }
+            self.wake(end.woken);
+        }
+        self.queue.schedule_in(self.reap_every(), Ev::Reap);
+    }
+
+    /// Virtual-time reaper period: the configured interval, or half the
+    /// lease (the same rule as the live server's reaper thread).
+    fn reap_every(&self) -> Micros {
+        if self.cfg.reap_interval_micros > 0 {
+            self.cfg.reap_interval_micros
+        } else {
+            (self.cfg.kernel.lease_micros / 2).max(1)
         }
     }
 
@@ -260,10 +333,11 @@ impl Sim {
                 };
                 let more = self.clients[client].complete_op(value);
                 let dt = cpu + self.net(client);
+                let txn = pending.txn;
                 if more {
-                    self.queue.schedule_in(dt, Ev::Exec { client });
+                    self.send_request(dt, Ev::Exec { client, txn }, client);
                 } else {
-                    self.queue.schedule_in(dt, Ev::Commit { client });
+                    self.send_request(dt, Ev::Commit { client, txn }, client);
                 }
             }
             OpOutcome::Wait => {
@@ -310,6 +384,13 @@ impl Sim {
         for c in 0..self.cfg.mpl {
             self.queue
                 .schedule_at(1 + (c as u64 * 97) % 1_000, Ev::Begin { client: c });
+        }
+        // With leases on, the reaper ticks throughout the run. With them
+        // off the event is never scheduled, so the queue (and thus the
+        // schedule) is untouched.
+        if self.cfg.kernel.lease_micros > 0 {
+            let every = self.reap_every();
+            self.queue.schedule_at(every, Ev::Reap);
         }
 
         let mut warmup_snap: Option<StatsSnapshot> = None;
@@ -516,6 +597,61 @@ mod tests {
             global.throughput
         );
         assert!(sharded.stats.commits() > 0 && global.stats.commits() > 0);
+    }
+
+    /// A lease long enough never to fire is outcome-neutral: the reaper
+    /// ticks, renewals run, and the results are bit-identical to a
+    /// leases-off run of the same seed.
+    #[test]
+    fn idle_reaper_is_outcome_neutral() {
+        let base = quick(4, EpsilonPreset::Medium, 31);
+        let mut leased = base.clone();
+        leased.kernel.lease_micros = 3_600_000_000; // one virtual hour
+        assert_eq!(simulate(&base), simulate(&leased));
+    }
+
+    /// Chaos run: 2% of requests vanish in transit, stalling their
+    /// transactions. The reaper must free every stall (and its waiters)
+    /// and the client must restart it, so the run keeps committing and
+    /// leaks nothing beyond the ≤ MPL attempts in flight at the end.
+    #[test]
+    fn request_loss_is_recovered_by_the_reaper() {
+        let mut cfg = quick(4, EpsilonPreset::High, 47);
+        cfg.faults.request_loss_ppm = 20_000;
+        cfg.kernel.lease_micros = 400_000; // ~20 round trips
+        let (r, kernel) = Sim::new(cfg).run();
+        assert!(r.stats.reaped_txns > 0, "no stall was ever reaped");
+        assert!(
+            r.stats.commits() > 10,
+            "throughput collapsed: {} commits",
+            r.stats.commits()
+        );
+        assert!(
+            kernel.active_txns() <= 4,
+            "leaked transactions: {} active after the run",
+            kernel.active_txns()
+        );
+        assert!(
+            kernel.waitq_depth() <= kernel.active_txns(),
+            "stranded waiters: {} parked, {} active",
+            kernel.waitq_depth(),
+            kernel.active_txns()
+        );
+    }
+
+    /// Loss draws come from per-client RNG streams, so faulty runs are
+    /// exactly as reproducible as clean ones.
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let mut cfg = quick(3, EpsilonPreset::High, 91);
+        cfg.faults.request_loss_ppm = 15_000;
+        cfg.kernel.lease_micros = 300_000;
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a, b);
+        cfg.seed = 92;
+        let c = simulate(&cfg);
+        assert_ne!(a, c);
     }
 
     #[test]

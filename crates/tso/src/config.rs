@@ -59,6 +59,16 @@ pub struct KernelConfig {
     /// (see the shard-equivalence test).
     #[serde(default)]
     pub shards: usize,
+    /// Transaction lease duration in microseconds; `0` (the default, and
+    /// what pre-lease histories deserialize to) disables leases entirely.
+    /// When enabled, every `begin`/`read`/`write` renews the owning
+    /// transaction's lease against the driver-advanced kernel clock
+    /// ([`crate::kernel::Kernel::set_now`]), and
+    /// [`crate::kernel::Kernel::reap_expired`] aborts transactions whose
+    /// lease has lapsed. A lease that never expires is outcome-neutral
+    /// (see the lease-equivalence test).
+    #[serde(default)]
+    pub lease_micros: u64,
 }
 
 impl Default for KernelConfig {
@@ -70,6 +80,7 @@ impl Default for KernelConfig {
             import_padding: 0,
             thomas_write_rule: false,
             shards: 0,
+            lease_micros: 0,
         }
     }
 }
@@ -111,6 +122,7 @@ mod tests {
             import_padding: 500,
             thomas_write_rule: true,
             shards: 4,
+            lease_micros: 2_000_000,
         };
         let s = serde_json::to_string(&c).unwrap();
         let back: KernelConfig = serde_json::from_str(&s).unwrap();
@@ -138,5 +150,16 @@ mod tests {
         let c: KernelConfig = serde_json::from_str(old).unwrap();
         assert_eq!(c.shards, 0);
         assert_eq!(c.shard_count(), KernelConfig::DEFAULT_SHARDS);
+    }
+
+    /// Histories captured before the `lease_micros` knob existed must
+    /// still deserialize (to leases-off).
+    #[test]
+    fn pre_lease_config_still_deserializes() {
+        let old = r#"{"export_rule":"MaxOverReaders","history_miss":"Approximate",
+                      "import_padding":0,"thomas_write_rule":false,"shards":4}"#;
+        let c: KernelConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(c.lease_micros, 0, "leases disabled by default");
+        assert_eq!(c.shards, 4);
     }
 }

@@ -86,6 +86,15 @@ struct TxnState {
     written_objs: Vec<ObjectId>,
     reads: u64,
     writes: u64,
+    /// Lease deadline on the kernel's driver-advanced clock
+    /// ([`Kernel::set_now`]); renewed by every submitted operation.
+    /// Only meaningful when [`KernelConfig::lease_micros`] is non-zero.
+    lease_deadline: u64,
+    /// Set by the reaper after it removed this transaction from the
+    /// registry. An in-flight operation that cloned the registry handle
+    /// before the reap observes this after locking the state and fails
+    /// with `UnknownTxn` instead of touching rolled-back state.
+    reaped: bool,
 }
 
 impl TxnState {
@@ -126,6 +135,10 @@ pub struct Kernel {
     /// `shard count − 1`; the count is a power of two.
     shard_mask: u64,
     next_txn: AtomicU64,
+    /// The lease clock, in microseconds on a driver-defined timeline
+    /// (wall-derived for the live server, virtual for the simulator).
+    /// The kernel never reads a real clock; see [`Kernel::set_now`].
+    now_micros: AtomicU64,
     stats: KernelStats,
     /// Optional event log for offline conformance checking; a leaf in
     /// the lock order (events are recorded with object locks held).
@@ -159,6 +172,7 @@ impl Kernel {
             wait_shards: (0..shards).map(|_| Mutex::new(WaitQueue::new())).collect(),
             shard_mask: shards as u64 - 1,
             next_txn: AtomicU64::new(1),
+            now_micros: AtomicU64::new(0),
             stats: KernelStats::new(),
             #[cfg(feature = "capture")]
             capture: std::sync::OnceLock::new(),
@@ -277,6 +291,34 @@ impl Kernel {
         self.txn_shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Advance the lease clock. The kernel never reads a wall clock
+    /// itself: the driver supplies "now" in microseconds on whatever
+    /// timeline it reaps on (the live server derives it from its
+    /// reference clock; the simulator stores virtual time). Monotonicity
+    /// is the driver's responsibility — a stale store merely delays
+    /// reaping, it never aborts a renewed transaction.
+    pub fn set_now(&self, micros: u64) {
+        self.now_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// The lease clock's current value (last [`Kernel::set_now`]).
+    pub fn now_micros(&self) -> u64 {
+        self.now_micros.load(Ordering::Relaxed)
+    }
+
+    /// Renew `t`'s lease against the lease clock. Called with the state
+    /// lock held by every operation submission; a no-op (and outcome-
+    /// neutral) when leases are disabled.
+    #[inline]
+    fn renew_lease(&self, t: &mut TxnState) {
+        if self.config.lease_micros > 0 {
+            t.lease_deadline = self
+                .now_micros
+                .load(Ordering::Relaxed)
+                .saturating_add(self.config.lease_micros);
+        }
+    }
+
     /// Begin a transaction with an externally generated timestamp
     /// (timestamps are assigned when transactions begin, §4).
     ///
@@ -299,6 +341,13 @@ impl Kernel {
             ts,
             bounds: bounds.clone(),
         });
+        let lease_deadline = if self.config.lease_micros > 0 {
+            self.now_micros
+                .load(Ordering::Relaxed)
+                .saturating_add(self.config.lease_micros)
+        } else {
+            0
+        };
         let state = TxnState {
             id,
             ts,
@@ -309,6 +358,8 @@ impl Kernel {
             written_objs: Vec::new(),
             reads: 0,
             writes: 0,
+            lease_deadline,
+            reaped: false,
         };
         self.txn_shard(id)
             .lock()
@@ -350,6 +401,10 @@ impl Kernel {
         self.check_object(obj)?;
         let handle = self.txn_handle(txn)?;
         let mut t = handle.lock();
+        if t.reaped {
+            return Err(KernelError::UnknownTxn(txn));
+        }
+        self.renew_lease(&mut t);
         match t.kind {
             TxnKind::Query => Ok(self.query_read(&mut t, obj)),
             TxnKind::Update => Ok(self.update_read(&mut t, obj)),
@@ -380,9 +435,13 @@ impl Kernel {
         self.check_object(obj)?;
         let handle = self.txn_handle(txn)?;
         let mut t = handle.lock();
+        if t.reaped {
+            return Err(KernelError::UnknownTxn(txn));
+        }
         if t.kind != TxnKind::Update {
             return Err(KernelError::QueryCannotWrite(txn));
         }
+        self.renew_lease(&mut t);
         Ok(self.update_write(&mut t, obj, value))
     }
 
@@ -448,6 +507,79 @@ impl Kernel {
         Ok(TxnEndResponse { info: None, woken })
     }
 
+    /// Reaper-initiated abort of one transaction (lease expiry or
+    /// connection orphaning). Identical to [`Kernel::abort`] — the same
+    /// rollback, waiter wakeup, and wait-queue scrub — but recorded with
+    /// [`AbortReason::Reaped`] and counted in `reaped_txns`, and the
+    /// state is flagged so an operation racing the reap fails with
+    /// `UnknownTxn` instead of touching rolled-back state.
+    pub fn reap(&self, txn: TxnId) -> Result<TxnEndResponse, KernelError> {
+        let handle = self.remove_txn(txn)?;
+        let mut t = handle.lock();
+        Ok(self.finish_reap(&mut t))
+    }
+
+    /// Abort every transaction whose lease deadline has passed on the
+    /// lease clock ([`Kernel::set_now`]). Returns one entry per reaped
+    /// transaction; the driver must resume each response's `woken` list
+    /// and answer any client still parked on the reaped transaction.
+    /// Empty (and O(shards)) when leases are disabled.
+    pub fn reap_expired(&self) -> Vec<(TxnId, TxnEndResponse)> {
+        if self.config.lease_micros == 0 {
+            return Vec::new();
+        }
+        let now = self.now_micros.load(Ordering::Relaxed);
+        // Snapshot the candidates under brief shard locks; the per-txn
+        // deadline check happens under the state lock afterwards, so a
+        // transaction renewed (or ended) between snapshot and check is
+        // left alone.
+        let mut candidates = Vec::new();
+        for shard in self.txn_shards.iter() {
+            let guard = shard.lock();
+            candidates.extend(guard.iter().map(|(&id, s)| (id, Arc::clone(s))));
+        }
+        // Registry maps iterate in hasher order; sort so the reap order
+        // (and thus the wake cascade) is identical across runs and
+        // shard layouts — reaping must stay outcome-neutral.
+        candidates.sort_unstable_by_key(|&(id, _)| id);
+        let mut reaped = Vec::new();
+        for (id, state) in candidates {
+            if state.lock().lease_deadline > now {
+                continue;
+            }
+            // Expired at the snapshot: remove it, then re-check under
+            // the state lock in case a late operation renewed it.
+            let Ok(handle) = self.remove_txn(id) else {
+                continue; // committed or aborted since the snapshot
+            };
+            let mut t = handle.lock();
+            if t.lease_deadline > now {
+                self.txn_shard(id).lock().insert(id, Arc::clone(&handle));
+                continue;
+            }
+            let end = self.finish_reap(&mut t);
+            reaped.push((id, end));
+        }
+        reaped
+    }
+
+    /// Shared tail of [`Kernel::reap`]/[`Kernel::reap_expired`]: called
+    /// with the state locked, after registry removal.
+    fn finish_reap(&self, t: &mut TxnState) -> TxnEndResponse {
+        t.reaped = true;
+        #[cfg(feature = "capture")]
+        self.record(|| crate::capture::EventKind::Abort {
+            txn: t.id,
+            reason: Some(AbortReason::Reaped),
+        });
+        if let Some(obs) = self.obs.get() {
+            obs.note_abort(t.id, AbortReason::Reaped.to_string());
+        }
+        self.stats.reaped_txns.fetch_add(1, Ordering::Relaxed);
+        let woken = self.abort_cleanup(t);
+        TxnEndResponse { info: None, woken }
+    }
+
     fn remove_txn(&self, txn: TxnId) -> Result<Arc<Mutex<TxnState>>, KernelError> {
         self.txn_shard(txn)
             .lock()
@@ -509,6 +641,12 @@ impl Kernel {
             AbortReason::HistoryMiss => {
                 self.stats.history_misses.fetch_add(1, Ordering::Relaxed);
             }
+            AbortReason::Reaped => {
+                // Reaps go through `finish_reap`, never through a
+                // rejected operation; keep the counter honest anyway.
+                debug_assert!(false, "Reaped must not reach abort_now");
+                self.stats.reaped_txns.fetch_add(1, Ordering::Relaxed);
+            }
         }
         #[cfg(feature = "capture")]
         self.record(|| crate::capture::EventKind::Abort {
@@ -544,8 +682,18 @@ impl Kernel {
     }
 
     /// Park `op`; caller decided to wait while holding the object lock.
-    fn park(&self, o: &ObjectState, txn: TxnId, op: Operation) -> OpResponse {
+    ///
+    /// Parking pauses the transaction's lease: a parked operation is
+    /// blocked on the *server* (an older uncommitted writer), not on a
+    /// stalled client, and the client cannot renew while its one
+    /// outstanding op is withheld. The renewal in `read`/`write` restores
+    /// a finite deadline when the op resumes.
+    fn park(&self, o: &ObjectState, t: &mut TxnState, op: Operation) -> OpResponse {
         debug_assert_eq!(op.object(), o.id);
+        let txn = t.id;
+        if self.config.lease_micros > 0 {
+            t.lease_deadline = u64::MAX;
+        }
         #[cfg(feature = "capture")]
         self.record(|| crate::capture::EventKind::Wait { txn, obj: o.id });
         if let Some(obs) = self.obs.get() {
@@ -675,7 +823,7 @@ impl Kernel {
                 // waiting cannot help: abort and restart.
                 if let Some(u) = uncommitted {
                     if ts > u.ts {
-                        return self.park(&o, t.id, Operation::Read(obj));
+                        return self.park(&o, t, Operation::Read(obj));
                     }
                 }
                 drop(o);
@@ -704,7 +852,7 @@ impl Kernel {
             if ts > u.ts {
                 // Concurrent, not late: wait for the older writer.
                 let op = Operation::Read(obj);
-                return self.park(&o, t.id, op);
+                return self.park(&o, t, op);
             }
             // Older than the uncommitted writer: once it commits this
             // read is late. Abort immediately.
@@ -745,7 +893,7 @@ impl Kernel {
                 // Strict ordering admits one uncommitted writer at a
                 // time; younger writers queue behind it.
                 let op = Operation::Write(obj, value);
-                return self.park(&o, t.id, op);
+                return self.park(&o, t, op);
             }
             drop(o);
             return self.abort_now(t, AbortReason::LateWriteVsCommittedWrite);
@@ -877,6 +1025,9 @@ impl Kernel {
     ) -> Result<Result<esr_core::aggregate::ResultBounds, OpResponse>, KernelError> {
         let handle = self.txn_handle(txn)?;
         let mut t = handle.lock();
+        if t.reaped {
+            return Err(KernelError::UnknownTxn(txn));
+        }
         let til = t.ledger.limit(esr_core::hierarchy::NodeId::ROOT);
         match t.agg.check_result(kind, til) {
             Ok(bounds) => Ok(Ok(bounds)),
@@ -1799,5 +1950,148 @@ mod tests {
             "transfers must conserve the total"
         );
         assert_eq!(k.active_txns(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Leases and reaping.
+    // ------------------------------------------------------------------
+
+    fn kernel_with_lease(values: &[Value], lease_micros: u64) -> Kernel {
+        let config = KernelConfig {
+            lease_micros,
+            ..KernelConfig::default()
+        };
+        Kernel::new(table_with(values), HierarchySchema::two_level(), config)
+    }
+
+    #[test]
+    fn leases_disabled_never_reap() {
+        let k = kernel_with(&[5000]);
+        let u = begin_update(&k, Limit::ZERO, 10);
+        must_written(k.write(u, OBJ, 6000));
+        k.set_now(u64::MAX);
+        assert!(k.reap_expired().is_empty());
+        assert_eq!(k.active_txns(), 1);
+        let _ = k.commit(u).unwrap();
+    }
+
+    #[test]
+    fn expired_txn_is_reaped_and_rolled_back() {
+        let k = kernel_with_lease(&[5000], 100);
+        let u = begin_update(&k, Limit::ZERO, 10);
+        must_written(k.write(u, OBJ, 9999));
+        k.set_now(101); // write renewed at now=0 ⇒ deadline 100
+        let reaped = k.reap_expired();
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].0, u);
+        assert!(reaped[0].1.info.is_none());
+        assert_eq!(k.table().lock(OBJ).value, 5000, "shadow value restored");
+        assert!(k.table().is_quiescent());
+        assert_eq!(k.active_txns(), 0);
+        assert_eq!(k.waitq_depth(), 0);
+        assert_eq!(k.stats().reaped_txns, 1);
+        assert_eq!(k.stats().aborts_update, 1, "reap goes via the abort path");
+        // Further operations on the reaped transaction are driver errors.
+        assert_eq!(k.read(u, OBJ).unwrap_err(), KernelError::UnknownTxn(u));
+        assert!(matches!(k.commit(u), Err(KernelError::UnknownTxn(_))));
+    }
+
+    #[test]
+    fn renewal_defers_reaping() {
+        let k = kernel_with_lease(&[5000], 100);
+        let u = begin_update(&k, Limit::ZERO, 10);
+        k.set_now(90);
+        assert_eq!(must_value(k.read(u, OBJ)), 5000); // renews to 190
+        k.set_now(150);
+        assert!(k.reap_expired().is_empty(), "renewed lease not yet due");
+        k.set_now(191);
+        assert_eq!(k.reap_expired().len(), 1);
+        assert_eq!(k.active_txns(), 0);
+    }
+
+    #[test]
+    fn waiter_behind_reaped_writer_is_woken() {
+        let k = kernel_with_lease(&[5000], 100);
+        let u1 = begin_update(&k, Limit::ZERO, 10);
+        must_written(k.write(u1, OBJ, 6000)); // deadline 100
+        k.set_now(50);
+        let u2 = begin_update(&k, Limit::ZERO, 20);
+        must_wait(k.write(u2, OBJ, 7000)); // parked behind u1; deadline 150
+        k.set_now(120); // u1 expired, u2 not
+        let reaped = k.reap_expired();
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].0, u1);
+        let woken = &reaped[0].1.woken;
+        assert_eq!(woken.len(), 1, "u2's parked write must be released");
+        assert_eq!(woken[0].txn, u2);
+        let resumed = k.resume(woken[0]).unwrap();
+        assert_eq!(resumed.outcome, OpOutcome::Written);
+        let _ = k.commit(u2).unwrap();
+        assert_eq!(k.table().lock(OBJ).value, 7000);
+        assert!(k.table().is_quiescent());
+        assert_eq!(k.waitq_depth(), 0);
+    }
+
+    #[test]
+    fn targeted_reap_scrubs_parked_ops_of_the_reaped_txn() {
+        // u2 parks behind u1; reaping u2 (the *waiter*) must drop its
+        // wait-queue entry so u1's later commit wakes nobody stale.
+        let k = kernel_with_lease(&[5000], 1_000_000);
+        let u1 = begin_update(&k, Limit::ZERO, 10);
+        must_written(k.write(u1, OBJ, 6000));
+        let u2 = begin_update(&k, Limit::ZERO, 20);
+        must_wait(k.write(u2, OBJ, 7000));
+        assert_eq!(k.waitq_depth(), 1);
+        let end = k.reap(u2).unwrap();
+        assert!(end.woken.is_empty());
+        assert_eq!(k.waitq_depth(), 0, "reaped txn's parked op scrubbed");
+        assert_eq!(k.stats().reaped_txns, 1);
+        let end = k.commit(u1).unwrap();
+        assert!(end.woken.is_empty(), "no stale wakeup for the reaped txn");
+        assert!(k.table().is_quiescent());
+        assert_eq!(k.active_txns(), 0);
+    }
+
+    #[test]
+    fn parked_waiter_is_not_reaped_while_blocked() {
+        // u2 parks behind u1 and then "goes quiet" — but a parked op is
+        // withheld by the server, so its lease is paused, not expiring.
+        // Only the genuinely stalled u1 is reaped; u2 resumes and its
+        // lease restarts from the resume instant.
+        let k = kernel_with_lease(&[5000], 100);
+        let u1 = begin_update(&k, Limit::ZERO, 10); // deadline 100
+        must_written(k.write(u1, OBJ, 6000));
+        let u2 = begin_update(&k, Limit::ZERO, 20);
+        must_wait(k.write(u2, OBJ, 7000)); // lease paused while parked
+
+        k.set_now(10_000); // far past both nominal deadlines
+        let reaped = k.reap_expired();
+        assert_eq!(reaped.len(), 1, "only the stalled writer is reaped");
+        assert_eq!(reaped[0].0, u1);
+        let woken = &reaped[0].1.woken;
+        assert_eq!(woken.len(), 1);
+        let resumed = k.resume(woken[0]).unwrap();
+        assert_eq!(resumed.outcome, OpOutcome::Written);
+        // The resume renewed u2's lease from now=10_000; it expires at
+        // 10_100, not before.
+        assert!(k.reap_expired().is_empty());
+        k.set_now(10_101);
+        assert_eq!(k.reap_expired().len(), 1);
+        assert!(k.table().is_quiescent());
+        assert_eq!(k.active_txns(), 0);
+    }
+
+    #[test]
+    fn reap_unknown_txn_is_an_error() {
+        let k = kernel_with_lease(&[5000], 100);
+        assert!(matches!(
+            k.reap(TxnId(42)),
+            Err(KernelError::UnknownTxn(TxnId(42)))
+        ));
+        // Double reap: second attempt errors, counters stay consistent.
+        let u = begin_update(&k, Limit::ZERO, 10);
+        let _ = k.reap(u).unwrap();
+        assert!(matches!(k.reap(u), Err(KernelError::UnknownTxn(_))));
+        assert_eq!(k.stats().reaped_txns, 1);
     }
 }

@@ -56,6 +56,11 @@ pub enum AbortReason {
     /// The proper value was evicted from the bounded history and the
     /// kernel is configured to abort rather than approximate.
     HistoryMiss,
+    /// The transaction's lease expired (its client stalled, crashed, or
+    /// disconnected) and the reaper aborted it so parked waiters behind
+    /// it could make progress. Not a scheduling conflict: the client —
+    /// if it is still alive — may retry with a new timestamp.
+    Reaped,
 }
 
 impl fmt::Display for AbortReason {
@@ -68,6 +73,7 @@ impl fmt::Display for AbortReason {
             AbortReason::LateWriteVsUpdateRead => f.write_str("late write (vs consistent read)"),
             AbortReason::BoundViolation(v) => write!(f, "{v}"),
             AbortReason::HistoryMiss => f.write_str("proper value evicted from history"),
+            AbortReason::Reaped => f.write_str("transaction reaped (lease expired)"),
         }
     }
 }
@@ -186,5 +192,6 @@ mod tests {
         assert!(AbortReason::LateWriteVsCommittedWrite
             .to_string()
             .contains("committed write"));
+        assert!(AbortReason::Reaped.to_string().contains("lease expired"));
     }
 }

@@ -87,6 +87,10 @@ stats! {
         pub history_misses,
         /// Writes skipped under the Thomas write rule (ablation only).
         pub thomas_skips,
+        /// Transactions aborted by the reaper (lease expiry or
+        /// connection orphaning). Also counted in the plain abort
+        /// counters, since reaping goes through the normal abort path.
+        pub reaped_txns,
     }
 }
 

@@ -1,0 +1,292 @@
+//! Property tests for transaction leases and reaping.
+//!
+//! Random interleavings of begin / read / write / commit / abort /
+//! clock-advance-and-reap / targeted-reap are interpreted against the
+//! kernel, with leases short enough that expiry fires constantly in the
+//! middle of live transactions. Whatever the interleaving:
+//!
+//! 1. after a final cleanup pass the kernel is *empty* — no registry
+//!    entries, no parked operations, a quiescent table (every
+//!    uncommitted write rolled back, every reader deregistered, so all
+//!    inconsistency ledgers are gone with their transactions);
+//! 2. the conservation law holds: every begun transaction ended exactly
+//!    once (commit, abort, or reap — reaps count as aborts);
+//! 3. the interleaving plays out *identically* on a 1-shard and a
+//!    16-shard kernel — reaping, like everything else, must be
+//!    outcome-neutral to the shard layout.
+
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, KernelConfig, OpOutcome, OpResponse, PendingOp};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+const SLOTS: usize = 4;
+const OBJECTS: u32 = 6;
+/// Short on purpose: a couple of clock advances expire anything open.
+const LEASE_MICROS: u64 = 500;
+
+fn kernel_with_shards(shards: usize) -> Kernel {
+    let values: Vec<i64> = (0..OBJECTS as i64).map(|i| 1_000 + i * 29).collect();
+    let table = CatalogConfig::default().build_with_values(&values);
+    Kernel::new(
+        table,
+        HierarchySchema::two_level(),
+        KernelConfig {
+            shards,
+            lease_micros: LEASE_MICROS,
+            ..KernelConfig::default()
+        },
+    )
+}
+
+struct Slot {
+    txn: TxnId,
+    kind: TxnKind,
+    parked: bool,
+}
+
+/// Interprets decoded command words against one kernel, recording a
+/// response trace for cross-shard comparison.
+struct Harness<'a> {
+    kernel: &'a Kernel,
+    slots: [Option<Slot>; SLOTS],
+    now: u64,
+    next_ts: u64,
+    trace: Vec<String>,
+}
+
+impl<'a> Harness<'a> {
+    fn new(kernel: &'a Kernel) -> Self {
+        Harness {
+            kernel,
+            slots: [None, None, None, None],
+            now: 0,
+            next_ts: 1,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Apply an operation response to the slot owning `txn`.
+    fn absorb(&mut self, txn: TxnId, resp: OpResponse, woken: &mut VecDeque<PendingOp>) {
+        self.trace.push(format!("{txn:?} -> {resp:?}"));
+        woken.extend(resp.woken);
+        let slot = self
+            .slots
+            .iter_mut()
+            .flatten()
+            .find(|s| s.txn == txn)
+            .expect("response for a tracked txn");
+        match resp.outcome {
+            OpOutcome::Wait => slot.parked = true,
+            OpOutcome::Aborted(_) => self.clear(txn),
+            _ => slot.parked = false,
+        }
+    }
+
+    fn clear(&mut self, txn: TxnId) {
+        for s in self.slots.iter_mut() {
+            if s.as_ref().is_some_and(|st| st.txn == txn) {
+                *s = None;
+            }
+        }
+    }
+
+    /// Resume released operations (cascading) until the queue is dry.
+    fn drain_woken(&mut self, woken: &mut VecDeque<PendingOp>) {
+        while let Some(p) = woken.pop_front() {
+            let txn = p.txn;
+            match self.kernel.resume(p) {
+                Ok(resp) => self.absorb(txn, resp, woken),
+                // The parked op's transaction was reaped between the
+                // wake and the resume; nothing to service.
+                Err(e) => self.trace.push(format!("resume {txn:?} -> {e:?}")),
+            }
+        }
+    }
+
+    /// One decoded command word.
+    fn step(&mut self, word: u64) {
+        let op = word % 7;
+        let si = ((word >> 8) as usize) % SLOTS;
+        let p = word >> 16;
+        let mut woken = VecDeque::new();
+        match op {
+            // Begin into an empty slot.
+            0 => {
+                if self.slots[si].is_none() {
+                    let kind = if p.is_multiple_of(2) {
+                        TxnKind::Query
+                    } else {
+                        TxnKind::Update
+                    };
+                    let limit = match p % 3 {
+                        0 => Limit::ZERO,
+                        1 => Limit::at_most(2_000),
+                        _ => Limit::Unlimited,
+                    };
+                    let bounds = match kind {
+                        TxnKind::Query => TxnBounds::import(limit),
+                        TxnKind::Update => TxnBounds::export(limit),
+                    };
+                    let ts = Timestamp::new(self.next_ts.saturating_sub(p % 6), SiteId(0));
+                    self.next_ts += 1 + p % 3;
+                    let txn = self.kernel.begin(kind, bounds, ts);
+                    self.trace.push(format!("begin #{si} -> {txn:?}"));
+                    self.slots[si] = Some(Slot {
+                        txn,
+                        kind,
+                        parked: false,
+                    });
+                }
+            }
+            // Read (or the only op a query can do).
+            1 | 2 => {
+                let Some(s) = &self.slots[si] else { return };
+                if s.parked {
+                    return;
+                }
+                let (txn, kind) = (s.txn, s.kind);
+                let obj = ObjectId((p % OBJECTS as u64) as u32);
+                let resp = if op == 2 && kind == TxnKind::Update {
+                    self.kernel.write(txn, obj, (p % 9_000) as i64)
+                } else {
+                    self.kernel.read(txn, obj)
+                }
+                .expect("op on a live txn");
+                self.absorb(txn, resp, &mut woken);
+            }
+            // Commit / abort a non-parked slot.
+            3 | 4 => {
+                let Some(s) = &self.slots[si] else { return };
+                if s.parked {
+                    return;
+                }
+                let txn = s.txn;
+                let end = if op == 3 {
+                    self.kernel.commit(txn)
+                } else {
+                    self.kernel.abort(txn)
+                }
+                .expect("end of a live txn");
+                self.trace.push(format!("end #{si} {txn:?}"));
+                self.clear(txn);
+                woken.extend(end.woken);
+            }
+            // Advance the lease clock and reap whatever expired.
+            5 => {
+                self.now += 100 + (p * 37) % 1_500;
+                self.kernel.set_now(self.now);
+                for (txn, end) in self.kernel.reap_expired() {
+                    self.trace.push(format!("reaped {txn:?}"));
+                    self.clear(txn);
+                    woken.extend(end.woken);
+                }
+            }
+            // Targeted (orphan-style) reap: works parked or not.
+            _ => {
+                let Some(s) = &self.slots[si] else { return };
+                let txn = s.txn;
+                let end = self.kernel.reap(txn).expect("targeted reap of live txn");
+                self.trace.push(format!("orphaned {txn:?}"));
+                self.clear(txn);
+                woken.extend(end.woken);
+            }
+        }
+        self.drain_woken(&mut woken);
+    }
+
+    /// Final pass: reap every still-open transaction (targeted reap
+    /// handles parked and running alike) and service the cascade.
+    fn cleanup(&mut self) {
+        let mut woken = VecDeque::new();
+        for si in 0..SLOTS {
+            if let Some(s) = self.slots[si].take() {
+                if let Ok(end) = self.kernel.reap(s.txn) {
+                    self.trace.push(format!("cleanup {:?}", s.txn));
+                    woken.extend(end.woken);
+                }
+                self.drain_woken(&mut woken);
+            }
+        }
+    }
+}
+
+fn run_words(kernel: &Kernel, words: &[u64]) -> Vec<String> {
+    let mut h = Harness::new(kernel);
+    for &w in words {
+        h.step(w);
+    }
+    h.cleanup();
+    h.trace
+}
+
+proptest! {
+    /// Invariants 1 and 2: any interleaving of ops, expiries, and reaps
+    /// leaves the kernel empty and conserves transactions.
+    #[test]
+    fn prop_reaping_leaves_no_residue(
+        words in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let kernel = kernel_with_shards(4);
+        run_words(&kernel, &words);
+        prop_assert_eq!(kernel.active_txns(), 0, "registry entries leaked");
+        prop_assert_eq!(kernel.waitq_depth(), 0, "parked ops stranded");
+        prop_assert!(kernel.table().is_quiescent(),
+            "table left with uncommitted writes or registered readers");
+        let s = kernel.stats();
+        prop_assert_eq!(
+            s.begins,
+            s.commits() + s.aborts(),
+            "conservation violated: {:?}", s
+        );
+        prop_assert!(s.aborts() >= s.reaped_txns, "reaps must count as aborts");
+    }
+
+    /// Invariant 3: the shard count never changes a single decision,
+    /// reaping included.
+    #[test]
+    fn prop_reaping_is_shard_neutral(
+        words in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let single = kernel_with_shards(1);
+        let trace_single = run_words(&single, &words);
+        let sharded = kernel_with_shards(16);
+        let trace_sharded = run_words(&sharded, &words);
+        prop_assert_eq!(trace_single, trace_sharded);
+        prop_assert_eq!(single.stats(), sharded.stats());
+        prop_assert_eq!(single.active_txns(), 0);
+        prop_assert_eq!(sharded.active_txns(), 0);
+    }
+}
+
+/// Build a word that decodes to the given (op, slot, param) under
+/// `Harness::step`'s scheme (`op = word % 7`), by tuning the low byte.
+fn word(op: u64, slot: u64, p: u64) -> u64 {
+    let base = (slot << 8) | (p << 16);
+    base + (op + 7 - base % 7) % 7
+}
+
+/// The random walk above must actually exercise the machinery it
+/// claims to test: a directed sequence checks that expiry reaps fire
+/// under this harness at all.
+#[test]
+fn directed_expiry_reap_under_harness() {
+    let kernel = kernel_with_shards(4);
+    let mut h = Harness::new(&kernel);
+    // Begin an update in slot 0 (p = 1 → Update).
+    h.step(word(0, 0, 1));
+    assert_eq!(kernel.active_txns(), 1);
+    // Advance far past the lease and reap.
+    for _ in 0..3 {
+        h.step(word(5, 0, 1_000));
+    }
+    assert_eq!(kernel.active_txns(), 0, "expiry reap never fired");
+    assert_eq!(kernel.stats().reaped_txns, 1);
+    h.cleanup();
+    assert!(kernel.table().is_quiescent());
+}

@@ -274,6 +274,43 @@ fn shard_count_is_outcome_neutral() {
     );
 }
 
+/// Leases that never expire are pure bookkeeping: the same workload on
+/// a leased kernel (deadline far in the future, lease clock ticking)
+/// must produce a bit-identical trace and counters to the unleased
+/// baseline, and a reap pass over the drained kernel must find nothing.
+#[test]
+fn leases_never_expiring_are_outcome_neutral() {
+    let scripts = make_scripts(0x1EA5E);
+
+    let baseline = kernel_with_shards(16);
+    let expected = drive(&baseline, &scripts);
+
+    let leased = {
+        let values: Vec<i64> = (0..OBJECTS as i64).map(|i| 1_000 + i * 37).collect();
+        let table = CatalogConfig::default().build_with_values(&values);
+        let config = KernelConfig {
+            shards: 16,
+            lease_micros: u64::MAX / 4,
+            ..KernelConfig::default()
+        };
+        Kernel::new(table, HierarchySchema::two_level(), config)
+    };
+    // The clock advances, but never far enough to matter.
+    leased.set_now(1_000_000);
+    let got = drive(&leased, &scripts);
+    leased.set_now(2_000_000);
+
+    assert_eq!(expected, got, "lease bookkeeping changed an outcome");
+    assert_eq!(baseline.stats(), leased.stats());
+    assert!(
+        leased.reap_expired().is_empty(),
+        "reaper found work on a drained kernel"
+    );
+    assert_eq!(leased.stats().reaped_txns, 0);
+    assert_eq!(leased.active_txns(), 0);
+    assert_eq!(leased.waitq_depth(), 0);
+}
+
 #[test]
 fn shard_equivalence_across_seeds_and_counts() {
     for seed in [1u64, 42, 9_999] {

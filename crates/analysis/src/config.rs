@@ -1,0 +1,51 @@
+//! Where each lint runs.
+//!
+//! The scopes are deliberately narrow and explicit — these are
+//! workspace-invariant lints, not general style rules, and each scope
+//! names exactly the code whose invariant the lint encodes. DESIGN.md
+//! §12 documents the rationale per lint; this module is the machine
+//! half of that section.
+
+/// Directories (workspace-relative) whose `.rs` files must not read
+/// the wall clock: the kernel, the simulator, and the checker all run
+/// on driver-defined virtual timelines.
+pub const WALL_CLOCK_SCOPE: &[&str] = &["crates/tso/src", "crates/sim/src", "crates/checker/src"];
+
+/// Files holding the kernel's lock hierarchy. The classification
+/// patterns in [`crate::lints::lock_order`] are specific to the
+/// kernel's naming scheme, so the scope is exactly that file.
+pub const LOCK_ORDER_SCOPE: &[&str] = &["crates/tso/src/kernel.rs"];
+
+/// Directories whose `.rs` files sit on server-facing request paths:
+/// a poisoned mutex here must recover, not panic forever.
+pub const POISON_SCOPE: &[&str] = &["crates/server/src", "crates/net/src", "crates/faults/src"];
+
+/// Directories whose `.rs` files face clients/peers: channels must be
+/// bounded so overload surfaces as backpressure, not memory growth.
+pub const CHANNELS_SCOPE: &[&str] = &["crates/server/src", "crates/net/src"];
+
+/// One wire-dispatch exhaustiveness obligation: `enum_name`, the file
+/// defining it, and the file whose `match`es over it must be
+/// wildcard-free and complete.
+pub struct WirePair {
+    pub enum_name: &'static str,
+    pub def: &'static str,
+    pub dispatch: &'static str,
+}
+
+/// The server-side dispatch points. `ReplyBody` is deliberately
+/// absent: clients match replies per call (one expected variant plus
+/// error handling), which is a projection, not a dispatch — see the
+/// module doc of [`crate::lints::wire_match`].
+pub const WIRE_PAIRS: &[WirePair] = &[
+    WirePair {
+        enum_name: "RequestBody",
+        def: "crates/net/src/msg.rs",
+        dispatch: "crates/net/src/server.rs",
+    },
+    WirePair {
+        enum_name: "Request",
+        def: "crates/server/src/proto.rs",
+        dispatch: "crates/server/src/server.rs",
+    },
+];

@@ -1,0 +1,513 @@
+//! A token-level Rust lexer sufficient for the workspace lints.
+//!
+//! The offline build environment has no `syn`/`proc-macro2`, so the
+//! lints run over a hand-rolled token stream instead of an AST. The
+//! lexer understands exactly the lexical structure that would otherwise
+//! produce false positives: line and (nested) block comments, string /
+//! raw-string / byte-string / char literals, and the `'a` lifetime vs
+//! `'a'` char ambiguity. Everything the lints match on — identifiers
+//! and punctuation — carries its 1-based line and column.
+//!
+//! Two side products ride along, because they need comment and
+//! attribute context the token stream itself discards:
+//!
+//! - **allow directives**: `// esr-lint: allow(lint-name, ...)`
+//!   comments, recorded per line ([`SourceFile::allows`]);
+//! - **test regions**: the line spans of `#[cfg(test)] mod … { … }`
+//!   bodies ([`SourceFile::is_test_line`]), which every lint skips —
+//!   tests may use wall clocks, unwraps, and wildcards freely.
+
+use std::path::PathBuf;
+
+/// What a token is, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// Any literal — string, raw string, char, number. The lints never
+    /// look inside literals; they only need them to not be mistaken
+    /// for code.
+    Literal,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A lexed source file plus the comment/attribute context the lints
+/// consult.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative by convention).
+    pub path: PathBuf,
+    pub tokens: Vec<Token>,
+    /// `(line, lint-name)` pairs from `// esr-lint: allow(...)`.
+    allows: Vec<(u32, String)>,
+    /// Line spans (inclusive) of `#[cfg(test)] mod` bodies.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex `source`, recording directives and test regions.
+    pub fn parse(path: PathBuf, source: &str) -> SourceFile {
+        let (tokens, allows) = lex(source);
+        let test_spans = find_test_spans(&tokens);
+        SourceFile {
+            path,
+            tokens,
+            allows,
+            test_spans,
+        }
+    }
+
+    /// Is a finding on `line` suppressed for `lint`? A directive
+    /// suppresses its own line and the line directly below it, so both
+    /// trailing and preceding comment styles work.
+    pub fn is_allowed(&self, line: u32, lint: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, name)| name == lint && (*l == line || l + 1 == line))
+    }
+
+    /// Is `line` inside a `#[cfg(test)] mod` body?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Lex `source` into tokens plus allow directives.
+fn lex(source: &str) -> (Vec<Token>, Vec<(u32, String)>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let mut text = String::new();
+                while i < chars.len() && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                for name in parse_allow_directive(&text) {
+                    allows.push((tline, name));
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 0u32;
+                while i < chars.len() {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        bump!();
+                    }
+                }
+                continue;
+            }
+        }
+        // Identifiers / keywords — including string-literal prefixes.
+        if c == '_' || c.is_alphabetic() {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                text.push(chars[i]);
+                bump!();
+            }
+            // r"…", r#"…"#, b"…", br#"…"#, c"…" — the "ident" was a
+            // literal prefix; consume the string body too.
+            let is_prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr");
+            if is_prefix && i < chars.len() && (chars[i] == '"' || chars[i] == '#') {
+                let raw = text.contains('r');
+                if consume_string(&chars, &mut i, &mut line, &mut col, raw) {
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text,
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Numbers (the lints never inspect them; swallow alnum + _ + .).
+        if c.is_ascii_digit() {
+            let mut prev_digit = true;
+            while i < chars.len() {
+                let d = chars[i];
+                let take = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.'
+                        && prev_digit
+                        && i + 1 < chars.len()
+                        && chars[i + 1].is_ascii_digit());
+                if !take {
+                    break;
+                }
+                prev_digit = d.is_ascii_digit();
+                bump!();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            consume_string(&chars, &mut i, &mut line, &mut col, false);
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: String::new(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are chars; 'a (no
+        // closing quote right after) is a lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = matches!(next, Some('\\')) || matches!(after, Some('\''));
+            if is_char {
+                bump!(); // opening quote
+                if chars.get(i) == Some(&'\\') {
+                    bump!(); // backslash
+                    bump!(); // escaped char
+                             // \x7f, \u{…}: swallow until the closing quote.
+                    while i < chars.len() && chars[i] != '\'' {
+                        bump!();
+                    }
+                } else {
+                    bump!(); // the char
+                }
+                if i < chars.len() {
+                    bump!(); // closing quote
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            // Lifetime: emit the quote as punct; the ident follows.
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: "'".into(),
+                line: tline,
+                col: tcol,
+            });
+            bump!();
+            continue;
+        }
+        // Everything else: one punctuation character.
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        bump!();
+    }
+    (tokens, allows)
+}
+
+/// Consume a string literal starting at `chars[*i]` (a `"` or, for raw
+/// strings, the `#`s before it). Returns false if this isn't actually
+/// a string start (e.g. `r#foo` raw identifiers).
+fn consume_string(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32, raw: bool) -> bool {
+    let mut bump = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    if raw {
+        let start = *i;
+        let mut hashes = 0usize;
+        let mut j = *i;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) != Some(&'"') {
+            let _ = start;
+            return false; // r#ident — a raw identifier, not a string
+        }
+        while *i <= j {
+            bump(i); // the #s and the opening quote
+        }
+        // Scan for `"` followed by `hashes` #s.
+        while *i < chars.len() {
+            if chars[*i] == '"'
+                && chars[*i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                bump(i);
+                for _ in 0..hashes {
+                    bump(i);
+                }
+                return true;
+            }
+            bump(i);
+        }
+        return true;
+    }
+    debug_assert_eq!(chars[*i], '"');
+    bump(i); // opening quote
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => {
+                bump(i);
+                if *i < chars.len() {
+                    bump(i);
+                }
+            }
+            '"' => {
+                bump(i);
+                return true;
+            }
+            _ => bump(i),
+        }
+    }
+    true
+}
+
+/// Parse `esr-lint: allow(a, b)` out of a line comment's text.
+fn parse_allow_directive(comment: &str) -> Vec<String> {
+    let body = comment.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("esr-lint:") else {
+        return Vec::new();
+    };
+    let rest = rest.trim();
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.split(')').next())
+    else {
+        return Vec::new();
+    };
+    args.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Find the line spans of `#[cfg(test)] mod … { … }` bodies.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+            let mut depth = 0i32;
+            j += 1; // past '#'
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Only `mod` bodies are excluded wholesale; a `#[cfg(test)]`
+        // on a single fn would need its own span logic, and the
+        // workspace keeps tests in modules.
+        if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
+            // mod <name> { … }
+            let mut k = j + 1;
+            while let Some(t) = tokens.get(k) {
+                if t.is_punct('{') {
+                    break;
+                }
+                if t.is_punct(';') {
+                    break; // out-of-line module: nothing to span here
+                }
+                k += 1;
+            }
+            if tokens.get(k).is_some_and(|t| t.is_punct('{')) {
+                let start_line = tokens[i].line;
+                let mut depth = 0i32;
+                let mut end_line = tokens[k].line;
+                while let Some(t) = tokens.get(k) {
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    end_line = t.line;
+                    k += 1;
+                }
+                spans.push((start_line, end_line));
+                i = k.max(i + 1);
+                continue;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), src)
+    }
+
+    #[test]
+    fn idents_and_puncts_carry_positions() {
+        let f = toks("let x = a.b();\n  y");
+        let idents: Vec<(&str, u32, u32)> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.line, t.col))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("let", 1, 1),
+                ("x", 1, 5),
+                ("a", 1, 9),
+                ("b", 1, 11),
+                ("y", 2, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let f = toks("// Instant::now()\n/* Instant::now() */\nlet s = \"Instant::now()\";\nlet r = r#\"Instant::now()\"#;");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let f = toks("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        // Lifetimes keep their idents, char literals vanish into
+        // Literal tokens.
+        assert_eq!(f.tokens.iter().filter(|t| t.is_ident("a")).count(), 2);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("x") && t.col > 30));
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let f = toks("// esr-lint: allow(wall-clock)\nInstant::now();\nother(); // esr-lint: allow(poison, channels)");
+        assert!(f.is_allowed(1, "wall-clock"));
+        assert!(f.is_allowed(2, "wall-clock"));
+        assert!(!f.is_allowed(3, "wall-clock"));
+        assert!(f.is_allowed(3, "poison"));
+        assert!(f.is_allowed(3, "channels"));
+    }
+
+    #[test]
+    fn test_mod_spans_are_found() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let f = toks(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = toks("/* a /* b */ Instant */ now");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("now")));
+    }
+}

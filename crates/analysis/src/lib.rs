@@ -1,0 +1,114 @@
+//! # esr-analysis — workspace-specific static analysis
+//!
+//! Deny-by-default invariant lints for the concurrent kernel and its
+//! drivers, run over a hand-rolled token stream (the offline build has
+//! no `syn`). The five lints, each with its scope in [`config`] and
+//! its rationale in DESIGN.md §12:
+//!
+//! | name | invariant |
+//! |------|-----------|
+//! | `wall-clock`  | no `Instant::now`/`SystemTime::now` in virtual-time code (tso/sim/checker) |
+//! | `lock-order`  | the kernel's registry → state → object → waitq hierarchy, brief-leaf shards |
+//! | `poison`      | no `.lock().unwrap()`-style poison panics on server-facing paths |
+//! | `channels`    | no unbounded channels in server-facing code |
+//! | `wire-match`  | server dispatch over wire enums is exhaustive and wildcard-free |
+//!
+//! Escape hatch: a `// esr-lint: allow(<name>)` comment on the
+//! offending line or the line above suppresses that lint there —
+//! deliberately grep-able, so every exemption is reviewable. Code in
+//! `#[cfg(test)] mod` bodies is always exempt.
+//!
+//! The `esr-lint` binary runs [`analyze_workspace`] and exits non-zero
+//! on findings; ci.sh runs it as its static-analysis stage.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+pub use lexer::SourceFile;
+pub use report::Finding;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lex one workspace file, with `path` relative to `root` for
+/// reporting.
+fn load(root: &Path, rel: &Path) -> io::Result<SourceFile> {
+    let source = std::fs::read_to_string(root.join(rel))?;
+    Ok(SourceFile::parse(rel.to_path_buf(), &source))
+}
+
+/// All `.rs` files under `root/rel`, as root-relative paths, sorted
+/// for deterministic output.
+fn rust_files(root: &Path, rel: &str) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(rel)];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walked paths stay under root")
+                    .to_path_buf();
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Run every lint over its configured scope under the workspace
+/// `root`. Findings come back sorted by file and position.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    for scope in config::WALL_CLOCK_SCOPE {
+        for rel in rust_files(root, scope)? {
+            lints::wall_clock::check(&load(root, &rel)?, &mut findings);
+        }
+    }
+    for rel in config::LOCK_ORDER_SCOPE {
+        lints::lock_order::check(&load(root, Path::new(rel))?, &mut findings);
+    }
+    for scope in config::POISON_SCOPE {
+        for rel in rust_files(root, scope)? {
+            lints::poison::check(&load(root, &rel)?, &mut findings);
+        }
+    }
+    for scope in config::CHANNELS_SCOPE {
+        for rel in rust_files(root, scope)? {
+            lints::channels::check(&load(root, &rel)?, &mut findings);
+        }
+    }
+    for pair in config::WIRE_PAIRS {
+        let def = load(root, Path::new(pair.def))?;
+        let dispatch = load(root, Path::new(pair.dispatch))?;
+        lints::wire_match::check(pair.enum_name, &def, &dispatch, &mut findings);
+    }
+
+    report::sort(&mut findings);
+    Ok(findings)
+}
+
+/// Locate the workspace root from an explicit argument or by walking
+/// up from `start` to the first directory holding a `Cargo.toml` with
+/// a `[workspace]` table.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

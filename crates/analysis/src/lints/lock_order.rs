@@ -1,0 +1,551 @@
+//! `lock-order`: the kernel's documented lock hierarchy, enforced.
+//!
+//! `esr_tso::kernel` documents the order
+//!
+//! ```text
+//! txn-registry shard (brief) → transaction state → one object → wait-queue shard
+//! ```
+//!
+//! with two extra rules: no code path holds two locks of the same
+//! class at once, and the two shard-array classes (registry, waitq)
+//! are **brief leaves** — a named guard on either must not be held
+//! across *any* further lock acquisition or any call into the kernel's
+//! locking helpers.
+//!
+//! The lint runs per function over the token stream. It classifies
+//! every `.lock(` acquisition into one of the four classes by its
+//! receiver expression (`table` → object, `txn_shard[s]` → registry,
+//! `wait_shard[s]` → waitq, `handle`/`state` → state, plus simple
+//! `let`/`for` binding propagation for loop variables like
+//! `for shard in self.txn_shards`), tracks named guards (`let g = ….lock();`)
+//! through scopes and `drop(g)`, and models the kernel's locking
+//! helpers (`self.wake_waiters(…)` acquires waitq, `self.abort_cleanup(…)`
+//! acquires object + waitq, …) as acquisitions of their classes.
+//!
+//! The analysis is intra-procedural by design: a helper that receives
+//! `&mut TxnState` is analysed as if the caller's state lock is *not*
+//! held, which is exactly why the allowed-under table lets object and
+//! waitq acquisitions happen with no visible holder. What the lint
+//! does catch — the bugs this hierarchy exists to prevent — is a
+//! second same-class acquisition, an out-of-order acquisition in the
+//! same function, and a brief-leaf shard guard kept alive across
+//! nested locking. Receivers it cannot classify are themselves
+//! findings: new locking code must be nameable in this scheme (or
+//! explicitly allowlisted) to keep the analysis sound.
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+use crate::report::Finding;
+
+/// Stable lint name, as taken by `// esr-lint: allow(...)`.
+pub const NAME: &str = "lock-order";
+
+/// The four lock classes of the kernel hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Transaction-registry shard (brief leaf).
+    Registry,
+    /// Per-transaction state.
+    State,
+    /// One object slot of the sharded table.
+    Object,
+    /// Wait-queue shard (brief leaf).
+    Waitq,
+}
+
+impl Class {
+    fn name(self) -> &'static str {
+        match self {
+            Class::Registry => "registry shard",
+            Class::State => "transaction state",
+            Class::Object => "object",
+            Class::Waitq => "wait-queue shard",
+        }
+    }
+
+    /// May `acq` be taken while a lock of class `held` is held?
+    /// Encodes the documented order; the brief-leaf rule for named
+    /// registry/waitq guards is enforced separately and is stricter.
+    fn allowed_under(acq: Class, held: Class) -> bool {
+        match held {
+            // Registry guards are brief: nothing may be acquired under
+            // them (their legal uses release within the statement).
+            Class::Registry => false,
+            // Under the state lock the rest of the chain may begin;
+            // `abort_now` also legally re-enters the registry.
+            Class::State => acq != Class::State,
+            // Under an object lock only its wait-queue shard follows.
+            Class::Object => acq == Class::Waitq,
+            // Waitq is the leaf.
+            Class::Waitq => false,
+        }
+    }
+}
+
+/// Kernel helpers that acquire locks internally: calling one while
+/// holding a guard is an acquisition of each listed class.
+const LOCKING_HELPERS: &[(&str, &[Class])] = &[
+    ("wake_waiters", &[Class::Waitq]),
+    ("park", &[Class::Waitq]),
+    ("abort_cleanup", &[Class::Object, Class::Waitq]),
+    ("finish_reap", &[Class::Object, Class::Waitq]),
+    ("abort_now", &[Class::Registry, Class::Object, Class::Waitq]),
+    ("remove_txn", &[Class::Registry]),
+    ("txn_handle", &[Class::Registry]),
+    ("reap", &[Class::Registry, Class::Object, Class::Waitq]),
+];
+
+/// A named guard currently in scope.
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    class: Class,
+    /// Scope depth (brace level) at which it was declared.
+    depth: i32,
+}
+
+/// Run the lint over one file (configured for `crates/tso/src/kernel.rs`).
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && !file.is_test_line(toks[i].line) {
+            if let Some((open, close)) = fn_body(toks, i) {
+                check_body(file, open, close, findings);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Locate the body braces of the `fn` at `toks[at]`.
+fn fn_body(toks: &[Token], at: usize) -> Option<(usize, usize)> {
+    let mut j = at + 1;
+    // The first `{` after the signature opens the body (no braces can
+    // occur in the generics / params / return type of kernel code).
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_punct(';') {
+            return None; // trait method declaration
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(j) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((j, k));
+            }
+        }
+    }
+    None
+}
+
+/// Analyse one function body for hierarchy violations.
+fn check_body(file: &SourceFile, open: usize, close: usize, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let bindings = collect_bindings(toks, open, close);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j <= close {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            depth -= 1;
+            j += 1;
+            continue;
+        }
+        // drop(name) releases a guard early.
+        if t.is_ident("drop")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(j + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(name) = toks.get(j + 2).filter(|n| n.kind == TokenKind::Ident) {
+                if let Some(pos) = guards.iter().rposition(|g| g.name == name.text) {
+                    guards.remove(pos);
+                }
+                j += 4;
+                continue;
+            }
+        }
+        // A call into a locking helper: `self . helper (`.
+        if t.is_ident("self")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('.'))
+            && toks.get(j + 3).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(m) = toks.get(j + 2) {
+                if let Some((_, classes)) = LOCKING_HELPERS.iter().find(|(n, _)| m.is_ident(n)) {
+                    report_call_under_leaf(file, m, &guards, findings);
+                    for &acq in classes.iter() {
+                        report_order(file, m, acq, &guards, findings, true);
+                    }
+                    j += 4;
+                    continue;
+                }
+            }
+        }
+        // An acquisition: `. lock (`.
+        if t.is_punct('.')
+            && toks.get(j + 1).is_some_and(|n| n.is_ident("lock"))
+            && toks.get(j + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let site = &toks[j + 1];
+            let stmt_start = statement_start(toks, j, open);
+            let class = classify(toks, stmt_start, j, &bindings);
+            match class {
+                Some(c) => {
+                    // The brief-leaf rule for acquisitions is already
+                    // the order table: nothing is allowed_under a held
+                    // registry or waitq guard.
+                    report_order(file, site, c, &guards, findings, false);
+                    if let Some(name) = named_terminal_guard(toks, stmt_start, j + 2, close) {
+                        guards.push(Guard {
+                            name,
+                            class: c,
+                            depth,
+                        });
+                    }
+                }
+                None => {
+                    if !(file.is_test_line(site.line) || file.is_allowed(site.line, NAME)) {
+                        findings.push(Finding {
+                            file: file.path.clone(),
+                            line: site.line,
+                            col: site.col,
+                            lint: NAME,
+                            message: "cannot classify this lock's receiver into the \
+                                      kernel hierarchy (registry shard / transaction \
+                                      state / object / wait-queue shard); name it \
+                                      canonically or allowlist with justification"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            j += 3;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// Report an out-of-order acquisition of `acq` given the held guards.
+fn report_order(
+    file: &SourceFile,
+    site: &Token,
+    acq: Class,
+    guards: &[Guard],
+    findings: &mut Vec<Finding>,
+    via_helper: bool,
+) {
+    for g in guards {
+        if Class::allowed_under(acq, g.class) {
+            continue;
+        }
+        if file.is_test_line(site.line) || file.is_allowed(site.line, NAME) {
+            continue;
+        }
+        let how = if via_helper {
+            format!("call to `{}` acquires", site.text)
+        } else {
+            "acquires".to_string()
+        };
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: site.line,
+            col: site.col,
+            lint: NAME,
+            message: format!(
+                "{how} a {} lock while the {} guard `{}` is held; the \
+                 hierarchy is registry (brief) -> state -> object -> waitq",
+                acq.name(),
+                g.class.name(),
+                g.name
+            ),
+        });
+    }
+}
+
+/// Report a locking-helper call while a named brief-leaf guard is held.
+fn report_call_under_leaf(
+    file: &SourceFile,
+    site: &Token,
+    guards: &[Guard],
+    findings: &mut Vec<Finding>,
+) {
+    for g in guards {
+        if !matches!(g.class, Class::Registry | Class::Waitq) {
+            continue;
+        }
+        if file.is_test_line(site.line) || file.is_allowed(site.line, NAME) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: site.line,
+            col: site.col,
+            lint: NAME,
+            message: format!(
+                "`{}` is called while the brief {} guard `{}` is held; \
+                 shard guards must be released before calling into other \
+                 locking code",
+                site.text,
+                g.class.name(),
+                g.name
+            ),
+        });
+    }
+}
+
+/// Index of the first token of the statement containing `toks[at]`.
+fn statement_start(toks: &[Token], at: usize, floor: usize) -> usize {
+    let mut j = at;
+    while j > floor {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return j;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Classify the receiver of the `.lock(` whose `.` is at `dot`,
+/// scanning the statement tokens `[stmt_start, dot)`.
+fn classify(
+    toks: &[Token],
+    stmt_start: usize,
+    dot: usize,
+    bindings: &[(String, Class)],
+) -> Option<Class> {
+    let stmt = &toks[stmt_start..dot];
+    let has = |name: &str| stmt.iter().any(|t| t.is_ident(name));
+    if has("table") {
+        return Some(Class::Object);
+    }
+    if has("txn_shard") || has("txn_shards") {
+        return Some(Class::Registry);
+    }
+    if has("wait_shard") || has("wait_shards") {
+        return Some(Class::Waitq);
+    }
+    if has("handle") || has("state") {
+        return Some(Class::State);
+    }
+    // Fall back to binding propagation on the receiver identifier
+    // (`shard.lock()` inside `for shard in self.txn_shards…`).
+    for t in stmt.iter().rev() {
+        if t.kind == TokenKind::Ident {
+            if let Some((_, c)) = bindings.iter().find(|(n, _)| *n == t.text) {
+                return Some(*c);
+            }
+        }
+    }
+    None
+}
+
+/// First pass: map loop/let bindings to classes.
+///
+/// - `for <name> in … txn_shards|wait_shards …` binds the loop
+///   variable to that shard class;
+/// - `let <name> = … txn_handle|remove_txn …` binds a transaction
+///   state handle (`Arc<Mutex<TxnState>>`).
+fn collect_bindings(toks: &[Token], open: usize, close: usize) -> Vec<(String, Class)> {
+    let mut out = Vec::new();
+    let mut j = open;
+    while j <= close {
+        if toks[j].is_ident("for") {
+            if let Some(name) = toks.get(j + 1).filter(|t| t.kind == TokenKind::Ident) {
+                // Scan the iterator expression up to the body brace.
+                let mut k = j + 2;
+                let mut class = None;
+                while k <= close && !toks[k].is_punct('{') {
+                    if toks[k].is_ident("txn_shards") {
+                        class = Some(Class::Registry);
+                    } else if toks[k].is_ident("wait_shards") {
+                        class = Some(Class::Waitq);
+                    }
+                    k += 1;
+                }
+                if let Some(c) = class {
+                    out.push((name.text.clone(), c));
+                }
+            }
+        } else if toks[j].is_ident("let") {
+            let mut n = j + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if let Some(name) = toks.get(n).filter(|t| t.kind == TokenKind::Ident) {
+                if toks.get(n + 1).is_some_and(|t| t.is_punct('=')) {
+                    let mut k = n + 2;
+                    let mut class = None;
+                    while k <= close && !toks[k].is_punct(';') {
+                        if toks[k].is_ident("txn_handle") || toks[k].is_ident("remove_txn") {
+                            class = Some(Class::State);
+                        }
+                        k += 1;
+                    }
+                    if let Some(c) = class {
+                        out.push((name.text.clone(), c));
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// If the statement is `let [mut] <name> = … .lock(ARGS);` — the lock
+/// call is the statement's final expression — return the guard name.
+/// `lock_open` is the index of the `(` after `lock`.
+fn named_terminal_guard(
+    toks: &[Token],
+    stmt_start: usize,
+    lock_open: usize,
+    close: usize,
+) -> Option<String> {
+    if !toks.get(stmt_start).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut n = stmt_start + 1;
+    if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+        n += 1;
+    }
+    let name = toks.get(n).filter(|t| t.kind == TokenKind::Ident)?;
+    if !toks.get(n + 1).is_some_and(|t| t.is_punct('=')) {
+        return None;
+    }
+    // Walk past the balanced lock(…) arguments.
+    let mut depth = 0i32;
+    let mut k = lock_open;
+    while k <= close {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        k += 1;
+    }
+    // Terminal iff the very next token ends the statement.
+    if toks.get(k + 1).is_some_and(|t| t.is_punct(';')) {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let mut v = Vec::new();
+        check(&f, &mut v);
+        v
+    }
+
+    #[test]
+    fn canonical_chain_passes() {
+        let v = run("fn commit(&self, txn: TxnId) -> R {\n\
+                 let handle = self.remove_txn(txn)?;\n\
+                 let t = handle.lock();\n\
+                 for &obj in objs {\n\
+                     let mut o = self.table.lock(obj);\n\
+                     self.wake_waiters(&mut o, &mut woken);\n\
+                 }\n\
+             }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn object_under_waitq_guard_flagged() {
+        let v = run("fn bad(&self) {\n\
+                 let g = self.wait_shard(obj).lock();\n\
+                 let o = self.table.lock(obj);\n\
+             }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("wait-queue shard"));
+    }
+
+    #[test]
+    fn helper_call_under_registry_guard_flagged() {
+        let v = run("fn bad(&self, t: &mut TxnState) {\n\
+                 let shard = self.txn_shard(t.id).lock();\n\
+                 self.abort_cleanup(t);\n\
+             }");
+        // Once as brief-leaf-across-call, and once per acquired class
+        // that the order table forbids under registry.
+        assert!(!v.is_empty(), "{v:?}");
+        assert!(v.iter().any(|f| f.message.contains("brief")), "{v:?}");
+        assert!(v.iter().all(|f| f.line == 3));
+    }
+
+    #[test]
+    fn two_state_locks_flagged() {
+        let v = run("fn bad(&self) {\n\
+                 let a = self.txn_handle(t1)?;\n\
+                 let b = self.txn_handle(t2)?;\n\
+                 let ga = a.lock();\n\
+                 let gb = b.lock();\n\
+             }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let v = run("fn ok(&self) {\n\
+                 let o = self.table.lock(obj);\n\
+                 drop(o);\n\
+                 let o2 = self.table.lock(obj2);\n\
+             }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let v = run("fn ok(&self) {\n\
+                 for shard in self.wait_shards.iter() {\n\
+                     shard.lock().remove_txn(t.id);\n\
+                 }\n\
+                 let o = self.table.lock(obj);\n\
+             }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unclassifiable_receiver_flagged() {
+        let v = run("fn bad(&self) { let g = self.mystery.lock(); }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("cannot classify"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let v = run("fn ok(&self) {\n\
+                 // esr-lint: allow(lock-order)\n\
+                 let g = self.mystery.lock();\n\
+             }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,9 @@
+//! The workspace lints. Each module exposes a stable `NAME` (the
+//! token `// esr-lint: allow(...)` takes) and a `check` entry point;
+//! [`crate::config`] says where each one runs.
+
+pub mod channels;
+pub mod lock_order;
+pub mod poison;
+pub mod wall_clock;
+pub mod wire_match;

@@ -1,0 +1,110 @@
+//! `poison`: no poison panics on server-facing paths.
+//!
+//! `std::sync::Mutex::lock().unwrap()` (or `.expect(...)`) converts one
+//! panicking request into a poisoned lock that panics *every*
+//! subsequent request touching it — one bad transaction takes down the
+//! whole server. On request paths the lock must recover:
+//! `.lock().unwrap_or_else(PoisonError::into_inner)` — for these
+//! mutexes (registries, reply routing tables) the protected state is a
+//! plain collection that is valid at every await-free point, so
+//! continuing past a poisoned flag is safe. The same applies to
+//! `RwLock` via `.read()`/`.write()`.
+
+use crate::lexer::SourceFile;
+use crate::report::Finding;
+
+/// Stable lint name, as taken by `// esr-lint: allow(...)`.
+pub const NAME: &str = "poison";
+
+/// Lock-acquiring methods whose `Result` must not be unwrapped.
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// Flag `.lock().unwrap()` / `.lock().expect(...)` (and the RwLock
+/// equivalents) outside test code.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        // Match `. <acquire> ( ) . <unwrap|expect> (`.
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(acq) = toks.get(i + 1) else { continue };
+        if !ACQUIRE.iter().any(|m| acq.is_ident(m)) {
+            continue;
+        }
+        let tail_ok = toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('.'));
+        if !tail_ok {
+            continue;
+        }
+        let Some(sink) = toks.get(i + 5) else {
+            continue;
+        };
+        if !(sink.is_ident("unwrap") || sink.is_ident("expect")) {
+            continue;
+        }
+        if !toks.get(i + 6).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if file.is_test_line(sink.line) || file.is_allowed(sink.line, NAME) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: sink.line,
+            col: sink.col,
+            lint: NAME,
+            message: format!(
+                ".{}().{}() panics forever once the lock is poisoned; \
+                 recover with .{}().unwrap_or_else(PoisonError::into_inner) \
+                 on server-facing paths",
+                acq.text, sink.text, acq.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let mut v = Vec::new();
+        check(&f, &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_on_all_acquirers() {
+        let v = run("a.lock().unwrap();\nb.read().expect(\"r\");\nc.write().unwrap();");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].line, 1);
+        assert!(v[1].message.contains(".read().expect()"));
+    }
+
+    #[test]
+    fn recovery_and_parking_lot_pass() {
+        // parking_lot-style guards have no Result to unwrap, and the
+        // sanctioned recovery idiom must not fire.
+        let v = run("let g = m.lock();\n\
+             let h = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+             let n = m.lock().len();");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_and_test_code_pass() {
+        let v = run("a.lock().unwrap(); // esr-lint: allow(poison)\n\
+             #[cfg(test)]\nmod tests { fn t() { a.lock().unwrap(); } }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn locks_with_arguments_do_not_match() {
+        // table.lock(obj) is a sharded-table accessor, not a Result.
+        assert!(run("table.lock(obj).unwrap();").is_empty());
+    }
+}

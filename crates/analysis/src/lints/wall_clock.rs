@@ -1,0 +1,84 @@
+//! `wall-clock`: no raw wall-clock reads in virtual-time code.
+//!
+//! The kernel, the simulator, and the checker run on driver-defined
+//! timelines (`Kernel::set_now`, the simulator's event clock); a stray
+//! `Instant::now()` or `SystemTime::now()` silently couples their
+//! behaviour to the host scheduler and breaks replay determinism — the
+//! exact leak this PR fixed in `KernelObs`. Timing must route through
+//! `esr_clock::TimeSource`, whose `SystemTimeSource` impl is the one
+//! sanctioned wall-clock boundary.
+
+use crate::lexer::SourceFile;
+use crate::report::Finding;
+
+/// Stable lint name, as taken by `// esr-lint: allow(...)`.
+pub const NAME: &str = "wall-clock";
+
+/// The forbidden `Type::now()` receivers.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Flag every `Instant::now` / `SystemTime::now` outside test code.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !CLOCK_TYPES.iter().any(|ty| t.is_ident(ty)) {
+            continue;
+        }
+        let is_now = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        if !is_now {
+            continue;
+        }
+        if file.is_test_line(t.line) || file.is_allowed(t.line, NAME) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: t.line,
+            col: t.col,
+            lint: NAME,
+            message: format!(
+                "{}::now() reads the wall clock in virtual-time code; \
+                 route timing through esr_clock::TimeSource (attach a \
+                 SystemTimeSource at the driver boundary if wall time is \
+                 genuinely wanted)",
+                t.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        let mut v = Vec::new();
+        check(&f, &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_instant_and_system_time() {
+        let v = run("let a = Instant::now();\nlet b = std::time::SystemTime::now();");
+        assert_eq!(v.len(), 2);
+        assert_eq!((v[0].line, v[0].col), (1, 9));
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn ignores_tests_comments_and_allows() {
+        let v = run("// Instant::now()\n\
+             let ok = Instant::now(); // esr-lint: allow(wall-clock)\n\
+             #[cfg(test)]\nmod tests { fn t() { Instant::now(); } }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn instant_elapsed_alone_is_fine() {
+        assert!(run("let d = start.elapsed(); let i: Instant = x;").is_empty());
+    }
+}

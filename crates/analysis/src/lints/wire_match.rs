@@ -1,0 +1,284 @@
+//! `wire-match`: exhaustive wire-protocol dispatch.
+//!
+//! Adding a request variant must be a compile-time-visible event at
+//! every server dispatch point. A `_ =>` arm in the dispatch `match`
+//! silently swallows new variants (the client hangs or gets a generic
+//! error instead of the compiler pointing at the missed arm), so
+//! dispatch matches over the wire enums must name every variant and
+//! carry no wildcard.
+//!
+//! A `match` in a dispatch file is considered a dispatch over enum `E`
+//! when its body names at least two distinct `E::Variant` patterns;
+//! one-variant mentions (`if let`-style projections, reply matching on
+//! the client side) are out of scope by design — the rule exists for
+//! the server's fan-out point, not for every consumer of the enum.
+
+use crate::lexer::{SourceFile, Token};
+use crate::report::Finding;
+
+/// Stable lint name, as taken by `// esr-lint: allow(...)`.
+pub const NAME: &str = "wire-match";
+
+/// Extract the variant names of `enum enum_name { … }` from its
+/// defining file. Empty if the enum isn't found.
+pub fn enum_variants(def: &SourceFile, enum_name: &str) -> Vec<String> {
+    let toks = &def.tokens;
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(enum_name) {
+            // Find the opening brace (no generics on the wire enums,
+            // but skip anything up to `{` to be safe).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            return variants_in_body(toks, j);
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Collect variant names between the brace at `open` and its match.
+fn variants_in_body(toks: &[Token], open: usize) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+            if depth == 1 {
+                expect_variant = true;
+            }
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            j += 1;
+            continue;
+        }
+        if depth == 1 {
+            if t.is_punct(',') {
+                expect_variant = true;
+            } else if t.is_punct('#') {
+                // Skip a variant attribute `#[…]`.
+                let mut adepth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    if toks[j].is_punct('[') {
+                        adepth += 1;
+                    } else if toks[j].is_punct(']') {
+                        adepth -= 1;
+                        if adepth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            } else if expect_variant && t.kind == crate::lexer::TokenKind::Ident {
+                variants.push(t.text.clone());
+                expect_variant = false;
+            }
+        }
+        j += 1;
+    }
+    variants
+}
+
+/// Check every dispatch `match` over `enum_name` in `dispatch`:
+/// findings for wildcard arms and for missing variants.
+pub fn check(
+    enum_name: &str,
+    def: &SourceFile,
+    dispatch: &SourceFile,
+    findings: &mut Vec<Finding>,
+) {
+    let variants = enum_variants(def, enum_name);
+    if variants.is_empty() {
+        findings.push(Finding {
+            file: def.path.clone(),
+            line: 1,
+            col: 1,
+            lint: NAME,
+            message: format!(
+                "enum {enum_name} not found in its configured defining file; \
+                 update the wire-match configuration"
+            ),
+        });
+        return;
+    }
+    let toks = &dispatch.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("match") {
+            continue;
+        }
+        let Some(body_open) = match_body_open(toks, i) else {
+            continue;
+        };
+        let Some(body_close) = matching_brace(toks, body_open) else {
+            continue;
+        };
+        // Which variants does this match body name, and where are its
+        // top-level wildcard arms?
+        let mut named: Vec<&str> = Vec::new();
+        let mut wildcards: Vec<&Token> = Vec::new();
+        let mut depth = 0i32;
+        for j in body_open..=body_close {
+            let t = &toks[j];
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_ident(enum_name)
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                if let Some(v) = toks.get(j + 3) {
+                    if v.kind == crate::lexer::TokenKind::Ident && !named.contains(&v.text.as_str())
+                    {
+                        named.push(&v.text);
+                    }
+                }
+            } else if depth == 1
+                && t.is_ident("_")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('='))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct('>'))
+            {
+                wildcards.push(t);
+            }
+        }
+        if named.len() < 2 {
+            continue; // a projection, not a dispatch
+        }
+        let line = toks[i].line;
+        if dispatch.is_test_line(line) || dispatch.is_allowed(line, NAME) {
+            continue;
+        }
+        for w in wildcards {
+            if dispatch.is_allowed(w.line, NAME) {
+                continue;
+            }
+            findings.push(Finding {
+                file: dispatch.path.clone(),
+                line: w.line,
+                col: w.col,
+                lint: NAME,
+                message: format!(
+                    "wildcard arm in a {enum_name} dispatch; name every \
+                     variant so new wire messages fail the build here"
+                ),
+            });
+        }
+        for v in &variants {
+            if !named.contains(&v.as_str()) {
+                findings.push(Finding {
+                    file: dispatch.path.clone(),
+                    line,
+                    col: toks[i].col,
+                    lint: NAME,
+                    message: format!("{enum_name} dispatch does not handle {enum_name}::{v}"),
+                });
+            }
+        }
+    }
+}
+
+/// Find the `{` opening the body of the `match` at `toks[at]` —
+/// the first top-level `{` after the scrutinee expression.
+fn match_body_open(toks: &[Token], at: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(at + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(j);
+        } else if t.is_punct(';') && depth == 0 {
+            return None; // gave up: not a match expression after all
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), src)
+    }
+
+    const DEF: &str = "pub enum Body { Hello { v: u32 }, Op(u8), End, }";
+
+    #[test]
+    fn variants_are_extracted() {
+        assert_eq!(
+            enum_variants(&file(DEF), "Body"),
+            vec!["Hello", "Op", "End"]
+        );
+    }
+
+    #[test]
+    fn exhaustive_dispatch_passes() {
+        let d = file(
+            "fn f(b: Body) { match b { Body::Hello { v } => go(v), \
+             Body::Op(x) => { match x { 0 => a(), _ => b() } }, \
+             Body::End => stop(), } }",
+        );
+        let mut v = Vec::new();
+        check("Body", &file(DEF), &d, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wildcard_and_missing_variant_flagged() {
+        let d = file(
+            "fn f(b: Body) { match b { Body::Hello { .. } => h(), Body::Op(_) => o(), _ => {} } }",
+        );
+        let mut v = Vec::new();
+        check("Body", &file(DEF), &d, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("wildcard"));
+        assert!(v[1].message.contains("Body::End"));
+    }
+
+    #[test]
+    fn single_variant_projection_ignored() {
+        let d = file("fn f(b: Body) { match b { Body::End => done(), _ => other(), } }");
+        let mut v = Vec::new();
+        check("Body", &file(DEF), &d, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_enum_definition_is_itself_a_finding() {
+        let mut v = Vec::new();
+        check("Nope", &file(DEF), &file("fn f() {}"), &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("not found"));
+    }
+}

@@ -1,0 +1,49 @@
+//! `esr-lint` — run the workspace invariant lints.
+//!
+//! ```text
+//! esr-lint [WORKSPACE_ROOT]
+//! ```
+//!
+//! Prints one `file:line:col: deny(lint): message` per finding and
+//! exits 1 if there are any, 0 on a clean workspace. With no argument
+//! the root is found by walking up from the current directory to the
+//! first `[workspace]` manifest.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match esr_analysis::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "esr-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    match esr_analysis::analyze_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("esr-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("esr-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("esr-lint: {e} (root: {})", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

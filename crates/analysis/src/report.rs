@@ -1,0 +1,76 @@
+//! Findings and their rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One lint violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The lint's stable kebab-case name (what `allow(...)` takes).
+    pub lint: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: deny({}): {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Sort findings for stable output: by file, then position, then lint.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grep_style() {
+        let f = Finding {
+            file: PathBuf::from("crates/tso/src/kernel.rs"),
+            line: 42,
+            col: 9,
+            lint: "wall-clock",
+            message: "boom".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/tso/src/kernel.rs:42:9: deny(wall-clock): boom"
+        );
+    }
+
+    #[test]
+    fn sort_is_stable_by_position() {
+        let mk = |line, col, lint| Finding {
+            file: PathBuf::from("a.rs"),
+            line,
+            col,
+            lint,
+            message: String::new(),
+        };
+        let mut v = vec![mk(2, 1, "b"), mk(1, 5, "a"), mk(1, 2, "c")];
+        sort(&mut v);
+        assert_eq!(
+            v.iter().map(|f| (f.line, f.col)).collect::<Vec<_>>(),
+            vec![(1, 2), (1, 5), (2, 1)]
+        );
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: known-bad unbounded channels. Not compiled — lexed by
+// tests/lints.rs, which asserts the expected findings below.
+use crossbeam::channel::{bounded, unbounded};
+
+pub fn broken_reply_queue() {
+    let (tx, rx) = unbounded(); // expect channels finding at 6:20
+    let _ = (tx, rx);
+    let (a, b) = std::sync::mpsc::channel(); // expect channels finding at 8:29
+    let _ = (a, b);
+}
+
+pub fn bounded_is_fine() {
+    let (tx, rx) = bounded::<u32>(64);
+    let _ = (tx, rx);
+}
+
+pub fn waived() {
+    // esr-lint: allow(channels)
+    let (tx, rx) = unbounded();
+    let _ = (tx, rx);
+}

@@ -1,0 +1,41 @@
+// Fixture: known-bad lock-hierarchy violations, written in the
+// kernel's naming scheme. Not compiled — lexed by tests/lints.rs,
+// which asserts the expected findings below.
+
+impl Kernel {
+    /// Object acquired under a wait-queue shard guard: inverts
+    /// object -> waitq.
+    fn inverted_tail(&self, obj: ObjectId) {
+        let q = self.wait_shard(obj).lock();
+        let o = self.table.lock(obj); // expect lock-order finding at 10:28
+        let _ = (q, o);
+    }
+
+    /// A brief registry shard guard held across a locking helper.
+    fn leaky_shard_guard(&self, t: &mut TxnState) {
+        let shard = self.txn_shard(t.id).lock();
+        self.abort_cleanup(t); // expect lock-order findings at 17:14
+        drop(shard);
+    }
+
+    /// Two transaction-state locks at once.
+    fn double_state(&self, t1: TxnId, t2: TxnId) {
+        let ha = self.txn_handle(t1).unwrap();
+        let hb = self.txn_handle(t2).unwrap();
+        let ga = ha.lock();
+        let gb = hb.lock(); // expect lock-order finding at 26:21
+        let _ = (ga, gb);
+    }
+
+    /// The canonical chain, for contrast: must stay clean.
+    fn canonical(&self, txn: TxnId) {
+        let handle = self.remove_txn(txn).unwrap();
+        let mut t = handle.lock();
+        let mut o = self.table.lock(ObjectId(0));
+        self.wake_waiters(&mut o, &mut Vec::new());
+        drop(o);
+        for shard in self.wait_shards.iter() {
+            shard.lock().remove_txn(t.id);
+        }
+    }
+}

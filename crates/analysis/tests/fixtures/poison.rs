@@ -1,0 +1,29 @@
+// Fixture: known-bad poison panics. Not compiled — lexed by
+// tests/lints.rs, which asserts the expected findings below.
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub struct Registry {
+    conns: Mutex<Vec<u32>>,
+    routes: RwLock<Vec<u32>>,
+}
+
+impl Registry {
+    pub fn broken_push(&self, c: u32) {
+        self.conns.lock().unwrap().push(c); // expect poison finding at 12:27
+    }
+
+    pub fn broken_scan(&self) -> usize {
+        self.routes.read().expect("routes").len() // expect poison finding at 16:28
+    }
+
+    pub fn recovered_push(&self, c: u32) {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(c);
+    }
+
+    pub fn waived(&self) -> usize {
+        self.conns.lock().unwrap().len() // esr-lint: allow(poison)
+    }
+}

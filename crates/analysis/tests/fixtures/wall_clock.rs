@@ -1,0 +1,26 @@
+// Fixture: known-bad wall-clock reads. Not compiled — lexed by
+// tests/lints.rs, which asserts the expected findings below.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now(); // expect wall-clock finding at 6:14
+    busy();
+    let wall = SystemTime::now(); // expect wall-clock finding at 8:16
+    let _ = wall;
+    t0.elapsed().as_micros() as u64
+}
+
+pub fn sanctioned() -> u64 {
+    // The escape hatch must suppress the line below it.
+    // esr-lint: allow(wall-clock)
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_time_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: known-bad wire dispatch. Not compiled — lexed by
+// tests/lints.rs, which asserts the expected findings below. The file
+// serves as both the enum definition and the dispatch site.
+
+pub enum RequestBody {
+    Hello { version: u32 },
+    Op { id: u64 },
+    End { id: u64 },
+    Stats,
+}
+
+pub fn dispatch(req: RequestBody) {
+    match req {
+        RequestBody::Hello { version } => hello(version),
+        RequestBody::Op { id } => op(id),
+        // Swallows End and Stats: expect a wildcard finding at 18:9
+        // and a missing-variant finding for each, anchored at 13:5.
+        _ => ignore(),
+    }
+}

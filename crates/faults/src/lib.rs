@@ -40,7 +40,7 @@ use rand::{Rng, SeedableRng};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -238,7 +238,11 @@ impl FaultProxy {
     /// close, the server orphan-reaps, the clients reconnect (through
     /// this proxy, which keeps accepting).
     pub fn kill_all(&self) {
-        let mut conns = self.conns.lock().expect("proxy registry");
+        // Poison-recover rather than panic: the registry is a plain Vec
+        // of socket pairs, valid whatever a panicking holder was doing,
+        // and this proxy sits on the request path of every chaos client
+        // — one panicked forwarder must not wedge the rest.
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
         for (a, b) in conns.drain(..) {
             let _ = a.shutdown(Shutdown::Both);
             let _ = b.shutdown(Shutdown::Both);
@@ -270,7 +274,7 @@ impl FaultProxy {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let mut conns = self.conns.lock().expect("proxy registry");
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
         for (a, b) in conns.drain(..) {
             let _ = a.shutdown(Shutdown::Both);
             let _ = b.shutdown(Shutdown::Both);
@@ -316,7 +320,10 @@ fn accept_loop(
         let _ = client.set_nodelay(true);
         let _ = server.set_nodelay(true);
         if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
-            conns.lock().expect("proxy registry").push((c, s));
+            conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push((c, s));
         }
         // Derive the connection's fault schedule from the master seed
         // and its accept index (Fibonacci spreader, as elsewhere in the

@@ -26,7 +26,7 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use esr_core::ids::{SiteId, TxnId};
 use esr_server::{
     BeginReply, EndReply, OpReply, ReplySink, Request, RpcHandle, Server, SubmitError, BUSY_ERROR,
@@ -134,6 +134,41 @@ pub fn busy_retry_after_micros(message: &str) -> Option<u64> {
 /// suffixes) never break older clients.
 pub fn is_busy_error(message: &str) -> bool {
     message.starts_with(BUSY_ERROR)
+}
+
+/// Capacity of each connection's reply queue (reader/worker hooks →
+/// writer). Far beyond anything a live peer can have outstanding (the
+/// request queue feeding the workers is itself bounded, and parked
+/// operations produce at most one reply each); it only fills when the
+/// peer has stopped draining its socket for a long time.
+pub const REPLY_QUEUE_CAP: usize = 8192;
+
+/// A connection's bounded path back to its writer thread. Reply hooks
+/// (which run on worker threads) enqueue through [`ReplyQueue::send`]:
+/// a full queue means the peer has stopped reading, so the connection
+/// is severed instead of buffering without bound or blocking a worker.
+struct ReplyQueue {
+    tx: Sender<WireReply>,
+    /// Clone of the accepted socket, used only to sever a connection
+    /// whose reply queue overflowed (the reader then exits and
+    /// orphan-reaps as for any dead connection).
+    stream: TcpStream,
+}
+
+impl ReplyQueue {
+    fn send(&self, reply: WireReply) {
+        match self.tx.try_send(reply) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // The peer is not draining replies; treat it as gone.
+                // Dropping this reply is safe: the client's bounded
+                // retry machinery observes the dead connection, and the
+                // reader's exit path rolls back its live transactions.
+                let _ = self.stream.shutdown(Shutdown::Both);
+            }
+            Err(TrySendError::Disconnected(_)) => {} // writer gone
+        }
+    }
 }
 
 /// The transactions a connection has begun and not yet ended — the set
@@ -329,7 +364,11 @@ fn accept_loop(
             .lock()
             .push(stream.try_clone().expect("clone accepted socket"));
         let writer_stream = stream.try_clone().expect("clone accepted socket");
-        let (reply_tx, reply_rx) = unbounded::<WireReply>();
+        let (reply_tx, reply_rx) = bounded::<WireReply>(REPLY_QUEUE_CAP);
+        let reply_queue = Arc::new(ReplyQueue {
+            tx: reply_tx,
+            stream: stream.try_clone().expect("clone accepted socket"),
+        });
         let rpc = rpc.clone();
         let overload = Arc::clone(&overload);
         let warn_every = config.warn_on_overload;
@@ -341,7 +380,7 @@ fn accept_loop(
             .expect("spawn connection writer");
         let reader = std::thread::Builder::new()
             .name(format!("esr-net-reader-{conn_id}"))
-            .spawn(move || reader_loop(stream, rpc, reply_tx, overload, warn_every))
+            .spawn(move || reader_loop(stream, rpc, reply_queue, overload, warn_every))
             .expect("spawn connection reader");
         let mut reg = threads.lock();
         reg.push(writer);
@@ -372,7 +411,7 @@ fn writer_loop(mut stream: TcpStream, replies: Receiver<WireReply>) {
 fn reader_loop(
     mut stream: TcpStream,
     rpc: RpcHandle,
-    replies: Sender<WireReply>,
+    replies: Arc<ReplyQueue>,
     overload: Arc<OverloadState>,
     warn_every: Option<Duration>,
 ) {
@@ -388,7 +427,7 @@ fn reader_loop(
             rpc.note_retry();
         }
         let reply_to = |body: ReplyBody| {
-            let _ = replies.send(WireReply { id, body });
+            replies.send(WireReply { id, body });
         };
         match req.body {
             RequestBody::Hello => match rpc.alloc_site() {
@@ -402,14 +441,14 @@ fn reader_loop(
                 micros: rpc.reference_micros(),
             }),
             RequestBody::Begin { kind, bounds, ts } => {
-                let tx = replies.clone();
+                let tx = Arc::clone(&replies);
                 let txns = Arc::clone(&txns);
                 let hook_rpc = rpc.clone();
                 let sink = ReplySink::hook(move |r| {
                     if let BeginReply::Started(txn) = &r {
                         txns.note_begun(*txn, &hook_rpc);
                     }
-                    let _ = tx.send(WireReply {
+                    tx.send(WireReply {
                         id,
                         body: ReplyBody::Begin(r),
                     });
@@ -427,13 +466,13 @@ fn reader_loop(
                 );
             }
             RequestBody::Op { txn, op } => {
-                let tx = replies.clone();
+                let tx = Arc::clone(&replies);
                 let txns = Arc::clone(&txns);
                 let sink = ReplySink::hook(move |r| {
                     if matches!(r, OpReply::Aborted(_)) {
                         txns.note_ended(txn);
                     }
-                    let _ = tx.send(WireReply {
+                    tx.send(WireReply {
                         id,
                         body: ReplyBody::Op(r),
                     });
@@ -460,13 +499,13 @@ fn reader_loop(
                     )));
                     continue;
                 }
-                let tx = replies.clone();
+                let tx = Arc::clone(&replies);
                 let txns = Arc::clone(&txns);
                 let sink = ReplySink::hook(move |r: Vec<OpReply>| {
                     if r.iter().any(|op| matches!(op, OpReply::Aborted(_))) {
                         txns.note_ended(txn);
                     }
-                    let _ = tx.send(WireReply {
+                    tx.send(WireReply {
                         id,
                         body: ReplyBody::Batch(r),
                     });
@@ -483,7 +522,7 @@ fn reader_loop(
                 );
             }
             RequestBody::End { txn, commit } => {
-                let tx = replies.clone();
+                let tx = Arc::clone(&replies);
                 let txns = Arc::clone(&txns);
                 let sink = ReplySink::hook(move |r: EndReply| {
                     // Error is the one reply after which the transaction
@@ -491,7 +530,7 @@ fn reader_loop(
                     if !matches!(r, EndReply::Error(_)) {
                         txns.note_ended(txn);
                     }
-                    let _ = tx.send(WireReply {
+                    tx.send(WireReply {
                         id,
                         body: ReplyBody::End(r),
                     });
@@ -508,9 +547,9 @@ fn reader_loop(
                 );
             }
             RequestBody::Stats => {
-                let tx = replies.clone();
+                let tx = Arc::clone(&replies);
                 let sink = ReplySink::hook(move |r| {
-                    let _ = tx.send(WireReply {
+                    tx.send(WireReply {
                         id,
                         body: ReplyBody::Stats(r),
                     });

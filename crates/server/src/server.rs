@@ -239,10 +239,19 @@ impl Server {
     /// Start a server over `kernel`.
     pub fn start(kernel: Kernel, config: ServerConfig) -> Self {
         let kernel = Arc::new(kernel);
+        let (reference, manual): (Arc<dyn TimeSource>, Option<ManualTimeSource>) =
+            if config.virtual_time {
+                let m = ManualTimeSource::starting_at(1);
+                (Arc::new(m.clone()), Some(m))
+            } else {
+                (Arc::new(SystemTimeSource::new()), None)
+            };
         // The live observability layer is on by default: the kernel
         // histograms are relaxed atomics and proven outcome-neutral, so
-        // a production server is always measurable.
-        kernel.enable_obs();
+        // a production server is always measurable. It measures on the
+        // server reference clock, so a virtual-time server stays
+        // deterministic with obs on.
+        kernel.enable_obs_with_clock(Arc::clone(&reference));
         let obs = Arc::new(ServerObs::new());
         let (req_tx, req_rx) = bounded::<QueuedRequest>(config.queue_capacity.max(1));
         let pending: PendingReplies = Arc::new(PendingShards::new());
@@ -259,13 +268,6 @@ impl Server {
                     .expect("spawn server worker"),
             );
         }
-        let (reference, manual): (Arc<dyn TimeSource>, Option<ManualTimeSource>) =
-            if config.virtual_time {
-                let m = ManualTimeSource::starting_at(1);
-                (Arc::new(m.clone()), Some(m))
-            } else {
-                (Arc::new(SystemTimeSource::new()), None)
-            };
         let reaper_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let reaper = if kernel.config().lease_micros > 0 {
             // Seed the lease clock before any transaction can begin, so

@@ -1,0 +1,160 @@
+//! Loom model of the pipelined-batch driving-flag hand-off.
+//!
+//! A parked batch's `BatchState.driving` flag arbitrates between two
+//! threads: the worker that dispatched the parking operation (checking
+//! "did my op complete?" after `dispatch_op` returns) and the worker
+//! whose commit/abort fires the parked op's wake hook. The hook must
+//! take over driving exactly when the original driver has parked the
+//! batch (`driving == false`), and merely record its reply when it
+//! races the driver's check — two drivers running `run_batch`
+//! concurrently would double-submit operations and double-send the
+//! reply. The model races the blocking writer's end against the batch
+//! driver on a two-worker server and asserts one complete, in-order
+//! reply set.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run via the `loom`
+//! stage of `ci.sh`.
+#![cfg(loom)]
+
+use crossbeam::channel::bounded;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_server::{OpReply, ReplySink, Request, Server, ServerConfig, SubmitError};
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, Operation};
+use esr_txn::Session;
+use std::time::Duration;
+
+fn two_worker_server(values: &[i64]) -> Server {
+    let table = CatalogConfig::default().build_with_values(values);
+    Server::start(
+        Kernel::with_defaults(table),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// `recv` with a coarse deadline so a lost hand-off fails the model
+/// visibly instead of hanging the loom sweep.
+fn recv_within<T>(rx: &crossbeam::channel::Receiver<T>, timeout: Duration) -> T {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match rx.try_recv() {
+            Ok(v) => return v,
+            Err(_) if std::time::Instant::now() >= deadline => {
+                panic!("batch reply lost: no thread drove the batch to completion")
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn submit_batch(
+    server: &Server,
+    txn: esr_core::ids::TxnId,
+    ops: Vec<Operation>,
+) -> crossbeam::channel::Receiver<Vec<OpReply>> {
+    let (tx, rx) = bounded(1);
+    match server.rpc_handle().submit(Request::Batch {
+        txn,
+        ops,
+        reply: ReplySink::channel(tx),
+    }) {
+        Ok(()) => rx,
+        Err(SubmitError::Busy(_)) => panic!("two-worker queue cannot be busy here"),
+        Err(other) => panic!("submit batch: {other:?}"),
+    }
+}
+
+/// The committing writer's wake races the batch driver's park check.
+/// Whichever side ends up driving, the client must receive exactly one
+/// reply vector with every op answered in submission order.
+#[test]
+fn commit_wake_hands_off_driving_exactly_once() {
+    loom::model(|| {
+        let server = two_worker_server(&[100, 200]);
+        let mut writer = server.connect();
+        writer
+            .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        writer.write(ObjectId(0), 175).unwrap();
+
+        let mut reader = server.connect();
+        reader
+            .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
+        let txn = reader.current_txn().unwrap();
+        // Op 2 parks on the uncommitted write iff it is dispatched
+        // before the commit lands; both orders are valid schedules and
+        // must converge on the same replies.
+        let rx = submit_batch(
+            &server,
+            txn,
+            vec![
+                Operation::Read(ObjectId(1)),
+                Operation::Read(ObjectId(0)),
+                Operation::Read(ObjectId(1)),
+            ],
+        );
+        loom::explore();
+        writer.commit().unwrap();
+
+        let replies = recv_within(&rx, Duration::from_secs(10));
+        assert_eq!(
+            replies,
+            vec![
+                OpReply::Value(200),
+                OpReply::Value(175),
+                OpReply::Value(200),
+            ]
+        );
+        assert!(
+            rx.try_recv().is_err(),
+            "the reply sink must be taken exactly once"
+        );
+        reader.commit().unwrap();
+        assert_eq!(server.kernel().active_txns(), 0);
+        assert_eq!(server.kernel().waitq_depth(), 0);
+    });
+}
+
+/// Same hand-off through the abort wake path: the woken read must see
+/// the rolled-back shadow value, never the aborted write.
+#[test]
+fn abort_wake_hands_off_driving_exactly_once() {
+    loom::model(|| {
+        let server = two_worker_server(&[100, 200]);
+        let mut writer = server.connect();
+        writer
+            .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+            .unwrap();
+        writer.write(ObjectId(0), 175).unwrap();
+
+        let mut reader = server.connect();
+        reader
+            .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+            .unwrap();
+        let txn = reader.current_txn().unwrap();
+        let rx = submit_batch(
+            &server,
+            txn,
+            vec![Operation::Read(ObjectId(0)), Operation::Read(ObjectId(1))],
+        );
+        loom::explore();
+        writer.abort().unwrap();
+
+        let replies = recv_within(&rx, Duration::from_secs(10));
+        assert_eq!(
+            replies,
+            vec![OpReply::Value(100), OpReply::Value(200)],
+            "woken read sees the shadow value, not the aborted write"
+        );
+        reader.commit().unwrap();
+        assert_eq!(server.kernel().active_txns(), 0);
+        assert_eq!(server.kernel().waitq_depth(), 0);
+        assert_eq!(server.kernel().table().lock(ObjectId(0)).value, 100);
+    });
+}

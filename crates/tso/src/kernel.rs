@@ -253,6 +253,18 @@ impl Kernel {
         Arc::clone(self.obs.get_or_init(|| Arc::new(KernelObs::new())))
     }
 
+    /// [`Kernel::enable_obs`], measuring durations on `clock` instead
+    /// of the wall clock. Deterministic drivers (the simulator, a
+    /// virtual-time server) attach their manual time source here so an
+    /// obs-on run replays bit-identically. If a surface already exists
+    /// its clock is kept (attachment is first-wins, like `enable_obs`).
+    pub fn enable_obs_with_clock(&self, clock: Arc<dyn esr_clock::TimeSource>) -> Arc<KernelObs> {
+        Arc::clone(
+            self.obs
+                .get_or_init(|| Arc::new(KernelObs::with_clock(clock))),
+        )
+    }
+
     /// The attached observability surface, if enabled.
     pub fn obs(&self) -> Option<Arc<KernelObs>> {
         self.obs.get().cloned()
@@ -389,10 +401,10 @@ impl Kernel {
 
     /// Submit a read.
     pub fn read(&self, txn: TxnId, obj: ObjectId) -> Result<OpResponse, KernelError> {
-        let t0 = self.obs.get().map(|_| std::time::Instant::now());
+        let t0 = self.obs.get().map(|o| o.now_micros());
         let res = self.read_inner(txn, obj);
         if let (Some(t0), Some(obs)) = (t0, self.obs.get()) {
-            obs.op_service.record_duration(t0.elapsed());
+            obs.op_service.record(obs.now_micros().saturating_sub(t0));
         }
         res
     }
@@ -418,10 +430,10 @@ impl Kernel {
         obj: ObjectId,
         value: Value,
     ) -> Result<OpResponse, KernelError> {
-        let t0 = self.obs.get().map(|_| std::time::Instant::now());
+        let t0 = self.obs.get().map(|o| o.now_micros());
         let res = self.write_inner(txn, obj, value);
         if let (Some(t0), Some(obs)) = (t0, self.obs.get()) {
-            obs.op_service.record_duration(t0.elapsed());
+            obs.op_service.record(obs.now_micros().saturating_sub(t0));
         }
         res
     }

@@ -24,12 +24,13 @@
 //! [`Kernel::enable_obs`]: crate::kernel::Kernel::enable_obs
 //! [`Ledger::binding_level`]: esr_core::ledger::Ledger::binding_level
 
+use esr_clock::{SystemTimeSource, TimeSource};
 use esr_core::error::ViolationLevel;
 use esr_core::ids::{ObjectId, TxnId, TxnKind};
 use esr_obs::{HistogramSnapshot, LatencyHistogram};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Capacity of the per-kernel transaction event ring.
 #[cfg(feature = "obs-events")]
@@ -63,7 +64,8 @@ pub enum TxnEventKind {
     Wake {
         /// The object it was parked on.
         obj: ObjectId,
-        /// Wall-clock park duration.
+        /// Park duration on the obs clock (wall-derived by default,
+        /// virtual under the simulator).
         waited_micros: u64,
     },
     /// A relaxation case admitted inconsistency.
@@ -93,7 +95,6 @@ pub enum TxnEventKind {
 /// The kernel's observability surface: three latency histograms plus
 /// (feature-gated) the transaction event ring. One instance per
 /// kernel, shared via `Arc`.
-#[derive(Debug)]
 pub struct KernelObs {
     /// Service time of every `read`/`write` call, including parked and
     /// aborted outcomes (the decision itself is the service).
@@ -102,27 +103,47 @@ pub struct KernelObs {
     pub park_wait: LatencyHistogram,
     /// End-to-end latency of committed transactions (begin → commit).
     pub txn_latency: LatencyHistogram,
-    /// Begin instants of live transactions.
-    started: Mutex<HashMap<TxnId, Instant>>,
-    /// Park instants of currently-parked operations. A transaction has
-    /// at most one in-flight operation, so TxnId suffices as the key.
-    parked: Mutex<HashMap<TxnId, Instant>>,
+    /// The clock every duration is measured on. Wall-derived by default
+    /// ([`SystemTimeSource`]); drivers that need determinism (the
+    /// simulator, virtual-time servers) attach their own
+    /// [`TimeSource`] so obs-on runs replay bit-identically. The kernel
+    /// itself never reads a raw wall clock.
+    clock: Arc<dyn TimeSource>,
+    /// Begin instants (clock micros) of live transactions.
+    started: Mutex<HashMap<TxnId, u64>>,
+    /// Park instants (clock micros) of currently-parked operations. A
+    /// transaction has at most one in-flight operation, so TxnId
+    /// suffices as the key.
+    parked: Mutex<HashMap<TxnId, u64>>,
     #[cfg(feature = "obs-events")]
     events: esr_obs::EventRing<TxnEvent>,
 }
 
 impl KernelObs {
-    /// A fresh, empty observability surface.
+    /// A fresh, empty observability surface on the wall clock.
     pub fn new() -> Self {
+        Self::with_clock(Arc::new(SystemTimeSource::new()))
+    }
+
+    /// A fresh surface whose durations are measured on `clock`.
+    pub fn with_clock(clock: Arc<dyn TimeSource>) -> Self {
         KernelObs {
             op_service: LatencyHistogram::new(),
             park_wait: LatencyHistogram::new(),
             txn_latency: LatencyHistogram::new(),
+            clock,
             started: Mutex::new(HashMap::new()),
             parked: Mutex::new(HashMap::new()),
             #[cfg(feature = "obs-events")]
             events: esr_obs::EventRing::new(EVENT_RING_CAPACITY),
         }
+    }
+
+    /// The current reading of the surface's clock, in microseconds.
+    /// The kernel brackets its op-service measurements with this.
+    #[inline]
+    pub fn now_micros(&self) -> u64 {
+        self.clock.raw_micros()
     }
 
     /// Snapshot all three histograms as `(name, snapshot)` pairs, for
@@ -165,20 +186,20 @@ impl KernelObs {
 
     /// A transaction began now.
     pub fn note_begin(&self, txn: TxnId, kind: TxnKind) {
-        self.started.lock().insert(txn, Instant::now());
+        self.started.lock().insert(txn, self.now_micros());
         self.push_event(txn, TxnEventKind::Begin { kind });
     }
 
     /// An operation parked now.
     pub fn note_park(&self, txn: TxnId, obj: ObjectId) {
-        self.parked.lock().insert(txn, Instant::now());
+        self.parked.lock().insert(txn, self.now_micros());
         self.push_event(txn, TxnEventKind::Park { obj });
     }
 
     /// A parked operation was released; records its park duration.
     pub fn note_wake(&self, txn: TxnId, obj: ObjectId) {
-        let waited = self.parked.lock().remove(&txn).map(|t0| t0.elapsed());
-        let micros = waited.map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64);
+        let waited = self.parked.lock().remove(&txn);
+        let micros = waited.map_or(0, |t0| self.now_micros().saturating_sub(t0));
         if waited.is_some() {
             self.park_wait.record(micros);
         }
@@ -194,7 +215,8 @@ impl KernelObs {
     /// A transaction committed; records its end-to-end latency.
     pub fn note_commit(&self, txn: TxnId, inconsistency: u64) {
         if let Some(t0) = self.started.lock().remove(&txn) {
-            self.txn_latency.record_duration(t0.elapsed());
+            self.txn_latency
+                .record(self.now_micros().saturating_sub(t0));
         }
         self.parked.lock().remove(&txn);
         self.push_event(txn, TxnEventKind::Commit { inconsistency });
@@ -211,6 +233,16 @@ impl KernelObs {
 impl Default for KernelObs {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::fmt::Debug for KernelObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelObs")
+            .field("op_service", &self.op_service)
+            .field("park_wait", &self.park_wait)
+            .field("txn_latency", &self.txn_latency)
+            .finish_non_exhaustive()
     }
 }
 

@@ -1,0 +1,195 @@
+//! Loom model of the lease-renew vs `reap_expired` TOCTOU.
+//!
+//! `reap_expired` snapshots expiry candidates under brief registry-shard
+//! locks, then re-checks each deadline under the per-transaction state
+//! lock before reaping — while a client thread concurrently submits
+//! operations, each of which renews the lease under that same state
+//! lock. The window under test: a renewal landing between the snapshot
+//! and the re-check must save the transaction, and a reap landing first
+//! must make the client's next call fail with `UnknownTxn` instead of
+//! touching rolled-back state.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run via the `loom`
+//! stage of `ci.sh`.
+#![cfg(loom)]
+
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, SiteId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, KernelConfig, KernelError, OpOutcome};
+use loom::sync::Arc;
+
+const OBJ: ObjectId = ObjectId(0);
+const LEASE: u64 = 100;
+
+fn kernel() -> Arc<Kernel> {
+    let table = CatalogConfig::default().build_with_values(&[5000]);
+    let config = KernelConfig {
+        lease_micros: LEASE,
+        ..KernelConfig::default()
+    };
+    Arc::new(Kernel::new(
+        table,
+        esr_core::hierarchy::HierarchySchema::two_level(),
+        config,
+    ))
+}
+
+/// One update transaction races a reaper that repeatedly advances the
+/// lease clock and reaps. Whatever interleaving wins, the transaction
+/// must end exactly once, and the object table must be consistent with
+/// whichever side won.
+#[test]
+fn renewal_races_reaper_exactly_one_end() {
+    loom::model(|| {
+        let k = kernel();
+        let txn = k.begin(
+            TxnKind::Update,
+            TxnBounds::export(Limit::ZERO),
+            Timestamp::new(10, SiteId(0)),
+        );
+        // The begin stamped deadline = now + LEASE; make the write land
+        // before any reap so rollback always has something to undo.
+        match k.write(txn, OBJ, 6000).unwrap().outcome {
+            OpOutcome::Written => {}
+            other => panic!("setup write: {other:?}"),
+        }
+
+        let client = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                // Each successful read renews the lease under the state
+                // lock; after a reap wins, every call must uniformly
+                // report UnknownTxn.
+                let mut reaped_out = false;
+                for _ in 0..4 {
+                    loom::explore();
+                    match k.read(txn, OBJ) {
+                        Ok(resp) => match resp.outcome {
+                            OpOutcome::Value(v) => assert_eq!(v, 6000, "own write visible"),
+                            other => panic!("renewing read: {other:?}"),
+                        },
+                        Err(KernelError::UnknownTxn(t)) => {
+                            assert_eq!(t, txn);
+                            reaped_out = true;
+                            break;
+                        }
+                        Err(other) => panic!("renewing read: {other:?}"),
+                    }
+                }
+                loom::explore();
+                match k.commit(txn) {
+                    Ok(end) => {
+                        assert!(!reaped_out, "commit cannot succeed after a reap");
+                        assert!(end.woken.is_empty(), "no other txn can be parked");
+                        true
+                    }
+                    Err(KernelError::UnknownTxn(_)) => false,
+                    Err(other) => panic!("commit: {other:?}"),
+                }
+            })
+        };
+        let reaper = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                // Walk the clock past several renewal horizons; each
+                // step makes the snapshot-time deadline stale if the
+                // client renewed in between.
+                for step in 1..=4u64 {
+                    loom::explore();
+                    k.set_now(step * LEASE + 1);
+                    for (_, end) in k.reap_expired() {
+                        assert!(end.woken.is_empty(), "no other txn can be parked");
+                    }
+                }
+            })
+        };
+        let committed = client.join().unwrap();
+        reaper.join().unwrap();
+
+        let s = k.stats();
+        assert_eq!(s.begins, 1);
+        assert_eq!(
+            s.commits_update + s.aborts_update,
+            1,
+            "transaction must end exactly once (commits={}, aborts={})",
+            s.commits_update,
+            s.aborts_update
+        );
+        if committed {
+            assert_eq!(s.reaped_txns, 0);
+            assert_eq!(k.table().lock(OBJ).value, 6000);
+        } else {
+            assert_eq!(s.reaped_txns, 1);
+            assert_eq!(s.aborts_update, 1);
+            assert_eq!(k.table().lock(OBJ).value, 5000, "reap rolls the write back");
+        }
+        assert_eq!(k.active_txns(), 0);
+        assert_eq!(k.waitq_depth(), 0);
+        assert!(k.table().is_quiescent());
+    });
+}
+
+/// Two transactions with staggered deadlines racing one reap sweep:
+/// the sweep's sorted candidate order and per-txn re-check must never
+/// reap a renewed transaction or end one twice.
+#[test]
+fn sweep_spares_renewed_transaction() {
+    loom::model(|| {
+        let k = kernel();
+        let doomed = k.begin(
+            TxnKind::Update,
+            TxnBounds::export(Limit::ZERO),
+            Timestamp::new(10, SiteId(0)),
+        );
+        let saved = k.begin(
+            TxnKind::Update,
+            TxnBounds::export(Limit::ZERO),
+            Timestamp::new(20, SiteId(0)),
+        );
+        k.set_now(LEASE + 1); // both now past their begin-time deadlines
+
+        let renewer = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                loom::explore();
+                // Renewal may land before the snapshot, between snapshot
+                // and re-check, or after the reap; only the last loses.
+                k.read(saved, OBJ).is_ok()
+            })
+        };
+        let reaper = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                loom::explore();
+                let reaped: Vec<_> = k.reap_expired().into_iter().map(|(t, _)| t).collect();
+                assert!(reaped.contains(&doomed), "never-renewed txn must be reaped");
+                reaped
+            })
+        };
+        let renewed = renewer.join().unwrap();
+        let reaped = reaper.join().unwrap();
+
+        if renewed {
+            // The renewing read beat the reaper's re-check: the reaper
+            // must have left `saved` alone, and it is still live.
+            assert!(!reaped.contains(&saved));
+            assert_eq!(k.active_txns(), 1);
+            let _ = k.commit(saved).unwrap();
+        } else {
+            // The reap won and the read observed UnknownTxn.
+            assert!(reaped.contains(&saved));
+            assert_eq!(k.active_txns(), 0);
+        }
+        let s = k.stats();
+        assert_eq!(s.begins, 2);
+        assert_eq!(
+            s.commits_update + s.aborts_update,
+            2,
+            "each txn ends exactly once"
+        );
+        assert!(k.table().is_quiescent());
+    });
+}

@@ -1,0 +1,171 @@
+//! Loom model of `WaitQueue` park/wake racing `remove_txn` scrubbing.
+//!
+//! A parked operation lives in a wait-queue shard plus the `by_txn`
+//! reverse index. Two paths may claim it concurrently: the wake cascade
+//! of the blocking writer's commit/abort (`wake_waiters`, under the
+//! object lock) and the cross-shard scrub in `abort_cleanup` when the
+//! *parked* transaction is externally aborted (`remove_txn`, one shard
+//! at a time with no other lock held). The model checks that however
+//! the two interleave, the operation is delivered at most once, both
+//! transactions end exactly once, and the queue's running depth and
+//! reverse index stay in parity (the `debug_assert` inside
+//! `WaitQueue::len`, exercised via `Kernel::waitq_depth`).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run via the `loom`
+//! stage of `ci.sh`.
+#![cfg(loom)]
+
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, SiteId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::{Kernel, KernelError, OpOutcome};
+use loom::sync::Arc;
+
+const OBJ: ObjectId = ObjectId(0);
+
+fn ts(t: u64) -> Timestamp {
+    Timestamp::new(t, SiteId(0))
+}
+
+/// Deterministic setup: u1 (ts 10) holds OBJ's write slot uncommitted;
+/// u2 (ts 20) parks an update read behind it. Race u1's commit (which
+/// wakes and resumes u2's read) against an external abort of u2 (which
+/// scrubs u2 out of every wait-queue shard).
+#[test]
+fn wake_races_external_abort_of_parked_txn() {
+    loom::model(|| {
+        let k = {
+            let table = CatalogConfig::default().build_with_values(&[5000]);
+            Arc::new(Kernel::with_defaults(table))
+        };
+        let u1 = k.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO), ts(10));
+        match k.write(u1, OBJ, 6000).unwrap().outcome {
+            OpOutcome::Written => {}
+            other => panic!("setup write: {other:?}"),
+        }
+        let u2 = k.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO), ts(20));
+        match k.read(u2, OBJ).unwrap().outcome {
+            OpOutcome::Wait => {}
+            other => panic!("setup read must park: {other:?}"),
+        }
+        assert_eq!(k.waitq_depth(), 1);
+
+        let committer = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                loom::explore();
+                let end = k.commit(u1).unwrap();
+                loom::explore();
+                // If the scrub got there first, the wake list is empty;
+                // otherwise this thread owns u2's parked read and must
+                // resume it, tolerating u2 having been aborted since.
+                let mut delivered = 0u32;
+                for p in end.woken {
+                    assert_eq!(p.txn, u2);
+                    match k.resume(p) {
+                        Ok(resp) => match resp.outcome {
+                            OpOutcome::Value(v) => {
+                                assert_eq!(v, 6000, "woken read sees the committed write");
+                                delivered += 1;
+                            }
+                            other => panic!("resumed read: {other:?}"),
+                        },
+                        Err(KernelError::UnknownTxn(t)) => assert_eq!(t, u2),
+                        Err(other) => panic!("resumed read: {other:?}"),
+                    }
+                }
+                delivered
+            })
+        };
+        let aborter = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                loom::explore();
+                let end = k.abort(u2).unwrap();
+                assert!(
+                    end.woken.is_empty(),
+                    "u2 wrote nothing; its abort can wake no one"
+                );
+            })
+        };
+        let delivered = committer.join().unwrap();
+        aborter.join().unwrap();
+        assert!(delivered <= 1, "parked op delivered at most once");
+
+        let s = k.stats();
+        assert_eq!(s.begins, 2);
+        assert_eq!(s.commits_update, 1, "u1 commits exactly once");
+        assert_eq!(s.aborts_update, 1, "u2 aborts exactly once");
+        assert_eq!(s.waits, 1);
+        assert!(s.wakes <= 1);
+        assert_eq!(k.active_txns(), 0);
+        // Parity check: depth counter and by_txn reverse index agree
+        // (WaitQueue::len debug_asserts it) and the queue drained.
+        assert_eq!(k.waitq_depth(), 0);
+        assert!(k.table().is_quiescent());
+        assert_eq!(k.table().lock(OBJ).value, 6000);
+    });
+}
+
+/// The writer aborts instead of committing, racing the same external
+/// abort of the parked reader: rollback must restore the shadow value
+/// and a woken read (if the wake wins) must see it.
+#[test]
+fn abort_wake_races_external_abort_of_parked_txn() {
+    loom::model(|| {
+        let k = {
+            let table = CatalogConfig::default().build_with_values(&[5000]);
+            Arc::new(Kernel::with_defaults(table))
+        };
+        let u1 = k.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO), ts(10));
+        match k.write(u1, OBJ, 6000).unwrap().outcome {
+            OpOutcome::Written => {}
+            other => panic!("setup write: {other:?}"),
+        }
+        let u2 = k.begin(TxnKind::Update, TxnBounds::export(Limit::ZERO), ts(20));
+        match k.read(u2, OBJ).unwrap().outcome {
+            OpOutcome::Wait => {}
+            other => panic!("setup read must park: {other:?}"),
+        }
+
+        let writer_abort = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                loom::explore();
+                let end = k.abort(u1).unwrap();
+                for p in end.woken {
+                    assert_eq!(p.txn, u2);
+                    match k.resume(p) {
+                        Ok(resp) => match resp.outcome {
+                            // The rolled-back shadow value, never 6000.
+                            OpOutcome::Value(v) => assert_eq!(v, 5000),
+                            other => panic!("resumed read: {other:?}"),
+                        },
+                        Err(KernelError::UnknownTxn(t)) => assert_eq!(t, u2),
+                        Err(other) => panic!("resumed read: {other:?}"),
+                    }
+                }
+            })
+        };
+        let reader_abort = {
+            let k = Arc::clone(&k);
+            loom::thread::spawn(move || {
+                loom::explore();
+                let _ = k.abort(u2).unwrap();
+            })
+        };
+        writer_abort.join().unwrap();
+        reader_abort.join().unwrap();
+
+        let s = k.stats();
+        assert_eq!(s.begins, 2);
+        assert_eq!(s.aborts_update, 2, "both end exactly once, by abort");
+        assert_eq!(s.commits_update, 0);
+        assert_eq!(k.active_txns(), 0);
+        assert_eq!(k.waitq_depth(), 0);
+        assert!(k.table().is_quiescent());
+        assert_eq!(k.table().lock(OBJ).value, 5000, "shadow value restored");
+    });
+}

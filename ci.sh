@@ -59,6 +59,23 @@ timeout 300 cargo test -p esr-tso --test lease_props -q
 echo "==> chaos: fault-injected histories replay clean"
 timeout 300 cargo test --test chaos_replay -q
 
+# Durability: the storage layer's WAL/checkpoint/recovery suites under
+# the release profile (the torn-write injector tests re-exec the test
+# binary and abort mid-fsync; release timing shakes out flusher races),
+# then the whole-process crash-recovery chaos suite — seeded SIGKILLs
+# and self-inflicted torn writes against the real esr-tcpd daemon, each
+# followed by a restart on the same data directory — and the checker
+# replay of a captured post-crash continuation. All seeds/kill points
+# are fixed in the tests; the timeouts are hang guards.
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> durability: cargo test -p esr-storage --release -q"
+    timeout 600 cargo test -p esr-storage --release -q
+fi
+echo "==> chaos: process-kill crash recovery (esr-tcpd)"
+timeout 600 cargo test -p esr-net --test crash_recovery -q
+echo "==> chaos: post-crash histories replay clean"
+timeout 300 cargo test --test crash_recovery_replay -q
+
 # Benchmark-trajectory smoke: two scenarios on a short virtual window,
 # writing BENCH_PR3.json at the workspace root.
 if [[ "${1:-}" != "quick" ]]; then
@@ -76,6 +93,14 @@ if [[ "${1:-}" != "quick" ]]; then
     cargo test -p esr-server --release --test shard_stress -q
     echo "==> bench-pr4 --smoke"
     cargo run --release -q -p esr-bench --bin bench-pr4 -- --smoke
+fi
+
+# Durability cost and recovery speed: the PR 7 perf artifact smoke —
+# WAL-on vs WAL-off commit throughput at MPL 8 plus recovery replay,
+# with retention/latency floors enforced by the binary itself.
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> bench-pr7 --smoke"
+    cargo run --release -q -p esr-bench --bin bench-pr7 -- --smoke
 fi
 
 # Race models: the three riskiest kernel/server interleavings under the

@@ -16,6 +16,17 @@ pub const WALL_CLOCK_SCOPE: &[&str] = &["crates/tso/src", "crates/sim/src", "cra
 /// kernel's naming scheme, so the scope is exactly that file.
 pub const LOCK_ORDER_SCOPE: &[&str] = &["crates/tso/src/kernel.rs"];
 
+/// Directories whose `.rs` files replay deterministically from their
+/// inputs and therefore must not touch the filesystem — except the
+/// WAL module, durability's one sanctioned I/O site (the allowlist
+/// lives in [`crate::lints::wal_io::ALLOWED_PREFIXES`]).
+pub const WAL_IO_SCOPE: &[&str] = &[
+    "crates/tso/src",
+    "crates/sim/src",
+    "crates/checker/src",
+    "crates/storage/src",
+];
+
 /// Directories whose `.rs` files sit on server-facing request paths:
 /// a poisoned mutex here must recover, not panic forever.
 pub const POISON_SCOPE: &[&str] = &["crates/server/src", "crates/net/src", "crates/faults/src"];

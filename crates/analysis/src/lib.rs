@@ -2,13 +2,14 @@
 //!
 //! Deny-by-default invariant lints for the concurrent kernel and its
 //! drivers, run over a hand-rolled token stream (the offline build has
-//! no `syn`). The five lints, each with its scope in [`config`] and
+//! no `syn`). The six lints, each with its scope in [`config`] and
 //! its rationale in DESIGN.md §12:
 //!
 //! | name | invariant |
 //! |------|-----------|
 //! | `wall-clock`  | no `Instant::now`/`SystemTime::now` in virtual-time code (tso/sim/checker) |
 //! | `lock-order`  | the kernel's registry → state → object → waitq hierarchy, brief-leaf shards |
+//! | `wal-io`      | the storage WAL module is the only file-I/O site in determinism-bearing crates |
 //! | `poison`      | no `.lock().unwrap()`-style poison panics on server-facing paths |
 //! | `channels`    | no unbounded channels in server-facing code |
 //! | `wire-match`  | server dispatch over wire enums is exhaustive and wildcard-free |
@@ -75,6 +76,11 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     }
     for rel in config::LOCK_ORDER_SCOPE {
         lints::lock_order::check(&load(root, Path::new(rel))?, &mut findings);
+    }
+    for scope in config::WAL_IO_SCOPE {
+        for rel in rust_files(root, scope)? {
+            lints::wal_io::check(&load(root, &rel)?, &mut findings);
+        }
     }
     for scope in config::POISON_SCOPE {
         for rel in rust_files(root, scope)? {

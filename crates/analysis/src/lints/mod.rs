@@ -5,5 +5,6 @@
 pub mod channels;
 pub mod lock_order;
 pub mod poison;
+pub mod wal_io;
 pub mod wall_clock;
 pub mod wire_match;

@@ -1,0 +1,117 @@
+//! `wal-io`: the storage WAL module is the only file-I/O site in
+//! determinism-bearing crates.
+//!
+//! The kernel, simulator, checker, and storage layers replay
+//! deterministically from their inputs; a stray `std::fs` call in any
+//! of them couples behaviour to the host filesystem (latency, errors,
+//! leftover state) and silently breaks that property. Durability is
+//! deliberately confined to `crates/storage/src/wal/`, behind the
+//! `DurabilitySink` trait — the kernel appends through the trait and
+//! never touches a file itself. This lint pins that boundary: any
+//! `std::fs`, `File::open`/`create`, `OpenOptions`, or
+//! `sync_all`/`sync_data` token outside the WAL module (and outside
+//! test code) is a finding.
+
+use crate::lexer::SourceFile;
+use crate::report::Finding;
+
+/// Stable lint name, as taken by `// esr-lint: allow(...)`.
+pub const NAME: &str = "wal-io";
+
+/// Path prefixes (workspace-relative, `/`-separated) where file I/O is
+/// the module's job.
+pub const ALLOWED_PREFIXES: &[&str] = &["crates/storage/src/wal"];
+
+/// Idents that, on their own, mark file I/O.
+const BARE_MARKERS: &[&str] = &["OpenOptions", "sync_all", "sync_data"];
+
+/// Flag file-I/O tokens outside the WAL module.
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let rel = file.path.to_string_lossy().replace('\\', "/");
+    if ALLOWED_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let hit = if t.is_ident("fs") {
+            // `std :: fs` (plain `fs` alone could be a local name).
+            i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') && {
+                // Walk back over the second ':' to the `std` ident.
+                i >= 3 && toks[i - 3].is_ident("std")
+            }
+        } else if t.is_ident("File") {
+            // `File :: <anything>` — open, create, options…
+            toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        } else {
+            BARE_MARKERS.iter().any(|m| t.is_ident(m))
+        };
+        if !hit || file.is_test_line(t.line) || file.is_allowed(t.line, NAME) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.path.clone(),
+            line: t.line,
+            col: t.col,
+            lint: NAME,
+            message: format!(
+                "`{}` does file I/O outside crates/storage/src/wal; \
+                 determinism-bearing crates must route durability through \
+                 the DurabilitySink trait, not touch the filesystem",
+                t.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_at(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(PathBuf::from(path), src);
+        let mut v = Vec::new();
+        check(&f, &mut v);
+        v
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_at("crates/tso/src/x.rs", src)
+    }
+
+    #[test]
+    fn flags_fs_file_openoptions_and_syncs() {
+        let v = run("let a = std::fs::read(p);\n\
+             let b = File::open(p);\n\
+             let c = OpenOptions::new();\n\
+             f.sync_all()?;\n\
+             f.sync_data()?;");
+        assert_eq!(v.len(), 5, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert!(v[1].message.contains("File"));
+    }
+
+    #[test]
+    fn wal_module_is_exempt() {
+        let v = run_at(
+            "crates/storage/src/wal/mod.rs",
+            "let f = File::open(p)?; f.sync_data()?;",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ignores_tests_allows_and_lookalikes() {
+        let v = run("// std::fs::read\n\
+             let x = std::fs::read(p); // esr-lint: allow(wal-io)\n\
+             #[cfg(test)]\nmod tests { fn t() { File::open(p); } }\n\
+             let fs = 3; let y = profile::open();");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn bare_file_type_annotation_is_fine() {
+        assert!(run("fn take(f: &File) -> u64 { f.len }").is_empty());
+    }
+}

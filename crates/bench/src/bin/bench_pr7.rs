@@ -1,0 +1,284 @@
+//! `bench-pr7` — emit the PR 7 durability artifact.
+//!
+//! Two comparisons, written to `BENCH_PR7.json` at the workspace root:
+//!
+//! 1. **WAL-on vs WAL-off commit throughput at MPL 8**, wall-clock, on
+//!    the in-process server: 8 client threads each running update
+//!    transactions over disjoint objects (no contention — the measure
+//!    is the durability tax, not the scheduler). WAL-on routes every
+//!    commit through group commit: append, one shared `fdatasync` per
+//!    flusher batch, reply only after the record is durable. The
+//!    acceptance floor is *retention*: group commit must keep at least
+//!    5% of the in-memory throughput even on slow storage (concurrent
+//!    committers share each fsync, so the per-commit tax shrinks as
+//!    load grows).
+//!
+//! 2. **Recovery time for a ≥100k-commit log** (2k in `--smoke`): the
+//!    log is synthesized through the real `DurabilitySink` appender,
+//!    synced once, and then replayed with `recover()` repeatedly for a
+//!    latency distribution. Floor: p95 recovery under 10 s — a crashed
+//!    server must come back in seconds, not minutes.
+//!
+//! Pass `--smoke` for short runs (CI).
+
+use esr_bench::emit::emit_bench_json;
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_obs::LatencyHistogram;
+use esr_server::{Server, ServerConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_storage::{recover, DurabilitySink, Wal, WalOptions};
+use esr_tso::{Kernel, KernelConfig};
+use esr_txn::Session;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MPL: usize = 8;
+
+/// One artifact row.
+#[derive(Debug, Serialize)]
+struct Pr7Row {
+    /// What was measured: `wall_clock_commit` or `wall_clock_recovery`.
+    mode: &'static str,
+    /// Committed transactions per wall-clock second (commit rows) or
+    /// recovery runs per second (recovery rows).
+    throughput: f64,
+    /// Latency percentiles, microseconds: per-commit for commit rows,
+    /// per-recovery for the recovery row.
+    latency_p50_micros: u64,
+    latency_p95_micros: u64,
+    latency_p99_micros: u64,
+    /// WAL bytes written during the row (0 for the in-memory baseline).
+    wal_bytes: u64,
+    /// Log records replayed per recovery (recovery row only).
+    replayed: u64,
+    /// Ratio vs the row's baseline (`1.0` on baselines themselves).
+    vs_baseline: f64,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esr-bench-pr7-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn table() -> CatalogConfig {
+    CatalogConfig {
+        n_objects: (MPL * 4) as u32,
+        value_lo: 0,
+        value_hi: 0,
+        ..CatalogConfig::default()
+    }
+}
+
+/// MPL 8 over disjoint object sets; returns (row, commits). `data_dir`
+/// turns the WAL on.
+fn commit_row(txns_per_client: usize, data_dir: Option<&Path>) -> Pr7Row {
+    let kernel = Kernel::new(
+        table().build(),
+        HierarchySchema::two_level(),
+        KernelConfig::default(),
+    );
+    let wal_bytes;
+    let server = match data_dir {
+        Some(dir) => {
+            let rec = recover(dir, &table()).expect("recover fresh dir");
+            let wal = Wal::open(dir, rec.next_seq, WalOptions::default()).expect("open wal");
+            let d = kernel.enable_durability(Arc::new(wal));
+            wal_bytes = Some(d);
+            Server::start(
+                kernel,
+                ServerConfig {
+                    workers: MPL,
+                    ..ServerConfig::default()
+                },
+            )
+        }
+        None => {
+            wal_bytes = None;
+            Server::start(
+                kernel,
+                ServerConfig {
+                    workers: MPL,
+                    ..ServerConfig::default()
+                },
+            )
+        }
+    };
+
+    let commit_latency = Arc::new(LatencyHistogram::new());
+    let start = Instant::now();
+    let threads: Vec<_> = (0..MPL)
+        .map(|c| {
+            let mut conn = server.connect();
+            let hist = Arc::clone(&commit_latency);
+            std::thread::spawn(move || {
+                for t in 0..txns_per_client {
+                    conn.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+                        .expect("begin");
+                    // Four writes per transaction, objects private to
+                    // this client: zero aborts, pure commit-path cost.
+                    for k in 0..4 {
+                        conn.write(ObjectId((c * 4 + k) as u32), (t * 31 + k) as i64)
+                            .expect("write");
+                    }
+                    let t0 = Instant::now();
+                    conn.commit().expect("commit");
+                    hist.record_duration(t0.elapsed());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let commits = (MPL * txns_per_client) as f64;
+    let snap = commit_latency.snapshot();
+    let bytes = wal_bytes.map(|d| d.sink().wal_bytes()).unwrap_or(0);
+    drop(server);
+    Pr7Row {
+        mode: "wall_clock_commit",
+        throughput: commits / secs.max(f64::EPSILON),
+        latency_p50_micros: snap.p50(),
+        latency_p95_micros: snap.p95(),
+        latency_p99_micros: snap.p99(),
+        wal_bytes: bytes,
+        replayed: 0,
+        vs_baseline: 1.0,
+    }
+}
+
+/// Synthesize a `records`-commit log through the real appender (synced
+/// once at the end — log *construction* is not the measure), then time
+/// `recover()` over it `iters` times for a distribution.
+fn recovery_row(records: u64, iters: usize) -> Pr7Row {
+    let dir = scratch("recovery");
+    let cfg = table();
+    {
+        let wal = Wal::open(&dir, 1, WalOptions::default()).expect("open wal");
+        let n_objects = cfg.n_objects;
+        let mut seq = 0;
+        for i in 1..=records {
+            seq = wal.append_commit(
+                TxnId(i),
+                Timestamp::new(i * 10, SiteId(1)),
+                0,
+                &[(ObjectId((i % u64::from(n_objects)) as u32), i as i64)],
+            );
+        }
+        wal.sync_to(seq);
+        wal.shutdown();
+    }
+
+    let hist = LatencyHistogram::new();
+    let mut replayed = 0;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let rec = recover(&dir, &cfg).expect("recover");
+        hist.record_duration(t0.elapsed());
+        replayed = rec.replayed;
+        assert_eq!(rec.replayed, records, "recovery lost records");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    let snap = hist.snapshot();
+    Pr7Row {
+        mode: "wall_clock_recovery",
+        throughput: iters as f64 / secs.max(f64::EPSILON),
+        latency_p50_micros: snap.p50(),
+        latency_p95_micros: snap.p95(),
+        latency_p99_micros: snap.p99(),
+        wal_bytes: 0,
+        replayed,
+        vs_baseline: 1.0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let txns = if smoke { 100 } else { 1_000 };
+    let baseline = commit_row(txns, None);
+    let dir = scratch("wal-on");
+    let mut durable = commit_row(txns, Some(&dir));
+    let _ = std::fs::remove_dir_all(&dir);
+    durable.vs_baseline = durable.throughput / baseline.throughput;
+
+    let (records, iters) = if smoke { (2_000, 3) } else { (100_000, 10) };
+    let recovery = recovery_row(records, iters);
+
+    let mut rows = BTreeMap::new();
+    rows.insert("commit_wal_off_mpl8".to_string(), baseline);
+    rows.insert("commit_wal_on_mpl8".to_string(), durable);
+    rows.insert(format!("recovery_{records}_commits"), recovery);
+
+    println!(
+        "{:>24}  {:>20}  {:>10}  {:>9}  {:>9}  {:>9}  {:>12}  {:>9}  {:>6}",
+        "scenario",
+        "mode",
+        "rate/s",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "wal bytes",
+        "replayed",
+        "×base"
+    );
+    for (name, row) in &rows {
+        println!(
+            "{name:>24}  {:>20}  {:>10.1}  {:>9}  {:>9}  {:>9}  {:>12}  {:>9}  {:>6.3}",
+            row.mode,
+            row.throughput,
+            row.latency_p50_micros,
+            row.latency_p95_micros,
+            row.latency_p99_micros,
+            row.wal_bytes,
+            row.replayed,
+            row.vs_baseline,
+        );
+    }
+
+    let retention = rows["commit_wal_on_mpl8"].vs_baseline;
+    let p95_recovery = rows
+        .values()
+        .find(|r| r.mode == "wall_clock_recovery")
+        .expect("recovery row")
+        .latency_p95_micros;
+    println!(
+        "\nWAL-on throughput retention at MPL {MPL}: {:.1}%  (acceptance floor 5%)",
+        retention * 100.0
+    );
+    println!(
+        "p95 recovery for a {records}-commit log: {:.1} ms  (acceptance ceiling 10 s)",
+        p95_recovery as f64 / 1e3
+    );
+    if retention < 0.05 {
+        eprintln!("error: WAL-on throughput below the 5% retention floor");
+        std::process::exit(1);
+    }
+    if p95_recovery > 10_000_000 {
+        eprintln!("error: p95 recovery above the 10 s ceiling");
+        std::process::exit(1);
+    }
+    if rows["commit_wal_on_mpl8"].wal_bytes == 0 {
+        eprintln!("error: the durable run wrote no WAL bytes — nothing was measured");
+        std::process::exit(1);
+    }
+
+    match emit_bench_json("BENCH_PR7.json", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_PR7.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

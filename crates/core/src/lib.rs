@@ -66,6 +66,7 @@
 
 pub mod aggregate;
 pub mod bounds;
+pub mod codec;
 pub mod error;
 pub mod hierarchy;
 pub mod ids;

@@ -34,6 +34,10 @@
 //! [`FaultProxy::stall`] freezes request delivery until
 //! [`FaultProxy::unstall`] — a network partition of adjustable length.
 
+pub mod proc;
+
+pub use proc::{ServerProc, ServerProcOptions};
+
 use esr_net::MAX_FRAME;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,194 @@
+//! Whole-process fault injection: run `esr-tcpd` as a child process
+//! and kill it without warning.
+//!
+//! The in-process [`crate::FaultProxy`] can sever connections, but a
+//! severed connection still leaves the server's memory intact. The
+//! durability claims of the write-ahead log are about a harsher fault:
+//! the entire server process dying mid-commit, mid-fsync, or mid-
+//! checkpoint. [`ServerProc`] spawns the real daemon binary pointed at
+//! a data directory, waits for its listening line, and exposes
+//! [`ServerProc::kill`] (SIGKILL — no destructors, no flushes, exactly
+//! like a power cut as far as user space is concerned). Restarting with
+//! the same directory exercises the daemon's own recovery path, not a
+//! test re-implementation of it.
+//!
+//! The crash tests additionally arm the daemon's `--wal-torn-after N`
+//! injector, which makes the *server itself* abort midway through
+//! writing record `N` — the torn-write case a SIGKILL from outside can
+//! only hit by luck.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Options for spawning a durable `esr-tcpd` child.
+#[derive(Debug, Clone)]
+pub struct ServerProcOptions {
+    /// Path to the `esr-tcpd` binary (tests use `env!("CARGO_BIN_EXE_esr-tcpd")`).
+    pub binary: PathBuf,
+    /// Data directory passed as `--data-dir`.
+    pub data_dir: PathBuf,
+    /// Objects in the (first-boot) database.
+    pub objects: usize,
+    /// Initial value of every object.
+    pub value: i64,
+    /// Lease length in microseconds (0 = leases off).
+    pub lease_micros: u64,
+    /// Checkpoint cadence in seconds (0 = periodic checkpoints off).
+    pub checkpoint_secs: u64,
+    /// Arm the WAL torn-write injector at this record sequence.
+    pub wal_torn_after: Option<u64>,
+}
+
+impl ServerProcOptions {
+    /// Defaults for a small crash-test database.
+    pub fn new(binary: impl Into<PathBuf>, data_dir: impl Into<PathBuf>) -> Self {
+        ServerProcOptions {
+            binary: binary.into(),
+            data_dir: data_dir.into(),
+            objects: 16,
+            value: 1000,
+            lease_micros: 0,
+            checkpoint_secs: 0,
+            wal_torn_after: None,
+        }
+    }
+}
+
+/// A running `esr-tcpd` child process.
+#[derive(Debug)]
+pub struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// Spawn the daemon on an ephemeral port and wait until its
+    /// "listening on" line reports the bound address.
+    pub fn spawn(opts: &ServerProcOptions) -> io::Result<ServerProc> {
+        let mut cmd = Command::new(&opts.binary);
+        cmd.arg("127.0.0.1:0")
+            .arg("--objects")
+            .arg(opts.objects.to_string())
+            .arg("--value")
+            .arg(opts.value.to_string())
+            .arg("--data-dir")
+            .arg(&opts.data_dir)
+            .arg("--checkpoint-secs")
+            .arg(opts.checkpoint_secs.to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if opts.lease_micros > 0 {
+            cmd.arg("--lease-micros").arg(opts.lease_micros.to_string());
+        }
+        if let Some(n) = opts.wal_torn_after {
+            cmd.arg("--wal-torn-after").arg(n.to_string());
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let addr = match wait_for_listen_line(stdout, &mut child) {
+            Ok(addr) => addr,
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+        };
+        Ok(ServerProc { child, addr })
+    }
+
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// SIGKILL the daemon — no shutdown hooks, no flushes — and reap
+    /// the zombie. Idempotent once the child is gone.
+    pub fn kill(&mut self) -> io::Result<()> {
+        self.child.kill()?;
+        self.child.wait()?;
+        Ok(())
+    }
+
+    /// Wait (bounded) for the child to exit on its own — used with the
+    /// torn-write injector, where the *server* aborts itself. Returns
+    /// `true` if it exited within `timeout`.
+    pub fn wait_exit(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return true,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return true,
+            }
+        }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Read the child's stdout until the "listening on ADDR" line appears.
+/// The recovery summary line (printed first on durable boots) is
+/// swallowed here; stdout is drained on a detached thread afterwards so
+/// the child never blocks on a full pipe.
+fn wait_for_listen_line(
+    stdout: std::process::ChildStdout,
+    child: &mut Child,
+) -> io::Result<SocketAddr> {
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            // EOF: the child died before listening (e.g. the torn-write
+            // injector armed at a seq recovery itself replays).
+            let status = child.wait()?;
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("esr-tcpd exited before listening: {status}"),
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix("esr-tcpd listening on ") {
+            let addr_str = rest.split_whitespace().next().unwrap_or(rest);
+            let addr = addr_str.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cannot parse listen address {addr_str:?}: {e}"),
+                )
+            })?;
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                    sink.clear();
+                }
+            });
+            return Ok(addr);
+        }
+    }
+}
+
+/// Convenience for tests: a scratch data directory under the system
+/// temp root, cleaned before use.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esr-proc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Remove a scratch directory, ignoring errors.
+pub fn cleanup_dir(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -316,6 +316,124 @@ fn chaos_mix_preserves_invariants() {
     });
 }
 
+/// Handshakes severed at the worst moments — after the `Hello` frame
+/// but before the `Welcome` reply, mid-frame, and proxy-killed — must
+/// all return their site ids to the allocator. A leak here is invisible
+/// to any single test but exhausts the 16-bit site space under
+/// connection churn; the regression check is that after heavy severing
+/// a fresh connection still obtains the *lowest* site id, which only
+/// happens if every severed connection's id was recycled.
+#[test]
+fn severed_handshakes_return_site_ids_to_the_pool() {
+    use esr_net::{frame, RequestBody, WireRequest};
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    with_deadline(Duration::from_secs(60), || {
+        let tcp = leased_server(&[100], Duration::from_secs(5));
+        let addr = tcp.local_addr();
+
+        // Baseline: the first connection gets the lowest id and returns
+        // it on drop.
+        let conn = chaos_client(addr, 7).unwrap();
+        let baseline = conn.site();
+        drop(conn);
+
+        // Sever after a complete Hello, before reading Welcome: the
+        // server has already allocated the id when the socket dies.
+        for _ in 0..16 {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            frame::write_frame(
+                &mut sock,
+                &WireRequest {
+                    id: 1,
+                    retry: false,
+                    body: RequestBody::Hello,
+                },
+            )
+            .unwrap();
+            drop(sock); // no read: the Welcome reply hits a dead peer
+        }
+        // Sever mid-frame: a torn length prefix must not wedge a reader
+        // (or strand an id — none was allocated yet).
+        for _ in 0..8 {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            let _ = sock.write_all(&[0x10, 0x00]);
+            drop(sock);
+        }
+        // Sever through the proxy: handshake relayed, then both legs
+        // killed at once.
+        let proxy = FaultProxy::bind(addr, FaultPlan::default()).unwrap();
+        for _ in 0..4 {
+            let mut sock = TcpStream::connect(proxy.local_addr()).unwrap();
+            frame::write_frame(
+                &mut sock,
+                &WireRequest {
+                    id: 1,
+                    retry: false,
+                    body: RequestBody::Hello,
+                },
+            )
+            .unwrap();
+            proxy.kill_all();
+        }
+
+        // Every severed id must come back. The allocator hands out the
+        // lowest free id, so a fresh connection reclaiming the baseline
+        // id proves the pool returned to its starting state.
+        let t0 = Instant::now();
+        loop {
+            let conn = chaos_client(addr, 8).unwrap();
+            let site = conn.site();
+            drop(conn);
+            if site == baseline {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(15),
+                "site ids leaked: fresh connection got {site:?}, baseline was {baseline:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        drop(proxy);
+        let stats = drain(&tcp, Duration::from_secs(10));
+        assert_conservation(&stats);
+    });
+}
+
+/// The server's `esr_retries` counter is incremented exactly once per
+/// retry-flagged frame it receives, so it can never exceed the number
+/// of resends the client actually performed (reconnect handshakes are
+/// deliberately unflagged). Double counting — e.g. counting a retried
+/// request again when its reply hook fires — would break this
+/// inequality under connection kills.
+#[test]
+fn retry_accounting_is_not_double_counted() {
+    with_deadline(Duration::from_secs(120), || {
+        let tcp = leased_server(&[100, 200], Duration::from_secs(1));
+        let plan = FaultPlan {
+            kill_after_frames: Some(20),
+            ..FaultPlan::default()
+        };
+        let proxy = FaultProxy::bind(tcp.local_addr(), plan).unwrap();
+        let mut conn = chaos_client(proxy.local_addr(), 11).unwrap();
+        for i in 0..12 {
+            let _ = try_update(&mut conn, proxy.local_addr(), 11, ObjectId(1), 700 + i);
+        }
+        let client_resends = conn.retries();
+        drop(conn);
+        let stats = drain(&tcp, Duration::from_secs(15));
+        assert_conservation(&stats);
+        assert!(client_resends >= 1, "the kill plan forced no resends");
+        assert!(
+            stats.retries <= client_resends,
+            "server counted {} retries but the client only resent {} times",
+            stats.retries,
+            client_resends
+        );
+    });
+}
+
 /// A stall shorter than the client's reply budget is absorbed as
 /// latency: the blocked call completes once the partition heals.
 #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR]
-//!          [--lease-micros L]
+//!          [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7878`, 64 objects initialised to 1000 (the
@@ -18,15 +18,30 @@
 //! `esr_net::TcpConnection` (see the `tcp_loopback` example) or any
 //! client speaking the framed protocol.
 //!
+//! With `--data-dir` the database is *durable*: every committing update
+//! is journaled to a write-ahead log in `DIR` and fsynced (group
+//! commit) before the commit reply leaves the server, and on startup
+//! the daemon recovers from the newest checkpoint plus the log tail —
+//! a line reporting what was recovered is printed before the listener
+//! comes up. `--checkpoint-secs` (default 30 when durable) sets the
+//! periodic checkpoint cadence. Without `--data-dir` the database is
+//! in-memory only, exactly as before.
+//!
 //! With `--metrics-addr` a second listener serves the live observability
 //! layer over plain HTTP: `curl http://ADDR/metrics` returns kernel
 //! counters, gauges (wait-queue depth, active transactions, in-flight
-//! requests), and latency-histogram summaries in Prometheus text
-//! format.
+//! requests, WAL bytes, recoveries), and latency-histogram summaries in
+//! Prometheus text format.
+//!
+//! The hidden `--wal-torn-after N` flag arms the WAL's torn-write
+//! injector: the process aborts midway through writing record `N`'s
+//! bytes, leaving a torn tail on disk. It exists solely for the
+//! crash-recovery test harness.
 
 use esr_net::{MetricsServer, NetServerConfig, StatsSource, TcpServer};
-use esr_server::{build_server_stats, Server, ServerConfig};
+use esr_server::{build_server_stats, start_durable, Server, ServerConfig};
 use esr_storage::catalog::CatalogConfig;
+use esr_storage::wal::WalOptions;
 use esr_tso::{Kernel, KernelConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,7 +49,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR] \
-         [--lease-micros L]"
+         [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S]"
     );
     std::process::exit(2);
 }
@@ -56,6 +71,9 @@ fn main() {
     let mut workers: usize = 4;
     let mut metrics_addr: Option<String> = None;
     let mut lease_micros: u64 = 0;
+    let mut data_dir: Option<String> = None;
+    let mut checkpoint_secs: u64 = 30;
+    let mut wal_torn_after: Option<u64> = None;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -65,28 +83,83 @@ fn main() {
             "--workers" => workers = parse(&mut args, "--workers"),
             "--metrics-addr" => metrics_addr = Some(parse(&mut args, "--metrics-addr")),
             "--lease-micros" => lease_micros = parse(&mut args, "--lease-micros"),
+            "--data-dir" => data_dir = Some(parse(&mut args, "--data-dir")),
+            "--checkpoint-secs" => checkpoint_secs = parse(&mut args, "--checkpoint-secs"),
+            "--wal-torn-after" => wal_torn_after = Some(parse(&mut args, "--wal-torn-after")),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
             _ => usage(),
         }
     }
 
-    let table = CatalogConfig::default().build_with_values(&vec![value; objects]);
-    let kernel = Kernel::new(
-        table,
-        esr_core::hierarchy::HierarchySchema::two_level(),
-        KernelConfig {
-            lease_micros,
-            ..KernelConfig::default()
-        },
-    );
-    let server = Server::start(
-        kernel,
-        ServerConfig {
-            workers,
-            ..ServerConfig::default()
-        },
-    );
+    let kernel_config = KernelConfig {
+        lease_micros,
+        ..KernelConfig::default()
+    };
+    let server_config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = match &data_dir {
+        Some(dir) => {
+            // Durable boot: the catalog describes the *first* boot's
+            // database; later boots recover the real one from DIR.
+            let catalog = CatalogConfig {
+                n_objects: objects as u32,
+                value_lo: value,
+                value_hi: value,
+                ..CatalogConfig::default()
+            };
+            let config = ServerConfig {
+                checkpoint_interval: (checkpoint_secs > 0)
+                    .then(|| Duration::from_secs(checkpoint_secs)),
+                ..server_config
+            };
+            let wal_opts = WalOptions {
+                torn_write_after: wal_torn_after,
+            };
+            match start_durable(
+                dir,
+                &catalog,
+                esr_core::hierarchy::HierarchySchema::two_level(),
+                kernel_config,
+                config,
+                wal_opts,
+            ) {
+                Ok((server, summary)) => {
+                    println!(
+                        "esr-tcpd recovered from {dir}: replayed {} record(s){}{}",
+                        summary.replayed,
+                        if summary.torn_tail {
+                            ", truncated torn tail"
+                        } else {
+                            ""
+                        },
+                        if summary.had_state {
+                            String::new()
+                        } else {
+                            " (fresh database)".to_owned()
+                        }
+                        .as_str(),
+                    );
+                    server
+                }
+                Err(e) => {
+                    eprintln!("esr-tcpd: recovery from {dir} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let table = CatalogConfig::default().build_with_values(&vec![value; objects]);
+            let kernel = Kernel::new(
+                table,
+                esr_core::hierarchy::HierarchySchema::two_level(),
+                kernel_config,
+            );
+            Server::start(kernel, server_config)
+        }
+    };
     let net_config = NetServerConfig {
         // Overload is an operator concern: surface it, but at most one
         // line every few seconds no matter how hard clients hammer.
@@ -105,8 +178,9 @@ fn main() {
     } else {
         String::new()
     };
+    let durable = if data_dir.is_some() { ", durable" } else { "" };
     println!(
-        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease})",
+        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease}{durable})",
         tcp.local_addr()
     );
     // Keep the metrics listener alive for the lifetime of the process.

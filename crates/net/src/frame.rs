@@ -8,53 +8,27 @@
 //! +----------------+---------------------+
 //! ```
 //!
-//! The payload is a compact binary encoding of the serde data model
-//! (the shim's `Content` tree): a one-byte tag per node, LEB128 varints
-//! for integers (zigzag for signed), and length-prefixed UTF-8 for
-//! strings. This is the same self-describing postcard/bincode niche —
-//! no schema on the wire, the `Deserialize` impl re-shapes the tree —
-//! while staying independent of any external crate.
+//! The payload is the compact binary encoding of the serde data model
+//! from [`esr_core::codec`] (shared with the storage write-ahead log,
+//! which journals redo records in the same bytes); this module owns
+//! only the *framing*: the length prefix, the socket I/O, and the
+//! frame-size cap.
 //!
 //! Frames larger than [`MAX_FRAME`] are rejected on both ends: a
 //! corrupt or malicious length prefix must not trigger an unbounded
 //! allocation.
 
-use serde::{Content, Deserialize, Serialize};
+use esr_core::codec::{self, CodecError};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Read, Write};
+
+pub use esr_core::codec::MAX_DEPTH;
 
 /// Upper bound on one frame's payload. Protocol messages are tiny
 /// (tens of bytes); a megabyte leaves room for pathological bound
 /// specifications without admitting unbounded allocations.
 pub const MAX_FRAME: u32 = 1 << 20;
-
-/// Upper bound on the nesting depth of a decoded value. The protocol's
-/// messages nest a handful of levels (envelope → enum → struct → seq of
-/// tuples); 64 leaves an order-of-magnitude margin. Without this cap a
-/// small hostile frame of nested one-element sequences (two bytes per
-/// level, so ~500k levels fit under [`MAX_FRAME`]) would drive the
-/// recursive decoder through the reader thread's stack and abort the
-/// whole process.
-pub const MAX_DEPTH: usize = 64;
-
-/// Largest element count a sequence/map claim may pre-reserve. Claims
-/// are validated against the remaining bytes, but one byte of payload
-/// can claim one *element* (tens of bytes of `Content`), so reserving
-/// the full claim would let a 1 MiB frame pin far more memory than the
-/// frame cap suggests — per nesting level. Honest oversized collections
-/// still decode; the vector just grows past this on push.
-const MAX_PREALLOC: usize = 4096;
-
-/// Node tags of the binary Content encoding.
-const TAG_NULL: u8 = 0;
-const TAG_FALSE: u8 = 1;
-const TAG_TRUE: u8 = 2;
-const TAG_U64: u8 = 3;
-const TAG_I64: u8 = 4;
-const TAG_F64: u8 = 5;
-const TAG_STR: u8 = 6;
-const TAG_SEQ: u8 = 7;
-const TAG_MAP: u8 = 8;
 
 /// Why encoding, decoding, or frame I/O failed.
 #[derive(Debug)]
@@ -94,6 +68,12 @@ impl From<io::Error> for FrameError {
     }
 }
 
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> Self {
+        FrameError::Codec(e.0)
+    }
+}
+
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -101,185 +81,14 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-// ---------------------------------------------------------------------------
-// Varints
-// ---------------------------------------------------------------------------
-
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, FrameError> {
-    let mut v: u64 = 0;
-    for shift in (0..64).step_by(7) {
-        let byte = *buf
-            .get(*pos)
-            .ok_or_else(|| FrameError::Codec("truncated varint".into()))?;
-        *pos += 1;
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            // Reject non-canonical encodings that would overflow u64.
-            if shift == 63 && byte > 1 {
-                return Err(FrameError::Codec("varint overflows u64".into()));
-            }
-            return Ok(v);
-        }
-    }
-    Err(FrameError::Codec("varint longer than 10 bytes".into()))
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-// ---------------------------------------------------------------------------
-// Content <-> bytes
-// ---------------------------------------------------------------------------
-
-fn encode_content(c: &Content, out: &mut Vec<u8>) {
-    match c {
-        Content::Null => out.push(TAG_NULL),
-        Content::Bool(false) => out.push(TAG_FALSE),
-        Content::Bool(true) => out.push(TAG_TRUE),
-        Content::U64(v) => {
-            out.push(TAG_U64);
-            put_varint(out, *v);
-        }
-        Content::I64(v) => {
-            out.push(TAG_I64);
-            put_varint(out, zigzag(*v));
-        }
-        Content::F64(v) => {
-            out.push(TAG_F64);
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        Content::Str(s) => {
-            out.push(TAG_STR);
-            put_varint(out, s.len() as u64);
-            out.extend_from_slice(s.as_bytes());
-        }
-        Content::Seq(items) => {
-            out.push(TAG_SEQ);
-            put_varint(out, items.len() as u64);
-            for item in items {
-                encode_content(item, out);
-            }
-        }
-        Content::Map(entries) => {
-            out.push(TAG_MAP);
-            put_varint(out, entries.len() as u64);
-            for (k, v) in entries {
-                put_varint(out, k.len() as u64);
-                out.extend_from_slice(k.as_bytes());
-                encode_content(v, out);
-            }
-        }
-    }
-}
-
-fn take_str(buf: &[u8], pos: &mut usize) -> Result<String, FrameError> {
-    let len = get_varint(buf, pos)? as usize;
-    let end = pos
-        .checked_add(len)
-        .filter(|&e| e <= buf.len())
-        .ok_or_else(|| FrameError::Codec("truncated string".into()))?;
-    let s = std::str::from_utf8(&buf[*pos..end])
-        .map_err(|_| FrameError::Codec("invalid UTF-8".into()))?
-        .to_owned();
-    *pos = end;
-    Ok(s)
-}
-
-fn decode_content(buf: &[u8], pos: &mut usize, depth: usize) -> Result<Content, FrameError> {
-    if depth >= MAX_DEPTH {
-        return Err(FrameError::Codec(format!(
-            "value nests deeper than {MAX_DEPTH} levels"
-        )));
-    }
-    let tag = *buf
-        .get(*pos)
-        .ok_or_else(|| FrameError::Codec("truncated tag".into()))?;
-    *pos += 1;
-    Ok(match tag {
-        TAG_NULL => Content::Null,
-        TAG_FALSE => Content::Bool(false),
-        TAG_TRUE => Content::Bool(true),
-        TAG_U64 => Content::U64(get_varint(buf, pos)?),
-        TAG_I64 => Content::I64(unzigzag(get_varint(buf, pos)?)),
-        TAG_F64 => {
-            let end = *pos + 8;
-            let bytes: [u8; 8] = buf
-                .get(*pos..end)
-                .ok_or_else(|| FrameError::Codec("truncated f64".into()))?
-                .try_into()
-                .expect("slice length checked");
-            *pos = end;
-            Content::F64(f64::from_le_bytes(bytes))
-        }
-        TAG_STR => Content::Str(take_str(buf, pos)?),
-        TAG_SEQ => {
-            let n = get_varint(buf, pos)? as usize;
-            // Each element costs at least one byte; cap before reserving.
-            if n > buf.len() - *pos {
-                return Err(FrameError::Codec("sequence length exceeds frame".into()));
-            }
-            // The claim bounds elements, not bytes: reserve only up to
-            // MAX_PREALLOC and let push() grow honest large sequences.
-            let mut items = Vec::with_capacity(n.min(MAX_PREALLOC));
-            for _ in 0..n {
-                items.push(decode_content(buf, pos, depth + 1)?);
-            }
-            Content::Seq(items)
-        }
-        TAG_MAP => {
-            let n = get_varint(buf, pos)? as usize;
-            // Each entry costs at least two bytes (empty-key varint plus
-            // the value's tag).
-            if n > (buf.len() - *pos) / 2 {
-                return Err(FrameError::Codec("map length exceeds frame".into()));
-            }
-            let mut entries = Vec::with_capacity(n.min(MAX_PREALLOC));
-            for _ in 0..n {
-                let k = take_str(buf, pos)?;
-                let v = decode_content(buf, pos, depth + 1)?;
-                entries.push((k, v));
-            }
-            Content::Map(entries)
-        }
-        other => return Err(FrameError::Codec(format!("unknown content tag {other}"))),
-    })
-}
-
 /// Serialize a value to its frame payload (no length prefix).
 pub fn to_bytes<T: Serialize>(value: &T) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64);
-    encode_content(&value.to_content(), &mut out);
-    out
+    codec::to_bytes(value)
 }
 
 /// Deserialize a frame payload produced by [`to_bytes`].
 pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, FrameError> {
-    let mut pos = 0;
-    let content = decode_content(bytes, &mut pos, 0)?;
-    if pos != bytes.len() {
-        return Err(FrameError::Codec(format!(
-            "{} trailing bytes after value",
-            bytes.len() - pos
-        )));
-    }
-    T::from_content(&content).map_err(|e| FrameError::Codec(e.to_string()))
+    codec::from_bytes(bytes).map_err(FrameError::from)
 }
 
 // ---------------------------------------------------------------------------
@@ -346,20 +155,6 @@ mod tests {
         let bytes = to_bytes(&v);
         let back: T = from_bytes(&bytes).expect("decodes");
         assert_eq!(back, v);
-    }
-
-    #[test]
-    fn varints_round_trip() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = Vec::new();
-            put_varint(&mut buf, v);
-            let mut pos = 0;
-            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
-            assert_eq!(pos, buf.len());
-        }
-        for v in [i64::MIN, -300, -1, 0, 1, 300, i64::MAX] {
-            assert_eq!(unzigzag(zigzag(v)), v);
-        }
     }
 
     #[test]
@@ -514,50 +309,12 @@ mod tests {
             Err(FrameError::Io(_)) => {} // read_exact hits EOF mid-frame
             other => panic!("{other:?}"),
         }
-        // Corrupt tag inside an otherwise complete frame.
+        // Corrupt tag inside an otherwise complete frame: the hostile-
+        // input suite (deep nesting, claim inflation) lives with the
+        // codec in esr-core; the transport keeps the error-mapping check.
         let bad = vec![99u8];
         match from_bytes::<WireReply>(&bad) {
             Err(FrameError::Codec(m)) => assert!(m.contains("tag")),
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn hostile_deep_nesting_is_rejected_not_a_stack_overflow() {
-        // A frame of nested one-element sequences, two bytes per level:
-        // tiny on the wire, but an uncapped recursive decoder would
-        // recurse once per level and blow the reader thread's stack.
-        let levels = 100_000;
-        let mut payload = Vec::with_capacity(2 * levels + 1);
-        for _ in 0..levels {
-            payload.push(TAG_SEQ);
-            payload.push(1); // varint count = 1
-        }
-        payload.push(TAG_NULL);
-        match from_bytes::<Vec<u64>>(&payload) {
-            Err(FrameError::Codec(m)) => assert!(m.contains("nests deeper"), "{m}"),
-            other => panic!("{other:?}"),
-        }
-        // Nesting within the cap still decodes.
-        round_trip(vec![vec![vec![1u64, 2], vec![3]], vec![]]);
-    }
-
-    #[test]
-    fn honest_sequences_longer_than_the_prealloc_cap_decode() {
-        // The reservation cap must not reject or truncate genuinely
-        // large (but in-budget) collections.
-        let big: Vec<u64> = (0..(MAX_PREALLOC as u64 * 4)).collect();
-        round_trip(big);
-    }
-
-    #[test]
-    fn hostile_sequence_length_is_rejected() {
-        // TAG_SEQ claiming u64::MAX elements in a 3-byte frame must not
-        // try to reserve that much.
-        let mut payload = vec![TAG_SEQ];
-        put_varint(&mut payload, u64::MAX);
-        match from_bytes::<Vec<u64>>(&payload) {
-            Err(FrameError::Codec(m)) => assert!(m.contains("exceeds")),
             other => panic!("{other:?}"),
         }
     }

@@ -252,6 +252,16 @@ pub fn render_metrics(stats: &ServerStats) -> String {
             "esr_in_flight",
             "Requests currently inside the worker pool",
             stats.in_flight,
+        )
+        .gauge(
+            "esr_wal_bytes",
+            "Bytes appended to the write-ahead log by this process",
+            stats.wal_bytes as i64,
+        )
+        .gauge(
+            "esr_recoveries",
+            "Crash recoveries performed at startup",
+            stats.recoveries as i64,
         );
     for h in &stats.histograms {
         e.summary(
@@ -286,6 +296,8 @@ mod tests {
             waitq_depth: 2,
             in_flight: 1,
             retries: 6,
+            wal_bytes: 4096,
+            recoveries: 1,
             histograms: vec![NamedHistogram {
                 name: "kernel_txn_latency_micros".into(),
                 hist: h.snapshot(),
@@ -302,6 +314,8 @@ mod tests {
         assert!(text.contains("esr_in_flight 1"));
         assert!(text.contains("esr_kernel_reaped_txns_total 0"));
         assert!(text.contains("esr_retries_total 6"));
+        assert!(text.contains("esr_wal_bytes 4096"));
+        assert!(text.contains("esr_recoveries 1"));
         assert!(text.contains("esr_kernel_txn_latency_micros{quantile=\"0.5\"}"));
         assert!(text.contains("esr_kernel_txn_latency_micros_count 2"));
     }

@@ -1,0 +1,84 @@
+//! One-call boot of a *durable* server: recover, open the log, attach
+//! it to a kernel, and start the worker pool.
+//!
+//! `esr-tcpd --data-dir` and the crash-recovery tests share this path,
+//! so the recovery sequence under test is exactly the one the daemon
+//! runs:
+//!
+//! 1. [`esr_storage::wal::recover`] rebuilds committed state from the
+//!    newest valid checkpoint plus the log tail (truncating any torn
+//!    record) — or from the catalog on first boot;
+//! 2. a fresh [`Wal`] segment is opened at the recovered sequence;
+//! 3. the kernel is built over the recovered table, its transaction-id
+//!    counter raised past every journaled id, and the sink attached;
+//! 4. the server reference clock is based *above* the largest
+//!    recovered timestamp (plus [`CLOCK_EPOCH_MARGIN_MICROS`]), so a
+//!    restart cannot stamp new transactions before pre-crash commits
+//!    and strand them in perpetual aborts.
+
+use crate::server::{Server, ServerConfig};
+use esr_core::hierarchy::HierarchySchema;
+use esr_storage::catalog::CatalogConfig;
+use esr_storage::table::ObjectTable;
+use esr_storage::wal::{recover, Wal, WalOptions};
+use esr_tso::{Kernel, KernelConfig};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Safety margin added above the largest recovered timestamp tick when
+/// deriving the restarted reference-clock epoch. Covers the residual
+/// error of pre-crash client clock corrections (~RTT/2 each), which can
+/// place issued timestamps slightly ahead of the server reference.
+pub const CLOCK_EPOCH_MARGIN_MICROS: u64 = 1_000_000;
+
+/// What recovery found, reported alongside the started server.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySummary {
+    /// Redo records replayed on top of the checkpoint/catalog base.
+    pub replayed: u64,
+    /// Whether a torn log tail was found and truncated.
+    pub torn_tail: bool,
+    /// Whether any durable state existed (false on first boot).
+    pub had_state: bool,
+    /// First transaction id the restarted kernel will assign.
+    pub next_txn: u64,
+    /// The reference-clock epoch the server was started with.
+    pub clock_epoch_micros: u64,
+}
+
+/// Recover from `data_dir`, open the log, and start a durable server.
+///
+/// `config.clock_epoch_micros` is treated as a *minimum*: the effective
+/// epoch is raised to clear every recovered timestamp.
+pub fn start_durable(
+    data_dir: impl AsRef<Path>,
+    catalog: &CatalogConfig,
+    schema: HierarchySchema,
+    kernel_config: KernelConfig,
+    mut config: ServerConfig,
+    wal_opts: WalOptions,
+) -> io::Result<(Server, RecoverySummary)> {
+    let data_dir = data_dir.as_ref();
+    let rec = recover(data_dir, catalog)?;
+    let wal = Wal::open(data_dir, rec.next_seq, wal_opts)?;
+    if rec.had_state {
+        wal.note_recovery();
+    }
+    let kernel = Kernel::new(ObjectTable::new(rec.states), schema, kernel_config);
+    kernel.restore_next_txn(rec.next_txn);
+    kernel.enable_durability(Arc::new(wal));
+    if rec.had_state {
+        config.clock_epoch_micros = config
+            .clock_epoch_micros
+            .max(rec.max_ts_ticks + CLOCK_EPOCH_MARGIN_MICROS);
+    }
+    let summary = RecoverySummary {
+        replayed: rec.replayed,
+        torn_tail: rec.torn_tail,
+        had_state: rec.had_state,
+        next_txn: rec.next_txn,
+        clock_epoch_micros: config.clock_epoch_micros,
+    };
+    Ok((Server::start(kernel, config), summary))
+}

@@ -24,11 +24,13 @@
 //! on its reply channel, mirroring a blocked synchronous RPC.
 
 pub mod connection;
+pub mod durable;
 pub mod obs;
 pub mod proto;
 pub mod server;
 
 pub use connection::Connection;
+pub use durable::{start_durable, RecoverySummary, CLOCK_EPOCH_MARGIN_MICROS};
 pub use obs::{RequestKind, ServerObs};
 pub use proto::{
     BeginReply, EndReply, NamedHistogram, OpReply, QueuedRequest, ReplySink, Request, ServerStats,

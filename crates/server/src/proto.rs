@@ -83,6 +83,16 @@ pub struct ServerStats {
     /// rejects). Absent in snapshots from pre-retry servers.
     #[serde(default)]
     pub retries: u64,
+    /// Bytes appended to the write-ahead log by this process (0 when no
+    /// durability sink is attached). Absent in snapshots from
+    /// pre-durability servers.
+    #[serde(default)]
+    pub wal_bytes: u64,
+    /// Crash recoveries this process performed at startup (0 on a fresh
+    /// boot or without durability). Absent in snapshots from
+    /// pre-durability servers.
+    #[serde(default)]
+    pub recoveries: u64,
     /// All latency histograms: per-request-kind queue wait and service
     /// time from the workers, plus the kernel's op-service, park-wait,
     /// and txn-latency distributions.

@@ -47,6 +47,20 @@ pub struct ServerConfig {
     /// built with `lease_micros > 0` (no reaper thread is spawned
     /// otherwise). The effective lease is `lease_micros` ± one tick.
     pub reap_interval: Duration,
+    /// Base offset of the server reference clock, in microseconds.
+    /// After a crash, recovery reports the largest timestamp tick in
+    /// the durable state, and the restarted server sets this above it:
+    /// every timestamp is derived (via correction factors) from the
+    /// reference, so a reference that restarted at ~0 would stamp new
+    /// transactions *before* recovered committed writes and abort them
+    /// forever.
+    pub clock_epoch_micros: u64,
+    /// Checkpoint cadence when the kernel has a durability sink
+    /// attached: every interval, commits are briefly quiesced and a
+    /// snapshot is written so the log can be pruned and recovery stays
+    /// fast. `None` (the default) disables the checkpoint thread; a
+    /// final checkpoint is still written on clean shutdown.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +71,8 @@ impl Default for ServerConfig {
             virtual_time: false,
             queue_capacity: 1024,
             reap_interval: Duration::from_millis(50),
+            clock_epoch_micros: 0,
+            checkpoint_interval: None,
         }
     }
 }
@@ -228,6 +244,11 @@ pub struct Server {
     /// enabled. Stopped via `reaper_stop` + unpark on shutdown.
     reaper: Option<JoinHandle<()>>,
     reaper_stop: Arc<std::sync::atomic::AtomicBool>,
+    /// The periodic checkpoint thread, present only when the kernel has
+    /// a durability sink and a checkpoint interval is configured.
+    /// Stopped via `checkpointer_stop` + unpark on shutdown.
+    checkpointer: Option<JoinHandle<()>>,
+    checkpointer_stop: Arc<std::sync::atomic::AtomicBool>,
     reference: Arc<dyn TimeSource>,
     manual: Option<ManualTimeSource>,
     sites: Arc<SiteAllocator>,
@@ -241,8 +262,18 @@ impl Server {
         let kernel = Arc::new(kernel);
         let (reference, manual): (Arc<dyn TimeSource>, Option<ManualTimeSource>) =
             if config.virtual_time {
-                let m = ManualTimeSource::starting_at(1);
+                let m = ManualTimeSource::starting_at(1 + config.clock_epoch_micros);
                 (Arc::new(m.clone()), Some(m))
+            } else if config.clock_epoch_micros > 0 {
+                // A recovered server resumes its timeline above every
+                // pre-crash timestamp (see `clock_epoch_micros`).
+                (
+                    Arc::new(SkewedSource::new(
+                        SystemTimeSource::new(),
+                        i64::try_from(config.clock_epoch_micros).expect("clock epoch fits in i64"),
+                    )),
+                    None,
+                )
             } else {
                 (Arc::new(SystemTimeSource::new()), None)
             };
@@ -288,6 +319,21 @@ impl Server {
         } else {
             None
         };
+        let checkpointer_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let checkpointer = match (kernel.durability(), config.checkpoint_interval) {
+            (Some(_), Some(interval)) => {
+                let k = Arc::clone(&kernel);
+                let stop = Arc::clone(&checkpointer_stop);
+                let interval = interval.max(Duration::from_millis(1));
+                Some(
+                    std::thread::Builder::new()
+                        .name("esr-server-checkpoint".into())
+                        .spawn(move || checkpoint_loop(k, stop, interval))
+                        .expect("spawn server checkpointer"),
+                )
+            }
+            _ => None,
+        };
         Server {
             kernel,
             req_tx: Some(req_tx),
@@ -296,6 +342,8 @@ impl Server {
             workers,
             reaper,
             reaper_stop,
+            checkpointer,
+            checkpointer_stop,
             reference,
             manual,
             sites: Arc::new(SiteAllocator::new()),
@@ -406,6 +454,12 @@ impl Server {
             reaper.thread().unpark();
             let _ = reaper.join();
         }
+        self.checkpointer_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(ckpt) = self.checkpointer.take() {
+            ckpt.thread().unpark();
+            let _ = ckpt.join();
+        }
         if let Some(tx) = self.req_tx.take() {
             for _ in 0..self.workers.len() {
                 let _ = tx.send(QueuedRequest::now(Request::Shutdown));
@@ -419,6 +473,15 @@ impl Server {
         }
         for (_, sink) in self.pending.drain() {
             sink.send(OpReply::Error(SHUTDOWN_ERROR.to_owned()));
+        }
+        // Durable shutdown, after the workers are gone and nothing can
+        // commit: write a final checkpoint (the next boot recovers
+        // without replay) and join the WAL flusher thread.
+        if let Some(d) = self.kernel.durability() {
+            if let Err(e) = self.kernel.checkpoint() {
+                eprintln!("esr-server: final checkpoint failed: {e}");
+            }
+            d.sink().shutdown_sink();
         }
     }
 }
@@ -584,13 +647,47 @@ pub fn build_server_stats(kernel: &Kernel, obs: &ServerObs) -> ServerStats {
                 .map(|(name, hist)| NamedHistogram { name, hist }),
         );
     }
+    let (wal_bytes, recoveries) = match kernel.durability() {
+        Some(d) => {
+            if let Some(hist) = d.sink().fsync_histogram() {
+                histograms.push(NamedHistogram {
+                    name: "fsync_micros".into(),
+                    hist,
+                });
+            }
+            (d.sink().wal_bytes(), d.sink().recoveries())
+        }
+        None => (0, 0),
+    };
     ServerStats {
         kernel: kernel.stats(),
         active_txns: kernel.active_txns() as u64,
         waitq_depth: kernel.waitq_depth() as u64,
         in_flight: obs.in_flight().get(),
         retries: obs.retries(),
+        wal_bytes,
+        recoveries,
         histograms,
+    }
+}
+
+/// The checkpoint thread: every interval, quiesce commits briefly and
+/// write a durable snapshot so the log stays short. A failed checkpoint
+/// is not fatal — the log still holds everything — so it is surfaced
+/// and retried on the next tick.
+fn checkpoint_loop(
+    kernel: Arc<Kernel>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    interval: Duration,
+) {
+    loop {
+        std::thread::park_timeout(interval);
+        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        if let Err(e) = kernel.checkpoint() {
+            eprintln!("esr-server: checkpoint failed: {e}");
+        }
     }
 }
 
@@ -636,11 +733,26 @@ fn worker_loop(
                 };
                 match result {
                     Ok(end) => {
-                        reply.send(match end.info {
-                            Some(info) => EndReply::Committed(info),
-                            None => EndReply::Aborted,
-                        });
-                        drain_woken(&kernel, &pending, end.woken);
+                        // Durability gate: the commit's redo record
+                        // must be fsynced before the client is told
+                        // "committed". Blocking here is what batches
+                        // concurrent commits into one group-commit
+                        // fsync; woken waiters are drained first so
+                        // they make progress during the wait.
+                        if let (Some(seq), Some(d)) = (end.durable_seq, kernel.durability()) {
+                            drain_woken(&kernel, &pending, end.woken);
+                            d.sink().sync_to(seq);
+                            reply.send(match end.info {
+                                Some(info) => EndReply::Committed(info),
+                                None => EndReply::Aborted,
+                            });
+                        } else {
+                            reply.send(match end.info {
+                                Some(info) => EndReply::Committed(info),
+                                None => EndReply::Aborted,
+                            });
+                            drain_woken(&kernel, &pending, end.woken);
+                        }
                     }
                     // Unknown is typed, not stringly: the client must
                     // learn the transaction is permanently gone (a lost

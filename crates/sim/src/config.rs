@@ -125,6 +125,13 @@ pub struct SimConfig {
     /// `serde(default)` keeps earlier configs deserializable.
     #[serde(default)]
     pub faults: SimFaults,
+    /// Group-commit fsync time charged to each *update* commit before
+    /// its reply is sent, in microseconds — the simulator's model of
+    /// the durable server's WAL flush. `0` (the default) models the
+    /// original in-memory prototype; `serde(default)` keeps configs
+    /// written before durability existed deserializable.
+    #[serde(default)]
+    pub fsync_micros: u64,
     /// Virtual-time interval between reaper passes, in microseconds.
     /// `0` (the default) means half the kernel's `lease_micros` — the
     /// same rule `esr-server` applies to its wall-clock reaper thread.
@@ -158,6 +165,7 @@ impl Default for SimConfig {
             kernel: KernelConfig::default(),
             server: ServerModel::default(),
             faults: SimFaults::default(),
+            fsync_micros: 0,
             reap_interval_micros: 0,
             max_clock_skew_micros: 120_000_000,
             seed: 0xE5,
@@ -263,6 +271,21 @@ mod tests {
         let back: SimConfig = serde_json::from_str(&old).unwrap();
         assert_eq!(back.faults, SimFaults::default());
         assert_eq!(back.reap_interval_micros, 0);
+    }
+
+    /// Configs serialized before the durability knob existed carry no
+    /// `fsync_micros`; they must still deserialize (to the in-memory
+    /// model, fsync cost zero).
+    #[test]
+    fn pre_durability_config_still_deserializes() {
+        let s = serde_json::to_string(&SimConfig::default()).unwrap();
+        assert!(
+            s.contains("\"fsync_micros\":0,"),
+            "unexpected serialization: {s}"
+        );
+        let old = s.replace("\"fsync_micros\":0,", "");
+        let back: SimConfig = serde_json::from_str(&old).unwrap();
+        assert_eq!(back.fsync_micros, 0);
     }
 
     #[test]

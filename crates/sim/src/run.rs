@@ -246,6 +246,12 @@ impl Sim {
                 }
                 let end = self.kernel.commit(txn).expect("commit of active txn");
                 debug_assert!(end.info.is_some());
+                // Durable-server model: an update that installed writes
+                // pays the group-commit fsync before its reply leaves.
+                let fsync = match &end.info {
+                    Some(info) if !info.written.is_empty() => self.cfg.fsync_micros,
+                    _ => 0,
+                };
                 self.owner.remove(&txn);
                 if let Some(begun) = self.started.remove(&txn) {
                     let now = self.queue.now();
@@ -255,10 +261,10 @@ impl Sim {
                 }
                 self.clients[client].finish_committed();
                 self.wake(end.woken);
-                // Commit reply travels back, then the next transaction
-                // begins immediately (clients loop over their data
-                // files without think time, §6).
-                let dt = cpu + self.net(client);
+                // Commit reply travels back (after any fsync), then the
+                // next transaction begins immediately (clients loop
+                // over their data files without think time, §6).
+                let dt = cpu + fsync + self.net(client);
                 self.queue.schedule_in(dt, Ev::Begin { client });
             }
             Ev::Reap => unreachable!("handled before CPU admission"),
@@ -660,5 +666,24 @@ mod tests {
         // Mixed 20-read queries and 6-op updates with no retries give
         // ≈ 13 ops per commit; wasted work can only push it up.
         assert!(r.ops_per_commit > 10.0, "{}", r.ops_per_commit);
+    }
+
+    /// A non-zero fsync cost slows update commits (and only them): the
+    /// durable model must commit strictly less per unit time than the
+    /// in-memory one, while staying deterministic.
+    #[test]
+    fn fsync_cost_lowers_update_throughput() {
+        let base = quick(4, EpsilonPreset::High, 17);
+        let mut durable = base.clone();
+        durable.fsync_micros = 50_000; // a punishing flush per update
+        let a = simulate(&base);
+        let b = simulate(&durable);
+        assert!(
+            b.stats.commits_update < a.stats.commits_update,
+            "fsync cost did not slow updates: {} vs {}",
+            b.stats.commits_update,
+            a.stats.commits_update
+        );
+        assert_eq!(simulate(&durable), b, "durable model broke determinism");
     }
 }

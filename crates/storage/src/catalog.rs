@@ -85,8 +85,10 @@ impl Default for CatalogConfig {
 }
 
 impl CatalogConfig {
-    /// Materialise the table.
-    pub fn build(&self) -> ObjectTable {
+    /// The pristine object states this config describes, before any
+    /// transaction has touched them. Crash recovery starts from these
+    /// when no checkpoint exists and replays the log on top.
+    pub fn build_states(&self) -> Vec<ObjectState> {
         assert!(
             self.value_lo <= self.value_hi,
             "invalid value range {}..={}",
@@ -94,22 +96,22 @@ impl CatalogConfig {
             self.value_hi
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let states = (0..self.n_objects)
+        (0..self.n_objects)
             .map(|i| {
                 let value = rng.gen_range(self.value_lo..=self.value_hi);
                 let oil = self.oil.draw(&mut rng);
                 let oel = self.oel.draw(&mut rng);
                 ObjectState::new(ObjectId(i), value, self.history_depth, oil, oel)
             })
-            .collect();
-        ObjectTable::new(states)
+            .collect()
     }
 
-    /// Build a table with explicitly supplied initial values (a literal
-    /// start-up data file). Limits still follow the config.
-    pub fn build_with_values(&self, values: &[Value]) -> ObjectTable {
+    /// Like [`CatalogConfig::build_states`] but with explicitly
+    /// supplied initial values (a literal start-up data file). Limits
+    /// still follow the config.
+    pub fn build_states_with_values(&self, values: &[Value]) -> Vec<ObjectState> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let states = values
+        values
             .iter()
             .enumerate()
             .map(|(i, &value)| {
@@ -117,8 +119,18 @@ impl CatalogConfig {
                 let oel = self.oel.draw(&mut rng);
                 ObjectState::new(ObjectId(i as u32), value, self.history_depth, oil, oel)
             })
-            .collect();
-        ObjectTable::new(states)
+            .collect()
+    }
+
+    /// Materialise the table.
+    pub fn build(&self) -> ObjectTable {
+        ObjectTable::new(self.build_states())
+    }
+
+    /// Build a table with explicitly supplied initial values (a literal
+    /// start-up data file). Limits still follow the config.
+    pub fn build_with_values(&self, values: &[Value]) -> ObjectTable {
+        ObjectTable::new(self.build_states_with_values(values))
     }
 }
 

@@ -61,10 +61,25 @@ impl ProperValue {
 /// reads, commit order is not always timestamp order; lookups therefore
 /// scan for the newest-timestamped entry `<= ts` instead of assuming
 /// sortedness. The ring is tiny (20 entries) so the scan is cheap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistoryRing {
     buf: VecDeque<CommittedWrite>,
     cap: usize,
+    /// The catalog's initial value: the proper value for any timestamp
+    /// predating every committed write, and the last-resort fallback
+    /// when the ring holds no usable entry (a cold object after
+    /// recovery). Rings serialized before this field existed default to
+    /// `0` paired with `intact: false`, which never claims exactness.
+    #[serde(default)]
+    initial: Value,
+    /// Is the retained set *complete* — no entry ever evicted, no
+    /// unknown pre-rebuild history? While `true`, a lookup older than
+    /// every retained entry can still answer *exactly* with the
+    /// initial value; once `false`, such lookups are approximations.
+    /// The serde default (`false`) keeps rings persisted before this
+    /// field conservative: a miss is never upgraded to an exact answer.
+    #[serde(default)]
+    intact: bool,
 }
 
 impl HistoryRing {
@@ -78,13 +93,34 @@ impl HistoryRing {
             ts: Timestamp::ZERO,
             value: initial_value,
         });
-        HistoryRing { buf, cap }
+        HistoryRing {
+            buf,
+            cap,
+            initial: initial_value,
+            intact: true,
+        }
+    }
+
+    /// An *empty* ring for an object being rebuilt from durable state
+    /// (crash recovery): no seed entry, and not `intact` because the
+    /// pre-crash ring may have held writes we cannot reconstruct.
+    /// Lookups on a cold rebuilt object fall back to the catalog's
+    /// initial value as an approximation instead of panicking.
+    pub fn rebuilt(cap: usize, initial_value: Value) -> Self {
+        assert!(cap >= 1, "history depth must be at least 1");
+        HistoryRing {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            initial: initial_value,
+            intact: false,
+        }
     }
 
     /// Record a committed write, evicting the oldest entry when full.
     pub fn push(&mut self, ts: Timestamp, value: Value) {
         if self.buf.len() == self.cap {
             self.buf.pop_front();
+            self.intact = false;
         }
         self.buf.push_back(CommittedWrite { ts, value });
     }
@@ -94,9 +130,18 @@ impl HistoryRing {
         self.buf.len()
     }
 
-    /// Rings are never empty (they are seeded with the initial value).
+    /// Is the ring empty? `false` for freshly catalogued objects (they
+    /// are seeded with the initial value); `true` for a [`rebuilt`]
+    /// object that has seen no committed write since recovery.
+    ///
+    /// [`rebuilt`]: HistoryRing::rebuilt
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// The catalog initial value this ring falls back to.
+    pub fn initial(&self) -> Value {
+        self.initial
     }
 
     /// Retention capacity.
@@ -123,26 +168,33 @@ impl HistoryRing {
         }
         match best {
             Some(w) => ProperValue::Exact(w.value),
-            None => {
-                // Query predates everything retained: approximate with
-                // the oldest-timestamped entry.
-                let oldest = self
-                    .buf
-                    .iter()
-                    .min_by_key(|w| w.ts)
-                    .expect("history ring is never empty");
-                ProperValue::Approximate(oldest.value)
-            }
+            None => match self.buf.iter().min_by_key(|w| w.ts) {
+                // Query predates everything retained and older writes
+                // were lost: the oldest retained entry is the best
+                // available approximation.
+                Some(oldest) if !self.intact => ProperValue::Approximate(oldest.value),
+                // Nothing was ever evicted, so no committed write
+                // predates the retained entries — the object still held
+                // its initial value at the query's timestamp.
+                Some(_) => ProperValue::Exact(self.initial),
+                // Cold object: no committed write retained at all.
+                None if !self.intact => ProperValue::Approximate(self.initial),
+                None => ProperValue::Exact(self.initial),
+            },
         }
     }
 
-    /// The newest-timestamped retained write.
+    /// The newest-timestamped retained write; for a cold (empty) ring,
+    /// the catalog's initial value at [`Timestamp::ZERO`].
     pub fn newest(&self) -> CommittedWrite {
-        *self
-            .buf
+        self.buf
             .iter()
             .max_by_key(|w| w.ts)
-            .expect("history ring is never empty")
+            .copied()
+            .unwrap_or(CommittedWrite {
+                ts: Timestamp::ZERO,
+                value: self.initial,
+            })
     }
 }
 
@@ -226,6 +278,68 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_rejected() {
         let _ = HistoryRing::new(0, 0);
+    }
+
+    #[test]
+    fn empty_rebuilt_ring_falls_back_to_initial_value() {
+        // A cold object after recovery: no committed write retained.
+        // Lookups must neither panic nor invent a newer value — they
+        // fall back to the catalog's initial value, conservatively
+        // marked approximate (the pre-crash ring contents are unknown).
+        let h = HistoryRing::rebuilt(20, 1234);
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.initial(), 1234);
+        assert_eq!(h.proper_value_at(ts(0)), ProperValue::Approximate(1234));
+        assert_eq!(h.proper_value_at(ts(999)), ProperValue::Approximate(1234));
+        assert_eq!(
+            h.newest(),
+            CommittedWrite {
+                ts: Timestamp::ZERO,
+                value: 1234
+            }
+        );
+    }
+
+    #[test]
+    fn partial_rebuilt_ring_uses_initial_not_newest_for_old_queries() {
+        // Post-recovery partial ring: fewer committed writes than
+        // PAPER_HISTORY_DEPTH have happened since recovery. A query
+        // older than everything retained must not be served the newest
+        // write; it gets the oldest retained value as an approximation
+        // (matching the seeded ring's post-eviction behaviour).
+        let mut h = HistoryRing::rebuilt(20, 1000);
+        h.push(ts(50), 500);
+        h.push(ts(60), 600);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.proper_value_at(ts(10)), ProperValue::Approximate(500));
+        assert_eq!(h.proper_value_at(ts(55)), ProperValue::Exact(500));
+        assert_eq!(h.newest().value, 600);
+    }
+
+    #[test]
+    fn fresh_ring_with_unevicted_entries_is_exact_before_them() {
+        // A ring that never evicted anything knows the object held its
+        // initial value before the earliest retained write, so the
+        // fallback is *exact*. (Unreachable through `new`, whose seed
+        // entry at ts 0 matches every query; pinned here because the
+        // checkpoint/recovery path round-trips rings through serde.)
+        let seeded = HistoryRing::new(3, 77);
+        let json = serde_json::to_string(&seeded).unwrap();
+        let back: HistoryRing = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.proper_value_at(ts(0)), ProperValue::Exact(77));
+        assert_eq!(back.initial(), 77);
+    }
+
+    #[test]
+    fn rings_serialized_before_the_fallback_fields_stay_conservative() {
+        // A pre-durability serialized ring has neither `initial` nor
+        // `evicted`; it must deserialize with `evicted: true` so a miss
+        // is never upgraded to an exact answer.
+        let old = r#"{"buf":[{"ts":{"ticks":30,"site":0},"value":300}],"cap":3}"#;
+        let h: HistoryRing = serde_json::from_str(old).unwrap();
+        assert_eq!(h.proper_value_at(ts(40)), ProperValue::Exact(300));
+        assert_eq!(h.proper_value_at(ts(10)), ProperValue::Approximate(300));
     }
 
     mod proptests {

@@ -1,0 +1,320 @@
+//! Checkpoints: periodic snapshots of committed object state that
+//! bound recovery time and let the log be pruned.
+//!
+//! A checkpoint captures, per object, everything recovery needs that
+//! redo records cannot rebuild: the committed value, the committed /
+//! read high-water timestamps, the history ring (for proper-value
+//! lookups after restart), and the object limits. Volatile state —
+//! uncommitted writers and registered query readers — is deliberately
+//! *not* captured: the transactions owning it die with the process,
+//! and a restarted client's retried `End` is answered `Unknown`.
+//!
+//! The kernel quiesces commits (its commit gate) before snapshotting,
+//! so the uncommitted-writer slot may be occupied but can never be
+//! mid-commit: the snapshot takes the **shadow** value in that case,
+//! which is exactly the committed state.
+//!
+//! ## On-disk format
+//!
+//! `checkpoint-<seq>.esrck` = 8-byte magic, a CRC-32 of the payload,
+//! then the [`esr_core::codec`] encoding of [`Checkpoint`]:
+//!
+//! ```text
+//! +----------+--------------+----------------+
+//! | ESRCKPT1 | crc32 u32 LE | codec payload  |
+//! +----------+--------------+----------------+
+//! ```
+//!
+//! Atomicity comes from the write path, not the format: the file is
+//! assembled under a `.tmp` name, fsynced, renamed into place, and the
+//! directory fsynced. Recovery ignores `.tmp` leftovers and skips any
+//! checkpoint whose checksum fails, falling back to the next older one
+//! (or the catalog).
+
+use super::crc32;
+use crate::history::HistoryRing;
+use crate::object::ObjectState;
+use crate::table::ObjectTable;
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::codec;
+use esr_core::ids::ObjectId;
+use esr_core::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"ESRCKPT1";
+
+/// Durable per-object state at checkpoint time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectSnapshot {
+    /// The object's id.
+    pub id: ObjectId,
+    /// The committed value (the shadow, if an uncommitted writer held
+    /// the slot when the snapshot was taken).
+    pub value: Value,
+    /// Timestamp of the newest committed write.
+    pub committed_wts: Timestamp,
+    /// Query-read high-water mark.
+    pub max_query_rts: Timestamp,
+    /// Update-read high-water mark.
+    pub max_update_rts: Timestamp,
+    /// The proper-value history ring, including its intactness flag.
+    pub history: HistoryRing,
+    /// Object import limit.
+    pub oil: Limit,
+    /// Object export limit.
+    pub oel: Limit,
+}
+
+impl ObjectSnapshot {
+    /// Capture one object's committed state.
+    pub fn capture(state: &ObjectState) -> Self {
+        let value = match &state.uncommitted {
+            Some(u) => u.shadow,
+            None => state.value,
+        };
+        ObjectSnapshot {
+            id: state.id,
+            value,
+            committed_wts: state.committed_wts,
+            max_query_rts: state.max_query_rts,
+            max_update_rts: state.max_update_rts,
+            history: state.history.clone(),
+            oil: state.oil,
+            oel: state.oel,
+        }
+    }
+
+    /// Rebuild a live object from this snapshot. The uncommitted slot
+    /// and reader set start empty: their owners did not survive the
+    /// restart.
+    pub fn restore(self) -> ObjectState {
+        ObjectState {
+            id: self.id,
+            value: self.value,
+            committed_wts: self.committed_wts,
+            max_query_rts: self.max_query_rts,
+            max_update_rts: self.max_update_rts,
+            history: self.history,
+            uncommitted: None,
+            readers: Vec::new(),
+            oil: self.oil,
+            oel: self.oel,
+        }
+    }
+}
+
+/// A full durable snapshot: replaying records with `seq > self.seq` on
+/// top of `objects` reproduces the committed database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Highest log sequence number covered by this snapshot.
+    pub seq: u64,
+    /// The kernel's next transaction id at snapshot time; restored so
+    /// post-recovery transactions can never reuse a pre-crash id.
+    pub next_txn: u64,
+    /// Every object, in id order.
+    pub objects: Vec<ObjectSnapshot>,
+}
+
+/// Snapshot every object in the table through its public lock. The
+/// caller must have quiesced commits (the kernel's commit gate) so the
+/// per-object snapshots compose into a consistent committed state.
+pub fn snapshot_table(table: &ObjectTable) -> Vec<ObjectSnapshot> {
+    (0..table.len() as u32)
+        .map(|i| {
+            let guard = table.lock(ObjectId(i));
+            ObjectSnapshot::capture(&guard)
+        })
+        .collect()
+}
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:020}.esrck"))
+}
+
+/// Write `ckpt` atomically: tmp file, fsync, rename, directory fsync.
+pub(crate) fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> io::Result<()> {
+    let payload = codec::to_bytes(ckpt);
+    let mut bytes = Vec::with_capacity(12 + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let final_path = checkpoint_path(dir, ckpt.seq);
+    let tmp_path = final_path.with_extension("esrck.tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // The rename itself must be durable before the old checkpoint (and
+    // the segments it covers) may be deleted.
+    File::open(dir)?.sync_all()?;
+    for (path, seq) in list_checkpoints(dir)? {
+        if seq < ckpt.seq {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// All checkpoint files in `dir`, sorted oldest-first by sequence.
+pub(crate) fn list_checkpoints(dir: &Path) -> io::Result<Vec<(PathBuf, u64)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(seq) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|r| r.strip_suffix(".esrck"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((path, seq));
+        }
+    }
+    out.sort_by_key(|(_, s)| *s);
+    Ok(out)
+}
+
+/// Load the newest checkpoint that passes validation, silently
+/// skipping corrupt or unreadable ones (an interrupted write leaves
+/// only a `.tmp`, which is never listed; a damaged file falls back to
+/// the next older checkpoint or, ultimately, the catalog).
+pub(crate) fn load_latest(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    let mut candidates = list_checkpoints(dir)?;
+    candidates.reverse(); // newest first
+    for (path, _) in candidates {
+        let Ok(bytes) = fs::read(&path) else {
+            continue;
+        };
+        if let Some(ckpt) = decode_checkpoint(&bytes) {
+            return Ok(Some(ckpt));
+        }
+    }
+    Ok(None)
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    codec::from_bytes::<Checkpoint>(payload).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tempdir;
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use esr_core::ids::{SiteId, TxnId};
+
+    fn small_catalog() -> CatalogConfig {
+        CatalogConfig {
+            n_objects: 8,
+            ..CatalogConfig::default()
+        }
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let table = small_catalog().build();
+        {
+            // One committed write and one in-flight write, to exercise
+            // both snapshot branches.
+            let mut g = table.lock(ObjectId(0));
+            g.apply_write(TxnId(1), Timestamp::new(10, SiteId(1)), 4321);
+            assert!(g.commit_write(TxnId(1)));
+        }
+        {
+            let mut g = table.lock(ObjectId(1));
+            g.apply_write(TxnId(2), Timestamp::new(11, SiteId(1)), 7777);
+            // left uncommitted
+        }
+        Checkpoint {
+            seq: 42,
+            next_txn: 3,
+            objects: snapshot_table(&table),
+        }
+    }
+
+    #[test]
+    fn snapshot_takes_shadow_for_uncommitted_writers() {
+        let ckpt = sample_checkpoint();
+        assert_eq!(ckpt.objects[0].value, 4321);
+        let initial_1 = small_catalog().build().lock(ObjectId(1)).value;
+        assert_eq!(
+            ckpt.objects[1].value, initial_1,
+            "uncommitted write must not leak into the snapshot"
+        );
+        let restored = ckpt.objects[1].clone().restore();
+        assert!(restored.uncommitted.is_none());
+        assert!(restored.readers.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let dir = tempdir("ckpt-rt");
+        let ckpt = sample_checkpoint();
+        write_checkpoint(&dir, &ckpt).unwrap();
+        let back = load_latest(&dir).unwrap().expect("checkpoint present");
+        assert_eq!(back, ckpt);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newer_checkpoint_replaces_older_and_prunes_it() {
+        let dir = tempdir("ckpt-rotate");
+        let mut ckpt = sample_checkpoint();
+        write_checkpoint(&dir, &ckpt).unwrap();
+        ckpt.seq = 99;
+        ckpt.next_txn = 17;
+        write_checkpoint(&dir, &ckpt).unwrap();
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
+        let back = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(back.seq, 99);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_older_valid_one() {
+        let dir = tempdir("ckpt-corrupt");
+        let ckpt = sample_checkpoint();
+        write_checkpoint(&dir, &ckpt).unwrap();
+        // Forge a "newer" checkpoint with a bad checksum by hand (the
+        // pruning in write_checkpoint would otherwise delete the old
+        // one, which is exactly why pruning happens only after a
+        // *valid* write).
+        let mut bytes = fs::read(checkpoint_path(&dir, 42)).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(checkpoint_path(&dir, 100), &bytes).unwrap();
+        let back = load_latest(&dir).unwrap().expect("older survives");
+        assert_eq!(back.seq, 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_alien_files_are_ignored() {
+        let dir = tempdir("ckpt-alien");
+        fs::write(checkpoint_path(&dir, 5), b"ESR").unwrap(); // truncated
+        fs::write(dir.join("checkpoint-junk.esrck"), b"?").unwrap(); // unparsable seq
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        assert!(load_latest(&dir).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -148,6 +148,13 @@ pub struct Kernel {
     /// ring). Also a leaf in the lock order; until enabled, every hook
     /// costs one atomic load.
     obs: std::sync::OnceLock<Arc<KernelObs>>,
+    /// Optional durability attachment (write-ahead log + checkpoint
+    /// locks). Its commit gate and order mutex slot into the documented
+    /// hierarchy between the transaction-state lock and the object
+    /// locks (state → gate → order → object → waitq); both are owned
+    /// and acquired by [`crate::durability::Durability::install_ordered`],
+    /// never open-coded here.
+    durability: std::sync::OnceLock<Arc<crate::durability::Durability>>,
 }
 
 impl fmt::Debug for Kernel {
@@ -177,6 +184,7 @@ impl Kernel {
             #[cfg(feature = "capture")]
             capture: std::sync::OnceLock::new(),
             obs: std::sync::OnceLock::new(),
+            durability: std::sync::OnceLock::new(),
         }
     }
 
@@ -268,6 +276,50 @@ impl Kernel {
     /// The attached observability surface, if enabled.
     pub fn obs(&self) -> Option<Arc<KernelObs>> {
         self.obs.get().cloned()
+    }
+
+    /// Attach a durability sink (write-ahead log). First-wins, like
+    /// [`Kernel::enable_obs`]: if a sink is already attached the
+    /// existing attachment is kept and returned. Once attached, every
+    /// committing update appends a redo record before its install
+    /// locks release; the *driver* must gate the client-visible commit
+    /// acknowledgement on [`TxnEndResponse::durable_seq`] via the
+    /// sink's `sync_to`.
+    pub fn enable_durability(
+        &self,
+        sink: Arc<dyn esr_storage::wal::DurabilitySink>,
+    ) -> Arc<crate::durability::Durability> {
+        Arc::clone(
+            self.durability
+                .get_or_init(|| Arc::new(crate::durability::Durability::new(sink))),
+        )
+    }
+
+    /// The durability attachment, if one is enabled.
+    pub fn durability(&self) -> Option<Arc<crate::durability::Durability>> {
+        self.durability.get().cloned()
+    }
+
+    /// Quiesce commits and write a checkpoint covering every record
+    /// appended so far. No-op (returns `None`) without a durability
+    /// attachment.
+    pub fn checkpoint(&self) -> std::io::Result<Option<u64>> {
+        match self.durability.get() {
+            Some(d) => d
+                .checkpoint(&self.table, self.next_txn.load(Ordering::Relaxed))
+                .map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Raise the next transaction id to at least `next`. Recovery calls
+    /// this with the id after the largest ever journaled, so a
+    /// restarted server can neither reuse a pre-crash id (a retried
+    /// `End` for a crashed transaction must resolve to `UnknownTxn`,
+    /// not alias a live one) nor collide new transactions with
+    /// recovered history.
+    pub fn restore_next_txn(&self, next: u64) {
+        self.next_txn.fetch_max(next, Ordering::Relaxed);
     }
 
     /// The registry shard owning `txn`.
@@ -471,14 +523,31 @@ impl Kernel {
         let t = handle.lock();
         let mut info = t.commit_info();
         let mut woken = Vec::new();
+        let mut durable_seq = None;
         match t.kind {
             TxnKind::Update => {
-                for &obj in dedup(&t.written_objs).iter() {
-                    let mut o = self.table.lock(obj);
-                    if o.commit_write(t.id) {
-                        info.written.push((obj, o.value));
-                        self.wake_waiters(&mut o, &mut woken);
+                let install = |info: &mut CommitInfo, woken: &mut Vec<PendingOp>| {
+                    for &obj in dedup(&t.written_objs).iter() {
+                        let mut o = self.table.lock(obj);
+                        if o.commit_write(t.id) {
+                            info.written.push((obj, o.value));
+                            self.wake_waiters(&mut o, woken);
+                        }
                     }
+                };
+                match self.durability.get() {
+                    // With a sink attached, the install loop and the
+                    // redo-record append run as one ordered unit so
+                    // recovery replays values in install order.
+                    Some(d) => {
+                        let (seq, written) = d.install_ordered(t.id, t.ts, || {
+                            install(&mut info, &mut woken);
+                            (info.inconsistency, std::mem::take(&mut info.written))
+                        });
+                        info.written = written;
+                        durable_seq = seq;
+                    }
+                    None => install(&mut info, &mut woken),
                 }
                 self.stats.commits_update.fetch_add(1, Ordering::Relaxed);
             }
@@ -500,6 +569,7 @@ impl Kernel {
         Ok(TxnEndResponse {
             info: Some(info),
             woken,
+            durable_seq,
         })
     }
 
@@ -516,7 +586,11 @@ impl Kernel {
             obs.note_abort(t.id, "client".into());
         }
         let woken = self.abort_cleanup(&mut t);
-        Ok(TxnEndResponse { info: None, woken })
+        Ok(TxnEndResponse {
+            info: None,
+            woken,
+            durable_seq: None,
+        })
     }
 
     /// Reaper-initiated abort of one transaction (lease expiry or
@@ -589,7 +663,11 @@ impl Kernel {
         }
         self.stats.reaped_txns.fetch_add(1, Ordering::Relaxed);
         let woken = self.abort_cleanup(t);
-        TxnEndResponse { info: None, woken }
+        TxnEndResponse {
+            info: None,
+            woken,
+            durable_seq: None,
+        }
     }
 
     fn remove_txn(&self, txn: TxnId) -> Result<Arc<Mutex<TxnState>>, KernelError> {

@@ -39,6 +39,7 @@
 #[cfg(feature = "capture")]
 pub mod capture;
 pub mod config;
+pub mod durability;
 pub mod kernel;
 pub mod obs;
 pub mod outcome;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod waitq;
 
 pub use config::{ExportRule, HistoryMissPolicy, KernelConfig};
+pub use durability::Durability;
 pub use kernel::{Kernel, KernelError};
 pub use obs::{KernelObs, TxnEvent, TxnEventKind};
 pub use outcome::{

@@ -153,6 +153,13 @@ pub struct TxnEndResponse {
     pub info: Option<CommitInfo>,
     /// Parked operations released by the end of this transaction.
     pub woken: Vec<PendingOp>,
+    /// Log sequence number of this commit's redo record, when a
+    /// durability sink is attached and the transaction installed
+    /// writes. The driver must wait for the sink's durable watermark
+    /// to reach it before acknowledging the commit. Absent from
+    /// pre-durability snapshots.
+    #[serde(default)]
+    pub durable_seq: Option<u64>,
 }
 
 #[cfg(test)]

@@ -76,6 +76,21 @@ timeout 600 cargo test -p esr-net --test crash_recovery -q
 echo "==> chaos: post-crash histories replay clean"
 timeout 300 cargo test --test crash_recovery_replay -q
 
+# Live conformance soak: esr-tcpd --monitor behind the fault proxy. The
+# online checker must report zero violations across ESR_SOAK_TXNS
+# committed transactions (default 100k here; quick runs keep the test's
+# own 3k default), hold its memory gauges bounded by the active window,
+# and demonstrably fire on a planted violation. Watchdogged in-test; the
+# outer timeout is a hang guard.
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> soak: live conformance monitor under fault proxy (100k txns)"
+    ESR_SOAK_TXNS="${ESR_SOAK_TXNS:-100000}" \
+        timeout 900 cargo test -p esr-net --release --test monitor_soak -q
+else
+    echo "==> soak: live conformance monitor under fault proxy (quick)"
+    timeout 600 cargo test -p esr-net --test monitor_soak -q
+fi
+
 # Benchmark-trajectory smoke: two scenarios on a short virtual window,
 # writing BENCH_PR3.json at the workspace root.
 if [[ "${1:-}" != "quick" ]]; then

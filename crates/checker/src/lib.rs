@@ -21,17 +21,23 @@
 //!
 //! [`check_history`] runs all three and merges the findings into one
 //! [`CheckReport`]; the `esr-check` binary applies it to history JSON
-//! files emitted by instrumented runs.
+//! files emitted by instrumented runs. The [`monitor`] module packages
+//! the same passes incrementally — an [`EsrMonitor`](monitor::EsrMonitor)
+//! consumes a live capture stream with memory bounded by the active
+//! transaction window instead of history length.
 //!
 //! [`TxnBounds`]: esr_core::spec::TxnBounds
 
 pub mod graph;
 pub mod lint;
+pub mod monitor;
+pub mod ranges;
 pub mod replay;
 pub mod report;
 
 pub use esr_tso::capture::{Event, EventKind, History, ReaderView};
 pub use lint::{lint_schema, lint_spec, LintFinding};
+pub use monitor::{EsrMonitor, MonitorStats};
 pub use report::{CheckReport, Diagnostic};
 
 use esr_tso::capture::EventKind as Ek;
@@ -45,22 +51,12 @@ use esr_tso::capture::EventKind as Ek;
 pub fn check_history(history: &History) -> CheckReport {
     let mut diagnostics = Vec::new();
 
-    // Structural schema problems apply to no particular transaction;
-    // attach them to the first Begin (or txn#0 for an empty history) so
-    // every diagnostic still names a transaction.
-    let first_txn = history
-        .events
-        .iter()
-        .find_map(|e| match &e.kind {
-            Ek::Begin { txn, .. } => Some(*txn),
-            _ => None,
-        })
-        .unwrap_or(esr_core::ids::TxnId(0));
+    // Structural schema problems apply to no particular transaction:
+    // they carry `txn: None` instead of being pinned on whichever
+    // transaction happened to begin first (an empty history used to
+    // fabricate a `txn#0` that never existed).
     for finding in lint::lint_schema(&history.schema) {
-        diagnostics.push(Diagnostic::SpecLint {
-            txn: first_txn,
-            finding,
-        });
+        diagnostics.push(Diagnostic::SpecLint { txn: None, finding });
     }
 
     for ev in &history.events {
@@ -69,7 +65,10 @@ pub fn check_history(history: &History) -> CheckReport {
         } = &ev.kind
         {
             for finding in lint::lint_spec(&history.schema, *kind, bounds) {
-                diagnostics.push(Diagnostic::SpecLint { txn: *txn, finding });
+                diagnostics.push(Diagnostic::SpecLint {
+                    txn: Some(*txn),
+                    finding,
+                });
             }
         }
     }
@@ -142,7 +141,7 @@ mod tests {
         assert!(report.diagnostics.iter().any(|d| matches!(
             d,
             Diagnostic::SpecLint {
-                txn: TxnId(5),
+                txn: Some(TxnId(5)),
                 finding: LintFinding::UnknownGroup { .. },
             }
         )));
@@ -150,6 +149,39 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("txn#5"), "{text}");
         assert!(text.contains("no-such-group"), "{text}");
+    }
+
+    #[test]
+    fn schema_lints_on_an_empty_history_name_no_transaction() {
+        // A structurally broken schema (as might arrive in a tampered
+        // history file) lints even with no events at all — and with no
+        // events there is no transaction to blame: the report must say
+        // so instead of inventing txn#0.
+        let well_formed = serde_json::to_string(&HierarchySchema::two_level()).unwrap();
+        let tampered = well_formed.replacen("\"children\":[]", "\"children\":[7]", 1);
+        assert_ne!(
+            tampered, well_formed,
+            "tamper point not found: {well_formed}"
+        );
+        let schema: HierarchySchema = serde_json::from_str(&tampered).unwrap();
+        let h = History {
+            schema,
+            config: KernelConfig::default(),
+            events: Vec::new(),
+        };
+        let report = check_history(&h);
+        assert!(!report.diagnostics.is_empty());
+        for d in &report.diagnostics {
+            match d {
+                Diagnostic::SpecLint { txn, .. } => {
+                    assert_eq!(*txn, None, "schema lint fabricated a transaction: {d}")
+                }
+                other => panic!("unexpected diagnostic on empty history: {other}"),
+            }
+        }
+        let text = report.to_string();
+        assert!(text.contains("schema specification"), "{text}");
+        assert!(!text.contains("txn#0"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! A compact set of `u64` ids stored as coalesced inclusive ranges.
+//!
+//! The online monitor must remember which transactions have ended —
+//! forever, in principle, because a stray event naming a long-ended
+//! transaction must be diagnosed as `OpAfterEnd`, not `MissingBegin`.
+//! Storing every ended id individually would grow with history length,
+//! defeating the monitor's bounded-memory goal. But the kernel assigns
+//! `TxnId`s densely from a counter, so the ended set is almost always
+//! one long run with a few holes for the still-active transactions:
+//! stored as ranges, its size is `O(active window)`, not `O(history)`.
+//!
+//! (On adversarial inputs with sparse ids the range count degrades
+//! gracefully toward one range per id — correct, just not compact.)
+
+use std::collections::BTreeMap;
+
+/// A set of `u64` ids, stored as non-overlapping, non-adjacent
+/// inclusive ranges `start ..= end`.
+#[derive(Debug, Clone, Default)]
+pub struct IdRanges {
+    /// `start → end` (inclusive); ranges never touch or overlap.
+    ranges: BTreeMap<u64, u64>,
+    /// Total ids in the set (kept incrementally).
+    len: u64,
+}
+
+impl IdRanges {
+    pub fn new() -> Self {
+        IdRanges::default()
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ranges
+            .range(..=id)
+            .next_back()
+            .is_some_and(|(_, &end)| end >= id)
+    }
+
+    /// Insert one id, coalescing with adjacent ranges. Returns `true`
+    /// if the id was newly inserted.
+    pub fn insert(&mut self, id: u64) -> bool {
+        // The nearest range at or below `id`.
+        if let Some((&start, &end)) = self.ranges.range(..=id).next_back() {
+            if end >= id {
+                return false; // already present
+            }
+            if end + 1 == id {
+                // Extend the predecessor; maybe merge with the successor.
+                if let Some(&succ_end) = self.ranges.get(&(id + 1)) {
+                    self.ranges.remove(&(id + 1));
+                    self.ranges.insert(start, succ_end);
+                } else {
+                    self.ranges.insert(start, id);
+                }
+                self.len += 1;
+                return true;
+            }
+        }
+        // No predecessor to extend; maybe the successor starts at id+1.
+        if id < u64::MAX {
+            if let Some(&succ_end) = self.ranges.get(&(id + 1)) {
+                self.ranges.remove(&(id + 1));
+                self.ranges.insert(id, succ_end);
+                self.len += 1;
+                return true;
+            }
+        }
+        self.ranges.insert(id, id);
+        self.len += 1;
+        true
+    }
+
+    /// Total ids in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored ranges — the actual memory footprint, which is
+    /// what the monitor's bounded-memory claim is about.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_insertion_coalesces_to_one_range() {
+        let mut s = IdRanges::new();
+        for id in 1..=1000u64 {
+            assert!(s.insert(id));
+        }
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(1) && s.contains(500) && s.contains(1000));
+        assert!(!s.contains(0) && !s.contains(1001));
+    }
+
+    #[test]
+    fn holes_split_and_filling_merges() {
+        let mut s = IdRanges::new();
+        for id in [1u64, 2, 4, 5, 9] {
+            s.insert(id);
+        }
+        assert_eq!(s.range_count(), 3); // 1-2, 4-5, 9
+        assert!(!s.contains(3));
+        assert!(s.insert(3)); // merges 1-2 and 4-5
+        assert_eq!(s.range_count(), 2); // 1-5, 9
+        assert!(s.contains(3));
+        assert!(!s.insert(3)); // duplicate insert is a no-op
+        assert_eq!(s.len(), 6);
+        // Out-of-order and reverse insertion behave the same.
+        for id in (6..=8u64).rev() {
+            s.insert(id);
+        }
+        assert_eq!(s.range_count(), 1); // 1-9
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn random_inserts_match_a_naive_set() {
+        // Deterministic LCG; no external RNG needed.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut s = IdRanges::new();
+        let mut naive = std::collections::BTreeSet::new();
+        for _ in 0..4000 {
+            let id = next() % 512;
+            assert_eq!(s.insert(id), naive.insert(id));
+        }
+        for id in 0..600u64 {
+            assert_eq!(s.contains(id), naive.contains(&id), "id {id}");
+        }
+        assert_eq!(s.len(), naive.len() as u64);
+    }
+
+    #[test]
+    fn edge_ids_do_not_overflow() {
+        let mut s = IdRanges::new();
+        s.insert(u64::MAX);
+        s.insert(u64::MAX - 1);
+        s.insert(0);
+        assert!(s.contains(u64::MAX) && s.contains(u64::MAX - 1) && s.contains(0));
+        assert_eq!(s.range_count(), 2);
+    }
+}

@@ -10,8 +10,20 @@
 //! fresh ledger built from the transaction's declared [`TxnBounds`]. A
 //! history passes only if every relaxation was charged for and every
 //! committed transaction stayed within its declared bounds.
+//!
+//! The pass is implemented as an *incremental* [`ReplayEngine`] whose
+//! memory is bounded by the number of concurrently-live transactions,
+//! not by history length: a transaction's ledger is dropped the moment
+//! it commits or aborts, and ended ids are remembered compactly as
+//! coalesced ranges ([`crate::ranges::IdRanges`]) so a stray event
+//! naming a long-ended transaction is still diagnosed as `OpAfterEnd`
+//! rather than `MissingBegin`. The offline [`replay_bounds`] entry
+//! point and the online monitor ([`crate::monitor`]) run the very same
+//! engine, which is what makes their verdicts provably comparable.
 
+use crate::ranges::IdRanges;
 use crate::report::Diagnostic;
+use esr_core::hierarchy::HierarchySchema;
 use esr_core::ids::{TxnId, TxnKind};
 use esr_core::ledger::Ledger;
 use esr_core::spec::Direction;
@@ -23,30 +35,66 @@ use std::collections::HashMap;
 struct TxnState {
     kind: TxnKind,
     ledger: Ledger,
-    ended: bool,
 }
 
-/// Replay the inconsistency accounting of a captured history.
-pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut txns: HashMap<TxnId, TxnState> = HashMap::new();
+/// The incremental epsilon-replay engine: feed it events in stream
+/// order, take diagnostics out whenever convenient.
+pub struct ReplayEngine {
+    schema: HierarchySchema,
+    config: KernelConfig,
+    /// Ledgers of transactions that have begun but not ended.
+    live: HashMap<TxnId, TxnState>,
+    /// Ids of ended (committed or aborted) transactions, as ranges.
+    ended: IdRanges,
+    out: Vec<Diagnostic>,
+}
 
-    for ev in &history.events {
-        let seq = ev.seq;
-        match &ev.kind {
+impl ReplayEngine {
+    pub fn new(schema: HierarchySchema, config: KernelConfig) -> Self {
+        ReplayEngine {
+            schema,
+            config,
+            live: HashMap::new(),
+            ended: IdRanges::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Diagnostics found so far; the engine's buffer is drained.
+    pub fn take_diagnostics(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Transactions currently live (begun, not ended).
+    pub fn live_txns(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Memory footprint of the ended-id tombstones, in stored ranges.
+    pub fn ended_ranges(&self) -> usize {
+        self.ended.range_count()
+    }
+
+    /// The kind a live transaction declared at begin, if it is live.
+    pub fn live_kind(&self, txn: TxnId) -> Option<TxnKind> {
+        self.live.get(&txn).map(|s| s.kind)
+    }
+
+    /// Process one event. `seq` is only used to label diagnostics.
+    pub fn observe_kind(&mut self, seq: u64, kind: &EventKind) {
+        match kind {
             EventKind::Begin {
                 txn, kind, bounds, ..
             } => {
-                if txns.contains_key(txn) {
-                    out.push(Diagnostic::DuplicateBegin { txn: *txn, seq });
-                    continue;
+                if self.live.contains_key(txn) || self.ended.contains(txn.0) {
+                    self.out.push(Diagnostic::DuplicateBegin { txn: *txn, seq });
+                    return;
                 }
-                txns.insert(
+                self.live.insert(
                     *txn,
                     TxnState {
                         kind: *kind,
-                        ledger: Ledger::new(&history.schema, bounds),
-                        ended: false,
+                        ledger: Ledger::new(&self.schema, bounds),
                     },
                 );
             }
@@ -60,20 +108,22 @@ pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
                 case2,
                 oil,
             } => {
-                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
-                    continue;
+                let config = self.config;
+                let Some(state) = self.live_state(*txn, seq) else {
+                    return;
                 };
                 if state.kind != TxnKind::Query {
-                    out.push(Diagnostic::KindMismatch {
+                    let kind = state.kind;
+                    self.out.push(Diagnostic::KindMismatch {
                         txn: *txn,
                         seq,
-                        kind: state.kind,
+                        kind,
                     });
-                    continue;
+                    return;
                 }
                 let mut recomputed = distance(*present, *proper);
                 if *case2 {
-                    recomputed = recomputed.saturating_add(history.config.import_padding);
+                    recomputed = recomputed.saturating_add(config.import_padding);
                 }
                 let case = match (case1, case2) {
                     (true, true) => "Case 1+2",
@@ -81,9 +131,10 @@ pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
                     (false, true) => "Case 2",
                     (false, false) => "unflagged",
                 };
-                check_charge(&mut out, *txn, *obj, seq, case, *d, recomputed);
-                if let Err(violation) = state.ledger.try_charge(*obj, *d, *oil) {
-                    out.push(Diagnostic::BoundExceeded {
+                let charge = state.ledger.try_charge(*obj, *d, *oil);
+                check_charge(&mut self.out, *txn, *obj, seq, case, *d, recomputed);
+                if let Err(violation) = charge {
+                    self.out.push(Diagnostic::BoundExceeded {
                         txn: *txn,
                         obj: *obj,
                         seq,
@@ -93,16 +144,17 @@ pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
                 }
             }
             EventKind::UpdateRead { txn, .. } => {
-                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
-                    continue;
+                let Some(state) = self.live_state(*txn, seq) else {
+                    return;
                 };
                 // Update reads are strictly consistent: nothing to charge,
                 // only the transaction kind to verify.
                 if state.kind != TxnKind::Update {
-                    out.push(Diagnostic::KindMismatch {
+                    let kind = state.kind;
+                    self.out.push(Diagnostic::KindMismatch {
                         txn: *txn,
                         seq,
-                        kind: state.kind,
+                        kind,
                     });
                 }
             }
@@ -115,21 +167,24 @@ pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
                 oel,
                 ..
             } => {
-                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
-                    continue;
+                let config = self.config;
+                let Some(state) = self.live_state(*txn, seq) else {
+                    return;
                 };
                 if state.kind != TxnKind::Update {
-                    out.push(Diagnostic::KindMismatch {
+                    let kind = state.kind;
+                    self.out.push(Diagnostic::KindMismatch {
                         txn: *txn,
                         seq,
-                        kind: state.kind,
+                        kind,
                     });
-                    continue;
+                    return;
                 }
-                let recomputed = export_d(history.config, *value, readers);
-                check_charge(&mut out, *txn, *obj, seq, "Case 3", *d, recomputed);
-                if let Err(violation) = state.ledger.try_charge(*obj, *d, *oel) {
-                    out.push(Diagnostic::BoundExceeded {
+                let recomputed = export_d(config, *value, readers);
+                let charge = state.ledger.try_charge(*obj, *d, *oel);
+                check_charge(&mut self.out, *txn, *obj, seq, "Case 3", *d, recomputed);
+                if let Err(violation) = charge {
+                    self.out.push(Diagnostic::BoundExceeded {
                         txn: *txn,
                         obj: *obj,
                         seq,
@@ -139,32 +194,32 @@ pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
                 }
             }
             EventKind::WriteSkipped { txn, .. } => {
-                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
-                    continue;
+                let Some(state) = self.live_state(*txn, seq) else {
+                    return;
                 };
                 // A Thomas-rule skip installs nothing and charges nothing.
                 if state.kind != TxnKind::Update {
-                    out.push(Diagnostic::KindMismatch {
+                    let kind = state.kind;
+                    self.out.push(Diagnostic::KindMismatch {
                         txn: *txn,
                         seq,
-                        kind: state.kind,
+                        kind,
                     });
                 }
             }
             EventKind::Wait { txn, .. } => {
                 // Parking charges nothing; only referential integrity is
                 // checked (a wait by an ended or unknown txn is bogus).
-                live(&mut txns, *txn, seq, &mut out);
+                self.live_state(*txn, seq);
             }
             EventKind::Commit { txn, info } => {
-                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
-                    continue;
+                let Some(state) = self.live_state(*txn, seq) else {
+                    return;
                 };
-                state.ended = true;
                 let replayed_total = state.ledger.total();
                 let replayed_ops = state.ledger.inconsistent_charges();
                 if info.inconsistency != replayed_total || info.inconsistent_ops != replayed_ops {
-                    out.push(Diagnostic::CommitMismatch {
+                    self.out.push(Diagnostic::CommitMismatch {
                         txn: *txn,
                         seq,
                         recorded_total: info.inconsistency,
@@ -173,43 +228,50 @@ pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
                         replayed_ops,
                     });
                 }
+                self.end(*txn);
             }
             EventKind::Abort { txn, .. } => {
-                let Some(state) = live(&mut txns, *txn, seq, &mut out) else {
-                    continue;
-                };
-                state.ended = true;
+                if self.live_state(*txn, seq).is_some() {
+                    self.end(*txn);
+                }
             }
         }
     }
 
-    out
+    /// Prune a transaction that just ended: its ledger is dropped and
+    /// its id becomes a compact tombstone.
+    fn end(&mut self, txn: TxnId) {
+        self.live.remove(&txn);
+        self.ended.insert(txn.0);
+    }
+
+    /// Look up a transaction that must exist and still be live,
+    /// reporting `MissingBegin` / `OpAfterEnd` otherwise.
+    fn live_state(&mut self, txn: TxnId, seq: u64) -> Option<&mut TxnState> {
+        if self.live.contains_key(&txn) {
+            return self.live.get_mut(&txn);
+        }
+        if self.ended.contains(txn.0) {
+            self.out.push(Diagnostic::OpAfterEnd { txn, seq });
+        } else {
+            self.out.push(Diagnostic::MissingBegin { txn, seq });
+        }
+        None
+    }
 }
 
-/// Look up a transaction that must exist and still be live, reporting
-/// `MissingBegin` / `OpAfterEnd` otherwise.
-fn live<'a>(
-    txns: &'a mut HashMap<TxnId, TxnState>,
-    txn: TxnId,
-    seq: u64,
-    out: &mut Vec<Diagnostic>,
-) -> Option<&'a mut TxnState> {
-    match txns.get_mut(&txn) {
-        None => {
-            out.push(Diagnostic::MissingBegin { txn, seq });
-            None
-        }
-        Some(state) if state.ended => {
-            out.push(Diagnostic::OpAfterEnd { txn, seq });
-            None
-        }
-        Some(state) => Some(state),
+/// Replay the inconsistency accounting of a captured history.
+pub fn replay_bounds(history: &History) -> Vec<Diagnostic> {
+    let mut engine = ReplayEngine::new(history.schema.clone(), history.config);
+    for ev in &history.events {
+        engine.observe_kind(ev.seq, &ev.kind);
     }
+    engine.take_diagnostics()
 }
 
 /// The §5.2 export rule: inconsistency a write of `value` exports to the
 /// registered uncommitted query readers.
-fn export_d(config: KernelConfig, value: i64, readers: &[ReaderView]) -> Distance {
+pub(crate) fn export_d(config: KernelConfig, value: i64, readers: &[ReaderView]) -> Distance {
     let per_reader = readers.iter().map(|r| distance(value, r.proper));
     match config.export_rule {
         ExportRule::MaxOverReaders => per_reader.max().unwrap_or(0),

@@ -70,8 +70,22 @@ pub enum Diagnostic {
         recorded_ops: u64,
         replayed_ops: u64,
     },
-    /// A specification problem found by the linter on a `Begin` event.
-    SpecLint { txn: TxnId, finding: LintFinding },
+    /// A specification problem found by the linter. `txn` is the
+    /// transaction whose `Begin` declared the offending bounds, or
+    /// `None` for structural schema findings that belong to no
+    /// transaction (so a report never fabricates a transaction that
+    /// was never begun — an empty history used to blame `txn#0`).
+    SpecLint {
+        txn: Option<TxnId>,
+        finding: LintFinding,
+    },
+    /// The event stream delivered to an online monitor was not
+    /// contiguous: events were evicted before the monitor could read
+    /// them (`found > expected`), or arrived out of order
+    /// (`found < expected`). Verdicts after a gap are best-effort —
+    /// the monitor saw a holey stream and says so instead of silently
+    /// checking it.
+    StreamGap { expected: u64, found: u64 },
 }
 
 impl Diagnostic {
@@ -164,8 +178,29 @@ impl fmt::Display for Diagnostic {
                  total {recorded_total} vs {replayed_total}, \
                  inconsistent ops {recorded_ops} vs {replayed_ops}"
             ),
-            Diagnostic::SpecLint { txn, finding } => {
+            Diagnostic::SpecLint {
+                txn: Some(txn),
+                finding,
+            } => {
                 write!(f, "specification of {txn}: {finding}")
+            }
+            Diagnostic::SpecLint { txn: None, finding } => {
+                write!(f, "schema specification: {finding}")
+            }
+            Diagnostic::StreamGap { expected, found } => {
+                if found > expected {
+                    write!(
+                        f,
+                        "event stream gap: expected seq #{expected}, next was #{found} \
+                         ({} event(s) lost before the monitor could read them)",
+                        found - expected
+                    )
+                } else {
+                    write!(
+                        f,
+                        "event stream out of order: expected seq #{expected}, got #{found}"
+                    )
+                }
             }
         }
     }

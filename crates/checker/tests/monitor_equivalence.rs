@@ -1,0 +1,481 @@
+//! Online/offline equivalence: the bounded-memory monitor must reach
+//! the same verdicts as `check_history` over the full history.
+//!
+//! Two generators drive the comparison:
+//!
+//! 1. **Kernel-driven workloads** — seeded scripts run against a real
+//!    capture-enabled kernel; the monitor tails the capture log through
+//!    a [`CaptureCursor`] polled at arbitrary batch boundaries while
+//!    the workload is still running (the log stays in full-history mode
+//!    so the offline checker sees everything afterwards). The kernel
+//!    enforces ESR, so these histories are clean — the assertion is
+//!    that both checkers agree diagnostic-for-diagnostic, and that the
+//!    monitor's retained state drains once the workload ends.
+//!
+//! 2. **Synthetic adversarial streams** — well-formed but
+//!    kernel-unconstrained event sequences with real conflict cycles
+//!    and occasional corrupted charges. Replay and lint findings must
+//!    match exactly (they share the engine); for the serialization
+//!    pass, the online graph keeps extra transitive edges, so the
+//!    contract is: cycle *presence* matches exactly, and every
+//!    transaction the monitor names lies inside the offline cyclic
+//!    core.
+
+use esr_checker::{check_history, Diagnostic, EsrMonitor};
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_storage::catalog::CatalogConfig;
+use esr_tso::capture::{Event, EventKind, History};
+use esr_tso::outcome::CommitInfo;
+use esr_tso::{Kernel, KernelConfig, OpOutcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const OBJECTS: u32 = 8;
+
+fn sorted_debug(mut diags: Vec<Diagnostic>) -> Vec<String> {
+    let mut keys: Vec<String> = diags.drain(..).map(|d| format!("{d:?}")).collect();
+    keys.sort();
+    keys
+}
+
+fn split_cycles(diags: Vec<Diagnostic>) -> (Vec<Vec<TxnId>>, Vec<Diagnostic>) {
+    let mut cycles = Vec::new();
+    let mut rest = Vec::new();
+    for d in diags {
+        match d {
+            Diagnostic::SerializationCycle { txns } => cycles.push(txns),
+            other => rest.push(other),
+        }
+    }
+    (cycles, rest)
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: kernel-driven workloads, tailed live at random batch sizes.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Action {
+    Read(ObjectId),
+    Write(ObjectId, i64),
+    Commit,
+    Abort,
+}
+
+struct Script {
+    kind: TxnKind,
+    bounds: TxnBounds,
+    ts: Timestamp,
+    actions: Vec<Action>,
+}
+
+fn make_scripts(rng: &mut StdRng, n: usize) -> Vec<Script> {
+    let mut scripts = Vec::new();
+    let mut next_ts = 1u64;
+    for i in 0..n {
+        let is_query = rng.gen_range(0..100) < 55;
+        let skew = rng.gen_range(0u64..8);
+        // Unique (ticks, site) per transaction — the documented
+        // Timestamp contract; ticks alone may collide under skew.
+        let ts = Timestamp::new(next_ts.saturating_sub(skew), SiteId(i as u16));
+        next_ts += rng.gen_range(1u64..4);
+        let mut actions = Vec::new();
+        for _ in 0..rng.gen_range(1..6) {
+            let obj = ObjectId(rng.gen_range(0..OBJECTS));
+            if is_query || rng.gen_range(0..2) == 0 {
+                actions.push(Action::Read(obj));
+            } else {
+                actions.push(Action::Write(obj, rng.gen_range(0..10_000)));
+            }
+        }
+        actions.push(if rng.gen_range(0..100) < 88 {
+            Action::Commit
+        } else {
+            Action::Abort
+        });
+        let (kind, bounds) = if is_query {
+            let til = match rng.gen_range(0..3) {
+                0 => Limit::ZERO,
+                1 => Limit::at_most(rng.gen_range(0..5_000)),
+                _ => Limit::Unlimited,
+            };
+            (TxnKind::Query, TxnBounds::import(til))
+        } else {
+            let tel = match rng.gen_range(0..2) {
+                0 => Limit::at_most(rng.gen_range(0..5_000)),
+                _ => Limit::Unlimited,
+            };
+            (TxnKind::Update, TxnBounds::export(tel))
+        };
+        scripts.push(Script {
+            kind,
+            bounds,
+            ts,
+            actions,
+        });
+    }
+    scripts
+}
+
+/// Round-robin the scripts over the kernel, feeding `monitor` from the
+/// capture cursor at random moments with random batch sizes.
+fn drive_with_monitor(
+    kernel: &Kernel,
+    scripts: &[Script],
+    monitor: &mut EsrMonitor,
+    rng: &mut StdRng,
+) {
+    let log = kernel.capture_log().expect("capture enabled");
+    let mut cursor = log.tail();
+    let mut txn_of: Vec<Option<TxnId>> = vec![None; scripts.len()];
+    let mut cursor_pos: Vec<usize> = vec![0; scripts.len()];
+    let mut done: Vec<bool> = vec![false; scripts.len()];
+    let mut suspended: std::collections::HashSet<TxnId> = Default::default();
+    let mut woken: std::collections::VecDeque<esr_tso::PendingOp> = Default::default();
+    let mut script_of: std::collections::HashMap<TxnId, usize> = Default::default();
+
+    let mut admitted = 0usize;
+    loop {
+        // Interleave monitor polls with kernel work: arbitrary batch
+        // boundaries are the point of this test.
+        if rng.gen_range(0..3) == 0 {
+            let batch = cursor.poll(rng.gen_range(1..16));
+            monitor.note_missed(batch.missed);
+            monitor.ingest(&batch.events);
+        }
+        while let Some(p) = woken.pop_front() {
+            let txn = p.txn;
+            let resp = kernel.resume(p).expect("resume");
+            woken.extend(resp.woken);
+            match resp.outcome {
+                OpOutcome::Wait => {}
+                OpOutcome::Aborted(_) => {
+                    suspended.remove(&txn);
+                    if let Some(&s) = script_of.get(&txn) {
+                        done[s] = true;
+                    }
+                }
+                _ => {
+                    suspended.remove(&txn);
+                    if let Some(&s) = script_of.get(&txn) {
+                        cursor_pos[s] += 1;
+                    }
+                }
+            }
+        }
+        while admitted < scripts.len() && (0..admitted).filter(|&s| !done[s]).count() < 6 {
+            let s = admitted;
+            admitted += 1;
+            let sc = &scripts[s];
+            let id = kernel.begin(sc.kind, sc.bounds.clone(), sc.ts);
+            txn_of[s] = Some(id);
+            script_of.insert(id, s);
+        }
+        let mut progressed = false;
+        for s in 0..admitted {
+            if done[s] {
+                continue;
+            }
+            let Some(txn) = txn_of[s] else { continue };
+            if suspended.contains(&txn) {
+                continue;
+            }
+            progressed = true;
+            match scripts[s].actions[cursor_pos[s]].clone() {
+                Action::Read(obj) => {
+                    let resp = kernel.read(txn, obj).expect("read");
+                    woken.extend(resp.woken);
+                    match resp.outcome {
+                        OpOutcome::Wait => {
+                            suspended.insert(txn);
+                        }
+                        OpOutcome::Aborted(_) => done[s] = true,
+                        _ => cursor_pos[s] += 1,
+                    }
+                }
+                Action::Write(obj, v) => {
+                    let resp = kernel.write(txn, obj, v).expect("write");
+                    woken.extend(resp.woken);
+                    match resp.outcome {
+                        OpOutcome::Wait => {
+                            suspended.insert(txn);
+                        }
+                        OpOutcome::Aborted(_) => done[s] = true,
+                        _ => cursor_pos[s] += 1,
+                    }
+                }
+                Action::Commit => {
+                    let resp = kernel.commit(txn).expect("commit");
+                    woken.extend(resp.woken);
+                    done[s] = true;
+                }
+                Action::Abort => {
+                    let resp = kernel.abort(txn).expect("abort");
+                    woken.extend(resp.woken);
+                    done[s] = true;
+                }
+            }
+        }
+        if !progressed && woken.is_empty() {
+            if done.iter().take(admitted).all(|&d| d) && admitted == scripts.len() {
+                break;
+            }
+            let stuck = (0..admitted)
+                .find(|&s| !done[s] && txn_of[s].is_some_and(|t| suspended.contains(&t)));
+            match stuck {
+                Some(s) => {
+                    let txn = txn_of[s].unwrap();
+                    let resp = kernel.abort(txn).expect("deadlock-break abort");
+                    woken.extend(resp.woken);
+                    suspended.remove(&txn);
+                    done[s] = true;
+                }
+                None => break,
+            }
+        }
+    }
+    // Drain whatever the cursor has not delivered yet.
+    loop {
+        let batch = cursor.poll(64);
+        monitor.note_missed(batch.missed);
+        if batch.events.is_empty() {
+            break;
+        }
+        monitor.ingest(&batch.events);
+    }
+}
+
+proptest! {
+    #[test]
+    fn monitor_matches_offline_checker_on_kernel_workloads(seed in 0u64..1u64 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<i64> = (0..OBJECTS as i64).map(|i| 1_000 + i * 37).collect();
+        let kernel = Kernel::with_defaults(CatalogConfig::default().build_with_values(&values));
+        kernel.enable_capture();
+
+        let mut monitor = EsrMonitor::new(kernel.schema().clone(), *kernel.config());
+        let scripts = make_scripts(&mut rng, 40);
+        drive_with_monitor(&kernel, &scripts, &mut monitor, &mut rng);
+
+        let history = kernel.capture_history().expect("capture enabled");
+        let offline = check_history(&history);
+        let online = monitor.take_diagnostics();
+
+        // A real kernel run must check clean — and identically so.
+        prop_assert_eq!(
+            sorted_debug(online),
+            sorted_debug(offline.diagnostics.clone())
+        );
+        prop_assert!(offline.is_clean(), "kernel produced violations: {}", offline);
+        prop_assert_eq!(monitor.violations(), 0);
+
+        // Every transaction ended, so the monitor must have drained.
+        let stats = monitor.stats();
+        prop_assert_eq!(stats.live_txns, 0, "ledgers leaked: {:?}", stats);
+        prop_assert_eq!(stats.graph_nodes, 0, "graph not pruned: {:?}", stats);
+        prop_assert_eq!(stats.gaps, 0);
+        prop_assert_eq!(stats.missed_events, 0, "full-history tail lost events");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: synthetic adversarial streams (cycles, corrupted charges).
+// ---------------------------------------------------------------------------
+
+struct SynthTxn {
+    id: u64,
+    kind: TxnKind,
+    ops_left: usize,
+    /// Running ledger truth for a consistent CommitInfo.
+    total: u64,
+    inconsistent_ops: u64,
+    will_abort: bool,
+}
+
+/// A well-formed stream (begin once, ops only while live, end once) that
+/// the kernel would never emit: conflicting writes in cycle-forming
+/// orders and, rarely, corrupted charges or commit summaries.
+fn synth_history(rng: &mut StdRng) -> History {
+    let mut events: Vec<EventKind> = Vec::new();
+    let mut live: Vec<SynthTxn> = Vec::new();
+    let mut next_id = 1u64;
+    let n_txns = rng.gen_range(4..14);
+    let mut remaining = n_txns;
+
+    while remaining > 0 || !live.is_empty() {
+        let can_begin = remaining > 0 && live.len() < 6;
+        let choice = rng.gen_range(0..10);
+        if can_begin && (live.is_empty() || choice < 3) {
+            let kind = if rng.gen_range(0..10) < 7 {
+                TxnKind::Update
+            } else {
+                TxnKind::Query
+            };
+            let bounds = match kind {
+                TxnKind::Update => TxnBounds::export(Limit::Unlimited),
+                TxnKind::Query => TxnBounds::import(Limit::Unlimited),
+            };
+            let id = next_id;
+            next_id += 1;
+            remaining -= 1;
+            events.push(EventKind::Begin {
+                txn: TxnId(id),
+                kind,
+                ts: Timestamp::new(id, SiteId(0)),
+                bounds,
+            });
+            live.push(SynthTxn {
+                id,
+                kind,
+                ops_left: rng.gen_range(1..7),
+                total: 0,
+                inconsistent_ops: 0,
+                will_abort: rng.gen_range(0..10) == 0,
+            });
+            continue;
+        }
+        let idx = rng.gen_range(0..live.len());
+        let t = &mut live[idx];
+        let txn = TxnId(t.id);
+        if t.ops_left == 0 {
+            let t = live.swap_remove(idx);
+            if t.will_abort {
+                events.push(EventKind::Abort {
+                    txn: TxnId(t.id),
+                    reason: None,
+                });
+            } else {
+                // Rarely lie in the summary (a CommitMismatch for both
+                // checkers to find).
+                let lie = rng.gen_range(0..12) == 0;
+                events.push(EventKind::Commit {
+                    txn: TxnId(t.id),
+                    info: CommitInfo {
+                        inconsistency: t.total + if lie { 1 } else { 0 },
+                        inconsistent_ops: t.inconsistent_ops,
+                        reads: 0,
+                        writes: 0,
+                        written: Vec::new(),
+                    },
+                });
+            }
+            continue;
+        }
+        t.ops_left -= 1;
+        let obj = ObjectId(rng.gen_range(0..5));
+        match t.kind {
+            TxnKind::Update => {
+                if rng.gen_range(0..2) == 0 {
+                    events.push(EventKind::UpdateRead { txn, obj, value: 0 });
+                } else {
+                    // Rarely record a charge the event data does not
+                    // support (a DistanceMismatch for both checkers).
+                    let bogus = rng.gen_range(0..15) == 0;
+                    let d: u64 = if bogus { 3 } else { 0 };
+                    if d > 0 {
+                        t.total += d;
+                        t.inconsistent_ops += 1;
+                    }
+                    events.push(EventKind::Write {
+                        txn,
+                        obj,
+                        value: rng.gen_range(0..100),
+                        d,
+                        case3: false,
+                        readers: Vec::new(),
+                        oel: Limit::Unlimited,
+                    });
+                }
+            }
+            TxnKind::Query => {
+                let proper: i64 = rng.gen_range(0..50);
+                // Rarely under-charge a relaxed read (an
+                // UnchargedRelaxation for both checkers).
+                let skip_charge = rng.gen_range(0..15) == 0;
+                let delta: u64 = rng.gen_range(0..4);
+                let d = if skip_charge { 0 } else { delta };
+                if d > 0 {
+                    t.total += d;
+                    t.inconsistent_ops += 1;
+                }
+                events.push(EventKind::QueryRead {
+                    txn,
+                    obj,
+                    present: proper + delta as i64,
+                    proper,
+                    d,
+                    case1: delta > 0,
+                    case2: false,
+                    oil: Limit::Unlimited,
+                });
+            }
+        }
+    }
+
+    History {
+        schema: esr_core::hierarchy::HierarchySchema::two_level(),
+        config: KernelConfig::default(),
+        events: events
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                seq: i as u64,
+                kind,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn monitor_matches_offline_checker_on_adversarial_streams(seed in 0u64..1u64 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let history = synth_history(&mut rng);
+
+        let offline = check_history(&history);
+        let mut monitor = EsrMonitor::new(history.schema.clone(), history.config);
+        // Arbitrary batch boundaries.
+        let mut fed = 0;
+        while fed < history.events.len() {
+            let n = rng.gen_range(1usize..8).min(history.events.len() - fed);
+            monitor.ingest(&history.events[fed..fed + n]);
+            fed += n;
+        }
+        let online = monitor.take_diagnostics();
+
+        let (on_cycles, on_rest) = split_cycles(online);
+        let (off_cycles, off_rest) = split_cycles(offline.diagnostics);
+
+        // Replay + lint: the engine is shared, the findings must match
+        // exactly as multisets.
+        prop_assert_eq!(sorted_debug(on_rest), sorted_debug(off_rest));
+
+        // Serialization: presence must match; the offline pass reports
+        // one cyclic core, the monitor one diagnostic per cycle as each
+        // closes, over a graph with extra (harmless) transitive edges —
+        // so every transaction it names must lie inside that core.
+        prop_assert_eq!(
+            on_cycles.is_empty(),
+            off_cycles.is_empty(),
+            "cycle verdicts diverged: online {:?} vs offline {:?}",
+            on_cycles,
+            off_cycles
+        );
+        if let Some(core) = off_cycles.first() {
+            for txns in &on_cycles {
+                for t in txns {
+                    prop_assert!(
+                        core.contains(t),
+                        "monitor named {:?} outside the offline core {:?}",
+                        t,
+                        core
+                    );
+                }
+            }
+        }
+    }
+}

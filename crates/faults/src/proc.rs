@@ -23,13 +23,14 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-/// Options for spawning a durable `esr-tcpd` child.
+/// Options for spawning an `esr-tcpd` child.
 #[derive(Debug, Clone)]
 pub struct ServerProcOptions {
     /// Path to the `esr-tcpd` binary (tests use `env!("CARGO_BIN_EXE_esr-tcpd")`).
     pub binary: PathBuf,
-    /// Data directory passed as `--data-dir`.
-    pub data_dir: PathBuf,
+    /// Data directory passed as `--data-dir`; `None` runs the daemon
+    /// in-memory (no durability, nothing to recover).
+    pub data_dir: Option<PathBuf>,
     /// Objects in the (first-boot) database.
     pub objects: usize,
     /// Initial value of every object.
@@ -40,19 +41,42 @@ pub struct ServerProcOptions {
     pub checkpoint_secs: u64,
     /// Arm the WAL torn-write injector at this record sequence.
     pub wal_torn_after: Option<u64>,
+    /// Serve the metrics endpoint on an ephemeral port and capture its
+    /// address ([`ServerProc::metrics_addr`]).
+    pub metrics: bool,
+    /// Run the live conformance monitor (`--monitor`).
+    pub monitor: bool,
+    /// Capture-log retention bound (`--monitor-capacity`).
+    pub monitor_capacity: Option<usize>,
+    /// Arm the monitor's planted-violation injector after this many
+    /// observed events (`--monitor-plant-after`).
+    pub monitor_plant_after: Option<u64>,
 }
 
 impl ServerProcOptions {
     /// Defaults for a small crash-test database.
     pub fn new(binary: impl Into<PathBuf>, data_dir: impl Into<PathBuf>) -> Self {
         ServerProcOptions {
+            data_dir: Some(data_dir.into()),
+            ..ServerProcOptions::in_memory(binary)
+        }
+    }
+
+    /// Defaults for an in-memory daemon (no data directory) — what the
+    /// monitor soak harness drives.
+    pub fn in_memory(binary: impl Into<PathBuf>) -> Self {
+        ServerProcOptions {
             binary: binary.into(),
-            data_dir: data_dir.into(),
+            data_dir: None,
             objects: 16,
             value: 1000,
             lease_micros: 0,
             checkpoint_secs: 0,
             wal_torn_after: None,
+            metrics: false,
+            monitor: false,
+            monitor_capacity: None,
+            monitor_plant_after: None,
         }
     }
 }
@@ -62,11 +86,14 @@ impl ServerProcOptions {
 pub struct ServerProc {
     child: Child,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ServerProc {
     /// Spawn the daemon on an ephemeral port and wait until its
-    /// "listening on" line reports the bound address.
+    /// "listening on" line reports the bound address (and, with
+    /// [`ServerProcOptions::metrics`], until the metrics line reports
+    /// the endpoint's).
     pub fn spawn(opts: &ServerProcOptions) -> io::Result<ServerProc> {
         let mut cmd = Command::new(&opts.binary);
         cmd.arg("127.0.0.1:0")
@@ -74,34 +101,58 @@ impl ServerProc {
             .arg(opts.objects.to_string())
             .arg("--value")
             .arg(opts.value.to_string())
-            .arg("--data-dir")
-            .arg(&opts.data_dir)
-            .arg("--checkpoint-secs")
-            .arg(opts.checkpoint_secs.to_string())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        if let Some(dir) = &opts.data_dir {
+            cmd.arg("--data-dir")
+                .arg(dir)
+                .arg("--checkpoint-secs")
+                .arg(opts.checkpoint_secs.to_string());
+        }
         if opts.lease_micros > 0 {
             cmd.arg("--lease-micros").arg(opts.lease_micros.to_string());
         }
         if let Some(n) = opts.wal_torn_after {
             cmd.arg("--wal-torn-after").arg(n.to_string());
         }
+        if opts.metrics {
+            cmd.arg("--metrics-addr").arg("127.0.0.1:0");
+        }
+        if opts.monitor {
+            cmd.arg("--monitor");
+        }
+        if let Some(cap) = opts.monitor_capacity {
+            cmd.arg("--monitor-capacity").arg(cap.to_string());
+        }
+        if let Some(n) = opts.monitor_plant_after {
+            cmd.arg("--monitor-plant-after").arg(n.to_string());
+        }
         let mut child = cmd.spawn()?;
         let stdout = child.stdout.take().expect("stdout piped");
-        let addr = match wait_for_listen_line(stdout, &mut child) {
-            Ok(addr) => addr,
+        let (addr, metrics_addr) = match wait_for_listen_lines(stdout, &mut child, opts.metrics) {
+            Ok(pair) => pair,
             Err(e) => {
                 let _ = child.kill();
                 let _ = child.wait();
                 return Err(e);
             }
         };
-        Ok(ServerProc { child, addr })
+        Ok(ServerProc {
+            child,
+            addr,
+            metrics_addr,
+        })
     }
 
     /// The daemon's bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics endpoint's bound address, when spawned with
+    /// [`ServerProcOptions::metrics`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// SIGKILL the daemon — no shutdown hooks, no flushes — and reap
@@ -139,16 +190,20 @@ impl Drop for ServerProc {
     }
 }
 
-/// Read the child's stdout until the "listening on ADDR" line appears.
-/// The recovery summary line (printed first on durable boots) is
-/// swallowed here; stdout is drained on a detached thread afterwards so
-/// the child never blocks on a full pipe.
-fn wait_for_listen_line(
+/// Read the child's stdout until the "listening on ADDR" line appears —
+/// and, when `want_metrics`, until the "metrics on http://ADDR/metrics"
+/// line that follows it. The recovery summary line (printed first on
+/// durable boots) is swallowed here; stdout is drained on a detached
+/// thread afterwards so the child never blocks on a full pipe.
+fn wait_for_listen_lines(
     stdout: std::process::ChildStdout,
     child: &mut Child,
-) -> io::Result<SocketAddr> {
+    want_metrics: bool,
+) -> io::Result<(SocketAddr, Option<SocketAddr>)> {
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
+    let mut addr: Option<SocketAddr> = None;
+    let mut metrics_addr: Option<SocketAddr> = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -162,19 +217,31 @@ fn wait_for_listen_line(
         }
         if let Some(rest) = line.trim().strip_prefix("esr-tcpd listening on ") {
             let addr_str = rest.split_whitespace().next().unwrap_or(rest);
-            let addr = addr_str.parse().map_err(|e| {
+            addr = Some(addr_str.parse().map_err(|e| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("cannot parse listen address {addr_str:?}: {e}"),
                 )
-            })?;
-            std::thread::spawn(move || {
-                let mut sink = String::new();
-                while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
-                    sink.clear();
-                }
-            });
-            return Ok(addr);
+            })?);
+        } else if let Some(rest) = line.trim().strip_prefix("esr-tcpd metrics on http://") {
+            let addr_str = rest.trim_end_matches("/metrics");
+            metrics_addr = Some(addr_str.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cannot parse metrics address {addr_str:?}: {e}"),
+                )
+            })?);
+        }
+        if let Some(addr) = addr {
+            if !want_metrics || metrics_addr.is_some() {
+                std::thread::spawn(move || {
+                    let mut sink = String::new();
+                    while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                        sink.clear();
+                    }
+                });
+                return Ok((addr, metrics_addr));
+            }
         }
     }
 }

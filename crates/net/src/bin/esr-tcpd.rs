@@ -33,12 +33,28 @@
 //! requests, WAL bytes, recoveries), and latency-histogram summaries in
 //! Prometheus text format.
 //!
+//! With `--monitor` the daemon also runs a live conformance checker: a
+//! bounded capture log feeds every kernel decision to an incremental
+//! serialization-graph + epsilon-ledger monitor on its own thread, whose
+//! memory stays bounded by the active-transaction window. Violations are
+//! logged (rate-limited) to stderr and exported as the
+//! `esr_conformance_violations` gauge, alongside `esr_monitor_*`
+//! counters, on the metrics endpoint. `--monitor-capacity N` sets the
+//! capture-log retention bound (default 65536 events; a monitor that
+//! lags further than that loses — and counts — old events instead of
+//! stalling the kernel).
+//!
 //! The hidden `--wal-torn-after N` flag arms the WAL's torn-write
 //! injector: the process aborts midway through writing record `N`'s
 //! bytes, leaving a torn tail on disk. It exists solely for the
-//! crash-recovery test harness.
+//! crash-recovery test harness. The hidden `--monitor-plant-after N`
+//! flag injects one out-of-protocol event into the monitor after `N`
+//! observed events, so the violation path (gauge + stderr) can be
+//! exercised end to end; it exists solely for the soak harness.
 
-use esr_net::{MetricsServer, NetServerConfig, StatsSource, TcpServer};
+use esr_net::{
+    ConformanceMonitor, MetricsServer, MonitorConfig, NetServerConfig, StatsSource, TcpServer,
+};
 use esr_server::{build_server_stats, start_durable, Server, ServerConfig};
 use esr_storage::catalog::CatalogConfig;
 use esr_storage::wal::WalOptions;
@@ -49,7 +65,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR] \
-         [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S]"
+         [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S] [--monitor] \
+         [--monitor-capacity N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +91,9 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut checkpoint_secs: u64 = 30;
     let mut wal_torn_after: Option<u64> = None;
+    let mut monitor = false;
+    let mut monitor_capacity: usize = MonitorConfig::default().capacity;
+    let mut monitor_plant_after: Option<u64> = None;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -86,6 +106,11 @@ fn main() {
             "--data-dir" => data_dir = Some(parse(&mut args, "--data-dir")),
             "--checkpoint-secs" => checkpoint_secs = parse(&mut args, "--checkpoint-secs"),
             "--wal-torn-after" => wal_torn_after = Some(parse(&mut args, "--wal-torn-after")),
+            "--monitor" => monitor = true,
+            "--monitor-capacity" => monitor_capacity = parse(&mut args, "--monitor-capacity"),
+            "--monitor-plant-after" => {
+                monitor_plant_after = Some(parse(&mut args, "--monitor-plant-after"))
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
             _ => usage(),
@@ -160,6 +185,19 @@ fn main() {
             Server::start(kernel, server_config)
         }
     };
+    // Attach the conformance monitor before the listener comes up, so
+    // the capture stream starts at event zero — a monitor joining
+    // mid-history would misreport already-running transactions.
+    let conformance = monitor.then(|| {
+        ConformanceMonitor::spawn(
+            server.kernel(),
+            MonitorConfig {
+                capacity: monitor_capacity,
+                plant_violation_after: monitor_plant_after,
+                ..MonitorConfig::default()
+            },
+        )
+    });
     let net_config = NetServerConfig {
         // Overload is an operator concern: surface it, but at most one
         // line every few seconds no matter how hard clients hammer.
@@ -179,15 +217,27 @@ fn main() {
         String::new()
     };
     let durable = if data_dir.is_some() { ", durable" } else { "" };
+    let monitored = if conformance.is_some() {
+        ", monitored"
+    } else {
+        ""
+    };
     println!(
-        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease}{durable})",
+        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease}{durable}{monitored})",
         tcp.local_addr()
     );
     // Keep the metrics listener alive for the lifetime of the process.
     let _metrics = metrics_addr.map(|maddr| {
         let kernel = Arc::clone(tcp.server().kernel());
         let obs = Arc::clone(tcp.server().obs());
-        let source: StatsSource = Arc::new(move || build_server_stats(&kernel, &obs));
+        let monitor_source = conformance.as_ref().map(|m| m.snapshot_source());
+        let source: StatsSource = Arc::new(move || {
+            let mut stats = build_server_stats(&kernel, &obs);
+            if let Some(ms) = &monitor_source {
+                stats.monitor = Some(ms());
+            }
+            stats
+        });
         match MetricsServer::bind(&maddr, source) {
             Ok(m) => {
                 println!("esr-tcpd metrics on http://{}/metrics", m.local_addr());
@@ -200,7 +250,8 @@ fn main() {
         }
     });
     // Serve until killed; the TcpServer's Drop handles graceful
-    // shutdown when the process is terminated cleanly.
+    // shutdown when the process is terminated cleanly. `conformance`
+    // stays alive (and checking) alongside it.
     loop {
         std::thread::park();
     }

@@ -35,12 +35,14 @@
 pub mod client;
 pub mod frame;
 pub mod metrics;
+pub mod monitor;
 pub mod msg;
 pub mod server;
 
 pub use client::{NetClientConfig, TcpConnection};
 pub use frame::{FrameError, MAX_FRAME};
 pub use metrics::{render_metrics, MetricsServer, StatsSource};
+pub use monitor::{ConformanceMonitor, MonitorConfig};
 pub use msg::{ReplyBody, RequestBody, WireReply, WireRequest};
 pub use server::{
     busy_retry_after_micros, is_busy_error, NetServerConfig, TcpServer, BUSY_RETRY_BASE_MICROS,

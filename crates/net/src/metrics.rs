@@ -263,6 +263,48 @@ pub fn render_metrics(stats: &ServerStats) -> String {
             "Crash recoveries performed at startup",
             stats.recoveries as i64,
         );
+    if let Some(m) = &stats.monitor {
+        e.gauge(
+            "esr_conformance_violations",
+            "Error-level diagnostics from the live conformance monitor (0 = clean)",
+            m.violations as i64,
+        )
+        .counter(
+            "esr_monitor_events",
+            "Capture events processed by the conformance monitor",
+            m.events,
+        )
+        .counter(
+            "esr_monitor_gaps",
+            "Capture stream sequence discontinuities observed",
+            m.gaps,
+        )
+        .counter(
+            "esr_monitor_missed_events",
+            "Capture events evicted before the monitor could read them",
+            m.missed_events,
+        )
+        .gauge(
+            "esr_monitor_live_txns",
+            "Transactions live in the monitor's replay engine",
+            m.live_txns as i64,
+        )
+        .gauge(
+            "esr_monitor_graph_nodes",
+            "Update transactions held in the monitor's conflict graph",
+            m.graph_nodes as i64,
+        )
+        .gauge(
+            "esr_monitor_tracked_objects",
+            "Objects with retained access-log entries in the monitor",
+            m.tracked_objects as i64,
+        )
+        .gauge(
+            "esr_monitor_retained_entries",
+            "Access-log entries retained by the monitor (its memory bound)",
+            m.retained_entries as i64,
+        );
+    }
     for h in &stats.histograms {
         e.summary(
             &format!("esr_{}", h.name),
@@ -277,7 +319,7 @@ pub fn render_metrics(stats: &ServerStats) -> String {
 mod tests {
     use super::*;
     use esr_obs::LatencyHistogram;
-    use esr_server::NamedHistogram;
+    use esr_server::{MonitorSnapshot, NamedHistogram};
     use esr_tso::StatsSnapshot;
 
     fn sample_stats() -> ServerStats {
@@ -298,6 +340,13 @@ mod tests {
             retries: 6,
             wal_bytes: 4096,
             recoveries: 1,
+            monitor: Some(MonitorSnapshot {
+                violations: 0,
+                events: 12345,
+                live_txns: 4,
+                retained_entries: 17,
+                ..MonitorSnapshot::default()
+            }),
             histograms: vec![NamedHistogram {
                 name: "kernel_txn_latency_micros".into(),
                 hist: h.snapshot(),
@@ -316,6 +365,10 @@ mod tests {
         assert!(text.contains("esr_retries_total 6"));
         assert!(text.contains("esr_wal_bytes 4096"));
         assert!(text.contains("esr_recoveries 1"));
+        assert!(text.contains("esr_conformance_violations 0"));
+        assert!(text.contains("esr_monitor_events_total 12345"));
+        assert!(text.contains("esr_monitor_live_txns 4"));
+        assert!(text.contains("esr_monitor_retained_entries 17"));
         assert!(text.contains("esr_kernel_txn_latency_micros{quantile=\"0.5\"}"));
         assert!(text.contains("esr_kernel_txn_latency_micros_count 2"));
     }

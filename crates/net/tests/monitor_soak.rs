@@ -1,0 +1,294 @@
+//! Monitor soak: a real `esr-tcpd --monitor` process, driven through
+//! the fault-injecting proxy, with the live conformance checker riding
+//! along the whole time.
+//!
+//! The claims under test:
+//!
+//! - a healthy server — even one serving clients through a lossy,
+//!   duplicating, delaying network — produces **zero** conformance
+//!   violations (`esr_conformance_violations` stays 0);
+//! - the monitor's memory stays bounded by the active-transaction
+//!   window, not by history length: the retained-entry and graph-node
+//!   gauges never grow with the committed-transaction count, and drain
+//!   to zero once the workload stops;
+//! - a planted out-of-protocol event (the hidden
+//!   `--monitor-plant-after` injector) fires the gauge, proving the
+//!   violation path is live and the zero above is meaningful.
+//!
+//! Scale is environment-tunable: `ESR_SOAK_TXNS` sets the committed-
+//! transaction target (default 3000 to keep plain `cargo test` quick;
+//! CI's soak stage runs 100k+). Every run is wall-clock-watchdogged so
+//! a wedged server fails instead of hanging the suite.
+
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_faults::proc::{ServerProc, ServerProcOptions};
+use esr_faults::{FaultPlan, FaultProxy};
+use esr_net::{NetClientConfig, TcpConnection};
+use esr_txn::Session;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tcpd() -> &'static str {
+    env!("CARGO_BIN_EXE_esr-tcpd")
+}
+
+fn soak_txns() -> u64 {
+    std::env::var("ESR_SOAK_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_000)
+}
+
+/// Run `f` under a wall-clock deadline; a hang fails the test instead
+/// of wedging the suite.
+fn with_deadline<F: FnOnce() + Send + 'static>(limit: Duration, f: F) {
+    let body = std::thread::spawn(f);
+    let t0 = Instant::now();
+    while !body.is_finished() {
+        assert!(
+            t0.elapsed() < limit,
+            "soak exceeded its {limit:?} deadline: something hung"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    body.join().expect("soak body panicked");
+}
+
+/// One HTTP GET against the daemon's metrics endpoint.
+fn scrape(addr: SocketAddr) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect metrics");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: soak\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read scrape");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&response);
+    body.to_owned()
+}
+
+/// Extract one metric's value from an exposition body. Counters carry
+/// the `_total` suffix in the exposition — pass the suffixed name.
+fn metric(body: &str, name: &str) -> Option<i64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+fn gauge(body: &str, name: &str) -> i64 {
+    metric(body, name).unwrap_or_else(|| panic!("metric {name} missing from scrape:\n{body}"))
+}
+
+/// Client tuned like the chaos suite: short bounded waits, generous
+/// resends, so injected faults surface as retries, not stalls.
+fn soak_client(addr: SocketAddr, seed: u64) -> std::io::Result<TcpConnection> {
+    TcpConnection::connect_with(
+        addr,
+        NetClientConfig {
+            connect_attempts: 10,
+            backoff: Duration::from_millis(5),
+            read_timeout: Duration::from_millis(50),
+            reply_attempts: 20,
+            call_attempts: 8,
+            retry_backoff: Duration::from_millis(2),
+            retry_seed: seed,
+            ..NetClientConfig::default()
+        },
+    )
+}
+
+/// One update transaction; `true` on definite commit. Recovers the
+/// connection (abort, or reconnect) on any tolerated failure.
+fn try_update(
+    conn: &mut TcpConnection,
+    addr: SocketAddr,
+    seed: u64,
+    obj: ObjectId,
+    v: i64,
+) -> bool {
+    if conn.in_txn() {
+        let _ = conn.abort();
+    }
+    if conn.in_txn() {
+        match soak_client(addr, seed) {
+            Ok(fresh) => *conn = fresh,
+            Err(_) => return false,
+        }
+    }
+    if conn
+        .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+        .is_err()
+    {
+        return false;
+    }
+    if conn.read(obj).is_err() || conn.write(obj, v).is_err() {
+        let _ = conn.abort();
+        return false;
+    }
+    conn.commit().is_ok()
+}
+
+/// The main soak: a monitored in-memory daemon under a lossy proxy,
+/// `ESR_SOAK_TXNS` committed update transactions, zero violations,
+/// bounded monitor gauges throughout, full drain at the end.
+#[test]
+fn monitored_server_stays_clean_and_bounded_under_fault_soak() {
+    let target = soak_txns();
+    // Budget generously (CI machines vary) — the watchdog exists to
+    // catch hangs, not to race healthy runs.
+    let deadline = Duration::from_secs(120 + target / 250);
+    with_deadline(deadline, move || {
+        let mut server = ServerProc::spawn(&ServerProcOptions {
+            lease_micros: 500_000,
+            metrics: true,
+            monitor: true,
+            ..ServerProcOptions::in_memory(tcpd())
+        })
+        .expect("spawn monitored daemon");
+        let metrics = server.metrics_addr().expect("metrics endpoint");
+        let plan = FaultPlan {
+            seed: 0x50AC,
+            grace_frames: 16, // let handshakes through; fault the traffic
+            drop_ppm: 3_000,
+            dup_ppm: 3_000,
+            delay_ppm: 2_000,
+            delay: Duration::from_millis(10),
+            truncate_ppm: 500,
+            ..FaultPlan::default()
+        };
+        let proxy = FaultProxy::bind(server.addr(), plan).expect("bind proxy");
+        let addr = proxy.local_addr();
+
+        let committed = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let committed = Arc::clone(&committed);
+                std::thread::spawn(move || {
+                    let Ok(mut conn) = soak_client(addr, w) else {
+                        return;
+                    };
+                    // Each worker owns one object: the only adversity is
+                    // the injected faults, not timestamp conflicts.
+                    let obj = ObjectId(w as u32);
+                    let mut v = 1_000;
+                    while committed.load(Ordering::Relaxed) < target {
+                        v += 1;
+                        if try_update(&mut conn, addr, w, obj, v) {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // While the workload runs, watch the monitor's memory gauges:
+        // they must stay bounded by the active window, not grow with
+        // the committed count.
+        let mut max_retained = 0i64;
+        let mut max_nodes = 0i64;
+        let mut max_live = 0i64;
+        while committed.load(Ordering::Relaxed) < target {
+            let body = scrape(metrics);
+            assert_eq!(
+                gauge(&body, "esr_conformance_violations"),
+                0,
+                "healthy server produced violations mid-soak:\n{body}"
+            );
+            max_retained = max_retained.max(gauge(&body, "esr_monitor_retained_entries"));
+            max_nodes = max_nodes.max(gauge(&body, "esr_monitor_graph_nodes"));
+            max_live = max_live.max(gauge(&body, "esr_monitor_live_txns"));
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+
+        // Bounded: 4 single-object workers keep the active window tiny.
+        // These ceilings are two orders of magnitude below the event
+        // count a history-proportional monitor would have accumulated.
+        let total = committed.load(Ordering::Relaxed);
+        assert!(total >= target, "only {total}/{target} commits");
+        assert!(
+            max_retained < 1_000,
+            "retained entries grew with history: {max_retained}"
+        );
+        assert!(max_nodes < 1_000, "graph grew with history: {max_nodes}");
+        assert!(max_live < 1_000, "live txns grew with history: {max_live}");
+
+        // Quiesce: orphan/lease reaping ends every straggler, and the
+        // monitor drains to empty — committed prefixes fully pruned.
+        let t0 = Instant::now();
+        let body = loop {
+            let body = scrape(metrics);
+            if gauge(&body, "esr_active_txns") == 0
+                && gauge(&body, "esr_monitor_live_txns") == 0
+                && gauge(&body, "esr_monitor_graph_nodes") == 0
+            {
+                break body;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "monitor failed to drain:\n{body}"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        };
+        assert_eq!(gauge(&body, "esr_conformance_violations"), 0, "{body}");
+        assert_eq!(gauge(&body, "esr_monitor_gaps_total"), 0, "{body}");
+        assert_eq!(gauge(&body, "esr_monitor_missed_events_total"), 0, "{body}");
+        assert_eq!(gauge(&body, "esr_monitor_retained_entries"), 0, "{body}");
+        // The monitor really watched the run: every committed update is
+        // at least Begin + Write + Commit events.
+        assert!(
+            gauge(&body, "esr_monitor_events_total") >= 3 * total as i64,
+            "{body}"
+        );
+
+        drop(proxy);
+        server.kill().expect("kill daemon");
+    });
+}
+
+/// The violation path end to end: a planted out-of-protocol event makes
+/// the gauge fire on an otherwise healthy server. Without this, the
+/// zero asserted above could be a dead gauge.
+#[test]
+fn planted_violation_fires_the_exported_gauge() {
+    with_deadline(Duration::from_secs(60), || {
+        let mut server = ServerProc::spawn(&ServerProcOptions {
+            metrics: true,
+            monitor: true,
+            monitor_plant_after: Some(2),
+            ..ServerProcOptions::in_memory(tcpd())
+        })
+        .expect("spawn monitored daemon");
+        let metrics = server.metrics_addr().expect("metrics endpoint");
+        let mut conn = soak_client(server.addr(), 99).expect("connect");
+        assert!(
+            try_update(&mut conn, server.addr(), 99, ObjectId(0), 4242),
+            "clean transaction failed"
+        );
+        drop(conn);
+        let t0 = Instant::now();
+        loop {
+            let body = scrape(metrics);
+            if gauge(&body, "esr_conformance_violations") >= 1 {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(20),
+                "planted violation never fired:\n{body}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        server.kill().expect("kill daemon");
+    });
+}

@@ -30,4 +30,4 @@ pub mod ring;
 pub use expo::TextExposition;
 pub use gauge::Gauge;
 pub use hist::{bucket_bounds, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKET_COUNT};
-pub use ring::EventRing;
+pub use ring::{DrainedEvents, EventRing};

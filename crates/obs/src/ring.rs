@@ -20,6 +20,23 @@ pub struct EventRing<T> {
 struct RingState<T> {
     events: VecDeque<T>,
     dropped: u64,
+    /// Evictions since the last [`EventRing::drain`], so a drain can
+    /// attribute drops to the right inter-drain window atomically.
+    dropped_since_drain: u64,
+}
+
+/// One drained batch: the retained events (oldest first) plus the
+/// number of events evicted since the previous drain. Both are read
+/// under a single lock acquisition, so a concurrent push can never be
+/// misattributed to the wrong drain window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainedEvents<T> {
+    /// The events that were retained, oldest first.
+    pub events: Vec<T>,
+    /// Events evicted (drop-oldest) since the last drain — the gap a
+    /// consumer must account for before trusting `events` as a
+    /// contiguous stream.
+    pub dropped: u64,
 }
 
 impl<T> EventRing<T> {
@@ -30,6 +47,7 @@ impl<T> EventRing<T> {
             inner: Mutex::new(RingState {
                 events: VecDeque::with_capacity(capacity),
                 dropped: 0,
+                dropped_since_drain: 0,
             }),
             capacity,
         }
@@ -41,6 +59,7 @@ impl<T> EventRing<T> {
         if s.events.len() == self.capacity {
             s.events.pop_front();
             s.dropped += 1;
+            s.dropped_since_drain += 1;
         }
         s.events.push_back(event);
     }
@@ -60,10 +79,20 @@ impl<T> EventRing<T> {
         self.inner.lock().dropped
     }
 
-    /// Remove and return all retained events, oldest first. The dropped
-    /// counter is preserved across drains.
-    pub fn drain(&self) -> Vec<T> {
-        self.inner.lock().events.drain(..).collect()
+    /// Remove and return all retained events, oldest first, together
+    /// with the number of events evicted since the previous drain —
+    /// both read under one lock acquisition. (Calling `dropped()`
+    /// separately after a drain would race: a push between the two
+    /// calls could evict an event that the next drain then blames on
+    /// the wrong window.) The cumulative [`EventRing::dropped`] total
+    /// is preserved across drains.
+    pub fn drain(&self) -> DrainedEvents<T> {
+        let mut s = self.inner.lock();
+        let dropped = std::mem::take(&mut s.dropped_since_drain);
+        DrainedEvents {
+            events: s.events.drain(..).collect(),
+            dropped,
+        }
     }
 }
 
@@ -94,9 +123,41 @@ mod tests {
         r.push("a");
         r.push("b");
         r.push("c");
-        assert_eq!(r.drain(), vec!["b", "c"]);
+        let batch = r.drain();
+        assert_eq!(batch.events, vec!["b", "c"]);
+        assert_eq!(batch.dropped, 1);
         assert!(r.is_empty());
         assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_attributes_drops_to_the_right_window() {
+        // Regression: drain() and dropped() used to be two separate
+        // lock acquisitions, so a push landing between them was charged
+        // to the wrong drain window. The batch now carries its own
+        // window count.
+        let r = EventRing::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // evicts 1
+        let first = r.drain();
+        assert_eq!((first.events, first.dropped), (vec![2, 3], 1));
+
+        // Pushes after the first drain belong to the *next* window,
+        // even though the cumulative total already moved on.
+        r.push(4);
+        r.push(5);
+        r.push(6); // evicts 4
+        r.push(7); // evicts 5
+        assert_eq!(r.dropped(), 3);
+        let second = r.drain();
+        assert_eq!((second.events, second.dropped), (vec![6, 7], 2));
+
+        // A quiet window reports zero drops, not the stale total.
+        r.push(8);
+        let third = r.drain();
+        assert_eq!((third.events, third.dropped), (vec![8], 0));
+        assert_eq!(r.dropped(), 3);
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub use connection::Connection;
 pub use durable::{start_durable, RecoverySummary, CLOCK_EPOCH_MARGIN_MICROS};
 pub use obs::{RequestKind, ServerObs};
 pub use proto::{
-    BeginReply, EndReply, NamedHistogram, OpReply, QueuedRequest, ReplySink, Request, ServerStats,
-    StatsReply, MAX_BATCH,
+    BeginReply, EndReply, MonitorSnapshot, NamedHistogram, OpReply, QueuedRequest, ReplySink,
+    Request, ServerStats, StatsReply, MAX_BATCH,
 };
 pub use server::{
     build_server_stats, ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator, SubmitError,

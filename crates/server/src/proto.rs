@@ -65,6 +65,31 @@ pub struct NamedHistogram {
     pub hist: HistogramSnapshot,
 }
 
+/// Counters of a live conformance monitor tailing the capture stream
+/// (`esr-tcpd --monitor`). All gauges reflect the monitor thread's last
+/// published snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    /// Error-level conformance diagnostics found so far. Zero on a
+    /// healthy server; any other value means the kernel's ESR claims
+    /// failed validation (or the stream gapped).
+    pub violations: u64,
+    /// Capture events the monitor has processed.
+    pub events: u64,
+    /// Stream discontinuities observed.
+    pub gaps: u64,
+    /// Events evicted from the capture log before the monitor read them.
+    pub missed_events: u64,
+    /// Transactions currently live in the monitor's replay engine.
+    pub live_txns: u64,
+    /// Update transactions currently held in the conflict graph.
+    pub graph_nodes: u64,
+    /// Objects with retained access-log entries.
+    pub tracked_objects: u64,
+    /// Total retained access-log entries (the memory-bound gauge).
+    pub retained_entries: u64,
+}
+
 /// Everything a live server reports about itself: kernel counters,
 /// gauges, and latency histograms. Serializable, so the TCP transport
 /// ships it to remote clients unchanged.
@@ -93,6 +118,10 @@ pub struct ServerStats {
     /// pre-durability servers.
     #[serde(default)]
     pub recoveries: u64,
+    /// Live conformance-monitor counters (`None` unless the server runs
+    /// with `--monitor`). Absent in snapshots from pre-monitor servers.
+    #[serde(default)]
+    pub monitor: Option<MonitorSnapshot>,
     /// All latency histograms: per-request-kind queue wait and service
     /// time from the workers, plus the kernel's op-service, park-wait,
     /// and txn-latency distributions.

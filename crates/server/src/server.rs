@@ -667,6 +667,9 @@ pub fn build_server_stats(kernel: &Kernel, obs: &ServerObs) -> ServerStats {
         retries: obs.retries(),
         wal_bytes,
         recoveries,
+        // Conformance monitoring is a transport-level concern: the
+        // esr-net daemon overlays its monitor snapshot on top of this.
+        monitor: None,
         histograms,
     }
 }

@@ -28,6 +28,7 @@ use esr_core::spec::TxnBounds;
 use esr_core::value::{Distance, Value};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A query reader registered on an object at the time a Case-3 write
 /// was admitted: the inconsistency exported to it is
@@ -143,9 +144,55 @@ pub struct History {
 }
 
 /// An append-only event log shared between the kernel and its driver.
+///
+/// Two retention modes:
+///
+/// - **Full history** (the default): every event since `enable_capture`
+///   is retained, and [`EventLog::events`] /
+///   [`crate::kernel::Kernel::capture_history`] return the complete run
+///   — the mode tests and the simulator rely on.
+/// - **Bounded streaming** ([`EventLog::set_capacity`]): at most
+///   `capacity` events are retained. A [`CaptureCursor`]
+///   ([`EventLog::tail`]) consumes the stream in batches; consumed
+///   prefixes are truncated immediately, and if the consumer lags more
+///   than `capacity` events behind, the oldest are evicted and the
+///   cursor reports the gap instead of silently skipping it. This is
+///   the mode a long-running server uses — memory is bounded by the
+///   cursor lag, not by history length.
+///
+/// Sequence numbers are monotonic for the lifetime of the log (they
+/// are *not* reset by truncation or [`EventLog::clear`]), so a
+/// consumer can always detect missing events by seq discontinuity.
 #[derive(Debug, Default)]
 pub struct EventLog {
-    events: Mutex<Vec<Event>>,
+    inner: Mutex<LogState>,
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    /// Retained events; `events[0].seq == start_seq` when non-empty.
+    events: std::collections::VecDeque<Event>,
+    /// Sequence number of the oldest retained event.
+    start_seq: u64,
+    /// Sequence number the next recorded event will get.
+    next_seq: u64,
+    /// `Some(cap)` = bounded streaming mode; `None` = full history.
+    capacity: Option<usize>,
+    /// Events evicted by the capacity bound (not by cursor consumption).
+    evicted: u64,
+}
+
+impl LogState {
+    /// Drop retained events below `seq` (consumed-prefix truncation).
+    fn truncate_below(&mut self, seq: u64) {
+        while self.start_seq < seq {
+            if self.events.pop_front().is_none() {
+                self.start_seq = seq;
+                break;
+            }
+            self.start_seq += 1;
+        }
+    }
 }
 
 impl EventLog {
@@ -153,30 +200,150 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// A log in bounded streaming mode from the start.
+    pub fn bounded(capacity: usize) -> Self {
+        let log = EventLog::default();
+        log.set_capacity(Some(capacity));
+        log
+    }
+
+    /// Switch retention mode. `Some(cap)` bounds the retained window to
+    /// `cap` events (minimum 1), evicting the oldest immediately if the
+    /// log already holds more; `None` restores full-history retention
+    /// (already-evicted events do not come back).
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let mut g = self.inner.lock();
+        g.capacity = capacity.map(|c| c.max(1));
+        if let Some(cap) = g.capacity {
+            while g.events.len() > cap {
+                g.events.pop_front();
+                g.start_seq += 1;
+                g.evicted += 1;
+            }
+        }
+    }
+
+    /// The retention bound, if the log is in bounded streaming mode.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
     /// Append one event, assigning the next sequence number.
     pub fn record(&self, kind: EventKind) {
-        let mut g = self.events.lock();
-        let seq = g.len() as u64;
-        g.push(Event { seq, kind });
+        let mut g = self.inner.lock();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if let Some(cap) = g.capacity {
+            if g.events.len() >= cap {
+                g.events.pop_front();
+                g.start_seq += 1;
+                g.evicted += 1;
+            }
+        }
+        g.events.push_back(Event { seq, kind });
     }
 
-    /// Snapshot of all events recorded so far, in log order.
+    /// Snapshot of the retained events, in log order. In full-history
+    /// mode this is everything recorded since capture was enabled (or
+    /// since the last [`EventLog::clear`]); in bounded mode it is the
+    /// current window.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.inner.lock().events.iter().cloned().collect()
     }
 
-    /// Number of events recorded.
+    /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.inner.lock().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drop all recorded events (e.g. after a warm-up window).
+    /// Total events ever recorded (retained or not).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Events evicted by the capacity bound so far (cursor consumption
+    /// does not count — only genuine overflow does).
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().evicted
+    }
+
+    /// Drop all retained events (e.g. after a warm-up window).
+    /// Sequence numbers keep counting from where they were, so tailing
+    /// cursors see the clear as a gap, never as a silent rewind.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        let mut g = self.inner.lock();
+        g.events.clear();
+        g.start_seq = g.next_seq;
+    }
+
+    /// A tailing cursor positioned at the oldest retained event.
+    ///
+    /// Intended as single-consumer: each [`CaptureCursor::poll`]
+    /// truncates the prefix it consumed when the log is in bounded
+    /// mode (in full-history mode the cursor is a pure reader and the
+    /// log keeps everything).
+    pub fn tail(self: &Arc<Self>) -> CaptureCursor {
+        let pos = self.inner.lock().start_seq;
+        CaptureCursor {
+            log: Arc::clone(self),
+            pos,
+        }
+    }
+}
+
+/// One batch handed to a tailing consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureBatch {
+    /// Consecutive events starting at the cursor position (after
+    /// accounting for `missed`).
+    pub events: Vec<Event>,
+    /// Events that were evicted before the cursor could read them —
+    /// the consumer fell more than the log's capacity behind. The
+    /// batch's first event comes *after* the gap.
+    pub missed: u64,
+}
+
+impl CaptureBatch {
+    /// No events and no gap: the consumer is fully caught up.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.missed == 0
+    }
+}
+
+/// A single-consumer tailing cursor over an [`EventLog`].
+#[derive(Debug)]
+pub struct CaptureCursor {
+    log: Arc<EventLog>,
+    /// Sequence number of the next event to deliver.
+    pos: u64,
+}
+
+impl CaptureCursor {
+    /// Take up to `max` events from the cursor position, reporting how
+    /// many were lost to eviction since the last poll. In bounded mode
+    /// the consumed prefix is truncated from the log under the same
+    /// lock acquisition.
+    pub fn poll(&mut self, max: usize) -> CaptureBatch {
+        let mut g = self.log.inner.lock();
+        let missed = g.start_seq.saturating_sub(self.pos);
+        self.pos = self.pos.max(g.start_seq);
+        let offset = (self.pos - g.start_seq) as usize;
+        let take = g.events.len().saturating_sub(offset).min(max);
+        let events: Vec<Event> = g.events.iter().skip(offset).take(take).cloned().collect();
+        self.pos += events.len() as u64;
+        if g.capacity.is_some() {
+            g.truncate_below(self.pos);
+        }
+        CaptureBatch { events, missed }
+    }
+
+    /// Sequence number of the next event this cursor will deliver.
+    pub fn position(&self) -> u64 {
+        self.pos
     }
 }
 
@@ -202,6 +369,124 @@ mod tests {
         }
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn bounded_log_evicts_oldest_and_keeps_monotonic_seq() {
+        let log = EventLog::bounded(3);
+        for i in 0..5u64 {
+            log.record(EventKind::Wait {
+                txn: TxnId(i),
+                obj: ObjectId(0),
+            });
+        }
+        let evs = log.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(log.evicted(), 2);
+        assert_eq!(log.recorded(), 5);
+    }
+
+    #[test]
+    fn cursor_tails_in_batches_and_truncates_consumed_prefix() {
+        let log = Arc::new(EventLog::bounded(100));
+        let mut cur = log.tail();
+        for i in 0..6u64 {
+            log.record(EventKind::Wait {
+                txn: TxnId(i),
+                obj: ObjectId(0),
+            });
+        }
+        let b = cur.poll(4);
+        assert_eq!(b.missed, 0);
+        assert_eq!(
+            b.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+        // The consumed prefix is gone; the unconsumed tail is retained.
+        assert_eq!(log.len(), 2);
+        let b = cur.poll(100);
+        assert_eq!(b.events.iter().map(|e| e.seq).collect::<Vec<_>>(), [4, 5]);
+        assert!(cur.poll(100).is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.evicted(), 0, "consumption is not eviction");
+    }
+
+    #[test]
+    fn lagging_cursor_reports_the_gap() {
+        let log = Arc::new(EventLog::bounded(2));
+        let mut cur = log.tail();
+        for i in 0..5u64 {
+            log.record(EventKind::Wait {
+                txn: TxnId(i),
+                obj: ObjectId(0),
+            });
+        }
+        // Capacity 2: events 0..3 were evicted before the poll.
+        let b = cur.poll(10);
+        assert_eq!(b.missed, 3);
+        assert_eq!(b.events.iter().map(|e| e.seq).collect::<Vec<_>>(), [3, 4]);
+        // Caught up now: no further gap.
+        log.record(EventKind::Wait {
+            txn: TxnId(9),
+            obj: ObjectId(0),
+        });
+        let b = cur.poll(10);
+        assert_eq!(b.missed, 0);
+        assert_eq!(b.events[0].seq, 5);
+    }
+
+    #[test]
+    fn full_history_mode_keeps_everything_alongside_a_cursor() {
+        let log = Arc::new(EventLog::new());
+        let mut cur = log.tail();
+        for i in 0..4u64 {
+            log.record(EventKind::Wait {
+                txn: TxnId(i),
+                obj: ObjectId(0),
+            });
+        }
+        let b = cur.poll(2);
+        assert_eq!(b.events.len(), 2);
+        // A pure reader: the full history is still retained.
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn clear_advances_seq_instead_of_rewinding() {
+        let log = Arc::new(EventLog::new());
+        log.record(EventKind::Wait {
+            txn: TxnId(0),
+            obj: ObjectId(0),
+        });
+        log.clear();
+        log.record(EventKind::Wait {
+            txn: TxnId(1),
+            obj: ObjectId(0),
+        });
+        let evs = log.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].seq, 1, "seq is monotonic across clear");
+        // A cursor opened before the clear sees the discontinuity.
+        let mut cur = log.tail();
+        assert_eq!(cur.poll(10).events[0].seq, 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let log = EventLog::new();
+        for i in 0..10u64 {
+            log.record(EventKind::Wait {
+                txn: TxnId(i),
+                obj: ObjectId(0),
+            });
+        }
+        log.set_capacity(Some(4));
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.evicted(), 6);
+        assert_eq!(log.events()[0].seq, 6);
     }
 
     #[test]

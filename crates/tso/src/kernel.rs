@@ -225,6 +225,19 @@ impl Kernel {
         )
     }
 
+    /// Attach (or retrieve) the event log in bounded streaming mode:
+    /// at most `capacity` events are retained, so capture on a
+    /// long-running server stays bounded by the consumer's lag instead
+    /// of growing with history length. Tail it with
+    /// [`crate::capture::EventLog::tail`]. If a (full-history) log was
+    /// already attached, it is switched to the bounded mode.
+    #[cfg(feature = "capture")]
+    pub fn enable_capture_bounded(&self, capacity: usize) -> Arc<crate::capture::EventLog> {
+        let log = self.enable_capture();
+        log.set_capacity(Some(capacity));
+        log
+    }
+
     /// The attached event log, if capture has been enabled.
     #[cfg(feature = "capture")]
     pub fn capture_log(&self) -> Option<Arc<crate::capture::EventLog>> {

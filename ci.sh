@@ -76,6 +76,15 @@ timeout 600 cargo test -p esr-net --test crash_recovery -q
 echo "==> chaos: post-crash histories replay clean"
 timeout 300 cargo test --test crash_recovery_replay -q
 
+# The buffer pool's failure paths: SIGKILL and torn-extent injection
+# against a daemon whose database dwarfs its page cache, resident→paged
+# migration, and the checker replay of a paged post-crash continuation
+# under deliberate eviction pressure.
+echo "==> chaos: paged crash recovery (esr-tcpd --cache-pages)"
+timeout 600 cargo test -p esr-net --test pager_recovery -q
+echo "==> chaos: paged post-crash histories replay clean"
+timeout 300 cargo test --test pager_crash_replay -q
+
 # Live conformance soak: esr-tcpd --monitor behind the fault proxy. The
 # online checker must report zero violations across ESR_SOAK_TXNS
 # committed transactions (default 100k here; quick runs keep the test's
@@ -116,6 +125,21 @@ fi
 if [[ "${1:-}" != "quick" ]]; then
     echo "==> bench-pr7 --smoke"
     cargo run --release -q -p esr-bench --bin bench-pr7 -- --smoke
+fi
+
+# Larger-than-RAM storage: the PR 9 buffer-pool artifact smoke — cache
+# capacity swept from 4× the working set down to 1/8× at MPL 8, the
+# WAL tax re-measured over the pager, and paged recovery timed per
+# replay chunk — floors enforced by the binary itself. Then the
+# release-mode cache stress: the monitored daemon with --cache-pages
+# sized to a quarter of the working set, hammered while the live
+# conformance checker must stay at zero violations.
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> bench-pr9 --smoke"
+    cargo run --release -q -p esr-bench --bin bench-pr9 -- --smoke
+    echo "==> cache stress: monitored daemon at 1/4 residency (20k txns)"
+    ESR_PAGER_STRESS_TXNS="${ESR_PAGER_STRESS_TXNS:-20000}" \
+        timeout 900 cargo test -p esr-net --release --test pager_stress -q
 fi
 
 # Race models: the three riskiest kernel/server interleavings under the

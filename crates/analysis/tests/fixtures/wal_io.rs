@@ -1,0 +1,9 @@
+//! wal-io fixture: file I/O planted outside the WAL and pager modules.
+
+fn planted(p: &std::path::Path) -> std::io::Result<()> {
+    let bytes = std::fs::read(p)?;
+    let f = File::open(p)?;
+    f.sync_all()?;
+    drop(bytes);
+    Ok(())
+}

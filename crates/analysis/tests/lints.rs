@@ -79,6 +79,37 @@ fn wire_match_fixture_fires_at_expected_spans() {
     assert!(v[2].message.contains("RequestBody::Stats"), "{v:?}");
 }
 
+/// The wal-io fence: the same planted I/O fires in every
+/// determinism-bearing crate but is exempt inside the two storage
+/// modules whose job file I/O is (`wal/` and `pager/`).
+#[test]
+fn wal_io_fixture_fires_outside_the_exempt_modules() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wal_io.rs");
+    let source = std::fs::read_to_string(&path).expect("read fixture");
+    for planted_at in [
+        "crates/tso/src/kernel.rs",
+        "crates/sim/src/driver.rs",
+        "crates/checker/src/lib.rs",
+    ] {
+        let f = SourceFile::parse(PathBuf::from(planted_at), &source);
+        let mut v = Vec::new();
+        lints::wal_io::check(&f, &mut v);
+        let lines: Vec<u32> = v.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![4, 5, 6], "{planted_at}: {v:?}");
+        assert!(v.iter().all(|f| f.lint == lints::wal_io::NAME));
+    }
+    for exempt_at in [
+        "crates/storage/src/wal/mod.rs",
+        "crates/storage/src/pager/file.rs",
+        "crates/storage/src/pager/directory.rs",
+    ] {
+        let f = SourceFile::parse(PathBuf::from(exempt_at), &source);
+        let mut v = Vec::new();
+        lints::wal_io::check(&f, &mut v);
+        assert!(v.is_empty(), "{exempt_at} must be exempt: {v:?}");
+    }
+}
+
 /// The lints must also *bite* on the real kernel source, not just on
 /// fixtures shaped for them: appending a known violation to the actual
 /// `kernel.rs` token stream produces a finding, proving the

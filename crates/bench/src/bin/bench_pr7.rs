@@ -15,8 +15,11 @@
 //!
 //! 2. **Recovery time for a ≥100k-commit log** (2k in `--smoke`): the
 //!    log is synthesized through the real `DurabilitySink` appender,
-//!    synced once, and then replayed with `recover()` repeatedly for a
-//!    latency distribution. Floor: p95 recovery under 10 s — a crashed
+//!    synced once, and then replayed with `recover_observed()` — the
+//!    replay clock is sampled once per 10k-commit chunk (500 in
+//!    `--smoke`), so the percentiles describe a real distribution of
+//!    chunk times rather than collapsing onto a handful of whole-run
+//!    samples. Floor: p95 per-10k-chunk replay under 1 s — a crashed
 //!    server must come back in seconds, not minutes.
 //!
 //! Pass `--smoke` for short runs (CI).
@@ -30,7 +33,7 @@ use esr_core::spec::TxnBounds;
 use esr_obs::LatencyHistogram;
 use esr_server::{Server, ServerConfig};
 use esr_storage::catalog::CatalogConfig;
-use esr_storage::{recover, DurabilitySink, Wal, WalOptions};
+use esr_storage::{recover, recover_observed, DurabilitySink, Wal, WalOptions};
 use esr_tso::{Kernel, KernelConfig};
 use esr_txn::Session;
 use serde::Serialize;
@@ -47,10 +50,10 @@ struct Pr7Row {
     /// What was measured: `wall_clock_commit` or `wall_clock_recovery`.
     mode: &'static str,
     /// Committed transactions per wall-clock second (commit rows) or
-    /// recovery runs per second (recovery rows).
+    /// records replayed per second (recovery rows).
     throughput: f64,
     /// Latency percentiles, microseconds: per-commit for commit rows,
-    /// per-recovery for the recovery row.
+    /// per replayed 10k-commit chunk for the recovery row.
     latency_p50_micros: u64,
     latency_p95_micros: u64,
     latency_p99_micros: u64,
@@ -157,9 +160,12 @@ fn commit_row(txns_per_client: usize, data_dir: Option<&Path>) -> Pr7Row {
 }
 
 /// Synthesize a `records`-commit log through the real appender (synced
-/// once at the end — log *construction* is not the measure), then time
-/// `recover()` over it `iters` times for a distribution.
-fn recovery_row(records: u64, iters: usize) -> Pr7Row {
+/// once at the end — log *construction* is not the measure), then
+/// replay it `iters` times, feeding the histogram one sample per
+/// `chunk` replayed records so the percentiles describe chunk-replay
+/// wall-clock rather than `iters` identical whole-run samples.
+fn recovery_row(records: u64, iters: usize, chunk: u64) -> Pr7Row {
+    assert_eq!(records % chunk, 0, "chunk must tile the log exactly");
     let dir = scratch("recovery");
     let cfg = table();
     {
@@ -182,9 +188,14 @@ fn recovery_row(records: u64, iters: usize) -> Pr7Row {
     let mut replayed = 0;
     let start = Instant::now();
     for _ in 0..iters {
-        let t0 = Instant::now();
-        let rec = recover(&dir, &cfg).expect("recover");
-        hist.record_duration(t0.elapsed());
+        let mut chunk_t0 = Instant::now();
+        let rec = recover_observed(&dir, &cfg, |n| {
+            if n % chunk == 0 {
+                hist.record_duration(chunk_t0.elapsed());
+                chunk_t0 = Instant::now();
+            }
+        })
+        .expect("recover");
         replayed = rec.replayed;
         assert_eq!(rec.replayed, records, "recovery lost records");
     }
@@ -193,7 +204,7 @@ fn recovery_row(records: u64, iters: usize) -> Pr7Row {
     let snap = hist.snapshot();
     Pr7Row {
         mode: "wall_clock_recovery",
-        throughput: iters as f64 / secs.max(f64::EPSILON),
+        throughput: (records * iters as u64) as f64 / secs.max(f64::EPSILON),
         latency_p50_micros: snap.p50(),
         latency_p95_micros: snap.p95(),
         latency_p99_micros: snap.p99(),
@@ -213,8 +224,12 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
     durable.vs_baseline = durable.throughput / baseline.throughput;
 
-    let (records, iters) = if smoke { (2_000, 3) } else { (100_000, 10) };
-    let recovery = recovery_row(records, iters);
+    let (records, iters, chunk) = if smoke {
+        (2_000, 3, 500)
+    } else {
+        (100_000, 10, 10_000)
+    };
+    let recovery = recovery_row(records, iters, chunk);
 
     let mut rows = BTreeMap::new();
     rows.insert("commit_wal_off_mpl8".to_string(), baseline);
@@ -258,15 +273,15 @@ fn main() {
         retention * 100.0
     );
     println!(
-        "p95 recovery for a {records}-commit log: {:.1} ms  (acceptance ceiling 10 s)",
+        "p95 replay of one {chunk}-commit chunk ({records}-commit log): {:.1} ms  (acceptance ceiling 1 s)",
         p95_recovery as f64 / 1e3
     );
     if retention < 0.05 {
         eprintln!("error: WAL-on throughput below the 5% retention floor");
         std::process::exit(1);
     }
-    if p95_recovery > 10_000_000 {
-        eprintln!("error: p95 recovery above the 10 s ceiling");
+    if p95_recovery > 1_000_000 {
+        eprintln!("error: p95 chunk replay above the 1 s ceiling");
         std::process::exit(1);
     }
     if rows["commit_wal_on_mpl8"].wal_bytes == 0 {

@@ -1,0 +1,530 @@
+//! `bench-pr9` — emit the PR 9 buffer-pool artifact.
+//!
+//! Three measurements, written to `BENCH_PR9.json` at the workspace
+//! root:
+//!
+//! 1. **Cache-capacity sweep at MPL 8**: a paged database twenty times
+//!    the working set (so DB ≥ 4× even the largest cache), uniform
+//!    access over the working set, cache capacity swept from 4× the
+//!    working-set pages down to 1/8×. Each client strides its own
+//!    residue class, so the sweep measures paging — misses, CLOCK
+//!    eviction, dirty write-back — and never scheduler conflicts.
+//!    Floors: ≥ 99% hit rate at full residency (4×), and ≥ 25% of the
+//!    fully-resident throughput at 1/4-residency.
+//!
+//! 2. **WAL-on vs WAL-off commit throughput with the paged table**
+//!    (the PR 7 comparison, re-run over the pager with the adaptive
+//!    group-commit flusher): the retention floor is BENCH_PR7's
+//!    recorded 7.5% — the pager plus the reworked flusher must beat
+//!    the resident engine's old tax.
+//!
+//! 3. **Paged recovery for a ≥100k-commit log** through the buffer
+//!    pool with a cache a quarter the database size, timed per
+//!    10k-commit replay chunk (`recover_paged_observed`), so the
+//!    percentiles describe a real chunk-time distribution. Floor: p95
+//!    chunk replay under 1 s.
+//!
+//! Pass `--smoke` for short runs (CI).
+
+use esr_bench::emit::emit_bench_json;
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::hierarchy::HierarchySchema;
+use esr_core::ids::{ObjectId, SiteId, TxnId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_obs::LatencyHistogram;
+use esr_server::{Server, ServerConfig};
+use esr_storage::catalog::CatalogConfig;
+use esr_storage::table::ObjectTable;
+use esr_storage::{
+    recover_paged_observed, DurabilitySink, PagedHeap, PagerConfig, Wal, WalOptions,
+};
+use esr_tso::{Kernel, KernelConfig};
+use esr_txn::Session;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MPL: usize = 8;
+/// Uniformly accessed working set, in objects.
+const WORKING_SET: u32 = 512;
+/// Database size: 20× the working set, so even the 4× cache covers
+/// less than a quarter of the heap (DB ≥ 4× cache on every row).
+const DB_OBJECTS: u32 = WORKING_SET * 20;
+/// Small pages keep the sweep's miss cost (decode/encode per fault)
+/// proportionate and give the working set enough pages to sweep over.
+const SWEEP_PAGE_SIZE: usize = 4096;
+
+/// One artifact row. Sweep rows fill the cache columns; the WAL and
+/// recovery rows reuse the PR 7 shape (cache columns describe the run
+/// where they apply, 0 otherwise).
+#[derive(Debug, Serialize)]
+struct Pr9Row {
+    /// `cache_sweep`, `wall_clock_commit`, or `wall_clock_recovery`.
+    mode: &'static str,
+    /// Pool frame budget for this row (0 = resident-sized default).
+    cache_pages: u64,
+    /// Committed transactions per wall-clock second (sweep/commit
+    /// rows) or records replayed per second (recovery row).
+    throughput: f64,
+    /// Latency percentiles, microseconds: whole-transaction for sweep
+    /// rows, per-commit for commit rows, per replayed 10k-commit chunk
+    /// for the recovery row.
+    latency_p50_micros: u64,
+    latency_p95_micros: u64,
+    latency_p99_micros: u64,
+    /// Page-cache counters over the measured window.
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    evictions: u64,
+    dirty_flushes: u64,
+    /// WAL bytes written during the row (commit rows only).
+    wal_bytes: u64,
+    /// Log records replayed (recovery row only).
+    replayed: u64,
+    /// Ratio vs the row family's baseline (`1.0` on baselines).
+    vs_baseline: f64,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("esr-bench-pr9-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn sweep_states(n: u32) -> Vec<esr_storage::ObjectState> {
+    CatalogConfig {
+        n_objects: n,
+        value_lo: 0,
+        value_hi: 0,
+        ..CatalogConfig::default()
+    }
+    .build_states()
+}
+
+fn sweep_config(cache_pages: usize) -> PagerConfig {
+    PagerConfig {
+        page_size: SWEEP_PAGE_SIZE,
+        cache_pages,
+        ..PagerConfig::default()
+    }
+}
+
+/// Measure the heap layout once: how many logical pages the working
+/// set and the whole database occupy under the sweep page size.
+fn probe_layout() -> (usize, usize) {
+    let dir = scratch("probe");
+    let heap = PagedHeap::create(&dir, sweep_states(DB_OBJECTS), 0, 1, &sweep_config(64))
+        .expect("create probe heap");
+    let ws_pages = heap.page_of(ObjectId(WORKING_SET - 1)) as usize + 1;
+    let db_pages = heap.logical_pages();
+    drop(heap);
+    let _ = std::fs::remove_dir_all(&dir);
+    (ws_pages, db_pages)
+}
+
+/// One sweep point: a fresh paged database, `cache_pages` of pool, a
+/// warm-up scan of the working set, then MPL 8 update clients striding
+/// disjoint residue classes uniformly over the working set.
+fn sweep_row(label: &str, cache_pages: usize, txns_per_client: usize) -> Pr9Row {
+    let dir = scratch(&format!("sweep-{label}"));
+    let heap = PagedHeap::create(
+        &dir,
+        sweep_states(DB_OBJECTS),
+        0,
+        1,
+        &sweep_config(cache_pages),
+    )
+    .expect("create sweep heap");
+    let kernel = Kernel::new(
+        ObjectTable::paged(Arc::new(heap)),
+        HierarchySchema::two_level(),
+        KernelConfig::default(),
+    );
+    let server = Server::start(
+        kernel,
+        ServerConfig {
+            workers: MPL,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Warm up: one pass over the working set, so the full-residency
+    // row measures steady state rather than cold-start misses.
+    {
+        let mut c = server.connect();
+        c.begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+            .expect("begin warmup");
+        for i in 0..WORKING_SET {
+            c.read(ObjectId(i)).expect("warmup read");
+        }
+        c.commit().expect("commit warmup");
+    }
+
+    let before = server
+        .kernel()
+        .table()
+        .page_cache_stats()
+        .expect("paged table");
+    let txn_latency = Arc::new(LatencyHistogram::new());
+    let start = Instant::now();
+    let threads: Vec<_> = (0..MPL)
+        .map(|w| {
+            let mut conn = server.connect();
+            let hist = Arc::clone(&txn_latency);
+            std::thread::spawn(move || {
+                let class = WORKING_SET as usize / MPL;
+                let mut rng = SmallRng::seed_from_u64(0x9e37 + w as u64);
+                for _ in 0..txns_per_client {
+                    let t0 = Instant::now();
+                    conn.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+                        .expect("begin");
+                    // Four read-modify-writes at a uniform spot in this
+                    // client's residue class: paging pressure across
+                    // the whole working set, zero cross-client
+                    // conflicts.
+                    let base = rng.gen_range(0..class);
+                    for j in 0..4 {
+                        let obj = ObjectId((w + MPL * ((base + j) % class)) as u32);
+                        let v = conn.read(obj).expect("read");
+                        conn.write(obj, v + 1).expect("write");
+                    }
+                    conn.commit().expect("commit");
+                    hist.record_duration(t0.elapsed());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("sweep client");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let after = server
+        .kernel()
+        .table()
+        .page_cache_stats()
+        .expect("paged table");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    let snap = txn_latency.snapshot();
+    Pr9Row {
+        mode: "cache_sweep",
+        cache_pages: cache_pages as u64,
+        throughput: (MPL * txns_per_client) as f64 / secs.max(f64::EPSILON),
+        latency_p50_micros: snap.p50(),
+        latency_p95_micros: snap.p95(),
+        latency_p99_micros: snap.p99(),
+        hits,
+        misses,
+        hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+        evictions: after.evictions - before.evictions,
+        dirty_flushes: after.dirty_flushes - before.dirty_flushes,
+        wal_bytes: 0,
+        replayed: 0,
+        vs_baseline: 1.0,
+    }
+}
+
+/// The PR 7 commit comparison over the paged table: MPL 8, disjoint
+/// four-object write sets, ample cache (the measure is the WAL tax,
+/// not paging). `durable` turns the group-commit WAL on.
+fn paged_commit_row(txns_per_client: usize, durable: bool) -> Pr9Row {
+    let dir = scratch(if durable { "wal-on" } else { "wal-off" });
+    let heap = PagedHeap::create(
+        &dir,
+        sweep_states((MPL * 4) as u32),
+        0,
+        1,
+        &PagerConfig::default(),
+    )
+    .expect("create commit heap");
+    let kernel = Kernel::new(
+        ObjectTable::paged(Arc::new(heap)),
+        HierarchySchema::two_level(),
+        KernelConfig::default(),
+    );
+    let durability = durable.then(|| {
+        let wal = Wal::open(&dir, 1, WalOptions::default()).expect("open wal");
+        kernel.enable_durability(Arc::new(wal))
+    });
+    let server = Server::start(
+        kernel,
+        ServerConfig {
+            workers: MPL,
+            ..ServerConfig::default()
+        },
+    );
+
+    let commit_latency = Arc::new(LatencyHistogram::new());
+    let start = Instant::now();
+    let threads: Vec<_> = (0..MPL)
+        .map(|c| {
+            let mut conn = server.connect();
+            let hist = Arc::clone(&commit_latency);
+            std::thread::spawn(move || {
+                for t in 0..txns_per_client {
+                    conn.begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+                        .expect("begin");
+                    for k in 0..4 {
+                        conn.write(ObjectId((c * 4 + k) as u32), (t * 31 + k) as i64)
+                            .expect("write");
+                    }
+                    let t0 = Instant::now();
+                    conn.commit().expect("commit");
+                    hist.record_duration(t0.elapsed());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("commit client");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let snap = commit_latency.snapshot();
+    let stats = server
+        .kernel()
+        .table()
+        .page_cache_stats()
+        .expect("paged table");
+    let bytes = durability.map(|d| d.sink().wal_bytes()).unwrap_or(0);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    Pr9Row {
+        mode: "wall_clock_commit",
+        cache_pages: stats.capacity_pages,
+        throughput: (MPL * txns_per_client) as f64 / secs.max(f64::EPSILON),
+        latency_p50_micros: snap.p50(),
+        latency_p95_micros: snap.p95(),
+        latency_p99_micros: snap.p99(),
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+        evictions: stats.evictions,
+        dirty_flushes: stats.dirty_flushes,
+        wal_bytes: bytes,
+        replayed: 0,
+        vs_baseline: 1.0,
+    }
+}
+
+/// Paged recovery timed per replay chunk: a pager-built directory plus
+/// a `records`-commit log tail, replayed through a pool holding about
+/// a quarter of the heap, `iters` times.
+fn paged_recovery_row(records: u64, iters: usize, chunk: u64) -> Pr9Row {
+    assert_eq!(records % chunk, 0, "chunk must tile the log exactly");
+    let dir = scratch("recovery");
+    let catalog = CatalogConfig {
+        n_objects: WORKING_SET,
+        value_lo: 0,
+        value_hi: 0,
+        ..CatalogConfig::default()
+    };
+    // A quarter-residency pool: replay itself must page.
+    let cfg = sweep_config(64);
+    {
+        let heap = PagedHeap::create(&dir, catalog.build_states(), 0, 1, &cfg)
+            .expect("create recovery heap");
+        drop(heap);
+        let wal = Wal::open(&dir, 1, WalOptions::default()).expect("open wal");
+        let mut seq = 0;
+        for i in 1..=records {
+            seq = wal.append_commit(
+                TxnId(i),
+                Timestamp::new(i * 10, SiteId(1)),
+                0,
+                &[(ObjectId((i % u64::from(WORKING_SET)) as u32), i as i64)],
+            );
+        }
+        wal.sync_to(seq);
+        wal.shutdown();
+    }
+
+    let hist = LatencyHistogram::new();
+    let mut last_stats = None;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut chunk_t0 = Instant::now();
+        let rec = recover_paged_observed(&dir, &catalog, &cfg, |n| {
+            if n % chunk == 0 {
+                hist.record_duration(chunk_t0.elapsed());
+                chunk_t0 = Instant::now();
+            }
+        })
+        .expect("recover paged");
+        assert_eq!(rec.replayed, records, "paged recovery lost records");
+        last_stats = Some(rec.heap.cache_stats());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    let stats = last_stats.expect("at least one recovery iteration");
+    let snap = hist.snapshot();
+    Pr9Row {
+        mode: "wall_clock_recovery",
+        cache_pages: stats.capacity_pages,
+        throughput: (records * iters as u64) as f64 / secs.max(f64::EPSILON),
+        latency_p50_micros: snap.p50(),
+        latency_p95_micros: snap.p95(),
+        latency_p99_micros: snap.p99(),
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+        evictions: stats.evictions,
+        dirty_flushes: stats.dirty_flushes,
+        wal_bytes: 0,
+        replayed: records,
+        vs_baseline: 1.0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // The sweep: 4× the working-set pages down to 1/8×.
+    let (ws_pages, db_pages) = probe_layout();
+    let fractions: [(&str, f64); 5] = [
+        ("4.00x", 4.0),
+        ("1.00x", 1.0),
+        ("0.50x", 0.5),
+        ("0.25x", 0.25),
+        ("0.12x", 0.125),
+    ];
+    let sweep_txns = if smoke { 80 } else { 600 };
+    let mut rows = BTreeMap::new();
+    let mut sweep = Vec::new();
+    for (label, f) in fractions {
+        let cache_pages = ((ws_pages as f64 * f).round() as usize).max(1);
+        assert!(
+            db_pages >= 4 * cache_pages,
+            "sweep invariant broken: DB ({db_pages} pages) < 4× cache ({cache_pages} pages)"
+        );
+        sweep.push((label, sweep_row(label, cache_pages, sweep_txns)));
+    }
+    let resident_throughput = sweep[0].1.throughput;
+    for (label, mut row) in sweep {
+        row.vs_baseline = row.throughput / resident_throughput;
+        rows.insert(format!("sweep_cache_{label}"), row);
+    }
+
+    // The WAL tax over the pager.
+    let commit_txns = if smoke { 100 } else { 1_000 };
+    let baseline = paged_commit_row(commit_txns, false);
+    let mut durable = paged_commit_row(commit_txns, true);
+    durable.vs_baseline = durable.throughput / baseline.throughput;
+    rows.insert("commit_wal_off_paged_mpl8".to_string(), baseline);
+    rows.insert("commit_wal_on_paged_mpl8".to_string(), durable);
+
+    // Paged recovery, per-chunk.
+    let (records, iters, chunk) = if smoke {
+        (2_000, 3, 500)
+    } else {
+        (100_000, 5, 10_000)
+    };
+    let recovery = paged_recovery_row(records, iters, chunk);
+    rows.insert(format!("recovery_paged_{records}_commits"), recovery);
+
+    println!(
+        "working set: {WORKING_SET} objects over {ws_pages} pages; database: {DB_OBJECTS} objects over {db_pages} pages\n"
+    );
+    println!(
+        "{:>28}  {:>19}  {:>6}  {:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>6}",
+        "scenario",
+        "mode",
+        "cache",
+        "rate/s",
+        "p50 µs",
+        "p95 µs",
+        "p99 µs",
+        "misses",
+        "evict",
+        "hit%",
+        "×base"
+    );
+    for (name, row) in &rows {
+        println!(
+            "{name:>28}  {:>19}  {:>6}  {:>10.1}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8.2}  {:>6.3}",
+            row.mode,
+            row.cache_pages,
+            row.throughput,
+            row.latency_p50_micros,
+            row.latency_p95_micros,
+            row.latency_p99_micros,
+            row.misses,
+            row.evictions,
+            row.hit_rate * 100.0,
+            row.vs_baseline,
+        );
+    }
+
+    // Floors — the bench is the acceptance gate, so violations are
+    // process failures, not warnings.
+    let mut failed = false;
+    let full = &rows["sweep_cache_4.00x"];
+    println!(
+        "\nhit rate at full residency (4× working set): {:.2}%  (floor 99%)",
+        full.hit_rate * 100.0
+    );
+    if full.hit_rate < 0.99 {
+        eprintln!("error: full-residency hit rate below the 99% floor");
+        failed = true;
+    }
+    let quarter = &rows["sweep_cache_0.25x"];
+    println!(
+        "throughput retained at 1/4 residency: {:.1}%  (floor 25%)",
+        quarter.vs_baseline * 100.0
+    );
+    if quarter.vs_baseline < 0.25 {
+        eprintln!("error: quarter-residency throughput below 25% of fully-resident");
+        failed = true;
+    }
+    if quarter.evictions == 0 || quarter.dirty_flushes == 0 {
+        eprintln!("error: the quarter-residency row never paged — the sweep measured nothing");
+        failed = true;
+    }
+    // BENCH_PR7 recorded a 7.5% WAL-on retention before the adaptive
+    // group-commit flusher; the paged engine must beat it.
+    let retention = rows["commit_wal_on_paged_mpl8"].vs_baseline;
+    println!(
+        "WAL-on throughput retention at MPL {MPL} (paged): {:.1}%  (floor: beat BENCH_PR7's 7.5%)",
+        retention * 100.0
+    );
+    if retention <= 0.075 {
+        eprintln!("error: WAL-on retention no better than BENCH_PR7's 7.5%");
+        failed = true;
+    }
+    if rows["commit_wal_on_paged_mpl8"].wal_bytes == 0 {
+        eprintln!("error: the durable run wrote no WAL bytes — nothing was measured");
+        failed = true;
+    }
+    let p95_chunk = rows
+        .values()
+        .find(|r| r.mode == "wall_clock_recovery")
+        .expect("recovery row")
+        .latency_p95_micros;
+    println!(
+        "p95 replay of one {chunk}-commit chunk through the pool: {:.1} ms  (ceiling 1 s)",
+        p95_chunk as f64 / 1e3
+    );
+    if p95_chunk > 1_000_000 {
+        eprintln!("error: p95 paged chunk replay above the 1 s ceiling");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    match emit_bench_json("BENCH_PR9.json", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write BENCH_PR9.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -41,6 +41,12 @@ pub struct ServerProcOptions {
     pub checkpoint_secs: u64,
     /// Arm the WAL torn-write injector at this record sequence.
     pub wal_torn_after: Option<u64>,
+    /// Back the object table with the paged buffer pool, capped at
+    /// this many cached pages (`--cache-pages`; durable only).
+    pub cache_pages: Option<usize>,
+    /// Arm the pager's torn-extent injector at this dirty-page
+    /// write-back count (`--page-torn-after`; requires `cache_pages`).
+    pub page_torn_after: Option<u64>,
     /// Serve the metrics endpoint on an ephemeral port and capture its
     /// address ([`ServerProc::metrics_addr`]).
     pub metrics: bool,
@@ -73,6 +79,8 @@ impl ServerProcOptions {
             lease_micros: 0,
             checkpoint_secs: 0,
             wal_torn_after: None,
+            cache_pages: None,
+            page_torn_after: None,
             metrics: false,
             monitor: false,
             monitor_capacity: None,
@@ -114,6 +122,12 @@ impl ServerProc {
         }
         if let Some(n) = opts.wal_torn_after {
             cmd.arg("--wal-torn-after").arg(n.to_string());
+        }
+        if let Some(n) = opts.cache_pages {
+            cmd.arg("--cache-pages").arg(n.to_string());
+        }
+        if let Some(n) = opts.page_torn_after {
+            cmd.arg("--page-torn-after").arg(n.to_string());
         }
         if opts.metrics {
             cmd.arg("--metrics-addr").arg("127.0.0.1:0");

@@ -3,6 +3,7 @@
 //! ```text
 //! esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR]
 //!          [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S]
+//!          [--cache-pages N]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7878`, 64 objects initialised to 1000 (the
@@ -27,6 +28,16 @@
 //! periodic checkpoint cadence. Without `--data-dir` the database is
 //! in-memory only, exactly as before.
 //!
+//! `--cache-pages N` (durable only) backs the object table with the
+//! paged buffer pool instead of keeping every object resident: at most
+//! `N` heap pages stay decoded in memory, pinned while in use and
+//! evicted by a CLOCK sweep otherwise, so the database can be larger
+//! than RAM. Checkpoints then flush only dirty pages (incremental)
+//! rather than snapshotting the whole table, and the metrics endpoint
+//! exports `esr_page_cache_*` counters and gauges. A data directory
+//! previously written without the pager is migrated in place on the
+//! first paged boot.
+//!
 //! With `--metrics-addr` a second listener serves the live observability
 //! layer over plain HTTP: `curl http://ADDR/metrics` returns kernel
 //! counters, gauges (wait-queue depth, active transactions, in-flight
@@ -47,7 +58,10 @@
 //! The hidden `--wal-torn-after N` flag arms the WAL's torn-write
 //! injector: the process aborts midway through writing record `N`'s
 //! bytes, leaving a torn tail on disk. It exists solely for the
-//! crash-recovery test harness. The hidden `--monitor-plant-after N`
+//! crash-recovery test harness. The hidden `--page-torn-after N` flag
+//! is the pager's counterpart: the process aborts midway through its
+//! `N`-th dirty-page write-back, leaving a torn extent (covered by the
+//! pager's copy-on-write placement, so recovery must shrug it off). The hidden `--monitor-plant-after N`
 //! flag injects one out-of-protocol event into the monitor after `N`
 //! observed events, so the violation path (gauge + stderr) can be
 //! exercised end to end; it exists solely for the soak harness.
@@ -65,8 +79,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR] \
-         [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S] [--monitor] \
-         [--monitor-capacity N]"
+         [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S] [--cache-pages N] \
+         [--monitor] [--monitor-capacity N]"
     );
     std::process::exit(2);
 }
@@ -90,7 +104,9 @@ fn main() {
     let mut lease_micros: u64 = 0;
     let mut data_dir: Option<String> = None;
     let mut checkpoint_secs: u64 = 30;
+    let mut cache_pages: Option<usize> = None;
     let mut wal_torn_after: Option<u64> = None;
+    let mut page_torn_after: Option<u64> = None;
     let mut monitor = false;
     let mut monitor_capacity: usize = MonitorConfig::default().capacity;
     let mut monitor_plant_after: Option<u64> = None;
@@ -105,7 +121,9 @@ fn main() {
             "--lease-micros" => lease_micros = parse(&mut args, "--lease-micros"),
             "--data-dir" => data_dir = Some(parse(&mut args, "--data-dir")),
             "--checkpoint-secs" => checkpoint_secs = parse(&mut args, "--checkpoint-secs"),
+            "--cache-pages" => cache_pages = Some(parse(&mut args, "--cache-pages")),
             "--wal-torn-after" => wal_torn_after = Some(parse(&mut args, "--wal-torn-after")),
+            "--page-torn-after" => page_torn_after = Some(parse(&mut args, "--page-torn-after")),
             "--monitor" => monitor = true,
             "--monitor-capacity" => monitor_capacity = parse(&mut args, "--monitor-capacity"),
             "--monitor-plant-after" => {
@@ -138,6 +156,8 @@ fn main() {
             let config = ServerConfig {
                 checkpoint_interval: (checkpoint_secs > 0)
                     .then(|| Duration::from_secs(checkpoint_secs)),
+                cache_pages,
+                page_torn_after,
                 ..server_config
             };
             let wal_opts = WalOptions {
@@ -217,13 +237,17 @@ fn main() {
         String::new()
     };
     let durable = if data_dir.is_some() { ", durable" } else { "" };
+    let paged = match cache_pages {
+        Some(n) if data_dir.is_some() => format!(", paged ({n} cache pages)"),
+        _ => String::new(),
+    };
     let monitored = if conformance.is_some() {
         ", monitored"
     } else {
         ""
     };
     println!(
-        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease}{durable}{monitored})",
+        "esr-tcpd listening on {} ({objects} objects @ {value}, {workers} workers{lease}{durable}{paged}{monitored})",
         tcp.local_addr()
     );
     // Keep the metrics listener alive for the lifetime of the process.

@@ -305,6 +305,43 @@ pub fn render_metrics(stats: &ServerStats) -> String {
             m.retained_entries as i64,
         );
     }
+    if let Some(c) = &stats.page_cache {
+        e.counter(
+            "esr_page_cache_hits",
+            "Object pins satisfied from a cached page frame",
+            c.hits,
+        )
+        .counter(
+            "esr_page_cache_misses",
+            "Object pins that had to read the heap file",
+            c.misses,
+        )
+        .counter(
+            "esr_page_cache_evictions",
+            "Page frames evicted by the CLOCK sweep to make room",
+            c.evictions,
+        )
+        .counter(
+            "esr_page_cache_dirty_flushes",
+            "Dirty page write-backs (evictions and incremental checkpoints)",
+            c.dirty_flushes,
+        )
+        .gauge(
+            "esr_page_cache_resident_pages",
+            "Heap pages currently decoded in the buffer pool",
+            c.resident_pages as i64,
+        )
+        .gauge(
+            "esr_page_cache_resident_bytes",
+            "Bytes of heap-file extent currently cached",
+            c.resident_bytes as i64,
+        )
+        .gauge(
+            "esr_page_cache_capacity_pages",
+            "Configured buffer-pool capacity, in pages",
+            c.capacity_pages as i64,
+        );
+    }
     for h in &stats.histograms {
         e.summary(
             &format!("esr_{}", h.name),
@@ -347,6 +384,15 @@ mod tests {
                 retained_entries: 17,
                 ..MonitorSnapshot::default()
             }),
+            page_cache: Some(esr_server::PageCacheSnapshot {
+                hits: 900,
+                misses: 100,
+                evictions: 42,
+                dirty_flushes: 33,
+                resident_pages: 64,
+                resident_bytes: 1 << 20,
+                capacity_pages: 64,
+            }),
             histograms: vec![NamedHistogram {
                 name: "kernel_txn_latency_micros".into(),
                 hist: h.snapshot(),
@@ -369,6 +415,12 @@ mod tests {
         assert!(text.contains("esr_monitor_events_total 12345"));
         assert!(text.contains("esr_monitor_live_txns 4"));
         assert!(text.contains("esr_monitor_retained_entries 17"));
+        assert!(text.contains("esr_page_cache_hits_total 900"));
+        assert!(text.contains("esr_page_cache_misses_total 100"));
+        assert!(text.contains("esr_page_cache_evictions_total 42"));
+        assert!(text.contains("esr_page_cache_dirty_flushes_total 33"));
+        assert!(text.contains("esr_page_cache_resident_bytes 1048576"));
+        assert!(text.contains("esr_page_cache_capacity_pages 64"));
         assert!(text.contains("esr_kernel_txn_latency_micros{quantile=\"0.5\"}"));
         assert!(text.contains("esr_kernel_txn_latency_micros_count 2"));
     }

@@ -1,0 +1,186 @@
+//! Cache stress under the conformance monitor: a real durable
+//! `esr-tcpd --cache-pages --monitor` daemon whose page cache holds
+//! roughly a quarter of the working set, hammered with updates across
+//! the whole database.
+//!
+//! The claims under test:
+//!
+//! - paging is outcome-neutral under concurrency: with constant misses,
+//!   evictions, and dirty write-backs on the hot path, the live
+//!   conformance checker sees **zero** violations
+//!   (`esr_conformance_violations` stays 0 throughout);
+//! - the run really stressed the cache: the exported
+//!   `esr_page_cache_*` metrics show misses and evictions, and
+//!   residency stays at (or under) the configured capacity.
+//!
+//! Scale is environment-tunable: `ESR_PAGER_STRESS_TXNS` sets the
+//! committed-transaction target (default 1500 for plain `cargo test`;
+//! CI's release cache-stress stage runs more).
+
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, TxnKind};
+use esr_core::spec::TxnBounds;
+use esr_faults::proc::{cleanup_dir, scratch_dir, ServerProc, ServerProcOptions};
+use esr_net::{NetClientConfig, TcpConnection};
+use esr_txn::Session;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tcpd() -> &'static str {
+    env!("CARGO_BIN_EXE_esr-tcpd")
+}
+
+fn stress_txns() -> u64 {
+    std::env::var("ESR_PAGER_STRESS_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500)
+}
+
+/// Run `f` under a wall-clock deadline; a hang fails the test instead
+/// of wedging the suite.
+fn with_deadline<F: FnOnce() + Send + 'static>(limit: Duration, f: F) {
+    let body = std::thread::spawn(f);
+    let t0 = Instant::now();
+    while !body.is_finished() {
+        assert!(
+            t0.elapsed() < limit,
+            "cache stress exceeded its {limit:?} deadline: something hung"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    body.join().expect("stress body panicked");
+}
+
+/// One HTTP GET against the daemon's metrics endpoint.
+fn scrape(addr: SocketAddr) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect metrics");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: stress\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read scrape");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&response);
+    body.to_owned()
+}
+
+/// Extract one metric's value. Counters carry `_total` in the
+/// exposition — pass the suffixed name.
+fn gauge(body: &str, name: &str) -> i64 {
+    body.lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(name)?;
+            let rest = rest.strip_prefix(' ')?;
+            rest.trim().parse().ok()
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing from scrape:\n{body}"))
+}
+
+fn client(addr: SocketAddr, seed: u64) -> std::io::Result<TcpConnection> {
+    TcpConnection::connect_with(
+        addr,
+        NetClientConfig {
+            retry_seed: seed,
+            ..NetClientConfig::default()
+        },
+    )
+}
+
+/// Monitored, durable, paged daemon: 2048 objects pack into ~190 heap
+/// pages, and `--cache-pages 48` keeps roughly a quarter of them
+/// resident, so the workload faults pages continuously.
+#[test]
+fn monitored_cache_stress_stays_conformant_under_eviction() {
+    let target = stress_txns();
+    let deadline = Duration::from_secs(120 + target / 100);
+    with_deadline(deadline, move || {
+        let dir = scratch_dir("pager-stress");
+        let mut server = ServerProc::spawn(&ServerProcOptions {
+            objects: 2048,
+            cache_pages: Some(48),
+            lease_micros: 500_000,
+            metrics: true,
+            monitor: true,
+            ..ServerProcOptions::new(tcpd(), &dir)
+        })
+        .expect("spawn paged monitored daemon");
+        let metrics = server.metrics_addr().expect("metrics endpoint");
+        let addr = server.addr();
+
+        let committed = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let committed = Arc::clone(&committed);
+                std::thread::spawn(move || {
+                    let mut conn = client(addr, w).expect("connect worker");
+                    // Each worker strides its own residue class across
+                    // the whole database: no timestamp conflicts, full
+                    // working-set sweep.
+                    let mut i = w as i64;
+                    let mut v = 1_000;
+                    while committed.load(Ordering::Relaxed) < target {
+                        let obj = ObjectId((i % 2048) as u32);
+                        i += 4;
+                        v += 1;
+                        if conn
+                            .begin(TxnKind::Update, TxnBounds::export(Limit::ZERO))
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        if conn.read(obj).is_err() || conn.write(obj, v).is_err() {
+                            let _ = conn.abort();
+                            continue;
+                        }
+                        if conn.commit().is_ok() {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Watch the monitor while the cache churns: any violation is a
+        // paging bug caught in the act.
+        while committed.load(Ordering::Relaxed) < target {
+            let body = scrape(metrics);
+            assert_eq!(
+                gauge(&body, "esr_conformance_violations"),
+                0,
+                "paging produced a conformance violation mid-stress:\n{body}"
+            );
+            assert!(
+                gauge(&body, "esr_page_cache_resident_pages")
+                    <= gauge(&body, "esr_page_cache_capacity_pages"),
+                "pool exceeded its frame budget:\n{body}"
+            );
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+
+        let body = scrape(metrics);
+        assert_eq!(gauge(&body, "esr_conformance_violations"), 0, "{body}");
+        assert!(
+            gauge(&body, "esr_page_cache_misses_total") > 0,
+            "stress run never missed — cache not undersized?\n{body}"
+        );
+        assert!(
+            gauge(&body, "esr_page_cache_evictions_total") > 0,
+            "stress run never evicted — cache not undersized?\n{body}"
+        );
+        assert!(
+            gauge(&body, "esr_page_cache_dirty_flushes_total") > 0,
+            "stress run never wrote a dirty page back\n{body}"
+        );
+        server.kill().expect("kill daemon");
+        cleanup_dir(&dir);
+    });
+}

@@ -21,6 +21,7 @@ use esr_core::hierarchy::HierarchySchema;
 use esr_storage::catalog::CatalogConfig;
 use esr_storage::table::ObjectTable;
 use esr_storage::wal::{recover, Wal, WalOptions};
+use esr_storage::{recover_paged, PagerConfig};
 use esr_tso::{Kernel, KernelConfig};
 use std::io;
 use std::path::Path;
@@ -47,10 +48,28 @@ pub struct RecoverySummary {
     pub clock_epoch_micros: u64,
 }
 
+/// What either recovery shape hands the common boot tail.
+struct Recovered {
+    table: ObjectTable,
+    next_seq: u64,
+    next_txn: u64,
+    max_ts_ticks: u64,
+    replayed: u64,
+    torn_tail: bool,
+    had_state: bool,
+}
+
 /// Recover from `data_dir`, open the log, and start a durable server.
 ///
 /// `config.clock_epoch_micros` is treated as a *minimum*: the effective
 /// epoch is raised to clear every recovered timestamp.
+///
+/// With [`ServerConfig::cache_pages`] set, the object table is backed
+/// by the paged heap: recovery goes through
+/// [`esr_storage::recover_paged`] (migrating a resident-built directory
+/// on first paged boot), reads pin pages through the buffer pool, and
+/// checkpoints flush dirty pages incrementally instead of snapshotting
+/// the whole table.
 pub fn start_durable(
     data_dir: impl AsRef<Path>,
     catalog: &CatalogConfig,
@@ -60,12 +79,42 @@ pub fn start_durable(
     wal_opts: WalOptions,
 ) -> io::Result<(Server, RecoverySummary)> {
     let data_dir = data_dir.as_ref();
-    let rec = recover(data_dir, catalog)?;
+    let rec = match config.cache_pages {
+        Some(cache_pages) => {
+            let pager_cfg = PagerConfig {
+                cache_pages,
+                torn_page_after: config.page_torn_after,
+                ..PagerConfig::default()
+            };
+            let r = recover_paged(data_dir, catalog, &pager_cfg)?;
+            Recovered {
+                table: ObjectTable::paged(Arc::new(r.heap)),
+                next_seq: r.next_seq,
+                next_txn: r.next_txn,
+                max_ts_ticks: r.max_ts_ticks,
+                replayed: r.replayed,
+                torn_tail: r.torn_tail,
+                had_state: r.had_state,
+            }
+        }
+        None => {
+            let r = recover(data_dir, catalog)?;
+            Recovered {
+                table: ObjectTable::new(r.states),
+                next_seq: r.next_seq,
+                next_txn: r.next_txn,
+                max_ts_ticks: r.max_ts_ticks,
+                replayed: r.replayed,
+                torn_tail: r.torn_tail,
+                had_state: r.had_state,
+            }
+        }
+    };
     let wal = Wal::open(data_dir, rec.next_seq, wal_opts)?;
     if rec.had_state {
         wal.note_recovery();
     }
-    let kernel = Kernel::new(ObjectTable::new(rec.states), schema, kernel_config);
+    let kernel = Kernel::new(rec.table, schema, kernel_config);
     kernel.restore_next_txn(rec.next_txn);
     kernel.enable_durability(Arc::new(wal));
     if rec.had_state {

@@ -31,6 +31,7 @@ pub mod server;
 
 pub use connection::Connection;
 pub use durable::{start_durable, RecoverySummary, CLOCK_EPOCH_MARGIN_MICROS};
+pub use esr_storage::PageCacheSnapshot;
 pub use obs::{RequestKind, ServerObs};
 pub use proto::{
     BeginReply, EndReply, MonitorSnapshot, NamedHistogram, OpReply, QueuedRequest, ReplySink,

@@ -12,6 +12,7 @@ use esr_clock::Timestamp;
 use esr_core::ids::{TxnId, TxnKind};
 use esr_core::spec::TxnBounds;
 use esr_obs::HistogramSnapshot;
+use esr_storage::PageCacheSnapshot;
 use esr_tso::{AbortReason, CommitInfo, Operation, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -122,6 +123,11 @@ pub struct ServerStats {
     /// with `--monitor`). Absent in snapshots from pre-monitor servers.
     #[serde(default)]
     pub monitor: Option<MonitorSnapshot>,
+    /// Buffer-pool counters (`None` unless the object table is backed
+    /// by the paged heap, i.e. the server was started with a page-cache
+    /// budget). Absent in snapshots from pre-pager servers.
+    #[serde(default)]
+    pub page_cache: Option<PageCacheSnapshot>,
     /// All latency histograms: per-request-kind queue wait and service
     /// time from the workers, plus the kernel's op-service, park-wait,
     /// and txn-latency distributions.

@@ -61,6 +61,16 @@ pub struct ServerConfig {
     /// fast. `None` (the default) disables the checkpoint thread; a
     /// final checkpoint is still written on clean shutdown.
     pub checkpoint_interval: Option<Duration>,
+    /// Back the object table with the paged buffer pool instead of
+    /// keeping every object resident: `Some(n)` caps the page cache at
+    /// `n` frames, letting the database grow larger than RAM. Only
+    /// consulted by the durable boot path ([`crate::start_durable`]);
+    /// an in-memory server ignores it.
+    pub cache_pages: Option<usize>,
+    /// Crash injection: make the pager abort the process midway through
+    /// its N-th dirty-page write-back (1-based), leaving a torn extent
+    /// on disk. Test harness only; requires `cache_pages`.
+    pub page_torn_after: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +83,8 @@ impl Default for ServerConfig {
             reap_interval: Duration::from_millis(50),
             clock_epoch_micros: 0,
             checkpoint_interval: None,
+            cache_pages: None,
+            page_torn_after: None,
         }
     }
 }
@@ -670,6 +682,7 @@ pub fn build_server_stats(kernel: &Kernel, obs: &ServerObs) -> ServerStats {
         // Conformance monitoring is a transport-level concern: the
         // esr-net daemon overlays its monitor snapshot on top of this.
         monitor: None,
+        page_cache: kernel.table().page_cache_stats(),
         histograms,
     }
 }

@@ -144,6 +144,30 @@ impl HistoryRing {
         self.initial
     }
 
+    /// Is the retained set complete (nothing ever evicted or lost)?
+    /// Exposed for the pager's page codec, which persists the flag
+    /// verbatim.
+    pub(crate) fn is_intact(&self) -> bool {
+        self.intact
+    }
+
+    /// Reassemble a ring from its persisted parts (pager page decode).
+    /// The caller has validated `cap >= 1` and `buf.len() <= cap`.
+    pub(crate) fn from_parts(
+        buf: VecDeque<CommittedWrite>,
+        cap: usize,
+        initial: Value,
+        intact: bool,
+    ) -> Self {
+        debug_assert!(cap >= 1 && buf.len() <= cap);
+        HistoryRing {
+            buf,
+            cap,
+            initial,
+            intact,
+        }
+    }
+
     /// Retention capacity.
     pub fn capacity(&self) -> usize {
         self.cap

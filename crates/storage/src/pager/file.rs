@@ -1,0 +1,121 @@
+//! The heap file: raw page-granular I/O.
+//!
+//! One flat file (`heap.esrpg`) of fixed-size pages, addressed by
+//! physical page number. All access is positional (`read_at` /
+//! `write_at`), so concurrent flushes of distinct extents need no seek
+//! coordination; the single shared descriptor is `Sync`.
+//!
+//! The file knows nothing about allocation or content: the directory
+//! snapshot records which extents are live, the allocator hands out
+//! fresh ones, and this type just moves bytes. Writes are *not*
+//! individually synced — copy-on-write placement makes an unsynced (or
+//! torn) extent unreachable until the next directory snapshot, and
+//! [`HeapFile::sync`] is called once per checkpoint before that
+//! snapshot is written.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Name of the heap file inside the data directory.
+pub(crate) const HEAP_FILE: &str = "heap.esrpg";
+
+/// A page-addressed file.
+#[derive(Debug)]
+pub(crate) struct HeapFile {
+    file: File,
+    page_size: usize,
+}
+
+impl HeapFile {
+    /// Open (or create) the heap file in `dir`.
+    pub(crate) fn open(dir: &Path, page_size: usize) -> io::Result<HeapFile> {
+        assert!(page_size >= 64, "page size too small to hold a header");
+        // Reopening an existing heap must keep its pages: never truncate.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(dir.join(HEAP_FILE))?;
+        Ok(HeapFile { file, page_size })
+    }
+
+    pub(crate) fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Read an `n_pages`-long extent starting at physical page `phys`.
+    pub(crate) fn read_extent(&self, phys: u64, n_pages: usize) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; n_pages * self.page_size];
+        self.file
+            .read_exact_at(&mut buf, phys * self.page_size as u64)?;
+        Ok(buf)
+    }
+
+    /// Write a page image to the extent starting at physical page
+    /// `phys`, padding it out to whole pages. Extending writes grow the
+    /// file implicitly.
+    pub(crate) fn write_extent(&self, phys: u64, image: &[u8]) -> io::Result<()> {
+        let n_pages = extent_pages(image.len(), self.page_size);
+        let mut padded = vec![0u8; n_pages * self.page_size];
+        padded[..image.len()].copy_from_slice(image);
+        self.file
+            .write_all_at(&padded, phys * self.page_size as u64)
+    }
+
+    /// Write only a *prefix* of the image — the torn-page crash
+    /// injector's tool, never the normal path.
+    pub(crate) fn write_torn_prefix(&self, phys: u64, image: &[u8]) -> io::Result<()> {
+        self.file
+            .write_all_at(&image[..image.len() / 2], phys * self.page_size as u64)
+    }
+
+    /// Make every write so far durable.
+    pub(crate) fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Pages needed to hold an `image_len`-byte page image.
+pub(crate) fn extent_pages(image_len: usize, page_size: usize) -> usize {
+    image_len.div_ceil(page_size).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::tests::tempdir;
+
+    #[test]
+    fn extents_round_trip_and_pad() {
+        let dir = tempdir("heap-rt");
+        let f = HeapFile::open(&dir, 128).unwrap();
+        assert_eq!(f.page_size(), 128);
+        f.write_extent(0, &[9u8; 300]).unwrap(); // 3-page extent: 0..=2
+        f.write_extent(3, &[7u8; 100]).unwrap();
+        let back = f.read_extent(3, 1).unwrap();
+        assert_eq!(&back[..100], &[7u8; 100][..]);
+        assert_eq!(&back[100..], &[0u8; 28][..]);
+        let big = f.read_extent(0, 3).unwrap();
+        assert_eq!(&big[..300], &[9u8; 300][..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn extent_sizing() {
+        assert_eq!(extent_pages(0, 128), 1);
+        assert_eq!(extent_pages(128, 128), 1);
+        assert_eq!(extent_pages(129, 128), 2);
+        assert_eq!(extent_pages(1000, 128), 8);
+    }
+
+    #[test]
+    fn reading_past_eof_fails_cleanly() {
+        let dir = tempdir("heap-eof");
+        let f = HeapFile::open(&dir, 128).unwrap();
+        assert!(f.read_extent(5, 1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,513 @@
+//! On-disk page format: checksummed, length-prefixed, epoch-stamped.
+//!
+//! A page (or a multi-page *extent*, when a record set outgrows one
+//! page) carries a fixed header followed by the slotted object states
+//! in a fixed-width little-endian layout:
+//!
+//! ```text
+//! +--------------+-------------+--------------+---------------------+
+//! | crc32 u32 LE | len: u32 LE | epoch u32 LE | payload: len bytes  |
+//! +--------------+-------------+--------------+---------------------+
+//! ```
+//!
+//! The payload is *not* the generic [`esr_core::codec`] encoding the
+//! WAL uses for redo records. That codec routes every value through a
+//! self-describing `Content` tree — one heap node per field, string
+//! keys per struct member — which is fine for small redo records on
+//! the commit path but dominated the buffer pool's miss path: a page
+//! of objects with full 20-entry history rings cost tens of
+//! microseconds to encode *and* decode, an order of magnitude more
+//! than the read/write I/O it wrapped. Page images are written and
+//! read only by this module, so they use a dedicated flat layout
+//! instead: every field is a fixed-width little-endian scalar, decode
+//! is a single forward scan with no intermediate tree, and the hot
+//! eviction/miss path allocates only the `Vec`s the in-memory
+//! [`ObjectState`] needs anyway.
+//!
+//! Layout per page: `u32` slot count, then each state as
+//!
+//! ```text
+//! id u32 | value i64 | committed_wts ts | max_query_rts ts
+//! | max_update_rts ts
+//! | history: intact u8, cap u32, initial i64, len u32, len × (ts, i64)
+//! | uncommitted: u8 tag, tag=1 ⇒ txn u64, ts, shadow i64
+//! | readers: len u32, len × (txn u64, ts, proper i64)
+//! | oil limit | oel limit
+//! ```
+//!
+//! where `ts` is `ticks u64, site u16` and a limit is a `u8` tag
+//! (0 = unlimited) followed by the `u64` bound when finite.
+//!
+//! The CRC covers the payload only, so the epoch can be read before
+//! (cheap) and verified with the rest (the epoch participates in the
+//! decision to *sanitize* volatile state, never in redo, so a stale
+//! epoch is at worst a harmless extra sanitize — see the module docs
+//! of [`super`]). Slot `k` of a page is position `k` of the decoded
+//! vector; the directory's `(logical page, slot)` pairs are assigned
+//! once at bootstrap and never move, so the payload needs no per-slot
+//! offset table.
+//!
+//! Torn writes need no detection here: the heap file is copy-on-write
+//! (a flush always targets a *fresh* extent) and recovery reads only
+//! extents referenced by the last durable directory snapshot, which is
+//! written after the file is synced. A page that fails its checksum is
+//! therefore real corruption, not a crash artifact, and decoding
+//! returns `None` so the caller can fail loudly.
+
+use crate::history::{CommittedWrite, HistoryRing};
+use crate::object::{ObjectState, QueryReader, UncommittedWrite};
+use crate::wal::crc32;
+use esr_clock::Timestamp;
+use esr_core::bounds::Limit;
+use esr_core::ids::{ObjectId, SiteId, TxnId};
+use std::collections::VecDeque;
+
+/// Default page size: 16 KiB holds a healthy handful of objects with
+/// full history rings while keeping eviction write-back granular.
+pub const DEFAULT_PAGE_SIZE: usize = 16 * 1024;
+
+/// Fixed bytes before the payload: crc32, payload length, epoch.
+pub(crate) const PAGE_HEADER: usize = 12;
+
+/// Encoded width of a [`Timestamp`]: ticks `u64` + site `u16`.
+const TS_SIZE: usize = 10;
+
+// ---------------------------------------------------------------------------
+// Flat little-endian payload primitives
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_ts(out: &mut Vec<u8>, ts: Timestamp) {
+    put_u64(out, ts.ticks);
+    put_u16(out, ts.site.0);
+}
+
+fn put_limit(out: &mut Vec<u8>, l: Limit) {
+    match l {
+        Limit::Unlimited => out.push(0),
+        Limit::Finite(d) => {
+            out.push(1);
+            put_u64(out, d);
+        }
+    }
+}
+
+/// Forward cursor over a CRC-verified payload. Every accessor bounds-
+/// checks and returns `None` on truncation — the checksum already rules
+/// out bit rot, but structural validation keeps a logic bug (or a
+/// hand-crafted file) from reading out of bounds or over-reserving.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len())?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|s| i64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn ts(&mut self) -> Option<Timestamp> {
+        Some(Timestamp::new(self.u64()?, SiteId(self.u16()?)))
+    }
+
+    fn limit(&mut self) -> Option<Limit> {
+        match self.u8()? {
+            0 => Some(Limit::Unlimited),
+            1 => Some(Limit::Finite(self.u64()?)),
+            _ => None,
+        }
+    }
+
+    /// Validate a length claim of `n` elements of at least `elem` bytes
+    /// each against the remaining payload before any reservation.
+    fn claim(&self, n: usize, elem: usize) -> bool {
+        n.checked_mul(elem)
+            .is_some_and(|bytes| bytes <= self.buf.len() - self.pos)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ObjectState <-> flat bytes
+// ---------------------------------------------------------------------------
+
+fn put_state(out: &mut Vec<u8>, s: &ObjectState) {
+    put_u32(out, s.id.0);
+    put_i64(out, s.value);
+    put_ts(out, s.committed_wts);
+    put_ts(out, s.max_query_rts);
+    put_ts(out, s.max_update_rts);
+    out.push(s.history.is_intact() as u8);
+    put_u32(out, s.history.capacity() as u32);
+    put_i64(out, s.history.initial());
+    put_u32(out, s.history.len() as u32);
+    for w in s.history.iter() {
+        put_ts(out, w.ts);
+        put_i64(out, w.value);
+    }
+    match &s.uncommitted {
+        None => out.push(0),
+        Some(u) => {
+            out.push(1);
+            put_u64(out, u.txn.0);
+            put_ts(out, u.ts);
+            put_i64(out, u.shadow);
+        }
+    }
+    put_u32(out, s.readers.len() as u32);
+    for r in &s.readers {
+        put_u64(out, r.txn.0);
+        put_ts(out, r.ts);
+        put_i64(out, r.proper);
+    }
+    put_limit(out, s.oil);
+    put_limit(out, s.oel);
+}
+
+fn take_state(c: &mut Cursor<'_>) -> Option<ObjectState> {
+    let id = ObjectId(c.u32()?);
+    let value = c.i64()?;
+    let committed_wts = c.ts()?;
+    let max_query_rts = c.ts()?;
+    let max_update_rts = c.ts()?;
+
+    let intact = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let cap = c.u32()? as usize;
+    let initial = c.i64()?;
+    let hist_len = c.u32()? as usize;
+    if cap < 1 || hist_len > cap || !c.claim(hist_len, TS_SIZE + 8) {
+        return None;
+    }
+    let mut buf = VecDeque::with_capacity(cap);
+    for _ in 0..hist_len {
+        buf.push_back(CommittedWrite {
+            ts: c.ts()?,
+            value: c.i64()?,
+        });
+    }
+    let history = HistoryRing::from_parts(buf, cap, initial, intact);
+
+    let uncommitted = match c.u8()? {
+        0 => None,
+        1 => Some(UncommittedWrite {
+            txn: TxnId(c.u64()?),
+            ts: c.ts()?,
+            shadow: c.i64()?,
+        }),
+        _ => return None,
+    };
+
+    let n_readers = c.u32()? as usize;
+    if !c.claim(n_readers, 8 + TS_SIZE + 8) {
+        return None;
+    }
+    let mut readers = Vec::with_capacity(n_readers);
+    for _ in 0..n_readers {
+        readers.push(QueryReader {
+            txn: TxnId(c.u64()?),
+            ts: c.ts()?,
+            proper: c.i64()?,
+        });
+    }
+
+    Some(ObjectState {
+        id,
+        value,
+        committed_wts,
+        max_query_rts,
+        max_update_rts,
+        history,
+        uncommitted,
+        readers,
+        oil: c.limit()?,
+        oel: c.limit()?,
+    })
+}
+
+fn limit_size(l: Limit) -> usize {
+    match l {
+        Limit::Unlimited => 1,
+        Limit::Finite(_) => 9,
+    }
+}
+
+/// Exact encoded width of one state in the flat payload layout; kept in
+/// lockstep with [`put_state`] (the round-trip test asserts agreement).
+pub(crate) fn state_size(s: &ObjectState) -> usize {
+    4 + 8
+        + 3 * TS_SIZE
+        + (1 + 4 + 8 + 4)
+        + (TS_SIZE + 8) * s.history.len()
+        + 1
+        + if s.uncommitted.is_some() {
+            8 + TS_SIZE + 8
+        } else {
+            0
+        }
+        + 4
+        + (8 + TS_SIZE + 8) * s.readers.len()
+        + limit_size(s.oil)
+        + limit_size(s.oel)
+}
+
+/// Encode one page image. The result may exceed the nominal page size
+/// (the heap file then stores it as a multi-page extent).
+pub(crate) fn encode_page(epoch: u32, states: &[ObjectState]) -> Vec<u8> {
+    let payload_len = 4 + states.iter().map(state_size).sum::<usize>();
+    let mut out = Vec::with_capacity(PAGE_HEADER + payload_len);
+    // Header placeholder; the CRC and length are patched in below once
+    // the payload bytes exist.
+    out.resize(PAGE_HEADER, 0);
+    put_u32(&mut out, states.len() as u32);
+    for s in states {
+        put_state(&mut out, s);
+    }
+    let len = out.len() - PAGE_HEADER;
+    debug_assert_eq!(len, payload_len, "state_size out of sync with put_state");
+    let crc = crc32(&out[PAGE_HEADER..]);
+    out[0..4].copy_from_slice(&crc.to_le_bytes());
+    out[4..8].copy_from_slice(&(len as u32).to_le_bytes());
+    out[8..12].copy_from_slice(&epoch.to_le_bytes());
+    out
+}
+
+/// Decode a page image read back from its extent. `bytes` may carry
+/// padding past the payload (extents are whole pages); the length
+/// prefix bounds the real content. Returns the stamped epoch and the
+/// slotted states, or `None` on any corruption.
+pub(crate) fn decode_page(bytes: &[u8]) -> Option<(u32, Vec<ObjectState>)> {
+    if bytes.len() < PAGE_HEADER {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let epoch = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if bytes.len() - PAGE_HEADER < len {
+        return None;
+    }
+    let payload = &bytes[PAGE_HEADER..PAGE_HEADER + len];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let n = c.u32()? as usize;
+    // Each state costs tens of bytes; one byte per claimed element is a
+    // safe floor before reserving.
+    if !c.claim(n, 1) {
+        return None;
+    }
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        states.push(take_state(&mut c)?);
+    }
+    if c.remaining() != 0 {
+        return None;
+    }
+    Some((epoch, states))
+}
+
+/// Conservative estimate of one object's encoded size *after* its
+/// history ring fills and a few query readers register — the bootstrap
+/// packer sizes pages so a page full of estimated objects still fits
+/// its original extent in the common case (an overflow merely grows
+/// the extent, it is not an error).
+pub(crate) fn estimate_full_size(state: &ObjectState) -> usize {
+    let now = state_size(state);
+    let history_headroom =
+        (TS_SIZE + 8) * state.history.capacity().saturating_sub(state.history.len());
+    // Eight concurrent query readers' worth of slack (one per MPL slot
+    // at the benchmark's default multiprogramming level).
+    const READER_HEADROOM: usize = 8 * (8 + TS_SIZE + 8);
+    now + history_headroom + READER_HEADROOM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> ObjectState {
+        let mut o = ObjectState::new(
+            ObjectId(i),
+            1000 + i as i64,
+            4,
+            Limit::Unlimited,
+            Limit::at_most(9),
+        );
+        o.apply_write(TxnId(7), Timestamp::new(5, SiteId(1)), 2000 + i as i64);
+        assert!(o.commit_write(TxnId(7)));
+        o
+    }
+
+    /// A state exercising every optional branch of the layout: an
+    /// uncommitted write, query readers, finite limits, extreme ids.
+    fn busy_obj() -> ObjectState {
+        let mut o = ObjectState::new(
+            ObjectId(u32::MAX),
+            -5000,
+            3,
+            Limit::at_most(0),
+            Limit::at_most(u64::MAX),
+        );
+        o.note_query_read(TxnId(u64::MAX), Timestamp::new(40, SiteId(u16::MAX)), -5000);
+        o.note_query_read(TxnId(9), Timestamp::new(41, SiteId(2)), -5000);
+        o.apply_write(TxnId(11), Timestamp::new(50, SiteId(3)), i64::MIN);
+        o
+    }
+
+    fn assert_states_eq(a: &ObjectState, b: &ObjectState) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.committed_wts, b.committed_wts);
+        assert_eq!(a.max_query_rts, b.max_query_rts);
+        assert_eq!(a.max_update_rts, b.max_update_rts);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.uncommitted, b.uncommitted);
+        assert_eq!(a.readers, b.readers);
+        assert_eq!(a.oil, b.oil);
+        assert_eq!(a.oel, b.oel);
+    }
+
+    #[test]
+    fn pages_round_trip_with_epoch() {
+        let states: Vec<ObjectState> = (0..5).map(obj).collect();
+        let bytes = encode_page(3, &states);
+        let (epoch, back) = decode_page(&bytes).expect("valid page");
+        assert_eq!(epoch, 3);
+        assert_eq!(back.len(), 5);
+        assert_eq!(back[2].id, ObjectId(2));
+        assert_eq!(back[2].value, 2002);
+        assert_eq!(back[2].committed_wts, Timestamp::new(5, SiteId(1)));
+        for (a, b) in states.iter().zip(&back) {
+            assert_states_eq(a, b);
+        }
+    }
+
+    #[test]
+    fn every_optional_branch_round_trips() {
+        let states = vec![busy_obj(), obj(0)];
+        let bytes = encode_page(9, &states);
+        let (epoch, back) = decode_page(&bytes).expect("valid page");
+        assert_eq!(epoch, 9);
+        for (a, b) in states.iter().zip(&back) {
+            assert_states_eq(a, b);
+        }
+    }
+
+    #[test]
+    fn padding_past_the_payload_is_ignored() {
+        let states: Vec<ObjectState> = (0..2).map(obj).collect();
+        let mut bytes = encode_page(1, &states);
+        bytes.resize(bytes.len() + 512, 0);
+        let (_, back) = decode_page(&bytes).expect("padded page decodes");
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let states: Vec<ObjectState> = (0..2).map(obj).collect();
+        let good = encode_page(1, &states);
+        // Flipped payload byte.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        assert!(decode_page(&bad).is_none());
+        // Truncated payload.
+        assert!(decode_page(&good[..good.len() - 1]).is_none());
+        // All-zero (never-written) page.
+        assert!(decode_page(&[0u8; 64]).is_none());
+        // Too short for a header at all.
+        assert!(decode_page(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn hostile_length_claims_are_rejected_not_reserved() {
+        // A syntactically valid header whose payload claims far more
+        // slots than the bytes can hold: the claim check must fail
+        // before any with_capacity reservation.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, u32::MAX);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(decode_page(&bytes).is_none());
+    }
+
+    #[test]
+    fn size_accounting_matches_the_encoder() {
+        for s in [obj(3), busy_obj()] {
+            let bytes = encode_page(0, std::slice::from_ref(&s));
+            assert_eq!(bytes.len() - PAGE_HEADER - 4, state_size(&s));
+        }
+    }
+
+    #[test]
+    fn full_size_estimate_bounds_a_filled_object() {
+        let mut o = obj(0);
+        let est = estimate_full_size(&o);
+        for t in 10..200u64 {
+            o.apply_write(TxnId(t), Timestamp::new(t, SiteId(1)), t as i64);
+            assert!(o.commit_write(TxnId(t)));
+        }
+        o.note_query_read(TxnId(900), Timestamp::new(300, SiteId(1)), 1);
+        o.note_query_read(TxnId(901), Timestamp::new(301, SiteId(1)), 2);
+        let grown = state_size(&o);
+        assert!(
+            grown <= est,
+            "estimate {est} must cover grown encoding {grown}"
+        );
+    }
+}

@@ -1,21 +1,35 @@
-//! The object table: one mutex per object.
+//! The object table: one mutex per object, or a paged buffer pool.
 
 use crate::object::ObjectState;
+use crate::pager::{PageCacheSnapshot, PagedHeap, PinnedObject};
 use esr_core::bounds::Limit;
 use esr_core::ids::ObjectId;
 use esr_core::value::Value;
 use parking_lot::{Mutex, MutexGuard};
+use std::sync::Arc;
 
-/// A dense, per-object-locked main-memory table.
+/// A dense, per-object-locked table over one of two backings:
 ///
-/// The prototype's data manager (§6). Object ids index directly into the
-/// table; each object has its own [`Mutex`] so operations on distinct
-/// objects never contend. The kernel locks at most one object at a time,
-/// so lock ordering is trivially deadlock-free — and debug builds
-/// *assert* it: [`ObjectTable::lock`] panics if the calling thread
-/// already holds an object lock.
+/// * **Resident** — the prototype's data manager (§6): every
+///   [`ObjectState`] lives in memory forever behind its own [`Mutex`],
+///   so operations on distinct objects never contend.
+/// * **Paged** — the same locking discipline, but states live in pages
+///   of a [`PagedHeap`] and [`ObjectTable::lock`] pins the page through
+///   the buffer pool, so the database can exceed RAM.
+///
+/// Either way object ids index directly, the kernel locks at most one
+/// object at a time, and lock ordering is trivially deadlock-free —
+/// debug builds *assert* it: [`ObjectTable::lock`] panics if the
+/// calling thread already holds an object lock. That discipline is
+/// load-bearing for the paged backing too: it bounds pinned frames by
+/// the worker count, so the pool can always make eviction progress.
 pub struct ObjectTable {
-    objects: Vec<Mutex<ObjectState>>,
+    backing: Backing,
+}
+
+enum Backing {
+    Resident(Vec<Mutex<ObjectState>>),
+    Paged(Arc<PagedHeap>),
 }
 
 #[cfg(debug_assertions)]
@@ -32,7 +46,12 @@ thread_local! {
 /// object locks at once; in release builds it is a zero-cost wrapper
 /// around the mutex guard.
 pub struct ObjectGuard<'a> {
-    inner: MutexGuard<'a, ObjectState>,
+    inner: GuardInner<'a>,
+}
+
+enum GuardInner<'a> {
+    Resident(MutexGuard<'a, ObjectState>),
+    Paged(PinnedObject<'a>),
 }
 
 impl std::ops::Deref for ObjectGuard<'_> {
@@ -40,14 +59,20 @@ impl std::ops::Deref for ObjectGuard<'_> {
 
     #[inline]
     fn deref(&self) -> &ObjectState {
-        &self.inner
+        match &self.inner {
+            GuardInner::Resident(g) => g,
+            GuardInner::Paged(p) => p,
+        }
     }
 }
 
 impl std::ops::DerefMut for ObjectGuard<'_> {
     #[inline]
     fn deref_mut(&mut self) -> &mut ObjectState {
-        &mut self.inner
+        match &mut self.inner {
+            GuardInner::Resident(g) => g,
+            GuardInner::Paged(p) => p,
+        }
     }
 }
 
@@ -70,23 +95,47 @@ impl ObjectTable {
             assert_eq!(s.id.index(), i, "object ids must be dense and in order");
         }
         ObjectTable {
-            objects: states.into_iter().map(Mutex::new).collect(),
+            backing: Backing::Resident(states.into_iter().map(Mutex::new).collect()),
         }
+    }
+
+    /// Build a table over a paged heap: reads and writes go through the
+    /// buffer pool instead of a resident vector.
+    pub fn paged(heap: Arc<PagedHeap>) -> Self {
+        ObjectTable {
+            backing: Backing::Paged(heap),
+        }
+    }
+
+    /// The paged heap behind this table, if it has one.
+    pub fn pager(&self) -> Option<&Arc<PagedHeap>> {
+        match &self.backing {
+            Backing::Resident(_) => None,
+            Backing::Paged(heap) => Some(heap),
+        }
+    }
+
+    /// Page-cache counters, when paged.
+    pub fn page_cache_stats(&self) -> Option<PageCacheSnapshot> {
+        self.pager().map(|h| h.cache_stats())
     }
 
     /// Number of objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        match &self.backing {
+            Backing::Resident(objects) => objects.len(),
+            Backing::Paged(heap) => heap.len(),
+        }
     }
 
     /// Is the table empty?
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.len() == 0
     }
 
     /// Does the table contain this id?
     pub fn contains(&self, id: ObjectId) -> bool {
-        id.index() < self.objects.len()
+        id.index() < self.len()
     }
 
     /// Lock one object for exclusive access.
@@ -108,9 +157,11 @@ impl ObjectTable {
             );
             held.set(held.get() + 1);
         });
-        ObjectGuard {
-            inner: self.objects[id.index()].lock(),
-        }
+        let inner = match &self.backing {
+            Backing::Resident(objects) => GuardInner::Resident(objects[id.index()].lock()),
+            Backing::Paged(heap) => GuardInner::Paged(heap.pin_object(id)),
+        };
+        ObjectGuard { inner }
     }
 
     /// Run `f` on one locked object.
@@ -118,25 +169,31 @@ impl ObjectTable {
         f(&mut self.lock(id))
     }
 
+    /// Every object id, for whole-table sweeps.
+    fn ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.len() as u32).map(ObjectId)
+    }
+
     /// Snapshot of all values. Locks objects one at a time, so callers
     /// that need a *consistent* snapshot must quiesce writers first (the
-    /// tests and examples do).
+    /// tests and examples do). On a paged table this pages every object
+    /// in — it is a maintenance sweep, not a hot path.
     pub fn values(&self) -> Vec<Value> {
-        self.objects.iter().map(|o| o.lock().value).collect()
+        self.ids().map(|id| self.lock(id).value).collect()
     }
 
     /// Sum of all values (same quiescence caveat as [`values`]).
     ///
     /// [`values`]: ObjectTable::values
     pub fn sum_values(&self) -> i128 {
-        self.objects.iter().map(|o| o.lock().value as i128).sum()
+        self.ids().map(|id| self.lock(id).value as i128).sum()
     }
 
     /// Overwrite every object's OIL/OEL. Used between experiment points
     /// when sweeping the object limits (Figures 12–13).
     pub fn set_all_limits(&self, oil: Limit, oel: Limit) {
-        for o in &self.objects {
-            let mut g = o.lock();
+        for id in self.ids() {
+            let mut g = self.lock(id);
             g.oil = oil;
             g.oel = oel;
         }
@@ -145,8 +202,8 @@ impl ObjectTable {
     /// True if no object holds an uncommitted write or registered
     /// reader — i.e. the system is quiescent.
     pub fn is_quiescent(&self) -> bool {
-        self.objects.iter().all(|o| {
-            let g = o.lock();
+        self.ids().all(|id| {
+            let g = self.lock(id);
             g.uncommitted.is_none() && g.readers.is_empty()
         })
     }
@@ -155,7 +212,8 @@ impl ObjectTable {
 impl std::fmt::Debug for ObjectTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObjectTable")
-            .field("len", &self.objects.len())
+            .field("len", &self.len())
+            .field("paged", &self.pager().is_some())
             .finish()
     }
 }
@@ -274,6 +332,47 @@ mod tests {
             Limit::Unlimited,
             Limit::Unlimited,
         )]);
+    }
+
+    #[test]
+    fn paged_backing_behaves_like_resident() {
+        use crate::pager::{PagedHeap, PagerConfig};
+        let dir = crate::wal::tests::tempdir("table-paged");
+        let states: Vec<ObjectState> = (0..16)
+            .map(|i| {
+                ObjectState::new(
+                    ObjectId(i),
+                    1000 + i as i64,
+                    4,
+                    Limit::Unlimited,
+                    Limit::Unlimited,
+                )
+            })
+            .collect();
+        let cfg = PagerConfig {
+            page_size: 512,
+            cache_pages: 4,
+            shards: 1,
+            ..PagerConfig::default()
+        };
+        let heap = PagedHeap::create(&dir, states, 0, 1, &cfg).unwrap();
+        let t = ObjectTable::paged(Arc::new(heap));
+        assert_eq!(t.len(), 16);
+        assert!(t.contains(ObjectId(15)) && !t.contains(ObjectId(16)));
+        assert!(t.pager().is_some());
+        t.with(ObjectId(3), |o| o.value = -5);
+        assert_eq!(t.lock(ObjectId(3)).value, -5);
+        assert_eq!(t.values()[3], -5);
+        assert_eq!(
+            t.sum_values(),
+            (0..16).map(|i| 1000 + i as i128).sum::<i128>() - 1003 - 5
+        );
+        t.set_all_limits(Limit::at_most(2), Limit::at_most(3));
+        assert_eq!(t.lock(ObjectId(9)).oil, Limit::at_most(2));
+        assert!(t.is_quiescent());
+        let stats = t.page_cache_stats().expect("paged stats");
+        assert!(stats.misses > 0, "sweeps page objects in");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

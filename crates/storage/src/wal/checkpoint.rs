@@ -187,6 +187,16 @@ pub(crate) fn list_checkpoints(dir: &Path) -> io::Result<Vec<(PathBuf, u64)>> {
     Ok(out)
 }
 
+/// Delete every checkpoint file in `dir`. Called once after migrating
+/// a resident-mode directory to the pager, whose directory snapshot
+/// supersedes them.
+pub(crate) fn remove_all(dir: &Path) -> io::Result<()> {
+    for (path, _) in list_checkpoints(dir)? {
+        let _ = fs::remove_file(path);
+    }
+    Ok(())
+}
+
 /// Load the newest checkpoint that passes validation, silently
 /// skipping corrupt or unreadable ones (an interrupted write leaves
 /// only a `.tmp`, which is never listed; a damaged file falls back to

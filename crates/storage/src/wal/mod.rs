@@ -46,7 +46,7 @@ pub mod checkpoint;
 pub mod recover;
 
 pub use checkpoint::{snapshot_table, Checkpoint, ObjectSnapshot};
-pub use recover::{recover, Recovered};
+pub use recover::{recover, recover_observed, Recovered};
 
 use esr_clock::Timestamp;
 use esr_core::codec;
@@ -102,6 +102,17 @@ pub trait DurabilitySink: Send + Sync {
     fn appended_seq(&self) -> u64;
     /// Persist a checkpoint and rotate/prune segments.
     fn write_checkpoint(&self, ckpt: &Checkpoint) -> io::Result<()>;
+    /// Rotate to a fresh segment and delete segments fully covered by
+    /// a durable snapshot of everything up to `upto`. The paged
+    /// checkpoint path calls this *instead of* [`write_checkpoint`]:
+    /// its directory snapshot replaces the object-snapshot checkpoint,
+    /// but the log still needs its retention bounded. Default: no-op,
+    /// for in-memory sinks without segmented storage.
+    ///
+    /// [`write_checkpoint`]: DurabilitySink::write_checkpoint
+    fn prune_segments(&self, _upto: u64) -> io::Result<()> {
+        Ok(())
+    }
     /// Total bytes appended to the log by this process.
     fn wal_bytes(&self) -> u64;
     /// Recoveries performed (0 on a fresh boot, 1 after a restart that
@@ -130,16 +141,21 @@ struct Segment {
 
 /// Append state: records encoded but not yet handed to the flusher.
 struct Pending {
-    /// Encoded frames awaiting the flusher, in seq order.
+    /// Encoded frames awaiting the flusher. *Not* necessarily in seq
+    /// order: sequence numbers are reserved atomically before encoding,
+    /// so a fast encoder can push seq 7 before a slow one pushes 6. The
+    /// flusher reorders; on-disk order is always seq order.
     frames: Vec<(u64, Vec<u8>)>,
-    /// Highest seq ever assigned.
-    appended: u64,
     /// Set by [`Wal::shutdown`]; the flusher drains and exits.
     stopping: bool,
 }
 
 struct Shared {
     dir: PathBuf,
+    /// Highest seq ever reserved. Reservation is a lock-free
+    /// `fetch_add`, so record encoding happens *outside* the pending
+    /// lock — under load, committers serialize only on a vector push.
+    appended: AtomicU64,
     pending: Mutex<Pending>,
     /// Signals the flusher that work (or shutdown) arrived.
     work: Condvar,
@@ -183,9 +199,9 @@ impl Wal {
         let segment = open_segment(&dir, next_seq)?;
         let shared = Arc::new(Shared {
             dir,
+            appended: AtomicU64::new(next_seq.saturating_sub(1)),
             pending: Mutex::new(Pending {
                 frames: Vec::new(),
-                appended: next_seq.saturating_sub(1),
                 stopping: false,
             }),
             work: Condvar::new(),
@@ -261,9 +277,10 @@ impl DurabilitySink for Wal {
         exported: u64,
         writes: &[(ObjectId, Value)],
     ) -> u64 {
-        let mut p = lock(&self.shared.pending);
-        let seq = p.appended + 1;
-        p.appended = seq;
+        // Reserve the sequence number lock-free, then encode outside
+        // the pending lock: concurrent committers serialize only on the
+        // final vector push, not on serialization work.
+        let seq = self.shared.appended.fetch_add(1, Ordering::AcqRel) + 1;
         let frame = encode_record(&WalRecord {
             seq,
             txn,
@@ -274,7 +291,9 @@ impl DurabilitySink for Wal {
         self.shared
             .bytes
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let mut p = lock(&self.shared.pending);
         p.frames.push((seq, frame));
+        drop(p);
         self.shared.work.notify_all();
         seq
     }
@@ -295,7 +314,7 @@ impl DurabilitySink for Wal {
     }
 
     fn appended_seq(&self) -> u64 {
-        lock(&self.shared.pending).appended
+        self.shared.appended.load(Ordering::Acquire)
     }
 
     fn write_checkpoint(&self, ckpt: &Checkpoint) -> io::Result<()> {
@@ -303,14 +322,19 @@ impl DurabilitySink for Wal {
         // commit gate, so no appends are in flight; drain what's left.
         self.sync_to(self.appended_seq());
         checkpoint::write_checkpoint(&self.shared.dir, ckpt)?;
-        // Rotate: everything logged so far is covered by the
-        // checkpoint, so start a fresh segment and prune the old ones.
+        // Everything logged so far is covered by the checkpoint.
+        self.prune_segments(ckpt.seq)
+    }
+
+    fn prune_segments(&self, upto: u64) -> io::Result<()> {
+        // Rotate: start a fresh segment for post-checkpoint appends,
+        // then delete segments whose records a durable snapshot covers.
         let mut seg = lock(&self.shared.segment);
-        let fresh = open_segment(&self.shared.dir, ckpt.seq + 1)?;
+        let fresh = open_segment(&self.shared.dir, upto + 1)?;
         let _old = std::mem::replace(&mut *seg, fresh);
         drop(seg);
         for (path, start) in list_segments(&self.shared.dir)? {
-            if start <= ckpt.seq {
+            if start <= upto {
                 let _ = fs::remove_file(path);
             }
         }
@@ -334,20 +358,61 @@ impl DurabilitySink for Wal {
     }
 }
 
-/// The group-commit loop: swap the pending buffer, write it, one fsync,
-/// publish the durable watermark, repeat.
+/// How long a *busy* flusher lingers for straggling commits before it
+/// fsyncs: commits that arrive inside the window share the disk round
+/// trip instead of waiting a whole extra fsync. Idle appends (nothing
+/// else accumulated since the last flush) skip the window entirely, so
+/// a lone commit still hits the platter immediately.
+const GROUP_WINDOW: std::time::Duration = std::time::Duration::from_micros(150);
+
+/// The group-commit loop: drain the pending buffer into a reorder map,
+/// write the contiguous seq prefix, one fsync, publish the durable
+/// watermark, repeat.
+///
+/// The reorder map absorbs the append path's race: sequence numbers are
+/// reserved before encoding, so frames can arrive out of order, but a
+/// record may only be written once every *earlier* record is on disk —
+/// the durable watermark (and recovery's strictly-increasing scan)
+/// requires on-disk order to be seq order. A gap parks its successors
+/// in the map; the missing frame's committer is mid-`append_commit` and
+/// delivers it promptly.
 fn flusher_loop(shared: &Shared) {
+    let mut next_to_write = *lock(&shared.flushed) + 1;
+    let mut reorder: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+    let mut last_batch_len = 0usize;
     loop {
-        let batch = {
+        let stopping = {
             let mut p = lock(&shared.pending);
-            while p.frames.is_empty() && !p.stopping {
+            loop {
+                reorder.extend(p.frames.drain(..));
+                if p.stopping || reorder.contains_key(&next_to_write) {
+                    break;
+                }
                 p = shared.work.wait(p).unwrap_or_else(PoisonError::into_inner);
             }
-            if p.frames.is_empty() {
-                return; // stopping, fully drained
-            }
-            std::mem::take(&mut p.frames)
+            p.stopping
         };
+        if last_batch_len >= 2 && !stopping {
+            // Busy: commits are arriving faster than fsyncs complete.
+            // Linger briefly so stragglers board this batch.
+            std::thread::sleep(GROUP_WINDOW);
+            let mut p = lock(&shared.pending);
+            reorder.extend(p.frames.drain(..));
+        }
+        let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
+        while let Some(frame) = reorder.remove(&next_to_write) {
+            batch.push((next_to_write, frame));
+            next_to_write += 1;
+        }
+        last_batch_len = batch.len();
+        if batch.is_empty() {
+            if stopping {
+                // Drained (any residue after a gap belongs to a
+                // committer that died mid-append: never acknowledged).
+                return;
+            }
+            continue;
+        }
         let last_seq = batch.last().map(|(s, _)| *s).expect("non-empty batch");
         {
             let mut seg = lock(&shared.segment);
@@ -507,7 +572,7 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use esr_core::ids::SiteId;
 

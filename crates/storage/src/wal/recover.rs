@@ -53,14 +53,29 @@ pub struct Recovered {
 /// durable state this returns the catalog's pristine database, so a
 /// first boot and a restart share one code path.
 pub fn recover(dir: impl AsRef<Path>, catalog: &CatalogConfig) -> io::Result<Recovered> {
+    recover_observed(dir, catalog, |_| {})
+}
+
+/// [`recover`], invoking `on_replayed` with the running record count
+/// after each replayed redo record. Benchmarks use the hook to time
+/// replay in fixed-size chunks (the clock stays on the caller's side —
+/// this module never reads wall time).
+pub fn recover_observed(
+    dir: impl AsRef<Path>,
+    catalog: &CatalogConfig,
+    mut on_replayed: impl FnMut(u64),
+) -> io::Result<Recovered> {
     let dir = dir.as_ref();
     fs::create_dir_all(dir)?;
-    // Interrupted checkpoint writes leave `.tmp` files; they are dead.
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "tmp") {
-            let _ = fs::remove_file(path);
-        }
+    remove_tmp_files(dir)?;
+    if crate::pager::directory::any_snapshot(dir) {
+        // A pager-built directory checkpoints pages, not object
+        // snapshots; replaying its WAL tail over the catalog would
+        // silently lose everything the directory snapshot covers.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "data directory was built by the pager; recover with recover_paged",
+        ));
     }
 
     let ckpt = checkpoint::load_latest(dir)?;
@@ -77,45 +92,14 @@ pub fn recover(dir: impl AsRef<Path>, catalog: &CatalogConfig) -> io::Result<Rec
         None => (catalog.build_states(), 0, 1),
     };
 
-    let mut last_seq = base_seq;
-    let mut replayed = 0u64;
-    let mut torn_tail = false;
-    let mut max_record_ticks = 0u64;
-    for (path, _start) in list_segments(dir)? {
-        let bytes = fs::read(&path)?;
-        if !bytes.is_empty() {
-            had_state = true;
-        }
-        let (records, tail) = decode_segment(&bytes);
-        if let Tail::Torn { valid_bytes } = tail {
-            // Those bytes were never acknowledged: commit replies wait
-            // for the fsync watermark. Truncate so the file is clean if
-            // we crash again before writing anything new.
-            torn_tail = true;
-            let f = OpenOptions::new().write(true).open(&path)?;
-            f.set_len(valid_bytes)?;
-            f.sync_all()?;
-        }
-        for rec in records {
-            if rec.seq <= base_seq {
-                // A crash can land between checkpoint publication and
-                // old-segment pruning; the checkpoint already covers
-                // these records.
-                continue;
-            }
-            assert!(
-                rec.seq > last_seq,
-                "wal sequence regressed: {} after {}",
-                rec.seq,
-                last_seq
-            );
-            last_seq = rec.seq;
-            max_record_ticks = max_record_ticks.max(rec.ts.ticks);
-            next_txn = next_txn.max(rec.txn.0 + 1);
-            replay_record(&mut states, &rec);
-            replayed += 1;
-        }
-    }
+    let mut seen = 0u64;
+    let scan = replay_segments(dir, base_seq, |rec| {
+        replay_record(&mut states, rec);
+        seen += 1;
+        on_replayed(seen);
+    })?;
+    had_state = had_state || scan.saw_bytes;
+    next_txn = next_txn.max(scan.max_txn_plus_one);
 
     let max_state_ticks = states
         .iter()
@@ -132,12 +116,90 @@ pub fn recover(dir: impl AsRef<Path>, catalog: &CatalogConfig) -> io::Result<Rec
     Ok(Recovered {
         states,
         next_txn,
-        next_seq: last_seq + 1,
-        max_ts_ticks: max_state_ticks.max(max_record_ticks),
-        replayed,
-        torn_tail,
+        next_seq: scan.last_seq + 1,
+        max_ts_ticks: max_state_ticks.max(scan.max_record_ticks),
+        replayed: scan.replayed,
+        torn_tail: scan.torn_tail,
         had_state,
     })
+}
+
+/// Delete the debris of interrupted atomic writes (`.tmp` files).
+pub(crate) fn remove_tmp_files(dir: &Path) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// What one pass over the log segments found.
+#[derive(Debug, Default)]
+pub(crate) struct SegmentScan {
+    /// Highest replayed sequence (== `base_seq` if nothing replayed).
+    pub(crate) last_seq: u64,
+    /// Records handed to `apply`.
+    pub(crate) replayed: u64,
+    /// A torn or corrupt tail was found (and truncated away).
+    pub(crate) torn_tail: bool,
+    /// Any segment held bytes at all.
+    pub(crate) saw_bytes: bool,
+    /// Largest timestamp tick among replayed records.
+    pub(crate) max_record_ticks: u64,
+    /// One past the largest replayed transaction id.
+    pub(crate) max_txn_plus_one: u64,
+}
+
+/// Scan every segment in order, truncate torn tails, and hand each
+/// record with `seq > base_seq` to `apply`. Shared by the resident and
+/// the paged recovery paths.
+pub(crate) fn replay_segments(
+    dir: &Path,
+    base_seq: u64,
+    mut apply: impl FnMut(&WalRecord),
+) -> io::Result<SegmentScan> {
+    let mut scan = SegmentScan {
+        last_seq: base_seq,
+        ..SegmentScan::default()
+    };
+    for (path, _start) in list_segments(dir)? {
+        let bytes = fs::read(&path)?;
+        if !bytes.is_empty() {
+            scan.saw_bytes = true;
+        }
+        let (records, tail) = decode_segment(&bytes);
+        if let Tail::Torn { valid_bytes } = tail {
+            // Those bytes were never acknowledged: commit replies wait
+            // for the fsync watermark. Truncate so the file is clean if
+            // we crash again before writing anything new.
+            scan.torn_tail = true;
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_bytes)?;
+            f.sync_all()?;
+        }
+        for rec in records {
+            if rec.seq <= base_seq {
+                // A crash can land between checkpoint publication and
+                // old-segment pruning; the checkpoint already covers
+                // these records.
+                continue;
+            }
+            assert!(
+                rec.seq > scan.last_seq,
+                "wal sequence regressed: {} after {}",
+                rec.seq,
+                scan.last_seq
+            );
+            scan.last_seq = rec.seq;
+            scan.max_record_ticks = scan.max_record_ticks.max(rec.ts.ticks);
+            scan.max_txn_plus_one = scan.max_txn_plus_one.max(rec.txn.0 + 1);
+            apply(&rec);
+            scan.replayed += 1;
+        }
+    }
+    Ok(scan)
 }
 
 /// Apply one redo record through the live write machinery.

@@ -93,16 +93,30 @@ impl Durability {
 
     /// Quiesce commits and write a checkpoint covering everything
     /// appended so far. Returns the covered sequence number.
+    ///
+    /// A resident table snapshots every object into a checkpoint file.
+    /// A paged table checkpoints *incrementally*: flush the dirty
+    /// pages, persist the small directory snapshot, and prune the log
+    /// segments the snapshot covers — work proportional to what changed
+    /// since the last checkpoint, not to the database size.
     pub fn checkpoint(&self, table: &ObjectTable, next_txn: u64) -> io::Result<u64> {
         let _gate = self.gate.write().unwrap_or_else(PoisonError::into_inner);
         let seq = self.sink.appended_seq();
         self.sink.sync_to(seq);
-        let ckpt = Checkpoint {
-            seq,
-            next_txn,
-            objects: snapshot_table(table),
-        };
-        self.sink.write_checkpoint(&ckpt)?;
+        match table.pager() {
+            Some(heap) => {
+                heap.checkpoint(seq, next_txn)?;
+                self.sink.prune_segments(seq)?;
+            }
+            None => {
+                let ckpt = Checkpoint {
+                    seq,
+                    next_txn,
+                    objects: snapshot_table(table),
+                };
+                self.sink.write_checkpoint(&ckpt)?;
+            }
+        }
         Ok(seq)
     }
 }

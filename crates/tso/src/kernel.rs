@@ -302,6 +302,11 @@ impl Kernel {
         &self,
         sink: Arc<dyn esr_storage::wal::DurabilitySink>,
     ) -> Arc<crate::durability::Durability> {
+        if let Some(heap) = self.table.pager() {
+            // The pool must be able to wait on the log before writing
+            // back a dirty page (WAL-before-page).
+            heap.attach_wal(Arc::clone(&sink));
+        }
         Arc::clone(
             self.durability
                 .get_or_init(|| Arc::new(crate::durability::Durability::new(sink))),

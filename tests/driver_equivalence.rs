@@ -109,6 +109,70 @@ fn scripted_and_programmatic_execution_agree() {
     assert_eq!(image_a, kernel.table().values());
 }
 
+/// Outcome neutrality of the buffer pool: the same serial stream
+/// through a kernel whose table is backed by the paged heap — with a
+/// cache far smaller than the database, so every transaction churns
+/// through misses and evictions — must equal the fully resident run
+/// bit for bit. Paging moves bytes; it must never move semantics.
+#[test]
+fn paged_table_matches_resident_table() {
+    let (bank, batch) = transfer_batch(60);
+    let catalog = CatalogConfig::default();
+
+    // Driver A: every object resident.
+    let table = catalog.build_with_values(&bank.initial_values());
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let mut direct = KernelSession::new(
+        Arc::clone(&kernel),
+        Arc::new(TimestampGenerator::new(
+            SiteId(0),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        )),
+    );
+    let reads_a = drive(&mut direct, &batch);
+    let image_a = kernel.table().values();
+
+    // Driver B: the same states behind the pager, under heavy eviction
+    // pressure (tiny pages, a handful of frames).
+    let dir = std::env::temp_dir().join(format!("esr-eq-paged-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let heap = esr::storage::PagedHeap::create(
+        &dir,
+        catalog.build_states_with_values(&bank.initial_values()),
+        0,
+        1,
+        &esr::storage::PagerConfig {
+            page_size: 512,
+            cache_pages: 4,
+            ..esr::storage::PagerConfig::default()
+        },
+    )
+    .expect("create paged heap");
+    let table = ObjectTable::paged(Arc::new(heap));
+    let kernel = Arc::new(Kernel::with_defaults(table));
+    let mut paged = KernelSession::new(
+        Arc::clone(&kernel),
+        Arc::new(TimestampGenerator::new(
+            SiteId(0),
+            Arc::new(ManualTimeSource::starting_at(1)),
+        )),
+    );
+    let reads_b = drive(&mut paged, &batch);
+    let image_b = kernel.table().values();
+
+    assert_eq!(reads_a, reads_b, "read results diverged under paging");
+    assert_eq!(image_a, image_b, "final database images diverged");
+    let stats = kernel
+        .table()
+        .page_cache_stats()
+        .expect("paged backing reports cache stats");
+    assert!(
+        stats.evictions > 0,
+        "the equivalence run must actually exercise eviction: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn replicated_primary_matches_standalone_kernel() {
     let (bank, batch) = transfer_batch(40);

@@ -8,6 +8,7 @@
 //! codebase, which never relies on poison propagation.
 
 pub use std::sync::MutexGuard;
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive with parking_lot's panic-free `lock()`.
 #[derive(Debug, Default)]
@@ -60,6 +61,72 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
+/// A reader-writer lock with parking_lot's panic-free `read()`/`write()`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +166,23 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(7u32);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!((*r1, *r2), (7, 7));
+            assert!(l.try_write().is_none(), "readers block the writer");
+        }
+        *l.write() = 8;
+        {
+            let w = l.write();
+            assert!(l.try_read().is_none(), "writer blocks readers");
+            assert_eq!(*w, 8);
+        }
+        assert_eq!(l.into_inner(), 8);
     }
 }

@@ -48,6 +48,21 @@
 //! frames by the worker count. Miss-path I/O happens under the shard
 //! lock — a deliberate simplicity trade: misses on *other* shards
 //! proceed unhindered.
+//!
+//! One more gate ties write-backs to checkpoints: the *query* read
+//! path mutates objects (reader lists) without the kernel's commit
+//! gate, so a query-driven eviction can run [`write_back`] while a
+//! checkpoint is gathering its snapshot. The `flush_gate` RwLock makes
+//! write-back's allocate→write→swap→retire sequence atomic with
+//! respect to the checkpoint's allocator-copy + page-map gather:
+//! without it, a write-back landing between the two copies would
+//! produce a snapshot that both references a fresh extent and lists it
+//! as free, and recovery would hand that extent to the first dirty
+//! flush and overwrite the only copy of a live page. Write-backs share
+//! the read side (they already serialize per-page via the shard lock);
+//! only the checkpoint gather takes the exclusive side, briefly.
+//!
+//! [`write_back`]: PagedHeap::write_back
 
 pub(crate) mod directory;
 pub(crate) mod file;
@@ -64,7 +79,7 @@ use crate::wal::DurabilitySink;
 use directory::{Allocator, Directory, DirectorySnapshot, Extent, PageMap};
 use esr_core::ids::ObjectId;
 use file::HeapFile;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use pool::{Frame, PoolStats, Shard};
 use std::io;
 use std::path::PathBuf;
@@ -110,6 +125,9 @@ pub struct PagedHeap {
     directory: Directory,
     page_map: PageMap,
     alloc: Mutex<Allocator>,
+    /// Serializes write-back's allocate→write→swap→retire against the
+    /// checkpoint's snapshot gather (see the module Locking docs).
+    flush_gate: RwLock<()>,
     shards: Vec<Shard>,
     shard_capacity: usize,
     cache_pages: usize,
@@ -127,6 +145,11 @@ pub struct PagedHeap {
     base_seq: u64,
     /// `next_txn` recorded by that snapshot.
     boot_next_txn: u64,
+    /// Test-only: widen the checkpoint gather window (between the
+    /// allocator-state copy and the page-map copy) so the regression
+    /// test can observe whether the flush gate excludes write-backs.
+    #[cfg(test)]
+    gather_pause_ms: AtomicU64,
 }
 
 impl std::fmt::Debug for PagedHeap {
@@ -277,6 +300,7 @@ impl PagedHeap {
             directory,
             page_map,
             alloc: Mutex::new(alloc),
+            flush_gate: RwLock::new(()),
             shards: (0..shards).map(|_| Shard::default()).collect(),
             shard_capacity,
             cache_pages: cfg.cache_pages,
@@ -289,6 +313,8 @@ impl PagedHeap {
             torn_page_after: cfg.torn_page_after,
             base_seq,
             boot_next_txn,
+            #[cfg(test)]
+            gather_pause_ms: AtomicU64::new(0),
         }
     }
 
@@ -469,6 +495,11 @@ impl PagedHeap {
         self.max_ts_ticks.fetch_max(max_ticks, Ordering::AcqRel);
         let image = page::encode_page(self.epoch, &states);
         let pages = file::extent_pages(image.len(), self.file.page_size()) as u16;
+        // A checkpoint gather that runs between our allocate and our
+        // page-map swap would persist a snapshot that lists the fresh
+        // extent as free while (after the swap) the live map references
+        // it; the gate makes the whole sequence atomic vs the gather.
+        let _gate = self.flush_gate.read();
         let fresh = self.alloc.lock().allocate(pages);
         let flush_no = self.flushes.fetch_add(1, Ordering::AcqRel) + 1;
         if self.torn_page_after == Some(flush_no) {
@@ -543,16 +574,30 @@ impl PagedHeap {
         // before this point, so the sync below makes them durable.
         // Limbo taken here is exactly what the new snapshot no longer
         // references; it recycles only once the snapshot is durable.
-        let (snap_free, taken_limbo, next_page) = {
+        // The exclusive flush_gate keeps any concurrent write-back
+        // (query-driven evictions run outside the commit gate) entirely
+        // before or entirely after *both* copies: allocator state and
+        // page map are a consistent pair, so the snapshot can never
+        // list a referenced extent as free or understate next_page.
+        let (snap_free, taken_limbo, next_page, page_map) = {
+            let _gate = self.flush_gate.write();
             let mut a = self.alloc.lock();
             let taken = a.take_limbo();
             let mut free = a.snapshot_free();
             for e in &taken {
                 free.extend(e.phys..e.phys + u64::from(e.pages));
             }
-            (free, taken, a.next_page())
+            let next_page = a.next_page();
+            drop(a);
+            #[cfg(test)]
+            {
+                let ms = self.gather_pause_ms.load(Ordering::Relaxed);
+                if ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
+            (free, taken, next_page, self.page_map.packed())
         };
-        let page_map = self.page_map.packed();
         self.file.sync()?;
         let snap = DirectorySnapshot {
             seq,
@@ -840,6 +885,75 @@ mod tests {
         assert!(g0.commit_write(TxnId(9)));
         drop(g0);
         assert_eq!(heap.pin_object(ObjectId(0)).value, 123_456);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a query-driven eviction (no commit gate held) racing
+    /// the checkpoint gather must never produce a snapshot that lists a
+    /// referenced extent as free, or one whose map points past
+    /// `next_page` — recovery would re-hand such an extent to the first
+    /// dirty write-back and overwrite the only copy of a live page.
+    #[test]
+    fn checkpoint_snapshots_stay_consistent_under_concurrent_evictions() {
+        use std::sync::atomic::AtomicBool;
+        let dir = tempdir("pager-ckpt-race");
+        let heap = Arc::new(PagedHeap::create(&dir, states(64), 0, 1, &small_cfg()).unwrap());
+        // Widen the gather window so an unexcluded write-back would
+        // reliably land inside it (with the gate held this pause is
+        // dead time: write-backs are blocked for its duration).
+        heap.gather_pause_ms.store(5, Ordering::Relaxed);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let heap = Arc::clone(&heap);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    round += 1;
+                    // Mutate through the pool the way the query read
+                    // path does — dirtying frames and forcing the
+                    // 4-frame cache to evict and write back constantly.
+                    let id = ObjectId(((t * 16 + round) % 64) as u32);
+                    let mut g = heap.pin_object(id);
+                    let present = g.value;
+                    g.note_query_read(TxnId(t * 1_000_000 + round), ts(round), present);
+                }
+            }));
+        }
+        for seq in 1..=25u64 {
+            heap.checkpoint(seq, 2).unwrap();
+            let snap = directory::load_latest(&dir)
+                .unwrap()
+                .expect("snapshot present");
+            let mut referenced = std::collections::HashSet::new();
+            let mut max_end = 0u64;
+            for &packed in &snap.page_map {
+                let e = {
+                    // Unpack via PageMap to avoid duplicating the layout.
+                    PageMap::from_packed(vec![packed]).get(0)
+                };
+                for p in e.phys..e.phys + u64::from(e.pages) {
+                    referenced.insert(p);
+                }
+                max_end = max_end.max(e.phys + u64::from(e.pages));
+            }
+            assert!(
+                max_end <= snap.next_page,
+                "snapshot {seq}: map references page past next_page ({max_end} > {})",
+                snap.next_page
+            );
+            for p in &snap.free {
+                assert!(
+                    !referenced.contains(p),
+                    "snapshot {seq}: extent page {p} is both referenced and free"
+                );
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            h.join().unwrap();
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -227,7 +227,11 @@ fn take_state(c: &mut Cursor<'_>) -> Option<ObjectState> {
     if cap < 1 || hist_len > cap || !c.claim(hist_len, TS_SIZE + 8) {
         return None;
     }
-    let mut buf = VecDeque::with_capacity(cap);
+    // Reserve only what the payload actually holds (`hist_len` is
+    // claim()-checked against the remaining bytes); `cap` is a bare
+    // claim a crafted page could set to u32::MAX, so the ring grows
+    // toward it lazily instead of pre-reserving it here.
+    let mut buf = VecDeque::with_capacity(hist_len);
     for _ in 0..hist_len {
         buf.push_back(CommittedWrite {
             ts: c.ts()?,
@@ -484,6 +488,48 @@ mod tests {
         bytes.extend_from_slice(&7u32.to_le_bytes());
         bytes.extend_from_slice(&payload);
         assert!(decode_page(&bytes).is_none());
+    }
+
+    /// Regression: a CRC-valid page claiming an absurd history
+    /// *capacity* (distinct from the length, which is claim()-checked
+    /// against the payload) must not pre-reserve that capacity — a
+    /// crafted cap of u32::MAX would otherwise force a ~100 GB
+    /// reservation before a single element is read.
+    #[test]
+    fn absurd_history_capacity_claim_does_not_over_reserve() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1); // one state
+        put_u32(&mut payload, 7); // id
+        put_i64(&mut payload, 42); // value
+        let t = Timestamp::new(5, SiteId(1));
+        put_ts(&mut payload, t); // committed_wts
+        put_ts(&mut payload, t); // max_query_rts
+        put_ts(&mut payload, t); // max_update_rts
+        payload.push(1); // history intact
+        put_u32(&mut payload, u32::MAX); // hostile capacity claim
+        put_i64(&mut payload, 0); // initial
+        put_u32(&mut payload, 1); // hist_len: one real entry
+        put_ts(&mut payload, t);
+        put_i64(&mut payload, 42);
+        payload.push(0); // no uncommitted write
+        put_u32(&mut payload, 0); // no readers
+        payload.push(0); // oil unlimited
+        payload.push(0); // oel unlimited
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // epoch
+        bytes.extend_from_slice(&payload);
+
+        // Must decode promptly with a lazily-growing ring, not abort on
+        // a u32::MAX-element reservation.
+        let (epoch, states) = decode_page(&bytes).expect("structurally valid page");
+        assert_eq!(epoch, 3);
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].id, ObjectId(7));
+        assert_eq!(states[0].history.capacity(), u32::MAX as usize);
+        assert_eq!(states[0].history.len(), 1);
     }
 
     #[test]

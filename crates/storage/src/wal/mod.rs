@@ -280,7 +280,50 @@ impl DurabilitySink for Wal {
         // Reserve the sequence number lock-free, then encode outside
         // the pending lock: concurrent committers serialize only on the
         // final vector push, not on serialization work.
+        //
+        // A reserved seq MUST reach the pending buffer: the flusher
+        // writes records in dense seq order, so a permanent gap (a
+        // committer panicking mid-encode) would park the reorder map
+        // forever and wedge every later commit and checkpoint. The
+        // guard plugs the hole on unwind with an empty tombstone
+        // record — a no-op for recovery (no writes to replay), but it
+        // keeps the on-disk sequence dense and the flusher moving.
+        struct Reservation<'a> {
+            shared: &'a Shared,
+            seq: u64,
+            txn: TxnId,
+            ts: Timestamp,
+            armed: bool,
+        }
+        impl Drop for Reservation<'_> {
+            fn drop(&mut self) {
+                if !self.armed {
+                    return;
+                }
+                let frame = encode_record(&WalRecord {
+                    seq: self.seq,
+                    txn: self.txn,
+                    ts: self.ts,
+                    exported: 0,
+                    writes: Vec::new(),
+                });
+                self.shared
+                    .bytes
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                let mut p = lock(&self.shared.pending);
+                p.frames.push((self.seq, frame));
+                drop(p);
+                self.shared.work.notify_all();
+            }
+        }
         let seq = self.shared.appended.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut guard = Reservation {
+            shared: &self.shared,
+            seq,
+            txn,
+            ts,
+            armed: true,
+        };
         let frame = encode_record(&WalRecord {
             seq,
             txn,
@@ -288,6 +331,7 @@ impl DurabilitySink for Wal {
             exported,
             writes: writes.to_vec(),
         });
+        guard.armed = false;
         self.shared
             .bytes
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
@@ -375,7 +419,9 @@ const GROUP_WINDOW: std::time::Duration = std::time::Duration::from_micros(150);
 /// the durable watermark (and recovery's strictly-increasing scan)
 /// requires on-disk order to be seq order. A gap parks its successors
 /// in the map; the missing frame's committer is mid-`append_commit` and
-/// delivers it promptly.
+/// delivers it promptly — or, if it panics mid-encode, its unwind guard
+/// delivers an empty tombstone record for the reserved seq, so a gap is
+/// always transient.
 fn flusher_loop(shared: &Shared) {
     let mut next_to_write = *lock(&shared.flushed) + 1;
     let mut reorder: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
@@ -685,6 +731,40 @@ pub(crate) mod tests {
         let segs = list_segments(&dir).unwrap();
         let (records, _) = decode_segment(&fs::read(&segs[0].0).unwrap());
         assert_eq!(records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a committer panicking between its seq reservation
+    /// and the pending-buffer push (here: the MAX_RECORD assert inside
+    /// encode_record) must not leave a permanent gap that parks the
+    /// flusher's reorder map and wedges every later commit.
+    #[test]
+    fn panicking_append_does_not_wedge_later_commits() {
+        let dir = tempdir("wal-panic-gap");
+        let wal = Arc::new(Wal::open(&dir, 1, WalOptions::default()).unwrap());
+        // Well over MAX_RECORD once encoded: encode_record panics after
+        // seq 1 was already reserved.
+        let huge: Vec<(ObjectId, i64)> = (0..200_000u32).map(|i| (ObjectId(i), 1)).collect();
+        {
+            let wal = Arc::clone(&wal);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                wal.append_commit(TxnId(1), ts(1), 0, &huge);
+            }));
+            assert!(r.is_err(), "oversized record must panic");
+        }
+        // Seq 1 is plugged by the tombstone, so seq 2 becomes durable.
+        let seq = wal.append_commit(TxnId(2), ts(2), 0, &[(ObjectId(0), 5)]);
+        assert_eq!(seq, 2);
+        wal.sync_to(seq);
+        wal.shutdown();
+        let segs = list_segments(&dir).unwrap();
+        let (records, tail) = decode_segment(&fs::read(&segs[0].0).unwrap());
+        assert_eq!(tail, Tail::Clean);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 1);
+        assert!(records[0].writes.is_empty(), "gap filled by a tombstone");
+        assert_eq!(records[1].seq, 2);
+        assert_eq!(records[1].writes, vec![(ObjectId(0), 5)]);
         let _ = fs::remove_dir_all(&dir);
     }
 

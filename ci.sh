@@ -142,6 +142,26 @@ if [[ "${1:-}" != "quick" ]]; then
         timeout 900 cargo test -p esr-net --release --test pager_stress -q
 fi
 
+# Replication: the wire log-shipping suite (real durable primary +
+# ReplicaNode over sockets: convergence, SR degeneration, GIL charges,
+# live gauges, model equivalence, checker replay), the twin tests on the
+# in-process model, and the replication chaos suite — the shipping link
+# through the seeded fault proxy, snapshot catch-up past a pruned log,
+# and real-process SIGKILL failover with epoch fencing. Then the PR 10
+# perf artifact smoke: replica-read throughput scaling, p95 staleness,
+# and p95 failover-to-first-served-read, floors enforced by the binary
+# itself. The timeouts are hang guards; all seeds are fixed in-test.
+echo "==> replication: wire log-shipping suite"
+timeout 600 cargo test -p esr-net --test replication -q
+echo "==> replication: in-process twin tests"
+timeout 300 cargo test -p esr-sim --test replication_twin -q
+echo "==> chaos: replication under link faults, prune, SIGKILL failover"
+timeout 600 cargo test -p esr-net --test replication_chaos -q
+if [[ "${1:-}" != "quick" ]]; then
+    echo "==> bench-pr10 --smoke"
+    cargo run --release -q -p esr-bench --bin bench-pr10 -- --smoke
+fi
+
 # Race models: the three riskiest kernel/server interleavings under the
 # loom harness (in-tree shim: bounded randomized-schedule stress; the
 # real loom crate is API-compatible and can be swapped in when registry

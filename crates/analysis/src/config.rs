@@ -55,6 +55,11 @@ pub const WIRE_PAIRS: &[WirePair] = &[
         dispatch: "crates/net/src/server.rs",
     },
     WirePair {
+        enum_name: "RequestBody",
+        def: "crates/net/src/msg.rs",
+        dispatch: "crates/net/src/repl/serve.rs",
+    },
+    WirePair {
         enum_name: "Request",
         def: "crates/server/src/proto.rs",
         dispatch: "crates/server/src/server.rs",

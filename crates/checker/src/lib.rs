@@ -79,6 +79,96 @@ pub fn check_history(history: &History) -> CheckReport {
     CheckReport { diagnostics }
 }
 
+/// A cross-site capture: the primary's full history plus the history
+/// each replica recorded locally while serving epsilon-bounded reads.
+///
+/// The replica histories contain `Begin` / `ReplicaRead` / `Commit` /
+/// `Abort` events for the read-only transactions the replica served;
+/// every `ReplicaRead` carries both the local value returned and the
+/// primary shadow the divergence charge was measured against.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ReplicatedCapture {
+    /// The primary site's history (updates and any primary-side queries).
+    pub primary: History,
+    /// One history per replica, in site order.
+    pub replicas: Vec<History>,
+    /// The initial value of every object, shared by all sites.
+    pub initial: Vec<i64>,
+}
+
+/// Validate a cross-site capture: the paper's headline guarantee,
+/// enforced end-to-end across sites.
+///
+/// Three obligations, three checks:
+///
+/// 1. The primary history passes [`check_history`] on its own —
+///    serializable updates, exact charges, bounds respected.
+/// 2. Each replica history replays clean: every `ReplicaRead` was
+///    charged exactly `distance(local, shadow)` and no served
+///    transaction exceeded its declared hierarchical bounds.
+/// 3. The shadows are *honest*: every shadow a replica charged against
+///    is a value the primary actually committed to that object (or the
+///    object's initial value). Without this, a replica could fabricate
+///    a nearby shadow and launder unbounded staleness through a tiny
+///    recorded charge — [`Diagnostic::ForeignShadow`] catches it.
+pub fn check_replicated(capture: &ReplicatedCapture) -> CheckReport {
+    use esr_core::ids::ObjectId;
+    use std::collections::{HashMap, HashSet};
+
+    let mut report = check_history(&capture.primary);
+
+    // The honest-shadow baseline: per object, the initial value plus
+    // every value a *committed* primary update installed there.
+    let committed: HashSet<_> = capture
+        .primary
+        .events
+        .iter()
+        .filter_map(|ev| match &ev.kind {
+            Ek::Commit { txn, .. } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let mut legitimate: HashMap<ObjectId, HashSet<i64>> = HashMap::new();
+    for (i, &v) in capture.initial.iter().enumerate() {
+        legitimate.entry(ObjectId(i as u32)).or_default().insert(v);
+    }
+    for ev in &capture.primary.events {
+        if let Ek::Write {
+            txn, obj, value, ..
+        } = &ev.kind
+        {
+            if committed.contains(txn) {
+                legitimate.entry(*obj).or_default().insert(*value);
+            }
+        }
+    }
+
+    for replica in &capture.replicas {
+        let site = check_history(replica);
+        report.diagnostics.extend(site.diagnostics);
+        for ev in &replica.events {
+            if let Ek::ReplicaRead {
+                txn, obj, shadow, ..
+            } = &ev.kind
+            {
+                let known = legitimate
+                    .get(obj)
+                    .is_some_and(|vals| vals.contains(shadow));
+                if !known {
+                    report.diagnostics.push(Diagnostic::ForeignShadow {
+                        txn: *txn,
+                        obj: *obj,
+                        seq: ev.seq,
+                        shadow: *shadow,
+                    });
+                }
+            }
+        }
+    }
+
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +272,225 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("schema specification"), "{text}");
         assert!(!text.contains("txn#0"), "{text}");
+    }
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event { seq, kind }
+    }
+
+    fn commit_info(inconsistency: u64, ops: u64, written: Vec<(ObjectId, i64)>) -> CommitInfo {
+        CommitInfo {
+            inconsistency,
+            inconsistent_ops: ops,
+            reads: 0,
+            writes: written.len() as u64,
+            written,
+        }
+    }
+
+    /// A primary that commits 1020 then 1040 to object 0, and a replica
+    /// that served one read of the stale 1020 copy while the shadow had
+    /// already advanced to 1040 (divergence 20, charged exactly).
+    fn replicated_fixture() -> ReplicatedCapture {
+        let primary = History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: vec![
+                ev(
+                    0,
+                    EventKind::Begin {
+                        txn: TxnId(1),
+                        kind: TxnKind::Update,
+                        ts: Timestamp::ZERO,
+                        bounds: TxnBounds::export(Limit::Unlimited),
+                    },
+                ),
+                ev(
+                    1,
+                    EventKind::Write {
+                        txn: TxnId(1),
+                        obj: ObjectId(0),
+                        value: 1020,
+                        d: 0,
+                        case3: false,
+                        readers: Vec::new(),
+                        oel: Limit::Unlimited,
+                    },
+                ),
+                ev(
+                    2,
+                    EventKind::Commit {
+                        txn: TxnId(1),
+                        info: commit_info(0, 0, vec![(ObjectId(0), 1020)]),
+                    },
+                ),
+                ev(
+                    3,
+                    EventKind::Begin {
+                        txn: TxnId(2),
+                        kind: TxnKind::Update,
+                        ts: Timestamp::ZERO,
+                        bounds: TxnBounds::export(Limit::Unlimited),
+                    },
+                ),
+                ev(
+                    4,
+                    EventKind::Write {
+                        txn: TxnId(2),
+                        obj: ObjectId(0),
+                        value: 1040,
+                        d: 0,
+                        case3: false,
+                        readers: Vec::new(),
+                        oel: Limit::Unlimited,
+                    },
+                ),
+                ev(
+                    5,
+                    EventKind::Commit {
+                        txn: TxnId(2),
+                        info: commit_info(0, 0, vec![(ObjectId(0), 1040)]),
+                    },
+                ),
+            ],
+        };
+        let replica = History {
+            schema: HierarchySchema::two_level(),
+            config: KernelConfig::default(),
+            events: vec![
+                ev(
+                    0,
+                    EventKind::Begin {
+                        txn: TxnId(100),
+                        kind: TxnKind::Query,
+                        ts: Timestamp::ZERO,
+                        bounds: TxnBounds::import(Limit::at_most(50)),
+                    },
+                ),
+                ev(
+                    1,
+                    EventKind::ReplicaRead {
+                        txn: TxnId(100),
+                        obj: ObjectId(0),
+                        local: 1020,
+                        shadow: 1040,
+                        d: 20,
+                        lag: 1,
+                        oil: Limit::Unlimited,
+                    },
+                ),
+                ev(
+                    2,
+                    EventKind::Commit {
+                        txn: TxnId(100),
+                        info: commit_info(20, 1, Vec::new()),
+                    },
+                ),
+            ],
+        };
+        ReplicatedCapture {
+            primary,
+            replicas: vec![replica],
+            initial: vec![1000, 1000],
+        }
+    }
+
+    #[test]
+    fn honest_cross_site_capture_is_clean() {
+        let cap = replicated_fixture();
+        let report = check_replicated(&cap);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.diagnostics.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn undercharged_replica_read_is_flagged() {
+        // Tamper: the replica claims it only imported 5 although its own
+        // event says the copy was 20 away from the shadow.
+        let mut cap = replicated_fixture();
+        let events = &mut cap.replicas[0].events;
+        if let EventKind::ReplicaRead { d, .. } = &mut events[1].kind {
+            *d = 5;
+        }
+        if let EventKind::Commit { info, .. } = &mut events[2].kind {
+            info.inconsistency = 5;
+        }
+        let report = check_replicated(&cap);
+        assert!(
+            report.diagnostics.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::UnchargedRelaxation {
+                    txn: TxnId(100),
+                    recorded: 5,
+                    recomputed: 20,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn replica_read_over_budget_is_flagged() {
+        let mut cap = replicated_fixture();
+        if let EventKind::Begin { bounds, .. } = &mut cap.replicas[0].events[0].kind {
+            *bounds = TxnBounds::import(Limit::at_most(10));
+        }
+        let report = check_replicated(&cap);
+        assert!(
+            report.diagnostics.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::BoundExceeded {
+                    txn: TxnId(100),
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn fabricated_shadow_is_flagged() {
+        // Tamper: the replica measured divergence against 1021, a value
+        // the primary never committed — the tiny charge is a lie.
+        let mut cap = replicated_fixture();
+        let events = &mut cap.replicas[0].events;
+        if let EventKind::ReplicaRead { shadow, d, .. } = &mut events[1].kind {
+            *shadow = 1021;
+            *d = 1;
+        }
+        if let EventKind::Commit { info, .. } = &mut events[2].kind {
+            info.inconsistency = 1;
+        }
+        let report = check_replicated(&cap);
+        assert!(
+            report.diagnostics.iter().any(|dg| matches!(
+                dg,
+                Diagnostic::ForeignShadow {
+                    txn: TxnId(100),
+                    obj: ObjectId(0),
+                    shadow: 1021,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+        // The initial value is always a legitimate shadow.
+        let mut cap = replicated_fixture();
+        let events = &mut cap.replicas[0].events;
+        if let EventKind::ReplicaRead {
+            shadow, d, local, ..
+        } = &mut events[1].kind
+        {
+            *shadow = 1000;
+            *local = 1000;
+            *d = 0;
+        }
+        if let EventKind::Commit { info, .. } = &mut events[2].kind {
+            info.inconsistency = 0;
+            info.inconsistent_ops = 0;
+        }
+        assert!(check_replicated(&cap).is_clean());
     }
 
     #[test]

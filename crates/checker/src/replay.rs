@@ -143,6 +143,43 @@ impl ReplayEngine {
                     });
                 }
             }
+            EventKind::ReplicaRead {
+                txn,
+                obj,
+                local,
+                shadow,
+                d,
+                oil,
+                ..
+            } => {
+                let Some(state) = self.live_state(*txn, seq) else {
+                    return;
+                };
+                if state.kind != TxnKind::Query {
+                    let kind = state.kind;
+                    self.out.push(Diagnostic::KindMismatch {
+                        txn: *txn,
+                        seq,
+                        kind,
+                    });
+                    return;
+                }
+                // A replica read imports exactly the divergence between
+                // the copy it served and the primary's committed value;
+                // no import padding and no §4 cases apply off-primary.
+                let recomputed = distance(*local, *shadow);
+                let charge = state.ledger.try_charge(*obj, *d, *oil);
+                check_charge(&mut self.out, *txn, *obj, seq, "replica", *d, recomputed);
+                if let Err(violation) = charge {
+                    self.out.push(Diagnostic::BoundExceeded {
+                        txn: *txn,
+                        obj: *obj,
+                        seq,
+                        direction: Direction::Import,
+                        violation,
+                    });
+                }
+            }
             EventKind::UpdateRead { txn, .. } => {
                 let Some(state) = self.live_state(*txn, seq) else {
                     return;

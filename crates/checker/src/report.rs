@@ -4,7 +4,7 @@ use crate::lint::LintFinding;
 use esr_core::error::BoundViolation;
 use esr_core::ids::{ObjectId, TxnId, TxnKind};
 use esr_core::spec::Direction;
-use esr_core::value::Distance;
+use esr_core::value::{Distance, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -69,6 +69,18 @@ pub enum Diagnostic {
         replayed_total: Distance,
         recorded_ops: u64,
         replayed_ops: u64,
+    },
+    /// A replica read's recorded primary shadow names a value the
+    /// primary never committed to that object (and it is not the
+    /// object's initial value): the replica measured divergence against
+    /// a fabricated baseline, so its import accounting — however
+    /// internally consistent — bounds distance to a state that never
+    /// existed on the primary.
+    ForeignShadow {
+        txn: TxnId,
+        obj: ObjectId,
+        seq: u64,
+        shadow: Value,
     },
     /// A specification problem found by the linter. `txn` is the
     /// transaction whose `Begin` declared the offending bounds, or
@@ -177,6 +189,16 @@ impl fmt::Display for Diagnostic {
                 "event #{seq}: commit summary of {txn} disagrees with replay: \
                  total {recorded_total} vs {replayed_total}, \
                  inconsistent ops {recorded_ops} vs {replayed_ops}"
+            ),
+            Diagnostic::ForeignShadow {
+                txn,
+                obj,
+                seq,
+                shadow,
+            } => write!(
+                f,
+                "event #{seq}: replica read by {txn} on {obj} measured divergence \
+                 against shadow value {shadow}, which the primary never committed"
             ),
             Diagnostic::SpecLint {
                 txn: Some(txn),

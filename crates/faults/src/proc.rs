@@ -57,6 +57,19 @@ pub struct ServerProcOptions {
     /// Arm the monitor's planted-violation injector after this many
     /// observed events (`--monitor-plant-after`).
     pub monitor_plant_after: Option<u64>,
+    /// Serve WAL log shipping on an ephemeral port (`--repl-addr`)
+    /// and capture its address ([`ServerProc::repl_addr`]). Durable
+    /// only.
+    pub repl: bool,
+    /// Bump the stored replication epoch before serving
+    /// (`--promote`); requires `repl`.
+    pub promote: bool,
+    /// Run as a read-only replica of this primary shipping address
+    /// (`--replica-of`). Durable only; mutually exclusive with `repl`.
+    pub replica_of: Option<String>,
+    /// Slow the replica's apply thread by this many microseconds per
+    /// record (`--repl-apply-delay-micros`).
+    pub repl_apply_delay_micros: Option<u64>,
 }
 
 impl ServerProcOptions {
@@ -85,6 +98,10 @@ impl ServerProcOptions {
             monitor: false,
             monitor_capacity: None,
             monitor_plant_after: None,
+            repl: false,
+            promote: false,
+            replica_of: None,
+            repl_apply_delay_micros: None,
         }
     }
 }
@@ -95,6 +112,7 @@ pub struct ServerProc {
     child: Child,
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
+    repl_addr: Option<SocketAddr>,
 }
 
 impl ServerProc {
@@ -141,20 +159,34 @@ impl ServerProc {
         if let Some(n) = opts.monitor_plant_after {
             cmd.arg("--monitor-plant-after").arg(n.to_string());
         }
+        if opts.repl {
+            cmd.arg("--repl-addr").arg("127.0.0.1:0");
+        }
+        if opts.promote {
+            cmd.arg("--promote");
+        }
+        if let Some(primary) = &opts.replica_of {
+            cmd.arg("--replica-of").arg(primary);
+        }
+        if let Some(n) = opts.repl_apply_delay_micros {
+            cmd.arg("--repl-apply-delay-micros").arg(n.to_string());
+        }
         let mut child = cmd.spawn()?;
         let stdout = child.stdout.take().expect("stdout piped");
-        let (addr, metrics_addr) = match wait_for_listen_lines(stdout, &mut child, opts.metrics) {
-            Ok(pair) => pair,
-            Err(e) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(e);
-            }
-        };
+        let (addr, metrics_addr, repl_addr) =
+            match wait_for_listen_lines(stdout, &mut child, opts.metrics, opts.repl) {
+                Ok(triple) => triple,
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            };
         Ok(ServerProc {
             child,
             addr,
             metrics_addr,
+            repl_addr,
         })
     }
 
@@ -167,6 +199,12 @@ impl ServerProc {
     /// [`ServerProcOptions::metrics`].
     pub fn metrics_addr(&self) -> Option<SocketAddr> {
         self.metrics_addr
+    }
+
+    /// The replication (log-shipping) listener's bound address, when
+    /// spawned with [`ServerProcOptions::repl`].
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
     }
 
     /// SIGKILL the daemon — no shutdown hooks, no flushes — and reap
@@ -213,11 +251,13 @@ fn wait_for_listen_lines(
     stdout: std::process::ChildStdout,
     child: &mut Child,
     want_metrics: bool,
-) -> io::Result<(SocketAddr, Option<SocketAddr>)> {
+    want_repl: bool,
+) -> io::Result<(SocketAddr, Option<SocketAddr>, Option<SocketAddr>)> {
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
     let mut addr: Option<SocketAddr> = None;
     let mut metrics_addr: Option<SocketAddr> = None;
+    let mut repl_addr: Option<SocketAddr> = None;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -245,16 +285,24 @@ fn wait_for_listen_lines(
                     format!("cannot parse metrics address {addr_str:?}: {e}"),
                 )
             })?);
+        } else if let Some(rest) = line.trim().strip_prefix("esr-tcpd replication on ") {
+            let addr_str = rest.split_whitespace().next().unwrap_or(rest);
+            repl_addr = Some(addr_str.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cannot parse replication address {addr_str:?}: {e}"),
+                )
+            })?);
         }
         if let Some(addr) = addr {
-            if !want_metrics || metrics_addr.is_some() {
+            if (!want_metrics || metrics_addr.is_some()) && (!want_repl || repl_addr.is_some()) {
                 std::thread::spawn(move || {
                     let mut sink = String::new();
                     while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
                         sink.clear();
                     }
                 });
-                return Ok((addr, metrics_addr));
+                return Ok((addr, metrics_addr, repl_addr));
             }
         }
     }

@@ -55,6 +55,28 @@
 //! lags further than that loses — and counts — old events instead of
 //! stalling the kernel).
 //!
+//! ## Replication
+//!
+//! With `--repl-addr ADDR` (durable only) the daemon is a replication
+//! *primary*: a second listener streams every durable WAL record to
+//! subscribed replicas, heartbeats its durable watermark, and serves
+//! snapshot catch-up to replicas whose requested log position has been
+//! pruned. The line `esr-tcpd replication on ADDR` is printed when the
+//! shipping listener is up. `--promote` bumps the stored replication
+//! epoch before serving — run it when promoting a former replica's
+//! data directory so a resurrected old primary is fenced off instead
+//! of splitting the log.
+//!
+//! With `--replica-of ADDR` (durable only; mutually exclusive with
+//! `--repl-addr`) the daemon is a read-only *replica*: it subscribes to
+//! the primary's shipping listener at `ADDR`, applies the log through
+//! its own WAL + checkpoint path, and serves epsilon-bounded query
+//! transactions on the main address, charging each read the divergence
+//! between its local copy and the primary's shipped committed value.
+//! Update transactions are refused. The hidden
+//! `--repl-apply-delay-micros N` flag slows the apply thread by `N`
+//! microseconds per record so staleness tests are reproducible.
+//!
 //! The hidden `--wal-torn-after N` flag arms the WAL's torn-write
 //! injector: the process aborts midway through writing record `N`'s
 //! bytes, leaving a torn tail on disk. It exists solely for the
@@ -67,12 +89,14 @@
 //! exercised end to end; it exists solely for the soak harness.
 
 use esr_net::{
-    ConformanceMonitor, MetricsServer, MonitorConfig, NetServerConfig, StatsSource, TcpServer,
+    ConformanceMonitor, MetricsServer, MonitorConfig, NetServerConfig, ReplicaConfig, ReplicaNode,
+    ReplicaServer, ReplicationHub, StatsSource, TcpServer,
 };
-use esr_server::{build_server_stats, start_durable, Server, ServerConfig};
+use esr_server::{build_server_stats, start_durable_with, Server, ServerConfig, ServerStats};
 use esr_storage::catalog::CatalogConfig;
 use esr_storage::wal::WalOptions;
 use esr_tso::{Kernel, KernelConfig};
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -80,7 +104,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: esr-tcpd [ADDR] [--objects N] [--value V] [--workers W] [--metrics-addr ADDR] \
          [--lease-micros L] [--data-dir DIR] [--checkpoint-secs S] [--cache-pages N] \
-         [--monitor] [--monitor-capacity N]"
+         [--monitor] [--monitor-capacity N] [--repl-addr ADDR] [--promote] \
+         [--replica-of ADDR]"
     );
     std::process::exit(2);
 }
@@ -110,6 +135,10 @@ fn main() {
     let mut monitor = false;
     let mut monitor_capacity: usize = MonitorConfig::default().capacity;
     let mut monitor_plant_after: Option<u64> = None;
+    let mut repl_addr: Option<String> = None;
+    let mut replica_of: Option<String> = None;
+    let mut promote = false;
+    let mut repl_apply_delay_micros: u64 = 0;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -129,10 +158,49 @@ fn main() {
             "--monitor-plant-after" => {
                 monitor_plant_after = Some(parse(&mut args, "--monitor-plant-after"))
             }
+            "--repl-addr" => repl_addr = Some(parse(&mut args, "--repl-addr")),
+            "--replica-of" => replica_of = Some(parse(&mut args, "--replica-of")),
+            "--promote" => promote = true,
+            "--repl-apply-delay-micros" => {
+                repl_apply_delay_micros = parse(&mut args, "--repl-apply-delay-micros")
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => addr = other.to_owned(),
             _ => usage(),
         }
+    }
+
+    if replica_of.is_some() && repl_addr.is_some() {
+        eprintln!("esr-tcpd: --replica-of and --repl-addr are mutually exclusive");
+        usage();
+    }
+    if (replica_of.is_some() || repl_addr.is_some()) && data_dir.is_none() {
+        eprintln!("esr-tcpd: replication requires --data-dir");
+        usage();
+    }
+    if promote && repl_addr.is_none() {
+        eprintln!("esr-tcpd: --promote only makes sense with --repl-addr");
+        usage();
+    }
+
+    if let Some(primary) = replica_of {
+        run_replica(
+            &addr,
+            metrics_addr.as_deref(),
+            ReplicaConfig {
+                data_dir: data_dir.expect("checked above").into(),
+                primary,
+                catalog: CatalogConfig {
+                    n_objects: objects as u32,
+                    value_lo: value,
+                    value_hi: value,
+                    ..CatalogConfig::default()
+                },
+                schema: esr_core::hierarchy::HierarchySchema::two_level(),
+                checkpoint_every: 4096,
+                apply_delay_micros: repl_apply_delay_micros,
+            },
+        );
     }
 
     let kernel_config = KernelConfig {
@@ -143,6 +211,7 @@ fn main() {
         workers,
         ..ServerConfig::default()
     };
+    let mut hub: Option<Arc<ReplicationHub>> = None;
     let server = match &data_dir {
         Some(dir) => {
             // Durable boot: the catalog describes the *first* boot's
@@ -163,13 +232,29 @@ fn main() {
             let wal_opts = WalOptions {
                 torn_write_after: wal_torn_after,
             };
-            match start_durable(
+            // A replicating primary interposes its shipping sink
+            // between the kernel and the WAL; the hub must exist (and
+            // have settled its epoch) before durability comes up.
+            if repl_addr.is_some() {
+                match ReplicationHub::new(dir, promote) {
+                    Ok(h) => hub = Some(Arc::new(h)),
+                    Err(e) => {
+                        eprintln!("esr-tcpd: cannot initialise replication in {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            match start_durable_with(
                 dir,
                 &catalog,
                 esr_core::hierarchy::HierarchySchema::two_level(),
                 kernel_config,
                 config,
                 wal_opts,
+                |wal| match &hub {
+                    Some(h) => h.make_sink(wal),
+                    None => wal,
+                },
             ) {
                 Ok((server, summary)) => {
                     println!(
@@ -205,6 +290,27 @@ fn main() {
             Server::start(kernel, server_config)
         }
     };
+    // Bring the shipping listener up before the transaction listener:
+    // a replica pointed at this primary may connect the instant the
+    // address is printed.
+    if let Some(h) = &hub {
+        h.attach_kernel(Arc::clone(server.kernel()));
+        let raddr = repl_addr.as_deref().expect("hub implies --repl-addr");
+        let listener = match TcpListener::bind(raddr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("esr-tcpd: cannot bind replication address {raddr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match h.serve(listener) {
+            Ok(bound) => println!("esr-tcpd replication on {bound} (epoch {})", h.epoch()),
+            Err(e) => {
+                eprintln!("esr-tcpd: cannot serve replication on {raddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // Attach the conformance monitor before the listener comes up, so
     // the capture stream starts at event zero — a monitor joining
     // mid-history would misreport already-running transactions.
@@ -255,10 +361,14 @@ fn main() {
         let kernel = Arc::clone(tcp.server().kernel());
         let obs = Arc::clone(tcp.server().obs());
         let monitor_source = conformance.as_ref().map(|m| m.snapshot_source());
+        let hub_source = hub.clone();
         let source: StatsSource = Arc::new(move || {
             let mut stats = build_server_stats(&kernel, &obs);
             if let Some(ms) = &monitor_source {
                 stats.monitor = Some(ms());
+            }
+            if let Some(h) = &hub_source {
+                stats.replication = Some(h.replication_stats());
             }
             stats
         });
@@ -276,6 +386,57 @@ fn main() {
     // Serve until killed; the TcpServer's Drop handles graceful
     // shutdown when the process is terminated cleanly. `conformance`
     // stays alive (and checking) alongside it.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Replica mode: subscribe to the primary, apply the shipped log, and
+/// serve read-only epsilon-bounded queries on `addr`. Never returns.
+fn run_replica(addr: &str, metrics_addr: Option<&str>, cfg: ReplicaConfig) -> ! {
+    let primary = cfg.primary.clone();
+    let node = match ReplicaNode::start(cfg) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("esr-tcpd: cannot start replica: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("esr-tcpd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match ReplicaServer::start(Arc::clone(&node), listener) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("esr-tcpd: cannot serve replica reads: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "esr-tcpd listening on {} (replica of {primary}, read-only)",
+        server.addr()
+    );
+    let _metrics = metrics_addr.map(|maddr| {
+        let stats_node = Arc::clone(&node);
+        let source: StatsSource = Arc::new(move || ServerStats {
+            replication: Some(stats_node.replication_stats()),
+            ..ServerStats::default()
+        });
+        match MetricsServer::bind(maddr, source) {
+            Ok(m) => {
+                println!("esr-tcpd metrics on http://{}/metrics", m.local_addr());
+                m
+            }
+            Err(e) => {
+                eprintln!("esr-tcpd: cannot bind metrics address {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     loop {
         std::thread::park();
     }

@@ -37,6 +37,7 @@ pub mod frame;
 pub mod metrics;
 pub mod monitor;
 pub mod msg;
+pub mod repl;
 pub mod server;
 
 pub use client::{NetClientConfig, TcpConnection};
@@ -44,6 +45,10 @@ pub use frame::{FrameError, MAX_FRAME};
 pub use metrics::{render_metrics, MetricsServer, StatsSource};
 pub use monitor::{ConformanceMonitor, MonitorConfig};
 pub use msg::{ReplyBody, RequestBody, WireReply, WireRequest};
+pub use repl::hub::{ReplSink, ReplicationHub};
+pub use repl::replica::{ReplicaConfig, ReplicaNode};
+pub use repl::serve::{ReplicaServer, READ_ONLY_ERROR};
+pub use repl::{ReplFrame, ReplRequest, REPL_PROTOCOL_VERSION};
 pub use server::{
     busy_retry_after_micros, is_busy_error, NetServerConfig, TcpServer, BUSY_RETRY_BASE_MICROS,
     BUSY_RETRY_MAX_MICROS,

@@ -342,6 +342,56 @@ pub fn render_metrics(stats: &ServerStats) -> String {
             c.capacity_pages as i64,
         );
     }
+    if let Some(r) = &stats.replication {
+        e.gauge(
+            "esr_replica_epoch",
+            "Primary epoch this node serves or follows",
+            r.epoch as i64,
+        )
+        .gauge(
+            "esr_replica_received_seq",
+            "Highest log sequence received from the primary",
+            r.received_seq as i64,
+        )
+        .gauge(
+            "esr_replica_applied_seq",
+            "Highest log sequence applied to the local copy",
+            r.applied_seq as i64,
+        )
+        .gauge(
+            "esr_replica_lag_records",
+            "Log records received but not yet applied locally",
+            r.lag_records as i64,
+        )
+        .gauge(
+            "esr_replica_lag_micros",
+            "Age of the oldest unapplied log record (microseconds)",
+            r.lag_micros as i64,
+        )
+        .gauge(
+            "esr_replica_divergence_total",
+            "Total divergence between local values and primary shadows",
+            r.divergence_total as i64,
+        )
+        .labeled_gauge(
+            "esr_replica_divergence",
+            "Divergence between local values and primary shadows, by hierarchy group",
+            "group",
+            &r.divergence_groups
+                .iter()
+                .map(|(g, d)| (g.clone(), *d as i64))
+                .collect::<Vec<_>>(),
+        )
+        .labeled_gauge(
+            "esr_replication_peer_lag_records",
+            "Records the primary has durable but has not yet sent to each subscriber",
+            "peer",
+            &r.peers
+                .iter()
+                .map(|p| (p.peer.clone(), p.lag_records as i64))
+                .collect::<Vec<_>>(),
+        );
+    }
     for h in &stats.histograms {
         e.summary(
             &format!("esr_{}", h.name),
@@ -393,6 +443,22 @@ mod tests {
                 resident_bytes: 1 << 20,
                 capacity_pages: 64,
             }),
+            replication: Some(esr_server::ReplicationStats {
+                role: "replica".into(),
+                epoch: 2,
+                durable_seq: 120,
+                received_seq: 118,
+                applied_seq: 110,
+                lag_records: 8,
+                lag_micros: 1500,
+                divergence_total: 9,
+                divergence_groups: vec![("g0".into(), 9), ("g1".into(), 0)],
+                peers: vec![esr_server::ReplicaPeerRow {
+                    peer: "127.0.0.1:9999".into(),
+                    sent_seq: 100,
+                    lag_records: 20,
+                }],
+            }),
             histograms: vec![NamedHistogram {
                 name: "kernel_txn_latency_micros".into(),
                 hist: h.snapshot(),
@@ -423,6 +489,13 @@ mod tests {
         assert!(text.contains("esr_page_cache_capacity_pages 64"));
         assert!(text.contains("esr_kernel_txn_latency_micros{quantile=\"0.5\"}"));
         assert!(text.contains("esr_kernel_txn_latency_micros_count 2"));
+        assert!(text.contains("esr_replica_epoch 2"));
+        assert!(text.contains("esr_replica_lag_records 8"));
+        assert!(text.contains("esr_replica_lag_micros 1500"));
+        assert!(text.contains("esr_replica_divergence_total 9"));
+        assert!(text.contains("esr_replica_divergence{group=\"g0\"} 9"));
+        assert!(text.contains("esr_replica_divergence{group=\"g1\"} 0"));
+        assert!(text.contains("esr_replication_peer_lag_records{peer=\"127.0.0.1:9999\"} 20"));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Log-shipping replication over the wire.
+//!
+//! The in-process `esr-replica` crate models multi-site ESR on a
+//! virtual timeline: a [`Replica`] consumes committed-write entries
+//! from a channel with a driver-chosen delay, and divergence is the
+//! distance between the primary's committed value (shipped eagerly as
+//! a *shadow*) and the replica's lagging local copy. This module is
+//! the same design made wire-real, built directly on the PR 7
+//! write-ahead log:
+//!
+//! - [`hub`] — the primary side. A [`ReplSink`] interposed between the
+//!   kernel and its [`Wal`] publishes every appended [`WalRecord`] to
+//!   an in-memory ship cache and advances a durable watermark with the
+//!   group-commit fsync; a [`ReplicationHub`] accepts subscribers on a
+//!   dedicated listener and streams them the durable log from their
+//!   requested watermark — from cache when hot, from the segment files
+//!   when not, and via a quiesced full-table snapshot when the
+//!   requested suffix has been pruned by a checkpoint.
+//! - [`replica`] — the backup side. A [`ReplicaNode`] boots through
+//!   the ordinary recovery path (checkpoint + log tail, resident or
+//!   paged), subscribes from its recovered watermark, ingests the
+//!   stream with strict sequence gating (duplicates dropped, gaps
+//!   force a resubscribe), updates the per-object primary shadow
+//!   *eagerly at ingest*, and applies records to its own table and WAL
+//!   through the same machinery recovery replay uses. The gap between
+//!   shadow and local copy is the divergence its reads import.
+//! - [`serve`] — the replica's read-only front end: the ordinary
+//!   `esr-net` wire protocol, admitting only query transactions, and
+//!   charging each read `distance(local, shadow)` against the query's
+//!   hierarchical bounds. A read whose divergence would blow its
+//!   budget is busy-rejected with a retry hint scaled to the apply
+//!   lag, so clients park-and-retry while the replica catches up.
+//!
+//! ## Epoch fencing
+//!
+//! Failover must not split the log's brain. Every data directory
+//! carries a fencing epoch (`epoch.esr`); a primary serves at
+//! `max(stored, 1)` and a promotion (`esr-tcpd --promote`) bumps it.
+//! The [`Subscribe`] handshake compares epochs: a subscriber whose
+//! epoch is *newer* than the primary's gets [`ReplFrame::Fenced`] and
+//! is refused — that "primary" is a resurrected pre-failover corpse —
+//! while a subscriber behind the primary's epoch adopts and persists
+//! the higher value before consuming the stream. A replica therefore
+//! carries the fence forward: once it has spoken to the epoch-2
+//! primary, the epoch-1 corpse can never feed it again.
+//!
+//! [`Replica`]: esr_replica::Replica
+//! [`Wal`]: esr_storage::wal::Wal
+//! [`Subscribe`]: ReplRequest::Subscribe
+
+pub mod hub;
+pub mod replica;
+pub mod serve;
+
+use esr_storage::wal::{ObjectSnapshot, WalRecord};
+use serde::{Deserialize, Serialize};
+
+/// Version of the replication wire protocol. A primary refuses
+/// subscribers speaking a different version (closing the connection
+/// after [`ReplFrame::Fenced`] would lie about the reason, so it
+/// simply closes).
+pub const REPL_PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on records per [`ReplFrame::Records`] batch. 512
+/// worst-case records stay far under the frame cap while amortizing
+/// the per-frame syscalls.
+pub const MAX_RECORD_BATCH: usize = 512;
+
+/// Upper bound on object snapshots per [`ReplFrame::SnapshotChunk`].
+pub const MAX_SNAPSHOT_CHUNK: usize = 1024;
+
+/// What a subscriber sends to open a replication stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplRequest {
+    /// Subscribe to the durable log starting at `from_seq`.
+    Subscribe {
+        /// The subscriber's [`REPL_PROTOCOL_VERSION`].
+        version: u32,
+        /// The highest fencing epoch the subscriber has adopted.
+        epoch: u64,
+        /// First log sequence number the subscriber wants (its durable
+        /// watermark plus one).
+        from_seq: u64,
+    },
+}
+
+/// What the primary streams back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplFrame {
+    /// Handshake accepted; the stream follows. `epoch` is the
+    /// primary's fencing epoch — a subscriber behind it adopts and
+    /// persists it before applying anything.
+    Accept {
+        /// The primary's fencing epoch.
+        epoch: u64,
+    },
+    /// Handshake refused: the subscriber has adopted a *newer* epoch
+    /// than this primary's, so this primary was deposed by a promotion
+    /// it never saw. It must not be allowed to feed anyone.
+    Fenced {
+        /// The primary's (stale) epoch.
+        epoch: u64,
+    },
+    /// Part of a full-table snapshot, sent when the subscriber's
+    /// watermark predates the oldest retained log segment. Chunks
+    /// arrive in object-id order and are followed by
+    /// [`ReplFrame::SnapshotDone`].
+    SnapshotChunk {
+        /// The next run of object snapshots.
+        objects: Vec<ObjectSnapshot>,
+    },
+    /// End of a snapshot. The subscriber installs the accumulated
+    /// objects as a checkpoint, resets its log, and resumes the record
+    /// stream at `next_seq`.
+    SnapshotDone {
+        /// First record sequence the stream will continue with
+        /// (the snapshot covers everything below it).
+        next_seq: u64,
+        /// First transaction id not covered by the snapshot.
+        next_txn: u64,
+    },
+    /// A batch of consecutive durable log records.
+    Records {
+        /// The records, dense and in sequence order.
+        records: Vec<WalRecord>,
+        /// The primary's durable watermark at send time.
+        durable_seq: u64,
+    },
+    /// Keep-alive sent when the subscriber is caught up; also carries
+    /// the watermark so an idle replica's lag gauges stay honest.
+    Heartbeat {
+        /// The primary's durable watermark.
+        durable_seq: u64,
+    },
+}

@@ -1,0 +1,366 @@
+//! The replica's read-only front end: epsilon-bounded queries against
+//! the local copy, over the ordinary wire protocol.
+//!
+//! A replica speaks the same [`WireRequest`]/[`WireReply`] frames the
+//! primary does, so any `esr-net` client can point at it unchanged —
+//! but it admits only query transactions. Every read is charged
+//! `d = distance(local value, primary shadow)` against the query's
+//! hierarchical bounds through the same [`Ledger`] the kernel uses:
+//! the inconsistency a replica read imports *is* the replica's
+//! divergence on that object, measured against the eagerly shipped
+//! committed value. A read whose charge would blow a bound is not
+//! failed permanently — the replica busy-rejects it with a retry-after
+//! hint scaled to the apply lag, so the client's existing
+//! park-and-retry machinery waits out the catch-up. A query with
+//! all-zero bounds therefore succeeds only on a fully caught-up
+//! replica: ESR degenerates to SR exactly as it should.
+//!
+//! Every admitted read is recorded as an
+//! [`EventKind::ReplicaRead`] capture event, so cross-site histories
+//! can be replayed through `esr-checker` against the advertised
+//! bounds.
+//!
+//! [`Ledger`]: esr_core::ledger::Ledger
+
+use super::replica::{record_capture, ReplicaNode};
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::msg::{ReplyBody, RequestBody, WireReply, WireRequest};
+use crate::server::busy_reject;
+use esr_core::ids::{TxnId, TxnKind};
+use esr_core::ledger::Ledger;
+use esr_core::value::distance;
+use esr_server::{
+    BeginReply, EndReply, OpReply, ServerStats, StatsReply, BATCH_TOO_LARGE, MAX_BATCH,
+};
+use esr_tso::capture::EventKind;
+use esr_tso::{CommitInfo, Operation};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// The stable error message for writes (and update transactions)
+/// against a replica.
+pub const READ_ONLY_ERROR: &str = "replica is read-only";
+
+/// Cap on the busy-reject retry hint: even a deeply lagged replica
+/// asks clients to re-poll within this.
+const MAX_RETRY_HINT_MICROS: u64 = 200_000;
+
+/// Microseconds of retry hint per record of apply lag.
+const RETRY_HINT_PER_RECORD_MICROS: u64 = 50;
+
+/// Shared across all of one replica's serving connections.
+struct ServeShared {
+    node: Arc<ReplicaNode>,
+    /// Site ids handed to clients. Replica sites start high so their
+    /// timestamps are visibly distinct from primary-issued ones in
+    /// merged traces.
+    site_counter: AtomicU64,
+    /// Query transaction ids, node-local.
+    txn_counter: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A listening replica front end.
+pub struct ReplicaServer {
+    shared: Arc<ServeShared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl ReplicaServer {
+    /// Serve read-only queries for `node` on `listener`.
+    pub fn start(node: Arc<ReplicaNode>, listener: TcpListener) -> io::Result<ReplicaServer> {
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServeShared {
+            node,
+            site_counter: AtomicU64::new(0),
+            txn_counter: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("esr-replica-serve".into())
+            .spawn(move || accept_loop(accept_shared, listener))
+            .expect("spawn replica accept thread");
+        Ok(ReplicaServer {
+            shared,
+            addr,
+            accept: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node this front end serves.
+    pub fn node(&self) -> &Arc<ReplicaNode> {
+        &self.shared.node
+    }
+
+    /// Stop accepting and wake the accept thread.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self
+            .accept
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: Arc<ServeShared>, listener: TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => break,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn_shared = Arc::clone(&shared);
+        let _ = thread::Builder::new()
+            .name("esr-replica-conn".into())
+            .spawn(move || conn_loop(&conn_shared, stream));
+    }
+}
+
+/// Per-transaction serving state.
+struct TxnState {
+    ledger: Ledger,
+    reads: u64,
+}
+
+fn conn_loop(shared: &ServeShared, mut stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut txns: HashMap<TxnId, TxnState> = HashMap::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let req = match read_frame::<WireRequest>(&mut stream) {
+            Ok(req) => req,
+            Err(FrameError::Timeout) => continue,
+            Err(_) => break,
+        };
+        let body = dispatch(shared, &mut txns, req.body);
+        if write_frame(&mut stream, &WireReply { id: req.id, body }).is_err() {
+            break;
+        }
+    }
+    // Orphan-reap: a dropped connection aborts its open queries, and
+    // the capture stream says so.
+    for (txn, _) in txns.drain() {
+        record_capture(&shared.node, EventKind::Abort { txn, reason: None });
+    }
+}
+
+fn dispatch(
+    shared: &ServeShared,
+    txns: &mut HashMap<TxnId, TxnState>,
+    body: RequestBody,
+) -> ReplyBody {
+    let node = &shared.node;
+    match body {
+        RequestBody::Hello => {
+            let site = 0x8000 + (shared.site_counter.fetch_add(1, Ordering::SeqCst) % 0x7FFF);
+            ReplyBody::Welcome { site: site as u16 }
+        }
+        RequestBody::TimeExchange => ReplyBody::Time {
+            micros: node.reference_micros(),
+        },
+        RequestBody::Begin { kind, bounds, ts } => {
+            if kind != TxnKind::Query {
+                return ReplyBody::Begin(BeginReply::Error(READ_ONLY_ERROR.into()));
+            }
+            let txn = TxnId(shared.txn_counter.fetch_add(1, Ordering::SeqCst));
+            let ledger = Ledger::new(node.schema(), &bounds);
+            record_capture(
+                node,
+                EventKind::Begin {
+                    txn,
+                    kind,
+                    ts,
+                    bounds,
+                },
+            );
+            txns.insert(txn, TxnState { ledger, reads: 0 });
+            ReplyBody::Begin(BeginReply::Started(txn))
+        }
+        RequestBody::Op { txn, op } => ReplyBody::Op(run_op(node, txns, txn, &op)),
+        RequestBody::Batch { txn, ops } => run_batch(node, txns, txn, &ops),
+        RequestBody::End { txn, commit } => {
+            let Some(state) = txns.remove(&txn) else {
+                return ReplyBody::End(EndReply::Unknown(txn));
+            };
+            if commit {
+                let info = CommitInfo {
+                    inconsistency: state.ledger.total(),
+                    inconsistent_ops: state.ledger.inconsistent_charges(),
+                    reads: state.reads,
+                    writes: 0,
+                    written: Vec::new(),
+                };
+                record_capture(
+                    node,
+                    EventKind::Commit {
+                        txn,
+                        info: info.clone(),
+                    },
+                );
+                ReplyBody::End(EndReply::Committed(info))
+            } else {
+                record_capture(node, EventKind::Abort { txn, reason: None });
+                ReplyBody::End(EndReply::Aborted)
+            }
+        }
+        RequestBody::Stats => {
+            let stats = ServerStats {
+                replication: Some(node.replication_stats()),
+                ..ServerStats::default()
+            };
+            ReplyBody::Stats(StatsReply::Stats(Box::new(stats)))
+        }
+    }
+}
+
+/// The busy-reject hint for an over-budget read: proportional to the
+/// apply lag (more lag, longer wait), clamped to the park machinery's
+/// usual range.
+fn retry_hint(node: &ReplicaNode) -> u64 {
+    (node.lag_records() * RETRY_HINT_PER_RECORD_MICROS)
+        .clamp(crate::server::BUSY_RETRY_BASE_MICROS, MAX_RETRY_HINT_MICROS)
+}
+
+fn run_op(
+    node: &Arc<ReplicaNode>,
+    txns: &mut HashMap<TxnId, TxnState>,
+    txn: TxnId,
+    op: &Operation,
+) -> OpReply {
+    let Some(state) = txns.get_mut(&txn) else {
+        return OpReply::Error(format!("unknown transaction {txn}"));
+    };
+    match *op {
+        Operation::Read(obj) => {
+            if obj.0 as usize >= node.n_objects() {
+                return OpReply::Error(format!("unknown object {obj}"));
+            }
+            let (local, shadow, oil) = node.read_state(obj);
+            let d = distance(local, shadow);
+            match state.ledger.try_charge(obj, d, oil) {
+                Ok(()) => {
+                    state.reads += 1;
+                    record_capture(
+                        node,
+                        EventKind::ReplicaRead {
+                            txn,
+                            obj,
+                            local,
+                            shadow,
+                            d,
+                            lag: node.lag_records(),
+                            oil,
+                        },
+                    );
+                    OpReply::Value(local)
+                }
+                Err(_) => OpReply::Error(busy_reject(retry_hint(node))),
+            }
+        }
+        Operation::Write(_, _) => OpReply::Error(READ_ONLY_ERROR.into()),
+    }
+}
+
+/// All-or-nothing batch admission: pre-charge every read on a trial
+/// ledger; only if the whole batch clears does it commit to the real
+/// one. A failing batch answers every op with the same busy reject so
+/// the client backs off and resends the batch intact.
+fn run_batch(
+    node: &Arc<ReplicaNode>,
+    txns: &mut HashMap<TxnId, TxnState>,
+    txn: TxnId,
+    ops: &[Operation],
+) -> ReplyBody {
+    if ops.len() > MAX_BATCH {
+        return ReplyBody::Error(BATCH_TOO_LARGE.into());
+    }
+    let Some(state) = txns.get_mut(&txn) else {
+        return ReplyBody::Error(format!("unknown transaction {txn}"));
+    };
+    let mut trial = state.ledger.clone();
+    let mut planned = Vec::with_capacity(ops.len());
+    for op in ops {
+        match *op {
+            Operation::Read(obj) => {
+                if obj.0 as usize >= node.n_objects() {
+                    return ReplyBody::Batch(
+                        ops.iter()
+                            .map(|_| OpReply::Error(format!("unknown object {obj}")))
+                            .collect(),
+                    );
+                }
+                let (local, shadow, oil) = node.read_state(obj);
+                let d = distance(local, shadow);
+                if trial.try_charge(obj, d, oil).is_err() {
+                    let busy = busy_reject(retry_hint(node));
+                    return ReplyBody::Batch(
+                        ops.iter().map(|_| OpReply::Error(busy.clone())).collect(),
+                    );
+                }
+                planned.push((obj, local, shadow, d, oil));
+            }
+            Operation::Write(_, _) => {
+                return ReplyBody::Batch(
+                    ops.iter()
+                        .map(|_| OpReply::Error(READ_ONLY_ERROR.into()))
+                        .collect(),
+                );
+            }
+        }
+    }
+    state.ledger = trial;
+    state.reads += planned.len() as u64;
+    let lag = node.lag_records();
+    let replies = planned
+        .into_iter()
+        .map(|(obj, local, shadow, d, oil)| {
+            record_capture(
+                node,
+                EventKind::ReplicaRead {
+                    txn,
+                    obj,
+                    local,
+                    shadow,
+                    d,
+                    lag,
+                    oil,
+                },
+            );
+            OpReply::Value(local)
+        })
+        .collect();
+    ReplyBody::Batch(replies)
+}

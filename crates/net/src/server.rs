@@ -115,8 +115,10 @@ impl OverloadState {
 }
 
 /// Format the busy reject sent to clients: the stable [`BUSY_ERROR`]
-/// prefix plus a machine-readable retry-after hint.
-fn busy_reject(hint_micros: u64) -> String {
+/// prefix plus a machine-readable retry-after hint. Shared with the
+/// replica read path, whose over-budget rejects use the same
+/// park-and-retry machinery.
+pub(crate) fn busy_reject(hint_micros: u64) -> String {
     format!("{BUSY_ERROR}; retry-after-micros={hint_micros}")
 }
 

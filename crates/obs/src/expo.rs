@@ -37,6 +37,30 @@ impl TextExposition {
         self
     }
 
+    /// A gauge with one series per label value — e.g. per-group
+    /// replica divergence as `name{key="group"} value`. Label values
+    /// are escaped per the exposition format (backslash, quote,
+    /// newline). An empty series list still emits the HELP/TYPE
+    /// headers so scrapers see the metric exists.
+    pub fn labeled_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        key: &str,
+        series: &[(String, i64)],
+    ) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        for (label, value) in series {
+            let escaped = label
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            let _ = writeln!(self.out, "{name}{{{key}=\"{escaped}\"}} {value}");
+        }
+        self
+    }
+
     /// A latency summary from a histogram snapshot: quantile series
     /// (0.5 / 0.9 / 0.95 / 0.99), `_max`, `_sum`, and `_count`.
     pub fn summary(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) -> &mut Self {
@@ -81,6 +105,26 @@ mod tests {
         assert!(s.contains("esr_commits_total 42"));
         assert!(s.contains("# TYPE esr_active_txns gauge"));
         assert!(s.contains("esr_active_txns 3"));
+    }
+
+    #[test]
+    fn labeled_gauge_escapes_and_headers() {
+        let mut e = TextExposition::new();
+        e.labeled_gauge(
+            "esr_replica_divergence",
+            "Divergence by group",
+            "group",
+            &[("west".into(), 7), ("a\"b\\c".into(), 0)],
+        );
+        let s = e.render();
+        assert!(s.contains("# TYPE esr_replica_divergence gauge"));
+        assert!(s.contains("esr_replica_divergence{group=\"west\"} 7"));
+        assert!(s.contains("esr_replica_divergence{group=\"a\\\"b\\\\c\"} 0"));
+
+        let mut empty = TextExposition::new();
+        empty.labeled_gauge("x", "none", "k", &[]);
+        assert!(empty.render().contains("# TYPE x gauge"));
+        assert!(!empty.render().contains("x{"));
     }
 
     #[test]

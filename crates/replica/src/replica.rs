@@ -21,6 +21,15 @@ pub struct LogEntry {
 /// A replica's state: the (possibly stale) data copy, the unapplied
 /// log, and the eagerly-propagated primary shadow used for exact
 /// divergence accounting.
+///
+/// Both the shadow and the data copy are **watermark-gated** per
+/// object: an entry whose timestamp is older than what the object has
+/// already seen updates neither. Without the gate, log entries
+/// delivered out of timestamp order would regress the shadow to a
+/// stale primary value — and divergence, measured against that stale
+/// shadow, would *under-count* how far the replica really is from the
+/// primary (and an out-of-order apply would regress the data copy and
+/// never converge).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Replica {
     /// The replica's data copy, read by local queries.
@@ -28,6 +37,10 @@ pub struct Replica {
     /// The primary's latest committed value per object (control
     /// metadata, always current).
     primary_shadow: Vec<Value>,
+    /// Newest timestamp the shadow has seen, per object.
+    shadow_ts: Vec<Timestamp>,
+    /// Newest timestamp applied to the data copy, per object.
+    applied_ts: Vec<Timestamp>,
     /// Committed writes not yet applied locally, in commit order.
     log: VecDeque<LogEntry>,
     /// Entries ever received.
@@ -43,6 +56,8 @@ impl Replica {
         Replica {
             values: initial.to_vec(),
             primary_shadow: initial.to_vec(),
+            shadow_ts: vec![Timestamp::ZERO; initial.len()],
+            applied_ts: vec![Timestamp::ZERO; initial.len()],
             log: VecDeque::new(),
             received: 0,
             applied: 0,
@@ -103,6 +118,12 @@ impl Replica {
     /// Receive a committed write from the primary. The control shadow
     /// updates immediately; the data copy only changes on [`pump`].
     ///
+    /// The shadow is timestamp-gated: an entry older than the newest
+    /// the object has seen is still logged (the stream may have been
+    /// reordered in transit) but does not regress the shadow — the
+    /// shadow must track the primary's *latest* committed value or
+    /// divergence under-counts.
+    ///
     /// [`pump`]: Replica::pump
     pub fn enqueue(&mut self, entry: LogEntry) {
         assert!(
@@ -110,18 +131,32 @@ impl Replica {
             "log entry for unknown object {}",
             entry.obj
         );
-        self.primary_shadow[entry.obj.index()] = entry.value;
+        let i = entry.obj.index();
+        if entry.ts >= self.shadow_ts[i] {
+            self.primary_shadow[i] = entry.value;
+            self.shadow_ts[i] = entry.ts;
+        }
         self.log.push_back(entry);
         self.received += 1;
     }
 
-    /// Apply up to `n` pending log entries in commit order. Returns how
-    /// many were applied.
+    /// Apply up to `n` pending log entries in arrival order. Returns
+    /// how many entries were consumed (including superseded ones).
+    ///
+    /// Applies are timestamp-gated per object: an entry older than the
+    /// newest already applied is consumed but installs nothing (the
+    /// newer value it would overwrite is the one the primary's latest
+    /// committed state contains), so a reordered stream still converges
+    /// to the primary's committed state.
     pub fn pump(&mut self, n: usize) -> usize {
         let mut done = 0;
         while done < n {
             let Some(e) = self.log.pop_front() else { break };
-            self.values[e.obj.index()] = e.value;
+            let i = e.obj.index();
+            if e.ts >= self.applied_ts[i] {
+                self.values[i] = e.value;
+                self.applied_ts[i] = e.ts;
+            }
             self.applied += 1;
             done += 1;
         }
@@ -218,6 +253,42 @@ mod tests {
     fn unknown_object_rejected() {
         let mut r = Replica::new(&[0]);
         r.enqueue(entry(5, 1, 1));
+    }
+
+    #[test]
+    fn reordered_delivery_does_not_undercount_divergence() {
+        // Regression: the primary commits 100@ts2 after 5@ts1, but the
+        // link reorders delivery. The shadow must keep the *newest*
+        // committed value (100), so divergence stays exact; pre-gate it
+        // regressed to 5 and divergence under-counted (5 instead of 100).
+        let mut r = Replica::new(&[0]);
+        r.enqueue(entry(0, 2, 100));
+        r.enqueue(entry(0, 1, 5)); // stale entry arrives late
+        assert_eq!(r.primary_value(ObjectId(0)), 100);
+        assert_eq!(r.divergence(ObjectId(0)), 100);
+        // Applying in arrival order must also converge to the newest
+        // value, not finish on the stale one.
+        r.pump_all();
+        assert_eq!(r.value(ObjectId(0)), 100);
+        assert_eq!(r.divergence(ObjectId(0)), 0);
+        assert_eq!(r.counters(), (2, 2));
+    }
+
+    #[test]
+    fn reordering_across_objects_keeps_each_watermark() {
+        let mut r = Replica::new(&[0, 0]);
+        // Interleaved streams for two objects, each reordered.
+        r.enqueue(entry(1, 4, 40));
+        r.enqueue(entry(0, 3, 30));
+        r.enqueue(entry(1, 2, 20)); // stale for obj 1
+        r.enqueue(entry(0, 1, 10)); // stale for obj 0
+        assert_eq!(r.primary_value(ObjectId(0)), 30);
+        assert_eq!(r.primary_value(ObjectId(1)), 40);
+        assert_eq!(r.total_divergence(), 70);
+        r.pump_all();
+        assert_eq!(r.value(ObjectId(0)), 30);
+        assert_eq!(r.value(ObjectId(1)), 40);
+        assert_eq!(r.total_divergence(), 0);
     }
 
     mod proptests {

@@ -75,8 +75,34 @@ pub fn start_durable(
     catalog: &CatalogConfig,
     schema: HierarchySchema,
     kernel_config: KernelConfig,
+    config: ServerConfig,
+    wal_opts: WalOptions,
+) -> io::Result<(Server, RecoverySummary)> {
+    start_durable_with(
+        data_dir,
+        catalog,
+        schema,
+        kernel_config,
+        config,
+        wal_opts,
+        |wal| wal as Arc<dyn esr_storage::wal::DurabilitySink>,
+    )
+}
+
+/// [`start_durable`] with a hook that wraps the opened [`Wal`] before
+/// it is attached to the kernel as the durability sink. A replication
+/// hub uses this to interpose its shipping sink — every committed
+/// record is published to subscribers at the moment it is appended,
+/// and the durable watermark advances with the group-commit fsync —
+/// without the kernel knowing replication exists.
+pub fn start_durable_with(
+    data_dir: impl AsRef<Path>,
+    catalog: &CatalogConfig,
+    schema: HierarchySchema,
+    kernel_config: KernelConfig,
     mut config: ServerConfig,
     wal_opts: WalOptions,
+    wrap: impl FnOnce(Arc<Wal>) -> Arc<dyn esr_storage::wal::DurabilitySink>,
 ) -> io::Result<(Server, RecoverySummary)> {
     let data_dir = data_dir.as_ref();
     let rec = match config.cache_pages {
@@ -116,7 +142,7 @@ pub fn start_durable(
     }
     let kernel = Kernel::new(rec.table, schema, kernel_config);
     kernel.restore_next_txn(rec.next_txn);
-    kernel.enable_durability(Arc::new(wal));
+    kernel.enable_durability(wrap(Arc::new(wal)));
     if rec.had_state {
         config.clock_epoch_micros = config
             .clock_epoch_micros

@@ -30,12 +30,12 @@ pub mod proto;
 pub mod server;
 
 pub use connection::Connection;
-pub use durable::{start_durable, RecoverySummary, CLOCK_EPOCH_MARGIN_MICROS};
+pub use durable::{start_durable, start_durable_with, RecoverySummary, CLOCK_EPOCH_MARGIN_MICROS};
 pub use esr_storage::PageCacheSnapshot;
 pub use obs::{RequestKind, ServerObs};
 pub use proto::{
-    BeginReply, EndReply, MonitorSnapshot, NamedHistogram, OpReply, QueuedRequest, ReplySink,
-    Request, ServerStats, StatsReply, MAX_BATCH,
+    BeginReply, EndReply, MonitorSnapshot, NamedHistogram, OpReply, QueuedRequest, ReplicaPeerRow,
+    ReplicationStats, ReplySink, Request, ServerStats, StatsReply, MAX_BATCH,
 };
 pub use server::{
     build_server_stats, ConnectError, RpcHandle, Server, ServerConfig, SiteAllocator, SubmitError,

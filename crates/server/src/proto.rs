@@ -91,10 +91,53 @@ pub struct MonitorSnapshot {
     pub retained_entries: u64,
 }
 
+/// One subscribed replica, as seen from the primary's shipping hub.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaPeerRow {
+    /// The subscriber's remote address.
+    pub peer: String,
+    /// Highest log sequence number shipped to this subscriber.
+    pub sent_seq: u64,
+    /// Records the subscriber still trails the durable watermark by.
+    pub lag_records: u64,
+}
+
+/// Replication state, reported by both roles: a primary describes its
+/// shipping hub (epoch, durable watermark, subscribed peers); a replica
+/// describes its apply pipeline (received/applied watermarks, lag, and
+/// the divergence of its local copy from the shipped primary shadow).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationStats {
+    /// `"primary"` or `"replica"`.
+    pub role: String,
+    /// The fencing epoch this node operates under.
+    pub epoch: u64,
+    /// Primary: highest fsynced log sequence. Replica: the primary's
+    /// advertised durable watermark (0 until the first heartbeat).
+    pub durable_seq: u64,
+    /// Replica: highest record ingested from the stream (shadow
+    /// watermark). Primary: equal to `durable_seq`.
+    pub received_seq: u64,
+    /// Replica: highest record applied to the local data copy and its
+    /// own log. Primary: equal to `durable_seq`.
+    pub applied_seq: u64,
+    /// Records known to exist but not yet applied locally.
+    pub lag_records: u64,
+    /// Age of the oldest ingested-but-unapplied record, in microseconds
+    /// (0 when fully caught up).
+    pub lag_micros: u64,
+    /// Sum over all objects of `distance(local value, primary shadow)`.
+    pub divergence_total: u64,
+    /// The same divergence, broken down by top-level hierarchy group.
+    pub divergence_groups: Vec<(String, u64)>,
+    /// Primary only: one row per live subscriber.
+    pub peers: Vec<ReplicaPeerRow>,
+}
+
 /// Everything a live server reports about itself: kernel counters,
 /// gauges, and latency histograms. Serializable, so the TCP transport
 /// ships it to remote clients unchanged.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// The kernel's monotonic counters.
     pub kernel: StatsSnapshot,
@@ -128,6 +171,11 @@ pub struct ServerStats {
     /// budget). Absent in snapshots from pre-pager servers.
     #[serde(default)]
     pub page_cache: Option<PageCacheSnapshot>,
+    /// Replication state (`None` unless the node ships or applies a
+    /// replication stream). Absent in snapshots from pre-replication
+    /// servers.
+    #[serde(default)]
+    pub replication: Option<ReplicationStats>,
     /// All latency histograms: per-request-kind queue wait and service
     /// time from the workers, plus the kernel's op-service, park-wait,
     /// and txn-latency distributions.

@@ -683,6 +683,9 @@ pub fn build_server_stats(kernel: &Kernel, obs: &ServerObs) -> ServerStats {
         // esr-net daemon overlays its monitor snapshot on top of this.
         monitor: None,
         page_cache: kernel.table().page_cache_stats(),
+        // Replication is likewise overlaid by the daemon (primary hub
+        // or replica node) that knows its own role.
+        replication: None,
         histograms,
     }
 }

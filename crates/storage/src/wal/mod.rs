@@ -44,9 +44,11 @@
 
 pub mod checkpoint;
 pub mod recover;
+pub mod ship;
 
 pub use checkpoint::{snapshot_table, Checkpoint, ObjectSnapshot};
 pub use recover::{recover, recover_observed, Recovered};
+pub use ship::{install_snapshot_dir, read_epoch, read_records_from, write_epoch};
 
 use esr_clock::Timestamp;
 use esr_core::codec;

@@ -95,6 +95,25 @@ pub enum EventKind {
         obj: ObjectId,
         value: Value,
     },
+    /// A replica-local query read completed. The replica served its
+    /// (possibly stale) `local` copy; `shadow` is the primary's
+    /// committed value per the eagerly shipped metadata, and
+    /// `d = distance(local, shadow)` is the divergence the read
+    /// imported and was charged against its bounds.
+    ReplicaRead {
+        txn: TxnId,
+        obj: ObjectId,
+        /// The value the replica returned to the query.
+        local: Value,
+        /// The primary's committed value per the shipped shadow.
+        shadow: Value,
+        /// The inconsistency charged (distance between the two).
+        d: Distance,
+        /// Replica apply lag, in unapplied records, at admission time.
+        lag: u64,
+        /// The store-side object import limit at admission time.
+        oil: Limit,
+    },
     /// An operation parked behind an older uncommitted writer.
     Wait { txn: TxnId, obj: ObjectId },
     /// The transaction committed with this summary.
@@ -115,6 +134,7 @@ impl EventKind {
             | EventKind::QueryRead { txn, .. }
             | EventKind::UpdateRead { txn, .. }
             | EventKind::Write { txn, .. }
+            | EventKind::ReplicaRead { txn, .. }
             | EventKind::WriteSkipped { txn, .. }
             | EventKind::Wait { txn, .. }
             | EventKind::Commit { txn, .. }

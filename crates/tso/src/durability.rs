@@ -29,7 +29,7 @@ use esr_core::ids::TxnId;
 use esr_core::value::Value;
 use esr_core::ObjectId;
 use esr_storage::table::ObjectTable;
-use esr_storage::wal::{snapshot_table, Checkpoint, DurabilitySink};
+use esr_storage::wal::{snapshot_table, Checkpoint, DurabilitySink, ObjectSnapshot};
 use std::io;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
@@ -118,6 +118,18 @@ impl Durability {
             }
         }
         Ok(seq)
+    }
+
+    /// Quiesce commits and capture a consistent full-table snapshot for
+    /// shipping to a replica whose watermark fell behind the pruned log.
+    /// Nothing is written locally; the returned sequence number is the
+    /// durable watermark the snapshot covers, so the receiver resumes
+    /// the stream from `seq + 1`.
+    pub fn quiesced_snapshot(&self, table: &ObjectTable) -> (u64, Vec<ObjectSnapshot>) {
+        let _gate = self.gate.write().unwrap_or_else(PoisonError::into_inner);
+        let seq = self.sink.appended_seq();
+        self.sink.sync_to(seq);
+        (seq, snapshot_table(table))
     }
 }
 

@@ -340,6 +340,13 @@ impl Kernel {
         self.next_txn.fetch_max(next, Ordering::Relaxed);
     }
 
+    /// The id the next transaction will be assigned. A shipped snapshot
+    /// records this so the receiving replica, if later promoted,
+    /// continues the id sequence instead of aliasing history.
+    pub fn next_txn(&self) -> u64 {
+        self.next_txn.load(Ordering::Relaxed)
+    }
+
     /// The registry shard owning `txn`.
     #[inline]
     fn txn_shard(&self, txn: TxnId) -> &TxnShard {

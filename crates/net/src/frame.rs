@@ -44,7 +44,8 @@ pub enum FrameError {
     Io(io::Error),
     /// The bytes were read but did not decode to the expected message.
     Codec(String),
-    /// A length prefix exceeded [`MAX_FRAME`].
+    /// A length prefix exceeded the channel's frame cap ([`MAX_FRAME`]
+    /// unless the `_limit` variants were given a different one).
     Oversize(u32),
 }
 
@@ -55,7 +56,7 @@ impl fmt::Display for FrameError {
             FrameError::Closed => f.write_str("connection closed"),
             FrameError::Io(e) => write!(f, "transport error: {e}"),
             FrameError::Codec(m) => write!(f, "codec error: {m}"),
-            FrameError::Oversize(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            FrameError::Oversize(n) => write!(f, "frame of {n} bytes exceeds the channel cap"),
         }
     }
 }
@@ -99,9 +100,23 @@ pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, FrameError> {
 /// written with a single `write_all`, so a successful return means the
 /// peer will observe a complete frame.
 pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), FrameError> {
+    write_frame_limit(w, value, MAX_FRAME)
+}
+
+/// [`write_frame`] with an explicit payload cap instead of
+/// [`MAX_FRAME`]. Channels that legitimately carry bulk payloads (the
+/// replication log stream, whose records hold whole write sets) raise
+/// the cap rather than fragmenting; both ends must agree on it. An
+/// [`FrameError::Oversize`] return means *nothing* was written — the
+/// stream is still frame-aligned and the caller may split and resend.
+pub fn write_frame_limit<T: Serialize>(
+    w: &mut impl Write,
+    value: &T,
+    cap: u32,
+) -> Result<(), FrameError> {
     let payload = to_bytes(value);
     let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversize(u32::MAX))?;
-    if len > MAX_FRAME {
+    if len > cap {
         return Err(FrameError::Oversize(len));
     }
     let mut frame = Vec::with_capacity(4 + payload.len());
@@ -120,6 +135,14 @@ pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), Fr
 /// consumed is a hard [`FrameError::Io`]/[`FrameError::Closed`] — the
 /// stream cannot be resynchronised.
 pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    read_frame_limit(r, MAX_FRAME)
+}
+
+/// [`read_frame`] with an explicit payload cap instead of
+/// [`MAX_FRAME`]. The cap still bounds what a corrupt or malicious
+/// length prefix can make this side allocate, so it should be as small
+/// as the channel's honest traffic allows.
+pub fn read_frame_limit<T: Deserialize>(r: &mut impl Read, cap: u32) -> Result<T, FrameError> {
     let mut header = [0u8; 4];
     // First byte separately: distinguishes "no frame yet" (retryable)
     // from "died mid-frame" (fatal).
@@ -132,7 +155,7 @@ pub fn read_frame<T: Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
     }
     r.read_exact(&mut header[1..])?;
     let len = u32::from_le_bytes(header);
-    if len > MAX_FRAME {
+    if len > cap {
         return Err(FrameError::Oversize(len));
     }
     let mut payload = vec![0u8; len as usize];
@@ -289,6 +312,30 @@ mod tests {
         buf.extend_from_slice(&[0; 16]);
         match read_frame::<WireReply>(&mut std::io::Cursor::new(buf)) {
             Err(FrameError::Oversize(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_caps_are_per_channel() {
+        let msg = WireReply {
+            id: 1,
+            body: ReplyBody::Error("x".repeat(64)),
+        };
+        // A writer with a tiny cap refuses before touching the stream.
+        let mut buf: Vec<u8> = Vec::new();
+        match write_frame_limit(&mut buf, &msg, 8) {
+            Err(FrameError::Oversize(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(buf.is_empty(), "an oversize write must write nothing");
+        // A raised cap round-trips what the default would also carry,
+        // and a reader holding the small cap refuses the same bytes.
+        write_frame_limit(&mut buf, &msg, 1 << 24).unwrap();
+        let back: WireReply = read_frame_limit(&mut std::io::Cursor::new(&buf), 1 << 24).unwrap();
+        assert_eq!(back, msg);
+        match read_frame_limit::<WireReply>(&mut std::io::Cursor::new(&buf), 8) {
+            Err(FrameError::Oversize(_)) => {}
             other => panic!("{other:?}"),
         }
     }

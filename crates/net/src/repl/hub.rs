@@ -18,8 +18,11 @@
 //! full-table snapshot through the kernel's checkpoint gate and ships
 //! that, then resumes the stream above it.
 
-use super::{ReplFrame, ReplRequest, MAX_RECORD_BATCH, MAX_SNAPSHOT_CHUNK, REPL_PROTOCOL_VERSION};
-use crate::frame::{read_frame, write_frame, FrameError};
+use super::{
+    record_wire_cost, ReplFrame, ReplRequest, MAX_RECORD_BATCH, MAX_RECORD_BATCH_BYTES,
+    MAX_REPL_FRAME, MAX_SNAPSHOT_CHUNK, REPL_PROTOCOL_VERSION,
+};
+use crate::frame::{read_frame, write_frame, write_frame_limit, FrameError};
 use esr_clock::Timestamp;
 use esr_core::ids::TxnId;
 use esr_core::value::Value;
@@ -334,10 +337,21 @@ fn next_batch(shared: &HubShared, next: u64) -> Fetch {
         if st.durable >= next {
             let upto = st.durable.min(next + (MAX_RECORD_BATCH as u64) - 1);
             let mut records = Vec::new();
+            let mut bytes = 0usize;
             let mut seq = next;
             while seq <= upto {
                 match st.cache.get(&seq) {
                     Some(r) => {
+                        // Bound the batch by estimated encoded size, not
+                        // just count: write sets are unbounded, and a
+                        // batch that overshoots the frame cap would ship
+                        // nothing at all. A single over-target record
+                        // still goes out alone.
+                        let cost = record_wire_cost(r);
+                        if !records.is_empty() && bytes + cost > MAX_RECORD_BATCH_BYTES {
+                            break;
+                        }
+                        bytes += cost;
                         records.push(r.clone());
                         seq += 1;
                     }
@@ -422,24 +436,18 @@ fn stream_records(
         match next_batch(shared, next) {
             Fetch::Stop => return Ok(()),
             Fetch::Heartbeat(durable) => {
-                write_frame(
+                write_frame_limit(
                     stream,
                     &ReplFrame::Heartbeat {
                         durable_seq: durable,
                     },
+                    MAX_REPL_FRAME,
                 )
                 .map_err(frame_io)?;
             }
             Fetch::Records(records, durable_seq) => {
                 next = records.last().map(|r| r.seq + 1).unwrap_or(next);
-                write_frame(
-                    stream,
-                    &ReplFrame::Records {
-                        records,
-                        durable_seq,
-                    },
-                )
-                .map_err(frame_io)?;
+                send_records(stream, records, durable_seq).map_err(frame_io)?;
                 gauge.sent_seq.store(next - 1, Ordering::Relaxed);
             }
             Fetch::Cold(upto) => {
@@ -447,14 +455,23 @@ fn stream_records(
                     Some(records) if !records.is_empty() => {
                         let durable_seq = shared.lock_state().durable;
                         next = records.last().map(|r| r.seq + 1).unwrap_or(next);
-                        write_frame(
-                            stream,
-                            &ReplFrame::Records {
-                                records,
-                                durable_seq,
-                            },
-                        )
-                        .map_err(frame_io)?;
+                        // The cold read is count-bounded; re-chunk it by
+                        // encoded size like the hot path does.
+                        let mut run: Vec<WalRecord> = Vec::new();
+                        let mut bytes = 0usize;
+                        for rec in records {
+                            let cost = record_wire_cost(&rec);
+                            if !run.is_empty() && bytes + cost > MAX_RECORD_BATCH_BYTES {
+                                send_records(stream, std::mem::take(&mut run), durable_seq)
+                                    .map_err(frame_io)?;
+                                bytes = 0;
+                            }
+                            bytes += cost;
+                            run.push(rec);
+                        }
+                        if !run.is_empty() {
+                            send_records(stream, run, durable_seq).map_err(frame_io)?;
+                        }
                         gauge.sent_seq.store(next - 1, Ordering::Relaxed);
                     }
                     // Pruned (or unreadable as a contiguous run): the
@@ -474,6 +491,45 @@ fn stream_records(
     }
 }
 
+/// Ship one run of records, splitting recursively when the encoded
+/// frame overshoots the channel cap. Batch building already bounds the
+/// estimated size, so the split is defense in depth for an estimate
+/// the codec outgrew — and [`write_frame_limit`] writes *nothing* on
+/// [`FrameError::Oversize`], so a retry with halves never corrupts the
+/// stream. A single record too large for [`MAX_REPL_FRAME`] cannot be
+/// shipped at all; that tears the subscriber down loudly instead of
+/// wedging in silence.
+fn send_records(
+    stream: &mut TcpStream,
+    records: Vec<WalRecord>,
+    durable_seq: u64,
+) -> Result<(), FrameError> {
+    let frame = ReplFrame::Records {
+        records,
+        durable_seq,
+    };
+    match write_frame_limit(stream, &frame, MAX_REPL_FRAME) {
+        Err(FrameError::Oversize(n)) => {
+            let ReplFrame::Records { mut records, .. } = frame else {
+                unreachable!("frame was built as Records above");
+            };
+            if records.len() <= 1 {
+                let seq = records.first().map(|r| r.seq).unwrap_or(0);
+                eprintln!(
+                    "esr-repl: record seq {seq} encodes to {n} bytes, \
+                     over the {MAX_REPL_FRAME}-byte replication frame cap; \
+                     the subscriber cannot be fed past it"
+                );
+                return Err(FrameError::Oversize(n));
+            }
+            let rest = records.split_off(records.len() / 2);
+            send_records(stream, records, durable_seq)?;
+            send_records(stream, rest, durable_seq)
+        }
+        other => other,
+    }
+}
+
 /// Take a quiesced snapshot through the kernel's checkpoint gate and
 /// ship it. Returns the sequence the stream resumes at, or `None` when
 /// the kernel has not been attached yet.
@@ -484,23 +540,28 @@ fn send_snapshot(shared: &HubShared, stream: &mut TcpStream) -> io::Result<Optio
     let Some(durability) = kernel.durability() else {
         return Ok(None);
     };
-    let (seq, objects) = durability.quiesced_snapshot(kernel.table());
-    let next_txn = kernel.next_txn();
+    // `next_txn` is sampled by `quiesced_snapshot` while the commit
+    // gate is still held, so the id watermark shipped with the snapshot
+    // matches exactly the state the snapshot covers.
+    let (seq, next_txn, objects) =
+        durability.quiesced_snapshot(kernel.table(), || kernel.next_txn());
     for chunk in objects.chunks(MAX_SNAPSHOT_CHUNK) {
-        write_frame(
+        write_frame_limit(
             stream,
             &ReplFrame::SnapshotChunk {
                 objects: chunk.to_vec(),
             },
+            MAX_REPL_FRAME,
         )
         .map_err(frame_io)?;
     }
-    write_frame(
+    write_frame_limit(
         stream,
         &ReplFrame::SnapshotDone {
             next_seq: seq + 1,
             next_txn,
         },
+        MAX_REPL_FRAME,
     )
     .map_err(frame_io)?;
     Ok(Some(seq + 1))

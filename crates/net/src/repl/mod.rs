@@ -61,10 +61,41 @@ use serde::{Deserialize, Serialize};
 /// simply closes).
 pub const REPL_PROTOCOL_VERSION: u32 = 1;
 
-/// Upper bound on records per [`ReplFrame::Records`] batch. 512
-/// worst-case records stay far under the frame cap while amortizing
-/// the per-frame syscalls.
+/// Frame-payload cap on the replication channel, replacing the
+/// protocol's default [`crate::frame::MAX_FRAME`]. A [`WalRecord`]
+/// carries a whole commit's write set, which is bounded only by the
+/// table size — a single commit touching every object of a large
+/// catalog encodes to megabytes, and a channel that cannot carry it
+/// wedges replication permanently (the subscriber would reconnect from
+/// the same watermark and be handed the same unshippable frame
+/// forever). 64 MiB carries any realistic record while still bounding
+/// what a corrupt length prefix can make either side allocate.
+pub const MAX_REPL_FRAME: u32 = 64 << 20;
+
+/// Upper bound on records per [`ReplFrame::Records`] batch: amortizes
+/// the per-frame syscalls without letting one frame grow unbounded in
+/// *count*. The byte size of a batch is bounded separately by
+/// [`MAX_RECORD_BATCH_BYTES`].
 pub const MAX_RECORD_BATCH: usize = 512;
+
+/// Soft target on a [`ReplFrame::Records`] batch's encoded size. Batch
+/// building flushes once the *estimated* encoding (see
+/// [`record_wire_cost`]) would pass this; a single record larger than
+/// the target still ships alone, relying on [`MAX_REPL_FRAME`]'s
+/// headroom.
+pub const MAX_RECORD_BATCH_BYTES: usize = 256 << 10;
+
+/// A conservative upper bound on a record's encoded size inside a
+/// [`ReplFrame::Records`] frame. The codec spends at most ~20 bytes
+/// per `(object, value)` write (two tagged varints plus pair framing)
+/// and ~120 bytes on the record envelope (field names plus five tagged
+/// varints); the margins here absorb any drift in those encodings
+/// while keeping the estimate cheap enough to run under the ship-cache
+/// lock. Overestimating only makes batches smaller than the byte
+/// target — never an oversize frame.
+pub(crate) fn record_wire_cost(rec: &WalRecord) -> usize {
+    256 + rec.writes.len() * 32
+}
 
 /// Upper bound on object snapshots per [`ReplFrame::SnapshotChunk`].
 pub const MAX_SNAPSHOT_CHUNK: usize = 1024;

@@ -33,8 +33,8 @@
 //!
 //! [`ObjectState`]: esr_storage::object::ObjectState
 
-use super::{ReplFrame, ReplRequest, REPL_PROTOCOL_VERSION};
-use crate::frame::{read_frame, write_frame, FrameError};
+use super::{ReplFrame, ReplRequest, MAX_REPL_FRAME, REPL_PROTOCOL_VERSION};
+use crate::frame::{read_frame_limit, write_frame, FrameError};
 use esr_core::hierarchy::HierarchySchema;
 use esr_core::value::{distance, Value};
 use esr_core::ObjectId;
@@ -66,6 +66,14 @@ const SYNC_EVERY: u64 = 64;
 /// Reconnect backoff bounds.
 const BACKOFF_MIN: Duration = Duration::from_millis(50);
 const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// How recently the primary must have been heard from for the node to
+/// count as *fresh* ([`ReplicaNode::fresh`]). The hub heartbeats every
+/// 200 ms, so this allows ~10 missed beats before strict reads start
+/// parking — generous enough for scheduler hiccups, tight enough that
+/// a partitioned replica cannot keep passing its frozen shadow off as
+/// zero divergence for long.
+const FRESH_CONTACT_MICROS: u64 = 2_000_000;
 
 /// How a replica node is configured.
 #[derive(Debug, Clone)]
@@ -140,8 +148,16 @@ struct NodeShared {
     /// The fencing epoch this node has adopted (persisted).
     epoch: AtomicU64,
     connected: AtomicBool,
+    /// Micros since `start` at which the last replication frame was
+    /// ingested (0 = never). Freshness gating reads this.
+    last_contact: AtomicU64,
     /// Latched when a primary refused us or presented a stale epoch.
     saw_stale_primary: AtomicBool,
+    /// Latched when the durable engine is known broken — a snapshot
+    /// install failed *after* the old WAL was shut down, so applying
+    /// anything further would append to a dead log. Both threads stop;
+    /// the node needs a restart.
+    poisoned: AtomicBool,
     apply_paused: AtomicBool,
     stop: AtomicBool,
     /// Replica-read capture, fed by the serve front end.
@@ -181,7 +197,9 @@ impl ReplicaNode {
             primary_durable: AtomicU64::new(0),
             epoch: AtomicU64::new(epoch),
             connected: AtomicBool::new(false),
+            last_contact: AtomicU64::new(0),
             saw_stale_primary: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             apply_paused: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             capture: Arc::new(EventLog::bounded(65_536)),
@@ -260,6 +278,34 @@ impl ReplicaNode {
     /// Whether the receiver currently holds an accepted subscription.
     pub fn connected(&self) -> bool {
         self.shared.connected.load(Ordering::SeqCst)
+    }
+
+    /// Whether the node's divergence accounting is currently *trustworthy
+    /// and complete*: connected, recently fed (a frame within the 2 s
+    /// freshness window), ingested up to the primary's advertised
+    /// durable watermark, and not poisoned. When this is false the
+    /// shadow is frozen at the last known primary state, so a measured
+    /// divergence of zero proves nothing — strict (all-zero-bound) reads
+    /// must not be admitted on it.
+    pub fn fresh(&self) -> bool {
+        if !self.connected() || self.poisoned() {
+            return false;
+        }
+        let last = self.shared.last_contact.load(Ordering::SeqCst);
+        if last == 0 {
+            return false;
+        }
+        let now = self.shared.start.elapsed().as_micros() as u64;
+        now.saturating_sub(last) <= FRESH_CONTACT_MICROS
+            && self.received_seq() >= self.shared.primary_durable.load(Ordering::SeqCst)
+    }
+
+    /// Whether the durable engine was poisoned by a failed snapshot
+    /// install (the old WAL was already shut down, so nothing further
+    /// can be made durable). A poisoned node stops replicating and
+    /// refuses strict reads; it must be restarted.
+    pub fn poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::SeqCst)
     }
 
     /// Whether this node has refused (or been refused by) a primary
@@ -393,9 +439,15 @@ impl Drop for ReplicaNode {
 // Receiver
 // ---------------------------------------------------------------------------
 
+/// Stamp "the primary just spoke to us" for freshness gating.
+fn note_contact(shared: &NodeShared) {
+    let now = shared.start.elapsed().as_micros() as u64;
+    shared.last_contact.fetch_max(now.max(1), Ordering::SeqCst);
+}
+
 fn receiver_loop(shared: &Arc<NodeShared>) {
     let mut backoff = BACKOFF_MIN;
-    while !shared.stop.load(Ordering::SeqCst) {
+    while !shared.stop.load(Ordering::SeqCst) && !shared.poisoned.load(Ordering::SeqCst) {
         match run_connection(shared) {
             Ok(made_progress) if made_progress => backoff = BACKOFF_MIN,
             _ => {}
@@ -433,7 +485,7 @@ fn run_connection(shared: &Arc<NodeShared>) -> io::Result<bool> {
         },
     )
     .map_err(frame_io)?;
-    match read_frame::<ReplFrame>(&mut stream).map_err(frame_io)? {
+    match read_frame_limit::<ReplFrame>(&mut stream, MAX_REPL_FRAME).map_err(frame_io)? {
         ReplFrame::Accept { epoch } => {
             if epoch < my_epoch {
                 // A primary behind our fence: a resurrected
@@ -455,19 +507,21 @@ fn run_connection(shared: &Arc<NodeShared>) -> io::Result<bool> {
         _ => return Ok(false),
     }
     shared.connected.store(true, Ordering::SeqCst);
+    note_contact(shared);
 
     let mut progressed = false;
     let mut snapshot: Option<Vec<ObjectSnapshot>> = None;
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) || shared.poisoned.load(Ordering::SeqCst) {
             return Ok(progressed);
         }
-        let frame = match read_frame::<ReplFrame>(&mut stream) {
+        let frame = match read_frame_limit::<ReplFrame>(&mut stream, MAX_REPL_FRAME) {
             Ok(f) => f,
             Err(FrameError::Timeout) => continue,
             Err(_) => return Ok(progressed),
         };
         progressed = true;
+        note_contact(shared);
         match frame {
             ReplFrame::Heartbeat { durable_seq } => {
                 shared
@@ -526,7 +580,7 @@ fn ingest(shared: &Arc<NodeShared>, rec: WalRecord) -> bool {
     shared.received.store(rec.seq, Ordering::SeqCst);
     let mut q = shared.lock_queue();
     while q.len() >= APPLY_QUEUE_CAP {
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) || shared.poisoned.load(Ordering::SeqCst) {
             return false;
         }
         let (guard, _) = shared
@@ -561,11 +615,33 @@ fn install_snapshot(
         next_txn,
         objects,
     };
-    install_snapshot_dir(&shared.cfg.data_dir, &ckpt)?;
-    *eng = boot_engine(&shared.cfg)?;
-    shared.received.store(next_seq - 1, Ordering::SeqCst);
-    shared.applied.store(next_seq - 1, Ordering::SeqCst);
-    Ok(())
+    // Past this point the old WAL is dead. If the install or the
+    // re-boot fails, the engine must not keep running over it — the
+    // applier would keep acknowledging records into a log that can no
+    // longer flush (silent durability loss). Poison the node instead:
+    // both threads stop, strict reads are refused, and the operator
+    // restarts through the ordinary recovery path.
+    let installed =
+        install_snapshot_dir(&shared.cfg.data_dir, &ckpt).and_then(|()| boot_engine(&shared.cfg));
+    match installed {
+        Ok(fresh_engine) => {
+            *eng = fresh_engine;
+            shared.received.store(next_seq - 1, Ordering::SeqCst);
+            shared.applied.store(next_seq - 1, Ordering::SeqCst);
+            Ok(())
+        }
+        Err(e) => {
+            shared.poisoned.store(true, Ordering::SeqCst);
+            shared.connected.store(false, Ordering::SeqCst);
+            drop(eng);
+            shared.queue_cv.notify_all();
+            eprintln!(
+                "esr-repl: snapshot install failed after the local WAL was shut down \
+                 ({e}); replica poisoned — restart it to recover"
+            );
+            Err(e)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -575,7 +651,7 @@ fn install_snapshot(
 fn apply_loop(shared: &Arc<NodeShared>) {
     let mut unsynced = 0u64;
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) || shared.poisoned.load(Ordering::SeqCst) {
             break;
         }
         if shared.apply_paused.load(Ordering::SeqCst) {

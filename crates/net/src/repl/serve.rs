@@ -15,6 +15,19 @@
 //! all-zero bounds therefore succeeds only on a fully caught-up
 //! replica: ESR degenerates to SR exactly as it should.
 //!
+//! ## Divergence is measured against the last *heard* primary state
+//!
+//! The shadow freezes when the replication link is down, so a
+//! partitioned replica measures divergence against the primary state
+//! it last heard — nonzero-budget reads are charged honestly against
+//! that state and stay within their advertised bounds *relative to
+//! it*, which is the strongest claim an async replica can make while
+//! cut off. All-zero bounds claim more (exact equality with the
+//! primary's committed state), so strict reads are additionally gated
+//! on [`ReplicaNode::fresh`]: a disconnected or stale-linked replica
+//! busy-rejects them rather than passing its frozen shadow off as
+//! zero divergence.
+//!
 //! Every admitted read is recorded as an
 //! [`EventKind::ReplicaRead`] capture event, so cross-site histories
 //! can be replayed through `esr-checker` against the advertised
@@ -145,6 +158,10 @@ fn accept_loop(shared: Arc<ServeShared>, listener: TcpListener) {
 struct TxnState {
     ledger: Ledger,
     reads: u64,
+    /// All-zero (strictly serializable) bounds: reads additionally
+    /// require the node to be fresh, because a frozen shadow cannot
+    /// attest zero divergence.
+    strict: bool,
 }
 
 fn conn_loop(shared: &ServeShared, mut stream: TcpStream) {
@@ -197,6 +214,7 @@ fn dispatch(
             }
             let txn = TxnId(shared.txn_counter.fetch_add(1, Ordering::SeqCst));
             let ledger = Ledger::new(node.schema(), &bounds);
+            let strict = bounds.is_serializable();
             record_capture(
                 node,
                 EventKind::Begin {
@@ -206,7 +224,14 @@ fn dispatch(
                     bounds,
                 },
             );
-            txns.insert(txn, TxnState { ledger, reads: 0 });
+            txns.insert(
+                txn,
+                TxnState {
+                    ledger,
+                    reads: 0,
+                    strict,
+                },
+            );
             ReplyBody::Begin(BeginReply::Started(txn))
         }
         RequestBody::Op { txn, op } => ReplyBody::Op(run_op(node, txns, txn, &op)),
@@ -268,6 +293,12 @@ fn run_op(
             if obj.0 as usize >= node.n_objects() {
                 return OpReply::Error(format!("unknown object {obj}"));
             }
+            if state.strict && !node.fresh() {
+                // A frozen shadow cannot attest zero divergence: a
+                // strict read on a cut-off replica parks rather than
+                // serving arbitrarily stale data as "exact".
+                return OpReply::Error(busy_reject(retry_hint(node)));
+            }
             let (local, shadow, oil) = node.read_state(obj);
             let d = distance(local, shadow);
             match state.ledger.try_charge(obj, d, oil) {
@@ -310,6 +341,10 @@ fn run_batch(
     let Some(state) = txns.get_mut(&txn) else {
         return ReplyBody::Error(format!("unknown transaction {txn}"));
     };
+    if state.strict && !node.fresh() && ops.iter().any(|op| matches!(op, Operation::Read(_))) {
+        let busy = busy_reject(retry_hint(node));
+        return ReplyBody::Batch(ops.iter().map(|_| OpReply::Error(busy.clone())).collect());
+    }
     let mut trial = state.ledger.clone();
     let mut planned = Vec::with_capacity(ops.len());
     for op in ops {

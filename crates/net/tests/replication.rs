@@ -566,6 +566,113 @@ fn cross_site_capture_replays_clean_and_tamper_is_caught() {
     let _ = std::fs::remove_dir_all(&rdir);
 }
 
+/// Regression: a catch-up batch whose records hold large write sets
+/// must not wedge replication. Before batches were bounded by encoded
+/// size (and the replication channel's frame cap raised), a subscriber
+/// behind a run of wide-write-set records was handed one frame
+/// exceeding the 1 MiB protocol cap; the send failed, the subscriber
+/// reconnected from the same watermark, and the hub deterministically
+/// rebuilt the identical oversize batch forever.
+#[test]
+fn wide_write_set_backlog_ships_without_wedging() {
+    let pdir = scratch("wide-p");
+    let rdir = scratch("wide-r");
+    let n = 2_000u32;
+    let primary = start_primary(&pdir, HierarchySchema::two_level(), n);
+
+    // 256 commits, each writing every object: the ship cache holds a
+    // backlog encoding to several MB, all hot when the replica arrives.
+    let mut writer = TcpConnection::connect(primary.tcp.local_addr()).unwrap();
+    let commits = 256u64;
+    for i in 0..commits {
+        writer
+            .begin(TxnKind::Update, TxnBounds::export(Limit::Unlimited))
+            .unwrap();
+        for chunk in (0..n).collect::<Vec<_>>().chunks(1024) {
+            let ops = chunk
+                .iter()
+                .map(|&o| esr_tso::Operation::Write(ObjectId(o), VALUE + i as Value))
+                .collect();
+            for reply in writer.batch(ops).unwrap() {
+                assert!(
+                    matches!(reply, esr_server::OpReply::Written),
+                    "write refused: {reply:?}"
+                );
+            }
+        }
+        writer.commit().unwrap();
+    }
+
+    // Subscribe from scratch: the whole backlog must stream through
+    // size-bounded batches instead of one unshippable frame.
+    let (node, rserver) = start_replica(&rdir, &primary, HierarchySchema::two_level(), n);
+    wait_until("backlog to ship and apply", Duration::from_secs(30), || {
+        node.applied_seq() >= commits
+    });
+    assert_eq!(node.divergence_total(), 0);
+    assert_eq!(node.value(ObjectId(0)), VALUE + (commits - 1) as Value);
+    assert_eq!(node.value(ObjectId(n - 1)), VALUE + (commits - 1) as Value);
+
+    rserver.shutdown();
+    node.shutdown();
+    primary.hub.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
+/// Regression: a partitioned replica's shadow freezes, so it *measures*
+/// zero divergence no matter how far the primary has moved. Strict
+/// (all-zero-bound) reads must park on a cut-off replica instead of
+/// passing frozen state off as exact; bounded reads stay served against
+/// the last known primary state.
+#[test]
+fn strict_reads_park_when_the_link_is_down() {
+    let pdir = scratch("part-p");
+    let rdir = scratch("part-r");
+    let primary = start_primary(&pdir, HierarchySchema::two_level(), 2);
+    let (node, rserver) = start_replica(&rdir, &primary, HierarchySchema::two_level(), 2);
+
+    let mut writer = TcpConnection::connect(primary.tcp.local_addr()).unwrap();
+    commit_update(&mut writer, ObjectId(0), VALUE + 5);
+    wait_until("replica to catch up", Duration::from_secs(10), || {
+        node.applied_seq() >= 1 && node.fresh()
+    });
+
+    // Sever the link for good: the hub (and its listener) go away.
+    primary.hub.shutdown();
+    wait_until("replica to notice the cut", Duration::from_secs(10), || {
+        !node.connected()
+    });
+    // The frozen ledger *claims* full consistency — that is exactly the
+    // lie the freshness gate exists for.
+    assert_eq!(node.divergence_total(), 0);
+    assert_eq!(node.lag_records(), 0);
+    assert!(!node.fresh());
+
+    // Strict read: busy-parked, not served.
+    let mut reader = impatient(rserver.addr());
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::ZERO))
+        .unwrap();
+    match reader.read(ObjectId(0)).unwrap_err() {
+        SessionError::Backend(msg) => assert!(is_busy_error(&msg), "{msg}"),
+        other => panic!("unexpected error {other:?}"),
+    }
+    reader.abort().unwrap();
+
+    // A bounded read is still served from the last known primary state.
+    reader
+        .begin(TxnKind::Query, TxnBounds::import(Limit::Unlimited))
+        .unwrap();
+    assert_eq!(reader.read(ObjectId(0)).unwrap(), VALUE + 5);
+    reader.commit().unwrap();
+
+    rserver.shutdown();
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}
+
 /// Two replicas fed by one primary both converge and serve.
 #[test]
 fn two_replicas_converge_independently() {

@@ -125,11 +125,21 @@ impl Durability {
     /// Nothing is written locally; the returned sequence number is the
     /// durable watermark the snapshot covers, so the receiver resumes
     /// the stream from `seq + 1`.
-    pub fn quiesced_snapshot(&self, table: &ObjectTable) -> (u64, Vec<ObjectSnapshot>) {
+    ///
+    /// `next_txn` is sampled *while the commit gate is held*, so the
+    /// returned id watermark is exactly consistent with the snapshotted
+    /// state — a commit racing the snapshot cannot inflate it (which
+    /// would make a later-promoted replica skip transaction ids).
+    pub fn quiesced_snapshot(
+        &self,
+        table: &ObjectTable,
+        next_txn: impl FnOnce() -> u64,
+    ) -> (u64, u64, Vec<ObjectSnapshot>) {
         let _gate = self.gate.write().unwrap_or_else(PoisonError::into_inner);
         let seq = self.sink.appended_seq();
         self.sink.sync_to(seq);
-        (seq, snapshot_table(table))
+        let next_txn = next_txn();
+        (seq, next_txn, snapshot_table(table))
     }
 }
 
